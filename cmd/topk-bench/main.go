@@ -1,0 +1,26 @@
+// Command topk-bench regenerates the tables and figures of the paper's
+// performance evaluation (Section 6). Each experiment prints one table
+// whose series correspond to one figure of the paper.
+//
+// Usage:
+//
+//	topk-bench -list
+//	topk-bench -exp fig3 -plot
+//	topk-bench -exp fig3,fig4,fig5 -scale 0.1
+//	topk-bench -exp all -out results/
+//
+// The default configuration reproduces the paper's Table 1 defaults
+// (n=100,000, k=20, m=8, Sum scoring, bit-array tracker) averaged over
+// -trials random databases. -scale shrinks every database size for quick
+// runs; the series shapes are preserved.
+package main
+
+import (
+	"os"
+
+	"topk/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Bench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,20 @@
+// Command topk-gen generates a synthetic database from the paper's
+// evaluation families (Section 6.1) and writes it to a file in the
+// library's binary format (or CSV with -csv).
+//
+// Usage:
+//
+//	topk-gen -kind uniform -n 100000 -m 8 -o uniform.topk
+//	topk-gen -kind correlated -alpha 0.01 -n 100000 -m 8 -o corr.topk
+//	topk-gen -kind gaussian -n 50000 -m 4 -csv -o gauss.csv
+package main
+
+import (
+	"os"
+
+	"topk/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Gen(os.Args[1:], os.Stdout, os.Stderr))
+}

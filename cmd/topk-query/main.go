@@ -1,0 +1,21 @@
+// Command topk-query runs a top-k query against a database file written
+// by topk-gen (binary or CSV) and prints the answers plus the access
+// statistics of the chosen algorithm.
+//
+// Usage:
+//
+//	topk-query -db uniform.topk -k 10
+//	topk-query -db uniform.topk -k 10 -alg ta -compare
+//	topk-query -db uniform.topk -k 3 -alg bpa -explain
+//	topk-query -csv data.csv -k 5 -scoring wsum -weights 2,1,0.5
+package main
+
+import (
+	"os"
+
+	"topk/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Query(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,21 @@
+// Command topk-serve exposes a database over an HTTP JSON API: run a
+// query with /v1/topk, inspect a round-by-round walkthrough with
+// /v1/explain, probe liveness with /healthz.
+//
+// Usage:
+//
+//	topk-serve -db uniform.topk -addr localhost:8080
+//	topk-serve -gen uniform -n 10000 -m 8
+//	curl 'http://localhost:8080/v1/topk?k=10&alg=bpa2'
+//	curl 'http://localhost:8080/v1/explain?k=3&alg=bpa'
+package main
+
+import (
+	"os"
+
+	"topk/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Serve(os.Args[1:], os.Stdout, os.Stderr))
+}

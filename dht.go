@@ -1,0 +1,88 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/bestpos"
+	"topk/internal/dht"
+	"topk/internal/dist"
+	"topk/internal/list"
+)
+
+// DHTResult is a completed top-k query over the simulated DHT overlay
+// (the paper's Section 8 future-work scenario).
+type DHTResult struct {
+	// Protocol that executed the query.
+	Protocol Protocol
+	// Items are the top-k answers, best first.
+	Items []ScoredItem
+	// Messages is the protocol's point-to-point message count.
+	Messages int64
+	// Hops is the total overlay routing cost of that traffic, including
+	// the initial lookups that locate the list owners.
+	Hops int64
+	// RingSize is the number of overlay nodes.
+	RingSize int
+	// LookupHops[i] is the routing distance from the query originator to
+	// the owner of list i.
+	LookupHops []int
+}
+
+// RunDHT executes the query with the database's lists stored in a
+// simulated Chord-style DHT of ringSize nodes. When routed is false the
+// originator caches a direct connection to each owner after one DHT
+// lookup (how real overlay applications run iterative protocols); when
+// true every message walks the overlay.
+//
+// The overlay is rebuilt deterministically from seed, so results are
+// reproducible.
+func (db *Database) RunDHT(q Query, protocol Protocol, ringSize int, seed int64, routed bool) (*DHTResult, error) {
+	if q.K < 1 || q.K > db.N() {
+		return nil, fmt.Errorf("topk: k=%d out of range [1,%d]", q.K, db.N())
+	}
+	scoring := q.Scoring
+	if scoring == nil {
+		scoring = Sum()
+	}
+	var run func(*list.Database, dist.Options) (*dist.Result, error)
+	switch protocol {
+	case DistBPA2:
+		run = dist.BPA2
+	case DistBPA:
+		run = dist.BPA
+	case DistTA:
+		run = dist.TA
+	case TPUT:
+		run = dist.TPUT
+	default:
+		return nil, fmt.Errorf("topk: unknown protocol %d", uint8(protocol))
+	}
+	ring, err := dht.NewRing(ringSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	model := dht.Cached
+	if routed {
+		model = dht.Routed
+	}
+	res, err := dht.TopK(ring, db.db, dist.Options{
+		K:       q.K,
+		Scoring: adaptScoring(scoring),
+		Tracker: bestpos.Kind(q.Tracker),
+	}, run, model, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &DHTResult{
+		Protocol:   protocol,
+		Messages:   res.Dist.Net.Messages,
+		Hops:       res.Hops,
+		RingSize:   ringSize,
+		LookupHops: res.Placement.LookupHops,
+	}
+	out.Items = make([]ScoredItem, len(res.Dist.Items))
+	for i, it := range res.Dist.Items {
+		out.Items[i] = ScoredItem{Item: Item(it.Item), Name: db.NameOf(Item(it.Item)), Score: it.Score}
+	}
+	return out, nil
+}

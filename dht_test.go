@@ -1,0 +1,73 @@
+package topk
+
+import "testing"
+
+func TestRunDHTMatchesOracle(t *testing.T) {
+	db, err := Generate(GenSpec{Kind: GenUniform, N: 300, M: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Oracle(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Protocols() {
+		for _, routed := range []bool{false, true} {
+			res, err := db.RunDHT(Query{K: 5}, p, 128, 2, routed)
+			if err != nil {
+				t.Fatalf("%v routed=%v: %v", p, routed, err)
+			}
+			if res.Protocol != p || res.RingSize != 128 {
+				t.Errorf("metadata wrong: %+v", res)
+			}
+			for i := range want {
+				if res.Items[i].Score != want[i].Score {
+					t.Errorf("%v: answer %d = %v, want %v", p, i, res.Items[i].Score, want[i].Score)
+				}
+			}
+			if res.Hops < res.Messages && !routed {
+				t.Errorf("%v cached: hops %d below messages %d", p, res.Hops, res.Messages)
+			}
+			if len(res.LookupHops) != db.M() {
+				t.Errorf("%v: lookup hops %v", p, res.LookupHops)
+			}
+		}
+	}
+}
+
+func TestRunDHTRoutedCostsMore(t *testing.T) {
+	db, err := Generate(GenSpec{Kind: GenUniform, N: 400, M: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := db.RunDHT(Query{K: 5}, DistBPA2, 2048, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := db.RunDHT(Query{K: 5}, DistBPA2, 2048, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.Hops <= cached.Hops {
+		t.Errorf("routed hops %d not above cached %d", routed.Hops, cached.Hops)
+	}
+	if cached.Messages != routed.Messages {
+		t.Errorf("message counts differ: %d vs %d", cached.Messages, routed.Messages)
+	}
+}
+
+func TestRunDHTValidation(t *testing.T) {
+	db, err := Generate(GenSpec{Kind: GenUniform, N: 50, M: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RunDHT(Query{K: 0}, DistBPA2, 64, 1, false); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := db.RunDHT(Query{K: 1}, Protocol(99), 64, 1, false); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := db.RunDHT(Query{K: 1}, DistBPA2, 0, 1, false); err == nil {
+		t.Error("empty ring accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/bestpos"
+	"topk/internal/dist"
+	"topk/internal/list"
+)
+
+// Protocol selects a distributed top-k protocol for RunDistributed.
+type Protocol uint8
+
+const (
+	// DistBPA2 is the paper's Section 5 protocol: list owners manage
+	// their own best positions; the originator keeps only the answer set
+	// and m best-position scores. The default.
+	DistBPA2 Protocol = iota
+	// DistBPA ships seen positions to the query originator (the design
+	// the paper improves on in Section 5).
+	DistBPA
+	// DistTA is the Threshold Algorithm run over the network.
+	DistTA
+	// TPUT is the Three Phase Uniform Threshold baseline (Cao & Wang,
+	// PODC 2004); requires Sum scoring and non-negative scores.
+	TPUT
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case DistBPA2:
+		return "dist-bpa2"
+	case DistBPA:
+		return "dist-bpa"
+	case DistTA:
+		return "dist-ta"
+	case TPUT:
+		return "tput"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// Protocols lists the available distributed protocols.
+func Protocols() []Protocol { return []Protocol{DistBPA2, DistBPA, DistTA, TPUT} }
+
+// DistStats reports the simulated network profile of a distributed run.
+type DistStats struct {
+	// Messages counts point-to-point messages (a request/response
+	// exchange is two).
+	Messages int64
+	// Payload counts scalar values carried in responses.
+	Payload int64
+	// Rounds counts protocol rounds.
+	Rounds int
+	// TotalAccesses aggregates the list accesses owners performed.
+	TotalAccesses int64
+}
+
+// DistResult is a completed distributed query.
+type DistResult struct {
+	Protocol Protocol
+	Items    []ScoredItem
+	Stats    DistStats
+}
+
+// RunDistributed executes the query in the simulated distributed setting
+// of the paper: one owner node per list, a query originator, and message
+// accounting. The simulation is deterministic and in-process; Stats
+// reports what would travel over a real network.
+func (db *Database) RunDistributed(q Query, protocol Protocol) (*DistResult, error) {
+	if q.K < 1 || q.K > db.N() {
+		return nil, fmt.Errorf("topk: k=%d out of range [1,%d]", q.K, db.N())
+	}
+	scoring := q.Scoring
+	if scoring == nil {
+		scoring = Sum()
+	}
+	opts := dist.Options{
+		K:       q.K,
+		Scoring: adaptScoring(scoring),
+		Tracker: bestpos.Kind(q.Tracker),
+	}
+	var run func(*list.Database, dist.Options) (*dist.Result, error)
+	switch protocol {
+	case DistBPA2:
+		run = dist.BPA2
+	case DistBPA:
+		run = dist.BPA
+	case DistTA:
+		run = dist.TA
+	case TPUT:
+		run = dist.TPUT
+	default:
+		return nil, fmt.Errorf("topk: unknown protocol %d", uint8(protocol))
+	}
+	res, err := run(db.db, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &DistResult{Protocol: protocol}
+	out.Items = make([]ScoredItem, len(res.Items))
+	for i, it := range res.Items {
+		out.Items[i] = ScoredItem{Item: Item(it.Item), Name: db.NameOf(Item(it.Item)), Score: it.Score}
+	}
+	out.Stats = DistStats{
+		Messages:      res.Net.Messages,
+		Payload:       res.Net.Payload,
+		Rounds:        res.Net.Rounds,
+		TotalAccesses: res.Accesses.Total(),
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+// Package topk answers top-k queries over sorted lists, implementing the
+// Best Position Algorithms of Akbarinia, Pacitti and Valduriez ("Best
+// Position Algorithms for Top-k Queries", VLDB 2007) together with the
+// classic baselines they improve on.
+//
+// # Model
+//
+// A database is a set of m sorted lists over the same n data items: every
+// item appears in every list with a local score, and each list is sorted
+// by descending local score (Section 2 of the paper). A top-k query asks
+// for the k items whose overall score — a monotone function f of the m
+// local scores, typically their sum — is highest.
+//
+// # Algorithms
+//
+//   - Naive: full scan, O(m*n). Correctness baseline.
+//   - FA: Fagin's Algorithm. Scans until k items are seen in all lists.
+//   - TA: the Threshold Algorithm, stopping on the threshold computed
+//     from the last scores seen under sorted access.
+//   - BPA: the paper's Best Position Algorithm. Tracks the positions seen
+//     in each list and stops on the score at the "best position" (the
+//     deepest contiguously seen prefix). Never worse than TA, up to
+//     (m-1) times cheaper.
+//   - BPA2: the paper's optimized variant. Probes each list directly at
+//     its first unseen position, never touching a position twice, and
+//     keeps the position bookkeeping at the lists rather than the query
+//     coordinator. The default.
+//   - NRA / CA: the No-Random-Access and Combined algorithms of Fagin,
+//     Lotem and Naor — the rest of the design space the paper's
+//     algorithms live in. They guarantee the top-k item set but may
+//     report score bounds instead of exact scores (Result.Inexact).
+//
+// # Quick start
+//
+//	db, err := topk.FromColumns([][]float64{
+//	    {0.9, 0.3, 0.6},  // list 1: local scores of items 0, 1, 2
+//	    {0.2, 0.8, 0.7},  // list 2
+//	})
+//	if err != nil { ... }
+//	res, err := db.TopK(topk.Query{K: 2})
+//	if err != nil { ... }
+//	for _, it := range res.Items {
+//	    fmt.Println(it.Item, it.Score)
+//	}
+//
+// Result.Stats reports the paper's cost metrics (sorted/random/direct
+// access counts and the weighted execution cost) so the algorithms can be
+// compared on any workload. The distributed protocols of the paper's
+// Section 5, plus the TPUT baseline, are available through RunDistributed
+// with simulated message accounting.
+//
+// Beyond one-shot queries: Database.Progressive enumerates answers rank
+// by rank without fixing k; Query.Parallel executes TA/BPA/BPA2 with one
+// goroutine per list owner (identical answers and counts); Query.Sortable
+// handles sources that answer lookups but cannot be scanned (the TAz and
+// BPAz variants); NewMonitor maintains a continuous top-k over
+// sliding-window score streams with ranking-change detection; and
+// cmd/topk-serve exposes a database over an HTTP JSON API.
+package topk

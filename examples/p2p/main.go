@@ -1,0 +1,72 @@
+// P2P: the paper's future work (Section 8) — "we plan to develop
+// BPA-style algorithms for P2P systems, in particular for the popular
+// DHTs where top-k query support is challenging."
+//
+// This example stores each sorted list at a node of a simulated
+// Chord-style DHT and runs the distributed protocols from the query
+// originator, pricing traffic in overlay hops. Two lessons appear:
+// resolving list owners once and keeping direct connections ("cached")
+// makes hop cost track the protocol's message count, and BPA2's reduced
+// message count is what keeps the overlay cost down as the network
+// grows.
+//
+// Run with: go run ./examples/p2p
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topk"
+)
+
+func main() {
+	db, err := topk.Generate(topk.GenSpec{Kind: topk.GenUniform, N: 5_000, M: 5, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 10
+
+	fmt.Printf("database: n=%d items, m=%d lists stored in the DHT; top-%d query\n\n", db.N(), db.M(), k)
+
+	fmt.Println("overlay hops by ring size (cached connections):")
+	fmt.Printf("  %8s  %12s  %12s  %12s\n", "nodes", "dist-ta", "dist-bpa2", "tput")
+	for _, ringSize := range []int{64, 1024, 16384} {
+		var row [3]int64
+		for i, p := range []topk.Protocol{topk.DistTA, topk.DistBPA2, topk.TPUT} {
+			res, err := db.RunDHT(topk.Query{K: k}, p, ringSize, 1, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[i] = res.Hops
+		}
+		fmt.Printf("  %8d  %12d  %12d  %12d\n", ringSize, row[0], row[1], row[2])
+	}
+
+	fmt.Println("\ncached vs fully routed (dist-bpa2, 4096 nodes):")
+	for _, routed := range []bool{false, true} {
+		res, err := db.RunDHT(topk.Query{K: k}, topk.DistBPA2, 4096, 1, routed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "cached"
+		if routed {
+			mode = "routed"
+		}
+		fmt.Printf("  %-7s messages=%d hops=%d (lookup distances %v)\n",
+			mode, res.Messages, res.Hops, res.LookupHops)
+	}
+
+	res, err := db.RunDHT(topk.Query{K: k}, topk.DistBPA2, 1024, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-3 answers (of %d): ", len(res.Items))
+	for i, it := range res.Items[:3] {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("item %d (%.3f)", it.Item, it.Score)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,105 @@
+// Streams: continuous top-k monitoring over sliding windows — the
+// data-stream setting the paper cites among its motivating applications
+// (stream management systems, references [22] and [24]) combined with its
+// closing network-monitoring scenario.
+//
+// A fleet of edge monitors counts URL hits. Time advances in one-minute
+// buckets; the administrator's console keeps a continuous "top-k URLs of
+// the last five minutes" query. Every minute the monitor re-evaluates the
+// query with BPA2 over the current window aggregates and reports how the
+// ranking changed: a trending URL entering, a fading one leaving, ranks
+// shifting. Expired buckets fall out of the window, so a burst stops
+// dominating the ranking five minutes after it ends.
+//
+// Run with: go run ./examples/streams
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"topk"
+)
+
+const (
+	monitors  = 4  // edge locations counting URL hits
+	keepTop   = 5  // the administrator's k
+	windowLen = 5  // sliding window: last five 1-minute buckets
+	minutes   = 12 // simulated duration
+)
+
+func main() {
+	mon, err := topk.NewMonitor(topk.MonitorConfig{
+		Sources:       monitors,
+		K:             keepTop,
+		WindowBuckets: windowLen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	base := []string{"/home", "/search", "/login", "/api/v1/items", "/docs", "/about", "/pricing"}
+
+	fmt.Printf("continuous top-%d URLs, %d monitors, %d-minute sliding window\n",
+		keepTop, monitors, windowLen)
+
+	for minute := 1; minute <= minutes; minute++ {
+		feedTraffic(mon, rng, minute, base)
+
+		snap, err := mon.TopK()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nminute %2d — %d live URLs, %d list accesses\n",
+			minute, snap.Universe, snap.Accesses)
+		for i, e := range snap.Items {
+			fmt.Printf("  %d. %-16s %6.0f hits\n", i+1, e.Key, e.Score)
+		}
+		for _, c := range snap.Changes {
+			switch c.Kind {
+			case topk.ChangeEntered:
+				fmt.Printf("     ↑ %s entered at rank %d\n", c.Key, c.Rank)
+			case topk.ChangeLeft:
+				fmt.Printf("     ↓ %s left (was rank %d)\n", c.Key, c.PrevRank)
+			case topk.ChangeMoved:
+				fmt.Printf("     ~ %s moved %d → %d\n", c.Key, c.PrevRank, c.Rank)
+			}
+		}
+
+		mon.Advance() // the minute ends; the oldest bucket may expire
+	}
+
+	fmt.Println("\nthe /flashsale burst dominates minutes 4-8 and then ages out of")
+	fmt.Println("the window — a landmark (unwindowed) monitor would rank it forever.")
+}
+
+// feedTraffic synthesizes one minute of hits: steady base traffic with a
+// burst on /flashsale during minutes 4-6.
+func feedTraffic(mon *topk.Monitor, rng *rand.Rand, minute int, base []string) {
+	for _, m := range monitorRange() {
+		for i, url := range base {
+			// Steady traffic, heavier on the first URLs.
+			hits := float64(rng.Intn(20) + 40/(i+1))
+			must(mon.Observe(m, url, hits))
+		}
+		if minute >= 4 && minute <= 6 {
+			must(mon.Observe(m, "/flashsale", float64(300+rng.Intn(100))))
+		}
+	}
+}
+
+func monitorRange() []int {
+	out := make([]int, monitors)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package access implements the list access modes and the middleware cost
+// model of the paper (Section 2 and Section 6.1).
+//
+// Three access modes exist:
+//
+//   - sorted (sequential) access: read the next entry of a list in score
+//     order;
+//   - random access: look up the score (and, for BPA, the position) of a
+//     given item in a list;
+//   - direct access (Section 5.1): read the entry at a given position of a
+//     list, used by BPA2 to jump to the first unseen position.
+//
+// The execution cost of a run is as·cs + (ar+ad)·cr where as, ar, ad are
+// the numbers of sorted, random, and direct accesses. Following the
+// paper's evaluation setup, cs = 1 and cr = log2 n, and each direct access
+// is charged like a random access.
+package access
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode labels one of the three access modes.
+type Mode uint8
+
+const (
+	// SortedAccess reads the next entry of a list in score order.
+	SortedAccess Mode = iota
+	// RandomAccess looks up a given item in a list.
+	RandomAccess
+	// DirectAccess reads the entry at a given position (BPA2 only).
+	DirectAccess
+)
+
+// String returns the access-mode name.
+func (m Mode) String() string {
+	switch m {
+	case SortedAccess:
+		return "sorted"
+	case RandomAccess:
+		return "random"
+	case DirectAccess:
+		return "direct"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Counts tallies the accesses performed by one algorithm run.
+type Counts struct {
+	Sorted int64 // sequential accesses
+	Random int64 // item lookups
+	Direct int64 // positional reads (BPA2)
+}
+
+// Total returns the number of accesses of any mode — the paper's
+// "number of accesses" metric (Section 6.1, metric 2).
+func (c Counts) Total() int64 { return c.Sorted + c.Random + c.Direct }
+
+// Add returns the element-wise sum of two tallies.
+func (c Counts) Add(o Counts) Counts {
+	return Counts{
+		Sorted: c.Sorted + o.Sorted,
+		Random: c.Random + o.Random,
+		Direct: c.Direct + o.Direct,
+	}
+}
+
+// String formats the tally for logs and test failures.
+func (c Counts) String() string {
+	return fmt.Sprintf("sorted=%d random=%d direct=%d total=%d",
+		c.Sorted, c.Random, c.Direct, c.Total())
+}
+
+// CostModel prices each access mode. The paper's execution cost (the
+// "middleware cost" of Fagin et al.) is the weighted access count.
+type CostModel struct {
+	SortedCost float64 // cs
+	RandomCost float64 // cr
+	DirectCost float64 // cd; the paper charges direct like random
+}
+
+// DefaultCostModel returns the evaluation setup of Section 6.1 for a
+// database of n items: cs = 1 and cr = cd = log2 n.
+func DefaultCostModel(n int) CostModel {
+	if n < 2 {
+		return CostModel{SortedCost: 1, RandomCost: 1, DirectCost: 1}
+	}
+	lg := math.Log2(float64(n))
+	return CostModel{SortedCost: 1, RandomCost: lg, DirectCost: lg}
+}
+
+// Cost returns the execution cost of a tally under the model.
+func (m CostModel) Cost(c Counts) float64 {
+	return float64(c.Sorted)*m.SortedCost +
+		float64(c.Random)*m.RandomCost +
+		float64(c.Direct)*m.DirectCost
+}

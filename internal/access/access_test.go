@@ -1,0 +1,185 @@
+package access
+
+import (
+	"math"
+	"testing"
+
+	"topk/internal/list"
+)
+
+func testDB(t *testing.T) *list.Database {
+	t.Helper()
+	db, err := list.FromColumns([][]float64{
+		{10, 20, 30}, // list 0: item 2 first
+		{3, 2, 1},    // list 1: item 0 first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		SortedAccess: "sorted",
+		RandomAccess: "random",
+		DirectAccess: "direct",
+		Mode(42):     "Mode(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestCountsTotalAndAdd(t *testing.T) {
+	a := Counts{Sorted: 1, Random: 2, Direct: 3}
+	b := Counts{Sorted: 10, Random: 20, Direct: 30}
+	if got := a.Total(); got != 6 {
+		t.Errorf("Total = %d, want 6", got)
+	}
+	sum := a.Add(b)
+	if sum != (Counts{Sorted: 11, Random: 22, Direct: 33}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if s := a.String(); s == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestDefaultCostModel(t *testing.T) {
+	m := DefaultCostModel(1024)
+	if m.SortedCost != 1 {
+		t.Errorf("cs = %v, want 1", m.SortedCost)
+	}
+	if m.RandomCost != 10 || m.DirectCost != 10 {
+		t.Errorf("cr = %v, cd = %v, want 10 (log2 1024)", m.RandomCost, m.DirectCost)
+	}
+	// Degenerate sizes fall back to unit costs.
+	small := DefaultCostModel(1)
+	if small.RandomCost != 1 {
+		t.Errorf("cr for n=1 is %v, want 1", small.RandomCost)
+	}
+}
+
+func TestCostComputation(t *testing.T) {
+	m := CostModel{SortedCost: 1, RandomCost: 17, DirectCost: 5}
+	c := Counts{Sorted: 10, Random: 2, Direct: 3}
+	want := 10.0 + 2*17 + 3*5
+	if got := m.Cost(c); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestProbeCharging(t *testing.T) {
+	db := testDB(t)
+	pr := NewProbe(db)
+	if pr.DB() != db {
+		t.Fatal("DB() mismatch")
+	}
+
+	e := pr.Sorted(0, 1)
+	if e.Item != 2 || e.Score != 30 {
+		t.Errorf("Sorted(0,1) = %+v, want item 2 score 30", e)
+	}
+	s, pos := pr.Random(1, 2)
+	if s != 1 || pos != 3 {
+		t.Errorf("Random(1,2) = (%v,%d), want (1,3)", s, pos)
+	}
+	e = pr.Direct(1, 1)
+	if e.Item != 0 || e.Score != 3 {
+		t.Errorf("Direct(1,1) = %+v, want item 0 score 3", e)
+	}
+
+	want := Counts{Sorted: 1, Random: 1, Direct: 1}
+	if got := pr.Counts(); got != want {
+		t.Errorf("Counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestAuditedProbe(t *testing.T) {
+	db := testDB(t)
+	pr := NewAuditedProbe(db)
+	pr.Sorted(0, 1)
+	pr.Direct(0, 1)
+	pr.Random(0, 2) // item 2 is at position 1 of list 0
+	pr.Sorted(1, 2)
+
+	if got := pr.PositionAccesses(0, 1); got != 3 {
+		t.Errorf("position 1 of list 0 accessed %d times, want 3", got)
+	}
+	if got := pr.PositionAccesses(1, 2); got != 1 {
+		t.Errorf("position 2 of list 1 accessed %d times, want 1", got)
+	}
+	if got := pr.MaxPositionAccesses(); got != 3 {
+		t.Errorf("MaxPositionAccesses = %d, want 3", got)
+	}
+	if err := pr.AssertSingleAccess(); err == nil {
+		t.Error("AssertSingleAccess should fail after a triple access")
+	}
+}
+
+func TestAuditedProbeSingleAccessOK(t *testing.T) {
+	db := testDB(t)
+	pr := NewAuditedProbe(db)
+	pr.Sorted(0, 1)
+	pr.Sorted(1, 1)
+	if err := pr.AssertSingleAccess(); err != nil {
+		t.Errorf("AssertSingleAccess: %v", err)
+	}
+	if got := pr.MaxPositionAccesses(); got != 1 {
+		t.Errorf("MaxPositionAccesses = %d, want 1", got)
+	}
+}
+
+func TestProbeTrace(t *testing.T) {
+	db := testDB(t)
+	pr := NewProbe(db)
+	if got := pr.Trace(); len(got) != 0 {
+		t.Fatalf("trace before enabling = %v", got)
+	}
+	pr.EnableTrace()
+	pr.Sorted(0, 1) // item 2 at position 1 of list 0
+	pr.Random(1, 2) // item 2 at position 3 of list 1
+	pr.Direct(1, 1) // item 0 at position 1 of list 1
+	pr.Sorted(0, 2) // item 1 at position 2 of list 0
+	want := []Record{
+		{Mode: SortedAccess, List: 0, Pos: 1, Item: 2},
+		{Mode: RandomAccess, List: 1, Pos: 3, Item: 2},
+		{Mode: DirectAccess, List: 1, Pos: 1, Item: 0},
+		{Mode: SortedAccess, List: 0, Pos: 2, Item: 1},
+	}
+	got := pr.Trace()
+	if len(got) != len(want) {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("trace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Trace returns a copy.
+	got[0].Pos = 99
+	if pr.Trace()[0].Pos == 99 {
+		t.Error("Trace leaked internal storage")
+	}
+}
+
+func TestUnauditedProbeAuditPanics(t *testing.T) {
+	pr := NewProbe(testDB(t))
+	for name, fn := range map[string]func(){
+		"PositionAccesses":    func() { pr.PositionAccesses(0, 1) },
+		"MaxPositionAccesses": func() { pr.MaxPositionAccesses() },
+		"AssertSingleAccess":  func() { _ = pr.AssertSingleAccess() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on unaudited probe", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,90 @@
+// Package bestpos manages the "best position" of a sorted list, the core
+// bookkeeping of BPA and BPA2 (paper Sections 4, 5.2).
+//
+// During query execution some set P of positions of a list has been seen
+// (under sorted, random, or direct access). The best position bp is the
+// greatest position such that every position in [1, bp] is in P — best
+// because the algorithm is certain nothing above it is unseen. The paper
+// proposes two implementations, a bit array (Section 5.2.1) and a B+tree
+// with a linked-leaf cursor (Section 5.2.2); both are implemented here,
+// together with a deliberately naive sorted-set baseline used as an
+// ablation and as a test oracle.
+package bestpos
+
+import "fmt"
+
+// Tracker records seen positions of one list and maintains the best
+// position. Positions are 1-based. Implementations are not safe for
+// concurrent use; each list owner has exactly one tracker per query.
+type Tracker interface {
+	// MarkSeen records that position p was accessed. Idempotent.
+	MarkSeen(p int)
+	// Best returns the current best position (0 if position 1 is unseen).
+	Best() int
+	// Seen reports whether position p has been recorded.
+	Seen(p int) bool
+	// Count returns the number of distinct positions recorded.
+	Count() int
+}
+
+// Kind selects a Tracker implementation.
+type Kind uint8
+
+const (
+	// BitArrayKind is the bit-array approach of Section 5.2.1:
+	// O(n) bits, O(n/u) amortized time per access over u accesses.
+	BitArrayKind Kind = iota
+	// BPlusTreeKind is the B+tree approach of Section 5.2.2:
+	// O(u) space, O(log u) amortized time per access.
+	BPlusTreeKind
+	// SortedSetKind is the naive approach dismissed in Section 5.2:
+	// a scan of the seen set, O(u^2) total. Oracle/ablation only.
+	SortedSetKind
+	// IntervalKind is a run-length tracker (not in the paper): maximal
+	// seen runs in endpoint hash maps, O(1) amortized per access, O(u)
+	// space. Ablation point for the Section 5.2 trade-off.
+	IntervalKind
+)
+
+// String returns the tracker-kind name used in experiment tables.
+func (k Kind) String() string {
+	switch k {
+	case BitArrayKind:
+		return "bitarray"
+	case BPlusTreeKind:
+		return "b+tree"
+	case SortedSetKind:
+		return "sortedset"
+	case IntervalKind:
+		return "interval"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// New returns a tracker of the given kind for a list of n positions.
+func New(kind Kind, n int) Tracker {
+	switch kind {
+	case BitArrayKind:
+		return NewBitArray(n)
+	case BPlusTreeKind:
+		return NewBPlusTree(n)
+	case SortedSetKind:
+		return NewSortedSet(n)
+	case IntervalKind:
+		return NewInterval(n)
+	default:
+		panic(fmt.Sprintf("bestpos: unknown tracker kind %d", kind))
+	}
+}
+
+// Kinds lists all implementations, for tests and ablation benchmarks.
+func Kinds() []Kind {
+	return []Kind{BitArrayKind, BPlusTreeKind, SortedSetKind, IntervalKind}
+}
+
+func checkPos(p, n int) {
+	if p < 1 || p > n {
+		panic(fmt.Sprintf("bestpos: position %d out of range [1,%d]", p, n))
+	}
+}

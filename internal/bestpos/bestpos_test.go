@@ -1,0 +1,234 @@
+package bestpos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		BitArrayKind:  "bitarray",
+		BPlusTreeKind: "b+tree",
+		SortedSetKind: "sortedset",
+		IntervalKind:  "interval",
+		Kind(9):       "Kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with unknown kind did not panic")
+		}
+	}()
+	New(Kind(99), 10)
+}
+
+// paperSequence replays the Figure 1 / Example 3 seen-position sequence
+// for list L1 and checks the best-position evolution the paper walks
+// through: {1,4,9} -> bp 1, +{2,7,8} -> bp 2, +{3,5,6} -> bp 9.
+func TestPaperSequence(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tr := New(kind, 14)
+			steps := []struct {
+				marks []int
+				want  int
+			}{
+				{[]int{1, 4, 9}, 1},
+				{[]int{2, 7, 8}, 2},
+				{[]int{3, 5, 6}, 9},
+			}
+			for _, s := range steps {
+				for _, p := range s.marks {
+					tr.MarkSeen(p)
+				}
+				if got := tr.Best(); got != s.want {
+					t.Fatalf("after %v: Best = %d, want %d", s.marks, got, s.want)
+				}
+			}
+			if tr.Count() != 9 {
+				t.Errorf("Count = %d, want 9", tr.Count())
+			}
+		})
+	}
+}
+
+func TestIdempotentMarks(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tr := New(kind, 5)
+			tr.MarkSeen(1)
+			tr.MarkSeen(1)
+			tr.MarkSeen(1)
+			if tr.Count() != 1 {
+				t.Errorf("Count = %d, want 1", tr.Count())
+			}
+			if tr.Best() != 1 {
+				t.Errorf("Best = %d, want 1", tr.Best())
+			}
+			if !tr.Seen(1) || tr.Seen(2) {
+				t.Error("Seen wrong")
+			}
+		})
+	}
+}
+
+func TestFreshTracker(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tr := New(kind, 10)
+			if tr.Best() != 0 {
+				t.Errorf("fresh Best = %d, want 0", tr.Best())
+			}
+			if tr.Count() != 0 {
+				t.Errorf("fresh Count = %d, want 0", tr.Count())
+			}
+			// Position 1 unseen: marking only deeper positions keeps bp 0.
+			tr.MarkSeen(5)
+			tr.MarkSeen(2)
+			if tr.Best() != 0 {
+				t.Errorf("Best = %d with position 1 unseen, want 0", tr.Best())
+			}
+		})
+	}
+}
+
+func TestFullPrefix(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			n := 64 + 7 // crosses a word boundary in the bit array
+			tr := New(kind, n)
+			for p := n; p >= 1; p-- {
+				tr.MarkSeen(p)
+			}
+			if got := tr.Best(); got != n {
+				t.Errorf("Best = %d, want %d", got, n)
+			}
+		})
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	for _, kind := range Kinds() {
+		tr := New(kind, -5)
+		if tr.Best() != 0 || tr.Count() != 0 {
+			t.Errorf("%v: negative-size tracker not empty", kind)
+		}
+		// Any mark must panic: there are no valid positions.
+		func() {
+			defer func() { recover() }()
+			tr.MarkSeen(1)
+			t.Errorf("%v: MarkSeen(1) on empty tracker did not panic", kind)
+		}()
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			tr := New(kind, 4)
+			for _, p := range []int{0, -1, 5} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Errorf("MarkSeen(%d) did not panic", p)
+						}
+					}()
+					tr.MarkSeen(p)
+				}()
+			}
+		})
+	}
+}
+
+// TestPropertyImplementationsAgree drives the three tracker
+// implementations with identical random mark sequences and demands
+// identical observable state after every step. The naive sorted set is
+// the specification; bit array and B+tree must match it exactly.
+func TestPropertyImplementationsAgree(t *testing.T) {
+	prop := func(seed int64, nRaw uint8, opsRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%150
+		ops := 1 + int(opsRaw)%400
+		trackers := make([]Tracker, 0, len(Kinds()))
+		var spec Tracker
+		for _, kind := range Kinds() {
+			tr := New(kind, n)
+			trackers = append(trackers, tr)
+			if kind == SortedSetKind {
+				spec = tr // the naive sorted set is the specification
+			}
+		}
+		for i := 0; i < ops; i++ {
+			p := 1 + rng.Intn(n)
+			for _, tr := range trackers {
+				tr.MarkSeen(p)
+			}
+			for _, tr := range trackers {
+				if tr.Best() != spec.Best() {
+					t.Logf("Best mismatch after marking %d: %T=%d spec=%d", p, tr, tr.Best(), spec.Best())
+					return false
+				}
+				if tr.Count() != spec.Count() {
+					t.Logf("Count mismatch: %T=%d spec=%d", tr, tr.Count(), spec.Count())
+					return false
+				}
+				if tr.Seen(p) != spec.Seen(p) {
+					return false
+				}
+			}
+		}
+		// Spot-check Seen across the whole range at the end.
+		for p := 1; p <= n; p++ {
+			for _, tr := range trackers {
+				if tr.Seen(p) != spec.Seen(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBestIsContiguousPrefix: for any mark sequence, Best() is
+// exactly the length of the contiguous seen prefix.
+func TestPropertyBestIsContiguousPrefix(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%100
+		marked := make([]bool, n+1)
+		for _, kind := range Kinds() {
+			tr := New(kind, n)
+			for i := 0; i < n*2; i++ {
+				p := 1 + rng.Intn(n)
+				tr.MarkSeen(p)
+				marked[p] = true
+				want := 0
+				for q := 1; q <= n && marked[q]; q++ {
+					want = q
+				}
+				if tr.Best() != want {
+					t.Logf("%v: Best = %d, want %d", kind, tr.Best(), want)
+					return false
+				}
+			}
+			for i := range marked {
+				marked[i] = false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

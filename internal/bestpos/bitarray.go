@@ -1,0 +1,52 @@
+package bestpos
+
+// BitArray is the Section 5.2.1 tracker: one bit per list position plus a
+// best-position variable that is only ever advanced. Determining the best
+// positions over a whole query costs O(n) total, i.e. O(n/u) amortized per
+// access; space is n bits.
+type BitArray struct {
+	bits  []uint64
+	n     int
+	bp    int
+	count int
+}
+
+// NewBitArray returns a bit-array tracker for a list of n positions.
+func NewBitArray(n int) *BitArray {
+	if n < 0 {
+		n = 0
+	}
+	return &BitArray{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// MarkSeen implements Tracker.
+func (b *BitArray) MarkSeen(p int) {
+	checkPos(p, b.n)
+	w, m := uint(p-1)/64, uint64(1)<<(uint(p-1)%64)
+	if b.bits[w]&m != 0 {
+		return
+	}
+	b.bits[w] |= m
+	b.count++
+	// Advance bp over the newly contiguous prefix (paper's while loop).
+	for b.bp < b.n && b.seen(b.bp+1) {
+		b.bp++
+	}
+}
+
+func (b *BitArray) seen(p int) bool {
+	w, m := uint(p-1)/64, uint64(1)<<(uint(p-1)%64)
+	return b.bits[w]&m != 0
+}
+
+// Best implements Tracker.
+func (b *BitArray) Best() int { return b.bp }
+
+// Seen implements Tracker.
+func (b *BitArray) Seen(p int) bool {
+	checkPos(p, b.n)
+	return b.seen(p)
+}
+
+// Count implements Tracker.
+func (b *BitArray) Count() int { return b.count }

@@ -1,0 +1,54 @@
+package bestpos
+
+import "topk/internal/btree"
+
+// BPlusTree is the Section 5.2.2 tracker: seen positions live in a B+tree
+// whose leaves are chained, and a cursor advances along the chain to track
+// the best position. Space is O(u) for u seen positions; storing a
+// position and updating the best position costs O(log u) amortized.
+//
+// Preferable to the bit array when the list is much larger than the number
+// of accesses (paper: when n >= c * u * log u).
+type BPlusTree struct {
+	tree *btree.Tree
+	n    int
+	bp   int
+}
+
+// NewBPlusTree returns a B+tree tracker for a list of n positions.
+func NewBPlusTree(n int) *BPlusTree {
+	if n < 0 {
+		n = 0
+	}
+	return &BPlusTree{tree: btree.New(0), n: n}
+}
+
+// MarkSeen implements Tracker.
+func (b *BPlusTree) MarkSeen(p int) {
+	checkPos(p, b.n)
+	if !b.tree.Insert(p) {
+		return
+	}
+	if p != b.bp+1 {
+		return
+	}
+	// Walk the leaf chain from the new position while the next stored
+	// position is consecutive — the paper's bp := bp.next loop.
+	it := b.tree.SeekGE(p)
+	for it.Valid() && it.Key() == b.bp+1 {
+		b.bp++
+		it.Next()
+	}
+}
+
+// Best implements Tracker.
+func (b *BPlusTree) Best() int { return b.bp }
+
+// Seen implements Tracker.
+func (b *BPlusTree) Seen(p int) bool {
+	checkPos(p, b.n)
+	return b.tree.Contains(p)
+}
+
+// Count implements Tracker.
+func (b *BPlusTree) Count() int { return b.tree.Len() }

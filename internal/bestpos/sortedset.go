@@ -1,0 +1,55 @@
+package bestpos
+
+import "sort"
+
+// SortedSet is the naive method the paper dismisses in Section 5.2:
+// maintain the seen positions in a sorted slice and rescan to find the
+// best position. Total cost O(u^2) over u accesses. It is kept as a test
+// oracle and as the baseline of the tracker ablation benchmark.
+type SortedSet struct {
+	seen []int
+	n    int
+}
+
+// NewSortedSet returns a naive tracker for a list of n positions.
+func NewSortedSet(n int) *SortedSet {
+	if n < 0 {
+		n = 0
+	}
+	return &SortedSet{n: n}
+}
+
+// MarkSeen implements Tracker.
+func (s *SortedSet) MarkSeen(p int) {
+	checkPos(p, s.n)
+	i := sort.SearchInts(s.seen, p)
+	if i < len(s.seen) && s.seen[i] == p {
+		return
+	}
+	s.seen = append(s.seen, 0)
+	copy(s.seen[i+1:], s.seen[i:])
+	s.seen[i] = p
+}
+
+// Best implements Tracker. It rescans the set: the best position is the
+// length of the longest prefix 1,2,3,... present in the sorted slice.
+func (s *SortedSet) Best() int {
+	bp := 0
+	for i, p := range s.seen {
+		if p != i+1 {
+			break
+		}
+		bp = p
+	}
+	return bp
+}
+
+// Seen implements Tracker.
+func (s *SortedSet) Seen(p int) bool {
+	checkPos(p, s.n)
+	i := sort.SearchInts(s.seen, p)
+	return i < len(s.seen) && s.seen[i] == p
+}
+
+// Count implements Tracker.
+func (s *SortedSet) Count() int { return len(s.seen) }

@@ -1,0 +1,67 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper's Section 5.2.2 analysis: inserting u seen positions and
+// advancing the best position costs O(log u) amortized per access with a
+// B+tree. These micro-benchmarks back the tracker ablation.
+
+func benchKeys(n int) []int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Perm(n)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys := benchKeys(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := New(32)
+		for _, k := range keys {
+			tr.Insert(k)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	keys := benchKeys(4096)
+	tr := New(32)
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Contains(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkSeekGEAndWalk(b *testing.B) {
+	keys := benchKeys(4096)
+	tr := New(32)
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.SeekGE(i % len(keys))
+		for j := 0; j < 8 && it.Valid(); j++ {
+			it.Next()
+		}
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	keys := benchKeys(2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := New(32)
+		for _, k := range keys {
+			tr.Insert(k)
+		}
+		for _, k := range keys {
+			tr.Delete(k)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package btree implements an in-memory B+tree over int keys.
+//
+// The paper (Section 5.2.2) uses a B+tree at every list owner to store the
+// seen positions of a list: all keys live in the leaves, the leaves form a
+// linked list, and a cursor over that linked list advances the best
+// position in amortized constant time per access. This package is the
+// general-purpose substrate; package bestpos builds the tracker on top.
+//
+// Keys are unique; Insert reports whether the key was newly added.
+// The zero value of Tree is an empty tree with the default order.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the fan-out used when New is called with order <= 0 and
+// by the zero-value Tree.
+const DefaultOrder = 32
+
+// Tree is a B+tree over int keys. Not safe for concurrent mutation.
+type Tree struct {
+	root  *node
+	order int // maximum number of children of an internal node
+	size  int
+}
+
+type node struct {
+	leaf     bool
+	keys     []int
+	children []*node // internal nodes only; len(children) == len(keys)+1
+	next     *node   // leaf nodes only; linked list in key order
+}
+
+// New returns an empty tree. order is the maximum fan-out (number of
+// children) of internal nodes; values below 3 fall back to DefaultOrder.
+func New(order int) *Tree {
+	if order < 3 {
+		order = DefaultOrder
+	}
+	return &Tree{order: order}
+}
+
+func (t *Tree) init() {
+	if t.order < 3 {
+		t.order = DefaultOrder
+	}
+	if t.root == nil {
+		t.root = &node{leaf: true}
+	}
+}
+
+// maxKeys is the largest number of keys any node may hold.
+func (t *Tree) maxKeys() int { return t.order - 1 }
+
+// minKeys is the smallest number of keys a non-root node may hold.
+func (t *Tree) minKeys() int { return (t.order - 1) / 2 }
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key int) bool {
+	if t.root == nil {
+		return false
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchInts(n.keys, key)
+	return i < len(n.keys) && n.keys[i] == key
+}
+
+// childIndex returns the index of the child subtree that may contain key.
+// Separator keys equal the minimum key of their right subtree, so the
+// child index is the number of separators <= key.
+func childIndex(keys []int, key int) int {
+	return sort.SearchInts(keys, key+1)
+}
+
+// Insert adds key and reports whether it was not already present.
+func (t *Tree) Insert(key int) bool {
+	t.init()
+	sep, right, added := t.insert(t.root, key)
+	if right != nil {
+		t.root = &node{
+			keys:     []int{sep},
+			children: []*node{t.root, right},
+		}
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// insert adds key under n. If n overflows it splits; the returned sep and
+// right describe the new sibling to be linked by the caller.
+func (t *Tree) insert(n *node, key int) (sep int, right *node, added bool) {
+	if n.leaf {
+		i := sort.SearchInts(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return 0, nil, false
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		if len(n.keys) > t.maxKeys() {
+			sep, right = t.splitLeaf(n)
+			return sep, right, true
+		}
+		return 0, nil, true
+	}
+
+	ci := childIndex(n.keys, key)
+	csep, cright, cadded := t.insert(n.children[ci], key)
+	if cright != nil {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = csep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = cright
+		if len(n.keys) > t.maxKeys() {
+			sep, right = t.splitInternal(n)
+			return sep, right, cadded
+		}
+	}
+	return 0, nil, cadded
+}
+
+// splitLeaf moves the upper half of a leaf into a new sibling and returns
+// the separator (the sibling's first key).
+func (t *Tree) splitLeaf(n *node) (sep int, right *node) {
+	mid := len(n.keys) / 2
+	right = &node{leaf: true, next: n.next}
+	right.keys = append(right.keys, n.keys[mid:]...)
+	n.keys = n.keys[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+// splitInternal promotes the middle key of an internal node and moves the
+// upper half into a new sibling.
+func (t *Tree) splitInternal(n *node) (sep int, right *node) {
+	mid := len(n.keys) / 2
+	sep = n.keys[mid]
+	right = &node{}
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key int) bool {
+	if t.root == nil || t.size == 0 {
+		return false
+	}
+	deleted := t.delete(t.root, key)
+	if deleted {
+		t.size--
+	}
+	// Shrink the tree if the root is an internal node with one child.
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	return deleted
+}
+
+// delete removes key from the subtree rooted at n. Underflow of children
+// is repaired here (in the parent), where siblings are reachable.
+func (t *Tree) delete(n *node, key int) bool {
+	if n.leaf {
+		i := sort.SearchInts(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		return true
+	}
+
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	deleted := t.delete(child, key)
+	if deleted && len(child.keys) < t.minKeys() {
+		t.rebalance(n, ci)
+	}
+	return deleted
+}
+
+// rebalance repairs an underflowing child n.children[ci] by borrowing from
+// a sibling when possible and merging otherwise.
+func (t *Tree) rebalance(n *node, ci int) {
+	child := n.children[ci]
+
+	// Borrow from the left sibling.
+	if ci > 0 {
+		left := n.children[ci-1]
+		if len(left.keys) > t.minKeys() {
+			if child.leaf {
+				k := left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				child.keys = append([]int{k}, child.keys...)
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				// Rotate through the separator.
+				child.keys = append([]int{n.keys[ci-1]}, child.keys...)
+				n.keys[ci-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+				left.children = left.children[:len(left.children)-1]
+			}
+			return
+		}
+	}
+
+	// Borrow from the right sibling.
+	if ci < len(n.children)-1 {
+		right := n.children[ci+1]
+		if len(right.keys) > t.minKeys() {
+			if child.leaf {
+				k := right.keys[0]
+				right.keys = right.keys[1:]
+				child.keys = append(child.keys, k)
+				n.keys[ci] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				n.keys[ci] = right.keys[0]
+				right.keys = right.keys[1:]
+				child.children = append(child.children, right.children[0])
+				right.children = right.children[1:]
+			}
+			return
+		}
+	}
+
+	// Merge with a sibling. Prefer merging child into its left sibling so
+	// leaf next-pointers stay simple.
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+// merge folds n.children[i+1] into n.children[i] and removes separator i.
+func (t *Tree) merge(n *node, i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Min returns the smallest key; ok is false for an empty tree.
+func (t *Tree) Min() (key int, ok bool) {
+	if t.root == nil || t.size == 0 {
+		return 0, false
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0], true
+}
+
+// Max returns the largest key; ok is false for an empty tree.
+func (t *Tree) Max() (key int, ok bool) {
+	if t.root == nil || t.size == 0 {
+		return 0, false
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], true
+}
+
+// Height returns the number of levels (0 for an empty tree, 1 for a
+// root-only leaf).
+func (t *Tree) Height() int {
+	if t.root == nil {
+		return 0
+	}
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Iterator walks leaf keys in ascending order via the leaf links.
+type Iterator struct {
+	leaf *node
+	idx  int
+}
+
+// SeekGE returns an iterator positioned at the smallest key >= key.
+func (t *Tree) SeekGE(key int) Iterator {
+	if t.root == nil || t.size == 0 {
+		return Iterator{}
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchInts(n.keys, key)
+	it := Iterator{leaf: n, idx: i}
+	it.skipExhausted()
+	return it
+}
+
+// SeekFirst returns an iterator at the smallest key.
+func (t *Tree) SeekFirst() Iterator {
+	if t.root == nil || t.size == 0 {
+		return Iterator{}
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	it := Iterator{leaf: n, idx: 0}
+	it.skipExhausted()
+	return it
+}
+
+// Valid reports whether the iterator points at a key.
+func (it *Iterator) Valid() bool {
+	return it.leaf != nil && it.idx < len(it.leaf.keys)
+}
+
+// Key returns the current key. It panics on an invalid iterator.
+func (it *Iterator) Key() int {
+	if !it.Valid() {
+		panic("btree: Key on invalid iterator")
+	}
+	return it.leaf.keys[it.idx]
+}
+
+// Next advances to the following key.
+func (it *Iterator) Next() {
+	if it.leaf == nil {
+		return
+	}
+	it.idx++
+	it.skipExhausted()
+}
+
+func (it *Iterator) skipExhausted() {
+	for it.leaf != nil && it.idx >= len(it.leaf.keys) {
+		it.leaf = it.leaf.next
+		it.idx = 0
+	}
+}
+
+// Ascend calls fn for every key in ascending order until fn returns false.
+func (t *Tree) Ascend(fn func(key int) bool) {
+	for it := t.SeekFirst(); it.Valid(); it.Next() {
+		if !fn(it.Key()) {
+			return
+		}
+	}
+}
+
+// Keys returns every key in ascending order. Intended for tests.
+func (t *Tree) Keys() []int {
+	out := make([]int, 0, t.size)
+	t.Ascend(func(k int) bool { out = append(out, k); return true })
+	return out
+}
+
+// String summarizes the tree shape for debugging.
+func (t *Tree) String() string {
+	return fmt.Sprintf("btree(order=%d size=%d height=%d)", t.order, t.size, t.Height())
+}

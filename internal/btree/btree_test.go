@@ -1,0 +1,336 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("zero tree not empty")
+	}
+	if tr.Contains(1) {
+		t.Fatal("zero tree contains a key")
+	}
+	if !tr.Insert(1) {
+		t.Fatal("insert into zero tree failed")
+	}
+	if !tr.Contains(1) || tr.Len() != 1 {
+		t.Fatal("zero tree after insert wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDuplicates(t *testing.T) {
+	tr := New(4)
+	if !tr.Insert(7) {
+		t.Error("first insert returned false")
+	}
+	if tr.Insert(7) {
+		t.Error("duplicate insert returned true")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestInsertAscendingDescending(t *testing.T) {
+	for name, order := range map[string][]int{
+		"ascending":  ascending(200),
+		"descending": descending(200),
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := New(4) // tiny order to force deep trees
+			for _, k := range order {
+				if !tr.Insert(k) {
+					t.Fatalf("insert %d failed", k)
+				}
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("after insert %d: %v", k, err)
+				}
+			}
+			if tr.Len() != 200 {
+				t.Fatalf("Len = %d, want 200", tr.Len())
+			}
+			keys := tr.Keys()
+			if !sort.IntsAreSorted(keys) || len(keys) != 200 {
+				t.Fatal("Keys not sorted or wrong length")
+			}
+			if min, _ := tr.Min(); min != keys[0] {
+				t.Errorf("Min = %d, want %d", min, keys[0])
+			}
+			if max, _ := tr.Max(); max != keys[len(keys)-1] {
+				t.Errorf("Max = %d, want %d", max, keys[len(keys)-1])
+			}
+			if tr.Height() < 3 {
+				t.Errorf("expected a deep tree at order 4, height %d", tr.Height())
+			}
+		})
+	}
+}
+
+func ascending(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func descending(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - i
+	}
+	return out
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	tr := New(8)
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty")
+	}
+	if tr.Delete(3) {
+		t.Error("Delete on empty returned true")
+	}
+	if it := tr.SeekGE(0); it.Valid() {
+		t.Error("SeekGE valid on empty")
+	}
+	if it := tr.SeekFirst(); it.Valid() {
+		t.Error("SeekFirst valid on empty")
+	}
+	if tr.Height() != 0 {
+		t.Errorf("Height = %d, want 0", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New(4)
+	const n = 300
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(k)
+	}
+	del := rand.New(rand.NewSource(2)).Perm(n)
+	for i, k := range del {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("double Delete(%d) = true", k)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after %d deletions: %v", i+1, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	tr := New(4)
+	for _, k := range []int{10, 20, 30, 40, 50} {
+		tr.Insert(k)
+	}
+	cases := []struct {
+		seek  int
+		want  int
+		valid bool
+	}{
+		{5, 10, true},
+		{10, 10, true},
+		{11, 20, true},
+		{50, 50, true},
+		{51, 0, false},
+	}
+	for _, c := range cases {
+		it := tr.SeekGE(c.seek)
+		if it.Valid() != c.valid {
+			t.Errorf("SeekGE(%d).Valid = %v, want %v", c.seek, it.Valid(), c.valid)
+			continue
+		}
+		if c.valid && it.Key() != c.want {
+			t.Errorf("SeekGE(%d) = %d, want %d", c.seek, it.Key(), c.want)
+		}
+	}
+}
+
+func TestIteratorTraversal(t *testing.T) {
+	tr := New(4)
+	want := []int{1, 3, 5, 7, 9, 11}
+	for _, k := range want {
+		tr.Insert(k)
+	}
+	var got []int
+	for it := tr.SeekFirst(); it.Valid(); it.Next() {
+		got = append(got, it.Key())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("traversed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("traversed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIteratorKeyPanicsWhenInvalid(t *testing.T) {
+	tr := New(4)
+	it := tr.SeekFirst()
+	defer func() {
+		if recover() == nil {
+			t.Error("Key on invalid iterator did not panic")
+		}
+	}()
+	it.Key()
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	count := 0
+	tr.Ascend(func(k int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("Ascend visited %d keys, want 10", count)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	tr := New(4)
+	tr.Insert(1)
+	if tr.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr := New(4)
+	for _, k := range []int{-5, -1, -100, 0, 3} {
+		tr.Insert(k)
+	}
+	want := []int{-100, -5, -1, 0, 3}
+	got := tr.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAgainstMap drives random insert/delete/contains operations
+// against a reference map and validates tree invariants throughout.
+func TestPropertyAgainstMap(t *testing.T) {
+	prop := func(seed int64, orderRaw uint8, opsRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 3 + int(orderRaw)%14
+		ops := 1 + int(opsRaw)%600
+		tr := New(order)
+		ref := map[int]bool{}
+		for i := 0; i < ops; i++ {
+			k := rng.Intn(100)
+			switch rng.Intn(3) {
+			case 0: // insert
+				want := !ref[k]
+				if got := tr.Insert(k); got != want {
+					t.Logf("Insert(%d) = %v, want %v", k, got, want)
+					return false
+				}
+				ref[k] = true
+			case 1: // delete
+				want := ref[k]
+				if got := tr.Delete(k); got != want {
+					t.Logf("Delete(%d) = %v, want %v", k, got, want)
+					return false
+				}
+				delete(ref, k)
+			default: // contains
+				if got := tr.Contains(k); got != ref[k] {
+					t.Logf("Contains(%d) = %v, want %v", k, got, ref[k])
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Logf("Len = %d, want %d", tr.Len(), len(ref))
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		keys := tr.Keys()
+		if len(keys) != len(ref) {
+			return false
+		}
+		for _, k := range keys {
+			if !ref[k] {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySeekGEMatchesSortedSlice compares SeekGE against binary
+// search over the reference sorted slice.
+func TestPropertySeekGEMatchesSortedSlice(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 120
+		tr := New(5)
+		ref := map[int]bool{}
+		for i := 0; i < n; i++ {
+			k := rng.Intn(200)
+			tr.Insert(k)
+			ref[k] = true
+		}
+		var sorted []int
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Ints(sorted)
+		for probe := -5; probe <= 205; probe += 1 + rng.Intn(7) {
+			it := tr.SeekGE(probe)
+			i := sort.SearchInts(sorted, probe)
+			if i == len(sorted) {
+				if it.Valid() {
+					t.Logf("SeekGE(%d) valid, want invalid", probe)
+					return false
+				}
+			} else {
+				if !it.Valid() || it.Key() != sorted[i] {
+					t.Logf("SeekGE(%d) wrong", probe)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

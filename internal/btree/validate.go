@@ -1,0 +1,106 @@
+package btree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks the structural invariants of the tree:
+//
+//   - keys strictly ascending within every node and across the key space
+//   - all leaves at the same depth
+//   - node occupancy within [minKeys, maxKeys] (root exempt)
+//   - separators bound their subtrees (left < sep <= right-subtree keys)
+//   - the leaf linked list enumerates exactly the stored keys in order
+//   - the stored size matches the leaf count
+//
+// It returns the first violation found, or nil.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("btree: nil root with size %d", t.size)
+		}
+		return nil
+	}
+	leafDepth := -1
+	var firstLeaf *node
+	count := 0
+
+	var walk func(n *node, depth, lo, hi int) error
+	walk = func(n *node, depth, lo, hi int) error {
+		if len(n.keys) > t.maxKeys() {
+			return fmt.Errorf("btree: node with %d keys exceeds max %d", len(n.keys), t.maxKeys())
+		}
+		if n != t.root && len(n.keys) < t.minKeys() {
+			return fmt.Errorf("btree: non-root node with %d keys below min %d", len(n.keys), t.minKeys())
+		}
+		for i, k := range n.keys {
+			if i > 0 && n.keys[i-1] >= k {
+				return fmt.Errorf("btree: keys not strictly ascending: %d then %d", n.keys[i-1], k)
+			}
+			if k < lo || k >= hi {
+				return fmt.Errorf("btree: key %d outside range [%d,%d)", k, lo, hi)
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+				firstLeaf = n
+			} else if depth != leafDepth {
+				return fmt.Errorf("btree: leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			count += len(n.keys)
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: internal node with %d keys but %d children", len(n.keys), len(n.children))
+		}
+		if n.next != nil {
+			return fmt.Errorf("btree: internal node has leaf link")
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, math.MinInt, math.MaxInt); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d keys in leaves", t.size, count)
+	}
+
+	// The leaf chain must enumerate the keys in ascending order and must
+	// start at the leftmost leaf.
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if n != firstLeaf {
+		return fmt.Errorf("btree: leftmost leaf is not the first leaf visited")
+	}
+	chained := 0
+	last := math.MinInt
+	for leaf := n; leaf != nil; leaf = leaf.next {
+		for _, k := range leaf.keys {
+			if k <= last {
+				return fmt.Errorf("btree: leaf chain not ascending: %d then %d", last, k)
+			}
+			last = k
+			chained++
+		}
+	}
+	if chained != t.size {
+		return fmt.Errorf("btree: leaf chain has %d keys, size is %d", chained, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package cli implements the command-line tools as testable functions.
+// Each command takes its argument vector and output writers and returns
+// a process exit code; the mains under cmd/ are one-line wrappers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"topk/internal/exp"
+)
+
+// Bench is the topk-bench entry point: it regenerates the paper's tables
+// and figures (see internal/exp for the registry).
+func Bench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topk-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expFlag  = fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		listFlag = fs.Bool("list", false, "list available experiments and exit")
+		scale    = fs.Float64("scale", 1.0, "scale factor applied to database sizes")
+		n        = fs.Int("n", 0, "items per list (default: paper's 100,000)")
+		k        = fs.Int("k", 0, "answers per query (default: paper's 20)")
+		m        = fs.Int("m", 0, "number of lists where fixed (default: paper's 8)")
+		trials   = fs.Int("trials", 0, "random databases averaged per point (default 3)")
+		seed     = fs.Int64("seed", 0, "base RNG seed (default 1)")
+		outDir   = fs.String("out", "", "also write each table as <out>/<id>.txt and <id>.csv")
+		csvOnly  = fs.Bool("csv", false, "print CSV instead of aligned text")
+		plot     = fs.Bool("plot", false, "also draw each table as an ASCII chart")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, e := range exp.Registry() {
+			fig := e.Figure
+			if fig == "" {
+				fig = "ablation"
+			}
+			fmt.Fprintf(stdout, "%-10s %-10s %s\n", e.ID, fig, e.Title)
+		}
+		return 0
+	}
+
+	cfg := exp.Config{
+		N: *n, K: *k, M: *m,
+		Trials: *trials, Seed: *seed, Scale: *scale,
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = exp.IDs()
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "topk-bench: create output directory: %v\n", err)
+			return 1
+		}
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := exp.ByID(id)
+		if !ok {
+			fmt.Fprintf(stderr, "topk-bench: unknown experiment %q (use -list)\n", id)
+			return 1
+		}
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "topk-bench: %s: %v\n", id, err)
+			return 1
+		}
+		if *csvOnly {
+			if err := tbl.RenderCSV(stdout); err != nil {
+				fmt.Fprintf(stderr, "topk-bench: %s: render: %v\n", id, err)
+				return 1
+			}
+		} else {
+			if err := tbl.Render(stdout); err != nil {
+				fmt.Fprintf(stderr, "topk-bench: %s: render: %v\n", id, err)
+				return 1
+			}
+			if *plot {
+				if err := tbl.RenderChart(stdout, 16); err != nil {
+					fmt.Fprintf(stderr, "topk-bench: %s: chart: %v\n", id, err)
+					return 1
+				}
+			}
+			fmt.Fprintf(stdout, "(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *outDir != "" {
+			if err := writeFile(filepath.Join(*outDir, id+".txt"), tbl.Render); err != nil {
+				fmt.Fprintf(stderr, "topk-bench: %s: %v\n", id, err)
+				return 1
+			}
+			if err := writeFile(filepath.Join(*outDir, id+".csv"), tbl.RenderCSV); err != nil {
+				fmt.Fprintf(stderr, "topk-bench: %s: %v\n", id, err)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func writeFile(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,235 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture invokes a CLI entry point and returns exit code, stdout and
+// stderr contents.
+func capture(t *testing.T, fn func(args []string, stdout, stderr *bytes.Buffer) int, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := fn(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func benchEntry(args []string, stdout, stderr *bytes.Buffer) int { return Bench(args, stdout, stderr) }
+func genEntry(args []string, stdout, stderr *bytes.Buffer) int   { return Gen(args, stdout, stderr) }
+func queryEntry(args []string, stdout, stderr *bytes.Buffer) int { return Query(args, stdout, stderr) }
+
+func TestBenchList(t *testing.T) {
+	code, out, _ := capture(t, benchEntry, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig3", "fig17", "example1", "trackers", "dht"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestBenchExample1(t *testing.T) {
+	code, out, errOut := capture(t, benchEntry, "-exp", "example1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	// The table reproduces the paper's Example 2/3 counts.
+	for _, want := range []string{"TA", "BPA2", "54", "27"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	code, _, errOut := capture(t, benchEntry, "-exp", "nope")
+	if code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(errOut, "unknown experiment") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	code, _, _ := capture(t, benchEntry, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestBenchOutDirAndPlot(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := capture(t, benchEntry,
+		"-exp", "example2", "-out", dir, "-plot")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("plot not rendered")
+	}
+	for _, f := range []string{"example2.txt", "example2.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestBenchCSVMode(t *testing.T) {
+	code, out, errOut := capture(t, benchEntry, "-exp", "table1", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.HasPrefix(out, "parameter,") {
+		t.Errorf("csv output = %q", out)
+	}
+}
+
+func TestGenAndQueryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.topk")
+	code, out, errOut := capture(t, genEntry,
+		"-kind", "uniform", "-n", "300", "-m", "3", "-o", dbPath)
+	if code != 0 {
+		t.Fatalf("gen exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "n=300 m=3") {
+		t.Errorf("gen output = %q", out)
+	}
+
+	code, out, errOut = capture(t, queryEntry, "-db", dbPath, "-k", "5")
+	if code != 0 {
+		t.Fatalf("query exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"top-5 by sum using BPA2", "accesses:", "execution cost="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Compare mode lists all five algorithms.
+	code, out, _ = capture(t, queryEntry, "-db", dbPath, "-k", "5", "-compare")
+	if code != 0 {
+		t.Fatalf("compare exit %d", code)
+	}
+	for _, alg := range []string{"BPA2", "BPA", "TA", "FA", "Naive"} {
+		if !strings.Contains(out, alg) {
+			t.Errorf("compare missing %s", alg)
+		}
+	}
+
+	// Distributed mode lists protocols.
+	code, out, _ = capture(t, queryEntry, "-db", dbPath, "-k", "5", "-dist")
+	if code != 0 {
+		t.Fatalf("dist exit %d", code)
+	}
+	for _, p := range []string{"dist-bpa2", "tput"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("dist missing %s", p)
+		}
+	}
+
+	// Explain mode prints a trace.
+	code, out, _ = capture(t, queryEntry, "-db", dbPath, "-k", "3", "-alg", "ta", "-explain")
+	if code != 0 {
+		t.Fatalf("explain exit %d", code)
+	}
+	if !strings.Contains(out, "execution trace") || !strings.Contains(out, "STOP") {
+		t.Errorf("explain output missing trace:\n%s", out)
+	}
+
+	// Weighted scoring.
+	code, out, _ = capture(t, queryEntry, "-db", dbPath, "-k", "2", "-scoring", "wsum", "-weights", "1,2,0")
+	if code != 0 {
+		t.Fatalf("wsum exit %d", code)
+	}
+	if !strings.Contains(out, "wsum(3)") {
+		t.Errorf("wsum output:\n%s", out)
+	}
+
+	// Approximation flag.
+	code, _, _ = capture(t, queryEntry, "-db", dbPath, "-k", "5", "-approx", "1.5")
+	if code != 0 {
+		t.Fatalf("approx exit %d", code)
+	}
+}
+
+func TestQueryAllAlgorithmFlags(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.topk")
+	if code, _, _ := capture(t, genEntry, "-n", "100", "-m", "3", "-o", dbPath); code != 0 {
+		t.Fatal("gen failed")
+	}
+	for _, alg := range []string{"bpa2", "bpa", "ta", "fa", "naive", "BPA"} {
+		code, out, errOut := capture(t, queryEntry, "-db", dbPath, "-k", "3", "-alg", alg)
+		if code != 0 {
+			t.Errorf("-alg %s: exit %d: %s", alg, code, errOut)
+		}
+		if !strings.Contains(out, "top-3") {
+			t.Errorf("-alg %s: output missing answers", alg)
+		}
+	}
+	for _, sc := range []string{"avg", "min", "max"} {
+		code, _, errOut := capture(t, queryEntry, "-db", dbPath, "-k", "3", "-scoring", sc)
+		if code != 0 {
+			t.Errorf("-scoring %s: exit %d: %s", sc, code, errOut)
+		}
+	}
+}
+
+func TestGenCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "db.csv")
+	code, _, errOut := capture(t, genEntry,
+		"-kind", "gaussian", "-n", "50", "-m", "2", "-csv", "-o", csvPath)
+	if code != 0 {
+		t.Fatalf("gen exit %d: %s", code, errOut)
+	}
+	code, out, errOut := capture(t, queryEntry, "-csv", csvPath, "-k", "3")
+	if code != 0 {
+		t.Fatalf("query exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "n=50, m=2") {
+		t.Errorf("query output = %q", out)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if code, _, _ := capture(t, genEntry); code == 0 {
+		t.Error("missing -o accepted")
+	}
+	if code, _, _ := capture(t, genEntry, "-kind", "zzz", "-o", "x"); code == 0 {
+		t.Error("unknown kind accepted")
+	}
+	if code, _, _ := capture(t, genEntry, "-kind", "correlated", "-alpha", "7", "-o", filepath.Join(t.TempDir(), "x")); code == 0 {
+		t.Error("bad alpha accepted")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.topk")
+	if code, _, _ := capture(t, genEntry, "-n", "20", "-m", "2", "-o", dbPath); code != 0 {
+		t.Fatal("gen failed")
+	}
+	cases := [][]string{
+		{},                                                     // no input
+		{"-db", dbPath, "-csv", "also.csv"},                    // both inputs
+		{"-db", filepath.Join(dir, "absent")},                  // missing file
+		{"-db", dbPath, "-alg", "zzz"},                         // unknown algorithm
+		{"-db", dbPath, "-scoring", "zzz"},                     // unknown scoring
+		{"-db", dbPath, "-scoring", "wsum"},                    // wsum without weights
+		{"-db", dbPath, "-k", "0"},                             // bad k
+		{"-db", dbPath, "-scoring", "wsum", "-weights", "1,x"}, // bad weight
+	}
+	for _, args := range cases {
+		if code, _, _ := capture(t, queryEntry, args...); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"topk"
+)
+
+// Gen is the topk-gen entry point: it generates a synthetic database
+// (paper Section 6.1 families) and writes it to a file.
+func Gen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topk-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kindFlag = fs.String("kind", "uniform", "database family: uniform, gaussian, correlated")
+		n        = fs.Int("n", 100_000, "items per list")
+		m        = fs.Int("m", 8, "number of lists")
+		alpha    = fs.Float64("alpha", 0.01, "correlation strength for -kind correlated (0 < alpha <= 1)")
+		theta    = fs.Float64("theta", 0, "Zipf exponent for correlated scores (0 = paper default 0.7)")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		out      = fs.String("o", "", "output path (required)")
+		asCSV    = fs.Bool("csv", false, "write CSV column form instead of binary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *out == "" {
+		fmt.Fprintln(stderr, "topk-gen: missing -o output path")
+		return 1
+	}
+	var kind topk.GenKind
+	switch *kindFlag {
+	case "uniform":
+		kind = topk.GenUniform
+	case "gaussian":
+		kind = topk.GenGaussian
+	case "correlated":
+		kind = topk.GenCorrelated
+	default:
+		fmt.Fprintf(stderr, "topk-gen: unknown -kind %q (uniform, gaussian, correlated)\n", *kindFlag)
+		return 1
+	}
+
+	db, err := topk.Generate(topk.GenSpec{
+		Kind: kind, N: *n, M: *m, Alpha: *alpha, Theta: *theta, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-gen: generate: %v\n", err)
+		return 1
+	}
+
+	if *asCSV {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "topk-gen: create: %v\n", err)
+			return 1
+		}
+		if err := db.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "topk-gen: write csv: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "topk-gen: close: %v\n", err)
+			return 1
+		}
+	} else {
+		if err := db.SaveFile(*out); err != nil {
+			fmt.Fprintf(stderr, "topk-gen: save: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %s database: n=%d m=%d -> %s\n", *kindFlag, db.N(), db.M(), *out)
+	return 0
+}

@@ -1,0 +1,160 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"topk"
+)
+
+// Query is the topk-query entry point: it runs a top-k query against a
+// database file and prints answers plus access statistics.
+func Query(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topk-query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dbPath   = fs.String("db", "", "binary database file (from topk-gen)")
+		csvPath  = fs.String("csv", "", "CSV database file (column form)")
+		k        = fs.Int("k", 10, "number of answers")
+		algFlag  = fs.String("alg", "bpa2", "algorithm: bpa2, bpa, ta, fa, naive, nra, ca")
+		scoring  = fs.String("scoring", "sum", "scoring function: sum, avg, min, max, wsum")
+		weights  = fs.String("weights", "", "comma-separated weights for -scoring wsum")
+		theta    = fs.Float64("approx", 0, "approximation factor θ >= 1 (0 = exact)")
+		par      = fs.Bool("parallel", false, "one goroutine per list owner (ta, bpa, bpa2)")
+		compare  = fs.Bool("compare", false, "run every algorithm and print a comparison")
+		distFlag = fs.Bool("dist", false, "run the distributed protocols and print message counts")
+		explain  = fs.Bool("explain", false, "print the round-by-round threshold walkthrough")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	db, err := loadDB(*dbPath, *csvPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	sc, err := buildScoring(*scoring, *weights)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+
+	if *compare {
+		fmt.Fprintf(stdout, "%-6s  %12s  %12s  %12s  %12s  %14s  %10s\n",
+			"alg", "sorted", "random", "direct", "total", "cost", "time")
+		for _, alg := range topk.Algorithms() {
+			res, err := db.TopK(topk.Query{K: *k, Algorithm: alg, Scoring: sc, Approximation: *theta})
+			if err != nil {
+				fmt.Fprintf(stderr, "topk-query: %v: %v\n", alg, err)
+				return 1
+			}
+			s := res.Stats
+			fmt.Fprintf(stdout, "%-6s  %12d  %12d  %12d  %12d  %14.0f  %10s\n",
+				alg, s.SortedAccesses, s.RandomAccesses, s.DirectAccesses,
+				s.TotalAccesses(), s.Cost, s.Duration.Round(1000))
+		}
+		return 0
+	}
+
+	if *distFlag {
+		fmt.Fprintf(stdout, "%-10s  %12s  %12s  %8s\n", "protocol", "messages", "payload", "rounds")
+		for _, p := range topk.Protocols() {
+			res, err := db.RunDistributed(topk.Query{K: *k, Scoring: sc}, p)
+			if err != nil {
+				fmt.Fprintf(stdout, "%-10s  skipped: %v\n", p, err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-10s  %12d  %12d  %8d\n", p, res.Stats.Messages, res.Stats.Payload, res.Stats.Rounds)
+		}
+		return 0
+	}
+
+	alg, err := parseAlg(*algFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	q := topk.Query{K: *k, Algorithm: alg, Scoring: sc, Approximation: *theta, Parallel: *par}
+	var res *topk.Result
+	if *explain {
+		res, err = db.Explain(q, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "topk-query: query: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
+	} else {
+		res, err = db.TopK(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "topk-query: query: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "top-%d by %s using %s (n=%d, m=%d):\n", *k, sc.Name(), alg, db.N(), db.M())
+	for i, it := range res.Items {
+		fmt.Fprintf(stdout, "%3d. %-16s score=%.6g\n", i+1, it.Name, it.Score)
+	}
+	s := res.Stats
+	fmt.Fprintf(stdout, "\naccesses: sorted=%d random=%d direct=%d total=%d\n",
+		s.SortedAccesses, s.RandomAccesses, s.DirectAccesses, s.TotalAccesses())
+	fmt.Fprintf(stdout, "execution cost=%.0f  stop position=%d  rounds=%d  time=%s\n",
+		s.Cost, s.StopPosition, s.Rounds, s.Duration.Round(1000))
+	return 0
+}
+
+func loadDB(dbPath, csvPath string) (*topk.Database, error) {
+	switch {
+	case dbPath != "" && csvPath != "":
+		return nil, fmt.Errorf("use only one of -db and -csv")
+	case dbPath != "":
+		db, err := topk.LoadFile(dbPath)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", dbPath, err)
+		}
+		return db, nil
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", csvPath, err)
+		}
+		defer f.Close()
+		db, err := topk.ReadCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", csvPath, err)
+		}
+		return db, nil
+	default:
+		return nil, fmt.Errorf("missing -db or -csv input")
+	}
+}
+
+func parseAlg(s string) (topk.Algorithm, error) { return topk.ParseAlgorithm(s) }
+
+func buildScoring(name, weightsCSV string) (topk.Scoring, error) {
+	ws, err := parseWeights(weightsCSV)
+	if err != nil {
+		return nil, err
+	}
+	return topk.ParseScoring(name, ws)
+}
+
+func parseWeights(weightsCSV string) ([]float64, error) {
+	if weightsCSV == "" {
+		return nil, nil
+	}
+	parts := strings.Split(weightsCSV, ",")
+	ws := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %w", p, err)
+		}
+		ws[i] = v
+	}
+	return ws, nil
+}

@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+
+	"topk"
+	"topk/internal/serve"
+)
+
+// BuildServeHandler parses topk-serve's flags and returns the HTTP
+// handler plus the listen address. Split from Serve so tests can exercise
+// flag handling and the handler without binding a socket.
+func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("topk-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dbPath  = fs.String("db", "", "binary database file (from topk-gen)")
+		csvPath = fs.String("csv", "", "CSV database file (column form)")
+		genKind = fs.String("gen", "", "serve a generated database instead: uniform, gaussian, correlated")
+		n       = fs.Int("n", 10_000, "items per list for -gen")
+		m       = fs.Int("m", 8, "lists for -gen")
+		alpha   = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
+		seed    = fs.Int64("seed", 1, "RNG seed for -gen")
+		addr    = fs.String("addr", "localhost:8080", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	var (
+		db  *topk.Database
+		err error
+	)
+	switch {
+	case *genKind != "":
+		if *dbPath != "" || *csvPath != "" {
+			return nil, "", fmt.Errorf("use only one of -gen, -db and -csv")
+		}
+		var kind topk.GenKind
+		switch *genKind {
+		case "uniform":
+			kind = topk.GenUniform
+		case "gaussian":
+			kind = topk.GenGaussian
+		case "correlated":
+			kind = topk.GenCorrelated
+		default:
+			return nil, "", fmt.Errorf("unknown -gen kind %q", *genKind)
+		}
+		db, err = topk.Generate(topk.GenSpec{Kind: kind, N: *n, M: *m, Alpha: *alpha, Seed: *seed})
+	default:
+		db, err = loadDB(*dbPath, *csvPath)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+
+	srv, err := serve.New(db)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv.Handler(), *addr, nil
+}
+
+// Serve is the topk-serve entry point: it loads (or generates) a database
+// and serves the JSON API until the process is terminated.
+func Serve(args []string, stdout, stderr io.Writer) int {
+	handler, addr, err := BuildServeHandler(args, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/explain)\n", addr)
+	if err := http.ListenAndServe(addr, handler); err != nil {
+		fmt.Fprintf(stderr, "topk-serve: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package cli
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topk"
+)
+
+func TestBuildServeHandlerGen(t *testing.T) {
+	var stderr strings.Builder
+	h, addr, err := BuildServeHandler([]string{"-gen", "uniform", "-n", "50", "-m", "3", "-addr", "127.0.0.1:0"}, &stderr)
+	if err != nil {
+		t.Fatalf("err = %v (stderr: %s)", err, stderr.String())
+	}
+	if addr != "127.0.0.1:0" {
+		t.Errorf("addr = %q", addr)
+	}
+
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/topk?k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Items []struct {
+			Score float64 `json:"score"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Items) != 5 {
+		t.Errorf("items = %+v", body.Items)
+	}
+}
+
+func TestBuildServeHandlerFromFile(t *testing.T) {
+	db, err := topk.Generate(topk.GenSpec{Kind: topk.GenUniform, N: 30, M: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.topk")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var stderr strings.Builder
+	h, _, err := BuildServeHandler([]string{"-db", path}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestBuildServeHandlerErrors(t *testing.T) {
+	var stderr strings.Builder
+	cases := [][]string{
+		{},                              // no source
+		{"-gen", "zzz"},                 // bad kind
+		{"-gen", "uniform", "-db", "x"}, // conflicting sources
+		{"-db", filepath.Join(os.TempDir(), "does-not-exist.topk")},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, _, err := BuildServeHandler(args, &stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/access"
+	"topk/internal/list"
+	"topk/internal/score"
+)
+
+// nonNegativeDB builds a random database whose scores are >= 0, the
+// domain of the multiplicative approximation guarantee.
+func nonNegativeDB(rng *rand.Rand, n, m int) *list.Database {
+	cols := make([][]float64, m)
+	for i := range cols {
+		col := make([]float64, n)
+		for d := range col {
+			col[d] = float64(rng.Intn(25))
+		}
+		cols[i] = col
+	}
+	db, err := list.FromColumns(cols)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func TestApproximationValidation(t *testing.T) {
+	db := figure1DB(t)
+	opts := paperOpts()
+	opts.Approximation = 0.5
+	for _, alg := range []Algorithm{AlgTA, AlgBPA, AlgBPA2} {
+		if _, err := Run(alg, db, opts); err == nil {
+			t.Errorf("%v accepted θ < 1", alg)
+		}
+	}
+}
+
+func TestApproximationExactWhenThetaOne(t *testing.T) {
+	db := figure1DB(t)
+	for _, alg := range []Algorithm{AlgTA, AlgBPA, AlgBPA2} {
+		exact, err := Run(alg, db, paperOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := paperOpts()
+		opts.Approximation = 1
+		one, err := Run(alg, db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Counts != one.Counts {
+			t.Errorf("%v: θ=1 changed counts: %v vs %v", alg, one.Counts, exact.Counts)
+		}
+		for i := range exact.Items {
+			if exact.Items[i] != one.Items[i] {
+				t.Errorf("%v: θ=1 changed answers", alg)
+			}
+		}
+	}
+}
+
+// TestApproximationStopsEarlier: over Figure 1, TA with θ=1.2 stops
+// before the exact TA (δ(5)=72, and 72/1.2 = 60 <= kth=70 already at
+// position 5; in fact position 4: 75/1.2 = 62.5 <= 70).
+func TestApproximationStopsEarlier(t *testing.T) {
+	db := figure1DB(t)
+	opts := paperOpts()
+	opts.Approximation = 1.2
+	res, err := TA(access.NewProbe(db), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopPosition >= 6 {
+		t.Errorf("θ=1.2 TA stopped at %d, want earlier than the exact 6", res.StopPosition)
+	}
+}
+
+// TestPropertyApproximationGuarantee enforces the Fagin et al. θ-
+// approximation contract on random databases: θ times the score of every
+// returned item is at least the score of every item not returned, and
+// the approximate run never does more accesses than the exact one.
+// Like the original definition (grades in [0,1]), the multiplicative
+// guarantee is only meaningful for non-negative scores, so the generator
+// here is unsigned.
+func TestPropertyApproximationGuarantee(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8, thetaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%40
+		m := 1 + int(mRaw)%5
+		k := 1 + int(kRaw)%n
+		theta := 1 + float64(thetaRaw%40)/10 // θ in [1, 4.9]
+		db := nonNegativeDB(rng, n, m)
+		f := score.Sum{}
+
+		// Full ranking for the guarantee check.
+		all, err := Oracle(db, n, f)
+		if err != nil {
+			return false
+		}
+		for _, alg := range []Algorithm{AlgTA, AlgBPA, AlgBPA2} {
+			exact, err := Run(alg, db, Options{K: k, Scoring: f})
+			if err != nil {
+				return false
+			}
+			approx, err := Run(alg, db, Options{K: k, Scoring: f, Approximation: theta})
+			if err != nil {
+				return false
+			}
+			if approx.Counts.Total() > exact.Counts.Total() {
+				t.Logf("%v: approximate run did more accesses (%d > %d)",
+					alg, approx.Counts.Total(), exact.Counts.Total())
+				return false
+			}
+			returned := map[int32]bool{}
+			minReturned := 0.0
+			for i, it := range approx.Items {
+				returned[int32(it.Item)] = true
+				if i == 0 || it.Score < minReturned {
+					minReturned = it.Score
+				}
+			}
+			for _, it := range all {
+				if returned[int32(it.Item)] {
+					continue
+				}
+				if theta*minReturned < it.Score-1e-9 {
+					t.Logf("%v θ=%v: returned %v but skipped item with %v (seed=%d n=%d m=%d k=%d)",
+						alg, theta, minReturned, it.Score, seed, n, m, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

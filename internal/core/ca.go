@@ -1,0 +1,124 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"topk/internal/access"
+	"topk/internal/list"
+)
+
+// CA is the Combined Algorithm of Fagin, Lotem and Naor — the paper's
+// reference [15], Section 6 there — implemented as a further baseline
+// between NRA and TA. CA runs NRA's sorted-access rounds and bound
+// bookkeeping, but every h rounds it additionally spends random accesses
+// to fully resolve the seen item with the highest best-case bound. The
+// period h ("the random access period") balances the two access prices:
+// Fagin et al. set h = cr/cs, which under the paper's evaluation cost
+// model (cs = 1, cr = log2 n) is h = ⌊log2 n⌋ — the default here, and
+// overridable through Options.CAPeriod.
+//
+// CA uses NRA's stopping condition. Because resolution pins the exact
+// score of the most promising candidates, CA typically stops at a much
+// shallower sorted depth than NRA while spending far fewer random
+// accesses than TA. Like NRA it returns a correct top-k set, and
+// Result.Inexact reports whether any returned score is still only a
+// worst-case bound.
+func CA(pr *access.Probe, opts Options) (*Result, error) {
+	db := pr.DB()
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	h := opts.CAPeriod
+	if h < 0 {
+		return nil, fmt.Errorf("core: CA period %d is negative", h)
+	}
+	if h == 0 {
+		h = defaultCAPeriod(db.N())
+	}
+	s, err := newBoundsState(db, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// resolveCand tracks every seen, unresolved item by stale best-case
+	// bound — unlike s.cand it includes the answer set, because Y's
+	// partially-seen members are exactly the most promising resolution
+	// targets.
+	var resolveCand bHeap
+
+	res := &Result{Algorithm: AlgCA}
+	for pos := 1; pos <= s.n; pos++ {
+		for i := 0; i < s.m; i++ {
+			e := pr.Sorted(i, pos)
+			s.last[i] = e.Score
+			if s.observe(i, e) {
+				heap.Push(&resolveCand, bEntry{item: e.Item, b: s.bestCase(e.Item)})
+			}
+		}
+		s.primed = true
+		if pos%h == 0 {
+			s.resolveBest(pr, &resolveCand)
+		}
+		res.StopPosition = pos
+		res.Rounds = pos
+		stopped := s.tryStop()
+		if wk, full := s.top.Threshold(); full {
+			res.Threshold = wk
+		}
+		observe(opts.Observer, pos, pos, s.f.Combine(s.last), s.top, nil, stopped)
+		if stopped {
+			break
+		}
+	}
+
+	res.Items = s.top.Slice()
+	for _, it := range res.Items {
+		if !s.resolved(it.Item) {
+			res.Inexact = true
+			break
+		}
+	}
+	res.Counts = pr.Counts()
+	return res, nil
+}
+
+// defaultCAPeriod returns h = ⌊cr/cs⌋ under the paper's evaluation cost
+// model, at least 1.
+func defaultCAPeriod(n int) int {
+	h := int(math.Log2(float64(n)))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// resolveBest finds the unresolved item with the highest current
+// best-case bound and spends random accesses on all its missing lists,
+// making its bounds exact. The heap keys are stale upper bounds, so the
+// true maximum is located by lazy pops: a popped entry whose refreshed
+// key still tops the heap is the maximum; otherwise it is re-filed under
+// the refreshed key. No-op when everything seen is already resolved.
+func (s *boundsState) resolveBest(pr *access.Probe, rh *bHeap) {
+	for rh.Len() > 0 {
+		top := heap.Pop(rh).(bEntry)
+		if s.resolved(top.item) {
+			continue
+		}
+		cur := s.bestCase(top.item)
+		if rh.Len() > 0 && cur < (*rh)[0].b {
+			heap.Push(rh, bEntry{item: top.item, b: cur})
+			continue
+		}
+		base := int(top.item) * s.m
+		for j := 0; j < s.m; j++ {
+			if s.seen[base+j] {
+				continue
+			}
+			sc, _ := pr.Random(j, top.item)
+			s.observe(j, list.Entry{Item: top.item, Score: sc})
+		}
+		return
+	}
+}

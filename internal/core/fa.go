@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"topk/internal/access"
+	"topk/internal/list"
+	"topk/internal/rank"
+)
+
+// faMaxLists bounds m for FA, which tracks per-item seen-lists bitmasks in
+// a single machine word. The paper's experiments use m <= 18.
+const faMaxLists = 64
+
+// FA is Fagin's Algorithm (Section 3.1):
+//
+//  1. Sorted access in parallel to all m lists until at least k items have
+//     been seen in every list.
+//  2. Random access for each seen item's missing local scores.
+//  3. Return the k items with the highest overall scores.
+func FA(pr *access.Probe, opts Options) (*Result, error) {
+	db := pr.DB()
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+	if m > faMaxLists {
+		return nil, fmt.Errorf("core: FA supports at most %d lists, got %d", faMaxLists, m)
+	}
+
+	// seenIn[d] has bit i set when item d was seen under sorted access in
+	// list i; full items have all m bits set.
+	seenIn := make([]uint64, n)
+	fullMask := uint64(1)<<uint(m) - 1
+	fullCount := 0
+	stop := n
+scan:
+	for pos := 1; pos <= n; pos++ {
+		for i := 0; i < m; i++ {
+			e := pr.Sorted(i, pos)
+			old := seenIn[e.Item]
+			seenIn[e.Item] = old | 1<<uint(i)
+			if seenIn[e.Item] == fullMask && old != fullMask {
+				fullCount++
+			}
+		}
+		if fullCount >= opts.K {
+			stop = pos
+			break scan
+		}
+	}
+
+	// Phase 2: complete every partially seen item with random accesses.
+	// Scores seen under sorted access were maintained in the set S and
+	// need no further charged access; missing ones cost one random access
+	// each.
+	y := rank.NewSet(opts.K)
+	locals := make([]float64, m)
+	for d := 0; d < n; d++ {
+		mask := seenIn[d]
+		if mask == 0 {
+			continue
+		}
+		item := list.ItemID(d)
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				locals[i] = db.List(i).ScoreOf(item)
+			} else {
+				locals[i], _ = pr.Random(i, item)
+			}
+		}
+		y.Add(item, opts.Scoring.Combine(locals))
+	}
+
+	return &Result{
+		Algorithm:    AlgFA,
+		Items:        y.Slice(),
+		Counts:       pr.Counts(),
+		StopPosition: stop,
+		Rounds:       stop,
+	}, nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"topk/internal/list"
+	"topk/internal/paperdb"
+)
+
+// The paper's example databases (Figure 1 and Figure 2) are provided by
+// internal/paperdb, completed from 10 shown positions to n=14 as
+// described there. The tests in this file's siblings assert every numeric
+// claim the paper makes about them, which also validates the completion.
+
+// d converts the paper's 1-based item names (d1..d14) to ItemIDs.
+func d(i int) list.ItemID { return paperdb.Item(i) }
+
+// figure1DB is the database of Figure 1 (Examples 1-3).
+func figure1DB(t *testing.T) *list.Database {
+	t.Helper()
+	db, err := paperdb.Figure1()
+	if err != nil {
+		t.Fatalf("figure 1 database: %v", err)
+	}
+	return db
+}
+
+// figure2DB is the database of Figure 2 (Section 5.1 example).
+func figure2DB(t *testing.T) *list.Database {
+	t.Helper()
+	db, err := paperdb.Figure2()
+	if err != nil {
+		t.Fatalf("figure 2 database: %v", err)
+	}
+	return db
+}

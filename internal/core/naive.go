@@ -1,0 +1,41 @@
+package core
+
+import (
+	"topk/internal/access"
+	"topk/internal/list"
+	"topk/internal/rank"
+)
+
+// Naive answers the query by scanning every list from beginning to end
+// under sorted access, maintaining each item's local scores, and returning
+// the k items with the highest overall scores. This is the O(m*n)
+// strawman of the paper's introduction and the correctness baseline for
+// everything else.
+func Naive(pr *access.Probe, opts Options) (*Result, error) {
+	db := pr.DB()
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+
+	// locals[d*m+i] is the local score of item d in list i.
+	locals := make([]float64, n*m)
+	for pos := 1; pos <= n; pos++ {
+		for i := 0; i < m; i++ {
+			e := pr.Sorted(i, pos)
+			locals[int(e.Item)*m+i] = e.Score
+		}
+	}
+
+	y := rank.NewSet(opts.K)
+	for d := 0; d < n; d++ {
+		y.Add(list.ItemID(d), opts.Scoring.Combine(locals[d*m:(d+1)*m]))
+	}
+	return &Result{
+		Algorithm:    AlgNaive,
+		Items:        y.Slice(),
+		Counts:       pr.Counts(),
+		StopPosition: n,
+		Rounds:       n,
+	}, nil
+}

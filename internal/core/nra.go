@@ -1,0 +1,282 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"topk/internal/access"
+	"topk/internal/list"
+	"topk/internal/rank"
+	"topk/internal/score"
+)
+
+// NRA is the No-Random-Access algorithm of Fagin, Lotem and Naor — the
+// paper's reference [15], Section 5 there. It is implemented here as an
+// additional baseline from the framework BPA builds on: NRA marks the
+// sorted-access-only end of the design space, while TA/BPA/BPA2 sit at
+// the random-access end.
+//
+// NRA does sorted access in parallel to all m lists and never a random
+// access. For every seen item d it maintains two bounds on the overall
+// score:
+//
+//   - the worst case W(d) = f with every unseen local score replaced by
+//     the list's floor (its minimum possible score);
+//   - the best case B(d) = f with every unseen local score replaced by
+//     the last score seen under sorted access in that list.
+//
+// The answer set Y holds the k items with the highest W. NRA stops when
+// no item outside Y can beat the k-th worst case W_k: B(d) <= W_k for
+// every seen d not in Y, and f(last scores) <= W_k for the still-unseen
+// items. NRA returns a correct top-k *set*, but the scores it knows for
+// the returned items are only the W bounds — Result.Inexact reports
+// whether any returned score is a bound rather than an exact value.
+//
+// Options.Floors supplies the per-list score floors; when nil they are
+// taken from the list tails via ListFloors (list-owner metadata in the
+// middleware model, not a charged access). Options.Approximation θ > 1
+// relaxes the stopping test to B(d)/θ <= W_k, mirroring the θ-approximate
+// TA. Options.Memoize and Options.Tracker are ignored: there are no
+// random accesses to memoize and no best positions to track.
+func NRA(pr *access.Probe, opts Options) (*Result, error) {
+	db := pr.DB()
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	s, err := newBoundsState(db, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Algorithm: AlgNRA}
+	for pos := 1; pos <= s.n; pos++ {
+		for i := 0; i < s.m; i++ {
+			e := pr.Sorted(i, pos)
+			s.last[i] = e.Score
+			s.observe(i, e)
+		}
+		s.primed = true
+		res.StopPosition = pos
+		res.Rounds = pos
+		stopped := s.tryStop()
+		if wk, full := s.top.Threshold(); full {
+			res.Threshold = wk
+		}
+		observe(opts.Observer, pos, pos, s.f.Combine(s.last), s.top, nil, stopped)
+		if stopped {
+			break
+		}
+	}
+
+	res.Items = s.top.Slice()
+	for _, it := range res.Items {
+		if !s.resolved(it.Item) {
+			res.Inexact = true
+			break
+		}
+	}
+	res.Counts = pr.Counts()
+	return res, nil
+}
+
+// ListFloors returns each list's minimum local score, read from the list
+// tails. In the middleware model this is list-owner metadata — an owner
+// knows the range of its own grades, just as it knows its length — so
+// reading it is not charged as an access. (Fagin et al. assume grades in
+// a known interval for the same reason.)
+func ListFloors(db *list.Database) []float64 {
+	floors := make([]float64, db.M())
+	n := db.N()
+	for i := range floors {
+		floors[i] = db.List(i).At(n).Score
+	}
+	return floors
+}
+
+// boundsState is the shared bookkeeping of NRA and CA: per-item seen
+// local scores, worst/best-case bounds, the answer set ordered by worst
+// case, and the lazy candidate heap behind the stopping test.
+type boundsState struct {
+	m, n   int
+	f      score.Func
+	theta  float64
+	floors []float64
+	last   []float64 // last score seen under sorted access, per list
+
+	seen   []bool    // seen[item*m + i]: local score of item in list i known
+	scores []float64 // scores[item*m + i], valid where seen
+	nSeen  []int32   // number of lists in which the item has been seen
+	// primed is set once every list has been read under sorted access at
+	// least once. Before that, last[] has no meaningful value for the
+	// not-yet-read lists of the first round, so best-case bounds are +Inf
+	// (the only sound upper bound on an unconstrained score).
+	primed bool
+
+	top       *rank.TopTracker // Y: top-k by worst-case bound
+	cand      bHeap            // seen, unresolved, non-Y items by stale best-case bound
+	seenItems int
+
+	tmp []float64 // scratch for Combine
+}
+
+func newBoundsState(db *list.Database, opts Options) (*boundsState, error) {
+	m, n := db.M(), db.N()
+	floors := opts.Floors
+	if floors == nil {
+		floors = ListFloors(db)
+	} else {
+		if len(floors) != m {
+			return nil, fmt.Errorf("core: %d floors for %d lists", len(floors), m)
+		}
+		for i, fl := range floors {
+			if math.IsNaN(fl) {
+				return nil, fmt.Errorf("core: floor %d is NaN", i)
+			}
+			if min := db.List(i).At(n).Score; fl > min {
+				return nil, fmt.Errorf("core: floor %d is %v but list %d has minimum score %v; unsound floors would break NRA's worst-case bounds", i, fl, i, min)
+			}
+		}
+		floors = append([]float64(nil), floors...)
+	}
+	return &boundsState{
+		m:      m,
+		n:      n,
+		f:      opts.Scoring,
+		theta:  opts.theta(),
+		floors: floors,
+		last:   make([]float64, m),
+		seen:   make([]bool, n*m),
+		scores: make([]float64, n*m),
+		nSeen:  make([]int32, n),
+		top:    rank.NewTopTracker(opts.K),
+		tmp:    make([]float64, m),
+	}, nil
+}
+
+// resolved reports whether every local score of the item is known, which
+// makes its worst and best case coincide with the exact overall score.
+func (s *boundsState) resolved(d list.ItemID) bool { return int(s.nSeen[d]) == s.m }
+
+// worstCase returns W(d): unseen local scores replaced by the floors.
+func (s *boundsState) worstCase(d list.ItemID) float64 {
+	base := int(d) * s.m
+	for i := 0; i < s.m; i++ {
+		if s.seen[base+i] {
+			s.tmp[i] = s.scores[base+i]
+		} else {
+			s.tmp[i] = s.floors[i]
+		}
+	}
+	return s.f.Combine(s.tmp)
+}
+
+// bestCase returns B(d): unseen local scores replaced by the last scores
+// seen under sorted access. Until every list has been read once (mid
+// first round), the bound is +Inf: substituting a zeroed last[] there
+// would *under*estimate B — the bug class this guard exists for — and
+// computing through f could produce NaN (0 × Inf in a weighted sum).
+func (s *boundsState) bestCase(d list.ItemID) float64 {
+	if !s.primed {
+		return math.Inf(1)
+	}
+	base := int(d) * s.m
+	for i := 0; i < s.m; i++ {
+		if s.seen[base+i] {
+			s.tmp[i] = s.scores[base+i]
+		} else {
+			s.tmp[i] = s.last[i]
+		}
+	}
+	return s.f.Combine(s.tmp)
+}
+
+// observe records one (list, entry) observation — from sorted access in
+// NRA, from sorted or random access in CA — and maintains the answer set
+// and the candidate heap. It reports whether this was the item's first
+// observation in any list.
+//
+// Candidate-heap invariant: every seen, unresolved item outside Y has at
+// least one heap entry whose key upper-bounds its current best case.
+// Keys go stale (they were computed with earlier, higher last scores) but
+// stale keys only overestimate, which the lazy pops in tryStop repair.
+func (s *boundsState) observe(i int, e list.Entry) (first bool) {
+	idx := int(e.Item)*s.m + i
+	if s.seen[idx] {
+		return false
+	}
+	first = s.nSeen[e.Item] == 0
+	if first {
+		s.seenItems++
+	}
+	s.seen[idx] = true
+	s.scores[idx] = e.Score
+	s.nSeen[e.Item]++
+
+	evicted, hasEvicted, _ := s.top.OfferEvict(e.Item, s.worstCase(e.Item))
+	if hasEvicted && !s.resolved(evicted.Item) {
+		heap.Push(&s.cand, bEntry{item: evicted.Item, b: s.bestCase(evicted.Item)})
+	}
+	if first && !s.top.Contains(e.Item) {
+		heap.Push(&s.cand, bEntry{item: e.Item, b: s.bestCase(e.Item)})
+	}
+	return first
+}
+
+// tryStop evaluates the NRA stopping condition: Y is full, the unseen
+// items cannot beat W_k (f(last)/θ <= W_k), and no seen candidate outside
+// Y can (B(d)/θ <= W_k).
+//
+// The candidate heap is processed lazily: keys only ever overestimate the
+// current best case, so when the largest key is within the bound the
+// whole pool is. Popped entries are dropped when the item is resolved
+// (then B = W <= W_k holds forever once it is outside Y) or currently in
+// Y (it re-enters the heap on eviction), and re-pushed with a refreshed
+// key otherwise.
+func (s *boundsState) tryStop() bool {
+	wk, full := s.top.Threshold()
+	if !full {
+		return false
+	}
+	if s.seenItems < s.n && s.f.Combine(s.last)/s.theta > wk {
+		return false
+	}
+	for s.cand.Len() > 0 {
+		top := s.cand[0]
+		if top.b/s.theta <= wk {
+			break
+		}
+		heap.Pop(&s.cand)
+		if s.resolved(top.item) || s.top.Contains(top.item) {
+			continue
+		}
+		cur := s.bestCase(top.item)
+		heap.Push(&s.cand, bEntry{item: top.item, b: cur})
+		if cur/s.theta > wk {
+			return false
+		}
+	}
+	return true
+}
+
+// bEntry is one candidate of the lazy best-case heaps: an item and the
+// (possibly stale) best-case bound it was filed under.
+type bEntry struct {
+	item list.ItemID
+	b    float64
+}
+
+// bHeap is a max-heap of candidates by filed best-case bound.
+type bHeap []bEntry
+
+func (h bHeap) Len() int           { return len(h) }
+func (h bHeap) Less(i, j int) bool { return h[i].b > h[j].b }
+func (h bHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *bHeap) Push(x any)        { *h = append(*h, x.(bEntry)) }
+func (h *bHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/access"
+	"topk/internal/list"
+	"topk/internal/rank"
+	"topk/internal/score"
+)
+
+// actualScores computes the exact overall score of every returned item by
+// direct lookup, bypassing the access model. NRA and CA guarantee the
+// top-k *set*, not the reported scores, so correctness is: the multiset
+// of actual scores of the returned items equals the oracle's top-k score
+// multiset.
+func actualScores(db *list.Database, f score.Func, items []rank.ScoredItem) []float64 {
+	locals := make([]float64, db.M())
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = f.Combine(db.LocalScores(it.Item, locals))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// assertValidTopKSet checks the set-level correctness contract of NRA/CA
+// against the oracle.
+func assertValidTopKSet(t *testing.T, alg Algorithm, db *list.Database, f score.Func, got, oracle []rank.ScoredItem) bool {
+	t.Helper()
+	if len(got) != len(oracle) {
+		t.Errorf("%v: got %d answers, want %d", alg, len(got), len(oracle))
+		return false
+	}
+	actual := actualScores(db, f, got)
+	for i := range oracle {
+		if actual[i] != oracle[i].Score {
+			t.Errorf("%v: actual score %d = %v, want %v (items %v)", alg, i, actual[i], oracle[i].Score, got)
+			return false
+		}
+	}
+	return true
+}
+
+func TestNRAHandExampleResolved(t *testing.T) {
+	// Two identical lists except for the order of items 0 and 1; the
+	// walkthrough in the test comments below is hand-computed.
+	//
+	// L1: (0,10),(1,5),(2,1)   L2: (1,10),(0,5),(2,1)
+	// Overall (Sum): item0 = 15, item1 = 15, item2 = 2.
+	l1, err := list.New([]list.Entry{{Item: 0, Score: 10}, {Item: 1, Score: 5}, {Item: 2, Score: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := list.New([]list.Entry{{Item: 1, Score: 10}, {Item: 0, Score: 5}, {Item: 2, Score: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := list.NewDatabase(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := NRA(access.NewProbe(db), Options{K: 1, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: W(0)=11, W(1)=11, δ=20 > wk — no stop. Round 2: both
+	// items fully seen with exact score 15, δ=15 <= 15, candidates
+	// resolved — stop. Tie at 15 broken by item ID: item 0 wins.
+	if res.StopPosition != 2 {
+		t.Errorf("StopPosition = %d, want 2", res.StopPosition)
+	}
+	if len(res.Items) != 1 || res.Items[0].Item != 0 || res.Items[0].Score != 15 {
+		t.Errorf("Items = %+v, want item 0 score 15", res.Items)
+	}
+	if res.Inexact {
+		t.Error("Inexact = true for a fully resolved answer")
+	}
+	if res.Counts.Random != 0 || res.Counts.Direct != 0 {
+		t.Errorf("NRA did non-sorted accesses: %v", res.Counts)
+	}
+	if res.Counts.Sorted != 4 { // 2 rounds x 2 lists
+		t.Errorf("Sorted = %d, want 4", res.Counts.Sorted)
+	}
+}
+
+func TestNRAHandExampleInexact(t *testing.T) {
+	// L1: (0,100),(1,1),(2,1)  L2: (1,5),(2,5),(0,5) — all of L2 is 5.
+	// After round 1: W(0) = 100 + floor2 = 105, δ = 100 + 5 = 105 <= wk,
+	// and the only candidate's best case is 105 <= wk. NRA stops having
+	// seen item 0 in list 1 only: the answer is right (actual 105) but
+	// the algorithm cannot know the score is exact.
+	l1, err := list.New([]list.Entry{{Item: 0, Score: 100}, {Item: 1, Score: 1}, {Item: 2, Score: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := list.New([]list.Entry{{Item: 1, Score: 5}, {Item: 2, Score: 5}, {Item: 0, Score: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := list.NewDatabase(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := NRA(access.NewProbe(db), Options{K: 1, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopPosition != 1 {
+		t.Errorf("StopPosition = %d, want 1", res.StopPosition)
+	}
+	if len(res.Items) != 1 || res.Items[0].Item != 0 {
+		t.Fatalf("Items = %+v, want item 0", res.Items)
+	}
+	if res.Items[0].Score != 105 {
+		t.Errorf("reported bound = %v, want 105", res.Items[0].Score)
+	}
+	if !res.Inexact {
+		t.Error("Inexact = false for a partially seen answer")
+	}
+}
+
+func TestListFloors(t *testing.T) {
+	db := mustColumns(t, [][]float64{{3, 1, 2}, {-5, 7, 0}})
+	got := ListFloors(db)
+	want := []float64{1, -5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("floor %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func mustColumns(t *testing.T, cols [][]float64) *list.Database {
+	t.Helper()
+	db, err := list.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNRAFloorsValidation(t *testing.T) {
+	db := mustColumns(t, [][]float64{{3, 1, 2}, {5, 7, 6}})
+	cases := []struct {
+		name   string
+		floors []float64
+		want   string
+	}{
+		{"wrong arity", []float64{0}, "floors for"},
+		{"too high", []float64{2, 0}, "unsound"},
+		{"nan", []float64{nan(), 0}, "NaN"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NRA(access.NewProbe(db), Options{K: 1, Scoring: score.Sum{}, Floors: c.floors})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+
+	// Sound explicit floors (at or below the minima) are accepted.
+	res, err := NRA(access.NewProbe(db), Options{K: 1, Scoring: score.Sum{}, Floors: []float64{0, 0}})
+	if err != nil {
+		t.Fatalf("sound floors rejected: %v", err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("Items = %+v", res.Items)
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestCAPeriodValidation(t *testing.T) {
+	db := mustColumns(t, [][]float64{{3, 1, 2}, {5, 7, 6}})
+	if _, err := CA(access.NewProbe(db), Options{K: 1, Scoring: score.Sum{}, CAPeriod: -1}); err == nil {
+		t.Error("negative CA period accepted")
+	}
+}
+
+func TestDefaultCAPeriod(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 1024: 10, 100_000: 16}
+	for n, want := range cases {
+		if got := defaultCAPeriod(n); got != want {
+			t.Errorf("defaultCAPeriod(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestPropertyNRAMatchesOracleSet: on random databases (including signed
+// scores, where the floors come from the list tails), NRA returns a valid
+// top-k set using sorted accesses only.
+func TestPropertyNRAMatchesOracleSet(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+		oracle, err := Oracle(db, k, f)
+		if err != nil {
+			return false
+		}
+		res, err := NRA(access.NewProbe(db), Options{K: k, Scoring: f})
+		if err != nil {
+			t.Logf("NRA: %v", err)
+			return false
+		}
+		if res.Counts.Random != 0 || res.Counts.Direct != 0 {
+			t.Logf("NRA did non-sorted accesses: %v", res.Counts)
+			return false
+		}
+		// Reported scores are lower bounds on the actual scores.
+		locals := make([]float64, m)
+		for _, it := range res.Items {
+			actual := f.Combine(db.LocalScores(it.Item, locals))
+			if it.Score > actual {
+				t.Logf("NRA bound %v above actual %v for item %d", it.Score, actual, it.Item)
+				return false
+			}
+			if !res.Inexact && it.Score != actual {
+				t.Logf("Inexact=false but bound %v != actual %v", it.Score, actual)
+				return false
+			}
+		}
+		return assertValidTopKSet(t, AlgNRA, db, f, res.Items, oracle)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCAMatchesOracleSet: CA with random resolution periods
+// returns a valid top-k set.
+func TestPropertyCAMatchesOracleSet(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw, hRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		h := 1 + int(hRaw)%6
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+		oracle, err := Oracle(db, k, f)
+		if err != nil {
+			return false
+		}
+		res, err := CA(access.NewProbe(db), Options{K: k, Scoring: f, CAPeriod: h})
+		if err != nil {
+			t.Logf("CA: %v", err)
+			return false
+		}
+		if res.Counts.Direct != 0 {
+			t.Logf("CA did direct accesses: %v", res.Counts)
+			return false
+		}
+		return assertValidTopKSet(t, AlgCA, db, f, res.Items, oracle)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCAWithoutResolutionsIsNRA: a period larger than n never
+// fires a resolution, so CA must behave exactly like NRA — same answers,
+// same rounds, same access tally.
+func TestPropertyCAWithoutResolutionsIsNRA(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+
+		nra, err := NRA(access.NewProbe(db), Options{K: k, Scoring: f})
+		if err != nil {
+			return false
+		}
+		ca, err := CA(access.NewProbe(db), Options{K: k, Scoring: f, CAPeriod: n + 1})
+		if err != nil {
+			return false
+		}
+		if ca.Rounds != nra.Rounds || ca.Counts != nra.Counts {
+			t.Logf("CA(h>n) diverged from NRA: rounds %d vs %d, counts %v vs %v",
+				ca.Rounds, nra.Rounds, ca.Counts, nra.Counts)
+			return false
+		}
+		if len(ca.Items) != len(nra.Items) {
+			return false
+		}
+		for i := range ca.Items {
+			if ca.Items[i] != nra.Items[i] {
+				t.Logf("item %d: CA %+v != NRA %+v", i, ca.Items[i], nra.Items[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNRAApproximation: with θ > 1 on non-negative databases,
+// every returned item's actual score times θ is at least the actual score
+// of every non-returned item (the θ-approximation contract).
+func TestPropertyNRAApproximation(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8, thetaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%39
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%(n-1) // leave at least one non-returned item
+		theta := 1 + float64(thetaRaw%30)/10
+
+		cols := make([][]float64, m)
+		for i := range cols {
+			col := make([]float64, n)
+			for d := range col {
+				col[d] = float64(rng.Intn(25)) // non-negative
+			}
+			cols[i] = col
+		}
+		db, err := list.FromColumns(cols)
+		if err != nil {
+			return false
+		}
+		f := score.Sum{}
+
+		for _, alg := range []Algorithm{AlgNRA, AlgCA} {
+			res, err := Run(alg, db, Options{K: k, Scoring: f, Approximation: theta})
+			if err != nil {
+				t.Logf("%v: %v", alg, err)
+				return false
+			}
+			returned := make(map[list.ItemID]bool, len(res.Items))
+			locals := make([]float64, m)
+			minReturned := 0.0
+			for i, it := range res.Items {
+				actual := f.Combine(db.LocalScores(it.Item, locals))
+				if i == 0 || actual < minReturned {
+					minReturned = actual
+				}
+				returned[it.Item] = true
+			}
+			for d := 0; d < n; d++ {
+				if returned[list.ItemID(d)] {
+					continue
+				}
+				actual := f.Combine(db.LocalScores(list.ItemID(d), locals))
+				if theta*minReturned < actual {
+					t.Logf("%v θ=%v: returned %v, excluded item %d has %v", alg, theta, minReturned, d, actual)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNRAStopsEarlierThanFullScan: on a database with a clear separation
+// NRA must not scan to the bottom.
+func TestNRAStopsEarlierThanFullScan(t *testing.T) {
+	const n = 1000
+	cols := make([][]float64, 3)
+	for i := range cols {
+		col := make([]float64, n)
+		for d := range col {
+			col[d] = float64(n - d) // item d has score n-d in every list
+		}
+		cols[i] = col
+	}
+	db := mustColumns(t, cols)
+	res, err := NRA(access.NewProbe(db), Options{K: 5, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopPosition >= n/2 {
+		t.Errorf("NRA scanned to %d of %d on a perfectly correlated database", res.StopPosition, n)
+	}
+	oracle, err := Oracle(db, 5, score.Sum{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidTopKSet(t, AlgNRA, db, score.Sum{}, res.Items, oracle)
+}
+
+// TestExtendedAlgorithms checks the lineup helpers and the dispatch of
+// the new algorithms through Run.
+func TestExtendedAlgorithms(t *testing.T) {
+	ext := ExtendedAlgorithms()
+	if len(ext) != 7 || ext[5] != AlgNRA || ext[6] != AlgCA {
+		t.Fatalf("ExtendedAlgorithms() = %v", ext)
+	}
+	if AlgNRA.String() != "NRA" || AlgCA.String() != "CA" {
+		t.Errorf("names: %v %v", AlgNRA.String(), AlgCA.String())
+	}
+	db := mustColumns(t, [][]float64{{3, 1, 2}, {5, 7, 6}})
+	for _, alg := range []Algorithm{AlgNRA, AlgCA} {
+		res, err := Run(alg, db, Options{K: 2, Scoring: score.Sum{}})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Algorithm != alg || len(res.Items) != 2 {
+			t.Errorf("%v: result %+v", alg, res)
+		}
+	}
+}

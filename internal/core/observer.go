@@ -1,0 +1,61 @@
+package core
+
+import "math"
+
+// RoundInfo is a snapshot of a threshold algorithm's state after one
+// parallel access round. It is what the paper's worked examples tabulate:
+// the position, the stopping threshold (δ for TA, λ for BPA/BPA2), and
+// whether the answer set already satisfies the stopping condition.
+type RoundInfo struct {
+	// Round is the 1-based round number.
+	Round int
+	// Position is the sorted-access depth of the round (TA/BPA). For
+	// BPA2, which probes each list at its own best position, Position is
+	// the smallest best position across lists after the round.
+	Position int
+	// Threshold is δ (TA) or λ (BPA/BPA2) after the round.
+	Threshold float64
+	// KthScore is the overall score of the k-th best item seen so far,
+	// or -Inf while fewer than k items are known.
+	KthScore float64
+	// YFull reports whether k items have been seen.
+	YFull bool
+	// BestPositions is a copy of the per-list best positions (BPA and
+	// BPA2 only, nil for TA).
+	BestPositions []int
+	// Stopped reports whether the stopping condition held after this
+	// round (always true on the final RoundInfo of a completed run).
+	Stopped bool
+}
+
+// Observer receives RoundInfo after every round of TA, BPA and BPA2.
+// Implementations must not retain the BestPositions slice across calls.
+// A nil observer costs nothing.
+type Observer interface {
+	Round(info RoundInfo)
+}
+
+// observe builds and delivers a RoundInfo if an observer is configured.
+func observe(obs Observer, round, position int, threshold float64, y interface {
+	Threshold() (float64, bool)
+}, trackers []int, stopped bool) {
+	if obs == nil {
+		return
+	}
+	kth, full := y.Threshold()
+	if !full {
+		kth = math.Inf(-1)
+	}
+	info := RoundInfo{
+		Round:     round,
+		Position:  position,
+		Threshold: threshold,
+		KthScore:  kth,
+		YFull:     full,
+		Stopped:   stopped,
+	}
+	if trackers != nil {
+		info.BestPositions = append([]int(nil), trackers...)
+	}
+	obs.Round(info)
+}

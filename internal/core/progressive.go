@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/rank"
+	"topk/internal/score"
+)
+
+// Progressive delivers answers one at a time in rank order without a
+// fixed k — the "give me the next one" interaction of interactive search.
+// It is not in the paper, but it falls out of BPA2's machinery: the best
+// positions overall score λ upper-bounds everything unseen, so the best
+// seen-but-undelivered item can be emitted as soon as its overall score
+// reaches λ.
+//
+// Ordering contract: scores are delivered in non-increasing order, and
+// every delivered item's score is >= every undelivered item's score — the
+// top-k set guarantee unrolled per rank. Among equal scores the delivery
+// order may differ from the deterministic oracle tie-break (an equal-
+// scored, lower-ID item may still be unseen when its peer is certified);
+// any such order is a correct ranking, and waiting to fix tie order would
+// cost extra accesses for no semantic gain.
+//
+// Invariants inherited from BPA2: every probe targets an unseen position
+// (no position is read twice across the whole enumeration), and every
+// seen item is fully resolved the moment it is first seen, because BPA2's
+// random accesses resolve the direct-accessed item everywhere.
+type Progressive struct {
+	pr       *access.Probe
+	f        score.Func
+	m, n     int
+	trackers []bestpos.Tracker
+	locals   []float64
+	bpScores []float64
+
+	// pending holds resolved, undelivered items; the best is at the top.
+	pending deliveryHeap
+	seen    []bool // item resolved (and therefore in pending or delivered)
+
+	lambda    float64
+	exhausted bool // every position of every list has been seen
+	delivered int
+	rounds    int
+}
+
+// ProgressiveOptions configures a progressive enumeration. K is absent by
+// design; stop calling Next instead.
+type ProgressiveOptions struct {
+	// Scoring is the monotone overall-score function f.
+	Scoring score.Func
+	// Tracker selects the best-position structure (Section 5.2).
+	Tracker bestpos.Kind
+}
+
+// NewProgressive starts a progressive enumeration over db.
+func NewProgressive(pr *access.Probe, opts ProgressiveOptions) (*Progressive, error) {
+	if pr == nil || pr.DB() == nil {
+		return nil, fmt.Errorf("core: progressive needs a probe over a database")
+	}
+	if opts.Scoring == nil {
+		return nil, fmt.Errorf("core: progressive needs a scoring function")
+	}
+	db := pr.DB()
+	m, n := db.M(), db.N()
+	p := &Progressive{
+		pr:       pr,
+		f:        opts.Scoring,
+		m:        m,
+		n:        n,
+		trackers: make([]bestpos.Tracker, m),
+		locals:   make([]float64, m),
+		bpScores: make([]float64, m),
+		seen:     make([]bool, n),
+	}
+	for i := range p.trackers {
+		p.trackers[i] = bestpos.New(opts.Tracker, n)
+	}
+	return p, nil
+}
+
+// Next returns the next answer in rank order. ok is false once all n
+// items have been delivered.
+func (p *Progressive) Next() (rank.ScoredItem, bool) {
+	for {
+		if top, ok := p.deliverable(); ok {
+			p.delivered++
+			return top, true
+		}
+		if p.exhausted {
+			if len(p.pending) == 0 {
+				return rank.ScoredItem{}, false
+			}
+			// Nothing unseen remains; drain the pending heap in order.
+			p.delivered++
+			return p.pop(), true
+		}
+		p.round()
+	}
+}
+
+// deliverable reports whether the best pending item already beats
+// everything unseen (score >= λ), and pops it if so. Before the first
+// round there is nothing pending and λ is meaningless.
+func (p *Progressive) deliverable() (rank.ScoredItem, bool) {
+	if p.rounds == 0 || len(p.pending) == 0 {
+		return rank.ScoredItem{}, false
+	}
+	if p.pending[0].Score >= p.lambda {
+		return p.pop(), true
+	}
+	return rank.ScoredItem{}, false
+}
+
+func (p *Progressive) pop() rank.ScoredItem {
+	top := p.pending[0]
+	last := len(p.pending) - 1
+	p.pending[0] = p.pending[last]
+	p.pending = p.pending[:last]
+	p.pending.down(0)
+	return top
+}
+
+// round advances one BPA2 round: a direct access to the first unseen
+// position of every list, each resolved across all lists, then a fresh λ.
+func (p *Progressive) round() {
+	p.rounds++
+	progress := false
+	for i := 0; i < p.m; i++ {
+		pos := p.trackers[i].Best() + 1
+		if pos > p.n {
+			continue
+		}
+		e := p.pr.Direct(i, pos)
+		p.trackers[i].MarkSeen(pos)
+		progress = true
+		p.locals[i] = e.Score
+		for j := 0; j < p.m; j++ {
+			if j == i {
+				continue
+			}
+			s, q := p.pr.Random(j, e.Item)
+			p.locals[j] = s
+			p.trackers[j].MarkSeen(q)
+		}
+		if !p.seen[e.Item] {
+			p.seen[e.Item] = true
+			p.pending.push(rank.ScoredItem{Item: e.Item, Score: p.f.Combine(p.locals)})
+		}
+	}
+	if !progress {
+		p.exhausted = true
+		return
+	}
+	for i := 0; i < p.m; i++ {
+		p.bpScores[i] = p.pr.DB().List(i).At(p.trackers[i].Best()).Score
+	}
+	p.lambda = p.f.Combine(p.bpScores)
+}
+
+// Delivered returns how many answers have been returned so far.
+func (p *Progressive) Delivered() int { return p.delivered }
+
+// Counts returns the access tally spent so far.
+func (p *Progressive) Counts() access.Counts { return p.pr.Counts() }
+
+// Rounds returns the number of probe rounds executed so far.
+func (p *Progressive) Rounds() int { return p.rounds }
+
+// deliveryHeap is a max-heap of resolved items under the package
+// ordering: best item (highest score, ties by lowest ID) at the root.
+type deliveryHeap []rank.ScoredItem
+
+func (h *deliveryHeap) push(it rank.ScoredItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !rank.Less((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h deliveryHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && rank.Less(h[l], h[best]) {
+			best = l
+		}
+		if r < n && rank.Less(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/list"
+	"topk/internal/rank"
+	"topk/internal/score"
+)
+
+func TestProgressiveValidation(t *testing.T) {
+	db := mustColumns(t, [][]float64{{1, 2}, {3, 4}})
+	if _, err := NewProgressive(nil, ProgressiveOptions{Scoring: score.Sum{}}); err == nil {
+		t.Error("nil probe accepted")
+	}
+	if _, err := NewProgressive(access.NewProbe(db), ProgressiveOptions{}); err == nil {
+		t.Error("nil scoring accepted")
+	}
+}
+
+// assertRankingEquivalent checks the iterator contract against the
+// oracle: identical score sequence, and identical item sets within every
+// group of equal scores (ties may be delivered in any internal order).
+func assertRankingEquivalent(t *testing.T, label string, got, want []rank.ScoredItem) bool {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d items, want %d", label, len(got), len(want))
+		return false
+	}
+	for i := range want {
+		if got[i].Score != want[i].Score {
+			t.Errorf("%s: rank %d score = %v, want %v", label, i+1, got[i].Score, want[i].Score)
+			return false
+		}
+	}
+	// Within each tie group the item sets must coincide.
+	for lo := 0; lo < len(want); {
+		hi := lo + 1
+		for hi < len(want) && want[hi].Score == want[lo].Score {
+			hi++
+		}
+		g := map[list.ItemID]bool{}
+		for _, it := range got[lo:hi] {
+			g[it.Item] = true
+		}
+		for _, it := range want[lo:hi] {
+			if !g[it.Item] {
+				t.Errorf("%s: item %d (score %v) missing from its tie group", label, it.Item, it.Score)
+				return false
+			}
+		}
+		lo = hi
+	}
+	return true
+}
+
+// TestProgressiveFullEnumeration: draining the iterator yields the
+// oracle's full ranking (score-for-score; ties interchangeable) for every
+// tracker kind.
+func TestProgressiveFullEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := randomDB(rng, 30, 4)
+	oracle, err := Oracle(db, 30, score.Sum{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range bestpos.Kinds() {
+		p, err := NewProgressive(access.NewProbe(db), ProgressiveOptions{Scoring: score.Sum{}, Tracker: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []rank.ScoredItem
+		for {
+			it, ok := p.Next()
+			if !ok {
+				break
+			}
+			got = append(got, it)
+		}
+		assertRankingEquivalent(t, kind.String(), got, oracle)
+		if p.Delivered() != 30 {
+			t.Errorf("%v: Delivered = %d", kind, p.Delivered())
+		}
+	}
+}
+
+// TestPropertyProgressiveMatchesOracle: on random databases and scoring
+// functions, the delivery sequence is score-equivalent to the oracle
+// ranking.
+func TestPropertyProgressiveMatchesOracle(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+		oracle, err := Oracle(db, n, f)
+		if err != nil {
+			return false
+		}
+		p, err := NewProgressive(access.NewProbe(db), ProgressiveOptions{Scoring: f})
+		if err != nil {
+			return false
+		}
+		var got []rank.ScoredItem
+		for {
+			it, ok := p.Next()
+			if !ok {
+				break
+			}
+			got = append(got, it)
+		}
+		return assertRankingEquivalent(t, "progressive", got, oracle)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyProgressivePrefixCost: enumerating k answers progressively
+// costs exactly what a BPA2 run with that k costs — the iterator is BPA2
+// with the stopping condition unrolled per rank.
+func TestPropertyProgressivePrefixCost(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+
+		bpa2, err := BPA2(access.NewProbe(db), Options{K: k, Scoring: f})
+		if err != nil {
+			return false
+		}
+		p, err := NewProgressive(access.NewProbe(db), ProgressiveOptions{Scoring: f})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if _, ok := p.Next(); !ok {
+				t.Logf("iterator ended early at %d of %d", i, k)
+				return false
+			}
+		}
+		if p.Counts().Total() > bpa2.Counts.Total() {
+			t.Logf("progressive to k=%d spent %v, BPA2 spent %v (n=%d m=%d)",
+				k, p.Counts(), bpa2.Counts, n, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProgressiveSingleAccess: the whole enumeration never reads a
+// position twice (BPA2's Theorem 5 extends to the iterator).
+func TestProgressiveSingleAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := randomDB(rng, 120, 5)
+	pr := access.NewAuditedProbe(db)
+	p, err := NewProgressive(pr, ProgressiveOptions{Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+	}
+	if err := pr.AssertSingleAccess(); err != nil {
+		t.Errorf("progressive enumeration violated single access: %v", err)
+	}
+	if p.Rounds() == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+// TestProgressiveLazyCost: asking for rank 1 of a large correlated
+// database must touch only a tiny fraction of the lists.
+func TestProgressiveLazyCost(t *testing.T) {
+	const n = 2000
+	cols := make([][]float64, 3)
+	for i := range cols {
+		col := make([]float64, n)
+		for d := range col {
+			col[d] = float64(n - d)
+		}
+		cols[i] = col
+	}
+	db := mustColumns(t, cols)
+	p, err := NewProgressive(access.NewProbe(db), ProgressiveOptions{Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, ok := p.Next()
+	if !ok || it.Item != 0 {
+		t.Fatalf("first answer = %+v", it)
+	}
+	if total := p.Counts().Total(); total > int64(n) {
+		t.Errorf("rank 1 of a perfectly correlated database cost %d accesses", total)
+	}
+}

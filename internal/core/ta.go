@@ -1,0 +1,76 @@
+package core
+
+import (
+	"topk/internal/access"
+	"topk/internal/rank"
+)
+
+// TA is the Threshold Algorithm (Section 3.2):
+//
+//  1. Sorted access in parallel to all m lists. For every item seen under
+//     sorted access, random access to the other lists fetches its missing
+//     local scores and its overall score enters the answer set Y.
+//  2. After each position, the threshold δ = f(s1, ..., sm) is computed
+//     from the last scores seen under sorted access. When Y holds k items
+//     with overall score >= δ, sorted access stops.
+//
+// Accounting is paper-faithful: every sorted access triggers (m-1) random
+// accesses, including for items that were already seen (Example 2 counts
+// 9 sorted and 9*2 random accesses; Lemma 2 relies on
+// #random = #sorted * (m-1)). Options.Memoize disables that redundancy as
+// an ablation that is not part of the paper's TA.
+func TA(pr *access.Probe, opts Options) (*Result, error) {
+	db := pr.DB()
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+	f := opts.Scoring
+
+	theta := opts.theta()
+	y := rank.NewSet(opts.K)
+	locals := make([]float64, m)
+	last := make([]float64, m)
+	var seen []bool
+	if opts.Memoize {
+		seen = make([]bool, n)
+	}
+
+	res := &Result{Algorithm: AlgTA}
+	for pos := 1; pos <= n; pos++ {
+		for i := 0; i < m; i++ {
+			e := pr.Sorted(i, pos)
+			last[i] = e.Score
+			if opts.Memoize && seen[e.Item] {
+				continue
+			}
+			locals[i] = e.Score
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				locals[j], _ = pr.Random(j, e.Item)
+			}
+			y.Add(e.Item, f.Combine(locals))
+			if opts.Memoize {
+				seen[e.Item] = true
+			}
+		}
+		delta := f.Combine(last)
+		res.Threshold = delta
+		res.StopPosition = pos
+		res.Rounds = pos
+		stopped := y.AtLeast(delta / theta)
+		observe(opts.Observer, pos, pos, delta, y, nil, stopped)
+		if stopped {
+			break
+		}
+		// At pos == n every local score is >= its list minimum, so by
+		// monotonicity every kept score is >= δ and AtLeast held above;
+		// the loop cannot fall through with a partial answer while k <= n.
+	}
+
+	res.Items = y.Slice()
+	res.Counts = pr.Counts()
+	return res, nil
+}

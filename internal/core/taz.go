@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/list"
+	"topk/internal/rank"
+)
+
+// This file implements the restricted-access variants TAz and BPAz:
+// some lists are random-access only — the "web-accessible databases"
+// setting of the paper's references [7]/[21] (a web source answers "what
+// is the price of X?" but cannot be scanned by price), called TAz in
+// Fagin, Lotem, Naor §8.2.
+//
+// TAz does sorted access only to the sortable lists; every seen item is
+// still resolved everywhere by random access. The threshold replaces the
+// last-seen score of each random-only list with its *ceiling* (maximum
+// possible score — list-owner metadata, like NRA's floors).
+//
+// BPAz is the best-position analogue, and the reason it is interesting:
+// random accesses land on concrete positions, so even a list that can
+// never be scanned accumulates seen positions, its best position grows,
+// and the threshold tightens from the ceiling to the actual score at the
+// best position. BPAz inherits BPA's guarantee against TAz: its
+// threshold is never above TAz's at the same depth, so it never stops
+// later (checked as a property test, mirroring Lemma 1).
+
+// Restricted configures a restricted-access run.
+type Restricted struct {
+	// Sortable[i] reports whether list i supports sorted access. At
+	// least one list must.
+	Sortable []bool
+	// Ceilings[i] is the maximum possible local score of list i, used
+	// for random-only lists in the thresholds. Nil takes each list's
+	// actual maximum via ListCeilings (list-owner metadata, not a
+	// charged access). A ceiling below a list's actual maximum is
+	// rejected: it would break the threshold's upper-bound property.
+	Ceilings []float64
+}
+
+// ListCeilings returns each list's maximum local score, read from the
+// list heads; the metadata counterpart of ListFloors.
+func ListCeilings(db *list.Database) []float64 {
+	ceil := make([]float64, db.M())
+	for i := range ceil {
+		ceil[i] = db.List(i).At(1).Score
+	}
+	return ceil
+}
+
+func (r Restricted) validate(db *list.Database) ([]float64, error) {
+	m := db.M()
+	if len(r.Sortable) != m {
+		return nil, fmt.Errorf("core: %d sortable flags for %d lists", len(r.Sortable), m)
+	}
+	any := false
+	for _, s := range r.Sortable {
+		if s {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("core: no sortable lists; at least one list must support sorted access")
+	}
+	ceil := r.Ceilings
+	if ceil == nil {
+		ceil = ListCeilings(db)
+	} else {
+		if len(ceil) != m {
+			return nil, fmt.Errorf("core: %d ceilings for %d lists", len(ceil), m)
+		}
+		for i, c := range ceil {
+			if math.IsNaN(c) {
+				return nil, fmt.Errorf("core: ceiling %d is NaN", i)
+			}
+			if max := db.List(i).At(1).Score; c < max {
+				return nil, fmt.Errorf("core: ceiling %d is %v but list %d has maximum score %v; unsound ceilings would break the threshold", i, c, i, max)
+			}
+		}
+		ceil = append([]float64(nil), ceil...)
+	}
+	return ceil, nil
+}
+
+// TAz is the Threshold Algorithm over a mix of sortable and random-only
+// lists. With every list sortable it coincides with TA access-for-access.
+func TAz(pr *access.Probe, opts Options, restr Restricted) (*Result, error) {
+	db := pr.DB()
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	ceilings, err := restr.validate(db)
+	if err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+	f := opts.Scoring
+	theta := opts.theta()
+
+	y := rank.NewSet(opts.K)
+	locals := make([]float64, m)
+	// Random-only slots of the threshold stay at their ceilings.
+	last := append([]float64(nil), ceilings...)
+	var seen []bool
+	if opts.Memoize {
+		seen = make([]bool, n)
+	}
+
+	res := &Result{Algorithm: AlgTA}
+	for pos := 1; pos <= n; pos++ {
+		for i := 0; i < m; i++ {
+			if !restr.Sortable[i] {
+				continue
+			}
+			e := pr.Sorted(i, pos)
+			last[i] = e.Score
+			if opts.Memoize && seen[e.Item] {
+				continue
+			}
+			locals[i] = e.Score
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				locals[j], _ = pr.Random(j, e.Item)
+			}
+			y.Add(e.Item, f.Combine(locals))
+			if opts.Memoize {
+				seen[e.Item] = true
+			}
+		}
+		delta := f.Combine(last)
+		res.Threshold = delta
+		res.StopPosition = pos
+		res.Rounds = pos
+		stopped := y.AtLeast(delta / theta)
+		observe(opts.Observer, pos, pos, delta, y, nil, stopped)
+		if stopped {
+			break
+		}
+	}
+
+	res.Items = y.Slice()
+	res.Counts = pr.Counts()
+	return res, nil
+}
+
+// BPAz is the Best Position Algorithm over a mix of sortable and
+// random-only lists. Every access — including random accesses into the
+// lists that cannot be scanned — records the position it touched, so the
+// best position of a random-only list grows too, and the threshold uses
+// the score at that best position instead of the ceiling as soon as the
+// list's prefix starts filling in. With every list sortable it coincides
+// with BPA access-for-access.
+func BPAz(pr *access.Probe, opts Options, restr Restricted) (*Result, error) {
+	db := pr.DB()
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	ceilings, err := restr.validate(db)
+	if err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+	f := opts.Scoring
+	theta := opts.theta()
+
+	y := rank.NewSet(opts.K)
+	locals := make([]float64, m)
+	bpScores := make([]float64, m)
+	trackers := make([]bestpos.Tracker, m)
+	for i := range trackers {
+		trackers[i] = bestpos.New(opts.Tracker, n)
+	}
+	var seen []bool
+	if opts.Memoize {
+		seen = make([]bool, n)
+	}
+
+	res := &Result{Algorithm: AlgBPA}
+	for pos := 1; pos <= n; pos++ {
+		for i := 0; i < m; i++ {
+			if !restr.Sortable[i] {
+				continue
+			}
+			e := pr.Sorted(i, pos)
+			trackers[i].MarkSeen(pos)
+			if opts.Memoize && seen[e.Item] {
+				continue
+			}
+			locals[i] = e.Score
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				s, q := pr.Random(j, e.Item)
+				locals[j] = s
+				trackers[j].MarkSeen(q)
+			}
+			y.Add(e.Item, f.Combine(locals))
+			if opts.Memoize {
+				seen[e.Item] = true
+			}
+		}
+
+		// λ: the score at each list's best position; a list whose prefix
+		// has not started (bp = 0 — only possible for random-only lists)
+		// contributes its ceiling.
+		for i := 0; i < m; i++ {
+			if bp := trackers[i].Best(); bp > 0 {
+				bpScores[i] = db.List(i).At(bp).Score
+			} else {
+				bpScores[i] = ceilings[i]
+			}
+		}
+		lambda := f.Combine(bpScores)
+		res.Threshold = lambda
+		res.StopPosition = pos
+		res.Rounds = pos
+		stopped := y.AtLeast(lambda / theta)
+		if opts.Observer != nil {
+			bps := make([]int, m)
+			for i := range trackers {
+				bps[i] = trackers[i].Best()
+			}
+			observe(opts.Observer, pos, pos, lambda, y, bps, stopped)
+		}
+		if stopped {
+			break
+		}
+	}
+
+	res.BestPositions = make([]int, m)
+	for i := range trackers {
+		res.BestPositions[i] = trackers[i].Best()
+	}
+	res.Items = y.Slice()
+	res.Counts = pr.Counts()
+	return res, nil
+}

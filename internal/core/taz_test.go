@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/access"
+	"topk/internal/score"
+)
+
+func allSortable(m int) Restricted {
+	s := make([]bool, m)
+	for i := range s {
+		s[i] = true
+	}
+	return Restricted{Sortable: s}
+}
+
+func TestListCeilings(t *testing.T) {
+	db := mustColumns(t, [][]float64{{3, 1, 2}, {-5, 7, 0}})
+	got := ListCeilings(db)
+	want := []float64{3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ceiling %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRestrictedValidation(t *testing.T) {
+	db := mustColumns(t, [][]float64{{3, 1, 2}, {5, 7, 6}})
+	opts := Options{K: 1, Scoring: score.Sum{}}
+	cases := []struct {
+		name  string
+		restr Restricted
+		want  string
+	}{
+		{"wrong arity", Restricted{Sortable: []bool{true}}, "sortable flags"},
+		{"none sortable", Restricted{Sortable: []bool{false, false}}, "no sortable"},
+		{"ceiling arity", Restricted{Sortable: []bool{true, true}, Ceilings: []float64{9}}, "ceilings for"},
+		{"ceiling too low", Restricted{Sortable: []bool{true, true}, Ceilings: []float64{2, 9}}, "unsound"},
+		{"ceiling nan", Restricted{Sortable: []bool{true, true}, Ceilings: []float64{nan(), 9}}, "NaN"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := TAz(access.NewProbe(db), opts, c.restr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("TAz err = %v, want containing %q", err, c.want)
+			}
+			_, err = BPAz(access.NewProbe(db), opts, c.restr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("BPAz err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestPropertyAllSortableIsPlain: with every list sortable, TAz ≡ TA and
+// BPAz ≡ BPA, access for access.
+func TestPropertyAllSortableIsPlain(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8, memo bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+		opts := Options{K: k, Scoring: f, Memoize: memo}
+
+		ta, err := TA(access.NewProbe(db), opts)
+		if err != nil {
+			return false
+		}
+		taz, err := TAz(access.NewProbe(db), opts, allSortable(m))
+		if err != nil {
+			return false
+		}
+		bpa, err := BPA(access.NewProbe(db), opts)
+		if err != nil {
+			return false
+		}
+		bpaz, err := BPAz(access.NewProbe(db), opts, allSortable(m))
+		if err != nil {
+			return false
+		}
+		for _, pair := range []struct {
+			name       string
+			plain, res *Result
+		}{{"TA", ta, taz}, {"BPA", bpa, bpaz}} {
+			if pair.plain.Counts != pair.res.Counts ||
+				pair.plain.StopPosition != pair.res.StopPosition ||
+				pair.plain.Threshold != pair.res.Threshold {
+				t.Logf("%sz diverged: %v/%d/%v vs %v/%d/%v", pair.name,
+					pair.res.Counts, pair.res.StopPosition, pair.res.Threshold,
+					pair.plain.Counts, pair.plain.StopPosition, pair.plain.Threshold)
+				return false
+			}
+			if len(pair.plain.Items) != len(pair.res.Items) {
+				return false
+			}
+			for i := range pair.plain.Items {
+				if pair.plain.Items[i] != pair.res.Items[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomMask returns a sortable mask with at least one sortable list.
+func randomMask(rng *rand.Rand, m int) []bool {
+	mask := make([]bool, m)
+	any := false
+	for i := range mask {
+		mask[i] = rng.Intn(2) == 0
+		any = any || mask[i]
+	}
+	if !any {
+		mask[rng.Intn(m)] = true
+	}
+	return mask
+}
+
+// TestPropertyRestrictedMatchesOracle: with random sortable masks, TAz
+// and BPAz return the oracle's top-k scores.
+func TestPropertyRestrictedMatchesOracle(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+		restr := Restricted{Sortable: randomMask(rng, m)}
+		oracle, err := Oracle(db, k, f)
+		if err != nil {
+			return false
+		}
+		opts := Options{K: k, Scoring: f}
+
+		taz, err := TAz(access.NewProbe(db), opts, restr)
+		if err != nil {
+			t.Logf("TAz: %v", err)
+			return false
+		}
+		bpaz, err := BPAz(access.NewProbe(db), opts, restr)
+		if err != nil {
+			t.Logf("BPAz: %v", err)
+			return false
+		}
+		ok := assertSameAnswers(t, AlgTA, taz.Items, oracle)
+		ok = assertSameAnswers(t, AlgBPA, bpaz.Items, oracle) && ok
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBPAzNeverStopsLater mirrors Lemma 1 in the restricted
+// setting: BPAz's threshold is at most TAz's at every depth, so it never
+// does more sorted accesses.
+func TestPropertyBPAzNeverStopsLater(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		db := randomDB(rng, n, m)
+		f := randomScoring(rng, m)
+		restr := Restricted{Sortable: randomMask(rng, m)}
+		opts := Options{K: k, Scoring: f}
+
+		taz, err := TAz(access.NewProbe(db), opts, restr)
+		if err != nil {
+			return false
+		}
+		bpaz, err := BPAz(access.NewProbe(db), opts, restr)
+		if err != nil {
+			return false
+		}
+		if bpaz.Counts.Sorted > taz.Counts.Sorted {
+			t.Logf("BPAz sorted %d > TAz sorted %d", bpaz.Counts.Sorted, taz.Counts.Sorted)
+			return false
+		}
+		if bpaz.Counts.Total() > taz.Counts.Total() {
+			t.Logf("BPAz total %d > TAz total %d", bpaz.Counts.Total(), taz.Counts.Total())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRestrictedNoSortedAccessToRandomOnlyLists audits the access trace:
+// sorted accesses may only touch sortable lists.
+func TestRestrictedNoSortedAccessToRandomOnlyLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomDB(rng, 60, 4)
+	restr := Restricted{Sortable: []bool{true, false, true, false}}
+	for _, run := range []func(*access.Probe, Options, Restricted) (*Result, error){TAz, BPAz} {
+		pr := access.NewProbe(db)
+		pr.EnableTrace()
+		if _, err := run(pr, Options{K: 5, Scoring: score.Sum{}}, restr); err != nil {
+			t.Fatal(err)
+		}
+		sorted := 0
+		for _, rec := range pr.Trace() {
+			if rec.Mode == access.SortedAccess {
+				sorted++
+				if !restr.Sortable[rec.List] {
+					t.Fatalf("sorted access to random-only list %d", rec.List)
+				}
+			}
+		}
+		if sorted == 0 {
+			t.Fatal("no sorted accesses recorded")
+		}
+	}
+}
+
+// TestRestrictedFallThrough: a huge explicit ceiling keeps TAz's
+// threshold unreachable forever, forcing its scan to the bottom of the
+// sortable lists; the answers are still exact because a full
+// sortable-list scan sees every item. BPAz escapes this trap — its
+// random accesses fill the random-only list's prefix, replacing the
+// ceiling with real scores (asserted in TestBPAzTightensFromCeiling) —
+// so only correctness is asserted for it here.
+func TestRestrictedFallThrough(t *testing.T) {
+	db := mustColumns(t, [][]float64{{3, 1, 2, 0}, {5, 7, 6, 4}})
+	restr := Restricted{Sortable: []bool{true, false}, Ceilings: []float64{1e9, 1e9}}
+	oracle, err := Oracle(db, 2, score.Sum{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taz, err := TAz(access.NewProbe(db), Options{K: 2, Scoring: score.Sum{}}, restr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, AlgTA, taz.Items, oracle)
+	if taz.StopPosition != db.N() {
+		t.Errorf("TAz stopped at %d, want full scan %d", taz.StopPosition, db.N())
+	}
+	bpaz, err := BPAz(access.NewProbe(db), Options{K: 2, Scoring: score.Sum{}}, restr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, AlgBPA, bpaz.Items, oracle)
+	if bpaz.StopPosition > taz.StopPosition {
+		t.Errorf("BPAz stopped at %d, after TAz's %d", bpaz.StopPosition, taz.StopPosition)
+	}
+}
+
+// TestBPAzTightensFromCeiling: the single random-only list starts
+// contributing its ceiling and, once random accesses fill its prefix,
+// contributes the best-position score instead — so BPAz stops earlier
+// than TAz, which is stuck with the ceiling forever.
+func TestBPAzTightensFromCeiling(t *testing.T) {
+	// List 2 is random-only with an inflated explicit ceiling.
+	db := mustColumns(t, [][]float64{
+		{90, 80, 70, 60, 50, 40, 30, 20, 10, 0},
+		{90, 80, 70, 60, 50, 40, 30, 20, 10, 0},
+	})
+	restr := Restricted{Sortable: []bool{true, false}, Ceilings: []float64{90, 500}}
+	opts := Options{K: 2, Scoring: score.Sum{}}
+
+	taz, err := TAz(access.NewProbe(db), opts, restr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpaz, err := BPAz(access.NewProbe(db), opts, restr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpaz.StopPosition >= taz.StopPosition {
+		t.Errorf("BPAz stopped at %d, TAz at %d; BPAz should tighten past the ceiling",
+			bpaz.StopPosition, taz.StopPosition)
+	}
+	oracle, err := Oracle(db, 2, score.Sum{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, AlgBPA, bpaz.Items, oracle)
+}

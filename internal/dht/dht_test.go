@@ -1,0 +1,252 @@
+package dht
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/core"
+	"topk/internal/dist"
+	"topk/internal/gen"
+	"topk/internal/score"
+)
+
+func mustRing(t *testing.T, n int, seed int64) *Ring {
+	t.Helper()
+	r, err := NewRing(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 1); err == nil {
+		t.Error("empty ring accepted")
+	}
+	r := mustRing(t, 1, 1)
+	if r.Size() != 1 {
+		t.Errorf("Size = %d", r.Size())
+	}
+}
+
+func TestSuccessorMatchesLinearScan(t *testing.T) {
+	r := mustRing(t, 64, 7)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		key := NodeID(rng.Uint64())
+		// Linear-scan reference: smallest node >= key, else wrap to min.
+		want := nodes[0]
+		found := false
+		for _, id := range nodes {
+			if id >= key {
+				want = id
+				found = true
+				break
+			}
+		}
+		if !found {
+			want = nodes[0]
+		}
+		if got := r.Successor(key); got != want {
+			t.Fatalf("Successor(%d) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	r := mustRing(t, 128, 11)
+	rng := rand.New(rand.NewSource(5))
+	nodes := r.Nodes()
+	for trial := 0; trial < 500; trial++ {
+		from := nodes[rng.Intn(len(nodes))]
+		key := NodeID(rng.Uint64())
+		owner, hops := r.Route(from, key)
+		if owner != r.Successor(key) {
+			t.Fatalf("Route delivered to %d, owner is %d", owner, r.Successor(key))
+		}
+		if from == owner && hops != 0 {
+			t.Fatalf("self-route took %d hops", hops)
+		}
+		// Chord bound: O(log N) with high probability; allow slack.
+		if hops > 4*bitsFor(len(nodes)) {
+			t.Fatalf("route took %d hops in a %d-node ring", hops, len(nodes))
+		}
+	}
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+func TestRouteHopsGrowLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	avg := func(n int) float64 {
+		r := mustRing(t, n, 13)
+		nodes := r.Nodes()
+		total := 0
+		const trials = 400
+		for i := 0; i < trials; i++ {
+			from := nodes[rng.Intn(len(nodes))]
+			_, hops := r.Route(from, NodeID(rng.Uint64()))
+			total += hops
+		}
+		return float64(total) / trials
+	}
+	small, large := avg(64), avg(4096)
+	if large <= small {
+		t.Errorf("hops do not grow with ring size: %v vs %v", small, large)
+	}
+	// 4096/64 = 64x more nodes should cost roughly log(64)=6 extra hops,
+	// nowhere near 64x.
+	if large > small*4 {
+		t.Errorf("hops grew superlogarithmically: %v -> %v", small, large)
+	}
+	if large > 2*math.Log2(4096) {
+		t.Errorf("average hops %v exceed 2*log2(N)", large)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		a, b, x NodeID
+		want    bool
+	}{
+		{10, 20, 15, true},
+		{10, 20, 20, true},
+		{10, 20, 10, false},
+		{10, 20, 25, false},
+		{20, 10, 25, true},  // wrapping interval
+		{20, 10, 5, true},   // wrapping interval
+		{20, 10, 15, false}, // outside wrap
+	}
+	for _, c := range cases {
+		if got := between(c.a, c.b, c.x); got != c.want {
+			t.Errorf("between(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestPlaceIsDeterministic(t *testing.T) {
+	r := mustRing(t, 256, 21)
+	p1 := r.Place(8, 5)
+	p2 := r.Place(8, 5)
+	for i := range p1.Owners {
+		if p1.Owners[i] != p2.Owners[i] || p1.LookupHops[i] != p2.LookupHops[i] {
+			t.Fatal("placement not deterministic")
+		}
+	}
+	p3 := r.Place(8, 6)
+	if p3.Originator == p1.Originator {
+		t.Log("same originator for different seeds (possible, not an error)")
+	}
+}
+
+func TestTopKOverDHT(t *testing.T) {
+	ring := mustRing(t, 512, 3)
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 500, M: 4, Seed: 8})
+	oracle, err := core.Oracle(db, 10, score.Sum{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dist.Options{K: 10, Scoring: score.Sum{}}
+	for _, model := range []CostModel{Cached, Routed} {
+		res, err := TopK(ring, db, opts, dist.BPA2, model, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range oracle {
+			if res.Dist.Items[i].Score != oracle[i].Score {
+				t.Fatalf("%v: answer %d = %v, want %v", model, i, res.Dist.Items[i], oracle[i])
+			}
+		}
+		if res.Hops <= 0 {
+			t.Errorf("%v: no hops recorded", model)
+		}
+		if len(res.Placement.Owners) != db.M() {
+			t.Errorf("%v: placement has %d owners", model, len(res.Placement.Owners))
+		}
+	}
+}
+
+func TestTopKCachedCheaperThanRouted(t *testing.T) {
+	ring := mustRing(t, 4096, 3)
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 1000, M: 4, Seed: 8})
+	opts := dist.Options{K: 10, Scoring: score.Sum{}}
+	cached, err := TopK(ring, db, opts, dist.TA, Cached, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := TopK(ring, db, opts, dist.TA, Routed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Hops >= routed.Hops {
+		t.Errorf("cached (%d hops) not cheaper than routed (%d hops)", cached.Hops, routed.Hops)
+	}
+	// Cached total is messages + one lookup per owner: barely above the
+	// message count.
+	if cached.Hops < cached.Dist.Net.Messages {
+		t.Errorf("cached hops %d below message count %d", cached.Hops, cached.Dist.Net.Messages)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	ring := mustRing(t, 16, 3)
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 50, M: 2, Seed: 8})
+	opts := dist.Options{K: 5, Scoring: score.Sum{}}
+	if _, err := TopK(nil, db, opts, dist.TA, Cached, 1); err == nil {
+		t.Error("nil ring accepted")
+	}
+	if _, err := TopK(ring, nil, opts, dist.TA, Cached, 1); err == nil {
+		t.Error("nil database accepted")
+	}
+	if _, err := TopK(ring, db, opts, dist.TA, CostModel(9), 1); err == nil {
+		t.Error("unknown cost model accepted")
+	}
+	if _, err := TopK(ring, db, dist.Options{K: 0, Scoring: score.Sum{}}, dist.TA, Cached, 1); err == nil {
+		t.Error("invalid protocol options accepted")
+	}
+}
+
+func TestCostModelString(t *testing.T) {
+	if Cached.String() != "cached" || Routed.String() != "routed" || CostModel(7).String() == "" {
+		t.Error("cost model strings")
+	}
+}
+
+// TestPropertyRouting: routing from any node for any key reaches the
+// owner within a sane hop bound, on rings of arbitrary size.
+func TestPropertyRouting(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint16, keyRaw uint64, fromRaw uint16) bool {
+		n := 1 + int(sizeRaw)%600
+		r, err := NewRing(n, seed)
+		if err != nil {
+			return false
+		}
+		nodes := r.Nodes()
+		from := nodes[int(fromRaw)%len(nodes)]
+		owner, hops := r.Route(from, NodeID(keyRaw))
+		if owner != r.Successor(NodeID(keyRaw)) {
+			t.Logf("wrong owner (n=%d seed=%d)", n, seed)
+			return false
+		}
+		if hops > n {
+			t.Logf("%d hops in a %d-node ring", hops, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package dht implements the paper's stated future work (Section 8):
+// running BPA-style top-k algorithms over a distributed hash table, "the
+// popular DHTs where top-k query support is challenging".
+//
+// The substrate is a Chord-style ring: N nodes with uniformly random
+// 64-bit identifiers, each key owned by its successor node, and greedy
+// finger-table routing that reaches any key in O(log N) hops. On top of
+// it, TopK places each sorted list at the node owning the hash of its
+// index and executes one of the internal/dist protocols between the
+// query originator and those list owners, pricing every protocol message
+// by its overlay routing cost.
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID identifies a node on the 2^64 identifier circle.
+type NodeID uint64
+
+// Ring is a static Chord-style overlay. Nodes are fixed at construction
+// (no churn); routing state is the classic finger table: node x's j-th
+// finger is the successor of x + 2^j.
+type Ring struct {
+	nodes   []NodeID   // sorted
+	fingers [][]NodeID // fingers[i][j] = successor(nodes[i] + 2^j)
+}
+
+// NewRing builds a ring of n nodes with pseudorandom identifiers drawn
+// from the given seed. n must be at least 1.
+func NewRing(n int, seed int64) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dht: ring needs at least one node, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[NodeID]bool, n)
+	nodes := make([]NodeID, 0, n)
+	for len(nodes) < n {
+		id := NodeID(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	r := &Ring{nodes: nodes}
+	r.fingers = make([][]NodeID, n)
+	for i, id := range nodes {
+		f := make([]NodeID, 64)
+		for j := 0; j < 64; j++ {
+			f[j] = r.Successor(id + 1<<uint(j))
+		}
+		r.fingers[i] = f
+	}
+	return r, nil
+}
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Nodes returns the node identifiers in ring order.
+func (r *Ring) Nodes() []NodeID {
+	cp := make([]NodeID, len(r.nodes))
+	copy(cp, r.nodes)
+	return cp
+}
+
+// Successor returns the node that owns key: the first node clockwise
+// from key (wrapping around the circle).
+func (r *Ring) Successor(key NodeID) NodeID {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i] >= key })
+	if i == len(r.nodes) {
+		return r.nodes[0]
+	}
+	return r.nodes[i]
+}
+
+// nodeIndex returns the position of an existing node identifier.
+func (r *Ring) nodeIndex(id NodeID) int {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i] >= id })
+	if i == len(r.nodes) || r.nodes[i] != id {
+		panic(fmt.Sprintf("dht: %d is not a ring node", id))
+	}
+	return i
+}
+
+// between reports whether x lies in the circular interval (a, b].
+func between(a, b, x NodeID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b // interval wraps zero
+}
+
+// succOf returns the next node clockwise after node id (its ring
+// successor).
+func (r *Ring) succOf(id NodeID) NodeID {
+	return r.Successor(id + 1)
+}
+
+// Route performs Chord lookup from node `from` towards the owner of key,
+// returning the owner and the number of overlay hops taken. A node that
+// already owns the key routes in zero hops. Each step either delivers to
+// the successor (when the key lies between the current node and it) or
+// forwards to the closest preceding finger, giving the classic O(log N)
+// expected path length.
+func (r *Ring) Route(from NodeID, key NodeID) (owner NodeID, hops int) {
+	owner = r.Successor(key)
+	cur := from
+	for cur != owner {
+		succ := r.succOf(cur)
+		if between(cur, succ, key) {
+			// key ∈ (cur, succ]: succ owns it; deliver.
+			cur = succ
+		} else {
+			next := r.closestPrecedingFinger(cur, key)
+			if next == cur {
+				next = succ // degenerate ring: fall back to the successor
+			}
+			cur = next
+		}
+		hops++
+	}
+	return owner, hops
+}
+
+// closestPrecedingFinger returns cur's finger that most closely precedes
+// key without passing it.
+func (r *Ring) closestPrecedingFinger(cur NodeID, key NodeID) NodeID {
+	fingers := r.fingers[r.nodeIndex(cur)]
+	for j := len(fingers) - 1; j >= 0; j-- {
+		f := fingers[j]
+		if f != cur && between(cur, key-1, f) {
+			return f
+		}
+	}
+	return cur
+}
+
+// hashKey maps an arbitrary byte string onto the identifier circle
+// (FNV-1a, sufficient for placement in a simulation).
+func hashKey(s string) NodeID {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return NodeID(h)
+}

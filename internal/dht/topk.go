@@ -1,0 +1,129 @@
+package dht
+
+import (
+	"fmt"
+
+	"topk/internal/dist"
+	"topk/internal/list"
+)
+
+// Placement records where a query's participants live on the ring.
+type Placement struct {
+	// Originator is the node issuing the query.
+	Originator NodeID
+	// Owners[i] is the node storing sorted list i, the successor of
+	// hash("list/<i>").
+	Owners []NodeID
+	// LookupHops[i] is the routing distance from the originator to
+	// owner i (the cost of the initial DHT lookup that locates the
+	// list).
+	LookupHops []int
+}
+
+// Place computes the owner node of every list of an m-list database and
+// the originator's routing distance to each. The originator is the node
+// owning hash("originator/<seed>").
+func (r *Ring) Place(m int, seed int64) Placement {
+	p := Placement{
+		Originator: r.Successor(hashKey(fmt.Sprintf("originator/%d", seed))),
+		Owners:     make([]NodeID, m),
+		LookupHops: make([]int, m),
+	}
+	for i := 0; i < m; i++ {
+		owner, hops := r.Route(p.Originator, hashKey(fmt.Sprintf("list/%d", i)))
+		p.Owners[i] = owner
+		p.LookupHops[i] = hops
+	}
+	return p
+}
+
+// CostModel prices protocol messages on the overlay.
+type CostModel uint8
+
+const (
+	// Cached: the originator resolves each list owner once through the
+	// DHT (LookupHops), then keeps a direct connection, so every
+	// subsequent message costs one hop. This is how real DHT
+	// applications (and the paper's reference [3]) run iterative
+	// protocols.
+	Cached CostModel = iota
+	// Routed: every message is routed through the overlay — the
+	// pessimistic model where nodes keep no connections.
+	Routed
+)
+
+// String returns the model name.
+func (c CostModel) String() string {
+	switch c {
+	case Cached:
+		return "cached"
+	case Routed:
+		return "routed"
+	default:
+		return fmt.Sprintf("CostModel(%d)", uint8(c))
+	}
+}
+
+// Result reports a top-k execution over the DHT.
+type Result struct {
+	// Dist is the underlying protocol execution (answers, messages,
+	// accesses).
+	Dist *dist.Result
+	// Placement records owners and lookup distances.
+	Placement Placement
+	// Hops is the total number of overlay hops all protocol traffic
+	// traversed under the chosen cost model, including the initial
+	// lookups.
+	Hops int64
+	// Model is the cost model used.
+	Model CostModel
+}
+
+// TopK runs a distributed top-k protocol with the database's lists
+// stored in the DHT. run is one of the internal/dist protocols
+// (dist.TA, dist.BPA, dist.BPA2, dist.TPUT).
+func TopK(
+	r *Ring,
+	db *list.Database,
+	opts dist.Options,
+	run func(*list.Database, dist.Options) (*dist.Result, error),
+	model CostModel,
+	placementSeed int64,
+) (*Result, error) {
+	if r == nil || db == nil {
+		return nil, fmt.Errorf("dht: nil ring or database")
+	}
+	dres, err := run(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := r.Place(db.M(), placementSeed)
+	res := &Result{Dist: dres, Placement: p, Model: model}
+
+	for i, msgs := range dres.Net.PerOwner {
+		if i >= len(p.Owners) {
+			return nil, fmt.Errorf("dht: protocol used owner %d beyond placement of %d lists", i, len(p.Owners))
+		}
+		switch model {
+		case Cached:
+			if msgs > 0 {
+				// One DHT lookup to find the owner, then direct messages.
+				res.Hops += int64(p.LookupHops[i]) + msgs
+			}
+		case Routed:
+			// Every message walks the overlay. Replies traverse the same
+			// distance in reverse.
+			res.Hops += msgs * int64(maxInt(p.LookupHops[i], 1))
+		default:
+			return nil, fmt.Errorf("dht: unknown cost model %d", model)
+		}
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

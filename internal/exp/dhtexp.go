@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+
+	"topk/internal/dht"
+	"topk/internal/dist"
+	"topk/internal/gen"
+	"topk/internal/list"
+	"topk/internal/score"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "dht",
+		Title: "Extension (paper §8 future work): top-k over a Chord-style DHT — overlay hops vs network size",
+		Run:   runDHT,
+	})
+}
+
+// runDHT sweeps the ring size and reports total overlay hops for the
+// distributed protocols under the cached-connection cost model, plus
+// dist-bpa2 under full routing. The database is fixed (uniform,
+// n = cfg.N/10 like the dist experiment), so hop growth isolates the
+// overlay's O(log N) lookup cost on top of each protocol's message count.
+func runDHT(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(cfg.N / 10)
+	tbl := &Table{
+		ID:      "dht",
+		Title:   "Overlay hops vs ring size (uniform database, cached connections)",
+		XLabel:  "ring nodes",
+		Metric:  "total overlay hops",
+		Columns: []string{"dist-ta", "dist-bpa2", "tput", "dist-bpa2 routed", "mean lookup hops"},
+	}
+	protocols := []struct {
+		name string
+		run  func(*list.Database, dist.Options) (*dist.Result, error)
+	}{
+		{"dist-ta", dist.TA},
+		{"dist-bpa2", dist.BPA2},
+		{"tput", dist.TPUT},
+	}
+	for _, ringSize := range []int{64, 256, 1024, 4096, 16384} {
+		row := Row{Label: fmt.Sprintf("%d", ringSize), Values: map[string]float64{}}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.Seed + int64(trial)
+			ring, err := dht.NewRing(ringSize, seed)
+			if err != nil {
+				return nil, err
+			}
+			db, err := gen.Generate(gen.Spec{Kind: gen.Uniform, N: n, M: cfg.M, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			opts := dist.Options{K: cfg.K, Scoring: score.Sum{}, Tracker: cfg.Tracker}
+			for _, p := range protocols {
+				res, err := dht.TopK(ring, db, opts, p.run, dht.Cached, seed)
+				if err != nil {
+					return nil, err
+				}
+				row.Values[p.name] += float64(res.Hops)
+			}
+			routed, err := dht.TopK(ring, db, opts, dist.BPA2, dht.Routed, seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Values["dist-bpa2 routed"] += float64(routed.Hops)
+			var hops, cnt float64
+			for _, h := range routed.Placement.LookupHops {
+				hops += float64(h)
+				cnt++
+			}
+			row.Values["mean lookup hops"] += hops / cnt
+		}
+		for c := range row.Values {
+			row.Values[c] /= float64(cfg.Trials)
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,97 @@
+package exp
+
+import "topk/internal/gen"
+
+// The paper's sweeps: m = 2..18 step 2 (Figures 3-11), k = 10..100 step
+// 10 (Figures 12-14), n = 25,000..200,000 step 25,000 (Figures 15-17).
+
+func mPoints() []int { return []int{2, 4, 6, 8, 10, 12, 14, 16, 18} }
+
+func kPoints() []int { return []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} }
+
+func nPoints() []int {
+	return []int{25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000}
+}
+
+// registerMSweep registers one of the m-sweep figures.
+func registerMSweep(id, figure, caption string, mt metric, kind gen.Kind, alpha float64) {
+	register(Experiment{
+		ID:     id,
+		Title:  caption,
+		Figure: figure,
+		Run: func(cfg Config) (*Table, error) {
+			return runSweep(sweepSpec{
+				id: id, title: caption, figure: figure,
+				xLabel: "m", metric: mt,
+				points: mPoints(),
+				makeSpec: func(cfg Config, m int, seed int64) gen.Spec {
+					return gen.Spec{Kind: kind, N: cfg.scaled(cfg.N), M: m, Alpha: alpha, Seed: seed}
+				},
+				k: func(cfg Config, _ int) int { return cfg.K },
+			}, cfg)
+		},
+	})
+}
+
+// registerKSweep registers one of the k-sweep figures.
+func registerKSweep(id, figure, caption string, kind gen.Kind, alpha float64) {
+	register(Experiment{
+		ID:     id,
+		Title:  caption,
+		Figure: figure,
+		Run: func(cfg Config) (*Table, error) {
+			return runSweep(sweepSpec{
+				id: id, title: caption, figure: figure,
+				xLabel: "k", metric: metricCost,
+				points: kPoints(),
+				makeSpec: func(cfg Config, _ int, seed int64) gen.Spec {
+					return gen.Spec{Kind: kind, N: cfg.scaled(cfg.N), M: cfg.M, Alpha: alpha, Seed: seed}
+				},
+				k: func(_ Config, k int) int { return k },
+			}, cfg)
+		},
+	})
+}
+
+// registerNSweep registers one of the n-sweep figures.
+func registerNSweep(id, figure, caption string, kind gen.Kind, alpha float64) {
+	register(Experiment{
+		ID:     id,
+		Title:  caption,
+		Figure: figure,
+		Run: func(cfg Config) (*Table, error) {
+			return runSweep(sweepSpec{
+				id: id, title: caption, figure: figure,
+				xLabel: "n", metric: metricCost,
+				points: nPoints(),
+				makeSpec: func(cfg Config, n int, seed int64) gen.Spec {
+					return gen.Spec{Kind: kind, N: cfg.scaled(n), M: cfg.M, Alpha: alpha, Seed: seed}
+				},
+				k: func(cfg Config, _ int) int { return cfg.K },
+			}, cfg)
+		},
+	})
+}
+
+func init() {
+	// Section 6.2.1: effect of the number of lists.
+	registerMSweep("fig3", "Figure 3", "Execution cost vs. number of lists over uniform database", metricCost, gen.Uniform, 0)
+	registerMSweep("fig4", "Figure 4", "Number of accesses vs. number of lists over uniform database", metricAccesses, gen.Uniform, 0)
+	registerMSweep("fig5", "Figure 5", "Response time vs. number of lists over uniform database", metricTimeMS, gen.Uniform, 0)
+	registerMSweep("fig6", "Figure 6", "Execution cost vs. number of lists over Gaussian database", metricCost, gen.Gaussian, 0)
+	registerMSweep("fig7", "Figure 7", "Number of accesses vs. number of lists over Gaussian database", metricAccesses, gen.Gaussian, 0)
+	registerMSweep("fig8", "Figure 8", "Response time vs. number of lists over Gaussian database", metricTimeMS, gen.Gaussian, 0)
+	registerMSweep("fig9", "Figure 9", "Execution cost vs. number of lists over correlated database with alpha=0.001", metricCost, gen.Correlated, 0.001)
+	registerMSweep("fig10", "Figure 10", "Execution cost vs. number of lists over correlated database with alpha=0.01", metricCost, gen.Correlated, 0.01)
+	registerMSweep("fig11", "Figure 11", "Execution cost vs. number of lists over correlated database with alpha=0.1", metricCost, gen.Correlated, 0.1)
+
+	// Section 6.2.2: effect of k.
+	registerKSweep("fig12", "Figure 12", "Execution cost vs. k over uniform database (m=8)", gen.Uniform, 0)
+	registerKSweep("fig13", "Figure 13", "Execution cost vs. k over correlated database with alpha=0.01 (m=8)", gen.Correlated, 0.01)
+	registerKSweep("fig14", "Figure 14", "Execution cost vs. k over correlated database with alpha=0.001 (m=8)", gen.Correlated, 0.001)
+
+	// Section 6.2.3: effect of the number of data items.
+	registerNSweep("fig15", "Figure 15", "Execution cost vs. n over uniform database (m=8)", gen.Uniform, 0)
+	registerNSweep("fig16", "Figure 16", "Execution cost vs. n over correlated database with alpha=0.01 (m=8)", gen.Correlated, 0.01)
+	registerNSweep("fig17", "Figure 17", "Execution cost vs. n over correlated database with alpha=0.0001 (m=8)", gen.Correlated, 0.0001)
+}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the table's series as an ASCII chart — the textual
+// equivalent of the paper's figures. Rows map to the x axis in order;
+// values are scaled linearly into the given height. Each series plots
+// with its own glyph; collisions show the glyph of the later column.
+//
+// width is the number of character cells available per series point
+// interval; the chart is sized width*(len(rows)-1)+1 columns, capped to
+// something readable for degenerate inputs.
+func (t *Table) RenderChart(w io.Writer, height int) error {
+	if height < 4 {
+		height = 12
+	}
+	cols := t.sortedColumns()
+	if len(t.Rows) == 0 || len(cols) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+
+	// Collect extremes over every plotted value.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		for _, c := range cols {
+			if v, ok := r.Values[c]; ok {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1 // flat series: center it
+	}
+
+	const cell = 6 // columns per x step
+	chartW := cell*(len(t.Rows)-1) + 1
+	if chartW < 1 {
+		chartW = 1
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", chartW))
+	}
+	glyphs := seriesGlyphs(cols)
+	for ci, c := range cols {
+		for ri, r := range t.Rows {
+			v, ok := r.Values[c]
+			if !ok {
+				continue
+			}
+			x := ri * cell
+			yFrac := (v - lo) / (hi - lo)
+			y := int(math.Round(float64(height-1) * (1 - yFrac)))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = glyphs[ci]
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "# %s [%s] — %s (%s)\n", t.ID, t.Figure, t.Title, t.Metric); err != nil {
+		return err
+	}
+	for y, row := range grid {
+		label := "          "
+		switch y {
+		case 0:
+			label = leftPad(formatValue(hi), 10)
+		case height - 1:
+			label = leftPad(formatValue(lo), 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, strings.TrimRight(string(row), " ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", chartW)); err != nil {
+		return err
+	}
+	// X tick labels under every point.
+	ticks := make([]byte, 0, chartW+cell)
+	for ri, r := range t.Rows {
+		x := ri * cell
+		for len(ticks) < x {
+			ticks = append(ticks, ' ')
+		}
+		ticks = append(ticks, r.Label...)
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s  (%s)\n", strings.Repeat(" ", 10), string(ticks), t.XLabel); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for ci, c := range cols {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[ci], c))
+	}
+	_, err := fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", 10), strings.Join(legend, "  "))
+	return err
+}
+
+// seriesGlyphs assigns one plotting character per column, preferring the
+// column's first letter and falling back to a fixed alphabet on clashes.
+func seriesGlyphs(cols []string) []byte {
+	fallback := []byte("*o+x#@%&")
+	used := map[byte]bool{}
+	out := make([]byte, len(cols))
+	fi := 0
+	for i, c := range cols {
+		g := byte('?')
+		if len(c) > 0 {
+			g = c[0]
+		}
+		if used[g] {
+			for fi < len(fallback) && used[fallback[fi]] {
+				fi++
+			}
+			if fi < len(fallback) {
+				g = fallback[fi]
+			}
+		}
+		used[g] = true
+		out[i] = g
+	}
+	return out
+}
+
+func leftPad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

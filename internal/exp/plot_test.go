@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chartTable() *Table {
+	return &Table{
+		ID: "fig0", Figure: "Figure 0", Title: "test chart", Metric: "cost",
+		XLabel:  "m",
+		Columns: []string{"TA", "BPA2"},
+		Rows: []Row{
+			{Label: "2", Values: map[string]float64{"TA": 10, "BPA2": 8}},
+			{Label: "4", Values: map[string]float64{"TA": 40, "BPA2": 20}},
+			{Label: "8", Values: map[string]float64{"TA": 100, "BPA2": 30}},
+		},
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chartTable().RenderChart(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "legend:", "T=TA", "B=BPA2", "(m)", "100", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max value (TA at m=8) must sit on the top row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "T") {
+		t.Errorf("top row missing the max glyph:\n%s", out)
+	}
+}
+
+func TestRenderChartDegenerate(t *testing.T) {
+	empty := &Table{ID: "x", XLabel: "m"}
+	var buf bytes.Buffer
+	if err := empty.RenderChart(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart output: %q", buf.String())
+	}
+
+	flat := &Table{
+		ID: "flat", XLabel: "m", Columns: []string{"A"},
+		Rows: []Row{{Label: "1", Values: map[string]float64{"A": 5}}},
+	}
+	buf.Reset()
+	if err := flat.RenderChart(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A=A") {
+		t.Errorf("flat chart missing legend:\n%s", buf.String())
+	}
+}
+
+func TestRenderChartTinyHeightDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chartTable().RenderChart(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 12 {
+		t.Errorf("height fallback not applied: %d lines", lines)
+	}
+}
+
+func TestSeriesGlyphs(t *testing.T) {
+	gs := seriesGlyphs([]string{"TA", "BPA", "BPA2", ""})
+	if gs[0] != 'T' || gs[1] != 'B' {
+		t.Errorf("glyphs = %q", gs)
+	}
+	if gs[2] == gs[1] {
+		t.Errorf("clash not resolved: %q", gs)
+	}
+	if gs[3] == gs[0] || gs[3] == gs[1] || gs[3] == gs[2] {
+		t.Errorf("empty-name glyph clashes: %q", gs)
+	}
+}
+
+// TestRenderChartOnRealExperiment smoke-tests the chart over an actual
+// tiny experiment run.
+func TestRenderChartOnRealExperiment(t *testing.T) {
+	e, ok := ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 missing")
+	}
+	tbl, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.RenderChart(&buf, 14); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "legend:") {
+		t.Error("chart incomplete")
+	}
+}

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Render writes the table as aligned text, one row per sweep value, with
+// a header naming the figure and metric. When the table contains the TA /
+// BPA / BPA2 series it appends the paper's summary factors
+// (TA cost / BPA cost and TA cost / BPA2 cost averaged across rows, cf.
+// Section 6.2.4: "(m+6)/8 and (m+1)/2 respectively").
+func (t *Table) Render(w io.Writer) error {
+	cols := t.sortedColumns()
+	header := append([]string{t.XLabel}, cols...)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		row := make([]string, len(header))
+		row[0] = r.Label
+		for ci, c := range cols {
+			if v, ok := r.Values[c]; ok {
+				row[ci+1] = formatValue(v)
+			} else {
+				row[ci+1] = "-"
+			}
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		cells[ri] = row
+	}
+
+	if _, err := fmt.Fprintf(w, "# %s [%s] — %s (%s)\n", t.ID, t.Figure, t.Title, t.Metric); err != nil {
+		return err
+	}
+	writeRow := func(row []string) error {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range cells {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, alg := range []string{"BPA", "BPA-mem", "BPA2"} {
+		if g := t.gainOver(alg); g > 0 {
+			if _, err := fmt.Fprintf(w, "mean gain TA/%-7s = %.2fx\n", alg, g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table in CSV form (header row, then one row per
+// sweep value).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cols := t.sortedColumns()
+	header := append([]string{t.XLabel}, cols...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		row := make([]string, 0, len(header))
+		row = append(row, r.Label)
+		for _, c := range cols {
+			if v, ok := r.Values[c]; ok {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders large counters without decimals and small
+// measurements with three significant decimals.
+func formatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == float64(int64(v)) && av < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	case av >= 100:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,152 @@
+// Package gen generates the test databases of the paper's performance
+// evaluation (Section 6.1):
+//
+//   - Uniform: each list's scores drawn i.i.d. from U(0,1); the positions
+//     of an item in any two lists are independent.
+//   - Gaussian: scores drawn from N(0,1) (paper: "mean of 0 and a standard
+//     deviation of 1").
+//   - Correlated: item positions across lists are correlated through a
+//     parameter α in [0,1]; scores follow the Zipf law with θ = 0.7.
+//
+// Generation is deterministic per (Spec, Seed).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"topk/internal/list"
+)
+
+// Kind selects a database family.
+type Kind uint8
+
+const (
+	// Uniform draws local scores from U(0,1) independently per list.
+	Uniform Kind = iota
+	// Gaussian draws local scores from N(0,1) independently per list.
+	Gaussian
+	// Correlated correlates item positions across lists with strength
+	// controlled by Alpha and assigns Zipf(θ) scores by rank.
+	Correlated
+)
+
+// String returns the family name used in experiment tables.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Correlated:
+		return "correlated"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Spec describes a database to generate.
+type Spec struct {
+	Kind Kind
+	// N is the number of data items per list (paper default 100,000).
+	N int
+	// M is the number of lists (paper default 8).
+	M int
+	// Alpha is the correlation parameter for Correlated databases,
+	// 0 < Alpha <= 1: positions in list i >= 2 are placed within distance
+	// r ~ U[1, N*Alpha] of the item's position in list 1. Smaller Alpha
+	// means stronger correlation.
+	Alpha float64
+	// Theta is the Zipf exponent for Correlated score assignment. Zero
+	// means the paper's default θ = 0.7.
+	Theta float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultTheta is the paper's Zipf parameter (Section 6.1).
+const DefaultTheta = 0.7
+
+func (s Spec) validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("gen: n=%d must be positive", s.N)
+	}
+	if s.M < 1 {
+		return fmt.Errorf("gen: m=%d must be positive", s.M)
+	}
+	if s.Kind == Correlated {
+		if s.Alpha <= 0 || s.Alpha > 1 {
+			return fmt.Errorf("gen: alpha=%v out of (0,1]", s.Alpha)
+		}
+		if s.Theta < 0 {
+			return fmt.Errorf("gen: theta=%v must be non-negative", s.Theta)
+		}
+	}
+	return nil
+}
+
+// Generate builds the database described by spec.
+func Generate(spec Spec) (*list.Database, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	switch spec.Kind {
+	case Uniform:
+		return independent(spec, rng, func() float64 { return rng.Float64() })
+	case Gaussian:
+		return independent(spec, rng, rng.NormFloat64)
+	case Correlated:
+		return correlated(spec, rng)
+	default:
+		return nil, fmt.Errorf("gen: unknown kind %d", spec.Kind)
+	}
+}
+
+// MustGenerate is Generate for tests and benchmarks with known-good specs.
+func MustGenerate(spec Spec) *list.Database {
+	db, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// independent builds a database whose lists draw scores independently from
+// the given distribution ("the positions of a data item in any two lists
+// are independent of each other").
+func independent(spec Spec, _ *rand.Rand, draw func() float64) (*list.Database, error) {
+	lists := make([]*list.List, spec.M)
+	scores := make([]float64, spec.N)
+	for i := 0; i < spec.M; i++ {
+		for d := range scores {
+			scores[d] = draw()
+		}
+		l, err := list.FromScores(scores)
+		if err != nil {
+			return nil, err
+		}
+		lists[i] = l
+	}
+	return list.NewDatabase(lists...)
+}
+
+// ZipfScores returns n scores following the Zipf law with exponent theta:
+// the score at rank j (1-based) is proportional to 1/j^theta, normalized
+// so the top score is 1. The slice is strictly decreasing for theta > 0.
+func ZipfScores(n int, theta float64) []float64 {
+	out := make([]float64, n)
+	for j := 1; j <= n; j++ {
+		out[j-1] = 1 / powf(float64(j), theta)
+	}
+	return out
+}
+
+// powf is math.Pow specialized here to keep the hot loop allocation-free
+// and explicit about the only use of non-integer exponentiation.
+func powf(x, y float64) float64 {
+	if y == 0 {
+		return 1
+	}
+	return pow(x, y)
+}

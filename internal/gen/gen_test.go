@@ -1,0 +1,309 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/list"
+)
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: Uniform, N: 0, M: 3},
+		{Kind: Uniform, N: 10, M: 0},
+		{Kind: Correlated, N: 10, M: 2, Alpha: 0},
+		{Kind: Correlated, N: 10, M: 2, Alpha: 1.5},
+		{Kind: Correlated, N: 10, M: 2, Alpha: 0.1, Theta: -1},
+		{Kind: Kind(99), N: 10, M: 2},
+	}
+	for _, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("Generate(%+v) should fail", s)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Uniform:    "uniform",
+		Gaussian:   "gaussian",
+		Correlated: "correlated",
+		Kind(9):    "Kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	db := MustGenerate(Spec{Kind: Uniform, N: 500, M: 4, Seed: 42})
+	if db.M() != 4 || db.N() != 500 {
+		t.Fatalf("M=%d N=%d", db.M(), db.N())
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform scores live in [0, 1).
+	for i := 0; i < db.M(); i++ {
+		top := db.List(i).At(1).Score
+		bottom := db.List(i).At(500).Score
+		if top < 0 || top >= 1 || bottom < 0 {
+			t.Errorf("list %d scores out of [0,1): top=%v bottom=%v", i, top, bottom)
+		}
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	db := MustGenerate(Spec{Kind: Gaussian, N: 2000, M: 2, Seed: 1})
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// N(0,1): empirical mean near 0, both signs present.
+	var sum float64
+	neg := 0
+	l := db.List(0)
+	for p := 1; p <= db.N(); p++ {
+		s := l.At(p).Score
+		sum += s
+		if s < 0 {
+			neg++
+		}
+	}
+	mean := sum / float64(db.N())
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("gaussian mean = %v, want ~0", mean)
+	}
+	if neg < db.N()/4 || neg > 3*db.N()/4 {
+		t.Errorf("gaussian negatives = %d of %d, want roughly half", neg, db.N())
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	specs := []Spec{
+		{Kind: Uniform, N: 200, M: 3, Seed: 7},
+		{Kind: Gaussian, N: 200, M: 3, Seed: 7},
+		{Kind: Correlated, N: 200, M: 3, Alpha: 0.05, Seed: 7},
+	}
+	for _, spec := range specs {
+		a := MustGenerate(spec)
+		b := MustGenerate(spec)
+		for i := 0; i < a.M(); i++ {
+			for p := 1; p <= a.N(); p++ {
+				if a.List(i).At(p) != b.List(i).At(p) {
+					t.Fatalf("%v: not deterministic at list %d pos %d", spec.Kind, i, p)
+				}
+			}
+		}
+		spec2 := spec
+		spec2.Seed = 8
+		c := MustGenerate(spec2)
+		same := true
+		for p := 1; p <= a.N() && same; p++ {
+			if a.List(0).At(p) != c.List(0).At(p) {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical list", spec.Kind)
+		}
+	}
+}
+
+func TestZipfScores(t *testing.T) {
+	s := ZipfScores(100, 0.7)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != 1 {
+		t.Errorf("top score = %v, want 1", s[0])
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] >= s[i-1] {
+			t.Fatalf("not strictly decreasing at %d: %v >= %v", i, s[i], s[i-1])
+		}
+	}
+	// Zipf law: score(j) = j^-theta, so score(2)/score(1) = 2^-0.7.
+	want := math.Pow(2, -0.7)
+	if math.Abs(s[1]-want) > 1e-12 {
+		t.Errorf("score(2) = %v, want %v", s[1], want)
+	}
+	// theta = 0 degenerates to all-equal scores.
+	flat := ZipfScores(5, 0)
+	for _, v := range flat {
+		if v != 1 {
+			t.Errorf("theta=0 score = %v, want 1", v)
+		}
+	}
+}
+
+func TestCorrelatedValidPermutations(t *testing.T) {
+	db := MustGenerate(Spec{Kind: Correlated, N: 300, M: 5, Alpha: 0.01, Seed: 3})
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Scores in every list follow the same Zipf sequence.
+	want := ZipfScores(300, DefaultTheta)
+	for i := 0; i < db.M(); i++ {
+		for p := 1; p <= db.N(); p++ {
+			if got := db.List(i).At(p).Score; got != want[p-1] {
+				t.Fatalf("list %d pos %d score = %v, want %v", i, p, got, want[p-1])
+			}
+		}
+	}
+}
+
+func TestCorrelatedThetaOverride(t *testing.T) {
+	db := MustGenerate(Spec{Kind: Correlated, N: 50, M: 2, Alpha: 0.1, Theta: 1.2, Seed: 3})
+	want := ZipfScores(50, 1.2)
+	if got := db.List(0).At(2).Score; got != want[1] {
+		t.Errorf("theta override ignored: %v != %v", got, want[1])
+	}
+}
+
+// TestCorrelatedPositionsAreClose: with a small alpha the position of an
+// item in list i must be near its position in list 1 most of the time
+// (collisions push some items away, so we check the typical distance).
+func TestCorrelatedPositionsAreClose(t *testing.T) {
+	n := 2000
+	alpha := 0.01
+	db := MustGenerate(Spec{Kind: Correlated, N: n, M: 3, Alpha: alpha, Seed: 11})
+	maxR := float64(n) * alpha
+	within := 0
+	for d := 0; d < n; d++ {
+		p1 := db.List(0).PositionOf(list.ItemID(d))
+		p2 := db.List(1).PositionOf(list.ItemID(d))
+		if math.Abs(float64(p1-p2)) <= 3*maxR {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(n); frac < 0.8 {
+		t.Errorf("only %.0f%% of items within 3*n*alpha of their list-1 position", frac*100)
+	}
+}
+
+// TestCorrelatedStrongerCorrelationHelps: top items of a strongly
+// correlated database sit near the top of every list, so the best overall
+// item should be found very near position 1 in all lists.
+func TestCorrelatedStrongerCorrelationHelps(t *testing.T) {
+	n := 5000
+	strong := MustGenerate(Spec{Kind: Correlated, N: n, M: 4, Alpha: 0.001, Seed: 5})
+	top := strong.List(0).At(1).Item
+	for i := 1; i < strong.M(); i++ {
+		p := strong.List(i).PositionOf(top)
+		if p > n/10 {
+			t.Errorf("alpha=0.001: top item of list 0 at position %d of list %d", p, i)
+		}
+	}
+}
+
+func TestSlotAllocatorNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := newSlotAllocator(10)
+	if got := a.takeNearest(5, rng); got != 5 {
+		t.Fatalf("takeNearest(5) = %d on empty allocator, want 5", got)
+	}
+	// 5 is taken: nearest to 5 is 4 or 6 (random tie).
+	got := a.takeNearest(5, rng)
+	if got != 4 && got != 6 {
+		t.Fatalf("takeNearest(5) = %d, want 4 or 6", got)
+	}
+	// Fill everything; every position handed out exactly once.
+	seen := map[int]bool{5: true, got: true}
+	for i := 0; i < 8; i++ {
+		p := a.takeNearest(1+rng.Intn(10), rng)
+		if p < 1 || p > 10 || seen[p] {
+			t.Fatalf("takeNearest returned invalid or duplicate %d", p)
+		}
+		seen[p] = true
+	}
+	if a.freeCount() != 0 {
+		t.Fatalf("freeCount = %d, want 0", a.freeCount())
+	}
+}
+
+func TestSlotAllocatorEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := newSlotAllocator(3)
+	a.take(1)
+	a.take(2)
+	if got := a.takeNearest(1, rng); got != 3 {
+		t.Fatalf("takeNearest(1) = %d, want 3 (only free slot)", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("takeNearest on full allocator did not panic")
+		}
+	}()
+	a.takeNearest(2, rng)
+}
+
+// TestPropertySlotAllocatorIsPermutation: any sequence of takeNearest
+// calls hands out each position exactly once and always returns the
+// closest free slot.
+func TestPropertySlotAllocatorIsPermutation(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%60
+		a := newSlotAllocator(n)
+		free := make([]bool, n+1)
+		for p := 1; p <= n; p++ {
+			free[p] = true
+		}
+		for i := 0; i < n; i++ {
+			target := 1 + rng.Intn(n)
+			got := a.takeNearest(target, rng)
+			if got < 1 || got > n || !free[got] {
+				t.Logf("invalid slot %d", got)
+				return false
+			}
+			// No strictly closer free slot may exist.
+			d := abs(got - target)
+			for q := 1; q <= n; q++ {
+				if free[q] && abs(q-target) < d {
+					t.Logf("slot %d returned for target %d, but %d was closer", got, target, q)
+					return false
+				}
+			}
+			free[got] = false
+		}
+		return a.freeCount() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestPropertyGeneratedDatabasesValidate: every spec family produces
+// structurally valid databases for arbitrary sizes and seeds.
+func TestPropertyGeneratedDatabasesValidate(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8, kindRaw uint8, alphaRaw uint8) bool {
+		n := 1 + int(nRaw)%80
+		m := 1 + int(mRaw)%5
+		kinds := []Kind{Uniform, Gaussian, Correlated}
+		kind := kinds[int(kindRaw)%len(kinds)]
+		spec := Spec{Kind: kind, N: n, M: m, Seed: seed}
+		if kind == Correlated {
+			spec.Alpha = float64(1+int(alphaRaw)%100) / 100
+		}
+		db, err := Generate(spec)
+		if err != nil {
+			t.Logf("Generate(%+v): %v", spec, err)
+			return false
+		}
+		return db.Validate() == nil && db.N() == n && db.M() == m
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

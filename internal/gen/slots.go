@@ -1,0 +1,115 @@
+package gen
+
+import "math/rand"
+
+// slotAllocator hands out positions 1..n, each at most once, answering
+// "nearest free position to p" queries. Two union-find structures skip
+// over occupied runs: nextFree[p] is the smallest free position >= p and
+// prevFree[p] the largest free position <= p, both with path compression,
+// so a take costs near-constant amortized time.
+type slotAllocator struct {
+	n        int
+	taken    []bool
+	nextFree []int32 // index 1..n, n+1 = "none to the right"
+	prevFree []int32 // index 1..n, 0   = "none to the left"
+}
+
+func newSlotAllocator(n int) *slotAllocator {
+	a := &slotAllocator{
+		n:        n,
+		taken:    make([]bool, n+2),
+		nextFree: make([]int32, n+2),
+		prevFree: make([]int32, n+1),
+	}
+	for p := 0; p <= n+1; p++ {
+		a.nextFree[p] = int32(p)
+	}
+	for p := 0; p <= n; p++ {
+		a.prevFree[p] = int32(p)
+	}
+	return a
+}
+
+// findNext returns the smallest free position >= p, or n+1 if none.
+func (a *slotAllocator) findNext(p int) int {
+	if p > a.n {
+		return a.n + 1
+	}
+	root := p
+	for a.nextFree[root] != int32(root) {
+		root = int(a.nextFree[root])
+	}
+	for p != root {
+		p, a.nextFree[p] = int(a.nextFree[p]), int32(root)
+	}
+	return root
+}
+
+// findPrev returns the largest free position <= p, or 0 if none.
+func (a *slotAllocator) findPrev(p int) int {
+	if p < 1 {
+		return 0
+	}
+	root := p
+	for a.prevFree[root] != int32(root) {
+		root = int(a.prevFree[root])
+	}
+	for p != root {
+		p, a.prevFree[p] = int(a.prevFree[p]), int32(root)
+	}
+	return root
+}
+
+// takeNearest claims and returns the free position closest to target.
+// Distance ties are broken uniformly at random so the correlated generator
+// has no directional bias. target must be in [1, n] and at least one
+// position must be free.
+func (a *slotAllocator) takeNearest(target int, rng *rand.Rand) int {
+	up := a.findNext(target)
+	down := a.findPrev(target)
+	var p int
+	switch {
+	case up > a.n && down == 0:
+		panic("gen: no free positions left")
+	case up > a.n:
+		p = down
+	case down == 0:
+		p = up
+	default:
+		du, dd := up-target, target-down
+		switch {
+		case du < dd:
+			p = up
+		case dd < du:
+			p = down
+		default:
+			if rng.Intn(2) == 0 {
+				p = up
+			} else {
+				p = down
+			}
+		}
+	}
+	a.take(p)
+	return p
+}
+
+func (a *slotAllocator) take(p int) {
+	if p < 1 || p > a.n || a.taken[p] {
+		panic("gen: invalid take")
+	}
+	a.taken[p] = true
+	a.nextFree[p] = int32(p + 1)
+	a.prevFree[p] = int32(p - 1)
+}
+
+// freeCount returns the number of unclaimed positions; used by tests.
+func (a *slotAllocator) freeCount() int {
+	c := 0
+	for p := 1; p <= a.n; p++ {
+		if !a.taken[p] {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,98 @@
+package list
+
+import "fmt"
+
+// Database is a set of m sorted lists over the same n data items
+// (paper Section 2: "The set of m sorted lists is called a database").
+type Database struct {
+	lists []*List
+}
+
+// NewDatabase assembles m >= 1 lists into a database. All lists must have
+// the same length (they share the item universe by construction of List).
+func NewDatabase(lists ...*List) (*Database, error) {
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("list: database needs at least one list")
+	}
+	n := lists[0].Len()
+	for i, l := range lists {
+		if l == nil {
+			return nil, fmt.Errorf("list: list %d is nil", i)
+		}
+		if l.Len() != n {
+			return nil, fmt.Errorf("list: list %d has %d items, want %d", i, l.Len(), n)
+		}
+	}
+	cp := make([]*List, len(lists))
+	copy(cp, lists)
+	return &Database{lists: cp}, nil
+}
+
+// FromColumns builds a database from m score columns: columns[i][d] is the
+// local score of item d in list i. This is the natural encoding for
+// relational data, where each column is one attribute of the scoring
+// function.
+func FromColumns(columns [][]float64) (*Database, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("list: no columns")
+	}
+	lists := make([]*List, len(columns))
+	for i, col := range columns {
+		l, err := FromScores(col)
+		if err != nil {
+			return nil, fmt.Errorf("list: column %d: %w", i, err)
+		}
+		lists[i] = l
+	}
+	return NewDatabase(lists...)
+}
+
+// M returns the number of lists.
+func (db *Database) M() int { return len(db.lists) }
+
+// N returns the number of data items per list.
+func (db *Database) N() int { return db.lists[0].Len() }
+
+// List returns the i-th list (0-based).
+func (db *Database) List(i int) *List { return db.lists[i] }
+
+// Lists returns the underlying lists in order. The returned slice is a
+// copy; the lists themselves are shared (they are immutable after
+// construction).
+func (db *Database) Lists() []*List {
+	cp := make([]*List, len(db.lists))
+	copy(cp, db.lists)
+	return cp
+}
+
+// LocalScores fills dst with the local score of item d in every list and
+// returns it. If dst is nil or too small a new slice is allocated. This
+// bypasses access accounting and exists for oracles, tests and result
+// reporting; algorithms must go through access.Probe.
+func (db *Database) LocalScores(d ItemID, dst []float64) []float64 {
+	if cap(dst) < len(db.lists) {
+		dst = make([]float64, len(db.lists))
+	}
+	dst = dst[:len(db.lists)]
+	for i, l := range db.lists {
+		dst[i] = l.ScoreOf(d)
+	}
+	return dst
+}
+
+// Validate re-checks every list and the shared-universe invariant.
+func (db *Database) Validate() error {
+	if len(db.lists) == 0 {
+		return fmt.Errorf("list: database has no lists")
+	}
+	n := db.lists[0].Len()
+	for i, l := range db.lists {
+		if l.Len() != n {
+			return fmt.Errorf("list: list %d has %d items, want %d", i, l.Len(), n)
+		}
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("list: list %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package list
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFromScores decodes arbitrary bytes into a score column and checks
+// the constructor's contract: either an error, or a list that validates
+// and indexes every item at the position holding it.
+func FuzzFromScores(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	seed := make([]byte, 0, 32)
+	for _, v := range []float64{3, 1, 2, math.Inf(1)} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n > 512 {
+			n = 512 // keep individual cases cheap
+		}
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		l, err := FromScores(scores)
+		if err != nil {
+			return // rejected (empty or NaN input): fine if it did not panic
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("FromScores accepted an invalid list: %v", err)
+		}
+		for i, s := range scores {
+			d := ItemID(i)
+			if got := l.ScoreOf(d); got != s && !(math.IsNaN(got) && math.IsNaN(s)) {
+				t.Fatalf("ScoreOf(%d) = %v, want %v", d, got, s)
+			}
+			pos := l.PositionOf(d)
+			if e := l.At(pos); e.Item != d {
+				t.Fatalf("At(PositionOf(%d)) = item %d", d, e.Item)
+			}
+		}
+	})
+}
+
+// FuzzNewEntries decodes bytes into (item, score) pairs and checks that
+// New either rejects them or produces a validating list.
+func FuzzNewEntries(f *testing.F) {
+	f.Add([]byte{})
+	ok := make([]byte, 0, 36)
+	for i, v := range []float64{9, 7, 5} {
+		ok = binary.LittleEndian.AppendUint32(ok, uint32(i))
+		ok = binary.LittleEndian.AppendUint64(ok, math.Float64bits(v))
+	}
+	f.Add(ok)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const rec = 12
+		n := len(data) / rec
+		if n > 512 {
+			n = 512
+		}
+		entries := make([]Entry, n)
+		for i := range entries {
+			off := i * rec
+			entries[i] = Entry{
+				Item:  ItemID(int32(binary.LittleEndian.Uint32(data[off:]))),
+				Score: math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:])),
+			}
+		}
+		l, err := New(entries)
+		if err != nil {
+			return
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("New accepted an invalid list: %v", err)
+		}
+	})
+}

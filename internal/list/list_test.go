@@ -1,0 +1,307 @@
+package list
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustList(t *testing.T, entries []Entry) *List {
+	t.Helper()
+	l, err := New(entries)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func TestNewValidList(t *testing.T) {
+	l := mustList(t, []Entry{{Item: 2, Score: 9}, {Item: 0, Score: 5}, {Item: 1, Score: 1}})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if got := l.At(1); got.Item != 2 || got.Score != 9 {
+		t.Errorf("At(1) = %+v, want item 2 score 9", got)
+	}
+	if got := l.PositionOf(1); got != 3 {
+		t.Errorf("PositionOf(1) = %d, want 3", got)
+	}
+	if got := l.ScoreOf(0); got != 5 {
+		t.Errorf("ScoreOf(0) = %v, want 5", got)
+	}
+}
+
+func TestNewAllowsTiedScores(t *testing.T) {
+	if _, err := New([]Entry{{Item: 0, Score: 4}, {Item: 1, Score: 4}, {Item: 2, Score: 4}}); err != nil {
+		t.Fatalf("ties must be legal: %v", err)
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("want error for empty list")
+	}
+}
+
+func TestNewRejectsUnsorted(t *testing.T) {
+	_, err := New([]Entry{{Item: 0, Score: 1}, {Item: 1, Score: 2}})
+	if err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("want not-sorted error, got %v", err)
+	}
+}
+
+func TestNewRejectsDuplicateItem(t *testing.T) {
+	_, err := New([]Entry{{Item: 0, Score: 2}, {Item: 0, Score: 1}})
+	if err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("want duplicate error, got %v", err)
+	}
+}
+
+func TestNewRejectsOutOfRangeItem(t *testing.T) {
+	_, err := New([]Entry{{Item: 5, Score: 2}, {Item: 0, Score: 1}})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("want out-of-range error, got %v", err)
+	}
+	_, err = New([]Entry{{Item: -1, Score: 2}, {Item: 0, Score: 1}})
+	if err == nil {
+		t.Fatal("want error for negative item")
+	}
+}
+
+func TestNewRejectsNaN(t *testing.T) {
+	if _, err := New([]Entry{{Item: 0, Score: math.NaN()}}); err == nil {
+		t.Fatal("want error for NaN score")
+	}
+	if _, err := FromScores([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("want error for NaN score via FromScores")
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	in := []Entry{{Item: 1, Score: 2}, {Item: 0, Score: 1}}
+	l := mustList(t, in)
+	in[0] = Entry{Item: 0, Score: -1}
+	if got := l.At(1); got.Item != 1 || got.Score != 2 {
+		t.Errorf("list shares memory with caller input: %+v", got)
+	}
+}
+
+func TestFromScoresSortsDescending(t *testing.T) {
+	l, err := FromScores([]float64{0.5, 2.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{Item: 1, Score: 2.5}, {Item: 2, Score: 1.5}, {Item: 0, Score: 0.5}}
+	for i, w := range want {
+		if got := l.At(i + 1); got != w {
+			t.Errorf("At(%d) = %+v, want %+v", i+1, got, w)
+		}
+	}
+}
+
+func TestFromScoresTieBreaksByItem(t *testing.T) {
+	l, err := FromScores([]float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 3; p++ {
+		if got := l.At(p).Item; got != ItemID(p-1) {
+			t.Errorf("At(%d).Item = %d, want %d (ascending-ID tie-break)", p, got, p-1)
+		}
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	l := mustList(t, []Entry{{Item: 0, Score: 1}})
+	for _, p := range []int{0, 2, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", p)
+				}
+			}()
+			l.At(p)
+		}()
+	}
+}
+
+func TestPositionOfPanicsOutOfRange(t *testing.T) {
+	l := mustList(t, []Entry{{Item: 0, Score: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("PositionOf(9) did not panic")
+		}
+	}()
+	l.PositionOf(9)
+}
+
+func TestEntriesReturnsCopy(t *testing.T) {
+	l := mustList(t, []Entry{{Item: 1, Score: 2}, {Item: 0, Score: 1}})
+	es := l.Entries()
+	es[0].Score = 99
+	if l.At(1).Score != 2 {
+		t.Error("Entries leaked internal storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := mustList(t, []Entry{{Item: 1, Score: 2}, {Item: 0, Score: 1}})
+	if err := l.Validate(); err != nil {
+		t.Errorf("valid list failed validation: %v", err)
+	}
+}
+
+// TestPropertyFromScoresRoundTrip: for any score vector, FromScores
+// produces a valid list where every item's score is preserved and
+// positions are consistent both ways.
+func TestPropertyFromScoresRoundTrip(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%64
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(10)) // force ties
+		}
+		l, err := FromScores(scores)
+		if err != nil {
+			return false
+		}
+		if l.Validate() != nil {
+			return false
+		}
+		for d := 0; d < n; d++ {
+			if l.ScoreOf(ItemID(d)) != scores[d] {
+				return false
+			}
+			p := l.PositionOf(ItemID(d))
+			if l.At(p).Item != ItemID(d) {
+				return false
+			}
+		}
+		// Positions are a bijection onto [1, n].
+		seen := make([]bool, n+1)
+		for d := 0; d < n; d++ {
+			p := l.PositionOf(ItemID(d))
+			if p < 1 || p > n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewDatabase(t *testing.T) {
+	l1 := mustList(t, []Entry{{Item: 0, Score: 2}, {Item: 1, Score: 1}})
+	l2 := mustList(t, []Entry{{Item: 1, Score: 5}, {Item: 0, Score: 3}})
+	db, err := NewDatabase(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.M() != 2 || db.N() != 2 {
+		t.Errorf("M=%d N=%d, want 2, 2", db.M(), db.N())
+	}
+	if db.List(1) != l2 {
+		t.Error("List(1) is not the second list")
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewDatabaseRejectsEmpty(t *testing.T) {
+	if _, err := NewDatabase(); err == nil {
+		t.Fatal("want error for zero lists")
+	}
+}
+
+func TestNewDatabaseRejectsNilList(t *testing.T) {
+	l1 := mustList(t, []Entry{{Item: 0, Score: 1}})
+	if _, err := NewDatabase(l1, nil); err == nil {
+		t.Fatal("want error for nil list")
+	}
+}
+
+func TestNewDatabaseRejectsLengthMismatch(t *testing.T) {
+	l1 := mustList(t, []Entry{{Item: 0, Score: 1}})
+	l2 := mustList(t, []Entry{{Item: 0, Score: 2}, {Item: 1, Score: 1}})
+	if _, err := NewDatabase(l1, l2); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+}
+
+func TestFromColumns(t *testing.T) {
+	db, err := FromColumns([][]float64{{1, 2, 3}, {30, 20, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.M() != 2 || db.N() != 3 {
+		t.Fatalf("M=%d N=%d, want 2, 3", db.M(), db.N())
+	}
+	// Column 0 ascending scores: item 2 must lead list 0.
+	if got := db.List(0).At(1).Item; got != 2 {
+		t.Errorf("list 0 top item = %d, want 2", got)
+	}
+	// Column 1 descending: item 0 leads list 1.
+	if got := db.List(1).At(1).Item; got != 0 {
+		t.Errorf("list 1 top item = %d, want 0", got)
+	}
+}
+
+func TestFromColumnsRejectsEmpty(t *testing.T) {
+	if _, err := FromColumns(nil); err == nil {
+		t.Fatal("want error for no columns")
+	}
+	if _, err := FromColumns([][]float64{{}}); err == nil {
+		t.Fatal("want error for empty column")
+	}
+}
+
+func TestFromColumnsRejectsRagged(t *testing.T) {
+	if _, err := FromColumns([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("want error for ragged columns")
+	}
+}
+
+func TestLists(t *testing.T) {
+	l1 := mustList(t, []Entry{{Item: 0, Score: 1}})
+	l2 := mustList(t, []Entry{{Item: 0, Score: 2}})
+	db, err := NewDatabase(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := db.Lists()
+	if len(ls) != 2 || ls[0] != l1 || ls[1] != l2 {
+		t.Errorf("Lists = %v", ls)
+	}
+	// The returned slice is a copy; mutating it does not affect the db.
+	ls[0] = nil
+	if db.List(0) != l1 {
+		t.Error("Lists leaked internal slice")
+	}
+}
+
+func TestLocalScores(t *testing.T) {
+	db, err := FromColumns([][]float64{{1, 2}, {5, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.LocalScores(0, nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("LocalScores(0) = %v, want [1 5]", got)
+	}
+	// Reuses the destination slice when it has capacity.
+	buf := make([]float64, 0, 2)
+	got2 := db.LocalScores(1, buf)
+	if got2[0] != 2 || got2[1] != 3 {
+		t.Errorf("LocalScores(1) = %v, want [2 3]", got2)
+	}
+	if &got2[0] != &buf[:1][0] {
+		t.Error("LocalScores allocated despite sufficient capacity")
+	}
+}

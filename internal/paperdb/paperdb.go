@@ -1,0 +1,91 @@
+// Package paperdb builds the example databases printed in the paper
+// (Figure 1, used by Examples 1-3, and Figure 2, used by the Section 5.1
+// BPA-vs-BPA2 comparison).
+//
+// The paper shows only the first 10 positions of each list over items
+// d1..d14. The databases here are completed to n=14 by placing the items
+// missing from each shown prefix at positions 11-14 with scores strictly
+// below the position-10 score; the completion cannot affect any behaviour
+// the paper asserts because no algorithm reaches past position 10 on
+// these queries (verified by the tests in internal/core).
+package paperdb
+
+import (
+	"fmt"
+
+	"topk/internal/list"
+)
+
+// Item returns the ItemID of the paper's item name dN (1-based).
+func Item(n int) list.ItemID { return list.ItemID(n - 1) }
+
+// Name returns the paper's name for an ItemID ("d1".."d14").
+func Name(d list.ItemID) string { return fmt.Sprintf("d%d", d+1) }
+
+type row struct {
+	item  int
+	score float64
+}
+
+func build(rows ...[]row) (*list.Database, error) {
+	lists := make([]*list.List, len(rows))
+	for i, lr := range rows {
+		entries := make([]list.Entry, len(lr))
+		for p, r := range lr {
+			entries[p] = list.Entry{Item: Item(r.item), Score: r.score}
+		}
+		l, err := list.New(entries)
+		if err != nil {
+			return nil, fmt.Errorf("paperdb: list %d: %w", i+1, err)
+		}
+		lists[i] = l
+	}
+	return list.NewDatabase(lists...)
+}
+
+// Figure1 returns the database of Figure 1. Over it, with k=3 and the Sum
+// scoring function, FA stops at position 8, TA at position 6, and BPA at
+// position 3; the top-3 answers are d8 (71), d3 (70) and d5 (70).
+func Figure1() (*list.Database, error) {
+	return build(
+		[]row{
+			{1, 30}, {4, 28}, {9, 27}, {3, 26}, {7, 25},
+			{8, 23}, {5, 17}, {6, 14}, {2, 11}, {11, 10},
+			{10, 9}, {12, 8}, {13, 7}, {14, 6}, // completion
+		},
+		[]row{
+			{2, 28}, {6, 27}, {7, 25}, {5, 24}, {9, 23},
+			{1, 21}, {8, 20}, {3, 14}, {4, 13}, {14, 12},
+			{10, 11}, {11, 10}, {12, 9}, {13, 8}, // completion
+		},
+		[]row{
+			{3, 30}, {5, 29}, {8, 28}, {4, 25}, {2, 24},
+			{6, 19}, {13, 15}, {1, 14}, {9, 12}, {7, 11},
+			{10, 10}, {11, 9}, {12, 8}, {14, 7}, // completion
+		},
+	)
+}
+
+// Figure2 returns the database of Figure 2. Over it, with k=3 and the Sum
+// scoring function, BPA stops at position 7 (63 accesses) while BPA2
+// performs direct accesses only at positions 1, 2, 3 and 7 (36 accesses);
+// the top-3 answers are d3 (70), d4 (68) and d6 (66).
+func Figure2() (*list.Database, error) {
+	return build(
+		[]row{
+			{1, 30}, {4, 28}, {9, 27}, {3, 26}, {7, 25},
+			{8, 24}, {11, 17}, {6, 14}, {2, 11}, {5, 10},
+			{10, 9}, {12, 8}, {13, 7}, {14, 6}, // completion
+		},
+		[]row{
+			{2, 28}, {6, 27}, {7, 25}, {5, 24}, {9, 23},
+			{1, 22}, {14, 20}, {3, 14}, {4, 13}, {8, 12},
+			{10, 11}, {11, 10}, {12, 9}, {13, 8}, // completion
+		},
+		[]row{
+			{3, 30}, {5, 29}, {8, 28}, {4, 27}, {2, 26},
+			{6, 25}, {13, 15}, {1, 13}, {9, 12}, {7, 11},
+			{10, 10}, {11, 9}, {12, 8}, {14, 7}, // completion
+		},
+	)
+}

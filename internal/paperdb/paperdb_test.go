@@ -1,0 +1,92 @@
+package paperdb
+
+import (
+	"testing"
+
+	"topk/internal/list"
+)
+
+func TestFigure1Valid(t *testing.T) {
+	db, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.M() != 3 || db.N() != 14 {
+		t.Fatalf("M=%d N=%d, want 3, 14", db.M(), db.N())
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check cells against the printed table.
+	if got := db.List(0).At(1); got.Item != Item(1) || got.Score != 30 {
+		t.Errorf("L1 position 1 = %+v, want d1/30", got)
+	}
+	if got := db.List(1).At(7); got.Item != Item(8) || got.Score != 20 {
+		t.Errorf("L2 position 7 = %+v, want d8/20", got)
+	}
+	if got := db.List(2).At(10); got.Item != Item(7) || got.Score != 11 {
+		t.Errorf("L3 position 10 = %+v, want d7/11", got)
+	}
+}
+
+func TestFigure1OverallScores(t *testing.T) {
+	db, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1c prints the overall (sum) scores of d1..d9.
+	want := map[int]float64{1: 65, 2: 63, 3: 70, 4: 66, 5: 70, 6: 60, 7: 61, 8: 71, 9: 62}
+	for name, overall := range want {
+		var sum float64
+		for i := 0; i < db.M(); i++ {
+			sum += db.List(i).ScoreOf(Item(name))
+		}
+		if sum != overall {
+			t.Errorf("overall(d%d) = %v, want %v", name, sum, overall)
+		}
+	}
+}
+
+func TestFigure2OverallScores(t *testing.T) {
+	db, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{1: 65, 2: 65, 3: 70, 4: 68, 5: 63, 6: 66, 7: 61, 8: 64, 9: 62}
+	for name, overall := range want {
+		var sum float64
+		for i := 0; i < db.M(); i++ {
+			sum += db.List(i).ScoreOf(Item(name))
+		}
+		if sum != overall {
+			t.Errorf("overall(d%d) = %v, want %v", name, sum, overall)
+		}
+	}
+}
+
+func TestFigure1TAThresholds(t *testing.T) {
+	db, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1b prints TA's threshold at positions 1..10.
+	want := []float64{88, 84, 80, 75, 72, 63, 52, 42, 36, 33}
+	for p := 1; p <= 10; p++ {
+		var delta float64
+		for i := 0; i < db.M(); i++ {
+			delta += db.List(i).At(p).Score
+		}
+		if delta != want[p-1] {
+			t.Errorf("threshold at position %d = %v, want %v", p, delta, want[p-1])
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Name(Item(7)) != "d7" {
+		t.Errorf("Name(Item(7)) = %q, want d7", Name(Item(7)))
+	}
+	if Item(1) != list.ItemID(0) {
+		t.Error("Item(1) != 0")
+	}
+}

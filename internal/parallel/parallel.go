@@ -1,0 +1,344 @@
+// Package parallel executes the paper's round-based algorithms with real
+// goroutine concurrency — one worker per list owner — taking the paper's
+// phrase "do sorted access in parallel to each of the m sorted lists"
+// (Sections 3–5) literally.
+//
+// The engine is answer- and accounting-equivalent to the sequential
+// executor in internal/core: it performs exactly the same multiset of
+// list accesses per round, only their schedule changes. That holds
+// because, without memoization, the work of one TA/BPA round (one sorted
+// access per list plus its m−1 random accesses) does not depend on
+// intra-round state, and BPA2's per-probe random accesses are mutually
+// independent. The package exists to demonstrate that the algorithms
+// parallelize cleanly — the motivation behind BPA2's owner-side
+// best-position bookkeeping (Section 5.1) — and to measure wall-clock
+// speedup; the paper's cost metrics are scheduling-independent.
+//
+// Memoized runs are refused: which accesses a memoized round performs
+// depends on the order items were first seen inside earlier rounds, so
+// memoization is inherently sequential bookkeeping (use core.Run).
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/core"
+	"topk/internal/list"
+	"topk/internal/rank"
+)
+
+// Run executes alg over db with one worker goroutine per list. Supported
+// algorithms are the round-based TA, BPA and BPA2; for everything else
+// (and for memoized runs) use core.Run. The scoring function is called
+// concurrently and must be safe for concurrent use; every function in
+// internal/score is.
+func Run(alg core.Algorithm, db *list.Database, opts core.Options) (*core.Result, error) {
+	if opts.Memoize {
+		return nil, fmt.Errorf("parallel: memoized accounting is order-dependent and inherently sequential; use core.Run")
+	}
+	switch alg {
+	case core.AlgTA:
+		return runScan(db, opts, false)
+	case core.AlgBPA:
+		return runScan(db, opts, true)
+	case core.AlgBPA2:
+		return runBPA2(db, opts)
+	default:
+		return nil, fmt.Errorf("parallel: %v is not a round-based algorithm; use core.Run", alg)
+	}
+}
+
+// Algorithms lists the algorithms the parallel engine supports.
+func Algorithms() []core.Algorithm {
+	return []core.Algorithm{core.AlgTA, core.AlgBPA, core.AlgBPA2}
+}
+
+// theta mirrors core.Options: zero means exact.
+func theta(opts core.Options) float64 {
+	if opts.Approximation == 0 {
+		return 1
+	}
+	return opts.Approximation
+}
+
+// scanOut is what one list worker reports for one TA/BPA round.
+type scanOut struct {
+	item    list.ItemID
+	overall float64
+	lastSc  float64
+	// touched[j] is the position of list j seen while processing this
+	// worker's item (BPA only; the worker's own list at the sorted
+	// position, every other at the random-access position).
+	touched []int
+}
+
+// runScan is the shared TA/BPA engine: per round, every list worker does
+// its sorted access plus the (m-1) random accesses for the item it saw;
+// the coordinator merges in list order, exactly like the sequential
+// loops in core.TA and core.BPA.
+func runScan(db *list.Database, opts core.Options, best bool) (*core.Result, error) {
+	if err := opts.Validate(db); err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+	f := opts.Scoring
+	th := theta(opts)
+
+	probes := make([]*access.Probe, m)
+	jobs := make([]chan int, m)
+	outs := make([]scanOut, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		probes[i] = access.NewProbe(db)
+		jobs[i] = make(chan int, 1)
+		go func(i int) {
+			locals := make([]float64, m)
+			var touched []int
+			if best {
+				touched = make([]int, m)
+			}
+			for pos := range jobs[i] {
+				e := probes[i].Sorted(i, pos)
+				locals[i] = e.Score
+				if best {
+					touched[i] = pos
+				}
+				for j := 0; j < m; j++ {
+					if j == i {
+						continue
+					}
+					s, q := probes[i].Random(j, e.Item)
+					locals[j] = s
+					if best {
+						touched[j] = q
+					}
+				}
+				outs[i] = scanOut{item: e.Item, overall: f.Combine(locals), lastSc: e.Score, touched: touched}
+				wg.Done()
+			}
+		}(i)
+	}
+	defer func() {
+		for _, ch := range jobs {
+			close(ch)
+		}
+	}()
+
+	alg := core.AlgTA
+	if best {
+		alg = core.AlgBPA
+	}
+	res := &core.Result{Algorithm: alg}
+	y := rank.NewSet(opts.K)
+	last := make([]float64, m)
+	var trackers []bestpos.Tracker
+	var bpScores []float64
+	if best {
+		trackers = make([]bestpos.Tracker, m)
+		for i := range trackers {
+			trackers[i] = bestpos.New(opts.Tracker, n)
+		}
+		bpScores = make([]float64, m)
+	}
+
+	for pos := 1; pos <= n; pos++ {
+		wg.Add(m)
+		for i := range jobs {
+			jobs[i] <- pos
+		}
+		wg.Wait()
+
+		for i := 0; i < m; i++ {
+			o := outs[i]
+			last[i] = o.lastSc
+			if best {
+				for j, q := range o.touched {
+					trackers[j].MarkSeen(q)
+				}
+			}
+			y.Add(o.item, o.overall)
+		}
+
+		var threshold float64
+		if best {
+			for i := 0; i < m; i++ {
+				bpScores[i] = db.List(i).At(trackers[i].Best()).Score
+			}
+			threshold = f.Combine(bpScores)
+		} else {
+			threshold = f.Combine(last)
+		}
+		res.Threshold = threshold
+		res.StopPosition = pos
+		res.Rounds = pos
+		stopped := y.AtLeast(threshold / th)
+		notify(opts.Observer, pos, pos, threshold, y, trackers, stopped)
+		if stopped {
+			break
+		}
+	}
+
+	if best {
+		res.BestPositions = make([]int, m)
+		for i := range trackers {
+			res.BestPositions[i] = trackers[i].Best()
+		}
+	}
+	res.Items = y.Slice()
+	for _, pr := range probes {
+		res.Counts = res.Counts.Add(pr.Counts())
+	}
+	return res, nil
+}
+
+// lookup is one random-access job of the BPA2 engine.
+type lookup struct {
+	item list.ItemID
+}
+
+// lookupOut is a worker's reply: the item's local score and position in
+// the worker's list.
+type lookupOut struct {
+	score float64
+	pos   int
+}
+
+// runBPA2 parallelizes BPA2's random accesses: the coordinator performs
+// the direct probes in list order (they are state-dependent: each reads
+// the probed list's current best position), and for every probed item the
+// m-1 random lookups fan out to the other lists' workers. The access
+// multiset — and therefore every count and Theorem 5's single-access
+// guarantee — matches sequential core.BPA2 exactly.
+func runBPA2(db *list.Database, opts core.Options) (*core.Result, error) {
+	if err := opts.Validate(db); err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+	f := opts.Scoring
+	th := theta(opts)
+
+	probes := make([]*access.Probe, m)
+	jobs := make([]chan lookup, m)
+	outs := make([]lookupOut, m)
+	var wg sync.WaitGroup
+	for j := 0; j < m; j++ {
+		probes[j] = access.NewProbe(db)
+		jobs[j] = make(chan lookup, 1)
+		go func(j int) {
+			for lk := range jobs[j] {
+				s, q := probes[j].Random(j, lk.item)
+				outs[j] = lookupOut{score: s, pos: q}
+				wg.Done()
+			}
+		}(j)
+	}
+	defer func() {
+		for _, ch := range jobs {
+			close(ch)
+		}
+	}()
+
+	y := rank.NewSet(opts.K)
+	locals := make([]float64, m)
+	bpScores := make([]float64, m)
+	trackers := make([]bestpos.Tracker, m)
+	for i := range trackers {
+		trackers[i] = bestpos.New(opts.Tracker, n)
+	}
+
+	res := &core.Result{Algorithm: core.AlgBPA2}
+	for {
+		res.Rounds++
+		progress := false
+		for i := 0; i < m; i++ {
+			p := trackers[i].Best() + 1
+			if p > n {
+				continue
+			}
+			e := probes[i].Direct(i, p)
+			trackers[i].MarkSeen(p)
+			progress = true
+			locals[i] = e.Score
+
+			wg.Add(m - 1)
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				jobs[j] <- lookup{item: e.Item}
+			}
+			wg.Wait()
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				locals[j] = outs[j].score
+				trackers[j].MarkSeen(outs[j].pos)
+			}
+			y.Add(e.Item, f.Combine(locals))
+		}
+		if !progress {
+			break
+		}
+
+		for i := 0; i < m; i++ {
+			bpScores[i] = db.List(i).At(trackers[i].Best()).Score
+		}
+		lambda := f.Combine(bpScores)
+		res.Threshold = lambda
+		stopped := y.AtLeast(lambda / th)
+		if opts.Observer != nil {
+			minBP := n
+			for i := range trackers {
+				if trackers[i].Best() < minBP {
+					minBP = trackers[i].Best()
+				}
+			}
+			notify(opts.Observer, res.Rounds, minBP, lambda, y, trackers, stopped)
+		}
+		if stopped {
+			break
+		}
+	}
+
+	res.BestPositions = make([]int, m)
+	for i := range trackers {
+		res.BestPositions[i] = trackers[i].Best()
+	}
+	res.Items = y.Slice()
+	for _, pr := range probes {
+		res.Counts = res.Counts.Add(pr.Counts())
+	}
+	return res, nil
+}
+
+// notify delivers a core.RoundInfo to the observer, mirroring the
+// sequential engine's reporting.
+func notify(obs core.Observer, round, position int, threshold float64, y *rank.Set, trackers []bestpos.Tracker, stopped bool) {
+	if obs == nil {
+		return
+	}
+	kth, full := y.Threshold()
+	if !full {
+		kth = math.Inf(-1)
+	}
+	info := core.RoundInfo{
+		Round:     round,
+		Position:  position,
+		Threshold: threshold,
+		KthScore:  kth,
+		YFull:     full,
+		Stopped:   stopped,
+	}
+	if trackers != nil {
+		info.BestPositions = make([]int, len(trackers))
+		for i := range trackers {
+			info.BestPositions[i] = trackers[i].Best()
+		}
+	}
+	obs.Round(info)
+}

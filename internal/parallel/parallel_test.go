@@ -1,0 +1,234 @@
+package parallel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/core"
+	"topk/internal/gen"
+	"topk/internal/list"
+	"topk/internal/score"
+)
+
+func randomDB(t testing.TB, rng *rand.Rand, n, m int) *list.Database {
+	cols := make([][]float64, m)
+	for i := range cols {
+		col := make([]float64, n)
+		for d := range col {
+			col[d] = float64(rng.Intn(25))
+		}
+		cols[i] = col
+	}
+	db, err := list.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// assertEqualResults demands full observable equality between a parallel
+// and a sequential run: answers, counts, stop state and threshold.
+func assertEqualResults(t *testing.T, alg core.Algorithm, par, seq *core.Result) bool {
+	t.Helper()
+	ok := true
+	if par.Counts != seq.Counts {
+		t.Errorf("%v: counts %v != sequential %v", alg, par.Counts, seq.Counts)
+		ok = false
+	}
+	if par.StopPosition != seq.StopPosition || par.Rounds != seq.Rounds {
+		t.Errorf("%v: stop %d/%d != sequential %d/%d", alg, par.StopPosition, par.Rounds, seq.StopPosition, seq.Rounds)
+		ok = false
+	}
+	if par.Threshold != seq.Threshold {
+		t.Errorf("%v: threshold %v != sequential %v", alg, par.Threshold, seq.Threshold)
+		ok = false
+	}
+	if len(par.Items) != len(seq.Items) {
+		t.Errorf("%v: %d items != sequential %d", alg, len(par.Items), len(seq.Items))
+		return false
+	}
+	for i := range par.Items {
+		if par.Items[i] != seq.Items[i] {
+			t.Errorf("%v: item %d = %+v != sequential %+v", alg, i, par.Items[i], seq.Items[i])
+			ok = false
+		}
+	}
+	if len(par.BestPositions) != len(seq.BestPositions) {
+		t.Errorf("%v: best positions %v != %v", alg, par.BestPositions, seq.BestPositions)
+		return false
+	}
+	for i := range par.BestPositions {
+		if par.BestPositions[i] != seq.BestPositions[i] {
+			t.Errorf("%v: best position %d = %d != sequential %d", alg, i, par.BestPositions[i], seq.BestPositions[i])
+			ok = false
+		}
+	}
+	return ok
+}
+
+// TestPropertyParallelEqualsSequential is the engine's contract: for
+// every supported algorithm, the parallel run is observably identical to
+// the sequential run.
+func TestPropertyParallelEqualsSequential(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		m := 1 + int(mRaw)%6
+		k := 1 + int(kRaw)%n
+		db := randomDB(t, rng, n, m)
+		opts := core.Options{K: k, Scoring: score.Sum{}}
+
+		ok := true
+		for _, alg := range Algorithms() {
+			par, err := Run(alg, db, opts)
+			if err != nil {
+				t.Logf("parallel %v: %v", alg, err)
+				return false
+			}
+			seq, err := core.Run(alg, db, opts)
+			if err != nil {
+				t.Logf("sequential %v: %v", alg, err)
+				return false
+			}
+			ok = assertEqualResults(t, alg, par, seq) && ok
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelBPA2SingleAccess re-checks Theorem 5 under the parallel
+// schedule with an audited probe... the parallel engine uses per-worker
+// probes, so the theorem is checked indirectly: the total access count
+// must equal the number of distinct positions BPA2 saw sequentially,
+// which assertEqualResults already enforces. Here we additionally run
+// the sequential audited probe as the baseline for a larger instance.
+func TestParallelBPA2SingleAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomDB(t, rng, 300, 5)
+	opts := core.Options{K: 10, Scoring: score.Sum{}}
+
+	pr := access.NewAuditedProbe(db)
+	seq, err := core.BPA2(pr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.AssertSingleAccess(); err != nil {
+		t.Fatalf("sequential BPA2 violated Theorem 5: %v", err)
+	}
+	par, err := Run(core.AlgBPA2, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualResults(t, core.AlgBPA2, par, seq)
+}
+
+// TestParallelLargerInstances drives the engine over generator databases
+// big enough for real goroutine interleaving (run with -race in CI).
+func TestParallelLargerInstances(t *testing.T) {
+	for _, dist := range []gen.Kind{gen.Uniform, gen.Correlated} {
+		db, err := gen.Generate(gen.Spec{Kind: dist, N: 2000, M: 6, Seed: 42, Alpha: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.Options{K: 20, Scoring: score.Sum{}, Tracker: bestpos.IntervalKind}
+		for _, alg := range Algorithms() {
+			par, err := Run(alg, db, opts)
+			if err != nil {
+				t.Fatalf("%v over %v: %v", alg, dist, err)
+			}
+			seq, err := core.Run(alg, db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualResults(t, alg, par, seq)
+		}
+	}
+}
+
+func TestParallelRejectsMemoize(t *testing.T) {
+	db := randomDB(t, rand.New(rand.NewSource(1)), 10, 3)
+	_, err := Run(core.AlgTA, db, core.Options{K: 1, Scoring: score.Sum{}, Memoize: true})
+	if err == nil || !strings.Contains(err.Error(), "sequential") {
+		t.Errorf("memoized run not refused: %v", err)
+	}
+}
+
+func TestParallelRejectsNonRoundBased(t *testing.T) {
+	db := randomDB(t, rand.New(rand.NewSource(1)), 10, 3)
+	for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgFA, core.AlgNRA, core.AlgCA} {
+		_, err := Run(alg, db, core.Options{K: 1, Scoring: score.Sum{}})
+		if err == nil {
+			t.Errorf("%v accepted by the parallel engine", alg)
+		}
+	}
+}
+
+func TestParallelValidatesOptions(t *testing.T) {
+	db := randomDB(t, rand.New(rand.NewSource(1)), 10, 3)
+	if _, err := Run(core.AlgTA, db, core.Options{K: 0, Scoring: score.Sum{}}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Run(core.AlgBPA2, db, core.Options{K: 1}); err == nil {
+		t.Error("nil scoring accepted")
+	}
+}
+
+// observerLog counts observer rounds, to compare parallel and sequential
+// reporting.
+type observerLog struct {
+	rounds []core.RoundInfo
+}
+
+func (o *observerLog) Round(info core.RoundInfo) { o.rounds = append(o.rounds, info) }
+
+func TestParallelObserverMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	db := randomDB(t, rng, 60, 4)
+	for _, alg := range Algorithms() {
+		var par, seq observerLog
+		if _, err := Run(alg, db, core.Options{K: 5, Scoring: score.Sum{}, Observer: &par}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Run(alg, db, core.Options{K: 5, Scoring: score.Sum{}, Observer: &seq}); err != nil {
+			t.Fatal(err)
+		}
+		if len(par.rounds) != len(seq.rounds) {
+			t.Fatalf("%v: %d observer rounds != sequential %d", alg, len(par.rounds), len(seq.rounds))
+		}
+		for i := range par.rounds {
+			p, s := par.rounds[i], seq.rounds[i]
+			if p.Round != s.Round || p.Threshold != s.Threshold || p.KthScore != s.KthScore || p.Stopped != s.Stopped {
+				t.Errorf("%v round %d: %+v != sequential %+v", alg, i, p, s)
+			}
+		}
+	}
+}
+
+func BenchmarkParallelVsSequentialTA(b *testing.B) {
+	db, err := gen.Generate(gen.Spec{Kind: gen.Uniform, N: 2000, M: 8, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{K: 20, Scoring: score.Sum{}}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(core.AlgTA, db, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(core.AlgTA, db, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package rank
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// TestMinHeapInterface exercises the container/heap contract directly:
+// the worst item (under the global ordering) must surface at the root,
+// and Pop must drain in worst-first order.
+func TestMinHeapInterface(t *testing.T) {
+	var h minHeap
+	heap.Init(&h)
+	heap.Push(&h, ScoredItem{Item: 1, Score: 5})
+	heap.Push(&h, ScoredItem{Item: 2, Score: 9})
+	heap.Push(&h, ScoredItem{Item: 3, Score: 1})
+	heap.Push(&h, ScoredItem{Item: 4, Score: 5}) // ties with item 1; larger ID is worse
+
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	// Worst first: 1 (score), then the score-5 tie with larger ID first.
+	wantOrder := []ScoredItem{{3, 1}, {4, 5}, {1, 5}, {2, 9}}
+	for i, want := range wantOrder {
+		got := heap.Pop(&h).(ScoredItem)
+		if got != want {
+			t.Errorf("pop %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.Len())
+	}
+}

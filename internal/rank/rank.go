@@ -1,0 +1,130 @@
+// Package rank maintains the answer set Y of the paper's algorithms: the
+// k seen data items whose overall scores are the highest among all items
+// seen so far.
+//
+// Ordering is deterministic: higher overall score first, ties broken by
+// ascending item ID. Determinism matters because the paper's stopping
+// conditions compare "the k data items in Y" against a threshold, and
+// reproducible experiments need a fixed tie-break.
+package rank
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"topk/internal/list"
+)
+
+// ScoredItem is a data item with its overall score.
+type ScoredItem struct {
+	Item  list.ItemID
+	Score float64
+}
+
+// Less orders by descending score, then ascending item ID. It is the
+// single ordering used everywhere (answer sets, oracles, result slices).
+func Less(a, b ScoredItem) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Item < b.Item
+}
+
+// Set is a bounded top-k collector. Add is idempotent per item: overall
+// scores are fixed once computed, so re-adding a seen item is a no-op.
+type Set struct {
+	k    int
+	h    minHeap
+	seen map[list.ItemID]bool // items currently kept in the heap
+}
+
+// NewSet returns a collector that keeps the k best items.
+func NewSet(k int) *Set {
+	if k <= 0 {
+		panic(fmt.Sprintf("rank: k must be positive, got %d", k))
+	}
+	return &Set{k: k, seen: make(map[list.ItemID]bool, k+1)}
+}
+
+// K returns the capacity of the set.
+func (s *Set) K() int { return s.k }
+
+// Len returns the number of items currently kept (<= k).
+func (s *Set) Len() int { return len(s.h) }
+
+// Full reports whether the set holds k items.
+func (s *Set) Full() bool { return len(s.h) == s.k }
+
+// Contains reports whether the item is currently one of the kept top-k.
+func (s *Set) Contains(d list.ItemID) bool { return s.seen[d] }
+
+// Add offers an item with its overall score. If the item is already kept,
+// or the set is full and the item does not beat the current k-th entry,
+// nothing changes. Add reports whether the set changed.
+func (s *Set) Add(d list.ItemID, score float64) bool {
+	if s.seen[d] {
+		return false
+	}
+	it := ScoredItem{Item: d, Score: score}
+	if len(s.h) < s.k {
+		heap.Push(&s.h, it)
+		s.seen[d] = true
+		return true
+	}
+	// Full: replace the worst entry if the new item orders before it.
+	if !Less(it, s.h[0]) {
+		return false
+	}
+	evicted := s.h[0]
+	s.h[0] = it
+	heap.Fix(&s.h, 0)
+	delete(s.seen, evicted.Item)
+	s.seen[d] = true
+	return true
+}
+
+// Threshold returns the overall score of the worst kept item (the k-th
+// best seen so far). The second result is false until the set is full.
+// The paper's stopping tests are "Y holds k items with score >= δ/λ",
+// which is exactly Full() && Threshold() >= δ.
+func (s *Set) Threshold() (float64, bool) {
+	if len(s.h) < s.k {
+		return math.Inf(-1), false
+	}
+	return s.h[0].Score, true
+}
+
+// AtLeast reports whether the set is full and every kept item has an
+// overall score >= bound.
+func (s *Set) AtLeast(bound float64) bool {
+	t, ok := s.Threshold()
+	return ok && t >= bound
+}
+
+// Slice returns the kept items ordered best-first.
+func (s *Set) Slice() []ScoredItem {
+	out := make([]ScoredItem, len(s.h))
+	copy(out, s.h)
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// minHeap keeps the *worst* kept item at the root so that it can be
+// replaced in O(log k). "Worst" means: orders last under Less.
+type minHeap []ScoredItem
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return Less(h[j], h[i]) } // reverse: worst at root
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *minHeap) Push(x any) { *h = append(*h, x.(ScoredItem)) }
+
+func (h *minHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,157 @@
+package rank
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/list"
+)
+
+func TestLessOrdering(t *testing.T) {
+	cases := []struct {
+		a, b ScoredItem
+		want bool
+	}{
+		{ScoredItem{0, 5}, ScoredItem{1, 3}, true},   // higher score first
+		{ScoredItem{0, 3}, ScoredItem{1, 5}, false},  // lower score later
+		{ScoredItem{0, 4}, ScoredItem{1, 4}, true},   // tie: smaller ID first
+		{ScoredItem{5, 4}, ScoredItem{1, 4}, false},  // tie: larger ID later
+		{ScoredItem{2, -1}, ScoredItem{3, -2}, true}, // negatives ordered too
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.want {
+			t.Errorf("Less(%+v,%+v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNewSetPanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSet(%d) did not panic", k)
+				}
+			}()
+			NewSet(k)
+		}()
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(2)
+	if s.K() != 2 || s.Len() != 0 || s.Full() {
+		t.Fatal("fresh set state wrong")
+	}
+	if _, ok := s.Threshold(); ok {
+		t.Error("threshold defined before full")
+	}
+	if !s.Add(3, 10) {
+		t.Error("first Add returned false")
+	}
+	if s.Add(3, 10) {
+		t.Error("re-adding an item must be a no-op")
+	}
+	s.Add(1, 5)
+	if !s.Full() {
+		t.Error("set should be full")
+	}
+	th, ok := s.Threshold()
+	if !ok || th != 5 {
+		t.Errorf("Threshold = %v,%v, want 5,true", th, ok)
+	}
+	// A better item evicts the worst.
+	if !s.Add(2, 7) {
+		t.Error("better item rejected")
+	}
+	if s.Contains(1) {
+		t.Error("evicted item still reported")
+	}
+	if !s.Contains(2) || !s.Contains(3) {
+		t.Error("kept items missing")
+	}
+	// A worse item is rejected.
+	if s.Add(9, 1) {
+		t.Error("worse item accepted")
+	}
+	got := s.Slice()
+	want := []ScoredItem{{3, 10}, {2, 7}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Slice = %v, want %v", got, want)
+	}
+}
+
+func TestSetTieBreakAtBoundary(t *testing.T) {
+	s := NewSet(1)
+	s.Add(5, 4)
+	// Equal score, smaller ID: must replace under deterministic ordering.
+	if !s.Add(2, 4) {
+		t.Error("smaller-ID tie not accepted")
+	}
+	if got := s.Slice()[0]; got != (ScoredItem{2, 4}) {
+		t.Errorf("kept %v, want {2 4}", got)
+	}
+	// Equal score, larger ID: rejected.
+	if s.Add(9, 4) {
+		t.Error("larger-ID tie accepted")
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	s := NewSet(2)
+	s.Add(0, 10)
+	if s.AtLeast(0) {
+		t.Error("AtLeast true before full")
+	}
+	s.Add(1, 6)
+	if !s.AtLeast(6) {
+		t.Error("AtLeast(6) false with threshold 6")
+	}
+	if s.AtLeast(6.5) {
+		t.Error("AtLeast(6.5) true with threshold 6")
+	}
+}
+
+// TestPropertySetMatchesSort: feeding any sequence of (item, score) pairs
+// (first score wins per item, as in the algorithms where overall scores
+// are fixed), the set keeps exactly the k best under the global ordering.
+func TestPropertySetMatchesSort(t *testing.T) {
+	prop := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%50
+		k := 1 + int(kRaw)%n
+		s := NewSet(k)
+		first := map[list.ItemID]float64{}
+		for i := 0; i < n; i++ {
+			item := list.ItemID(rng.Intn(n))
+			score := float64(rng.Intn(10))
+			if _, seen := first[item]; !seen {
+				first[item] = score
+			}
+			s.Add(item, first[item]) // algorithms always re-add the same score
+		}
+		var all []ScoredItem
+		for item, score := range first {
+			all = append(all, ScoredItem{Item: item, Score: score})
+		}
+		sort.Slice(all, func(i, j int) bool { return Less(all[i], all[j]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		got := s.Slice()
+		if len(got) != len(all) {
+			return false
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

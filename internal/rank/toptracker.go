@@ -1,0 +1,169 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"topk/internal/list"
+)
+
+// TopTracker maintains the k best items under scores that may be raised
+// over time. It is the answer-set structure of the NRA and CA baselines
+// (Fagin, Lotem, Naor — the paper's reference [15]), whose worst-case
+// bounds W(d) grow as more of an item's local scores become known; Set
+// cannot serve there because its scores are final once added.
+//
+// Ordering is the package ordering (Less): higher score first, ties by
+// ascending item ID. All operations are O(log k); membership is O(1).
+type TopTracker struct {
+	k   int
+	h   []ScoredItem        // binary heap, worst kept item at h[0]
+	pos map[list.ItemID]int // heap index of every kept item
+}
+
+// NewTopTracker returns a tracker that keeps the k best items.
+func NewTopTracker(k int) *TopTracker {
+	if k <= 0 {
+		panic(fmt.Sprintf("rank: k must be positive, got %d", k))
+	}
+	return &TopTracker{k: k, pos: make(map[list.ItemID]int, k+1)}
+}
+
+// K returns the capacity of the tracker.
+func (t *TopTracker) K() int { return t.k }
+
+// Len returns the number of items currently kept (<= k).
+func (t *TopTracker) Len() int { return len(t.h) }
+
+// Full reports whether the tracker holds k items.
+func (t *TopTracker) Full() bool { return len(t.h) == t.k }
+
+// Contains reports whether the item is currently one of the kept top-k.
+func (t *TopTracker) Contains(d list.ItemID) bool {
+	_, ok := t.pos[d]
+	return ok
+}
+
+// Score returns the current score of a kept item; ok is false when the
+// item is not kept.
+func (t *TopTracker) Score(d list.ItemID) (float64, bool) {
+	i, ok := t.pos[d]
+	if !ok {
+		return 0, false
+	}
+	return t.h[i].Score, true
+}
+
+// Offer inserts the item or raises its score. If the item is kept, its
+// score is raised to score (lowering is refused: bounds only grow). If it
+// is new and the tracker is full, it replaces the worst kept item exactly
+// when it orders before it. Offer reports whether the tracker changed.
+func (t *TopTracker) Offer(d list.ItemID, score float64) bool {
+	_, _, changed := t.OfferEvict(d, score)
+	return changed
+}
+
+// OfferEvict is Offer, but additionally reports the item that was evicted
+// to make room, if any. NRA's candidate bookkeeping needs evictions: an
+// item leaving the answer set re-enters the pool whose best-case bounds
+// gate the stopping condition.
+func (t *TopTracker) OfferEvict(d list.ItemID, score float64) (evicted ScoredItem, hasEvicted, changed bool) {
+	if i, ok := t.pos[d]; ok {
+		if score <= t.h[i].Score {
+			return ScoredItem{}, false, false
+		}
+		t.h[i].Score = score
+		t.fix(i)
+		return ScoredItem{}, false, true
+	}
+	it := ScoredItem{Item: d, Score: score}
+	if len(t.h) < t.k {
+		t.h = append(t.h, it)
+		t.pos[d] = len(t.h) - 1
+		t.up(len(t.h) - 1)
+		return ScoredItem{}, false, true
+	}
+	if !Less(it, t.h[0]) {
+		return ScoredItem{}, false, false
+	}
+	evicted = t.h[0]
+	delete(t.pos, evicted.Item)
+	t.h[0] = it
+	t.pos[d] = 0
+	t.down(0)
+	return evicted, true, true
+}
+
+// Worst returns the worst kept item (the k-th best); ok is false until at
+// least one item was offered.
+func (t *TopTracker) Worst() (ScoredItem, bool) {
+	if len(t.h) == 0 {
+		return ScoredItem{}, false
+	}
+	return t.h[0], true
+}
+
+// Threshold returns the score of the k-th best item, matching the
+// signature of Set.Threshold so the two structures are interchangeable in
+// stopping conditions and observers. The second result is false until the
+// tracker is full.
+func (t *TopTracker) Threshold() (float64, bool) {
+	if len(t.h) < t.k {
+		return math.Inf(-1), false
+	}
+	return t.h[0].Score, true
+}
+
+// Slice returns the kept items ordered best-first.
+func (t *TopTracker) Slice() []ScoredItem {
+	out := make([]ScoredItem, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// worse orders the heap: the root must be the item that orders last under
+// Less, so "i sorts before j" means "i is worse than j".
+func (t *TopTracker) worse(i, j int) bool { return Less(t.h[j], t.h[i]) }
+
+func (t *TopTracker) swap(i, j int) {
+	t.h[i], t.h[j] = t.h[j], t.h[i]
+	t.pos[t.h[i].Item] = i
+	t.pos[t.h[j].Item] = j
+}
+
+func (t *TopTracker) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(i, parent) {
+			break
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *TopTracker) down(i int) {
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && t.worse(l, smallest) {
+			smallest = l
+		}
+		if r < n && t.worse(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (t *TopTracker) fix(i int) {
+	t.up(i)
+	t.down(i)
+}

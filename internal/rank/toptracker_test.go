@@ -1,0 +1,208 @@
+package rank
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/list"
+)
+
+func TestTopTrackerBasics(t *testing.T) {
+	tr := NewTopTracker(2)
+	if tr.K() != 2 || tr.Len() != 0 || tr.Full() {
+		t.Fatal("fresh tracker state wrong")
+	}
+	if _, ok := tr.Worst(); ok {
+		t.Fatal("Worst on empty tracker reported ok")
+	}
+	if _, ok := tr.Threshold(); ok {
+		t.Fatal("Threshold on empty tracker reported ok")
+	}
+
+	if !tr.Offer(1, 10) || !tr.Offer(2, 20) {
+		t.Fatal("initial offers did not change the tracker")
+	}
+	if !tr.Full() {
+		t.Fatal("tracker should be full")
+	}
+	if w, _ := tr.Worst(); w.Item != 1 || w.Score != 10 {
+		t.Fatalf("Worst = %+v, want item 1 score 10", w)
+	}
+
+	// A worse item is refused.
+	if tr.Offer(3, 5) {
+		t.Fatal("Offer(3, 5) changed a full tracker with worst 10")
+	}
+	// A better item evicts the worst.
+	if !tr.Offer(3, 15) {
+		t.Fatal("Offer(3, 15) did not evict")
+	}
+	if tr.Contains(1) || !tr.Contains(3) {
+		t.Fatal("eviction membership wrong")
+	}
+
+	// Raising a kept item reorders the heap.
+	if !tr.Offer(3, 30) {
+		t.Fatal("raise refused")
+	}
+	if w, _ := tr.Worst(); w.Item != 2 {
+		t.Fatalf("after raise Worst = %+v, want item 2", w)
+	}
+	// Lowering is refused.
+	if tr.Offer(3, 1) {
+		t.Fatal("lowering a score was accepted")
+	}
+	if s, ok := tr.Score(3); !ok || s != 30 {
+		t.Fatalf("Score(3) = %v,%v want 30,true", s, ok)
+	}
+}
+
+func TestTopTrackerTieBreaksByItemID(t *testing.T) {
+	tr := NewTopTracker(1)
+	tr.Offer(5, 10)
+	// Same score, lower ID orders before: item 2 replaces item 5.
+	if !tr.Offer(2, 10) {
+		t.Fatal("equal-score lower-ID item did not replace")
+	}
+	// Same score, higher ID does not.
+	if tr.Offer(9, 10) {
+		t.Fatal("equal-score higher-ID item replaced")
+	}
+	got := tr.Slice()
+	if len(got) != 1 || got[0].Item != 2 {
+		t.Fatalf("Slice = %+v, want item 2", got)
+	}
+}
+
+func TestTopTrackerPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTopTracker(0) did not panic")
+		}
+	}()
+	NewTopTracker(0)
+}
+
+// naiveTop mirrors TopTracker with a plain map + sort; the specification
+// for the property test.
+type naiveTop struct {
+	k      int
+	scores map[list.ItemID]float64
+}
+
+func (n *naiveTop) offer(d list.ItemID, s float64) {
+	if old, ok := n.scores[d]; ok {
+		if s > old {
+			n.scores[d] = s
+		}
+		return
+	}
+	n.scores[d] = s
+	if len(n.scores) > n.k {
+		// Drop the worst.
+		worst := ScoredItem{Score: 0}
+		first := true
+		for item, score := range n.scores {
+			it := ScoredItem{Item: item, Score: score}
+			if first || Less(worst, it) {
+				worst = it
+				first = false
+			}
+		}
+		delete(n.scores, worst.Item)
+	}
+}
+
+func (n *naiveTop) slice() []ScoredItem {
+	out := make([]ScoredItem, 0, len(n.scores))
+	for item, score := range n.scores {
+		out = append(out, ScoredItem{Item: item, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// TestPropertyTopTrackerMatchesNaive drives the tracker and the naive
+// specification with identical random offer sequences (inserts and
+// raises) and compares the full kept state after every operation.
+//
+// The naive eviction drops an arbitrary worst item under ties, while
+// TopTracker is deterministic, so scores are kept distinct by
+// construction (score = op index).
+func TestPropertyTopTrackerMatchesNaive(t *testing.T) {
+	prop := func(seed int64, kRaw, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(kRaw)%8
+		ops := 1 + int(opsRaw)%120
+		tr := NewTopTracker(k)
+		naive := &naiveTop{k: k, scores: map[list.ItemID]float64{}}
+		for op := 0; op < ops; op++ {
+			d := list.ItemID(rng.Intn(20))
+			s := float64(op) // distinct, increasing: raises are frequent
+			tr.Offer(d, s)
+			naive.offer(d, s)
+
+			want := naive.slice()
+			got := tr.Slice()
+			if len(got) != len(want) {
+				t.Logf("len mismatch: got %d want %d", len(got), len(want))
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("op %d: slice[%d] = %+v, want %+v", op, i, got[i], want[i])
+					return false
+				}
+			}
+			if len(want) > 0 {
+				w, ok := tr.Worst()
+				if !ok || w != want[len(want)-1] {
+					t.Logf("Worst = %+v, want %+v", w, want[len(want)-1])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTopTrackerHeapInvariant checks the internal heap order and
+// index map after random operations.
+func TestPropertyTopTrackerHeapInvariant(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(kRaw)%10
+		tr := NewTopTracker(k)
+		for op := 0; op < 200; op++ {
+			tr.Offer(list.ItemID(rng.Intn(30)), float64(rng.Intn(50)))
+			for i := range tr.h {
+				if tr.pos[tr.h[i].Item] != i {
+					t.Logf("pos map out of sync at %d", i)
+					return false
+				}
+				if i > 0 {
+					parent := (i - 1) / 2
+					// Parent must be worse than or equal to child i:
+					// child must not order after parent.
+					if Less(tr.h[parent], tr.h[i]) {
+						t.Logf("heap violation: parent %+v orders before child %+v",
+							tr.h[parent], tr.h[i])
+						return false
+					}
+				}
+			}
+			if len(tr.pos) != len(tr.h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

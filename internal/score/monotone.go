@@ -1,0 +1,36 @@
+package score
+
+import "math/rand"
+
+// CheckMonotone samples random score vectors and verifies that raising a
+// single coordinate never lowers f. It returns false as soon as a
+// counter-example is found. This is a statistical check used by tests and
+// by the public API's validation mode, not a proof.
+func CheckMonotone(f Func, arity, samples int, rng *rand.Rand) bool {
+	if arity <= 0 || f == nil {
+		return false
+	}
+	lo := make([]float64, arity)
+	hi := make([]float64, arity)
+	for s := 0; s < samples; s++ {
+		for i := range lo {
+			lo[i] = rng.Float64()*200 - 100
+			hi[i] = lo[i]
+		}
+		// Raise a random non-empty subset of coordinates.
+		raised := false
+		for i := range hi {
+			if rng.Intn(2) == 0 {
+				hi[i] += rng.Float64() * 50
+				raised = true
+			}
+		}
+		if !raised {
+			hi[rng.Intn(arity)] += rng.Float64() * 50
+		}
+		if f.Combine(lo) > f.Combine(hi) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+// Package score provides the monotone scoring functions of the paper
+// (Section 2). The overall score of an item is f(s1, ..., sm) where si is
+// the item's local score in list i. All top-k algorithms in this module
+// require f to be monotone: f(x1,...,xm) <= f(x'1,...,x'm) whenever
+// xi <= x'i for every i.
+package score
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func combines the m local scores of an item into its overall score.
+//
+// Combine must be monotone in every argument and must not retain the
+// slice. Name identifies the function in experiment tables.
+type Func interface {
+	Combine(locals []float64) float64
+	Name() string
+}
+
+// Sum is the paper's evaluation default: f = s1 + s2 + ... + sm.
+type Sum struct{}
+
+// Combine returns the sum of the local scores.
+func (Sum) Combine(locals []float64) float64 {
+	var t float64
+	for _, s := range locals {
+		t += s
+	}
+	return t
+}
+
+// Name implements Func.
+func (Sum) Name() string { return "sum" }
+
+// Avg is the arithmetic mean; monotone, and order-equivalent to Sum.
+type Avg struct{}
+
+// Combine returns the mean of the local scores.
+func (Avg) Combine(locals []float64) float64 {
+	if len(locals) == 0 {
+		return 0
+	}
+	return Sum{}.Combine(locals) / float64(len(locals))
+}
+
+// Name implements Func.
+func (Avg) Name() string { return "avg" }
+
+// Min is the fuzzy-conjunction aggregation of Fagin's original setting.
+type Min struct{}
+
+// Combine returns the smallest local score.
+func (Min) Combine(locals []float64) float64 {
+	m := math.Inf(1)
+	for _, s := range locals {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Name implements Func.
+func (Min) Name() string { return "min" }
+
+// Max is the fuzzy-disjunction aggregation.
+type Max struct{}
+
+// Combine returns the largest local score.
+func (Max) Combine(locals []float64) float64 {
+	m := math.Inf(-1)
+	for _, s := range locals {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Name implements Func.
+func (Max) Name() string { return "max" }
+
+// WeightedSum is f = sum(wi * si) with non-negative weights; non-negative
+// weights keep the function monotone.
+type WeightedSum struct {
+	weights []float64
+}
+
+// NewWeightedSum validates the weights (at least one, all finite and
+// non-negative) and returns the scoring function.
+func NewWeightedSum(weights []float64) (*WeightedSum, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("score: weighted sum needs at least one weight")
+	}
+	cp := make([]float64, len(weights))
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("score: weight %d is not finite", i)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("score: weight %d is negative (%v); negative weights break monotonicity", i, w)
+		}
+		cp[i] = w
+	}
+	return &WeightedSum{weights: cp}, nil
+}
+
+// Combine returns the weighted sum. It panics if the arity does not match
+// the number of weights; arity is fixed per query, so a mismatch is a
+// programming error.
+func (w *WeightedSum) Combine(locals []float64) float64 {
+	if len(locals) != len(w.weights) {
+		panic(fmt.Sprintf("score: weighted sum got %d scores, want %d", len(locals), len(w.weights)))
+	}
+	var t float64
+	for i, s := range locals {
+		t += w.weights[i] * s
+	}
+	return t
+}
+
+// Name implements Func.
+func (w *WeightedSum) Name() string { return fmt.Sprintf("wsum(%d)", len(w.weights)) }
+
+// Weights returns a copy of the weight vector.
+func (w *WeightedSum) Weights() []float64 {
+	cp := make([]float64, len(w.weights))
+	copy(cp, w.weights)
+	return cp
+}

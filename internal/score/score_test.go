@@ -1,0 +1,159 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum(t *testing.T) {
+	if got := (Sum{}).Combine([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := (Sum{}).Combine(nil); got != 0 {
+		t.Errorf("empty Sum = %v, want 0", got)
+	}
+	if (Sum{}).Name() != "sum" {
+		t.Error("Sum name")
+	}
+}
+
+func TestAvg(t *testing.T) {
+	if got := (Avg{}).Combine([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Avg = %v, want 2", got)
+	}
+	if got := (Avg{}).Combine(nil); got != 0 {
+		t.Errorf("empty Avg = %v, want 0", got)
+	}
+	if (Avg{}).Name() != "avg" {
+		t.Error("Avg name")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 2}
+	if got := (Min{}).Combine(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := (Max{}).Combine(xs); got != 3 {
+		t.Errorf("Max = %v, want 3", got)
+	}
+	if !math.IsInf((Min{}).Combine(nil), 1) {
+		t.Error("empty Min should be +Inf")
+	}
+	if !math.IsInf((Max{}).Combine(nil), -1) {
+		t.Error("empty Max should be -Inf")
+	}
+	if (Min{}).Name() != "min" || (Max{}).Name() != "max" {
+		t.Error("names")
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	w, err := NewWeightedSum([]float64{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Combine([]float64{1, 100, 3}); got != 5 {
+		t.Errorf("WeightedSum = %v, want 5", got)
+	}
+	if w.Name() == "" {
+		t.Error("empty name")
+	}
+	ws := w.Weights()
+	ws[0] = 99
+	if w.Combine([]float64{1, 0, 0}) != 2 {
+		t.Error("Weights leaked internal slice")
+	}
+}
+
+func TestWeightedSumRejectsBadWeights(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{1, -0.5},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, ws := range cases {
+		if _, err := NewWeightedSum(ws); err == nil {
+			t.Errorf("NewWeightedSum(%v) should fail", ws)
+		}
+	}
+}
+
+func TestWeightedSumArityPanics(t *testing.T) {
+	w, err := NewWeightedSum([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Combine with wrong arity did not panic")
+		}
+	}()
+	w.Combine([]float64{1})
+}
+
+// TestPropertyMonotonicity verifies each provided function satisfies the
+// paper's monotonicity requirement on random samples.
+func TestPropertyMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w3, err := NewWeightedSum([]float64{0.2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := []Func{Sum{}, Avg{}, Min{}, Max{}, w3}
+	for _, f := range funcs {
+		if !CheckMonotone(f, 3, 2000, rng) {
+			t.Errorf("%s is not monotone", f.Name())
+		}
+	}
+}
+
+// nonMonotone deliberately violates monotonicity to prove the checker can
+// detect violations.
+type nonMonotone struct{}
+
+func (nonMonotone) Combine(xs []float64) float64 { return -xs[0] }
+func (nonMonotone) Name() string                 { return "negate" }
+
+func TestCheckMonotoneDetectsViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if CheckMonotone(nonMonotone{}, 3, 2000, rng) {
+		t.Error("CheckMonotone accepted a non-monotone function")
+	}
+}
+
+func TestCheckMonotoneDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if CheckMonotone(nil, 3, 10, rng) {
+		t.Error("nil func should fail")
+	}
+	if CheckMonotone(Sum{}, 0, 10, rng) {
+		t.Error("zero arity should fail")
+	}
+}
+
+// TestPropertySumEquivalence cross-checks Sum against an independent fold
+// under quick-generated vectors.
+func TestPropertySumEquivalence(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip non-finite inputs and magnitudes that overflow the
+			// intermediate sum; scores in the model are modest reals.
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		var want float64
+		for _, x := range xs {
+			want += x
+		}
+		return math.Abs((Sum{}).Combine(xs)-want) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package serve exposes a topk.Database over an HTTP JSON API — the
+// shape a monitoring console or web front-end would consume. It is the
+// service layer of cmd/topk-serve.
+//
+// Endpoints (all GET):
+//
+//	/healthz           liveness probe
+//	/v1/info           database dimensions
+//	/v1/algorithms     available algorithm names
+//	/v1/topk           run a query: k, alg, scoring, weights, theta,
+//	                   tracker, parallel, sortable (per-list flags for
+//	                   the restricted-access TAz/BPAz variants)
+//	/v1/explain        the round-by-round threshold walkthrough as text
+//
+// Errors are JSON {"error": "..."} with a 4xx/5xx status. The handler is
+// safe for concurrent use: the underlying database is immutable and every
+// query runs on private state.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"topk"
+)
+
+// Server serves one immutable database.
+type Server struct {
+	db  *topk.Database
+	mux *http.ServeMux
+}
+
+// New returns a server over db.
+func New(db *topk.Database) (*Server, error) {
+	if db == nil {
+		return nil, fmt.Errorf("serve: nil database")
+	}
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/info", s.handleInfo)
+	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON encodes v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// requireGet returns false (and replies 405) unless the request is a GET.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// infoBody describes the database.
+type infoBody struct {
+	N          int  `json:"n"`
+	M          int  `json:"m"`
+	Dictionary bool `json:"dictionary"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	_, named := s.db.IDOf(s.db.NameOf(0))
+	writeJSON(w, http.StatusOK, infoBody{N: s.db.N(), M: s.db.M(), Dictionary: named})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	var names []string
+	for _, a := range topk.ExtendedAlgorithms() {
+		names = append(names, a.String())
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": names})
+}
+
+// itemBody is one answer of a query response.
+type itemBody struct {
+	Item  int     `json:"item"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// statsBody mirrors topk.Stats in JSON form.
+type statsBody struct {
+	SortedAccesses int64   `json:"sortedAccesses"`
+	RandomAccesses int64   `json:"randomAccesses"`
+	DirectAccesses int64   `json:"directAccesses"`
+	TotalAccesses  int64   `json:"totalAccesses"`
+	Cost           float64 `json:"cost"`
+	StopPosition   int     `json:"stopPosition"`
+	Rounds         int     `json:"rounds"`
+	DurationMicros int64   `json:"durationMicros"`
+}
+
+// topkBody is the /v1/topk response.
+type topkBody struct {
+	Algorithm string     `json:"algorithm"`
+	K         int        `json:"k"`
+	Items     []itemBody `json:"items"`
+	Stats     statsBody  `json:"stats"`
+	Inexact   bool       `json:"inexact"`
+}
+
+// parseQuery builds a topk.Query from URL parameters.
+func (s *Server) parseQuery(r *http.Request) (topk.Query, error) {
+	var q topk.Query
+	params := r.URL.Query()
+
+	kStr := params.Get("k")
+	if kStr == "" {
+		return q, fmt.Errorf("missing parameter k")
+	}
+	k, err := strconv.Atoi(kStr)
+	if err != nil {
+		return q, fmt.Errorf("bad k %q: %v", kStr, err)
+	}
+	q.K = k
+
+	if alg := params.Get("alg"); alg != "" {
+		q.Algorithm, err = topk.ParseAlgorithm(alg)
+		if err != nil {
+			return q, err
+		}
+	}
+	var weights []float64
+	if ws := params.Get("weights"); ws != "" {
+		for _, p := range strings.Split(ws, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return q, fmt.Errorf("bad weight %q: %v", p, err)
+			}
+			weights = append(weights, v)
+		}
+	}
+	if sc := params.Get("scoring"); sc != "" || len(weights) > 0 {
+		if sc == "" {
+			sc = "wsum"
+		}
+		q.Scoring, err = topk.ParseScoring(sc, weights)
+		if err != nil {
+			return q, err
+		}
+	}
+	if th := params.Get("theta"); th != "" {
+		q.Approximation, err = strconv.ParseFloat(th, 64)
+		if err != nil {
+			return q, fmt.Errorf("bad theta %q: %v", th, err)
+		}
+	}
+	if tr := params.Get("tracker"); tr != "" {
+		q.Tracker, err = topk.ParseTracker(tr)
+		if err != nil {
+			return q, err
+		}
+	}
+	if p := params.Get("parallel"); p != "" {
+		q.Parallel, err = strconv.ParseBool(p)
+		if err != nil {
+			return q, fmt.Errorf("bad parallel %q: %v", p, err)
+		}
+	}
+	if so := params.Get("sortable"); so != "" {
+		for _, p := range strings.Split(so, ",") {
+			v, err := strconv.ParseBool(strings.TrimSpace(p))
+			if err != nil {
+				return q, fmt.Errorf("bad sortable flag %q: %v", p, err)
+			}
+			q.Sortable = append(q.Sortable, v)
+		}
+	}
+	return q, nil
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	q, err := s.parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.db.TopK(q)
+	if err != nil {
+		// Validation failures surface as 400s; the database itself is
+		// immutable and cannot fail mid-query.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := topkBody{
+		Algorithm: res.Algorithm.String(),
+		K:         q.K,
+		Inexact:   res.Inexact,
+		Stats: statsBody{
+			SortedAccesses: res.Stats.SortedAccesses,
+			RandomAccesses: res.Stats.RandomAccesses,
+			DirectAccesses: res.Stats.DirectAccesses,
+			TotalAccesses:  res.Stats.TotalAccesses(),
+			Cost:           res.Stats.Cost,
+			StopPosition:   res.Stats.StopPosition,
+			Rounds:         res.Stats.Rounds,
+			DurationMicros: res.Stats.Duration.Microseconds(),
+		},
+	}
+	body.Items = make([]itemBody, len(res.Items))
+	for i, it := range res.Items {
+		body.Items[i] = itemBody{Item: it.Item, Name: it.Name, Score: it.Score}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	q, err := s.parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q.Parallel {
+		writeError(w, http.StatusBadRequest, "explain is a sequential walkthrough; drop parallel")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var buf strings.Builder
+	start := time.Now()
+	res, err := s.db.Explain(q, &buf)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fmt.Fprintf(w, "%s", buf.String())
+	fmt.Fprintf(w, "\ntop-%d (%s, %s):\n", q.K, res.Algorithm, time.Since(start).Round(time.Microsecond))
+	for i, it := range res.Items {
+		fmt.Fprintf(w, "%3d. %-16s score=%.6g\n", i+1, it.Name, it.Score)
+	}
+}

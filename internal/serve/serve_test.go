@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"topk"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db, err := topk.FromNamedScores([]map[string]float64{
+		{"alpha": 30, "beta": 11, "gamma": 26, "delta": 28, "eps": 17},
+		{"alpha": 21, "beta": 28, "gamma": 14, "delta": 13, "eps": 24},
+		{"alpha": 14, "beta": 24, "gamma": 30, "delta": 25, "eps": 29},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func TestNewNilDatabase(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil database accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	var body map[string]string
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &body)
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	ts := testServer(t)
+	var body struct {
+		N          int  `json:"n"`
+		M          int  `json:"m"`
+		Dictionary bool `json:"dictionary"`
+	}
+	getJSON(t, ts.URL+"/v1/info", http.StatusOK, &body)
+	if body.N != 5 || body.M != 3 || !body.Dictionary {
+		t.Errorf("info = %+v", body)
+	}
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var body map[string][]string
+	getJSON(t, ts.URL+"/v1/algorithms", http.StatusOK, &body)
+	algs := body["algorithms"]
+	if len(algs) != 7 || algs[0] != "BPA2" || algs[5] != "NRA" {
+		t.Errorf("algorithms = %v", algs)
+	}
+}
+
+type topkResp struct {
+	Algorithm string `json:"algorithm"`
+	K         int    `json:"k"`
+	Items     []struct {
+		Item  int     `json:"item"`
+		Name  string  `json:"name"`
+		Score float64 `json:"score"`
+	} `json:"items"`
+	Stats struct {
+		SortedAccesses int64   `json:"sortedAccesses"`
+		TotalAccesses  int64   `json:"totalAccesses"`
+		Cost           float64 `json:"cost"`
+	} `json:"stats"`
+	Inexact bool `json:"inexact"`
+}
+
+func TestTopKDefaults(t *testing.T) {
+	ts := testServer(t)
+	var body topkResp
+	getJSON(t, ts.URL+"/v1/topk?k=2", http.StatusOK, &body)
+	if body.Algorithm != "BPA2" || body.K != 2 || len(body.Items) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	// Overall (Sum): gamma=70, delta=66, alpha=65, eps=70, beta=63.
+	// Top-2 are eps and gamma at 70 each; names tie-break by item ID
+	// (FromNamedScores sorts names: alpha beta delta eps gamma).
+	if body.Items[0].Score != 70 || body.Items[1].Score != 70 {
+		t.Errorf("scores = %+v", body.Items)
+	}
+	if body.Stats.TotalAccesses == 0 || body.Stats.Cost == 0 {
+		t.Errorf("stats = %+v", body.Stats)
+	}
+	if body.Inexact {
+		t.Error("BPA2 marked inexact")
+	}
+}
+
+func TestTopKAlgorithmsAndOptions(t *testing.T) {
+	ts := testServer(t)
+	for _, q := range []string{
+		"k=3&alg=ta",
+		"k=3&alg=bpa&tracker=interval",
+		"k=3&alg=nra",
+		"k=3&alg=ca",
+		"k=3&alg=bpa2&parallel=true",
+		"k=3&alg=ta&theta=1.5",
+		"k=3&scoring=wsum&weights=2,1,0.5",
+		"k=3&scoring=min",
+		"k=3&alg=ta&sortable=1,0,1",
+		"k=3&alg=bpa&sortable=true,false,true",
+	} {
+		var body topkResp
+		getJSON(t, ts.URL+"/v1/topk?"+q, http.StatusOK, &body)
+		if len(body.Items) != 3 {
+			t.Errorf("query %q: %d items", q, len(body.Items))
+		}
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []string{
+		"",                              // missing k
+		"k=abc",                         // bad k
+		"k=0",                           // out of range
+		"k=99",                          // k > n
+		"k=2&alg=zzz",                   // unknown algorithm
+		"k=2&scoring=zzz",               // unknown scoring
+		"k=2&scoring=wsum",              // wsum without weights
+		"k=2&weights=1,x",               // bad weight
+		"k=2&theta=zzz",                 // bad theta
+		"k=2&theta=0.5",                 // theta < 1
+		"k=2&tracker=zzz",               // unknown tracker
+		"k=2&parallel=maybe",            // bad bool
+		"k=2&alg=nra&parallel=1",        // parallel unsupported for NRA
+		"k=2&alg=ta&sortable=1,maybe,1", // bad sortable flag
+		"k=2&alg=ta&sortable=0,0,0",     // no sortable list
+		"k=2&alg=bpa2&sortable=1,0,1",   // restricted BPA2 unsupported
+		"k=2&alg=ta&sortable=1,0",       // wrong arity
+	}
+	for _, q := range cases {
+		var body struct {
+			Error string `json:"error"`
+		}
+		getJSON(t, ts.URL+"/v1/topk?"+q, http.StatusBadRequest, &body)
+		if body.Error == "" {
+			t.Errorf("query %q: empty error body", q)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/healthz", "/v1/info", "/v1/topk", "/v1/explain", "/v1/algorithms"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Errorf("POST %s: Allow = %q", path, allow)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/explain?k=2&alg=bpa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{"round", "top-2"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Parallel explain is refused.
+	getJSON(t, ts.URL+"/v1/explain?k=2&parallel=true", http.StatusBadRequest, nil)
+}
+
+func TestUnknownPath(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConcurrentQueries hammers the handler from several goroutines; the
+// database is immutable, so every response must be identical.
+func TestConcurrentQueries(t *testing.T) {
+	ts := testServer(t)
+	const workers = 8
+	done := make(chan topkResp, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			var body topkResp
+			resp, err := http.Get(ts.URL + "/v1/topk?k=3")
+			if err != nil {
+				done <- topkResp{}
+				return
+			}
+			defer resp.Body.Close()
+			_ = json.NewDecoder(resp.Body).Decode(&body)
+			done <- body
+		}()
+	}
+	var first topkResp
+	for w := 0; w < workers; w++ {
+		body := <-done
+		if w == 0 {
+			first = body
+			continue
+		}
+		if len(body.Items) != len(first.Items) {
+			t.Fatalf("diverging responses: %+v vs %+v", body, first)
+		}
+		for i := range body.Items {
+			if body.Items[i] != first.Items[i] {
+				t.Errorf("item %d: %+v != %+v", i, body.Items[i], first.Items[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package store persists databases: a compact CRC-checked binary format
+// for generated workloads (cmd/topk-gen writes it, cmd/topk-query reads
+// it) and CSV import/export for interoperating with external tools.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"topk/internal/list"
+)
+
+// magic identifies version 1 of the binary database format.
+var magic = [8]byte{'T', 'O', 'P', 'K', 'D', 'B', '1', '\n'}
+
+// maxDimension bounds m and n on load so a corrupted header cannot drive
+// allocation. 2^28 items is far beyond the paper's workloads.
+const maxDimension = 1 << 28
+
+// Write serializes db:
+//
+//	magic | uint32 m | uint32 n | m lists of n entries (int32 item,
+//	float64 score) | uint32 CRC-32 (IEEE) of everything before it
+//
+// All integers are little-endian.
+func Write(w io.Writer, db *list.Database) error {
+	if db == nil {
+		return fmt.Errorf("store: nil database")
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("store: write magic: %w", err)
+	}
+	var u32 [4]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := writeU32(uint32(db.M())); err != nil {
+		return fmt.Errorf("store: write m: %w", err)
+	}
+	if err := writeU32(uint32(db.N())); err != nil {
+		return fmt.Errorf("store: write n: %w", err)
+	}
+	var rec [12]byte
+	for i := 0; i < db.M(); i++ {
+		l := db.List(i)
+		for p := 1; p <= l.Len(); p++ {
+			e := l.At(p)
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(e.Item))
+			binary.LittleEndian.PutUint64(rec[4:12], math.Float64bits(e.Score))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return fmt.Errorf("store: write entry: %w", err)
+			}
+		}
+	}
+	// The checksum covers everything written so far; flush the data
+	// through the CRC first, then append the sum (not itself checksummed).
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	binary.LittleEndian.PutUint32(u32[:], crc.Sum32())
+	if _, err := w.Write(u32[:]); err != nil {
+		return fmt.Errorf("store: write checksum: %w", err)
+	}
+	return nil
+}
+
+// Read parses a database written by Write, verifying the checksum and all
+// model invariants.
+func Read(r io.Reader) (*list.Database, error) {
+	// The CRC must cover exactly the bytes consumed as payload, so it is
+	// fed manually after each read (a TeeReader under a buffered reader
+	// would also hash read-ahead bytes, including the trailing sum).
+	crc := crc32.NewIEEE()
+	br := bufio.NewReader(r)
+	readPayload := func(b []byte) error {
+		if _, err := io.ReadFull(br, b); err != nil {
+			return err
+		}
+		crc.Write(b)
+		return nil
+	}
+
+	var hdr [8]byte
+	if err := readPayload(hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: read magic: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("store: bad magic %q", hdr[:])
+	}
+	var u32 [4]byte
+	readU32 := func() (uint32, error) {
+		if err := readPayload(u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	m, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("store: read m: %w", err)
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("store: read n: %w", err)
+	}
+	if m == 0 || n == 0 || m > maxDimension || n > maxDimension {
+		return nil, fmt.Errorf("store: implausible dimensions m=%d n=%d", m, n)
+	}
+
+	lists := make([]*list.List, m)
+	rec := make([]byte, 12)
+	entries := make([]list.Entry, n)
+	for i := range lists {
+		for p := range entries {
+			if err := readPayload(rec); err != nil {
+				return nil, fmt.Errorf("store: read entry: %w", err)
+			}
+			entries[p] = list.Entry{
+				Item:  list.ItemID(int32(binary.LittleEndian.Uint32(rec[0:4]))),
+				Score: math.Float64frombits(binary.LittleEndian.Uint64(rec[4:12])),
+			}
+		}
+		l, err := list.New(entries)
+		if err != nil {
+			return nil, fmt.Errorf("store: list %d invalid: %w", i, err)
+		}
+		lists[i] = l
+	}
+
+	// The trailing checksum is not part of the checksummed payload.
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("store: read checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return list.NewDatabase(lists...)
+}
+
+// SaveFile writes db to path atomically (temp file + rename).
+func SaveFile(path string, db *list.Database) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".topkdb-*")
+	if err != nil {
+		return fmt.Errorf("store: create temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, db); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a database from path.
+func LoadFile(path string) (*list.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"topk/internal/list"
+)
+
+// WriteColumnsCSV exports db in column form: row d holds the local score
+// of item d in every list, so the file reads like the relational table of
+// the paper's introduction (one attribute column per list). A header row
+// names the columns list1..listM.
+func WriteColumnsCSV(w io.Writer, db *list.Database) error {
+	if db == nil {
+		return fmt.Errorf("store: nil database")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, db.M())
+	for i := range header {
+		header[i] = fmt.Sprintf("list%d", i+1)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("store: csv header: %w", err)
+	}
+	row := make([]string, db.M())
+	for d := 0; d < db.N(); d++ {
+		for i := 0; i < db.M(); i++ {
+			row[i] = strconv.FormatFloat(db.List(i).ScoreOf(list.ItemID(d)), 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("store: csv row %d: %w", d, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadColumnsCSV imports a database from the column form written by
+// WriteColumnsCSV. The first row is treated as a header when none of its
+// fields parse as a float; every other row must be all-numeric with a
+// constant column count.
+func ReadColumnsCSV(r io.Reader) (*list.Database, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: csv parse: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("store: csv is empty")
+	}
+	start := 0
+	if isHeader(records[0]) {
+		start = 1
+	}
+	if start >= len(records) {
+		return nil, fmt.Errorf("store: csv has a header but no data rows")
+	}
+	mCols := len(records[start])
+	if mCols == 0 {
+		return nil, fmt.Errorf("store: csv row %d has no fields", start+1)
+	}
+	cols := make([][]float64, mCols)
+	for i := range cols {
+		cols[i] = make([]float64, 0, len(records)-start)
+	}
+	for rowIdx, rec := range records[start:] {
+		if len(rec) != mCols {
+			return nil, fmt.Errorf("store: csv row %d has %d fields, want %d", start+rowIdx+1, len(rec), mCols)
+		}
+		for i, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("store: csv row %d column %d: %w", start+rowIdx+1, i+1, err)
+			}
+			cols[i] = append(cols[i], v)
+		}
+	}
+	return list.FromColumns(cols)
+}
+
+// isHeader reports whether no field of the row parses as a float.
+func isHeader(row []string) bool {
+	for _, f := range row {
+		if _, err := strconv.ParseFloat(f, 64); err == nil {
+			return false
+		}
+	}
+	return len(row) > 0
+}

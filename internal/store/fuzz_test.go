@@ -1,0 +1,70 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"topk/internal/gen"
+)
+
+// FuzzReadBinary throws arbitrary bytes at the binary parser. The parser
+// must never panic and must either return a structurally valid database
+// or an error — never a malformed one.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and a few truncations/mutations of it.
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 12, M: 2, Seed: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("TOPKDB1\n"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[20] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil database with nil error")
+		}
+		if vErr := got.Validate(); vErr != nil {
+			t.Fatalf("parser accepted an invalid database: %v", vErr)
+		}
+	})
+}
+
+// FuzzReadColumnsCSV does the same for the CSV importer.
+func FuzzReadColumnsCSV(f *testing.F) {
+	f.Add("list1,list2\n1,2\n3,4\n")
+	f.Add("1,2\n")
+	f.Add("")
+	f.Add("a,b\nx,y\n")
+	f.Add("1,2\n3\n")
+	f.Add("1e308,-1e308\n0,0\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		// The CSV reader is line-oriented; avoid pathological quoting
+		// blowups dominating the corpus by capping size.
+		if len(data) > 1<<16 {
+			return
+		}
+		got, err := ReadColumnsCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil database with nil error")
+		}
+		if vErr := got.Validate(); vErr != nil {
+			t.Fatalf("CSV importer accepted an invalid database: %v", vErr)
+		}
+	})
+}

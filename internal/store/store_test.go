@@ -1,0 +1,262 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/gen"
+	"topk/internal/list"
+)
+
+func sampleDB(t *testing.T) *list.Database {
+	t.Helper()
+	db, err := gen.Generate(gen.Spec{Kind: gen.Uniform, N: 50, M: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func equalDB(a, b *list.Database) bool {
+	if a.M() != b.M() || a.N() != b.N() {
+		return false
+	}
+	for i := 0; i < a.M(); i++ {
+		for p := 1; p <= a.N(); p++ {
+			if a.List(i).At(p) != b.List(i).At(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	db := sampleDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDB(db, got) {
+		t.Error("round trip changed the database")
+	}
+}
+
+func TestBinaryRejectsNil(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil); err == nil {
+		t.Error("Write(nil) should fail")
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTADB!\nxxxxxxxx")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	db := sampleDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 12, 20, len(full) / 2, len(full) - 2} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryDetectsCorruption(t *testing.T) {
+	db := sampleDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one bit in the middle of the payload: either an invariant
+	// breaks or the checksum catches it.
+	data[len(data)/2] ^= 0x10
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+}
+
+func TestBinaryRejectsImplausibleDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("TOPKDB1\n"))
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // m
+	buf.Write([]byte{0x01, 0x00, 0x00, 0x00}) // n
+	if _, err := Read(&buf); err == nil {
+		t.Error("implausible m accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := sampleDB(t)
+	path := filepath.Join(t.TempDir(), "db.topk")
+	if err := SaveFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDB(db, got) {
+		t.Error("file round trip changed the database")
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".topkdb-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveFileBadDirectory(t *testing.T) {
+	db := sampleDB(t)
+	if err := SaveFile(filepath.Join(t.TempDir(), "nope", "db.topk"), db); err == nil {
+		t.Error("save into missing directory accepted")
+	}
+}
+
+func TestSaveFileRelativePath(t *testing.T) {
+	db := sampleDB(t)
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	// A bare filename exercises the "." temp-dir branch of dirOf.
+	if err := SaveFile("db.topk", db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile("db.topk"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := sampleDB(t)
+	var buf bytes.Buffer
+	if err := WriteColumnsCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadColumnsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDB(db, got) {
+		t.Error("CSV round trip changed the database")
+	}
+}
+
+func TestCSVWithoutHeader(t *testing.T) {
+	in := "1.5,10\n2.5,20\n0.5,30\n"
+	db, err := ReadColumnsCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.M() != 2 || db.N() != 3 {
+		t.Fatalf("M=%d N=%d, want 2, 3", db.M(), db.N())
+	}
+	if got := db.List(0).At(1).Item; got != 1 {
+		t.Errorf("top item of list 0 = %d, want 1 (score 2.5)", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"header only":    "a,b\n",
+		"ragged":         "1,2\n3\n",
+		"non-numeric":    "1,2\n3,x\n",
+		"empty data row": "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadColumnsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestCSVNilDatabase(t *testing.T) {
+	if err := WriteColumnsCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil database accepted")
+	}
+}
+
+// TestPropertyBinaryRoundTrip round-trips random databases, including
+// Gaussian ones with negative and sub-normal-ish scores.
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, kindRaw uint8) bool {
+		n := 1 + int(nRaw)%60
+		m := 1 + int(mRaw)%5
+		kinds := []gen.Kind{gen.Uniform, gen.Gaussian}
+		db, err := gen.Generate(gen.Spec{Kind: kinds[int(kindRaw)%2], N: n, M: m, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, db); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("Read: %v", err)
+			return false
+		}
+		return equalDB(db, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinaryPreservesExactFloats checks bit-exact score preservation for
+// awkward values.
+func TestBinaryPreservesExactFloats(t *testing.T) {
+	scores := []float64{math.Pi, math.SmallestNonzeroFloat64, -math.MaxFloat64, 0, 1e-300}
+	// Build a single-list database with those scores (sorted descending).
+	db, err := list.FromColumns([][]float64{scores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, want := range scores {
+		if g := got.List(0).ScoreOf(list.ItemID(d)); g != want {
+			t.Errorf("item %d score = %v, want %v", d, g, want)
+		}
+	}
+}

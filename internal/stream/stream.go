@@ -1,0 +1,300 @@
+// Package stream provides continuous top-k monitoring over sliding
+// windows — the data-stream setting the paper cites as a driving
+// application ([22], [24] in its related work, and the network-monitoring
+// scenario of its conclusion).
+//
+// A Monitor tracks m score sources (network monitors, sensors, word
+// counters, ...). Scores arrive as (source, key, delta) observations that
+// accumulate into the current time bucket; a sliding window of the most
+// recent B buckets defines each key's current local score per source.
+// Every TopK call materializes the m sorted lists from the window
+// aggregates and answers with one of the paper's algorithms (BPA2 by
+// default), reporting both the ranking and how it changed since the
+// previous call.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/core"
+	"topk/internal/list"
+	"topk/internal/score"
+)
+
+// Config sizes a Monitor.
+type Config struct {
+	// Sources is m, the number of score sources. Required, >= 1.
+	Sources int
+	// K is the number of top keys to report. Required, >= 1. When fewer
+	// than K distinct keys are live, TopK reports all of them.
+	K int
+	// WindowBuckets is the sliding-window length in buckets; observations
+	// older than WindowBuckets Advance calls ago expire. Zero keeps an
+	// unbounded (landmark) window.
+	WindowBuckets int
+	// Algorithm answers the queries; the zero value core.AlgNaive is
+	// replaced by core.AlgBPA2. NRA and CA are refused: a monitor reports
+	// scores, and theirs are inexact.
+	Algorithm core.Algorithm
+	// Scoring combines the m local scores (default score.Sum).
+	Scoring score.Func
+	// Tracker selects the best-position structure for BPA/BPA2.
+	Tracker bestpos.Kind
+}
+
+// Monitor is a continuous top-k query over sliding-window aggregates.
+// Not safe for concurrent use; wrap with a mutex to share.
+type Monitor struct {
+	cfg     Config
+	sources []sourceState
+	queries int
+	prev    []Entry // previous snapshot ranking, for change detection
+}
+
+// sourceState is one source's window: the live aggregate per key plus the
+// per-bucket deltas needed to expire the oldest bucket.
+type sourceState struct {
+	agg  map[string]float64
+	ring []map[string]float64 // ring[head] is the current bucket
+	head int
+}
+
+// New validates the configuration and returns an empty Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Sources < 1 {
+		return nil, fmt.Errorf("stream: %d sources", cfg.Sources)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("stream: k=%d", cfg.K)
+	}
+	if cfg.WindowBuckets < 0 {
+		return nil, fmt.Errorf("stream: negative window %d", cfg.WindowBuckets)
+	}
+	if cfg.Algorithm == core.AlgNaive {
+		cfg.Algorithm = core.AlgBPA2
+	}
+	if cfg.Algorithm == core.AlgNRA || cfg.Algorithm == core.AlgCA {
+		return nil, fmt.Errorf("stream: %v reports inexact scores; a monitor needs exact rankings", cfg.Algorithm)
+	}
+	if cfg.Scoring == nil {
+		cfg.Scoring = score.Sum{}
+	}
+	mo := &Monitor{cfg: cfg, sources: make([]sourceState, cfg.Sources)}
+	for i := range mo.sources {
+		mo.sources[i].agg = map[string]float64{}
+		if cfg.WindowBuckets > 0 {
+			mo.sources[i].ring = make([]map[string]float64, cfg.WindowBuckets)
+			mo.sources[i].ring[0] = map[string]float64{}
+		}
+	}
+	return mo, nil
+}
+
+// Observe adds delta to key's score at the given source in the current
+// bucket. Deltas may be negative (corrections); aggregates that return to
+// zero drop out of the universe.
+func (mo *Monitor) Observe(source int, key string, delta float64) error {
+	if source < 0 || source >= len(mo.sources) {
+		return fmt.Errorf("stream: source %d out of range [0,%d)", source, len(mo.sources))
+	}
+	if key == "" {
+		return fmt.Errorf("stream: empty key")
+	}
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return fmt.Errorf("stream: delta %v for key %q is not finite", delta, key)
+	}
+	s := &mo.sources[source]
+	addScore(s.agg, key, delta)
+	if s.ring != nil {
+		addScore(s.ring[s.head], key, delta)
+	}
+	return nil
+}
+
+// addScore accumulates into a score map, deleting exact-zero entries so
+// the live universe stays tight.
+func addScore(m map[string]float64, key string, delta float64) {
+	v := m[key] + delta
+	if v == 0 {
+		delete(m, key)
+		return
+	}
+	m[key] = v
+}
+
+// Advance closes the current time bucket. With a sliding window, the
+// bucket that falls off the window is subtracted from the aggregates.
+// Without one (WindowBuckets == 0) Advance only marks bucket boundaries
+// and never expires anything.
+func (mo *Monitor) Advance() {
+	for i := range mo.sources {
+		s := &mo.sources[i]
+		if s.ring == nil {
+			continue
+		}
+		s.head = (s.head + 1) % len(s.ring)
+		if old := s.ring[s.head]; old != nil {
+			for key, v := range old {
+				addScore(s.agg, key, -v)
+			}
+		}
+		s.ring[s.head] = map[string]float64{}
+	}
+}
+
+// Entry is one ranked key of a snapshot.
+type Entry struct {
+	Key   string
+	Score float64
+}
+
+// ChangeKind classifies a ranking change between consecutive snapshots.
+type ChangeKind uint8
+
+const (
+	// Entered: the key is in the ranking now but was not before.
+	Entered ChangeKind = iota
+	// Left: the key was in the ranking before but is not now.
+	Left
+	// Moved: the key is in both rankings at a different rank.
+	Moved
+)
+
+// String returns the change-kind name.
+func (c ChangeKind) String() string {
+	switch c {
+	case Entered:
+		return "entered"
+	case Left:
+		return "left"
+	case Moved:
+		return "moved"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", uint8(c))
+	}
+}
+
+// Change records one difference between consecutive snapshots. Ranks are
+// 1-based; a rank of 0 means "not in the ranking" (the previous rank of
+// an Entered key, the new rank of a Left key).
+type Change struct {
+	Key      string
+	Kind     ChangeKind
+	Rank     int // rank in the new snapshot
+	PrevRank int // rank in the previous snapshot
+}
+
+// Snapshot is the result of one TopK evaluation.
+type Snapshot struct {
+	// Query numbers the TopK calls on this monitor, starting at 1.
+	Query int
+	// Items is the ranking, best first. Its length is min(K, live keys).
+	Items []Entry
+	// Changes lists the differences against the previous snapshot in
+	// deterministic order: Entered and Moved by new rank, then Left by
+	// previous rank.
+	Changes []Change
+	// Universe is the number of live keys at evaluation time.
+	Universe int
+	// Counts tallies the list accesses the underlying algorithm spent.
+	Counts access.Counts
+}
+
+// TopK materializes the sorted lists from the current window aggregates,
+// runs the configured algorithm, and reports the ranking with changes
+// since the previous call. An empty universe yields an empty snapshot.
+func (mo *Monitor) TopK() (*Snapshot, error) {
+	mo.queries++
+	snap := &Snapshot{Query: mo.queries}
+
+	keys := mo.liveKeys()
+	snap.Universe = len(keys)
+	if len(keys) == 0 {
+		snap.Changes = mo.diff(nil)
+		mo.prev = nil
+		return snap, nil
+	}
+
+	cols := make([][]float64, len(mo.sources))
+	for i := range mo.sources {
+		col := make([]float64, len(keys))
+		for d, key := range keys {
+			col[d] = mo.sources[i].agg[key]
+		}
+		cols[i] = col
+	}
+	db, err := list.FromColumns(cols)
+	if err != nil {
+		return nil, fmt.Errorf("stream: materialize lists: %w", err)
+	}
+	k := mo.cfg.K
+	if k > len(keys) {
+		k = len(keys)
+	}
+	res, err := core.Run(mo.cfg.Algorithm, db, core.Options{
+		K:       k,
+		Scoring: mo.cfg.Scoring,
+		Tracker: mo.cfg.Tracker,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stream: %v: %w", mo.cfg.Algorithm, err)
+	}
+
+	snap.Items = make([]Entry, len(res.Items))
+	for i, it := range res.Items {
+		snap.Items[i] = Entry{Key: keys[it.Item], Score: it.Score}
+	}
+	snap.Counts = res.Counts
+	snap.Changes = mo.diff(snap.Items)
+	mo.prev = snap.Items
+	return snap, nil
+}
+
+// liveKeys returns the sorted union of keys with a non-zero aggregate in
+// any source. Sorting fixes the dense item-ID assignment, which keeps
+// tie-breaking deterministic across calls.
+func (mo *Monitor) liveKeys() []string {
+	set := map[string]struct{}{}
+	for i := range mo.sources {
+		for key := range mo.sources[i].agg {
+			set[key] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for key := range set {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// diff compares the new ranking against the previous one.
+func (mo *Monitor) diff(items []Entry) []Change {
+	prevRank := make(map[string]int, len(mo.prev))
+	for i, e := range mo.prev {
+		prevRank[e.Key] = i + 1
+	}
+	var changes []Change
+	seen := make(map[string]bool, len(items))
+	for i, e := range items {
+		seen[e.Key] = true
+		rank := i + 1
+		prev, ok := prevRank[e.Key]
+		switch {
+		case !ok:
+			changes = append(changes, Change{Key: e.Key, Kind: Entered, Rank: rank})
+		case prev != rank:
+			changes = append(changes, Change{Key: e.Key, Kind: Moved, Rank: rank, PrevRank: prev})
+		}
+	}
+	for i, e := range mo.prev {
+		if !seen[e.Key] {
+			changes = append(changes, Change{Key: e.Key, Kind: Left, PrevRank: i + 1})
+		}
+	}
+	return changes
+}

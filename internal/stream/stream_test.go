@@ -1,0 +1,363 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"topk/internal/core"
+)
+
+func mustMonitor(t *testing.T, cfg Config) *Monitor {
+	t.Helper()
+	mo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mo
+}
+
+func observe(t *testing.T, mo *Monitor, source int, key string, delta float64) {
+	t.Helper()
+	if err := mo.Observe(source, key, delta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Sources: 0, K: 1},
+		{Sources: 1, K: 0},
+		{Sources: 1, K: 1, WindowBuckets: -1},
+		{Sources: 1, K: 1, Algorithm: core.AlgNRA},
+		{Sources: 1, K: 1, Algorithm: core.AlgCA},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := New(Config{Sources: 2, K: 3}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 2, K: 1})
+	if err := mo.Observe(2, "x", 1); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if err := mo.Observe(-1, "x", 1); err == nil {
+		t.Error("negative source accepted")
+	}
+	if err := mo.Observe(0, "", 1); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := mo.Observe(0, "x", math.NaN()); err == nil {
+		t.Error("NaN delta accepted")
+	}
+	if err := mo.Observe(0, "x", math.Inf(1)); err == nil {
+		t.Error("Inf delta accepted")
+	}
+}
+
+func TestEmptyUniverse(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 2, K: 3})
+	snap, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Query != 1 || len(snap.Items) != 0 || snap.Universe != 0 || len(snap.Changes) != 0 {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+}
+
+func TestTopKHandComputed(t *testing.T) {
+	// Two monitors counting URL hits; Sum scoring.
+	mo := mustMonitor(t, Config{Sources: 2, K: 2})
+	observe(t, mo, 0, "/a", 10) // /a: 10 + 1 = 11
+	observe(t, mo, 1, "/a", 1)
+	observe(t, mo, 0, "/b", 4) // /b: 4 + 8 = 12
+	observe(t, mo, 1, "/b", 8)
+	observe(t, mo, 0, "/c", 5) // /c: 5 + 0 = 5
+
+	snap, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{Key: "/b", Score: 12}, {Key: "/a", Score: 11}}
+	if len(snap.Items) != len(want) {
+		t.Fatalf("Items = %+v, want %+v", snap.Items, want)
+	}
+	for i := range want {
+		if snap.Items[i] != want[i] {
+			t.Errorf("Items[%d] = %+v, want %+v", i, snap.Items[i], want[i])
+		}
+	}
+	if snap.Universe != 3 {
+		t.Errorf("Universe = %d, want 3", snap.Universe)
+	}
+	// First snapshot: everything Entered, ordered by rank.
+	if len(snap.Changes) != 2 || snap.Changes[0].Kind != Entered || snap.Changes[0].Key != "/b" ||
+		snap.Changes[1].Key != "/a" {
+		t.Errorf("Changes = %+v", snap.Changes)
+	}
+	if snap.Counts.Total() == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestChangeDetection(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 1, K: 2})
+	observe(t, mo, 0, "a", 10)
+	observe(t, mo, 0, "b", 5)
+	if _, err := mo.TopK(); err != nil { // ranking: a, b
+		t.Fatal(err)
+	}
+
+	observe(t, mo, 0, "b", 10) // b: 15 now beats a: 10
+	observe(t, mo, 0, "c", 12) // c: 12 pushes a out of top-2
+	snap, err := mo.TopK()     // ranking: b, c
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantItems := []Entry{{Key: "b", Score: 15}, {Key: "c", Score: 12}}
+	for i := range wantItems {
+		if snap.Items[i] != wantItems[i] {
+			t.Fatalf("Items = %+v, want %+v", snap.Items, wantItems)
+		}
+	}
+	wantChanges := []Change{
+		{Key: "b", Kind: Moved, Rank: 1, PrevRank: 2},
+		{Key: "c", Kind: Entered, Rank: 2},
+		{Key: "a", Kind: Left, PrevRank: 1},
+	}
+	if len(snap.Changes) != len(wantChanges) {
+		t.Fatalf("Changes = %+v, want %+v", snap.Changes, wantChanges)
+	}
+	for i := range wantChanges {
+		if snap.Changes[i] != wantChanges[i] {
+			t.Errorf("Changes[%d] = %+v, want %+v", i, snap.Changes[i], wantChanges[i])
+		}
+	}
+}
+
+func TestSlidingWindowExpiry(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 1, K: 1, WindowBuckets: 2})
+	observe(t, mo, 0, "old", 100)
+	mo.Advance() // bucket 2: "old" still in window
+	observe(t, mo, 0, "new", 1)
+
+	snap, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Items[0].Key != "old" {
+		t.Fatalf("ranking before expiry = %+v", snap.Items)
+	}
+
+	mo.Advance() // "old"'s bucket expires
+	snap, err = mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Items) != 1 || snap.Items[0].Key != "new" {
+		t.Fatalf("ranking after expiry = %+v", snap.Items)
+	}
+	if snap.Universe != 1 {
+		t.Errorf("Universe = %d, want 1 (old key must drop out)", snap.Universe)
+	}
+}
+
+func TestUnboundedWindowNeverExpires(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 1, K: 1})
+	observe(t, mo, 0, "x", 7)
+	for i := 0; i < 10; i++ {
+		mo.Advance()
+	}
+	snap, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Items) != 1 || snap.Items[0].Score != 7 {
+		t.Fatalf("landmark window lost data: %+v", snap.Items)
+	}
+}
+
+func TestNegativeDeltaRemovesKey(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 2, K: 5})
+	observe(t, mo, 0, "x", 3)
+	observe(t, mo, 0, "x", -3) // back to zero: drops out of the universe
+	observe(t, mo, 1, "y", 2)
+	snap, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Universe != 1 || snap.Items[0].Key != "y" {
+		t.Fatalf("snapshot = %+v, want only y", snap)
+	}
+}
+
+func TestKClampsToUniverse(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 1, K: 10})
+	observe(t, mo, 0, "a", 1)
+	observe(t, mo, 0, "b", 2)
+	snap, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Items) != 2 {
+		t.Fatalf("Items = %+v, want 2 entries", snap.Items)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	cases := map[ChangeKind]string{Entered: "entered", Left: "left", Moved: "moved", ChangeKind(7): "ChangeKind(7)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestPropertyMonitorMatchesDirectAggregation replays a random
+// observation/advance schedule into both the monitor and a naive
+// reference (full maps, no windows structure) and compares rankings
+// after every query, for every supported exact algorithm.
+func TestPropertyMonitorMatchesDirectAggregation(t *testing.T) {
+	algs := []core.Algorithm{core.AlgBPA2, core.AlgBPA, core.AlgTA, core.AlgFA}
+	prop := func(seed int64, mRaw, kRaw, wRaw uint8, algRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + int(mRaw)%4
+		k := 1 + int(kRaw)%6
+		w := int(wRaw) % 4 // 0 = unbounded
+		alg := algs[int(algRaw)%len(algs)]
+		mo, err := New(Config{Sources: m, K: k, WindowBuckets: w, Algorithm: alg})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+
+		// Reference: per-source slice of bucket maps; window = last w.
+		ref := make([][]map[string]float64, m)
+		for i := range ref {
+			ref[i] = []map[string]float64{{}}
+		}
+		refAgg := func(i int, key string) float64 {
+			buckets := ref[i]
+			lo := 0
+			if w > 0 && len(buckets) > w {
+				lo = len(buckets) - w
+			}
+			var v float64
+			for _, b := range buckets[lo:] {
+				v += b[key]
+			}
+			return v
+		}
+
+		keys := []string{"a", "b", "c", "d", "e", "f", "g"}
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				mo.Advance()
+				for i := range ref {
+					ref[i] = append(ref[i], map[string]float64{})
+				}
+			case 1:
+				snap, err := mo.TopK()
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				if !rankingMatches(t, snap, ref, refAgg, keys, k) {
+					return false
+				}
+			default:
+				i := rng.Intn(m)
+				key := keys[rng.Intn(len(keys))]
+				delta := float64(rng.Intn(9) - 2)
+				if err := mo.Observe(i, key, delta); err != nil {
+					t.Log(err)
+					return false
+				}
+				cur := ref[i][len(ref[i])-1]
+				cur[key] += delta
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rankingMatches recomputes the expected ranking from the reference
+// aggregation and compares the score sequence (identical multiset of the
+// top-k overall scores; item identity enforced above the k-th score).
+func rankingMatches(t *testing.T, snap *Snapshot, ref [][]map[string]float64,
+	refAgg func(int, string) float64, keys []string, k int) bool {
+	t.Helper()
+	type scored struct {
+		key   string
+		total float64
+	}
+	var live []scored
+	for _, key := range keys {
+		inUniverse := false
+		var total float64
+		for i := range ref {
+			v := refAgg(i, key)
+			if v != 0 {
+				inUniverse = true
+			}
+			total += v
+		}
+		if inUniverse {
+			live = append(live, scored{key, total})
+		}
+	}
+	sort.Slice(live, func(a, b int) bool {
+		if live[a].total != live[b].total {
+			return live[a].total > live[b].total
+		}
+		return live[a].key < live[b].key
+	})
+	wantLen := k
+	if wantLen > len(live) {
+		wantLen = len(live)
+	}
+	if snap.Universe != len(live) {
+		t.Logf("universe = %d, want %d", snap.Universe, len(live))
+		return false
+	}
+	if len(snap.Items) != wantLen {
+		t.Logf("items = %+v, want %d entries of %+v", snap.Items, wantLen, live)
+		return false
+	}
+	for i := 0; i < wantLen; i++ {
+		if snap.Items[i].Score != live[i].total {
+			t.Logf("rank %d score = %v, want %v (%+v vs %+v)", i+1, snap.Items[i].Score, live[i].total, snap.Items, live)
+			return false
+		}
+	}
+	return true
+}
+
+func ExampleMonitor() {
+	mo, _ := New(Config{Sources: 2, K: 2, WindowBuckets: 3})
+	_ = mo.Observe(0, "/home", 40)
+	_ = mo.Observe(1, "/home", 12)
+	_ = mo.Observe(0, "/search", 30)
+	_ = mo.Observe(1, "/search", 25)
+	snap, _ := mo.TopK()
+	for _, e := range snap.Items {
+		fmt.Printf("%s %.0f\n", e.Key, e.Score)
+	}
+	// Output:
+	// /search 55
+	// /home 52
+}

@@ -1,0 +1,98 @@
+// Package trace records and renders round-by-round executions of the
+// threshold algorithms, reproducing the walkthroughs of the paper's
+// worked examples (the δ column of Figure 1b, the λ and best-position
+// narration of Example 3).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"topk/internal/core"
+)
+
+// Log collects RoundInfo snapshots; it implements core.Observer.
+type Log struct {
+	Infos []core.RoundInfo
+}
+
+// Round implements core.Observer.
+func (l *Log) Round(info core.RoundInfo) { l.Infos = append(l.Infos, info) }
+
+// Thresholds returns the per-round threshold sequence (δ or λ).
+func (l *Log) Thresholds() []float64 {
+	out := make([]float64, len(l.Infos))
+	for i, in := range l.Infos {
+		out[i] = in.Threshold
+	}
+	return out
+}
+
+// Stopped returns the final round's stop flag (false for an empty log).
+func (l *Log) Stopped() bool {
+	if len(l.Infos) == 0 {
+		return false
+	}
+	return l.Infos[len(l.Infos)-1].Stopped
+}
+
+// Render writes the walkthrough as an aligned table, one row per round:
+// the round, the sorted-access position, the best positions (if the
+// algorithm tracks them), the threshold, the current k-th score, and
+// whether the stopping condition held.
+func (l *Log) Render(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "# execution trace — %s\n", title); err != nil {
+		return err
+	}
+	hasBP := false
+	for _, in := range l.Infos {
+		if in.BestPositions != nil {
+			hasBP = true
+			break
+		}
+	}
+	header := "round  position  threshold  k-th score  stop"
+	if hasBP {
+		header = "round  position  best positions  threshold  k-th score  stop"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, in := range l.Infos {
+		kth := "-"
+		if in.YFull {
+			kth = trimFloat(in.KthScore)
+		} else if !math.IsInf(in.KthScore, -1) {
+			kth = trimFloat(in.KthScore)
+		}
+		stop := ""
+		if in.Stopped {
+			stop = "STOP"
+		}
+		var line string
+		if hasBP {
+			bps := make([]string, len(in.BestPositions))
+			for i, bp := range in.BestPositions {
+				bps[i] = fmt.Sprintf("%d", bp)
+			}
+			line = fmt.Sprintf("%5d  %8d  %14s  %9s  %10s  %s",
+				in.Round, in.Position, strings.Join(bps, ","), trimFloat(in.Threshold), kth, stop)
+		} else {
+			line = fmt.Sprintf("%5d  %8d  %9s  %10s  %s",
+				in.Round, in.Position, trimFloat(in.Threshold), kth, stop)
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

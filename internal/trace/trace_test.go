@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"topk/internal/access"
+	"topk/internal/core"
+	"topk/internal/paperdb"
+	"topk/internal/score"
+)
+
+// TestTATraceFigure1 replays Example 2 through the observer: TA's
+// threshold sequence over Figure 1 must be exactly the δ column printed
+// in Figure 1b, stopping at position 6.
+func TestTATraceFigure1(t *testing.T) {
+	db, err := paperdb.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log Log
+	_, err = core.TA(access.NewProbe(db), core.Options{
+		K: 3, Scoring: score.Sum{}, Observer: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{88, 84, 80, 75, 72, 63}
+	got := log.Thresholds()
+	if len(got) != len(want) {
+		t.Fatalf("TA ran %d rounds, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("δ at position %d = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+	if !log.Stopped() {
+		t.Error("final round not marked stopped")
+	}
+	for i, in := range log.Infos {
+		if in.Round != i+1 || in.Position != i+1 {
+			t.Errorf("round %d has Round=%d Position=%d", i+1, in.Round, in.Position)
+		}
+		if in.BestPositions != nil {
+			t.Error("TA should not report best positions")
+		}
+	}
+}
+
+// TestBPATraceFigure1 replays Example 3: λ = 88, 84, 43 with best
+// positions reaching (9, 9, 6) at the stopping round.
+func TestBPATraceFigure1(t *testing.T) {
+	db, err := paperdb.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log Log
+	_, err = core.BPA(access.NewProbe(db), core.Options{
+		K: 3, Scoring: score.Sum{}, Observer: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{88, 84, 43}
+	got := log.Thresholds()
+	if len(got) != len(want) {
+		t.Fatalf("BPA ran %d rounds, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("λ at position %d = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+	final := log.Infos[len(log.Infos)-1]
+	wantBP := []int{9, 9, 6}
+	for i, bp := range final.BestPositions {
+		if bp != wantBP[i] {
+			t.Errorf("final bp%d = %d, want %d", i+1, bp, wantBP[i])
+		}
+	}
+	if !final.Stopped || !final.YFull {
+		t.Errorf("final round flags: %+v", final)
+	}
+}
+
+// TestBPA2TraceFigure2 replays the Section 5.1 example: four rounds with
+// λ = 88, 84, 71, 33.
+func TestBPA2TraceFigure2(t *testing.T) {
+	db, err := paperdb.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log Log
+	_, err = core.BPA2(access.NewProbe(db), core.Options{
+		K: 3, Scoring: score.Sum{}, Observer: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{88, 84, 71, 33}
+	got := log.Thresholds()
+	if len(got) != len(want) {
+		t.Fatalf("BPA2 ran %d rounds, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("λ at round %d = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+	// After the last round every best position is 10 (positions 1-10 all
+	// seen, 11+ only partially).
+	final := log.Infos[len(log.Infos)-1]
+	for i, bp := range final.BestPositions {
+		if bp != 10 {
+			t.Errorf("final bp%d = %d, want 10", i+1, bp)
+		}
+	}
+}
+
+func TestRenderTA(t *testing.T) {
+	db, err := paperdb.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log Log
+	if _, err := core.TA(access.NewProbe(db), core.Options{K: 3, Scoring: score.Sum{}, Observer: &log}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := log.Render(&buf, "TA over Figure 1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TA over Figure 1", "threshold", "63", "STOP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "best positions") {
+		t.Error("TA trace should not have a best-positions column")
+	}
+}
+
+func TestRenderBPAIncludesBestPositions(t *testing.T) {
+	db, err := paperdb.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log Log
+	if _, err := core.BPA(access.NewProbe(db), core.Options{K: 3, Scoring: score.Sum{}, Observer: &log}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := log.Render(&buf, "BPA over Figure 1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "best positions") {
+		t.Errorf("BPA trace missing best positions column:\n%s", out)
+	}
+	if !strings.Contains(out, "9,9,6") {
+		t.Errorf("BPA trace missing final best positions 9,9,6:\n%s", out)
+	}
+}
+
+// TestTraceBeforeYFills: with k close to n, early rounds report an
+// unfilled answer set (KthScore = -Inf, YFull = false) and render with a
+// dash in the k-th score column.
+func TestTraceBeforeYFills(t *testing.T) {
+	db, err := paperdb.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log Log
+	_, err = core.TA(access.NewProbe(db), core.Options{
+		K: 10, Scoring: score.Sum{}, Observer: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := log.Infos[0]
+	if first.YFull {
+		t.Error("round 1 cannot have 10 items (only 3-9 seen)")
+	}
+	var buf bytes.Buffer
+	if err := log.Render(&buf, "TA k=10"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if len(lines) < 3 || !strings.Contains(lines[2], "-") {
+		t.Errorf("unfilled round does not render a dash:\n%s", buf.String())
+	}
+	last := log.Infos[len(log.Infos)-1]
+	if !last.YFull || !last.Stopped {
+		t.Errorf("final round = %+v", last)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	var log Log
+	if log.Stopped() {
+		t.Error("empty log reports stopped")
+	}
+	if len(log.Thresholds()) != 0 {
+		t.Error("empty log has thresholds")
+	}
+	var buf bytes.Buffer
+	if err := log.Render(&buf, "empty"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package topk
+
+import (
+	"fmt"
+
+	"topk/internal/bestpos"
+	"topk/internal/core"
+	"topk/internal/stream"
+)
+
+// MonitorConfig sizes a continuous top-k monitor.
+type MonitorConfig struct {
+	// Sources is the number of score sources (network monitors, sensors,
+	// keyword counters, ...). Required, >= 1.
+	Sources int
+	// K is the number of top keys to report. Required, >= 1.
+	K int
+	// WindowBuckets is the sliding-window length in buckets: an
+	// observation expires WindowBuckets Advance calls after it arrived.
+	// Zero keeps everything (landmark window).
+	WindowBuckets int
+	// Algorithm answers the queries; defaults to BPA2. NRA and CA are
+	// refused (a monitor reports scores; theirs are inexact).
+	Algorithm Algorithm
+	// Scoring combines the per-source scores; defaults to Sum.
+	Scoring Scoring
+	// Tracker selects the best-position structure for BPA/BPA2.
+	Tracker Tracker
+}
+
+// Monitor is a continuous top-k query over sliding-window aggregates —
+// the paper's network-monitoring scenario ("what are the top-k popular
+// URLs?", Section 8) made incremental. Feed observations with Observe,
+// advance time with Advance, and ask for the current ranking with TopK;
+// each snapshot also reports how the ranking changed.
+//
+// A Monitor is not safe for concurrent use.
+type Monitor struct {
+	inner *stream.Monitor
+}
+
+// NewMonitor validates the configuration and returns an empty monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	alg := core.AlgBPA2
+	if cfg.Algorithm != BPA2 {
+		var err error
+		alg, err = cfg.Algorithm.internal()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var f = cfg.Scoring
+	if f == nil {
+		f = Sum()
+	}
+	inner, err := stream.New(stream.Config{
+		Sources:       cfg.Sources,
+		K:             cfg.K,
+		WindowBuckets: cfg.WindowBuckets,
+		Algorithm:     alg,
+		Scoring:       adaptScoring(f),
+		Tracker:       bestpos.Kind(cfg.Tracker),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{inner: inner}, nil
+}
+
+// Observe adds delta to key's score at the given source in the current
+// time bucket. Deltas may be negative (corrections); a key whose
+// aggregate returns to zero leaves the universe.
+func (m *Monitor) Observe(source int, key string, delta float64) error {
+	return m.inner.Observe(source, key, delta)
+}
+
+// Advance closes the current time bucket and, with a sliding window,
+// expires the bucket that falls off it.
+func (m *Monitor) Advance() { m.inner.Advance() }
+
+// MonitorEntry is one ranked key of a snapshot.
+type MonitorEntry struct {
+	Key   string
+	Score float64
+}
+
+// MonitorChangeKind classifies a ranking change between snapshots.
+type MonitorChangeKind uint8
+
+const (
+	// ChangeEntered: the key entered the ranking.
+	ChangeEntered MonitorChangeKind = iota
+	// ChangeLeft: the key left the ranking.
+	ChangeLeft
+	// ChangeMoved: the key changed rank.
+	ChangeMoved
+)
+
+// String returns the change-kind name.
+func (c MonitorChangeKind) String() string {
+	switch c {
+	case ChangeEntered:
+		return "entered"
+	case ChangeLeft:
+		return "left"
+	case ChangeMoved:
+		return "moved"
+	default:
+		return fmt.Sprintf("MonitorChangeKind(%d)", uint8(c))
+	}
+}
+
+// MonitorChange records one ranking difference between consecutive
+// snapshots. Ranks are 1-based; 0 means "not in the ranking".
+type MonitorChange struct {
+	Key      string
+	Kind     MonitorChangeKind
+	Rank     int
+	PrevRank int
+}
+
+// MonitorSnapshot is the result of one Monitor.TopK evaluation.
+type MonitorSnapshot struct {
+	// Query numbers the TopK calls, starting at 1.
+	Query int
+	// Items is the current ranking, best first; its length is
+	// min(K, live keys).
+	Items []MonitorEntry
+	// Changes lists the differences against the previous snapshot:
+	// entered and moved keys by new rank, then departed keys by previous
+	// rank.
+	Changes []MonitorChange
+	// Universe is the number of live keys at evaluation time.
+	Universe int
+	// Accesses is the number of list accesses the query spent.
+	Accesses int64
+}
+
+// TopK evaluates the continuous query against the current window and
+// reports the ranking with changes since the previous call.
+func (m *Monitor) TopK() (*MonitorSnapshot, error) {
+	snap, err := m.inner.TopK()
+	if err != nil {
+		return nil, err
+	}
+	out := &MonitorSnapshot{
+		Query:    snap.Query,
+		Universe: snap.Universe,
+		Accesses: snap.Counts.Total(),
+	}
+	out.Items = make([]MonitorEntry, len(snap.Items))
+	for i, e := range snap.Items {
+		out.Items[i] = MonitorEntry{Key: e.Key, Score: e.Score}
+	}
+	out.Changes = make([]MonitorChange, len(snap.Changes))
+	for i, c := range snap.Changes {
+		out.Changes[i] = MonitorChange{
+			Key:      c.Key,
+			Kind:     MonitorChangeKind(c.Kind),
+			Rank:     c.Rank,
+			PrevRank: c.PrevRank,
+		}
+	}
+	return out, nil
+}

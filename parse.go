@@ -1,0 +1,72 @@
+package topk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseAlgorithm resolves a case-insensitive algorithm name: "bpa2",
+// "bpa", "ta", "fa", "naive", "nra" or "ca". It is the parser behind the
+// command-line tools and the HTTP API.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "bpa2":
+		return BPA2, nil
+	case "bpa":
+		return BPA, nil
+	case "ta":
+		return TA, nil
+	case "fa":
+		return FA, nil
+	case "naive":
+		return Naive, nil
+	case "nra":
+		return NRA, nil
+	case "ca":
+		return CA, nil
+	default:
+		return 0, fmt.Errorf("topk: unknown algorithm %q (bpa2, bpa, ta, fa, naive, nra, ca)", name)
+	}
+}
+
+// ParseScoring resolves a case-insensitive scoring-function name: "sum",
+// "avg", "min", "max" or "wsum". Weights are required for "wsum" and
+// rejected otherwise.
+func ParseScoring(name string, weights []float64) (Scoring, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	if lower != "wsum" && len(weights) > 0 {
+		return nil, fmt.Errorf("topk: scoring %q takes no weights", name)
+	}
+	switch lower {
+	case "sum":
+		return Sum(), nil
+	case "avg":
+		return Avg(), nil
+	case "min":
+		return Min(), nil
+	case "max":
+		return Max(), nil
+	case "wsum":
+		if len(weights) == 0 {
+			return nil, fmt.Errorf("topk: scoring wsum requires weights")
+		}
+		return WeightedSum(weights)
+	default:
+		return nil, fmt.Errorf("topk: unknown scoring %q (sum, avg, min, max, wsum)", name)
+	}
+}
+
+// ParseTracker resolves a case-insensitive tracker name: "bitarray",
+// "b+tree" (or "btree"), "interval".
+func ParseTracker(name string) (Tracker, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "bitarray":
+		return BitArrayTracker, nil
+	case "b+tree", "btree", "bplustree":
+		return BPlusTreeTracker, nil
+	case "interval":
+		return IntervalTracker, nil
+	default:
+		return 0, fmt.Errorf("topk: unknown tracker %q (bitarray, b+tree, interval)", name)
+	}
+}

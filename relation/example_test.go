@@ -1,0 +1,36 @@
+package relation_test
+
+import (
+	"fmt"
+	"log"
+
+	"topk/relation"
+)
+
+// A table with mixed-direction attributes: row 2 dominates (largest
+// size, lowest price).
+func ExampleIndex_TopK() {
+	tbl, err := relation.New(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.AddColumn("size", relation.HigherIsBetter, []float64{50, 80, 100}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.AddColumn("price", relation.LowerIsBetter, []float64{900, 700, 500}); err != nil {
+		log.Fatal(err)
+	}
+	ix, err := tbl.Index()
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, _, err := ix.TopK(relation.Query{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := matches[0]
+	fmt.Printf("row %d: size=%.0f price=%.0f score=%.1f\n",
+		m.Row, m.Attributes["size"], m.Attributes["price"], m.Score)
+	// Output:
+	// row 2: size=100 price=500 score=2.0
+}

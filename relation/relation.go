@@ -1,0 +1,298 @@
+// Package relation answers top-k queries over relational tables, the
+// first motivating example of the paper's introduction: "Suppose we want
+// to find the top-k tuples in a relational table according to some
+// scoring function over its attributes. To answer this query, it is
+// sufficient to have a sorted (indexed) list of the values of each
+// attribute involved in the scoring function."
+//
+// A Table holds named numeric columns, each with a direction (whether
+// larger or smaller raw values are preferable). Index builds one sorted
+// list per requested column with min-max normalized scores, so that
+// per-column weights are comparable, and queries run through the topk
+// engine (BPA2 by default).
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"topk"
+)
+
+// Direction states how a column's raw values rank rows.
+type Direction uint8
+
+const (
+	// HigherIsBetter ranks larger raw values first (e.g. rating).
+	HigherIsBetter Direction = iota
+	// LowerIsBetter ranks smaller raw values first (e.g. price).
+	LowerIsBetter
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case HigherIsBetter:
+		return "desc"
+	case LowerIsBetter:
+		return "asc"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+type column struct {
+	name   string
+	dir    Direction
+	values []float64
+}
+
+// Table is a read-only collection of equally sized numeric columns.
+type Table struct {
+	rows    int
+	columns []column
+	byName  map[string]int
+}
+
+// New returns a table with the given number of rows (> 0).
+func New(rows int) (*Table, error) {
+	if rows < 1 {
+		return nil, fmt.Errorf("relation: table needs at least one row, got %d", rows)
+	}
+	return &Table{rows: rows, byName: map[string]int{}}, nil
+}
+
+// AddColumn attaches a column. The name must be unique and values must
+// have exactly one entry per row. The slice is copied.
+func (t *Table) AddColumn(name string, dir Direction, values []float64) error {
+	if name == "" {
+		return fmt.Errorf("relation: empty column name")
+	}
+	if _, dup := t.byName[name]; dup {
+		return fmt.Errorf("relation: duplicate column %q", name)
+	}
+	if len(values) != t.rows {
+		return fmt.Errorf("relation: column %q has %d values, table has %d rows", name, len(values), t.rows)
+	}
+	if dir != HigherIsBetter && dir != LowerIsBetter {
+		return fmt.Errorf("relation: column %q has unknown direction %d", name, dir)
+	}
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	t.byName[name] = len(t.columns)
+	t.columns = append(t.columns, column{name: name, dir: dir, values: cp})
+	return nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+// Columns returns the column names in insertion order.
+func (t *Table) Columns() []string {
+	out := make([]string, len(t.columns))
+	for i, c := range t.columns {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Value returns the raw cell (row, column).
+func (t *Table) Value(row int, name string) (float64, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("relation: no column %q", name)
+	}
+	if row < 0 || row >= t.rows {
+		return 0, fmt.Errorf("relation: row %d out of range [0,%d)", row, t.rows)
+	}
+	return t.columns[i].values[row], nil
+}
+
+// Index is a set of sorted attribute lists ready to answer weighted
+// top-k queries — the paper's "sorted (indexed) list of the values of
+// each attribute involved in the scoring function".
+type Index struct {
+	table *Table
+	names []string
+	db    *topk.Database
+}
+
+// Index builds sorted lists over the named columns (all columns when
+// none are named). Scores are min-max normalized to [0, 1] per column —
+// flipped for LowerIsBetter columns — so that query weights are
+// dimension-free. Constant columns normalize to 0.5 everywhere.
+func (t *Table) Index(names ...string) (*Index, error) {
+	if len(t.columns) == 0 {
+		return nil, fmt.Errorf("relation: table has no columns")
+	}
+	if len(names) == 0 {
+		names = t.Columns()
+	}
+	cols := make([][]float64, len(names))
+	for i, name := range names {
+		ci, ok := t.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("relation: no column %q", name)
+		}
+		cols[i] = normalize(t.columns[ci].values, t.columns[ci].dir)
+	}
+	db, err := topk.FromColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]string, len(names))
+	copy(cp, names)
+	return &Index{table: t, names: cp, db: db}, nil
+}
+
+// normalize maps raw values to preference scores in [0, 1].
+func normalize(values []float64, dir Direction) []float64 {
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]float64, len(values))
+	if lo == hi {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	span := hi - lo
+	for i, v := range values {
+		s := (v - lo) / span
+		if dir == LowerIsBetter {
+			s = 1 - s
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Columns returns the indexed column names in list order.
+func (ix *Index) Columns() []string {
+	cp := make([]string, len(ix.names))
+	copy(cp, ix.names)
+	return cp
+}
+
+// Match is one answer row of a query.
+type Match struct {
+	// Row is the table row number.
+	Row int
+	// Score is the weighted overall preference score.
+	Score float64
+	// Attributes maps each indexed column to the row's RAW value, for
+	// presentation.
+	Attributes map[string]float64
+}
+
+// Query configures a relational top-k query.
+type Query struct {
+	// K is the number of rows wanted.
+	K int
+	// Weights maps column names to non-negative weights. Missing columns
+	// weigh 1; unknown names are an error. Nil means all-ones.
+	Weights map[string]float64
+	// Algorithm defaults to BPA2.
+	Algorithm topk.Algorithm
+}
+
+// TopK returns the k best rows under the weighted preference score.
+func (ix *Index) TopK(q Query) ([]Match, *topk.Result, error) {
+	weights := make([]float64, len(ix.names))
+	for i := range weights {
+		weights[i] = 1
+	}
+	for name, w := range q.Weights {
+		found := false
+		for i, n := range ix.names {
+			if n == name {
+				weights[i] = w
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("relation: weight for unindexed column %q", name)
+		}
+	}
+	scoring, err := topk.WeightedSum(weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ix.db.TopK(topk.Query{K: q.K, Algorithm: q.Algorithm, Scoring: scoring})
+	if err != nil {
+		return nil, nil, err
+	}
+	matches := make([]Match, len(res.Items))
+	for i, it := range res.Items {
+		attrs := make(map[string]float64, len(ix.names))
+		for _, name := range ix.names {
+			v, err := ix.table.Value(it.Item, name)
+			if err != nil {
+				return nil, nil, err
+			}
+			attrs[name] = v
+		}
+		matches[i] = Match{Row: it.Item, Score: it.Score, Attributes: attrs}
+	}
+	return matches, res, nil
+}
+
+// Oracle computes the exact answer by brute force over the normalized
+// scores; a validation aid for tests and custom weightings.
+func (ix *Index) Oracle(q Query) ([]Match, error) {
+	matches, _, err := ix.topKByScan(q)
+	return matches, err
+}
+
+func (ix *Index) topKByScan(q Query) ([]Match, *topk.Result, error) {
+	if q.K < 1 || q.K > ix.table.rows {
+		return nil, nil, fmt.Errorf("relation: k=%d out of range [1,%d]", q.K, ix.table.rows)
+	}
+	weights := make([]float64, len(ix.names))
+	for i := range weights {
+		weights[i] = 1
+	}
+	for name, w := range q.Weights {
+		for i, n := range ix.names {
+			if n == name {
+				weights[i] = w
+			}
+		}
+	}
+	type scored struct {
+		row   int
+		score float64
+	}
+	all := make([]scored, ix.table.rows)
+	for row := 0; row < ix.table.rows; row++ {
+		var s float64
+		for i := range ix.names {
+			s += weights[i] * ix.db.LocalScore(i, row)
+		}
+		all[row] = scored{row: row, score: s}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].row < all[b].row
+	})
+	out := make([]Match, q.K)
+	for i := 0; i < q.K; i++ {
+		attrs := make(map[string]float64, len(ix.names))
+		for _, name := range ix.names {
+			v, _ := ix.table.Value(all[i].row, name)
+			attrs[name] = v
+		}
+		out[i] = Match{Row: all[i].row, Score: all[i].score, Attributes: attrs}
+	}
+	return out, nil, nil
+}

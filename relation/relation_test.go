@@ -1,0 +1,272 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topk"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apartments: size (bigger better), price (smaller better).
+	if err := tbl.AddColumn("size", HigherIsBetter, []float64{50, 100, 75, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn("price", LowerIsBetter, []float64{500, 1500, 1000, 500}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative rows accepted")
+	}
+}
+
+func TestAddColumnValidation(t *testing.T) {
+	tbl, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn("", HigherIsBetter, []float64{1, 2}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := tbl.AddColumn("a", HigherIsBetter, []float64{1}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := tbl.AddColumn("a", Direction(9), []float64{1, 2}); err == nil {
+		t.Error("unknown direction accepted")
+	}
+	if err := tbl.AddColumn("a", HigherIsBetter, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn("a", HigherIsBetter, []float64{1, 2}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tbl := sampleTable(t)
+	if tbl.Rows() != 4 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+	cols := tbl.Columns()
+	if len(cols) != 2 || cols[0] != "size" || cols[1] != "price" {
+		t.Errorf("Columns = %v", cols)
+	}
+	v, err := tbl.Value(1, "price")
+	if err != nil || v != 1500 {
+		t.Errorf("Value(1, price) = %v, %v", v, err)
+	}
+	if _, err := tbl.Value(1, "nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := tbl.Value(9, "price"); err == nil {
+		t.Error("row out of range accepted")
+	}
+}
+
+func TestAddColumnCopiesValues(t *testing.T) {
+	tbl, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 2}
+	if err := tbl.AddColumn("a", HigherIsBetter, vals); err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 99
+	if v, _ := tbl.Value(0, "a"); v != 1 {
+		t.Error("AddColumn shares caller memory")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	got := normalize([]float64{0, 5, 10}, HigherIsBetter)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("normalize desc[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	got = normalize([]float64{0, 5, 10}, LowerIsBetter)
+	want = []float64{1, 0.5, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("normalize asc[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, v := range normalize([]float64{7, 7, 7}, HigherIsBetter) {
+		if v != 0.5 {
+			t.Errorf("constant column normalized to %v, want 0.5", v)
+		}
+	}
+}
+
+func TestIndexAndTopK(t *testing.T) {
+	tbl := sampleTable(t)
+	ix, err := tbl.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := ix.Columns(); len(cols) != 2 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	// Row 3 (size 100, price 500) dominates everything: both normalized
+	// scores are 1.
+	matches, res, err := ix.TopK(Query{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Algorithm != topk.BPA2 {
+		t.Errorf("result = %+v", res)
+	}
+	if matches[0].Row != 3 || matches[0].Score != 2 {
+		t.Errorf("top match = %+v, want row 3 score 2", matches[0])
+	}
+	if matches[0].Attributes["size"] != 100 || matches[0].Attributes["price"] != 500 {
+		t.Errorf("attributes = %v", matches[0].Attributes)
+	}
+}
+
+func TestTopKWeights(t *testing.T) {
+	tbl := sampleTable(t)
+	ix, err := tbl.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All weight on price: rows 0 and 3 (price 500) tie; smaller row
+	// wins the deterministic tie-break... but row 3 also maxes size.
+	// With zero weight on size the tie between rows 0 and 3 is broken by
+	// row ID, so row 0 leads.
+	matches, _, err := ix.TopK(Query{K: 2, Weights: map[string]float64{"size": 0, "price": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].Row != 0 || matches[1].Row != 3 {
+		t.Errorf("price-only ranking = %d, %d; want rows 0, 3", matches[0].Row, matches[1].Row)
+	}
+	// Unknown weight name errors.
+	if _, _, err := ix.TopK(Query{K: 1, Weights: map[string]float64{"zzz": 1}}); err == nil {
+		t.Error("unknown weight column accepted")
+	}
+	// Negative weights are rejected by the scoring constructor.
+	if _, _, err := ix.TopK(Query{K: 1, Weights: map[string]float64{"price": -2}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestIndexSubset(t *testing.T) {
+	tbl := sampleTable(t)
+	ix, err := tbl.Index("price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, _, err := ix.TopK(Query{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].Row != 0 {
+		t.Errorf("price-only index top = %+v, want row 0", matches[0])
+	}
+	if _, err := tbl.Index("nope"); err == nil {
+		t.Error("unknown index column accepted")
+	}
+}
+
+func TestIndexEmptyTable(t *testing.T) {
+	tbl, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Index(); err == nil {
+		t.Error("index over zero columns accepted")
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	tbl := sampleTable(t)
+	ix, err := tbl.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Oracle(Query{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ix.Oracle(Query{K: 9}); err == nil {
+		t.Error("k>rows accepted")
+	}
+}
+
+// TestPropertyTopKMatchesOracle: for random tables, weights, and
+// directions, every algorithm returns the oracle's scores.
+func TestPropertyTopKMatchesOracle(t *testing.T) {
+	prop := func(seed int64, rowsRaw, colsRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + int(rowsRaw)%40
+		cols := 1 + int(colsRaw)%5
+		k := 1 + int(kRaw)%rows
+		tbl, err := New(rows)
+		if err != nil {
+			return false
+		}
+		weights := map[string]float64{}
+		for c := 0; c < cols; c++ {
+			name := string(rune('a' + c))
+			dir := HigherIsBetter
+			if rng.Intn(2) == 0 {
+				dir = LowerIsBetter
+			}
+			vals := make([]float64, rows)
+			for r := range vals {
+				vals[r] = float64(rng.Intn(10))
+			}
+			if err := tbl.AddColumn(name, dir, vals); err != nil {
+				return false
+			}
+			weights[name] = float64(rng.Intn(4))
+		}
+		ix, err := tbl.Index()
+		if err != nil {
+			return false
+		}
+		oracle, err := ix.Oracle(Query{K: k, Weights: weights})
+		if err != nil {
+			return false
+		}
+		for _, alg := range []topk.Algorithm{topk.TA, topk.BPA, topk.BPA2} {
+			matches, _, err := ix.TopK(Query{K: k, Weights: weights, Algorithm: alg})
+			if err != nil {
+				t.Logf("%v: %v", alg, err)
+				return false
+			}
+			for i := range oracle {
+				if math.Abs(matches[i].Score-oracle[i].Score) > 1e-9 {
+					t.Logf("%v: score %v != oracle %v (seed=%d)", alg, matches[i].Score, oracle[i].Score, seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HigherIsBetter.String() != "desc" || LowerIsBetter.String() != "asc" || Direction(9).String() == "" {
+		t.Error("direction strings")
+	}
+}

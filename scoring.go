@@ -1,0 +1,37 @@
+package topk
+
+import "topk/internal/score"
+
+// Scoring combines the m local scores of an item into its overall score.
+// The algorithms require monotonicity: raising any local score must not
+// lower the result (paper Section 2). Combine must not retain the slice.
+type Scoring interface {
+	Combine(locals []float64) float64
+	Name() string
+}
+
+// Sum returns the paper's default scoring function, f = s1 + ... + sm.
+func Sum() Scoring { return score.Sum{} }
+
+// Avg returns the arithmetic-mean scoring function.
+func Avg() Scoring { return score.Avg{} }
+
+// Min returns the minimum scoring function (fuzzy conjunction).
+func Min() Scoring { return score.Min{} }
+
+// Max returns the maximum scoring function (fuzzy disjunction).
+func Max() Scoring { return score.Max{} }
+
+// WeightedSum returns f = sum(weights[i] * si). Weights must be finite
+// and non-negative (negative weights would break monotonicity).
+func WeightedSum(weights []float64) (Scoring, error) {
+	return score.NewWeightedSum(weights)
+}
+
+// adaptScoring lifts a public Scoring into the internal interface. The
+// two interfaces have identical method sets, so the assertion always
+// succeeds; the distinct public type exists only to keep internal
+// packages out of the API surface.
+func adaptScoring(s Scoring) score.Func {
+	return s.(score.Func)
+}

@@ -1,0 +1,197 @@
+package topk
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"topk/internal/gen"
+	"topk/internal/list"
+	"topk/internal/store"
+)
+
+// Item identifies a data item: the dense range [0, n). Databases built
+// from named scores keep a dictionary; see Database.NameOf.
+type Item = int
+
+// Database is an immutable set of m sorted lists over n items, optionally
+// with a name dictionary. Safe for concurrent queries once built.
+type Database struct {
+	db    *list.Database
+	names []string // names[item] when built from named scores, else nil
+	ids   map[string]Item
+}
+
+// FromColumns builds a database from m score columns: columns[i][d] is
+// the local score of item d in list i. Each column becomes one sorted
+// list (descending score, ties broken by ascending item).
+func FromColumns(columns [][]float64) (*Database, error) {
+	db, err := list.FromColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// FromNamedScores builds a database from named local scores: one map per
+// list. The item universe is the union of all keys (sorted for
+// determinism); an item missing from a list gets the local score
+// `missing`, which must be a lower bound of that list's real scores for
+// top-k semantics to stay meaningful (0 for non-negative scores).
+func FromNamedScores(lists []map[string]float64, missing float64) (*Database, error) {
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("topk: no lists")
+	}
+	nameSet := map[string]bool{}
+	for _, l := range lists {
+		for name := range l {
+			nameSet[name] = true
+		}
+	}
+	if len(nameSet) == 0 {
+		return nil, fmt.Errorf("topk: no items in any list")
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ids := make(map[string]Item, len(names))
+	for i, name := range names {
+		ids[name] = i
+	}
+	columns := make([][]float64, len(lists))
+	for i, l := range lists {
+		col := make([]float64, len(names))
+		for d, name := range names {
+			if s, ok := l[name]; ok {
+				col[d] = s
+			} else {
+				col[d] = missing
+			}
+		}
+		columns[i] = col
+	}
+	db, err := list.FromColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db, names: names, ids: ids}, nil
+}
+
+// Generate builds a synthetic database from the paper's evaluation
+// families (Section 6.1).
+func Generate(spec GenSpec) (*Database, error) {
+	db, err := gen.Generate(gen.Spec{
+		Kind:  gen.Kind(spec.Kind),
+		N:     spec.N,
+		M:     spec.M,
+		Alpha: spec.Alpha,
+		Theta: spec.Theta,
+		Seed:  spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// GenSpec describes a synthetic database; see the paper's Section 6.1.
+type GenSpec struct {
+	// Kind selects the score distribution family.
+	Kind GenKind
+	// N is the number of items per list; M the number of lists.
+	N, M int
+	// Alpha is the position-correlation strength for GenCorrelated
+	// (0 < Alpha <= 1; smaller is more correlated).
+	Alpha float64
+	// Theta is the Zipf exponent for GenCorrelated scores (0 means the
+	// paper's default 0.7).
+	Theta float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenKind selects a synthetic database family.
+type GenKind uint8
+
+const (
+	// GenUniform draws scores from U(0,1) independently per list.
+	GenUniform GenKind = GenKind(gen.Uniform)
+	// GenGaussian draws scores from N(0,1) independently per list.
+	GenGaussian GenKind = GenKind(gen.Gaussian)
+	// GenCorrelated correlates item positions across lists and assigns
+	// Zipf-law scores.
+	GenCorrelated GenKind = GenKind(gen.Correlated)
+)
+
+// M returns the number of lists.
+func (db *Database) M() int { return db.db.M() }
+
+// N returns the number of items.
+func (db *Database) N() int { return db.db.N() }
+
+// NameOf returns the name of an item for databases built with
+// FromNamedScores, or a synthesized "item<N>" name otherwise.
+func (db *Database) NameOf(d Item) string {
+	if db.names != nil && d >= 0 && d < len(db.names) {
+		return db.names[d]
+	}
+	return fmt.Sprintf("item%d", d)
+}
+
+// IDOf returns the item with the given name; ok is false if the database
+// has no dictionary or the name is unknown.
+func (db *Database) IDOf(name string) (Item, bool) {
+	d, ok := db.ids[name]
+	return d, ok
+}
+
+// LocalScore returns item d's local score in list i (0-based). It
+// bypasses access accounting; use it for presentation, not inside
+// algorithm comparisons.
+func (db *Database) LocalScore(i int, d Item) float64 {
+	return db.db.List(i).ScoreOf(list.ItemID(d))
+}
+
+// PositionOf returns item d's 1-based position in list i.
+func (db *Database) PositionOf(i int, d Item) int {
+	return db.db.List(i).PositionOf(list.ItemID(d))
+}
+
+// Save writes the database in the binary format of cmd/topk-gen.
+func (db *Database) Save(w io.Writer) error { return store.Write(w, db.db) }
+
+// SaveFile writes the database to a file atomically.
+func (db *Database) SaveFile(path string) error { return store.SaveFile(path, db.db) }
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*Database, error) {
+	inner, err := store.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: inner}, nil
+}
+
+// LoadFile reads a database file written by SaveFile.
+func LoadFile(path string) (*Database, error) {
+	inner, err := store.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: inner}, nil
+}
+
+// WriteCSV exports the database in column form (one row per item, one
+// column per list).
+func (db *Database) WriteCSV(w io.Writer) error { return store.WriteColumnsCSV(w, db.db) }
+
+// ReadCSV imports a database from the column form written by WriteCSV.
+func ReadCSV(r io.Reader) (*Database, error) {
+	inner, err := store.ReadColumnsCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: inner}, nil
+}
