@@ -45,9 +45,43 @@
 //
 // Result.Stats reports the paper's cost metrics (sorted/random/direct
 // access counts and the weighted execution cost) so the algorithms can be
-// compared on any workload. The distributed protocols of the paper's
-// Section 5, plus the TPUT baseline, are available through RunDistributed
-// with simulated message accounting.
+// compared on any workload.
+//
+// # Distributed execution
+//
+// RunDistributed executes the query in the paper's distributed setting
+// (implemented by internal/dist): each sorted list lives at its own owner
+// node and the query originator exchanges explicit request/response
+// messages with the owners. Four protocols are available, differing in
+// where the bookkeeping lives and what travels:
+//
+//	protocol   exchanges                 positions travel  bookkeeping at
+//	DistTA     2 messages per access     no                originator
+//	DistBPA    2 messages per access     yes (payload)     originator
+//	DistBPA2   2 messages per access     never             list owners
+//	TPUT       3 batched phases          no                originator
+//
+// DistBPA2 is the paper's Section 5 design — owners manage their own
+// best positions, the originator keeps only the answer set and the m
+// best-position scores — and the default. TPUT (Cao & Wang) trades
+// per-access exchanges for three fixed batched round trips; it requires
+// Sum scoring over non-negative scores. DistResult.Stats reports
+// messages, response payload and protocol rounds.
+//
+// RunDHT layers the same protocols over a simulated Chord-style DHT
+// (internal/dht): each list is placed at the overlay node owning its
+// key's hash, and every protocol message is priced in routing hops under
+// either a cached-connection or a fully-routed cost model, driven by the
+// per-owner message counts the protocols report.
+//
+// # Development
+//
+// The module has no dependencies outside the standard library. CI (see
+// .github/workflows/ci.yml) runs gofmt, go vet, go build and go test
+// over the whole tree, the race detector over internal/dist and
+// internal/dht, and one iteration of every benchmark
+// (go test -bench=. -benchtime=1x -run='^$' ./...) so the
+// figure-regeneration benchmarks cannot silently rot.
 //
 // Beyond one-shot queries: Database.Progressive enumerates answers rank
 // by rank without fixing k; Query.Parallel executes TA/BPA/BPA2 with one

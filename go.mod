@@ -1,0 +1,3 @@
+module topk
+
+go 1.24

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"topk/internal/bestpos"
+	"topk/internal/list"
+)
+
+// BPA runs the Best Position Algorithm (Section 4) over the network with
+// the bookkeeping at the query originator — the design the paper's
+// Section 5 improves on. The exchange pattern is TA's (two messages per
+// access), but every lookup response additionally ships the item's
+// position in the owner's list, because the originator maintains the
+// seen-position trackers and best positions of all m lists itself. That
+// position traffic is BPA's distributed overhead: compare Net.Payload
+// against TA's, and against BPA2's, where positions never travel.
+//
+// The originator also caches every (position, score) pair it has been
+// sent, so the best-position scores behind the stopping threshold
+// λ = f(s1(bp1), ..., sm(bpm)) are read from originator memory, not from
+// the lists: a score at a best position was necessarily carried by some
+// earlier response.
+func BPA(db *list.Database, opts Options) (*Result, error) {
+	s, err := newSim(db, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+
+	trackers := make([]bestpos.Tracker, m)
+	cache := make([][]float64, m) // cache[i][pos-1] = score seen at pos of list i
+	for i := range trackers {
+		trackers[i] = bestpos.New(opts.Tracker, n)
+		cache[i] = make([]float64, n)
+	}
+	locals := make([]float64, m)
+	bpScores := make([]float64, m)
+
+	res := &Result{}
+	for pos := 1; pos <= n; pos++ {
+		s.nw.net.Rounds++
+		for i := 0; i < m; i++ {
+			sr := s.own[i].handleSorted(sortedReq{Pos: pos})
+			trackers[i].MarkSeen(pos)
+			cache[i][pos-1] = sr.Entry.Score
+			locals[i] = sr.Entry.Score
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				lr := s.own[j].handleLookup(lookupReq{Item: sr.Entry.Item, WantPos: true})
+				trackers[j].MarkSeen(lr.Pos)
+				cache[j][lr.Pos-1] = lr.Score
+				locals[j] = lr.Score
+			}
+			s.y.Add(sr.Entry.Item, s.f.Combine(locals))
+		}
+
+		// λ from the best positions. Every tracker has Best() >= pos >= 1
+		// because position pos of each list was just seen under sorted
+		// access, and the cache holds a score for every seen position.
+		for i := 0; i < m; i++ {
+			bpScores[i] = cache[i][trackers[i].Best()-1]
+		}
+		lambda := s.f.Combine(bpScores)
+		res.Threshold = lambda
+		res.StopPosition = pos
+		if s.y.AtLeast(lambda) {
+			break
+		}
+	}
+
+	res.BestPositions = make([]int, m)
+	for i := range trackers {
+		res.BestPositions[i] = trackers[i].Best()
+	}
+	return s.finish(res), nil
+}

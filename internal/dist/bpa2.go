@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"topk/internal/list"
+)
+
+// BPA2 runs the paper's Section 5 distributed protocol. Each list owner
+// manages its own seen positions and best position; the query originator
+// keeps only the answer set Y and the m best-position scores. Per round
+// the originator asks every non-exhausted owner to probe its first
+// unseen position (a direct access — no position is ever read twice,
+// Theorem 5) and resolves each probed item at the other owners, who
+// record the looked-up positions locally. Every response piggybacks the
+// owner's current best-position score, so the stopping threshold
+// λ = f(s1(bp1), ..., sm(bpm)) costs no extra messages and the
+// seen-position sets never travel — the property that makes BPA2
+// attractive in distributed settings.
+func BPA2(db *list.Database, opts Options) (*Result, error) {
+	s, err := newSim(db, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	m := db.M()
+
+	// The originator's complete state: the answer set (in s.y), the m
+	// best-position scores, and which owners have nothing left to probe.
+	bestScore := make([]float64, m)
+	exhausted := make([]bool, m)
+	for i := range bestScore {
+		bestScore[i] = inf
+	}
+	locals := make([]float64, m)
+
+	res := &Result{}
+	for {
+		s.nw.net.Rounds++
+		progress := false
+		for i := 0; i < m; i++ {
+			if exhausted[i] {
+				continue // nothing unseen at this owner
+			}
+			pr := s.own[i].handleProbe(probeReq{})
+			bestScore[i], exhausted[i] = pr.BestScore, pr.Exhausted
+			progress = true
+			locals[i] = pr.Entry.Score
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				mr := s.own[j].handleMark(markReq{Item: pr.Entry.Item})
+				bestScore[j], exhausted[j] = mr.BestScore, mr.Exhausted
+				locals[j] = mr.Score
+			}
+			s.y.Add(pr.Entry.Item, s.f.Combine(locals))
+		}
+		if !progress {
+			// Every position of every list has been seen; Y is exact.
+			break
+		}
+
+		// After the first round every owner has probed position 1 at the
+		// latest, so no bestScore is left at its +Inf initial value.
+		lambda := s.f.Combine(bestScore)
+		res.Threshold = lambda
+		if s.y.AtLeast(lambda) {
+			break
+		}
+	}
+
+	res.BestPositions = make([]int, m)
+	for i, o := range s.own {
+		res.BestPositions[i] = o.tr.Best()
+	}
+	return s.finish(res), nil
+}

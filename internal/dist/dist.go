@@ -1,0 +1,387 @@
+// Package dist implements the distributed top-k protocols of the paper's
+// Section 5 ("BPA in a distributed system") together with two baselines:
+// the Threshold Algorithm run over the network (Fagin, Lotem, Naor,
+// "Optimal Aggregation Algorithms for Middleware") and the Three Phase
+// Uniform Threshold algorithm TPUT (Cao & Wang, PODC 2004).
+//
+// The setting is the paper's: each of the m sorted lists lives at its own
+// owner node, and a query originator exchanges explicit request/response
+// messages with the owners — it never touches a list directly. The
+// simulation is deterministic and in-process: owners are message handlers
+// over their local list, every list access goes through a shared
+// access.Probe (so the paper's access metrics fall out by construction),
+// and every message and every response scalar is tallied in Result.Net —
+// what would travel over a real network.
+//
+// The four protocols:
+//
+//   - TA: every sorted and random access becomes one request/response
+//     exchange, i.e. two messages per access.
+//   - BPA: like TA, but lookup responses also ship the position of the
+//     item in the owner's list, and the originator maintains the best
+//     position of every list — the design Section 5 improves on, with
+//     the position payload as its distributed overhead.
+//   - BPA2: the paper's Section 5 protocol. Each owner manages its own
+//     seen positions and, on request, probes its first unseen position
+//     directly; the originator keeps only the answer set Y and the m
+//     best-position scores, which every response piggybacks. Seen
+//     positions never travel.
+//   - TPUT: three fixed phases (top-k fetch, uniform-threshold scan,
+//     candidate resolution). Requires Sum scoring over non-negative
+//     scores; the other protocols take any monotone scoring function.
+//
+// All four return the exact top-k answers; they differ in message count,
+// payload and access profile.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/list"
+	"topk/internal/rank"
+	"topk/internal/score"
+)
+
+// inf is the neutral "no information" best-position score: an upper
+// bound under any monotone scoring function.
+var inf = math.Inf(1)
+
+// Options configures a distributed top-k execution.
+type Options struct {
+	// K is the number of answers requested; 1 <= K <= n.
+	K int
+	// Scoring is the monotone overall-score function f. TPUT requires
+	// score.Sum.
+	Scoring score.Func
+	// Tracker selects the best-position structure used by BPA (at the
+	// originator) and BPA2 (at the list owners). The zero value is the
+	// bit array, matching the paper's evaluation.
+	Tracker bestpos.Kind
+}
+
+// validate mirrors core.Options.Validate for the distributed setting.
+func (o Options) validate(db *list.Database) error {
+	if db == nil {
+		return fmt.Errorf("dist: nil database")
+	}
+	if o.Scoring == nil {
+		return fmt.Errorf("dist: nil scoring function")
+	}
+	if o.K < 1 || o.K > db.N() {
+		return fmt.Errorf("dist: k=%d out of range [1,%d]", o.K, db.N())
+	}
+	return nil
+}
+
+// Net tallies the simulated network traffic of a run.
+type Net struct {
+	// Messages counts point-to-point messages; a request/response
+	// exchange is two. Every message travels between the originator and
+	// one owner, so Messages is always the sum of PerOwner.
+	Messages int64
+	// Payload counts the scalar values (items, scores, positions)
+	// carried in responses, plus variable-length request batches (TPUT's
+	// phase-3 item lists). Fixed-size request fields — a position, an
+	// item ID, a threshold — are priced as message headers, not payload.
+	Payload int64
+	// Rounds counts protocol rounds: sorted-access depths for TA/BPA,
+	// probe rounds for BPA2, and the three phases for TPUT.
+	Rounds int
+	// PerOwner[i] counts the messages exchanged with the owner of list
+	// i, in both directions. internal/dht prices each owner's traffic by
+	// its overlay routing distance.
+	PerOwner []int64
+}
+
+// Result reports the answers and the execution profile of one
+// distributed run.
+type Result struct {
+	// Items are the top-k answers ordered best-first (score desc, then
+	// item ID asc) with exact overall scores.
+	Items []rank.ScoredItem
+	// StopPosition is the sorted-access depth at which the protocol
+	// stopped (TA, BPA) or the deepest position scanned by any owner
+	// (TPUT). For BPA2 it is 0: BPA2 performs no sorted accesses.
+	StopPosition int
+	// BestPositions holds the final best position of every list for
+	// BPA/BPA2, nil for the other protocols.
+	BestPositions []int
+	// Threshold is the final stopping threshold: δ for TA, λ for
+	// BPA/BPA2, the phase-two bound τ2 for TPUT.
+	Threshold float64
+	// Accesses tallies the list accesses the owners performed, exactly
+	// as the centralized algorithms count them.
+	Accesses access.Counts
+	// Net is the simulated network profile.
+	Net Net
+}
+
+// network is the simulated transport between the originator and the
+// owners. It only counts: delivery is a direct method call.
+type network struct {
+	net Net
+}
+
+func newNetwork(m int) *network {
+	return &network{net: Net{PerOwner: make([]int64, m)}}
+}
+
+// request charges one originator-to-owner message carrying the given
+// number of scalar values beyond its fixed-size fields. Only batched
+// requests (TPUT's phase-3 item lists) carry any; single positions,
+// item IDs and thresholds are header-sized and pass 0.
+func (nw *network) request(owner int, scalars int) {
+	nw.net.Messages++
+	nw.net.PerOwner[owner]++
+	nw.net.Payload += int64(scalars)
+}
+
+// respond charges one owner-to-originator message carrying the given
+// number of scalar values.
+func (nw *network) respond(owner int, scalars int) {
+	nw.net.Messages++
+	nw.net.PerOwner[owner]++
+	nw.net.Payload += int64(scalars)
+}
+
+// The message vocabulary. Each request type has exactly one response
+// type; an owner handler receives the request, performs its local list
+// accesses, and returns the response, with the exchange charged to the
+// network.
+
+// sortedReq asks an owner for the entry at sorted position Pos (TA, BPA).
+type sortedReq struct{ Pos int }
+
+// sortedResp returns the entry; the position is implied by the request.
+type sortedResp struct{ Entry list.Entry }
+
+// lookupReq asks an owner for a random-access lookup of Item. WantPos
+// requests the item's position too (BPA ships positions, TA does not).
+type lookupReq struct {
+	Item    list.ItemID
+	WantPos bool
+}
+
+// lookupResp returns the local score, plus the position iff requested.
+type lookupResp struct {
+	Score float64
+	Pos   int
+}
+
+// probeReq asks a BPA2 owner to read its first unseen position.
+type probeReq struct{}
+
+// probeResp returns the probed entry plus the owner's piggybacked
+// best-position state.
+type probeResp struct {
+	Entry list.Entry
+	// BestScore is the score at the owner's current best position
+	// (+Inf before the owner has seen position 1).
+	BestScore float64
+	// Exhausted reports that every position of the list has been seen;
+	// the originator stops probing this owner.
+	Exhausted bool
+}
+
+// markReq asks a BPA2 owner to resolve Item and record its position in
+// the owner-side tracker.
+type markReq struct{ Item list.ItemID }
+
+// markResp returns the local score plus the piggybacked best-position
+// state. The item's position stays at the owner.
+type markResp struct {
+	Score     float64
+	BestScore float64
+	Exhausted bool
+}
+
+// topkReq asks an owner for its K highest entries (TPUT phase 1).
+type topkReq struct{ K int }
+
+// topkResp returns the owner's top-K entries in list order.
+type topkResp struct{ Entries []list.Entry }
+
+// aboveReq asks an owner for every entry below its already-sent prefix
+// with score at least T (TPUT phase 2).
+type aboveReq struct{ T float64 }
+
+// aboveResp returns the matching entries in list order.
+type aboveResp struct{ Entries []list.Entry }
+
+// fetchReq asks an owner for the exact local scores of Items (TPUT
+// phase 3).
+type fetchReq struct{ Items []list.ItemID }
+
+// fetchResp returns the scores in request order.
+type fetchResp struct{ Scores []float64 }
+
+// ownerNode is one list owner. It accesses only its own list, through
+// the shared probe so access accounting matches the centralized
+// algorithms, and for BPA2/TPUT keeps owner-side protocol state.
+type ownerNode struct {
+	i  int // list index
+	n  int // list length
+	pr *access.Probe
+	nw *network
+
+	// tr is the owner-managed seen-position tracker (BPA2 only).
+	tr bestpos.Tracker
+	// depth is the deepest sorted position read so far (TPUT only).
+	depth int
+}
+
+// handleSorted serves a sorted access: two messages, two response
+// scalars (item, score).
+func (o *ownerNode) handleSorted(req sortedReq) sortedResp {
+	o.nw.request(o.i, 0)
+	e := o.pr.Sorted(o.i, req.Pos)
+	o.nw.respond(o.i, 2)
+	return sortedResp{Entry: e}
+}
+
+// handleLookup serves a random access: two messages, and one response
+// scalar (score) — or two when the position is shipped as well (BPA).
+func (o *ownerNode) handleLookup(req lookupReq) lookupResp {
+	o.nw.request(o.i, 0)
+	s, p := o.pr.Random(o.i, req.Item)
+	if req.WantPos {
+		o.nw.respond(o.i, 2)
+		return lookupResp{Score: s, Pos: p}
+	}
+	o.nw.respond(o.i, 1)
+	return lookupResp{Score: s}
+}
+
+// bestState reports the owner's current best-position score and whether
+// the list is fully seen (BPA2 piggyback).
+func (o *ownerNode) bestState() (bestScore float64, exhausted bool) {
+	bp := o.tr.Best()
+	if bp == 0 {
+		// Position 1 unseen: no information yet. +Inf is the neutral
+		// upper bound under any monotone scoring function.
+		return inf, false
+	}
+	// The score at the best position was seen by this owner; reading it
+	// locally is not a new access (paper Section 4.1).
+	return o.pr.DB().List(o.i).At(bp).Score, bp >= o.n
+}
+
+// handleProbe serves BPA2's direct access to the first unseen position:
+// two messages, three response scalars (item, score, best-position
+// score).
+func (o *ownerNode) handleProbe(probeReq) probeResp {
+	o.nw.request(o.i, 0)
+	p := o.tr.Best() + 1
+	if p > o.n {
+		// Defensive: the originator tracks exhaustion and stops probing;
+		// answer with the piggyback only.
+		best, _ := o.bestState()
+		o.nw.respond(o.i, 1)
+		return probeResp{BestScore: best, Exhausted: true}
+	}
+	e := o.pr.Direct(o.i, p)
+	o.tr.MarkSeen(p)
+	best, exhausted := o.bestState()
+	o.nw.respond(o.i, 3)
+	return probeResp{Entry: e, BestScore: best, Exhausted: exhausted}
+}
+
+// handleMark serves BPA2's random access: the owner resolves the item,
+// records its position locally, and returns score plus piggyback — two
+// messages, two response scalars.
+func (o *ownerNode) handleMark(req markReq) markResp {
+	o.nw.request(o.i, 0)
+	s, p := o.pr.Random(o.i, req.Item)
+	o.tr.MarkSeen(p)
+	best, exhausted := o.bestState()
+	o.nw.respond(o.i, 2)
+	return markResp{Score: s, BestScore: best, Exhausted: exhausted}
+}
+
+// handleTopK serves TPUT phase 1: the owner reads its K best entries.
+func (o *ownerNode) handleTopK(req topkReq) topkResp {
+	o.nw.request(o.i, 0)
+	out := make([]list.Entry, req.K)
+	for p := 1; p <= req.K; p++ {
+		out[p-1] = o.pr.Sorted(o.i, p)
+	}
+	o.depth = req.K
+	o.nw.respond(o.i, 2*len(out))
+	return topkResp{Entries: out}
+}
+
+// handleAbove serves TPUT phase 2: the owner continues its scan past the
+// phase-1 prefix and returns every entry with score >= T. The read that
+// discovers the first score below T is charged — it was performed.
+func (o *ownerNode) handleAbove(req aboveReq) aboveResp {
+	o.nw.request(o.i, 0)
+	var out []list.Entry
+	for p := o.depth + 1; p <= o.n; p++ {
+		e := o.pr.Sorted(o.i, p)
+		o.depth = p
+		if e.Score < req.T {
+			break
+		}
+		out = append(out, e)
+	}
+	o.nw.respond(o.i, 2*len(out))
+	return aboveResp{Entries: out}
+}
+
+// handleFetch serves TPUT phase 3: exact scores for the listed items.
+// The request ships the item batch, so it is charged as payload too.
+func (o *ownerNode) handleFetch(req fetchReq) fetchResp {
+	o.nw.request(o.i, len(req.Items))
+	out := make([]float64, len(req.Items))
+	for j, d := range req.Items {
+		out[j], _ = o.pr.Random(o.i, d)
+	}
+	o.nw.respond(o.i, len(out))
+	return fetchResp{Scores: out}
+}
+
+// sim is the originator's view of a run: the owners, the network, the
+// shared probe and the answer set.
+type sim struct {
+	db  *list.Database
+	pr  *access.Probe
+	nw  *network
+	own []*ownerNode
+	f   score.Func
+	y   *rank.Set
+}
+
+// newSim validates the options and builds the owner nodes. withTrackers
+// equips each owner with a seen-position tracker (BPA2).
+func newSim(db *list.Database, opts Options, withTrackers bool) (*sim, error) {
+	if err := opts.validate(db); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		db: db,
+		pr: access.NewProbe(db),
+		nw: newNetwork(db.M()),
+		f:  opts.Scoring,
+		y:  rank.NewSet(opts.K),
+	}
+	s.own = make([]*ownerNode, db.M())
+	for i := range s.own {
+		o := &ownerNode{i: i, n: db.N(), pr: s.pr, nw: s.nw}
+		if withTrackers {
+			o.tr = bestpos.New(opts.Tracker, db.N())
+		}
+		s.own[i] = o
+	}
+	return s, nil
+}
+
+// finish assembles the common Result fields.
+func (s *sim) finish(res *Result) *Result {
+	res.Items = s.y.Slice()
+	res.Accesses = s.pr.Counts()
+	res.Net = s.nw.net
+	return res
+}

@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"topk/internal/bestpos"
+	"topk/internal/core"
+	"topk/internal/gen"
+	"topk/internal/list"
+	"topk/internal/score"
+)
+
+// protocols is the full lineup under test.
+var protocols = []struct {
+	name string
+	run  func(*list.Database, Options) (*Result, error)
+}{
+	{"dist-ta", TA},
+	{"dist-bpa", BPA},
+	{"dist-bpa2", BPA2},
+	{"tput", TPUT},
+}
+
+// testDBs builds a spread of seeded random databases: independent and
+// correlated, small and mid-size, few and many lists.
+func testDBs(t *testing.T) map[string]*list.Database {
+	t.Helper()
+	specs := map[string]gen.Spec{
+		"uniform-small":   {Kind: gen.Uniform, N: 120, M: 3, Seed: 1},
+		"uniform-mid":     {Kind: gen.Uniform, N: 900, M: 6, Seed: 2},
+		"uniform-wide":    {Kind: gen.Uniform, N: 400, M: 10, Seed: 3},
+		"correlated-mid":  {Kind: gen.Correlated, N: 600, M: 5, Alpha: 0.05, Seed: 4},
+		"correlated-weak": {Kind: gen.Correlated, N: 500, M: 4, Alpha: 0.5, Seed: 5},
+	}
+	dbs := make(map[string]*list.Database, len(specs))
+	for name, spec := range specs {
+		db, err := gen.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dbs[name] = db
+	}
+	return dbs
+}
+
+// TestProtocolsMatchCentralizedBPA: every distributed protocol must
+// return exactly the answers of centralized BPA (which are the exact
+// top-k) — same items, bit-identical scores — on every workload.
+func TestProtocolsMatchCentralizedBPA(t *testing.T) {
+	for dbName, db := range testDBs(t) {
+		for _, k := range []int{1, 10, 25} {
+			want, err := core.Run(core.AlgBPA, db, core.Options{K: k, Scoring: score.Sum{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range protocols {
+				t.Run(fmt.Sprintf("%s/k=%d/%s", dbName, k, p.name), func(t *testing.T) {
+					res, err := p.run(db, Options{K: k, Scoring: score.Sum{}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Items) != len(want.Items) {
+						t.Fatalf("got %d answers, want %d", len(res.Items), len(want.Items))
+					}
+					for i := range want.Items {
+						if res.Items[i] != want.Items[i] {
+							t.Errorf("answer %d = %+v, want %+v", i, res.Items[i], want.Items[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBPA2NeverMoreMessagesThanBPA: owner-managed best positions must
+// pay off — on every workload BPA2's traffic stays at or below BPA's,
+// in messages and in payload (BPA additionally ships positions).
+func TestBPA2NeverMoreMessagesThanBPA(t *testing.T) {
+	for dbName, db := range testDBs(t) {
+		for _, k := range []int{5, 20} {
+			bpa, err := BPA(db, Options{K: k, Scoring: score.Sum{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bpa2, err := BPA2(db, Options{K: k, Scoring: score.Sum{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bpa2.Net.Messages > bpa.Net.Messages {
+				t.Errorf("%s k=%d: BPA2 sent %d messages, BPA only %d",
+					dbName, k, bpa2.Net.Messages, bpa.Net.Messages)
+			}
+			if bpa2.Net.Payload > bpa.Net.Payload {
+				t.Errorf("%s k=%d: BPA2 shipped %d scalars, BPA only %d",
+					dbName, k, bpa2.Net.Payload, bpa.Net.Payload)
+			}
+		}
+	}
+}
+
+// TestAccessParityWithCentralized: the protocols only move the paper's
+// algorithms onto the network — the owners must perform exactly the list
+// accesses the centralized (non-memoized) algorithms perform, and for
+// the iterative protocols every access is one request/response exchange.
+func TestAccessParityWithCentralized(t *testing.T) {
+	pairs := []struct {
+		name string
+		dist func(*list.Database, Options) (*Result, error)
+		alg  core.Algorithm
+	}{
+		{"ta", TA, core.AlgTA},
+		{"bpa", BPA, core.AlgBPA},
+		{"bpa2", BPA2, core.AlgBPA2},
+	}
+	for dbName, db := range testDBs(t) {
+		for _, pair := range pairs {
+			t.Run(dbName+"/"+pair.name, func(t *testing.T) {
+				want, err := core.Run(pair.alg, db, core.Options{K: 10, Scoring: score.Sum{}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := pair.dist(db, Options{K: 10, Scoring: score.Sum{}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Accesses != want.Counts {
+					t.Errorf("accesses (%v) differ from centralized (%v)", res.Accesses, want.Counts)
+				}
+				if res.StopPosition != want.StopPosition {
+					t.Errorf("stop position %d, centralized %d", res.StopPosition, want.StopPosition)
+				}
+				if got, accesses := res.Net.Messages, res.Accesses.Total(); got != 2*accesses {
+					t.Errorf("%d messages for %d accesses, want two per access", got, accesses)
+				}
+			})
+		}
+	}
+}
+
+// TestNetInvariants: the accounting the DHT layer depends on. Every
+// message is an exchange with one owner (PerOwner sums to Messages),
+// request/response pairing keeps the count even, and no protocol runs
+// without traffic.
+func TestNetInvariants(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 9})
+	for _, p := range protocols {
+		t.Run(p.name, func(t *testing.T) {
+			res, err := p.run(db, Options{K: 8, Scoring: score.Sum{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Net.PerOwner) != db.M() {
+				t.Fatalf("PerOwner has %d entries, want %d", len(res.Net.PerOwner), db.M())
+			}
+			var sum int64
+			for i, c := range res.Net.PerOwner {
+				if c <= 0 {
+					t.Errorf("owner %d exchanged no messages", i)
+				}
+				sum += c
+			}
+			if sum != res.Net.Messages {
+				t.Errorf("PerOwner sums to %d, Messages is %d", sum, res.Net.Messages)
+			}
+			if res.Net.Messages%2 != 0 {
+				t.Errorf("odd message count %d: some request went unanswered", res.Net.Messages)
+			}
+			if res.Net.Messages == 0 || res.Net.Payload == 0 || res.Net.Rounds == 0 {
+				t.Errorf("empty traffic profile: %+v", res.Net)
+			}
+			if res.Accesses.Total() == 0 {
+				t.Error("no list accesses recorded")
+			}
+		})
+	}
+}
+
+// TestBPA2OwnerState: BPA2's defining property — the originator never
+// learns positions (payload is items, scores and best-position scores
+// only), while the owner-side trackers end at the centralized best
+// positions.
+func TestBPA2OwnerState(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 400, M: 5, Seed: 11})
+	want, err := core.Run(core.AlgBPA2, db, core.Options{K: 10, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BPA2(db, Options{K: 10, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BestPositions) != db.M() {
+		t.Fatalf("best positions: %v", res.BestPositions)
+	}
+	for i, bp := range res.BestPositions {
+		if bp != want.BestPositions[i] {
+			t.Errorf("list %d best position %d, centralized %d", i, bp, want.BestPositions[i])
+		}
+	}
+	if res.StopPosition != 0 {
+		t.Errorf("BPA2 reported sorted stop position %d", res.StopPosition)
+	}
+	if res.Threshold != want.Threshold {
+		t.Errorf("threshold %v, centralized %v", res.Threshold, want.Threshold)
+	}
+}
+
+// TestTPUTValidation: TPUT's threshold split assumes summation over
+// non-negative scores; anything else must be rejected, not mis-answered.
+func TestTPUTValidation(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 50, M: 3, Seed: 1})
+	if _, err := TPUT(db, Options{K: 5, Scoring: score.Min{}}); err == nil {
+		t.Error("TPUT accepted Min scoring")
+	}
+	if _, err := TPUT(db, Options{K: 5, Scoring: score.Max{}}); err == nil {
+		t.Error("TPUT accepted Max scoring")
+	}
+	neg, err := list.FromColumns([][]float64{{1, -2, 3}, {0.5, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TPUT(neg, Options{K: 2, Scoring: score.Sum{}}); err == nil {
+		t.Error("TPUT accepted negative scores")
+	}
+}
+
+// TestOptionsValidation: every protocol shares the option checks.
+func TestOptionsValidation(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 50, M: 2, Seed: 1})
+	for _, p := range protocols {
+		if _, err := p.run(nil, Options{K: 1, Scoring: score.Sum{}}); err == nil {
+			t.Errorf("%s accepted nil database", p.name)
+		}
+		if _, err := p.run(db, Options{K: 1}); err == nil {
+			t.Errorf("%s accepted nil scoring", p.name)
+		}
+		if _, err := p.run(db, Options{K: 0, Scoring: score.Sum{}}); err == nil {
+			t.Errorf("%s accepted k=0", p.name)
+		}
+		if _, err := p.run(db, Options{K: 51, Scoring: score.Sum{}}); err == nil {
+			t.Errorf("%s accepted k>n", p.name)
+		}
+	}
+}
+
+// TestTPUTPhases: TPUT is exactly three rounds, and its exchange count
+// is bounded by three per owner (phase 3 skips owners with nothing to
+// resolve).
+func TestTPUTPhases(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 500, M: 5, Seed: 13})
+	res, err := TPUT(db, Options{K: 10, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", res.Net.Rounds)
+	}
+	for i, c := range res.Net.PerOwner {
+		if c < 4 || c > 6 {
+			t.Errorf("owner %d exchanged %d messages, want 4..6", i, c)
+		}
+	}
+	if res.StopPosition < 10 {
+		t.Errorf("stop position %d below k", res.StopPosition)
+	}
+}
+
+// TestTrackerKindsAgree: the tracker structure is an implementation
+// choice of the owners; it must not change answers or traffic.
+func TestTrackerKindsAgree(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 17})
+	var want *Result
+	for _, kind := range bestpos.Kinds() {
+		res, err := BPA2(db, Options{K: 10, Scoring: score.Sum{}, Tracker: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if res.Net.Messages != want.Net.Messages || res.Net.Payload != want.Net.Payload ||
+			res.Net.Rounds != want.Net.Rounds || res.Accesses != want.Accesses {
+			t.Errorf("tracker %v changed the execution: %+v vs %+v", kind, res.Net, want.Net)
+		}
+		for i := range want.Items {
+			if res.Items[i] != want.Items[i] {
+				t.Errorf("tracker %v changed answer %d", kind, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package dist
+
+import "topk/internal/list"
+
+// TA runs the Threshold Algorithm over the network: the originator walks
+// the m lists position by position through sorted-access exchanges, and
+// every item seen triggers (m-1) lookup exchanges for its missing local
+// scores — the paper-faithful, non-memoized accounting of Section 3.2,
+// so the traffic is two messages per access. The stopping threshold δ is
+// computed at the originator from the last scores seen under sorted
+// access; no extra messages are needed for it.
+func TA(db *list.Database, opts Options) (*Result, error) {
+	s, err := newSim(db, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	m, n := db.M(), db.N()
+
+	last := make([]float64, m)
+	locals := make([]float64, m)
+	res := &Result{}
+	for pos := 1; pos <= n; pos++ {
+		s.nw.net.Rounds++
+		for i := 0; i < m; i++ {
+			sr := s.own[i].handleSorted(sortedReq{Pos: pos})
+			last[i] = sr.Entry.Score
+			locals[i] = sr.Entry.Score
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				lr := s.own[j].handleLookup(lookupReq{Item: sr.Entry.Item})
+				locals[j] = lr.Score
+			}
+			s.y.Add(sr.Entry.Item, s.f.Combine(locals))
+		}
+		delta := s.f.Combine(last)
+		res.Threshold = delta
+		res.StopPosition = pos
+		if s.y.AtLeast(delta) {
+			break
+		}
+		// At pos == n every kept score is >= δ by monotonicity, so the
+		// loop cannot fall through with a partial answer while k <= n.
+	}
+	return s.finish(res), nil
+}

@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"fmt"
+
+	"topk/internal/list"
+	"topk/internal/rank"
+	"topk/internal/score"
+)
+
+// TPUT runs the Three Phase Uniform Threshold algorithm of Cao & Wang
+// (PODC 2004), the fixed-round-trip baseline: where TA/BPA/BPA2 pay one
+// exchange per access, TPUT pays at most three exchanges per owner,
+// each carrying a batch (phase 3 skips owners with nothing to resolve).
+//
+//  1. The originator fetches every owner's top k entries and computes
+//     τ1, the k-th highest partial sum (missing scores taken as 0).
+//  2. It broadcasts the uniform threshold T = τ1/m; every owner answers
+//     with all further entries scoring at least T. Any item not
+//     reported anywhere now has overall score strictly below m·T = τ1,
+//     so the refreshed k-th partial sum τ2 prunes to the candidates:
+//     seen items whose upper bound (unknown scores bounded by T) still
+//     reaches τ2.
+//  3. The originator fetches the candidates' missing scores and ranks
+//     them exactly.
+//
+// Both the missing-scores-are-0 lower bound and the uniform split of τ1
+// across lists assume f = Σ si over non-negative scores, so TPUT rejects
+// other scoring functions and databases with negative local scores.
+func TPUT(db *list.Database, opts Options) (*Result, error) {
+	s, err := newSim(db, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := opts.Scoring.(score.Sum); !ok {
+		return nil, fmt.Errorf("dist: TPUT requires Sum scoring, got %q", opts.Scoring.Name())
+	}
+	m, n, k := db.M(), db.N(), opts.K
+	for i := 0; i < m; i++ {
+		// The list minimum is owner metadata (cf. core.ListFloors), not a
+		// charged access.
+		if min := db.List(i).At(n).Score; min < 0 {
+			return nil, fmt.Errorf("dist: TPUT requires non-negative scores, list %d has minimum %v", i, min)
+		}
+	}
+
+	// Originator bookkeeping: the known local scores per (list, item).
+	local := make([][]float64, m)
+	known := make([][]bool, m)
+	for i := range known {
+		local[i] = make([]float64, n)
+		known[i] = make([]bool, n)
+	}
+	knownCnt := make([]int, n)
+	var items []list.ItemID // distinct seen items, first-seen order
+	add := func(i int, e list.Entry) {
+		if known[i][e.Item] {
+			return
+		}
+		known[i][e.Item] = true
+		local[i][e.Item] = e.Score
+		if knownCnt[e.Item] == 0 {
+			items = append(items, e.Item)
+		}
+		knownCnt[e.Item]++
+	}
+	// bound combines an item's known scores with fill substituted for the
+	// unknown ones — fill 0 gives the partial-sum lower bound, fill T the
+	// phase-two upper bound. Combining in list order keeps the float
+	// arithmetic bit-identical to the centralized algorithms, so fully
+	// resolved scores match the oracle exactly.
+	locals := make([]float64, m)
+	bound := func(d list.ItemID, fill float64) float64 {
+		for i := 0; i < m; i++ {
+			if known[i][d] {
+				locals[i] = local[i][d]
+			} else {
+				locals[i] = fill
+			}
+		}
+		return s.f.Combine(locals)
+	}
+	// kth returns the k-th highest partial sum. Phase 1 guarantees at
+	// least k distinct items (each owner contributes k).
+	kth := func() float64 {
+		set := rank.NewSet(k)
+		for _, d := range items {
+			set.Add(d, bound(d, 0))
+		}
+		t, _ := set.Threshold()
+		return t
+	}
+
+	// Phase 1: top-k fetch.
+	s.nw.net.Rounds++
+	for i := 0; i < m; i++ {
+		resp := s.own[i].handleTopK(topkReq{K: k})
+		for _, e := range resp.Entries {
+			add(i, e)
+		}
+	}
+	T := kth() / float64(m)
+
+	// Phase 2: uniform-threshold scan.
+	s.nw.net.Rounds++
+	for i := 0; i < m; i++ {
+		resp := s.own[i].handleAbove(aboveReq{T: T})
+		for _, e := range resp.Entries {
+			add(i, e)
+		}
+	}
+	tau2 := kth()
+
+	// Phase 3: resolve the candidates exactly. An unknown score is < T
+	// after phase 2, so sum + unknown·T bounds an item from above.
+	s.nw.net.Rounds++
+	missing := make([][]list.ItemID, m)
+	for _, d := range items {
+		if knownCnt[d] == m || bound(d, T) < tau2 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if !known[i][d] {
+				missing[i] = append(missing[i], d)
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if len(missing[i]) == 0 {
+			continue
+		}
+		resp := s.own[i].handleFetch(fetchReq{Items: missing[i]})
+		for j, d := range missing[i] {
+			known[i][d] = true
+			local[i][d] = resp.Scores[j]
+			knownCnt[d]++
+		}
+	}
+
+	// Every true top-k item is fully resolved: the unresolved ones are
+	// bounded strictly below τ2 while k resolved items reach it.
+	for _, d := range items {
+		if knownCnt[d] == m {
+			s.y.Add(d, bound(d, 0))
+		}
+	}
+	res := &Result{Threshold: tau2}
+	for _, o := range s.own {
+		if o.depth > res.StopPosition {
+			res.StopPosition = o.depth
+		}
+	}
+	return s.finish(res), nil
+}
