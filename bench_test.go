@@ -16,6 +16,7 @@ package topk
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"topk/internal/access"
 	"topk/internal/bestpos"
@@ -27,6 +28,7 @@ import (
 	"topk/internal/paperdb"
 	"topk/internal/parallel"
 	"topk/internal/score"
+	"topk/internal/transport"
 )
 
 // benchDBScale shrinks the paper's n for benchmark runs (100,000 -> 10,000).
@@ -263,8 +265,8 @@ func BenchmarkTAMemoized(b *testing.B) {
 	}
 }
 
-// BenchmarkDistributed measures the simulated message counts of the four
-// distributed protocols (Section 5 + TPUT).
+// BenchmarkDistributed measures the simulated message counts of the
+// distributed protocols (Section 5 + the TPUT family).
 func BenchmarkDistributed(b *testing.B) {
 	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: benchN(20_000), M: 6, Seed: 1})
 	protocols := []struct {
@@ -275,6 +277,7 @@ func BenchmarkDistributed(b *testing.B) {
 		{"dist-bpa", dist.BPA},
 		{"dist-bpa2", dist.BPA2},
 		{"tput", dist.TPUT},
+		{"tput-a", dist.TPUTA},
 	}
 	for _, p := range protocols {
 		b.Run(p.name, func(b *testing.B) {
@@ -289,6 +292,58 @@ func BenchmarkDistributed(b *testing.B) {
 			}
 			b.ReportMetric(float64(msgs), "messages/op")
 		})
+	}
+}
+
+// BenchmarkTransport sweeps the distributed protocols over the
+// Concurrent transport backend at 1ms/10ms/50ms injected owner
+// round-trip latency. The reported wallclock metric is the backend's
+// virtual clock — per protocol round, the max (not the sum) of the
+// owners' serialized exchange costs — so it measures what a real
+// deployment would feel: TPUT's three batched fan-outs cost three
+// round-trips however deep the lists, while the per-access protocols pay
+// a data-dependent chain of rounds. rounds and the busiest owner's
+// message count accompany it, since the round structure is exactly what
+// the latency multiplies.
+func BenchmarkTransport(b *testing.B) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: benchN(20_000), M: 6, Seed: 1})
+	protocols := []struct {
+		name string
+		run  func(transport.Transport, dist.Options) (*dist.Result, error)
+	}{
+		{"dist-ta", dist.TAOver},
+		{"dist-bpa", dist.BPAOver},
+		{"dist-bpa2", dist.BPA2Over},
+		{"tput", dist.TPUTOver},
+		{"tput-a", dist.TPUTAOver},
+	}
+	for _, rtt := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		for _, p := range protocols {
+			b.Run(fmt.Sprintf("rtt=%s/%s", rtt, p.name), func(b *testing.B) {
+				var res *dist.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tp, err := transport.NewConcurrent(db, transport.ConstantLatency(rtt))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err = p.run(tp, dist.Options{K: 20, Scoring: score.Sum{}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					tp.Close()
+				}
+				var busiest int64
+				for _, c := range res.Net.PerOwner {
+					if c > busiest {
+						busiest = c
+					}
+				}
+				b.ReportMetric(float64(res.Elapsed.Microseconds())/1e3, "wallclock-ms/op")
+				b.ReportMetric(float64(res.Net.Rounds), "rounds/op")
+				b.ReportMetric(float64(busiest), "max-owner-msgs/op")
+			})
+		}
 	}
 }
 

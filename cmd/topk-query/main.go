@@ -8,6 +8,13 @@
 //	topk-query -db uniform.topk -k 10 -alg ta -compare
 //	topk-query -db uniform.topk -k 3 -alg bpa -explain
 //	topk-query -csv data.csv -k 5 -scoring wsum -weights 2,1,0.5
+//
+// With -owners it turns into the query originator of a real cluster:
+// each address must run cmd/topk-owner serving the corresponding list
+// (owner i serves list i), and the chosen protocol's messages travel
+// over HTTP instead of the in-process simulation:
+//
+//	topk-query -owners localhost:9001,localhost:9002 -k 10 -protocol bpa2
 package main
 
 import (

@@ -54,6 +54,8 @@ func (db *Database) RunDHT(q Query, protocol Protocol, ringSize int, seed int64,
 		run = dist.TA
 	case TPUT:
 		run = dist.TPUT
+	case TPUTA:
+		run = dist.TPUTA
 	default:
 		return nil, fmt.Errorf("topk: unknown protocol %d", uint8(protocol))
 	}

@@ -2,10 +2,12 @@ package topk
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"topk/internal/bestpos"
 	"topk/internal/dist"
-	"topk/internal/list"
+	"topk/internal/transport"
 )
 
 // Protocol selects a distributed top-k protocol for RunDistributed.
@@ -24,6 +26,10 @@ const (
 	// TPUT is the Three Phase Uniform Threshold baseline (Cao & Wang,
 	// PODC 2004); requires Sum scoring and non-negative scores.
 	TPUT
+	// TPUTA is TPUT with the phase-2 threshold split adaptively across
+	// the lists from the phase-1 boundary scores, so cold lists hand
+	// their scan budget to hot ones. Same requirements as TPUT.
+	TPUTA
 )
 
 // String returns the protocol name.
@@ -37,25 +43,54 @@ func (p Protocol) String() string {
 		return "dist-ta"
 	case TPUT:
 		return "tput"
+	case TPUTA:
+		return "tput-a"
 	default:
 		return fmt.Sprintf("Protocol(%d)", uint8(p))
 	}
 }
 
 // Protocols lists the available distributed protocols.
-func Protocols() []Protocol { return []Protocol{DistBPA2, DistBPA, DistTA, TPUT} }
+func Protocols() []Protocol { return []Protocol{DistBPA2, DistBPA, DistTA, TPUT, TPUTA} }
 
-// DistStats reports the simulated network profile of a distributed run.
+// ParseProtocol resolves a protocol name ("bpa2", "dist-bpa2", "tput-a",
+// ...) case-insensitively, accepting the names String returns with or
+// without the "dist-" prefix.
+func ParseProtocol(name string) (Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "bpa2", "dist-bpa2":
+		return DistBPA2, nil
+	case "bpa", "dist-bpa":
+		return DistBPA, nil
+	case "ta", "dist-ta":
+		return DistTA, nil
+	case "tput":
+		return TPUT, nil
+	case "tput-a", "tputa":
+		return TPUTA, nil
+	default:
+		return 0, fmt.Errorf("topk: unknown protocol %q (want bpa2, bpa, ta, tput or tput-a)", name)
+	}
+}
+
+// DistStats reports the network profile of a distributed run.
 type DistStats struct {
 	// Messages counts point-to-point messages (a request/response
 	// exchange is two).
 	Messages int64
-	// Payload counts scalar values carried in responses.
+	// Payload counts scalar values carried in responses plus
+	// variable-length request batches.
 	Payload int64
 	// Rounds counts protocol rounds.
 	Rounds int
+	// PerOwner[i] counts the messages exchanged with the owner of list
+	// i, in both directions.
+	PerOwner []int64
 	// TotalAccesses aggregates the list accesses owners performed.
 	TotalAccesses int64
+	// Elapsed is the transport's wall-clock measure of the run: zero for
+	// the in-process simulation, real time for a cluster run.
+	Elapsed time.Duration
 }
 
 // DistResult is a completed distributed query.
@@ -65,50 +100,115 @@ type DistResult struct {
 	Stats    DistStats
 }
 
-// RunDistributed executes the query in the simulated distributed setting
-// of the paper: one owner node per list, a query originator, and message
-// accounting. The simulation is deterministic and in-process; Stats
-// reports what would travel over a real network.
-func (db *Database) RunDistributed(q Query, protocol Protocol) (*DistResult, error) {
-	if q.K < 1 || q.K > db.N() {
-		return nil, fmt.Errorf("topk: k=%d out of range [1,%d]", q.K, db.N())
+// runnerFor maps a protocol to its transport-level runner.
+func runnerFor(protocol Protocol) (func(transport.Transport, dist.Options) (*dist.Result, error), error) {
+	switch protocol {
+	case DistBPA2:
+		return dist.BPA2Over, nil
+	case DistBPA:
+		return dist.BPAOver, nil
+	case DistTA:
+		return dist.TAOver, nil
+	case TPUT:
+		return dist.TPUTOver, nil
+	case TPUTA:
+		return dist.TPUTAOver, nil
+	default:
+		return nil, fmt.Errorf("topk: unknown protocol %d", uint8(protocol))
+	}
+}
+
+// runOver executes a protocol over a transport and adapts the result.
+// name resolves item IDs to display names (nil leaves names empty —
+// a cluster originator holds no dictionary).
+func runOver(t transport.Transport, q Query, protocol Protocol, name func(Item) string) (*DistResult, error) {
+	if q.K < 1 || q.K > t.N() {
+		return nil, fmt.Errorf("topk: k=%d out of range [1,%d]", q.K, t.N())
 	}
 	scoring := q.Scoring
 	if scoring == nil {
 		scoring = Sum()
 	}
-	opts := dist.Options{
+	run, err := runnerFor(protocol)
+	if err != nil {
+		return nil, err
+	}
+	res, err := run(t, dist.Options{
 		K:       q.K,
 		Scoring: adaptScoring(scoring),
 		Tracker: bestpos.Kind(q.Tracker),
-	}
-	var run func(*list.Database, dist.Options) (*dist.Result, error)
-	switch protocol {
-	case DistBPA2:
-		run = dist.BPA2
-	case DistBPA:
-		run = dist.BPA
-	case DistTA:
-		run = dist.TA
-	case TPUT:
-		run = dist.TPUT
-	default:
-		return nil, fmt.Errorf("topk: unknown protocol %d", uint8(protocol))
-	}
-	res, err := run(db.db, opts)
+	})
 	if err != nil {
 		return nil, err
 	}
 	out := &DistResult{Protocol: protocol}
 	out.Items = make([]ScoredItem, len(res.Items))
 	for i, it := range res.Items {
-		out.Items[i] = ScoredItem{Item: Item(it.Item), Name: db.NameOf(Item(it.Item)), Score: it.Score}
+		si := ScoredItem{Item: Item(it.Item), Score: it.Score}
+		if name != nil {
+			si.Name = name(si.Item)
+		}
+		out.Items[i] = si
 	}
 	out.Stats = DistStats{
 		Messages:      res.Net.Messages,
 		Payload:       res.Net.Payload,
 		Rounds:        res.Net.Rounds,
+		PerOwner:      res.Net.PerOwner,
 		TotalAccesses: res.Accesses.Total(),
+		Elapsed:       res.Elapsed,
 	}
 	return out, nil
 }
+
+// RunDistributed executes the query in the simulated distributed setting
+// of the paper: one owner node per list, a query originator, and message
+// accounting. The simulation is deterministic and in-process; Stats
+// reports what would travel over a real network. For real HTTP owners
+// see DialCluster.
+func (db *Database) RunDistributed(q Query, protocol Protocol) (*DistResult, error) {
+	t, err := transport.NewLoopback(db.db)
+	if err != nil {
+		return nil, err
+	}
+	return runOver(t, q, protocol, db.NameOf)
+}
+
+// Cluster is a connection to real list owners serving the distributed
+// protocols over HTTP — one owner process per list, each started with
+// cmd/topk-owner. A Cluster runs one query at a time: the owners keep
+// per-query protocol state (BPA2's seen positions, TPUT's scan depths)
+// that RunDistributed resets at the start of every run.
+type Cluster struct {
+	t *transport.HTTPClient
+}
+
+// DialCluster connects to the owner servers; owners[i] ("host:port" or a
+// full URL) must serve list i. Every owner must agree on the list length
+// and the number of lists — Dial validates the cluster before any query
+// runs.
+func DialCluster(owners []string) (*Cluster, error) {
+	t, err := transport.Dial(owners, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{t: t}, nil
+}
+
+// N returns the shared list length of the cluster.
+func (c *Cluster) N() int { return c.t.N() }
+
+// M returns the number of owners (lists).
+func (c *Cluster) M() int { return c.t.M() }
+
+// RunDistributed executes the query against the cluster's owners. The
+// answers and the Stats accounting are identical to the in-process
+// Database.RunDistributed on the same data — the protocols cannot tell
+// the backends apart — but Stats.Elapsed is real network time. Item
+// names are left empty: the originator holds no dictionary.
+func (c *Cluster) RunDistributed(q Query, protocol Protocol) (*DistResult, error) {
+	return runOver(c.t, q, protocol, nil)
+}
+
+// Close releases the cluster's connections.
+func (c *Cluster) Close() error { return c.t.Close() }

@@ -52,7 +52,7 @@
 // RunDistributed executes the query in the paper's distributed setting
 // (implemented by internal/dist): each sorted list lives at its own owner
 // node and the query originator exchanges explicit request/response
-// messages with the owners. Four protocols are available, differing in
+// messages with the owners. Five protocols are available, differing in
 // where the bookkeeping lives and what travels:
 //
 //	protocol   exchanges                 positions travel  bookkeeping at
@@ -60,13 +60,48 @@
 //	DistBPA    2 messages per access     yes (payload)     originator
 //	DistBPA2   2 messages per access     never             list owners
 //	TPUT       3 batched phases          no                originator
+//	TPUTA      3 batched phases          no                originator
 //
 // DistBPA2 is the paper's Section 5 design — owners manage their own
 // best positions, the originator keeps only the answer set and the m
 // best-position scores — and the default. TPUT (Cao & Wang) trades
 // per-access exchanges for three fixed batched round trips; it requires
-// Sum scoring over non-negative scores. DistResult.Stats reports
-// messages, response payload and protocol rounds.
+// Sum scoring over non-negative scores. TPUTA is its adaptive
+// refinement: the phase-2 threshold budget is reshaped from the phase-1
+// boundary scores, so lists with nothing to contribute hand their share
+// to the dense ones and the aggregate scan never deepens.
+// DistResult.Stats reports messages, response payload, protocol rounds,
+// per-owner traffic and the transport's wall-clock.
+//
+// # Transports
+//
+// The protocols are pure originator logic over internal/transport's
+// message vocabulary, so one protocol runs unchanged over three
+// backends with bit-identical answers, traffic accounting and access
+// counts — only the wall-clock measure differs:
+//
+//	backend     delivery                    rounds cost (wall-clock)
+//	Loopback    in-process, sequential      zero (simulation default)
+//	Concurrent  per-owner goroutines        max over owners per fan-out,
+//	            + injectable latency model  virtual clock, no sleeping
+//	HTTP        real owner servers, JSON    real network time
+//
+// Under the Concurrent backend a protocol round costs its slowest
+// owner, not the sum of all owners, which is what makes the round
+// structure measurable: TPUT/TPUTA finish in three fan-outs at any
+// latency, TA/BPA pay a round-trip chain per sorted depth, and BPA2
+// pays fewer, probe-chained rounds (BenchmarkTransport sweeps this at
+// 1ms/10ms/50ms per exchange).
+//
+// The HTTP backend is a real cluster: cmd/topk-owner serves one list
+// per process, and DialCluster (or topk-query -owners) drives the same
+// protocols against it:
+//
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 -addr localhost:9001 &
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 1 -addr localhost:9002 &
+//	topk-query -owners localhost:9001,localhost:9002 -k 10 -protocol bpa2
+//
+// returns the same top-k as the centralized run on the same data.
 //
 // RunDHT layers the same protocols over a simulated Chord-style DHT
 // (internal/dht): each list is placed at the overlay node owning its
@@ -78,8 +113,8 @@
 //
 // The module has no dependencies outside the standard library. CI (see
 // .github/workflows/ci.yml) runs gofmt, go vet, go build and go test
-// over the whole tree, the race detector over internal/dist and
-// internal/dht, and one iteration of every benchmark
+// over the whole tree, the race detector over internal/transport,
+// internal/dist and internal/dht, and one iteration of every benchmark
 // (go test -bench=. -benchtime=1x -run='^$' ./...) so the
 // figure-regeneration benchmarks cannot silently rot.
 //

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"bytes"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -208,6 +210,95 @@ func TestGenErrors(t *testing.T) {
 	}
 	if code, _, _ := capture(t, genEntry, "-kind", "correlated", "-alpha", "7", "-o", filepath.Join(t.TempDir(), "x")); code == 0 {
 		t.Error("bad alpha accepted")
+	}
+}
+
+// startOwnerCluster builds owner handlers for every list of a shared
+// generated database and serves them with httptest, returning the
+// -owners flag value.
+func startOwnerCluster(t *testing.T, m int) string {
+	t.Helper()
+	urls := make([]string, m)
+	for i := 0; i < m; i++ {
+		handler, addr, err := BuildOwnerHandler([]string{
+			"-gen", "uniform", "-n", "400", "-m", fmt.Sprint(m), "-seed", "11",
+			"-list", fmt.Sprint(i), "-addr", "localhost:7777",
+		}, os.Stderr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr != "localhost:7777" {
+			t.Fatalf("addr = %q", addr)
+		}
+		srv := httptest.NewServer(handler)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return strings.Join(urls, ",")
+}
+
+func TestOwnerHandlerAndClusterQuery(t *testing.T) {
+	owners := startOwnerCluster(t, 3)
+
+	code, out, errOut := capture(t, queryEntry, "-owners", owners, "-k", "5")
+	if code != 0 {
+		t.Fatalf("cluster query exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"top-5 by sum using dist-bpa2 over 3 owners", "messages=", "per-owner messages:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every protocol runs over the same cluster (owner state resets
+	// between queries).
+	for _, proto := range []string{"ta", "bpa", "bpa2", "tput", "tput-a"} {
+		code, out, errOut := capture(t, queryEntry, "-owners", owners, "-k", "3", "-protocol", proto)
+		if code != 0 {
+			t.Errorf("-protocol %s: exit %d: %s", proto, code, errOut)
+			continue
+		}
+		if !strings.Contains(out, "top-3") {
+			t.Errorf("-protocol %s: output missing answers:\n%s", proto, out)
+		}
+	}
+}
+
+func TestOwnerErrors(t *testing.T) {
+	cases := [][]string{
+		{},                              // no input
+		{"-db", "a", "-csv", "b"},       // both inputs
+		{"-gen", "zzz"},                 // unknown kind
+		{"-gen", "uniform", "-db", "x"}, // gen plus file
+		{"-gen", "uniform", "-n", "50", "-m", "2", "-list", "5"}, // list out of range
+		{"-db", "definitely-absent.topk"},                        // missing file
+	}
+	for _, args := range cases {
+		if _, _, err := BuildOwnerHandler(args, os.Stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestClusterQueryErrors(t *testing.T) {
+	owners := startOwnerCluster(t, 2)
+	cases := [][]string{
+		{"-owners", owners, "-db", "also.topk"},          // remote plus local input
+		{"-owners", owners, "-protocol", "zzz"},          // unknown protocol
+		{"-owners", owners, "-k", "0"},                   // bad k
+		{"-owners", "localhost:1", "-k", "3"},            // unreachable owner
+		{"-owners", owners, "-k", "3", "-scoring", "zz"}, // unknown scoring
+		{"-owners", owners, "-k", "3", "-explain"},       // local-mode flag
+		{"-owners", owners, "-k", "3", "-compare"},       // local-mode flag
+		{"-owners", owners, "-k", "3", "-alg", "ta"},     // local-mode flag
+		{"-owners", owners, "-k", "3", "-parallel"},      // local-mode flag
+		{"-owners", owners, "-k", "3", "-approx", "1.5"}, // local-mode flag
+		{"-owners", owners, "-k", "3", "-dist"},          // local-mode flag
+	}
+	for _, args := range cases {
+		if code, _, _ := capture(t, queryEntry, args...); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 

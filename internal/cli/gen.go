@@ -7,7 +7,23 @@ import (
 	"os"
 
 	"topk"
+	"topk/internal/gen"
 )
+
+// parseGenKind maps a -kind/-gen flag value to the generator family
+// shared by topk-gen, topk-serve and topk-owner.
+func parseGenKind(name string) (gen.Kind, error) {
+	switch name {
+	case "uniform":
+		return gen.Uniform, nil
+	case "gaussian":
+		return gen.Gaussian, nil
+	case "correlated":
+		return gen.Correlated, nil
+	default:
+		return 0, fmt.Errorf("unknown database kind %q (uniform, gaussian, correlated)", name)
+	}
+}
 
 // Gen is the topk-gen entry point: it generates a synthetic database
 // (paper Section 6.1 families) and writes it to a file.
@@ -32,21 +48,14 @@ func Gen(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "topk-gen: missing -o output path")
 		return 1
 	}
-	var kind topk.GenKind
-	switch *kindFlag {
-	case "uniform":
-		kind = topk.GenUniform
-	case "gaussian":
-		kind = topk.GenGaussian
-	case "correlated":
-		kind = topk.GenCorrelated
-	default:
-		fmt.Fprintf(stderr, "topk-gen: unknown -kind %q (uniform, gaussian, correlated)\n", *kindFlag)
+	kind, err := parseGenKind(*kindFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-gen: %v\n", err)
 		return 1
 	}
 
 	db, err := topk.Generate(topk.GenSpec{
-		Kind: kind, N: *n, M: *m, Alpha: *alpha, Theta: *theta, Seed: *seed,
+		Kind: topk.GenKind(kind), N: *n, M: *m, Alpha: *alpha, Theta: *theta, Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-gen: generate: %v\n", err)

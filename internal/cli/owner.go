@@ -1,0 +1,92 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"topk/internal/gen"
+	"topk/internal/list"
+	"topk/internal/store"
+	"topk/internal/transport"
+)
+
+// BuildOwnerHandler parses topk-owner's flags and returns the owner's
+// HTTP handler plus the listen address. Split from Owner so tests can
+// exercise flag handling and the handler without binding a socket.
+func BuildOwnerHandler(args []string, stderr io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("topk-owner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dbPath  = fs.String("db", "", "binary database file (from topk-gen)")
+		csvPath = fs.String("csv", "", "CSV database file (column form)")
+		genKind = fs.String("gen", "", "own a list of a generated database instead: uniform, gaussian, correlated")
+		n       = fs.Int("n", 10_000, "items per list for -gen")
+		m       = fs.Int("m", 2, "lists for -gen")
+		alpha   = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
+		seed    = fs.Int64("seed", 1, "RNG seed for -gen (every owner of a cluster must use the same)")
+		index   = fs.Int("list", 0, "index of the list this owner serves")
+		addr    = fs.String("addr", "localhost:9000", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	var (
+		db  *list.Database
+		err error
+	)
+	switch {
+	case *genKind != "":
+		if *dbPath != "" || *csvPath != "" {
+			return nil, "", fmt.Errorf("use only one of -gen, -db and -csv")
+		}
+		var kind gen.Kind
+		kind, err = parseGenKind(*genKind)
+		if err != nil {
+			return nil, "", err
+		}
+		db, err = gen.Generate(gen.Spec{Kind: kind, N: *n, M: *m, Alpha: *alpha, Seed: *seed})
+	case *dbPath != "" && *csvPath != "":
+		return nil, "", fmt.Errorf("use only one of -db and -csv")
+	case *dbPath != "":
+		db, err = store.LoadFile(*dbPath)
+	case *csvPath != "":
+		var f *os.File
+		f, err = os.Open(*csvPath)
+		if err == nil {
+			db, err = store.ReadColumnsCSV(f)
+			f.Close()
+		}
+	default:
+		return nil, "", fmt.Errorf("missing -db, -csv or -gen input")
+	}
+	if err != nil {
+		return nil, "", err
+	}
+
+	srv, err := transport.NewServer(db, *index)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv.Handler(), *addr, nil
+}
+
+// Owner is the topk-owner entry point: it loads (or generates) a
+// database, takes ownership of one of its lists, and serves the
+// distributed protocols' owner side over HTTP until terminated.
+func Owner(args []string, stdout, stderr io.Writer) int {
+	handler, addr, err := BuildOwnerHandler(args, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "topk-owner: listening on http://%s (endpoints: /rpc/{kind} /reset /stats /healthz)\n", addr)
+	if err := http.ListenAndServe(addr, handler); err != nil {
+		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
+		return 1
+	}
+	return 0
+}

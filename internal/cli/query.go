@@ -27,10 +27,38 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		par      = fs.Bool("parallel", false, "one goroutine per list owner (ta, bpa, bpa2)")
 		compare  = fs.Bool("compare", false, "run every algorithm and print a comparison")
 		distFlag = fs.Bool("dist", false, "run the distributed protocols and print message counts")
+		owners   = fs.String("owners", "", "comma-separated owner addresses (host:port,...) for cluster mode; owner i must serve list i")
+		proto    = fs.String("protocol", "bpa2", "distributed protocol for -owners: bpa2, bpa, ta, tput, tput-a")
 		explain  = fs.Bool("explain", false, "print the round-by-round threshold walkthrough")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *owners != "" {
+		if *dbPath != "" || *csvPath != "" {
+			fmt.Fprintln(stderr, "topk-query: -owners queries remote lists; drop -db/-csv")
+			return 1
+		}
+		// Cluster mode runs exactly one distributed protocol; flags of
+		// the local modes must fail loudly, not be silently dropped.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "alg", "approx", "parallel", "compare", "dist", "explain":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "topk-query: -%s applies to local databases; with -owners use -protocol\n", conflict)
+			return 1
+		}
+		sc, err := buildScoring(*scoring, *weights)
+		if err != nil {
+			fmt.Fprintf(stderr, "topk-query: %v\n", err)
+			return 1
+		}
+		return clusterQuery(*owners, *proto, *k, sc, stdout, stderr)
 	}
 
 	db, err := loadDB(*dbPath, *csvPath)
@@ -104,6 +132,37 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		s.SortedAccesses, s.RandomAccesses, s.DirectAccesses, s.TotalAccesses())
 	fmt.Fprintf(stdout, "execution cost=%.0f  stop position=%d  rounds=%d  time=%s\n",
 		s.Cost, s.StopPosition, s.Rounds, s.Duration.Round(1000))
+	return 0
+}
+
+// clusterQuery runs one distributed protocol against real HTTP owner
+// nodes (cmd/topk-owner) and prints answers plus the network profile.
+func clusterQuery(owners, proto string, k int, sc topk.Scoring, stdout, stderr io.Writer) int {
+	p, err := topk.ParseProtocol(proto)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	cluster, err := topk.DialCluster(strings.Split(owners, ","))
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	defer cluster.Close()
+	res, err := cluster.RunDistributed(topk.Query{K: k, Scoring: sc}, p)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: query: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "top-%d by %s using %s over %d owners (n=%d):\n",
+		k, sc.Name(), p, cluster.M(), cluster.N())
+	for i, it := range res.Items {
+		fmt.Fprintf(stdout, "%3d. item-%-12d score=%.6g\n", i+1, int(it.Item), it.Score)
+	}
+	s := res.Stats
+	fmt.Fprintf(stdout, "\nnetwork: messages=%d payload=%d rounds=%d accesses=%d elapsed=%s\n",
+		s.Messages, s.Payload, s.Rounds, s.TotalAccesses, s.Elapsed.Round(100))
+	fmt.Fprintf(stdout, "per-owner messages: %v\n", s.PerOwner)
 	return 0
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"topk"
+	"topk/internal/gen"
 	"topk/internal/serve"
 )
 
@@ -39,18 +40,12 @@ func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		if *dbPath != "" || *csvPath != "" {
 			return nil, "", fmt.Errorf("use only one of -gen, -db and -csv")
 		}
-		var kind topk.GenKind
-		switch *genKind {
-		case "uniform":
-			kind = topk.GenUniform
-		case "gaussian":
-			kind = topk.GenGaussian
-		case "correlated":
-			kind = topk.GenCorrelated
-		default:
-			return nil, "", fmt.Errorf("unknown -gen kind %q", *genKind)
+		var kind gen.Kind
+		kind, err = parseGenKind(*genKind)
+		if err != nil {
+			return nil, "", err
 		}
-		db, err = topk.Generate(topk.GenSpec{Kind: kind, N: *n, M: *m, Alpha: *alpha, Seed: *seed})
+		db, err = topk.Generate(topk.GenSpec{Kind: topk.GenKind(kind), N: *n, M: *m, Alpha: *alpha, Seed: *seed})
 	default:
 		db, err = loadDB(*dbPath, *csvPath)
 	}
@@ -73,7 +68,7 @@ func Serve(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "topk-serve: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/explain)\n", addr)
+	fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/dist /v1/explain)\n", addr)
 	if err := http.ListenAndServe(addr, handler); err != nil {
 		fmt.Fprintf(stderr, "topk-serve: %v\n", err)
 		return 1

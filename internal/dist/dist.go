@@ -1,19 +1,25 @@
 // Package dist implements the distributed top-k protocols of the paper's
-// Section 5 ("BPA in a distributed system") together with two baselines:
-// the Threshold Algorithm run over the network (Fagin, Lotem, Naor,
-// "Optimal Aggregation Algorithms for Middleware") and the Three Phase
-// Uniform Threshold algorithm TPUT (Cao & Wang, PODC 2004).
+// Section 5 ("BPA in a distributed system") together with baselines from
+// the literature: the Threshold Algorithm run over the network (Fagin,
+// Lotem, Naor, "Optimal Aggregation Algorithms for Middleware") and the
+// Three Phase Uniform Threshold algorithm TPUT (Cao & Wang, PODC 2004),
+// plus TPUT's adaptive-threshold refinement TPUTA.
 //
 // The setting is the paper's: each of the m sorted lists lives at its own
 // owner node, and a query originator exchanges explicit request/response
 // messages with the owners — it never touches a list directly. The
-// simulation is deterministic and in-process: owners are message handlers
-// over their local list, every list access goes through a shared
-// access.Probe (so the paper's access metrics fall out by construction),
-// and every message and every response scalar is tallied in Result.Net —
-// what would travel over a real network.
+// message vocabulary and the owner nodes live in internal/transport; the
+// protocols here drive any transport.Transport, so the same originator
+// code runs over the deterministic in-process backend (Loopback), the
+// parallel latency-modeled backend (Concurrent) and real HTTP owners.
+// Every list access goes through an access.Probe at the owner (so the
+// paper's access metrics fall out by construction), and every message
+// and every response scalar is tallied in Result.Net — what travels, or
+// would travel, over the network. Answers, Net and access accounting are
+// identical across backends; only Result.Elapsed (the wall-clock measure)
+// is backend-specific.
 //
-// The four protocols:
+// The protocols:
 //
 //   - TA: every sorted and random access becomes one request/response
 //     exchange, i.e. two messages per access.
@@ -29,20 +35,24 @@
 //   - TPUT: three fixed phases (top-k fetch, uniform-threshold scan,
 //     candidate resolution). Requires Sum scoring over non-negative
 //     scores; the other protocols take any monotone scoring function.
+//   - TPUTA: TPUT with the phase-2 threshold split adaptively across
+//     the lists using the phase-1 boundary scores instead of uniformly.
 //
-// All four return the exact top-k answers; they differ in message count,
-// payload and access profile.
+// All protocols return the exact top-k answers; they differ in message
+// count, payload, access profile and round count.
 package dist
 
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"topk/internal/access"
 	"topk/internal/bestpos"
 	"topk/internal/list"
 	"topk/internal/rank"
 	"topk/internal/score"
+	"topk/internal/transport"
 )
 
 // inf is the neutral "no information" best-position score: an upper
@@ -53,8 +63,8 @@ var inf = math.Inf(1)
 type Options struct {
 	// K is the number of answers requested; 1 <= K <= n.
 	K int
-	// Scoring is the monotone overall-score function f. TPUT requires
-	// score.Sum.
+	// Scoring is the monotone overall-score function f. TPUT and TPUTA
+	// require score.Sum.
 	Scoring score.Func
 	// Tracker selects the best-position structure used by BPA (at the
 	// originator) and BPA2 (at the list owners). The zero value is the
@@ -62,21 +72,19 @@ type Options struct {
 	Tracker bestpos.Kind
 }
 
-// validate mirrors core.Options.Validate for the distributed setting.
-func (o Options) validate(db *list.Database) error {
-	if db == nil {
-		return fmt.Errorf("dist: nil database")
-	}
+// validate mirrors core.Options.Validate for the distributed setting;
+// n is the shared list length reported by the transport.
+func (o Options) validate(n int) error {
 	if o.Scoring == nil {
 		return fmt.Errorf("dist: nil scoring function")
 	}
-	if o.K < 1 || o.K > db.N() {
-		return fmt.Errorf("dist: k=%d out of range [1,%d]", o.K, db.N())
+	if o.K < 1 || o.K > n {
+		return fmt.Errorf("dist: k=%d out of range [1,%d]", o.K, n)
 	}
 	return nil
 }
 
-// Net tallies the simulated network traffic of a run.
+// Net tallies the network traffic of a run.
 type Net struct {
 	// Messages counts point-to-point messages; a request/response
 	// exchange is two. Every message travels between the originator and
@@ -88,7 +96,7 @@ type Net struct {
 	// item ID, a threshold — are priced as message headers, not payload.
 	Payload int64
 	// Rounds counts protocol rounds: sorted-access depths for TA/BPA,
-	// probe rounds for BPA2, and the three phases for TPUT.
+	// probe rounds for BPA2, and the three phases for TPUT/TPUTA.
 	Rounds int
 	// PerOwner[i] counts the messages exchanged with the owner of list
 	// i, in both directions. internal/dht prices each owner's traffic by
@@ -104,23 +112,27 @@ type Result struct {
 	Items []rank.ScoredItem
 	// StopPosition is the sorted-access depth at which the protocol
 	// stopped (TA, BPA) or the deepest position scanned by any owner
-	// (TPUT). For BPA2 it is 0: BPA2 performs no sorted accesses.
+	// (TPUT, TPUTA). For BPA2 it is 0: BPA2 performs no sorted accesses.
 	StopPosition int
 	// BestPositions holds the final best position of every list for
 	// BPA/BPA2, nil for the other protocols.
 	BestPositions []int
 	// Threshold is the final stopping threshold: δ for TA, λ for
-	// BPA/BPA2, the phase-two bound τ2 for TPUT.
+	// BPA/BPA2, the phase-two bound τ2 for TPUT/TPUTA.
 	Threshold float64
 	// Accesses tallies the list accesses the owners performed, exactly
 	// as the centralized algorithms count them.
 	Accesses access.Counts
-	// Net is the simulated network profile.
+	// Net is the network profile. It is identical whichever transport
+	// backend carried the run.
 	Net Net
+	// Elapsed is the transport's wall-clock measure of the run: zero
+	// over Loopback, simulated time under Concurrent's latency model,
+	// real time over HTTP. The one backend-specific Result field.
+	Elapsed time.Duration
 }
 
-// network is the simulated transport between the originator and the
-// owners. It only counts: delivery is a direct method call.
+// network tallies the traffic the runner's exchanges generate.
 type network struct {
 	net Net
 }
@@ -130,9 +142,7 @@ func newNetwork(m int) *network {
 }
 
 // request charges one originator-to-owner message carrying the given
-// number of scalar values beyond its fixed-size fields. Only batched
-// requests (TPUT's phase-3 item lists) carry any; single positions,
-// item IDs and thresholds are header-sized and pass 0.
+// number of scalar values beyond its fixed-size fields.
 func (nw *network) request(owner int, scalars int) {
 	nw.net.Messages++
 	nw.net.PerOwner[owner]++
@@ -147,241 +157,115 @@ func (nw *network) respond(owner int, scalars int) {
 	nw.net.Payload += int64(scalars)
 }
 
-// The message vocabulary. Each request type has exactly one response
-// type; an owner handler receives the request, performs its local list
-// accesses, and returns the response, with the exchange charged to the
-// network.
-
-// sortedReq asks an owner for the entry at sorted position Pos (TA, BPA).
-type sortedReq struct{ Pos int }
-
-// sortedResp returns the entry; the position is implied by the request.
-type sortedResp struct{ Entry list.Entry }
-
-// lookupReq asks an owner for a random-access lookup of Item. WantPos
-// requests the item's position too (BPA ships positions, TA does not).
-type lookupReq struct {
-	Item    list.ItemID
-	WantPos bool
+// runner is the originator's execution state: the transport to the
+// owners, the traffic accounting, the scoring function and the answer
+// set. Every exchange goes through do/doAll so that a request and its
+// response are charged exactly once, with payload derived from the
+// messages themselves — the accounting cannot drift between backends.
+type runner struct {
+	t    transport.Transport
+	nw   *network
+	f    score.Func
+	y    *rank.Set
+	m, n int
+	// elapsed0 is the transport's clock at run start; transports
+	// accumulate across runs, results report the difference.
+	elapsed0 time.Duration
 }
 
-// lookupResp returns the local score, plus the position iff requested.
-type lookupResp struct {
-	Score float64
-	Pos   int
-}
-
-// probeReq asks a BPA2 owner to read its first unseen position.
-type probeReq struct{}
-
-// probeResp returns the probed entry plus the owner's piggybacked
-// best-position state.
-type probeResp struct {
-	Entry list.Entry
-	// BestScore is the score at the owner's current best position
-	// (+Inf before the owner has seen position 1).
-	BestScore float64
-	// Exhausted reports that every position of the list has been seen;
-	// the originator stops probing this owner.
-	Exhausted bool
-}
-
-// markReq asks a BPA2 owner to resolve Item and record its position in
-// the owner-side tracker.
-type markReq struct{ Item list.ItemID }
-
-// markResp returns the local score plus the piggybacked best-position
-// state. The item's position stays at the owner.
-type markResp struct {
-	Score     float64
-	BestScore float64
-	Exhausted bool
-}
-
-// topkReq asks an owner for its K highest entries (TPUT phase 1).
-type topkReq struct{ K int }
-
-// topkResp returns the owner's top-K entries in list order.
-type topkResp struct{ Entries []list.Entry }
-
-// aboveReq asks an owner for every entry below its already-sent prefix
-// with score at least T (TPUT phase 2).
-type aboveReq struct{ T float64 }
-
-// aboveResp returns the matching entries in list order.
-type aboveResp struct{ Entries []list.Entry }
-
-// fetchReq asks an owner for the exact local scores of Items (TPUT
-// phase 3).
-type fetchReq struct{ Items []list.ItemID }
-
-// fetchResp returns the scores in request order.
-type fetchResp struct{ Scores []float64 }
-
-// ownerNode is one list owner. It accesses only its own list, through
-// the shared probe so access accounting matches the centralized
-// algorithms, and for BPA2/TPUT keeps owner-side protocol state.
-type ownerNode struct {
-	i  int // list index
-	n  int // list length
-	pr *access.Probe
-	nw *network
-
-	// tr is the owner-managed seen-position tracker (BPA2 only).
-	tr bestpos.Tracker
-	// depth is the deepest sorted position read so far (TPUT only).
-	depth int
-}
-
-// handleSorted serves a sorted access: two messages, two response
-// scalars (item, score).
-func (o *ownerNode) handleSorted(req sortedReq) sortedResp {
-	o.nw.request(o.i, 0)
-	e := o.pr.Sorted(o.i, req.Pos)
-	o.nw.respond(o.i, 2)
-	return sortedResp{Entry: e}
-}
-
-// handleLookup serves a random access: two messages, and one response
-// scalar (score) — or two when the position is shipped as well (BPA).
-func (o *ownerNode) handleLookup(req lookupReq) lookupResp {
-	o.nw.request(o.i, 0)
-	s, p := o.pr.Random(o.i, req.Item)
-	if req.WantPos {
-		o.nw.respond(o.i, 2)
-		return lookupResp{Score: s, Pos: p}
+// newRunner validates the options against the transport's dimensions and
+// resets every owner for a fresh query session.
+func newRunner(t transport.Transport, opts Options) (*runner, error) {
+	if t == nil {
+		return nil, fmt.Errorf("dist: nil transport")
 	}
-	o.nw.respond(o.i, 1)
-	return lookupResp{Score: s}
-}
-
-// bestState reports the owner's current best-position score and whether
-// the list is fully seen (BPA2 piggyback).
-func (o *ownerNode) bestState() (bestScore float64, exhausted bool) {
-	bp := o.tr.Best()
-	if bp == 0 {
-		// Position 1 unseen: no information yet. +Inf is the neutral
-		// upper bound under any monotone scoring function.
-		return inf, false
-	}
-	// The score at the best position was seen by this owner; reading it
-	// locally is not a new access (paper Section 4.1).
-	return o.pr.DB().List(o.i).At(bp).Score, bp >= o.n
-}
-
-// handleProbe serves BPA2's direct access to the first unseen position:
-// two messages, three response scalars (item, score, best-position
-// score).
-func (o *ownerNode) handleProbe(probeReq) probeResp {
-	o.nw.request(o.i, 0)
-	p := o.tr.Best() + 1
-	if p > o.n {
-		// Defensive: the originator tracks exhaustion and stops probing;
-		// answer with the piggyback only.
-		best, _ := o.bestState()
-		o.nw.respond(o.i, 1)
-		return probeResp{BestScore: best, Exhausted: true}
-	}
-	e := o.pr.Direct(o.i, p)
-	o.tr.MarkSeen(p)
-	best, exhausted := o.bestState()
-	o.nw.respond(o.i, 3)
-	return probeResp{Entry: e, BestScore: best, Exhausted: exhausted}
-}
-
-// handleMark serves BPA2's random access: the owner resolves the item,
-// records its position locally, and returns score plus piggyback — two
-// messages, two response scalars.
-func (o *ownerNode) handleMark(req markReq) markResp {
-	o.nw.request(o.i, 0)
-	s, p := o.pr.Random(o.i, req.Item)
-	o.tr.MarkSeen(p)
-	best, exhausted := o.bestState()
-	o.nw.respond(o.i, 2)
-	return markResp{Score: s, BestScore: best, Exhausted: exhausted}
-}
-
-// handleTopK serves TPUT phase 1: the owner reads its K best entries.
-func (o *ownerNode) handleTopK(req topkReq) topkResp {
-	o.nw.request(o.i, 0)
-	out := make([]list.Entry, req.K)
-	for p := 1; p <= req.K; p++ {
-		out[p-1] = o.pr.Sorted(o.i, p)
-	}
-	o.depth = req.K
-	o.nw.respond(o.i, 2*len(out))
-	return topkResp{Entries: out}
-}
-
-// handleAbove serves TPUT phase 2: the owner continues its scan past the
-// phase-1 prefix and returns every entry with score >= T. The read that
-// discovers the first score below T is charged — it was performed.
-func (o *ownerNode) handleAbove(req aboveReq) aboveResp {
-	o.nw.request(o.i, 0)
-	var out []list.Entry
-	for p := o.depth + 1; p <= o.n; p++ {
-		e := o.pr.Sorted(o.i, p)
-		o.depth = p
-		if e.Score < req.T {
-			break
-		}
-		out = append(out, e)
-	}
-	o.nw.respond(o.i, 2*len(out))
-	return aboveResp{Entries: out}
-}
-
-// handleFetch serves TPUT phase 3: exact scores for the listed items.
-// The request ships the item batch, so it is charged as payload too.
-func (o *ownerNode) handleFetch(req fetchReq) fetchResp {
-	o.nw.request(o.i, len(req.Items))
-	out := make([]float64, len(req.Items))
-	for j, d := range req.Items {
-		out[j], _ = o.pr.Random(o.i, d)
-	}
-	o.nw.respond(o.i, len(out))
-	return fetchResp{Scores: out}
-}
-
-// sim is the originator's view of a run: the owners, the network, the
-// shared probe and the answer set.
-type sim struct {
-	db  *list.Database
-	pr  *access.Probe
-	nw  *network
-	own []*ownerNode
-	f   score.Func
-	y   *rank.Set
-}
-
-// newSim validates the options and builds the owner nodes. withTrackers
-// equips each owner with a seen-position tracker (BPA2).
-func newSim(db *list.Database, opts Options, withTrackers bool) (*sim, error) {
-	if err := opts.validate(db); err != nil {
+	if err := opts.validate(t.N()); err != nil {
 		return nil, err
 	}
-	s := &sim{
-		db: db,
-		pr: access.NewProbe(db),
-		nw: newNetwork(db.M()),
-		f:  opts.Scoring,
-		y:  rank.NewSet(opts.K),
+	if err := t.Reset(opts.Tracker); err != nil {
+		return nil, fmt.Errorf("dist: reset owners: %w", err)
 	}
-	s.own = make([]*ownerNode, db.M())
-	for i := range s.own {
-		o := &ownerNode{i: i, n: db.N(), pr: s.pr, nw: s.nw}
-		if withTrackers {
-			o.tr = bestpos.New(opts.Tracker, db.N())
+	return &runner{
+		t:        t,
+		nw:       newNetwork(t.M()),
+		f:        opts.Scoring,
+		y:        rank.NewSet(opts.K),
+		m:        t.M(),
+		n:        t.N(),
+		elapsed0: t.Elapsed(),
+	}, nil
+}
+
+// do performs one exchange and charges both directions.
+func (r *runner) do(owner int, req transport.Request) (transport.Response, error) {
+	r.nw.request(owner, req.RequestScalars())
+	resp, err := r.t.Do(owner, req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s exchange with owner %d: %w", req.Kind(), owner, err)
+	}
+	r.nw.respond(owner, resp.ResponseScalars())
+	return resp, nil
+}
+
+// doAll performs a batch of exchanges — in parallel where the backend
+// supports it — and charges every request and every response.
+func (r *runner) doAll(calls []transport.Call) ([]transport.Response, error) {
+	for _, c := range calls {
+		r.nw.request(c.Owner, c.Req.RequestScalars())
+	}
+	resps, err := r.t.DoAll(calls)
+	if err != nil {
+		return nil, fmt.Errorf("dist: batched exchange: %w", err)
+	}
+	for i, resp := range resps {
+		r.nw.respond(calls[i].Owner, resp.ResponseScalars())
+	}
+	return resps, nil
+}
+
+// as narrows a transport response to its concrete type, turning a
+// misbehaving backend into an error instead of a panic.
+func as[T transport.Response](resp transport.Response) (T, error) {
+	v, ok := resp.(T)
+	if !ok {
+		return v, fmt.Errorf("dist: backend returned %T, want %T", resp, v)
+	}
+	return v, nil
+}
+
+// stats gathers the owners' control-plane bookkeeping.
+func (r *runner) stats() ([]transport.OwnerStats, error) {
+	out := make([]transport.OwnerStats, r.m)
+	for i := 0; i < r.m; i++ {
+		st, err := r.t.Stats(i)
+		if err != nil {
+			return nil, fmt.Errorf("dist: stats of owner %d: %w", i, err)
 		}
-		s.own[i] = o
+		out[i] = st
 	}
-	return s, nil
+	return out, nil
 }
 
 // finish assembles the common Result fields.
-func (s *sim) finish(res *Result) *Result {
-	res.Items = s.y.Slice()
-	res.Accesses = s.pr.Counts()
-	res.Net = s.nw.net
-	return res
+func (r *runner) finish(res *Result) (*Result, error) {
+	res.Items = r.y.Slice()
+	sts, err := r.stats()
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range sts {
+		res.Accesses = res.Accesses.Add(st.Accesses)
+	}
+	res.Net = r.nw.net
+	res.Elapsed = r.t.Elapsed() - r.elapsed0
+	return res, nil
+}
+
+// loopback builds the deterministic in-process transport the db-level
+// entry points (TA, BPA, BPA2, TPUT, TPUTA) run over.
+func loopback(db *list.Database) (transport.Transport, error) {
+	if db == nil {
+		return nil, fmt.Errorf("dist: nil database")
+	}
+	return transport.NewLoopback(db)
 }

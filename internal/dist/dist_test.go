@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"topk/internal/bestpos"
@@ -20,6 +21,7 @@ var protocols = []struct {
 	{"dist-bpa", BPA},
 	{"dist-bpa2", BPA2},
 	{"tput", TPUT},
+	{"tput-a", TPUTA},
 }
 
 // testDBs builds a spread of seeded random databases: independent and
@@ -264,6 +266,82 @@ func TestTPUTPhases(t *testing.T) {
 	}
 	if res.StopPosition < 10 {
 		t.Errorf("stop position %d below k", res.StopPosition)
+	}
+}
+
+// TestTPUTAdaptiveNoMorePhase2Work: TPUTA's whole point — redistributing
+// the threshold budget from cold lists to hot ones must never deepen the
+// aggregate phase-2 scan. Phase 1 reads exactly m·k sorted entries for
+// both variants, so the phase-2 work is the sorted-access tally beyond
+// that; TPUTA must also stay within TPUT's deepest per-owner scan.
+func TestTPUTAdaptiveNoMorePhase2Work(t *testing.T) {
+	for dbName, db := range testDBs(t) {
+		for _, k := range []int{1, 10, 25} {
+			tput, err := TPUT(db, Options{K: k, Scoring: score.Sum{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tputa, err := TPUTA(db, Options{K: k, Scoring: score.Sum{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := int64(db.M() * k)
+			phase2, phase2A := tput.Accesses.Sorted-mk, tputa.Accesses.Sorted-mk
+			if phase2A > phase2 {
+				t.Errorf("%s k=%d: TPUTA scanned %d phase-2 entries, TPUT only %d",
+					dbName, k, phase2A, phase2)
+			}
+			if tputa.StopPosition > tput.StopPosition {
+				t.Errorf("%s k=%d: TPUTA stop position %d beyond TPUT's %d",
+					dbName, k, tputa.StopPosition, tput.StopPosition)
+			}
+			if tputa.Net.Rounds != 3 {
+				t.Errorf("%s k=%d: TPUTA ran %d rounds, want 3", dbName, k, tputa.Net.Rounds)
+			}
+		}
+	}
+}
+
+// TestTPUTAdaptiveWinsOnSkew: on heterogeneous lists — some whose
+// phase-1 boundary score sits far below the uniform share τ1/m — the
+// redistributed threshold budget must buy a strictly shallower phase-2
+// scan, with the answers unchanged.
+func TestTPUTAdaptiveWinsOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 800
+	cols := make([][]float64, 4)
+	for i := range cols {
+		cols[i] = make([]float64, n)
+		scale := 1.0
+		if i >= 2 {
+			scale = 0.02 // cold lists: boundary scores far below τ1/m
+		}
+		for d := range cols[i] {
+			cols[i][d] = scale * rng.Float64()
+		}
+	}
+	db, err := list.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{5, 25} {
+		tput, err := TPUT(db, Options{K: k, Scoring: score.Sum{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tputa, err := TPUTA(db, Options{K: k, Scoring: score.Sum{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tputa.Accesses.Sorted >= tput.Accesses.Sorted {
+			t.Errorf("k=%d: TPUTA scanned %d sorted entries, no better than TPUT's %d",
+				k, tputa.Accesses.Sorted, tput.Accesses.Sorted)
+		}
+		for i := range tput.Items {
+			if tputa.Items[i] != tput.Items[i] {
+				t.Errorf("k=%d: answer %d differs: %+v vs %+v", k, i, tputa.Items[i], tput.Items[i])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"topk/internal/gen"
+	"topk/internal/list"
+	"topk/internal/score"
+	"topk/internal/transport"
+)
+
+// overProtocols is the transport-driven lineup: every protocol as a
+// function of a Transport.
+var overProtocols = []struct {
+	name string
+	run  func(transport.Transport, Options) (*Result, error)
+}{
+	{"dist-ta", TAOver},
+	{"dist-bpa", BPAOver},
+	{"dist-bpa2", BPA2Over},
+	{"tput", TPUTOver},
+	{"tput-a", TPUTAOver},
+}
+
+// backends builds one instance of every transport backend over the same
+// database: Loopback, Concurrent under a latency model, and HTTP against
+// httptest owner servers.
+func backends(t *testing.T, db *list.Database) map[string]transport.Transport {
+	t.Helper()
+	lb, err := transport.NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := transport.NewConcurrent(db, transport.ConstantLatency(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	urls := make([]string, db.M())
+	for i := range urls {
+		srv, err := transport.NewServer(db, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	hc, err := transport.Dial(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hc.Close() })
+	return map[string]transport.Transport{"loopback": lb, "concurrent": cc, "http": hc}
+}
+
+// TestBackendsBitIdentical is the cross-backend parity suite: every
+// protocol must produce bit-identical answers, Net accounting (messages,
+// payload, rounds, per-owner traffic) and access counts over Loopback,
+// Concurrent and HTTP on the seeded uniform and correlated workloads.
+// Only Elapsed — the wall-clock measure — may differ, which is why it
+// lives outside Net.
+func TestBackendsBitIdentical(t *testing.T) {
+	specs := map[string]gen.Spec{
+		"uniform":    {Kind: gen.Uniform, N: 300, M: 4, Seed: 3},
+		"correlated": {Kind: gen.Correlated, N: 250, M: 5, Alpha: 0.05, Seed: 4},
+	}
+	for dbName, spec := range specs {
+		db := gen.MustGenerate(spec)
+		bks := backends(t, db)
+		for _, p := range overProtocols {
+			for _, k := range []int{1, 10} {
+				opts := Options{K: k, Scoring: score.Sum{}}
+				want, err := p.run(bks["loopback"], opts)
+				if err != nil {
+					t.Fatalf("%s/%s/loopback: %v", dbName, p.name, err)
+				}
+				for _, backend := range []string{"concurrent", "http"} {
+					t.Run(fmt.Sprintf("%s/%s/k=%d/%s", dbName, p.name, k, backend), func(t *testing.T) {
+						got, err := p.run(bks[backend], opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got.Items, want.Items) {
+							t.Errorf("answers differ:\n%v\nvs loopback\n%v", got.Items, want.Items)
+						}
+						if !reflect.DeepEqual(got.Net, want.Net) {
+							t.Errorf("Net differs: %+v vs loopback %+v", got.Net, want.Net)
+						}
+						if got.Accesses != want.Accesses {
+							t.Errorf("accesses differ: %v vs loopback %v", got.Accesses, want.Accesses)
+						}
+						if got.StopPosition != want.StopPosition {
+							t.Errorf("stop position %d vs loopback %d", got.StopPosition, want.StopPosition)
+						}
+						if got.Threshold != want.Threshold {
+							t.Errorf("threshold %v vs loopback %v", got.Threshold, want.Threshold)
+						}
+						if !reflect.DeepEqual(got.BestPositions, want.BestPositions) {
+							t.Errorf("best positions %v vs loopback %v", got.BestPositions, want.BestPositions)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentLatencyRounds checks the latency model's round
+// accounting: under a constant per-exchange round-trip, a protocol's
+// simulated wall-clock is bounded below by its non-empty rounds (TPUT's
+// phase 3 can resolve nothing and cost nothing) and strictly above-bound
+// by the full serialization of all its exchanges — overlapping the
+// owners is the backend's whole point. TPUT's three batched rounds must
+// beat the per-access protocols by a wide margin; that fixed-round
+// advantage is exactly what the uniform-threshold design buys.
+func TestConcurrentLatencyRounds(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 9})
+	rtt := time.Millisecond
+	elapsed := make(map[string]time.Duration)
+	rounds := make(map[string]int)
+	for _, p := range overProtocols {
+		cc, err := transport.NewConcurrent(db, transport.ConstantLatency(rtt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.run(cc, Options{K: 8, Scoring: score.Sum{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[p.name], rounds[p.name] = res.Elapsed, res.Net.Rounds
+		if res.Elapsed != cc.Elapsed() {
+			t.Errorf("%s: Result.Elapsed %v, transport clock %v", p.name, res.Elapsed, cc.Elapsed())
+		}
+		cc.Close()
+		exchanges := res.Net.Messages / 2
+		if min := time.Duration(res.Net.Rounds-1) * rtt; res.Elapsed < min {
+			t.Errorf("%s: elapsed %v below one round-trip per non-empty round (%v)", p.name, res.Elapsed, min)
+		}
+		if res.Elapsed >= time.Duration(exchanges)*rtt {
+			t.Errorf("%s: no overlap: %v for %d exchanges", p.name, res.Elapsed, exchanges)
+		}
+	}
+	// TPUT pays three fan-outs however deep the scan; the per-access
+	// protocols pay a data-dependent chain of rounds.
+	for _, name := range []string{"dist-ta", "dist-bpa", "dist-bpa2"} {
+		if elapsed["tput"] >= elapsed[name] {
+			t.Errorf("TPUT (%v) not faster than %s (%v) under 1ms RTT",
+				elapsed["tput"], name, elapsed[name])
+		}
+	}
+	// BPA2 stops in fewer rounds than TA (better best positions), even
+	// though each of its rounds chains m data-dependent probes.
+	if rounds["dist-bpa2"] >= rounds["dist-ta"] {
+		t.Errorf("BPA2 took %d rounds, TA only %d", rounds["dist-bpa2"], rounds["dist-ta"])
+	}
+}
+
+// TestHTTPClusterMatchesCentralized is the acceptance scenario in
+// miniature: HTTP owners (one per list), an originator driving BPA2 over
+// them, and the answers matching the centralized run bit for bit —
+// while the wall-clock is real, nonzero time.
+func TestHTTPClusterMatchesCentralized(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 400, M: 3, Seed: 21})
+	want, err := BPA2(db, Options{K: 10, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, db.M())
+	for i := range urls {
+		srv, err := transport.NewServer(db, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	hc, err := transport.Dial(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	got, err := BPA2Over(hc, Options{K: 10, Scoring: score.Sum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatalf("cluster answers differ from centralized:\n%v\nvs\n%v", got.Items, want.Items)
+	}
+	if got.Elapsed <= 0 {
+		t.Error("HTTP run reported zero elapsed time")
+	}
+	if want.Elapsed != 0 {
+		t.Errorf("loopback run reported nonzero elapsed %v", want.Elapsed)
+	}
+}

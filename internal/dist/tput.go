@@ -6,12 +6,26 @@ import (
 	"topk/internal/list"
 	"topk/internal/rank"
 	"topk/internal/score"
+	"topk/internal/transport"
 )
 
-// TPUT runs the Three Phase Uniform Threshold algorithm of Cao & Wang
-// (PODC 2004), the fixed-round-trip baseline: where TA/BPA/BPA2 pay one
-// exchange per access, TPUT pays at most three exchanges per owner,
+// TPUT runs the Three Phase Uniform Threshold algorithm over the
+// deterministic in-process transport; see TPUTOver.
+func TPUT(db *list.Database, opts Options) (*Result, error) {
+	t, err := loopback(db)
+	if err != nil {
+		return nil, err
+	}
+	return TPUTOver(t, opts)
+}
+
+// TPUTOver runs the Three Phase Uniform Threshold algorithm of Cao &
+// Wang (PODC 2004), the fixed-round-trip baseline: where TA/BPA/BPA2 pay
+// one exchange per access, TPUT pays at most three exchanges per owner,
 // each carrying a batch (phase 3 skips owners with nothing to resolve).
+// Every phase is one fan-out a concurrent backend delivers to all owners
+// at once, so TPUT's wall-clock is three round-trips — the design point
+// the per-access protocols trade message volume against.
 //
 //  1. The originator fetches every owner's top k entries and computes
 //     τ1, the k-th highest partial sum (missing scores taken as 0).
@@ -27,20 +41,47 @@ import (
 // Both the missing-scores-are-0 lower bound and the uniform split of τ1
 // across lists assume f = Σ si over non-negative scores, so TPUT rejects
 // other scoring functions and databases with negative local scores.
-func TPUT(db *list.Database, opts Options) (*Result, error) {
-	s, err := newSim(db, opts, false)
+func TPUTOver(t transport.Transport, opts Options) (*Result, error) {
+	return tputRun(t, opts, uniformThresholds)
+}
+
+// thresholdRule splits the phase-one bound tau1 into the per-list
+// phase-2 thresholds T[i]. Correctness requires sum(T) <= tau1 (an item
+// unreported by owner i scores below T[i] there, so an item unseen
+// everywhere scores below sum(T) <= tau1 <= tau2 and cannot enter the
+// answer); within that, a rule is free to shape the split using the
+// phase-1 boundary scores c[i] (owner i's k-th prefix score).
+type thresholdRule func(tau1 float64, boundary []float64) []float64
+
+// uniformThresholds is TPUT's split: tau1/m everywhere.
+func uniformThresholds(tau1 float64, boundary []float64) []float64 {
+	T := make([]float64, len(boundary))
+	for i := range T {
+		T[i] = tau1 / float64(len(boundary))
+	}
+	return T
+}
+
+// tputRun is the three-phase skeleton shared by TPUT and TPUTA; only the
+// phase-2 threshold split differs.
+func tputRun(t transport.Transport, opts Options, rule thresholdRule) (*Result, error) {
+	r, err := newRunner(t, opts)
 	if err != nil {
 		return nil, err
 	}
 	if _, ok := opts.Scoring.(score.Sum); !ok {
 		return nil, fmt.Errorf("dist: TPUT requires Sum scoring, got %q", opts.Scoring.Name())
 	}
-	m, n, k := db.M(), db.N(), opts.K
-	for i := 0; i < m; i++ {
+	m, n, k := r.m, r.n, opts.K
+	sts, err := r.stats()
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range sts {
 		// The list minimum is owner metadata (cf. core.ListFloors), not a
 		// charged access.
-		if min := db.List(i).At(n).Score; min < 0 {
-			return nil, fmt.Errorf("dist: TPUT requires non-negative scores, list %d has minimum %v", i, min)
+		if st.MinScore < 0 {
+			return nil, fmt.Errorf("dist: TPUT requires non-negative scores, list %d has minimum %v", i, st.MinScore)
 		}
 	}
 
@@ -64,56 +105,88 @@ func TPUT(db *list.Database, opts Options) (*Result, error) {
 		}
 		knownCnt[e.Item]++
 	}
-	// bound combines an item's known scores with fill substituted for the
-	// unknown ones — fill 0 gives the partial-sum lower bound, fill T the
-	// phase-two upper bound. Combining in list order keeps the float
-	// arithmetic bit-identical to the centralized algorithms, so fully
-	// resolved scores match the oracle exactly.
+	// bound combines an item's known scores with fill[i] substituted for
+	// the unknown ones — fill 0 gives the partial-sum lower bound, the
+	// phase-2 threshold of list i its phase-two upper bound. Combining in
+	// list order keeps the float arithmetic bit-identical to the
+	// centralized algorithms, so fully resolved scores match the oracle
+	// exactly.
 	locals := make([]float64, m)
-	bound := func(d list.ItemID, fill float64) float64 {
+	bound := func(d list.ItemID, fill []float64) float64 {
 		for i := 0; i < m; i++ {
 			if known[i][d] {
 				locals[i] = local[i][d]
 			} else {
-				locals[i] = fill
+				locals[i] = fill[i]
 			}
 		}
-		return s.f.Combine(locals)
+		return r.f.Combine(locals)
 	}
+	zeros := make([]float64, m)
 	// kth returns the k-th highest partial sum. Phase 1 guarantees at
 	// least k distinct items (each owner contributes k).
 	kth := func() float64 {
 		set := rank.NewSet(k)
 		for _, d := range items {
-			set.Add(d, bound(d, 0))
+			set.Add(d, bound(d, zeros))
 		}
 		t, _ := set.Threshold()
 		return t
 	}
 
-	// Phase 1: top-k fetch.
-	s.nw.net.Rounds++
-	for i := 0; i < m; i++ {
-		resp := s.own[i].handleTopK(topkReq{K: k})
-		for _, e := range resp.Entries {
+	// Phase 1: top-k fetch. boundary[i] is owner i's k-th prefix score,
+	// the information the adaptive threshold split feeds on.
+	r.nw.net.Rounds++
+	boundary := make([]float64, m)
+	topkCalls := make([]transport.Call, m)
+	for i := range topkCalls {
+		topkCalls[i] = transport.Call{Owner: i, Req: transport.TopKReq{K: k}}
+	}
+	topkResps, err := r.doAll(topkCalls)
+	if err != nil {
+		return nil, err
+	}
+	for i, resp := range topkResps {
+		tr, err := as[transport.TopKResp](resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(tr.Entries) != k {
+			return nil, fmt.Errorf("dist: owner %d returned %d phase-1 entries, want %d", i, len(tr.Entries), k)
+		}
+		for _, e := range tr.Entries {
 			add(i, e)
 		}
+		boundary[i] = tr.Entries[k-1].Score
 	}
-	T := kth() / float64(m)
+	tau1 := kth()
+	T := rule(tau1, boundary)
 
-	// Phase 2: uniform-threshold scan.
-	s.nw.net.Rounds++
-	for i := 0; i < m; i++ {
-		resp := s.own[i].handleAbove(aboveReq{T: T})
-		for _, e := range resp.Entries {
+	// Phase 2: threshold scan, one threshold per list.
+	r.nw.net.Rounds++
+	aboveCalls := make([]transport.Call, m)
+	for i := range aboveCalls {
+		aboveCalls[i] = transport.Call{Owner: i, Req: transport.AboveReq{T: T[i]}}
+	}
+	aboveResps, err := r.doAll(aboveCalls)
+	if err != nil {
+		return nil, err
+	}
+	for i, resp := range aboveResps {
+		ar, err := as[transport.AboveResp](resp)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ar.Entries {
 			add(i, e)
 		}
 	}
 	tau2 := kth()
 
-	// Phase 3: resolve the candidates exactly. An unknown score is < T
-	// after phase 2, so sum + unknown·T bounds an item from above.
-	s.nw.net.Rounds++
+	// Phase 3: resolve the candidates exactly. An unknown score in list i
+	// is < T[i] after phase 2, so sum + per-list thresholds bounds an
+	// item from above.
+	r.nw.net.Rounds++
 	missing := make([][]list.ItemID, m)
 	for _, d := range items {
 		if knownCnt[d] == m || bound(d, T) < tau2 {
@@ -125,14 +198,29 @@ func TPUT(db *list.Database, opts Options) (*Result, error) {
 			}
 		}
 	}
+	fetchCalls := make([]transport.Call, 0, m)
 	for i := 0; i < m; i++ {
 		if len(missing[i]) == 0 {
 			continue
 		}
-		resp := s.own[i].handleFetch(fetchReq{Items: missing[i]})
+		fetchCalls = append(fetchCalls, transport.Call{Owner: i, Req: transport.FetchReq{Items: missing[i]}})
+	}
+	fetchResps, err := r.doAll(fetchCalls)
+	if err != nil {
+		return nil, err
+	}
+	for c, resp := range fetchResps {
+		i := fetchCalls[c].Owner
+		fr, err := as[transport.FetchResp](resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(fr.Scores) != len(missing[i]) {
+			return nil, fmt.Errorf("dist: owner %d returned %d scores for %d items", i, len(fr.Scores), len(missing[i]))
+		}
 		for j, d := range missing[i] {
 			known[i][d] = true
-			local[i][d] = resp.Scores[j]
+			local[i][d] = fr.Scores[j]
 			knownCnt[d]++
 		}
 	}
@@ -141,14 +229,18 @@ func TPUT(db *list.Database, opts Options) (*Result, error) {
 	// bounded strictly below τ2 while k resolved items reach it.
 	for _, d := range items {
 		if knownCnt[d] == m {
-			s.y.Add(d, bound(d, 0))
+			r.y.Add(d, bound(d, zeros))
 		}
 	}
 	res := &Result{Threshold: tau2}
-	for _, o := range s.own {
-		if o.depth > res.StopPosition {
-			res.StopPosition = o.depth
+	sts, err = r.stats()
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range sts {
+		if st.Depth > res.StopPosition {
+			res.StopPosition = st.Depth
 		}
 	}
-	return s.finish(res), nil
+	return r.finish(res)
 }

@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"topk/internal/list"
+	"topk/internal/transport"
+)
+
+// TPUTA runs the adaptive-threshold TPUT variant over the deterministic
+// in-process transport; see TPUTAOver.
+func TPUTA(db *list.Database, opts Options) (*Result, error) {
+	t, err := loopback(db)
+	if err != nil {
+		return nil, err
+	}
+	return TPUTAOver(t, opts)
+}
+
+// TPUTAOver runs TPUT with an adaptive phase-2 threshold split — the
+// TPUT-A refinement direction of Cao & Wang's uniform bound. TPUT
+// broadcasts the same threshold τ1/m to every list, which wastes scan
+// budget: a list whose phase-1 boundary score (its k-th prefix score)
+// is already below τ1/m contributes nothing to phase 2 however deep it
+// scans, while a list with dense high scores is forced deep by a
+// threshold lower than it needs.
+//
+// TPUTA reshapes the split using exactly the phase-1 information the
+// originator already holds. For every "cold" list whose boundary score
+// c[i] is below the uniform share, the threshold drops only to c[i] —
+// the scan still stops at the first unseen position, since everything
+// below the boundary scores below it — and the freed budget
+// (τ1/m − c[i]) is handed to the "hot" lists, raising their thresholds
+// so they stop sooner. The split still sums to exactly τ1, so the
+// pruning argument is unchanged: an item reported nowhere in phase 2
+// scores below Σ T[i] = τ1 ≤ τ2 and cannot reach the answer. Phase-3
+// upper bounds use the per-list thresholds, so they only get tighter on
+// hot lists. Aggregate phase-2 work never exceeds TPUT's on continuous
+// score distributions (ties with a boundary score are the only way a
+// cold list can return extra entries); the dist tests assert this on
+// every seeded workload.
+//
+// Like TPUT, TPUTA requires Sum scoring over non-negative scores.
+func TPUTAOver(t transport.Transport, opts Options) (*Result, error) {
+	return tputRun(t, opts, adaptiveThresholds)
+}
+
+// adaptiveThresholds lowers cold lists' thresholds to their phase-1
+// boundary scores and redistributes the freed budget equally over the
+// hot lists. With no hot list the split stays uniform: lowering
+// thresholds without raising any other would only deepen scans.
+func adaptiveThresholds(tau1 float64, boundary []float64) []float64 {
+	m := len(boundary)
+	T := uniformThresholds(tau1, boundary)
+	base := tau1 / float64(m)
+	var slack float64
+	var hot []int
+	for i, c := range boundary {
+		if c < base {
+			T[i] = c
+			slack += base - c
+		} else {
+			hot = append(hot, i)
+		}
+	}
+	if len(hot) == 0 || slack <= 0 {
+		return uniformThresholds(tau1, boundary)
+	}
+	share := slack / float64(len(hot))
+	for _, i := range hot {
+		T[i] += share
+	}
+	return T
+}

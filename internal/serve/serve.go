@@ -10,6 +10,10 @@
 //	/v1/topk           run a query: k, alg, scoring, weights, theta,
 //	                   tracker, parallel, sortable (per-list flags for
 //	                   the restricted-access TAz/BPAz variants)
+//	/v1/dist           run a query under a distributed protocol (k,
+//	                   protocol, scoring, weights, tracker) and return
+//	                   answers plus the simulated network accounting:
+//	                   messages, payload, rounds, per-owner traffic
 //	/v1/explain        the round-by-round threshold walkthrough as text
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status. The handler is
@@ -44,6 +48,7 @@ func New(db *topk.Database) (*Server, error) {
 	s.mux.HandleFunc("/v1/info", s.handleInfo)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/dist", s.handleDist)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	return s, nil
 }
@@ -244,6 +249,65 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	body.Items = make([]itemBody, len(res.Items))
 	for i, it := range res.Items {
 		body.Items[i] = itemBody{Item: it.Item, Name: it.Name, Score: it.Score}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// distNetBody mirrors topk.DistStats in JSON form.
+type distNetBody struct {
+	Messages      int64   `json:"messages"`
+	Payload       int64   `json:"payload"`
+	Rounds        int     `json:"rounds"`
+	PerOwner      []int64 `json:"perOwner"`
+	TotalAccesses int64   `json:"totalAccesses"`
+	ElapsedMicros int64   `json:"elapsedMicros"`
+}
+
+// distBody is the /v1/dist response.
+type distBody struct {
+	Protocol string      `json:"protocol"`
+	K        int         `json:"k"`
+	Items    []itemBody  `json:"items"`
+	Net      distNetBody `json:"net"`
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	q, err := s.parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	protocol := topk.DistBPA2
+	if p := r.URL.Query().Get("protocol"); p != "" {
+		protocol, err = topk.ParseProtocol(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	res, err := s.db.RunDistributed(q, protocol)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := distBody{
+		Protocol: res.Protocol.String(),
+		K:        q.K,
+		Net: distNetBody{
+			Messages:      res.Stats.Messages,
+			Payload:       res.Stats.Payload,
+			Rounds:        res.Stats.Rounds,
+			PerOwner:      res.Stats.PerOwner,
+			TotalAccesses: res.Stats.TotalAccesses,
+			ElapsedMicros: res.Stats.Elapsed.Microseconds(),
+		},
+	}
+	body.Items = make([]itemBody, len(res.Items))
+	for i, it := range res.Items {
+		body.Items[i] = itemBody{Item: int(it.Item), Name: it.Name, Score: it.Score}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -176,9 +176,96 @@ func TestTopKErrors(t *testing.T) {
 	}
 }
 
+type distResp struct {
+	Protocol string `json:"protocol"`
+	K        int    `json:"k"`
+	Items    []struct {
+		Item  int     `json:"item"`
+		Name  string  `json:"name"`
+		Score float64 `json:"score"`
+	} `json:"items"`
+	Net struct {
+		Messages      int64   `json:"messages"`
+		Payload       int64   `json:"payload"`
+		Rounds        int     `json:"rounds"`
+		PerOwner      []int64 `json:"perOwner"`
+		TotalAccesses int64   `json:"totalAccesses"`
+	} `json:"net"`
+}
+
+func TestDistDefaults(t *testing.T) {
+	ts := testServer(t)
+	var body distResp
+	getJSON(t, ts.URL+"/v1/dist?k=2", http.StatusOK, &body)
+	if body.Protocol != "dist-bpa2" || body.K != 2 || len(body.Items) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	// Same data as /v1/topk: the top-2 overall sums are 70 and 70.
+	if body.Items[0].Score != 70 || body.Items[1].Score != 70 {
+		t.Errorf("scores = %+v", body.Items)
+	}
+	if body.Items[0].Name == "" {
+		t.Errorf("items lost their names: %+v", body.Items)
+	}
+	if body.Net.Messages == 0 || body.Net.Payload == 0 || body.Net.Rounds == 0 || body.Net.TotalAccesses == 0 {
+		t.Errorf("net accounting empty: %+v", body.Net)
+	}
+	if len(body.Net.PerOwner) != 3 {
+		t.Fatalf("perOwner = %v, want one entry per list", body.Net.PerOwner)
+	}
+	var sum int64
+	for _, c := range body.Net.PerOwner {
+		sum += c
+	}
+	if sum != body.Net.Messages {
+		t.Errorf("perOwner sums to %d, messages is %d", sum, body.Net.Messages)
+	}
+}
+
+func TestDistProtocolsAndOptions(t *testing.T) {
+	ts := testServer(t)
+	for _, q := range []string{
+		"k=3&protocol=ta",
+		"k=3&protocol=bpa",
+		"k=3&protocol=bpa2&tracker=interval",
+		"k=3&protocol=tput",
+		"k=3&protocol=tput-a",
+		"k=3&protocol=bpa&scoring=min",
+		"k=3&scoring=wsum&weights=2,1,0.5",
+	} {
+		var body distResp
+		getJSON(t, ts.URL+"/v1/dist?"+q, http.StatusOK, &body)
+		if len(body.Items) != 3 {
+			t.Errorf("query %q: %d items", q, len(body.Items))
+		}
+	}
+}
+
+func TestDistErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []string{
+		"",                              // missing k
+		"k=0",                           // out of range
+		"k=99",                          // k > n
+		"k=2&protocol=zzz",              // unknown protocol
+		"k=2&protocol=tput&scoring=min", // TPUT needs Sum
+		"k=2&scoring=zzz",               // unknown scoring
+		"k=2&tracker=zzz",               // unknown tracker
+	}
+	for _, q := range cases {
+		var body struct {
+			Error string `json:"error"`
+		}
+		getJSON(t, ts.URL+"/v1/dist?"+q, http.StatusBadRequest, &body)
+		if body.Error == "" {
+			t.Errorf("query %q: empty error body", q)
+		}
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	ts := testServer(t)
-	for _, path := range []string{"/healthz", "/v1/info", "/v1/topk", "/v1/explain", "/v1/algorithms"} {
+	for _, path := range []string{"/healthz", "/v1/info", "/v1/topk", "/v1/dist", "/v1/explain", "/v1/algorithms"} {
 		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
 		if err != nil {
 			t.Fatal(err)

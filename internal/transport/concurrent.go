@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"topk/internal/bestpos"
+	"topk/internal/list"
+)
+
+// Latency models one request/response round-trip with an owner. It sees
+// the response too, so models can price payload size. It must be
+// deterministic: the simulated wall-clock is part of reproducible
+// experiment output.
+type Latency func(owner int, req Request, resp Response) time.Duration
+
+// ConstantLatency charges every exchange the same round-trip time.
+func ConstantLatency(rtt time.Duration) Latency {
+	return func(int, Request, Response) time.Duration { return rtt }
+}
+
+// PerOwnerLatency charges each owner its own round-trip time —
+// heterogeneous links (e.g. one remote datacenter among local owners).
+func PerOwnerLatency(rtt []time.Duration) Latency {
+	return func(owner int, _ Request, _ Response) time.Duration { return rtt[owner] }
+}
+
+// LinkLatency charges a fixed round-trip time plus a per-scalar transfer
+// cost, so batched responses (TPUT's entry lists) pay for their size.
+func LinkLatency(rtt, perScalar time.Duration) Latency {
+	return func(_ int, req Request, resp Response) time.Duration {
+		return rtt + time.Duration(req.RequestScalars()+resp.ResponseScalars())*perScalar
+	}
+}
+
+// job is one exchange in flight to an owner goroutine.
+type job struct {
+	req   Request
+	reply chan result
+}
+
+// result is the owner goroutine's answer: the response plus the modeled
+// round-trip cost.
+type result struct {
+	resp Response
+	cost time.Duration
+	err  error
+}
+
+// Concurrent is the parallel in-process backend: one long-lived goroutine
+// per owner consumes a FIFO request channel, so a DoAll batch is in
+// flight at every addressed owner at once. Latency is virtual — the
+// injectable model prices each exchange and a batch advances the clock
+// by the maximum over owners of their serialized costs, never by the
+// sum — so sweeping 1ms..50ms links costs no real sleeping.
+type Concurrent struct {
+	owners []*Owner
+	in     []chan job
+	wg     sync.WaitGroup
+	lat    Latency
+	n      int
+
+	mu      sync.Mutex
+	closed  bool
+	elapsed time.Duration
+}
+
+// NewConcurrent builds one owner goroutine per list of db. A nil latency
+// model means zero-cost exchanges (wall-clock stays 0).
+func NewConcurrent(db *list.Database, lat Latency) (*Concurrent, error) {
+	if db == nil {
+		return nil, fmt.Errorf("transport: nil database")
+	}
+	if lat == nil {
+		lat = ConstantLatency(0)
+	}
+	t := &Concurrent{
+		owners: make([]*Owner, db.M()),
+		in:     make([]chan job, db.M()),
+		lat:    lat,
+		n:      db.N(),
+	}
+	for i := range t.owners {
+		o, err := NewOwner(db, i)
+		if err != nil {
+			return nil, err
+		}
+		t.owners[i] = o
+		t.in[i] = make(chan job)
+		t.wg.Add(1)
+		go t.serve(i)
+	}
+	return t, nil
+}
+
+// serve is owner i's goroutine: handle requests in arrival order, price
+// each exchange, reply.
+func (t *Concurrent) serve(i int) {
+	defer t.wg.Done()
+	for j := range t.in[i] {
+		resp, err := t.owners[i].Handle(j.req)
+		var cost time.Duration
+		if err == nil {
+			cost = t.lat(i, j.req, resp)
+		}
+		j.reply <- result{resp: resp, cost: cost, err: err}
+	}
+}
+
+// M returns the number of owners.
+func (t *Concurrent) M() int { return len(t.owners) }
+
+// N returns the shared list length.
+func (t *Concurrent) N() int { return t.n }
+
+// checkSend validates an exchange before it is dispatched.
+func (t *Concurrent) checkSend(owner int) error {
+	if owner < 0 || owner >= len(t.owners) {
+		return fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(t.owners))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("transport: concurrent backend is closed")
+	}
+	return nil
+}
+
+// addElapsed advances the virtual clock.
+func (t *Concurrent) addElapsed(d time.Duration) {
+	t.mu.Lock()
+	t.elapsed += d
+	t.mu.Unlock()
+}
+
+// Do performs one exchange; the clock advances by its modeled cost.
+func (t *Concurrent) Do(owner int, req Request) (Response, error) {
+	if err := t.checkSend(owner); err != nil {
+		return nil, err
+	}
+	reply := make(chan result, 1)
+	t.in[owner] <- job{req: req, reply: reply}
+	r := <-reply
+	if r.err != nil {
+		return nil, r.err
+	}
+	t.addElapsed(r.cost)
+	return r.resp, nil
+}
+
+// DoAll performs the calls with every addressed owner working in
+// parallel. Calls to the same owner keep their submission order (its
+// channel is FIFO and a single feeder sends them in order); the clock
+// advances by the maximum over owners of their summed exchange costs —
+// the batch is as slow as its slowest owner, not as the sum of all
+// owners.
+func (t *Concurrent) DoAll(calls []Call) ([]Response, error) {
+	for _, c := range calls {
+		if err := t.checkSend(c.Owner); err != nil {
+			return nil, err
+		}
+	}
+	// Group call indices by owner, preserving order within each owner.
+	byOwner := make(map[int][]int)
+	for idx, c := range calls {
+		byOwner[c.Owner] = append(byOwner[c.Owner], idx)
+	}
+	replies := make([]chan result, len(calls))
+	for i := range replies {
+		replies[i] = make(chan result, 1)
+	}
+	// One feeder per owner keeps that owner's queue in submission order
+	// without the dispatch of a busy owner blocking the others.
+	var feed sync.WaitGroup
+	for owner, idxs := range byOwner {
+		feed.Add(1)
+		go func(owner int, idxs []int) {
+			defer feed.Done()
+			for _, idx := range idxs {
+				t.in[owner] <- job{req: calls[idx].Req, reply: replies[idx]}
+			}
+		}(owner, idxs)
+	}
+	// Collect every reply before failing so no goroutine is left stuck.
+	out := make([]Response, len(calls))
+	perOwner := make(map[int]time.Duration, len(byOwner))
+	var firstErr error
+	for idx := range calls {
+		r := <-replies[idx]
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		out[idx] = r.resp
+		perOwner[calls[idx].Owner] += r.cost
+	}
+	feed.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var slowest time.Duration
+	for _, d := range perOwner {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	t.addElapsed(slowest)
+	return out, nil
+}
+
+// Reset prepares every owner for a new query. The virtual clock keeps
+// running: callers measuring one query take Elapsed differences.
+func (t *Concurrent) Reset(kind bestpos.Kind) error {
+	for _, o := range t.owners {
+		o.Reset(kind)
+	}
+	return nil
+}
+
+// Stats reports an owner's bookkeeping.
+func (t *Concurrent) Stats(owner int) (OwnerStats, error) {
+	if owner < 0 || owner >= len(t.owners) {
+		return OwnerStats{}, fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(t.owners))
+	}
+	return t.owners[owner].Stats(), nil
+}
+
+// Elapsed returns the virtual wall-clock accumulated so far.
+func (t *Concurrent) Elapsed() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.elapsed
+}
+
+// Close stops the owner goroutines and waits for them to drain.
+func (t *Concurrent) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, ch := range t.in {
+		close(ch)
+	}
+	t.wg.Wait()
+	return nil
+}

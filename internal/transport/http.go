@@ -1,0 +1,439 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"topk/internal/bestpos"
+	"topk/internal/list"
+)
+
+// The HTTP backend: a real owner server (one list per process) and an
+// originator client speaking a small JSON protocol:
+//
+//	POST /rpc/{kind}  one exchange; body and response are the message
+//	                  structs of this package
+//	POST /reset       control-plane: start a new query session
+//	GET  /stats       control-plane: OwnerStats (also the dial handshake)
+//	GET  /healthz     liveness
+//
+// encoding/json renders float64s in their shortest round-tripping form,
+// so scores survive the wire bit-identically and the parity suite can
+// hold HTTP to the same answers and accounting as the in-process
+// backends. Non-finite list scores are not supported on this backend
+// (JSON has no infinities); the +Inf best-position piggyback, which is
+// protocol vocabulary rather than list data, is handled by Upper.
+
+// Server is one list owner behind HTTP. Wrap Handler in an http.Server
+// (or httptest.Server); cmd/topk-owner is the standalone binary.
+type Server struct {
+	owner *Owner
+	mux   *http.ServeMux
+}
+
+// NewServer returns the HTTP owner of list index of db.
+func NewServer(db *list.Database, index int) (*Server, error) {
+	o, err := NewOwner(db, index)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{owner: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/rpc/", s.handleRPC)
+	s.mux.HandleFunc("/reset", s.handleReset)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpError is the uniform error payload.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // status line already out
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.owner.Stats())
+}
+
+// resetBody is the /reset request payload.
+type resetBody struct {
+	Tracker uint8 `json:"tracker"`
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var body resetBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad reset body: %v", err)
+		return
+	}
+	kind := bestpos.Kind(body.Tracker)
+	found := false
+	for _, k := range bestpos.Kinds() {
+		if k == kind {
+			found = true
+			break
+		}
+	}
+	if !found {
+		writeError(w, http.StatusBadRequest, "unknown tracker kind %d", body.Tracker)
+		return
+	}
+	s.owner.Reset(kind)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	kind := Kind(strings.TrimPrefix(r.URL.Path, "/rpc/"))
+	req, err := decodeRequest(kind, r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.owner.Handle(req)
+	if err != nil {
+		// Owner errors are malformed requests (bad position, bad item),
+		// the caller's fault.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeRequest unmarshals the body of a /rpc/{kind} call.
+func decodeRequest(kind Kind, body io.Reader) (Request, error) {
+	dec := json.NewDecoder(body)
+	switch kind {
+	case KindSorted:
+		var req SortedReq
+		return req, decodeInto(dec, &req)
+	case KindLookup:
+		var req LookupReq
+		return req, decodeInto(dec, &req)
+	case KindProbe:
+		var req ProbeReq
+		return req, decodeInto(dec, &req)
+	case KindMark:
+		var req MarkReq
+		return req, decodeInto(dec, &req)
+	case KindTopK:
+		var req TopKReq
+		return req, decodeInto(dec, &req)
+	case KindAbove:
+		var req AboveReq
+		return req, decodeInto(dec, &req)
+	case KindFetch:
+		var req FetchReq
+		return req, decodeInto(dec, &req)
+	default:
+		return nil, fmt.Errorf("transport: unknown request kind %q", kind)
+	}
+}
+
+func decodeInto(dec *json.Decoder, v any) error {
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("transport: bad request body: %w", err)
+	}
+	return nil
+}
+
+// decodeResponse unmarshals the response of a /rpc/{kind} call.
+func decodeResponse(kind Kind, body io.Reader) (Response, error) {
+	dec := json.NewDecoder(body)
+	switch kind {
+	case KindSorted:
+		var resp SortedResp
+		return resp, decodeInto(dec, &resp)
+	case KindLookup:
+		var resp LookupResp
+		return resp, decodeInto(dec, &resp)
+	case KindProbe:
+		var resp ProbeResp
+		return resp, decodeInto(dec, &resp)
+	case KindMark:
+		var resp MarkResp
+		return resp, decodeInto(dec, &resp)
+	case KindTopK:
+		var resp TopKResp
+		return resp, decodeInto(dec, &resp)
+	case KindAbove:
+		var resp AboveResp
+		return resp, decodeInto(dec, &resp)
+	case KindFetch:
+		var resp FetchResp
+		return resp, decodeInto(dec, &resp)
+	default:
+		return nil, fmt.Errorf("transport: unknown response kind %q", kind)
+	}
+}
+
+// HTTPClient is the originator side of the HTTP backend: one base URL
+// per owner, exchanges as POSTs, batches fanned out with one goroutine
+// per addressed owner. Elapsed accumulates real time the way the
+// Concurrent backend accumulates virtual time: a batch costs its slowest
+// owner, not the sum.
+type HTTPClient struct {
+	urls []string
+	hc   *http.Client
+	n    int
+
+	mu      sync.Mutex
+	elapsed time.Duration
+}
+
+// NormalizeOwnerURL turns a host:port (or full URL) into the base URL of
+// an owner server.
+func NormalizeOwnerURL(s string) string {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "/")
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s
+}
+
+// DefaultTimeout bounds each exchange of the default HTTP client: an
+// owner that hangs mid-query must error the run, not stall the
+// originator forever. Generous, because a TPUT phase-2 response can
+// carry a whole list tail.
+const DefaultTimeout = 30 * time.Second
+
+// Dial connects to the owner servers — urls[i] must serve list i — and
+// validates the cluster: every owner must report its expected list
+// index, the shared list length, and a database of exactly len(urls)
+// lists. A nil client gets a per-exchange DefaultTimeout; pass an
+// explicit client to change that.
+func Dial(urls []string, hc *http.Client) (*HTTPClient, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("transport: no owner URLs")
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: DefaultTimeout}
+	}
+	t := &HTTPClient{urls: make([]string, len(urls)), hc: hc}
+	for i, u := range urls {
+		t.urls[i] = NormalizeOwnerURL(u)
+	}
+	for i := range t.urls {
+		st, err := t.Stats(i)
+		if err != nil {
+			return nil, fmt.Errorf("transport: owner %d (%s): %w", i, t.urls[i], err)
+		}
+		if st.Index != i {
+			return nil, fmt.Errorf("transport: owner %d (%s) serves list %d; order --owners by list index",
+				i, t.urls[i], st.Index)
+		}
+		if st.M != len(urls) {
+			return nil, fmt.Errorf("transport: owner %d (%s) belongs to a database of %d lists, cluster has %d owners",
+				i, t.urls[i], st.M, len(urls))
+		}
+		if i == 0 {
+			t.n = st.N
+		} else if st.N != t.n {
+			return nil, fmt.Errorf("transport: owner %d (%s) has %d items, owner 0 has %d",
+				i, t.urls[i], st.N, t.n)
+		}
+	}
+	return t, nil
+}
+
+// M returns the number of owners.
+func (t *HTTPClient) M() int { return len(t.urls) }
+
+// N returns the shared list length.
+func (t *HTTPClient) N() int { return t.n }
+
+func (t *HTTPClient) checkOwner(owner int) error {
+	if owner < 0 || owner >= len(t.urls) {
+		return fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(t.urls))
+	}
+	return nil
+}
+
+// post sends a JSON POST and decodes the reply into out (when non-nil).
+func (t *HTTPClient) post(url string, body any, decode func(io.Reader) error) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("transport: encode request: %w", err)
+	}
+	resp, err := t.hc.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	if decode != nil {
+		return decode(resp.Body)
+	}
+	return nil
+}
+
+// remoteError lifts a non-200 reply into an error.
+func remoteError(resp *http.Response) error {
+	var body httpError
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil && body.Error != "" {
+		return fmt.Errorf("transport: remote: %s", body.Error)
+	}
+	return fmt.Errorf("transport: remote status %s", resp.Status)
+}
+
+// exchange performs one uninstrumented request/response round-trip.
+func (t *HTTPClient) exchange(owner int, req Request) (Response, error) {
+	var out Response
+	err := t.post(t.urls[owner]+"/rpc/"+string(req.Kind()), req, func(body io.Reader) error {
+		var derr error
+		out, derr = decodeResponse(req.Kind(), body)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do performs one exchange and charges its real round-trip time.
+func (t *HTTPClient) Do(owner int, req Request) (Response, error) {
+	if err := t.checkOwner(owner); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resp, err := t.exchange(owner, req)
+	if err != nil {
+		return nil, err
+	}
+	t.addElapsed(time.Since(start))
+	return resp, nil
+}
+
+func (t *HTTPClient) addElapsed(d time.Duration) {
+	t.mu.Lock()
+	t.elapsed += d
+	t.mu.Unlock()
+}
+
+// DoAll fans the calls out with one goroutine per addressed owner, each
+// owner's calls in submission order, and charges the slowest owner's
+// serialized time.
+func (t *HTTPClient) DoAll(calls []Call) ([]Response, error) {
+	for _, c := range calls {
+		if err := t.checkOwner(c.Owner); err != nil {
+			return nil, err
+		}
+	}
+	byOwner := make(map[int][]int)
+	for idx, c := range calls {
+		byOwner[c.Owner] = append(byOwner[c.Owner], idx)
+	}
+	out := make([]Response, len(calls))
+	errs := make([]error, len(calls))
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		slowest time.Duration
+	)
+	for owner, idxs := range byOwner {
+		wg.Add(1)
+		go func(owner int, idxs []int) {
+			defer wg.Done()
+			start := time.Now()
+			for _, idx := range idxs {
+				resp, err := t.exchange(owner, calls[idx].Req)
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+				out[idx] = resp
+			}
+			mu.Lock()
+			if d := time.Since(start); d > slowest {
+				slowest = d
+			}
+			mu.Unlock()
+		}(owner, idxs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.addElapsed(slowest)
+	return out, nil
+}
+
+// Reset starts a new query session at every owner.
+func (t *HTTPClient) Reset(kind bestpos.Kind) error {
+	for i, u := range t.urls {
+		if err := t.post(u+"/reset", resetBody{Tracker: uint8(kind)}, nil); err != nil {
+			return fmt.Errorf("transport: reset owner %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats reports an owner's bookkeeping.
+func (t *HTTPClient) Stats(owner int) (OwnerStats, error) {
+	if err := t.checkOwner(owner); err != nil {
+		return OwnerStats{}, err
+	}
+	resp, err := t.hc.Get(t.urls[owner] + "/stats")
+	if err != nil {
+		return OwnerStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return OwnerStats{}, remoteError(resp)
+	}
+	var st OwnerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return OwnerStats{}, fmt.Errorf("transport: decode stats: %w", err)
+	}
+	return st, nil
+}
+
+// Elapsed returns the real time spent in exchanges so far.
+func (t *HTTPClient) Elapsed() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.elapsed
+}
+
+// Close releases idle connections.
+func (t *HTTPClient) Close() error {
+	t.hc.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"topk/internal/bestpos"
+	"topk/internal/list"
+)
+
+// Loopback is the in-process backend: every exchange is a direct method
+// call on the owner, served inline in call order. Deterministic and
+// allocation-light — the default for simulation, tests and the DHT
+// overlay pricing.
+type Loopback struct {
+	owners []*Owner
+	n      int
+}
+
+// NewLoopback builds one in-process owner per list of db.
+func NewLoopback(db *list.Database) (*Loopback, error) {
+	if db == nil {
+		return nil, fmt.Errorf("transport: nil database")
+	}
+	t := &Loopback{owners: make([]*Owner, db.M()), n: db.N()}
+	for i := range t.owners {
+		o, err := NewOwner(db, i)
+		if err != nil {
+			return nil, err
+		}
+		t.owners[i] = o
+	}
+	return t, nil
+}
+
+// M returns the number of owners.
+func (t *Loopback) M() int { return len(t.owners) }
+
+// N returns the shared list length.
+func (t *Loopback) N() int { return t.n }
+
+// checkOwner validates an owner index.
+func (t *Loopback) checkOwner(owner int) error {
+	if owner < 0 || owner >= len(t.owners) {
+		return fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(t.owners))
+	}
+	return nil
+}
+
+// Do serves the exchange inline.
+func (t *Loopback) Do(owner int, req Request) (Response, error) {
+	if err := t.checkOwner(owner); err != nil {
+		return nil, err
+	}
+	return t.owners[owner].Handle(req)
+}
+
+// DoAll serves the calls sequentially in order.
+func (t *Loopback) DoAll(calls []Call) ([]Response, error) {
+	out := make([]Response, len(calls))
+	for i, c := range calls {
+		resp, err := t.Do(c.Owner, c.Req)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// Reset prepares every owner for a new query.
+func (t *Loopback) Reset(kind bestpos.Kind) error {
+	for _, o := range t.owners {
+		o.Reset(kind)
+	}
+	return nil
+}
+
+// Stats reports an owner's bookkeeping.
+func (t *Loopback) Stats(owner int) (OwnerStats, error) {
+	if err := t.checkOwner(owner); err != nil {
+		return OwnerStats{}, err
+	}
+	return t.owners[owner].Stats(), nil
+}
+
+// Elapsed is always zero: loopback delivery is instantaneous.
+func (t *Loopback) Elapsed() time.Duration { return 0 }
+
+// Close is a no-op.
+func (t *Loopback) Close() error { return nil }

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"topk/internal/list"
+)
+
+// Kind names a request type. It doubles as the wire tag of the HTTP
+// backend: a request of kind k travels as a POST to /rpc/k.
+type Kind string
+
+const (
+	KindSorted Kind = "sorted"
+	KindLookup Kind = "lookup"
+	KindProbe  Kind = "probe"
+	KindMark   Kind = "mark"
+	KindTopK   Kind = "topk"
+	KindAbove  Kind = "above"
+	KindFetch  Kind = "fetch"
+)
+
+// Request is one originator-to-owner message. RequestScalars is the
+// number of variable-length scalar values the request carries beyond its
+// fixed-size header fields — only batched requests (fetch item lists)
+// carry any; single positions, item IDs and thresholds are header-sized.
+type Request interface {
+	Kind() Kind
+	RequestScalars() int
+}
+
+// Response is one owner-to-originator message. ResponseScalars is the
+// number of scalar values (items, scores, positions) it carries; the
+// protocols charge it to their payload accounting, so it must be a pure
+// function of the response content — identical across backends.
+type Response interface {
+	ResponseScalars() int
+}
+
+// Upper is a float64 that survives JSON round-trips even at +Inf, which
+// encoding/json rejects. BPA2's best-position piggyback is +Inf while an
+// owner has not yet seen position 1 of its list ("no information" — the
+// neutral upper bound under any monotone scoring function), so it is
+// encoded as the JSON string "inf".
+type Upper float64
+
+// MarshalJSON encodes +Inf as "inf" and finite values as plain numbers.
+func (u Upper) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(u), 1) {
+		return []byte(`"inf"`), nil
+	}
+	return json.Marshal(float64(u))
+}
+
+// UnmarshalJSON accepts the "inf" string or a plain number.
+func (u *Upper) UnmarshalJSON(b []byte) error {
+	if string(b) == `"inf"` {
+		*u = Upper(math.Inf(1))
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return fmt.Errorf("transport: bad upper bound %s: %w", b, err)
+	}
+	*u = Upper(f)
+	return nil
+}
+
+// SortedReq asks an owner for the entry at sorted position Pos (TA, BPA).
+type SortedReq struct {
+	Pos int `json:"pos"`
+}
+
+func (SortedReq) Kind() Kind          { return KindSorted }
+func (SortedReq) RequestScalars() int { return 0 }
+
+// SortedResp returns the entry; the position is implied by the request.
+type SortedResp struct {
+	Entry list.Entry `json:"entry"`
+}
+
+// ResponseScalars: item and score.
+func (SortedResp) ResponseScalars() int { return 2 }
+
+// LookupReq asks an owner for a random-access lookup of Item. WantPos
+// requests the item's position too (BPA ships positions, TA does not).
+type LookupReq struct {
+	Item    list.ItemID `json:"item"`
+	WantPos bool        `json:"wantPos,omitempty"`
+}
+
+func (LookupReq) Kind() Kind          { return KindLookup }
+func (LookupReq) RequestScalars() int { return 0 }
+
+// LookupResp returns the local score, plus the position iff requested
+// (HasPos mirrors the request's WantPos, so the charged payload is a
+// function of the response alone).
+type LookupResp struct {
+	Score  float64 `json:"score"`
+	Pos    int     `json:"pos,omitempty"`
+	HasPos bool    `json:"hasPos,omitempty"`
+}
+
+// ResponseScalars: the score, plus the position when shipped.
+func (r LookupResp) ResponseScalars() int {
+	if r.HasPos {
+		return 2
+	}
+	return 1
+}
+
+// ProbeReq asks a BPA2 owner to read its first unseen position.
+type ProbeReq struct{}
+
+func (ProbeReq) Kind() Kind          { return KindProbe }
+func (ProbeReq) RequestScalars() int { return 0 }
+
+// ProbeResp returns the probed entry plus the owner's piggybacked
+// best-position state.
+type ProbeResp struct {
+	Entry list.Entry `json:"entry"`
+	// BestScore is the score at the owner's current best position
+	// (+Inf before the owner has seen position 1).
+	BestScore Upper `json:"bestScore"`
+	// Exhausted reports that every position of the list has been seen;
+	// the originator stops probing this owner.
+	Exhausted bool `json:"exhausted,omitempty"`
+	// Empty reports that the owner had nothing left to probe and the
+	// response carries the piggyback only (defensive: the originator
+	// tracks exhaustion and normally never probes an exhausted owner).
+	Empty bool `json:"empty,omitempty"`
+}
+
+// ResponseScalars: item, score and best-position score — or only the
+// piggyback when there was nothing to probe.
+func (r ProbeResp) ResponseScalars() int {
+	if r.Empty {
+		return 1
+	}
+	return 3
+}
+
+// MarkReq asks a BPA2 owner to resolve Item and record its position in
+// the owner-side tracker.
+type MarkReq struct {
+	Item list.ItemID `json:"item"`
+}
+
+func (MarkReq) Kind() Kind          { return KindMark }
+func (MarkReq) RequestScalars() int { return 0 }
+
+// MarkResp returns the local score plus the piggybacked best-position
+// state. The item's position stays at the owner.
+type MarkResp struct {
+	Score     float64 `json:"score"`
+	BestScore Upper   `json:"bestScore"`
+	Exhausted bool    `json:"exhausted,omitempty"`
+}
+
+// ResponseScalars: score and best-position score.
+func (MarkResp) ResponseScalars() int { return 2 }
+
+// TopKReq asks an owner for its K highest entries (TPUT phase 1).
+type TopKReq struct {
+	K int `json:"k"`
+}
+
+func (TopKReq) Kind() Kind          { return KindTopK }
+func (TopKReq) RequestScalars() int { return 0 }
+
+// TopKResp returns the owner's top-K entries in list order.
+type TopKResp struct {
+	Entries []list.Entry `json:"entries"`
+}
+
+// ResponseScalars: item and score per entry.
+func (r TopKResp) ResponseScalars() int { return 2 * len(r.Entries) }
+
+// AboveReq asks an owner for every entry below its already-sent prefix
+// with score at least T (TPUT phase 2).
+type AboveReq struct {
+	T float64 `json:"t"`
+}
+
+func (AboveReq) Kind() Kind          { return KindAbove }
+func (AboveReq) RequestScalars() int { return 0 }
+
+// AboveResp returns the matching entries in list order.
+type AboveResp struct {
+	Entries []list.Entry `json:"entries"`
+}
+
+// ResponseScalars: item and score per entry.
+func (r AboveResp) ResponseScalars() int { return 2 * len(r.Entries) }
+
+// FetchReq asks an owner for the exact local scores of Items (TPUT
+// phase 3). The item batch is variable-length, so it is charged as
+// request payload.
+type FetchReq struct {
+	Items []list.ItemID `json:"items"`
+}
+
+func (FetchReq) Kind() Kind            { return KindFetch }
+func (r FetchReq) RequestScalars() int { return len(r.Items) }
+
+// FetchResp returns the scores in request order.
+type FetchResp struct {
+	Scores []float64 `json:"scores"`
+}
+
+// ResponseScalars: one score per requested item.
+func (r FetchResp) ResponseScalars() int { return len(r.Scores) }

@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"topk/internal/access"
+	"topk/internal/bestpos"
+	"topk/internal/list"
+)
+
+// OwnerStats is the control-plane bookkeeping of one owner: what the
+// originator needs to assemble a Result but that is not protocol traffic
+// (see Transport.Stats). MinScore is owner metadata known without a
+// charged access, cf. the centralized list floors.
+type OwnerStats struct {
+	// Index is the list the owner serves.
+	Index int `json:"index"`
+	// N is the list length.
+	N int `json:"n"`
+	// M is the number of lists of the owner's database — every owner of
+	// a cluster must agree on it.
+	M int `json:"m"`
+	// MinScore is the score at the last position of the list.
+	MinScore float64 `json:"minScore"`
+	// Accesses tallies the list accesses since the last Reset.
+	Accesses access.Counts `json:"accesses"`
+	// Best is the owner-side tracker's current best position.
+	Best int `json:"best"`
+	// Depth is the deepest sorted position read since the last Reset.
+	Depth int `json:"depth"`
+}
+
+// Owner is the owner-side half of every backend: the message handlers of
+// one list owner, shared verbatim by Loopback, Concurrent and the HTTP
+// server so that responses — and therefore the originator's accounting —
+// are identical by construction.
+//
+// An Owner accesses only its own list, through an access.Probe so the
+// paper's access metrics fall out exactly as in the centralized
+// algorithms, and keeps the owner-side protocol state: the seen-position
+// tracker of BPA2 and the scan depth of TPUT. That state is per query;
+// Reset prepares the owner for the next one. One owner serves one query
+// session at a time (handlers are serialized by a mutex, but the
+// protocol state is not keyed by query).
+type Owner struct {
+	mu    sync.Mutex
+	index int
+	m     int
+	n     int
+	db    *list.Database // single-list database over the owned list
+	pr    *access.Probe
+	tr    bestpos.Tracker
+	depth int
+}
+
+// NewOwner returns the owner of list index of db, ready for a query with
+// the default tracker kind.
+func NewOwner(db *list.Database, index int) (*Owner, error) {
+	if db == nil {
+		return nil, fmt.Errorf("transport: nil database")
+	}
+	if index < 0 || index >= db.M() {
+		return nil, fmt.Errorf("transport: list index %d out of range [0,%d)", index, db.M())
+	}
+	own, err := list.NewDatabase(db.List(index))
+	if err != nil {
+		return nil, err
+	}
+	o := &Owner{index: index, m: db.M(), n: db.N(), db: own}
+	o.reset(bestpos.BitArrayKind)
+	return o, nil
+}
+
+// Reset zeroes the access tally and scan depth and installs a fresh
+// seen-position tracker of the given kind: the owner-side start of a new
+// query. Control-plane — never charged to traffic accounting.
+func (o *Owner) Reset(kind bestpos.Kind) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.reset(kind)
+}
+
+func (o *Owner) reset(kind bestpos.Kind) {
+	o.pr = access.NewProbe(o.db)
+	o.tr = bestpos.New(kind, o.n)
+	o.depth = 0
+}
+
+// Stats reports the owner's current bookkeeping.
+func (o *Owner) Stats() OwnerStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return OwnerStats{
+		Index:    o.index,
+		N:        o.n,
+		M:        o.m,
+		MinScore: o.db.List(0).At(o.n).Score,
+		Accesses: o.pr.Counts(),
+		Best:     o.tr.Best(),
+		Depth:    o.depth,
+	}
+}
+
+// Handle serves one request and returns its response. Handlers are
+// serialized per owner; concurrent exchanges with the same owner queue.
+func (o *Owner) Handle(req Request) (Response, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch r := req.(type) {
+	case SortedReq:
+		return o.handleSorted(r)
+	case LookupReq:
+		return o.handleLookup(r)
+	case ProbeReq:
+		return o.handleProbe(r)
+	case MarkReq:
+		return o.handleMark(r)
+	case TopKReq:
+		return o.handleTopK(r)
+	case AboveReq:
+		return o.handleAbove(r)
+	case FetchReq:
+		return o.handleFetch(r)
+	default:
+		return nil, fmt.Errorf("transport: owner %d: unknown request %T", o.index, req)
+	}
+}
+
+// checkPos validates a requested position before it reaches the probe,
+// so malformed remote requests surface as errors, not panics.
+func (o *Owner) checkPos(p int) error {
+	if p < 1 || p > o.n {
+		return fmt.Errorf("transport: owner %d: position %d out of range [1,%d]", o.index, p, o.n)
+	}
+	return nil
+}
+
+// checkItem likewise validates an item ID.
+func (o *Owner) checkItem(d list.ItemID) error {
+	if d < 0 || int(d) >= o.n {
+		return fmt.Errorf("transport: owner %d: item %d out of range [0,%d)", o.index, d, o.n)
+	}
+	return nil
+}
+
+// handleSorted serves a sorted access (TA, BPA).
+func (o *Owner) handleSorted(req SortedReq) (Response, error) {
+	if err := o.checkPos(req.Pos); err != nil {
+		return nil, err
+	}
+	return SortedResp{Entry: o.pr.Sorted(0, req.Pos)}, nil
+}
+
+// handleLookup serves a random access; the position is shipped only when
+// requested (BPA yes, TA no).
+func (o *Owner) handleLookup(req LookupReq) (Response, error) {
+	if err := o.checkItem(req.Item); err != nil {
+		return nil, err
+	}
+	s, p := o.pr.Random(0, req.Item)
+	if req.WantPos {
+		return LookupResp{Score: s, Pos: p, HasPos: true}, nil
+	}
+	return LookupResp{Score: s}, nil
+}
+
+// bestState reports the owner's current best-position score and whether
+// the list is fully seen (BPA2 piggyback).
+func (o *Owner) bestState() (bestScore float64, exhausted bool) {
+	bp := o.tr.Best()
+	if bp == 0 {
+		// Position 1 unseen: no information yet. +Inf is the neutral
+		// upper bound under any monotone scoring function.
+		return math.Inf(1), false
+	}
+	// The score at the best position was seen by this owner; reading it
+	// locally is not a new access (paper Section 4.1).
+	return o.db.List(0).At(bp).Score, bp >= o.n
+}
+
+// handleProbe serves BPA2's direct access to the first unseen position.
+func (o *Owner) handleProbe(ProbeReq) (Response, error) {
+	p := o.tr.Best() + 1
+	if p > o.n {
+		// Defensive: the originator tracks exhaustion and stops probing;
+		// answer with the piggyback only.
+		best, _ := o.bestState()
+		return ProbeResp{BestScore: Upper(best), Exhausted: true, Empty: true}, nil
+	}
+	e := o.pr.Direct(0, p)
+	o.tr.MarkSeen(p)
+	best, exhausted := o.bestState()
+	return ProbeResp{Entry: e, BestScore: Upper(best), Exhausted: exhausted}, nil
+}
+
+// handleMark serves BPA2's random access: the owner resolves the item,
+// records its position locally, and returns score plus piggyback. The
+// item's position stays at the owner.
+func (o *Owner) handleMark(req MarkReq) (Response, error) {
+	if err := o.checkItem(req.Item); err != nil {
+		return nil, err
+	}
+	s, p := o.pr.Random(0, req.Item)
+	o.tr.MarkSeen(p)
+	best, exhausted := o.bestState()
+	return MarkResp{Score: s, BestScore: Upper(best), Exhausted: exhausted}, nil
+}
+
+// handleTopK serves TPUT phase 1: the owner reads its K best entries.
+func (o *Owner) handleTopK(req TopKReq) (Response, error) {
+	if err := o.checkPos(req.K); err != nil {
+		return nil, err
+	}
+	out := make([]list.Entry, req.K)
+	for p := 1; p <= req.K; p++ {
+		out[p-1] = o.pr.Sorted(0, p)
+	}
+	o.depth = req.K
+	return TopKResp{Entries: out}, nil
+}
+
+// handleAbove serves TPUT phase 2: the owner continues its scan past the
+// already-sent prefix and returns every entry with score >= T. The read
+// that discovers the first score below T is charged — it was performed.
+func (o *Owner) handleAbove(req AboveReq) (Response, error) {
+	var out []list.Entry
+	for p := o.depth + 1; p <= o.n; p++ {
+		e := o.pr.Sorted(0, p)
+		o.depth = p
+		if e.Score < req.T {
+			break
+		}
+		out = append(out, e)
+	}
+	return AboveResp{Entries: out}, nil
+}
+
+// handleFetch serves TPUT phase 3: exact scores for the listed items.
+func (o *Owner) handleFetch(req FetchReq) (Response, error) {
+	out := make([]float64, len(req.Items))
+	for j, d := range req.Items {
+		if err := o.checkItem(d); err != nil {
+			return nil, err
+		}
+		out[j], _ = o.pr.Random(0, d)
+	}
+	return FetchResp{Scores: out}, nil
+}

@@ -1,0 +1,75 @@
+// Package transport carries the distributed top-k protocols' messages
+// between the query originator and the list owner nodes. It factors the
+// paper's Section 5 setting into two halves:
+//
+//   - the message vocabulary (sorted, lookup, probe, mark, topk, above,
+//     fetch — one response type per request type) and the owner-side
+//     handlers serving it (Owner), shared by every backend;
+//   - the Transport interface, the originator's view of the network,
+//     with three interchangeable backends.
+//
+// The backends:
+//
+//   - Loopback: deterministic in-process delivery, requests served
+//     inline in call order. The simulation backend — zero latency, zero
+//     concurrency, bit-exact reference behaviour.
+//   - Concurrent: one goroutine per owner with an injectable latency
+//     model and a virtual clock. A DoAll batch reaches the owners in
+//     parallel, so a protocol round's simulated wall-clock is the max,
+//     not the sum, of its owner round-trips — the effect that makes
+//     fewer-rounds designs (BPA2, TPUT) measurable.
+//   - HTTP: a real owner server (one list per process, JSON codec) and
+//     an originator client, the backing of cmd/topk-owner and
+//     topk-query's --owners cluster mode.
+//
+// Protocol answers, traffic accounting and access counts are identical
+// across backends by construction: the owner handlers are the same code,
+// and the payload charged per message is a pure function of the message
+// content (Request.RequestScalars, Response.ResponseScalars). Only
+// Elapsed — the wall-clock measure — is backend-specific.
+package transport
+
+import (
+	"time"
+
+	"topk/internal/bestpos"
+)
+
+// Call addresses one request to one owner, for batched delivery.
+type Call struct {
+	Owner int
+	Req   Request
+}
+
+// Transport is the originator's view of the owner nodes. Implementations
+// must serve calls addressed to the same owner in submission order (the
+// owner-side protocol state of BPA2 and TPUT depends on it); calls to
+// distinct owners are independent and may proceed in parallel.
+//
+// A Transport is driven by one query execution at a time.
+type Transport interface {
+	// M returns the number of owners (lists).
+	M() int
+	// N returns the shared list length.
+	N() int
+	// Do performs one request/response exchange with an owner.
+	Do(owner int, req Request) (Response, error)
+	// DoAll performs the calls — concurrently where the backend supports
+	// it — and returns the responses in call order. It fails on the
+	// first error, after all in-flight calls have drained.
+	DoAll(calls []Call) ([]Response, error)
+	// Reset prepares every owner for a new query: zeroed access tallies
+	// and scan depths, fresh seen-position trackers of the given kind.
+	// Control-plane: not charged to traffic accounting.
+	Reset(tracker bestpos.Kind) error
+	// Stats reports an owner's bookkeeping (accesses, tracker best
+	// position, scan depth, list metadata). Control-plane: not charged.
+	Stats(owner int) (OwnerStats, error)
+	// Elapsed returns the transport's cumulative wall-clock measure:
+	// zero for Loopback, virtual simulated time for Concurrent, real
+	// time spent in exchanges for HTTP. Callers measuring one run take
+	// the difference around it.
+	Elapsed() time.Duration
+	// Close releases backend resources. The transport is unusable after.
+	Close() error
+}

@@ -1,0 +1,584 @@
+package transport
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"topk/internal/bestpos"
+	"topk/internal/gen"
+	"topk/internal/list"
+)
+
+func testDB(t *testing.T) *list.Database {
+	t.Helper()
+	return gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 60, M: 3, Seed: 5})
+}
+
+// TestUpperJSONRoundTrip: the BPA2 piggyback must survive the JSON codec
+// at +Inf, which encoding/json rejects for plain float64s.
+func TestUpperJSONRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.25, -3.5, math.Inf(1)} {
+		raw, err := json.Marshal(Upper(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Upper
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if float64(back) != v {
+			t.Errorf("%v round-tripped to %v via %s", v, back, raw)
+		}
+	}
+	var bad Upper
+	if err := json.Unmarshal([]byte(`"nope"`), &bad); err == nil {
+		t.Error("garbage accepted as Upper")
+	}
+}
+
+// TestMessageScalars pins the payload accounting every backend charges:
+// it must match the hand-counted scalar tallies of the simulation.
+func TestMessageScalars(t *testing.T) {
+	entries := []list.Entry{{Item: 1, Score: 0.5}, {Item: 2, Score: 0.25}}
+	cases := []struct {
+		req   int
+		resp  int
+		reqV  Request
+		respV Response
+	}{
+		{0, 2, SortedReq{Pos: 1}, SortedResp{Entry: entries[0]}},
+		{0, 1, LookupReq{Item: 1}, LookupResp{Score: 0.5}},
+		{0, 2, LookupReq{Item: 1, WantPos: true}, LookupResp{Score: 0.5, Pos: 3, HasPos: true}},
+		{0, 3, ProbeReq{}, ProbeResp{Entry: entries[0], BestScore: 0.5}},
+		{0, 1, ProbeReq{}, ProbeResp{BestScore: 0.5, Exhausted: true, Empty: true}},
+		{0, 2, MarkReq{Item: 1}, MarkResp{Score: 0.5, BestScore: 0.5}},
+		{0, 4, TopKReq{K: 2}, TopKResp{Entries: entries}},
+		{0, 4, AboveReq{T: 0.1}, AboveResp{Entries: entries}},
+		{3, 3, FetchReq{Items: []list.ItemID{1, 2, 3}}, FetchResp{Scores: []float64{1, 2, 3}}},
+	}
+	for _, c := range cases {
+		if got := c.reqV.RequestScalars(); got != c.req {
+			t.Errorf("%T request scalars = %d, want %d", c.reqV, got, c.req)
+		}
+		if got := c.respV.ResponseScalars(); got != c.resp {
+			t.Errorf("%T response scalars = %d, want %d", c.respV, got, c.resp)
+		}
+	}
+}
+
+// TestOwnerHandlers drives the owner-side state machine directly.
+func TestOwnerHandlers(t *testing.T) {
+	db := testDB(t)
+	o, err := NewOwner(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := db.List(1)
+
+	resp, err := o.Handle(SortedReq{Pos: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(SortedResp).Entry; got != l.At(1) {
+		t.Errorf("sorted(1) = %+v, want %+v", got, l.At(1))
+	}
+
+	item := l.At(5).Item
+	resp, err = o.Handle(LookupReq{Item: item, WantPos: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr := resp.(LookupResp); lr.Pos != 5 || lr.Score != l.At(5).Score || !lr.HasPos {
+		t.Errorf("lookup = %+v", lr)
+	}
+
+	// Probe reads the first unseen position: 2 and 3 are next (1 was
+	// read under sorted access... but sorted accesses don't mark — only
+	// probe and mark do). First probe must read position 1.
+	resp, err = o.Handle(ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := resp.(ProbeResp); pr.Entry != l.At(1) || float64(pr.BestScore) != l.At(1).Score || pr.Empty {
+		t.Errorf("probe = %+v", pr)
+	}
+
+	// Marking position 3 leaves 2 unseen: best stays 1, next probe is 2.
+	resp, err = o.Handle(MarkReq{Item: l.At(3).Item})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr := resp.(MarkResp); float64(mr.BestScore) != l.At(1).Score || mr.Score != l.At(3).Score {
+		t.Errorf("mark = %+v", mr)
+	}
+	resp, err = o.Handle(ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := resp.(ProbeResp); pr.Entry != l.At(2) || float64(pr.BestScore) != l.At(3).Score {
+		t.Errorf("probe after mark = %+v", pr)
+	}
+
+	st := o.Stats()
+	if st.Index != 1 || st.N != db.N() || st.M != db.M() {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Accesses.Sorted != 1 || st.Accesses.Random != 2 || st.Accesses.Direct != 2 {
+		t.Errorf("access tally = %v", st.Accesses)
+	}
+	if st.Best != 3 {
+		t.Errorf("best = %d, want 3", st.Best)
+	}
+	if st.MinScore != l.At(db.N()).Score {
+		t.Errorf("min score = %v", st.MinScore)
+	}
+
+	// Reset wipes the session.
+	o.Reset(bestpos.BitArrayKind)
+	st = o.Stats()
+	if st.Accesses.Total() != 0 || st.Best != 0 || st.Depth != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+
+	// Malformed requests error instead of panicking.
+	for _, req := range []Request{
+		SortedReq{Pos: 0}, SortedReq{Pos: db.N() + 1},
+		LookupReq{Item: -1}, LookupReq{Item: list.ItemID(db.N())},
+		MarkReq{Item: -2}, TopKReq{K: 0},
+		FetchReq{Items: []list.ItemID{0, list.ItemID(db.N())}},
+	} {
+		if _, err := o.Handle(req); err == nil {
+			t.Errorf("%#v accepted", req)
+		}
+	}
+}
+
+// TestOwnerProbeExhaustion: probing past the end answers Empty with the
+// piggyback instead of failing, and TopK/Above maintain the scan depth.
+func TestOwnerProbeExhaustion(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 3, M: 2, Seed: 1})
+	o, err := NewOwner(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := o.Handle(ProbeReq{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := resp.(ProbeResp)
+		if pr.Empty {
+			t.Fatalf("probe %d empty", i)
+		}
+		if i == 2 && !pr.Exhausted {
+			t.Error("last probe not exhausted")
+		}
+	}
+	resp, err := o.Handle(ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := resp.(ProbeResp); !pr.Empty || !pr.Exhausted || pr.ResponseScalars() != 1 {
+		t.Errorf("over-probe = %+v", pr)
+	}
+}
+
+// TestLoopbackBasics: dimensions, call order, owner validation.
+func TestLoopbackBasics(t *testing.T) {
+	db := testDB(t)
+	lb, err := NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	if lb.M() != db.M() || lb.N() != db.N() {
+		t.Fatalf("dims %d/%d", lb.M(), lb.N())
+	}
+	if _, err := lb.Do(5, ProbeReq{}); err == nil {
+		t.Error("bad owner accepted")
+	}
+	if _, err := lb.Stats(-1); err == nil {
+		t.Error("bad stats owner accepted")
+	}
+	resps, err := lb.DoAll([]Call{
+		{Owner: 0, Req: SortedReq{Pos: 1}},
+		{Owner: 0, Req: SortedReq{Pos: 2}},
+		{Owner: 2, Req: SortedReq{Pos: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resps[1].(SortedResp).Entry; got != db.List(0).At(2) {
+		t.Errorf("call order broken: %+v", got)
+	}
+	if lb.Elapsed() != 0 {
+		t.Errorf("loopback elapsed %v", lb.Elapsed())
+	}
+	st, err := lb.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses.Sorted != 2 {
+		t.Errorf("owner 0 tally %v", st.Accesses)
+	}
+}
+
+// TestConcurrentClockMaxNotSum: the virtual clock is the concurrent
+// backend's contract — a batch costs its slowest owner's serialized
+// exchanges, a lone exchange costs one round-trip, and per-owner order
+// within a batch is submission order.
+func TestConcurrentClockMaxNotSum(t *testing.T) {
+	db := testDB(t)
+	rtt := 10 * time.Millisecond
+	cc, err := NewConcurrent(db, ConstantLatency(rtt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	// One exchange per owner: one RTT, not three.
+	if _, err := cc.DoAll([]Call{
+		{Owner: 0, Req: SortedReq{Pos: 1}},
+		{Owner: 1, Req: SortedReq{Pos: 1}},
+		{Owner: 2, Req: SortedReq{Pos: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Elapsed(); got != rtt {
+		t.Errorf("balanced batch cost %v, want %v", got, rtt)
+	}
+
+	// Skewed batch: owner 0 serves three exchanges, the others one.
+	if _, err := cc.DoAll([]Call{
+		{Owner: 0, Req: SortedReq{Pos: 2}},
+		{Owner: 0, Req: SortedReq{Pos: 3}},
+		{Owner: 0, Req: SortedReq{Pos: 4}},
+		{Owner: 1, Req: SortedReq{Pos: 2}},
+		{Owner: 2, Req: SortedReq{Pos: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Elapsed(); got != rtt+3*rtt {
+		t.Errorf("skewed batch: clock %v, want %v", got, rtt+3*rtt)
+	}
+
+	// A lone exchange adds one RTT.
+	if _, err := cc.Do(1, SortedReq{Pos: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Elapsed(); got != 5*rtt {
+		t.Errorf("after Do: clock %v, want %v", got, 5*rtt)
+	}
+}
+
+// TestConcurrentPerOwnerOrder: a batch's calls to one owner must reach
+// it in submission order — BPA2's owner-side tracker depends on it.
+func TestConcurrentPerOwnerOrder(t *testing.T) {
+	db := testDB(t)
+	cc, err := NewConcurrent(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	// Probes to the same owner must come back in position order 1,2,3...
+	calls := make([]Call, 6)
+	for i := range calls {
+		calls[i] = Call{Owner: 1, Req: ProbeReq{}}
+	}
+	resps, err := cc.DoAll(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if got := resp.(ProbeResp).Entry; got != db.List(1).At(i+1) {
+			t.Fatalf("probe %d returned %+v, want position %d", i, got, i+1)
+		}
+	}
+}
+
+// TestConcurrentParallelism: a balanced batch must actually overlap the
+// owners — with one goroutine per owner, three slow handlers finish in
+// roughly one handler's real time. Guarded generously for CI noise.
+func TestConcurrentParallelism(t *testing.T) {
+	db := testDB(t)
+	cc, err := NewConcurrent(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	slow := func(int, Request, Response) time.Duration {
+		mu.Lock()
+		inFlight++
+		if inFlight > peak {
+			peak = inFlight
+		}
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+		return 0
+	}
+	cc.lat = slow
+	if _, err := cc.DoAll([]Call{
+		{Owner: 0, Req: SortedReq{Pos: 1}},
+		{Owner: 1, Req: SortedReq{Pos: 1}},
+		{Owner: 2, Req: SortedReq{Pos: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Errorf("peak concurrency %d: owners did not overlap", peak)
+	}
+}
+
+// TestConcurrentClosed: exchanges after Close fail cleanly.
+func TestConcurrentClosed(t *testing.T) {
+	cc, err := NewConcurrent(testDB(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := cc.Do(0, ProbeReq{}); err == nil {
+		t.Error("Do after Close succeeded")
+	}
+	if _, err := cc.DoAll([]Call{{Owner: 0, Req: ProbeReq{}}}); err == nil {
+		t.Error("DoAll after Close succeeded")
+	}
+}
+
+// TestLatencyModels exercises the stock models.
+func TestLatencyModels(t *testing.T) {
+	req, resp := FetchReq{Items: []list.ItemID{1, 2}}, FetchResp{Scores: []float64{1, 2}}
+	if got := ConstantLatency(time.Second)(1, req, resp); got != time.Second {
+		t.Errorf("constant = %v", got)
+	}
+	po := PerOwnerLatency([]time.Duration{time.Millisecond, time.Minute})
+	if got := po(1, req, resp); got != time.Minute {
+		t.Errorf("per-owner = %v", got)
+	}
+	// 2 request scalars + 2 response scalars at 1ms each over a 10ms link.
+	if got := LinkLatency(10*time.Millisecond, time.Millisecond)(0, req, resp); got != 14*time.Millisecond {
+		t.Errorf("link = %v", got)
+	}
+}
+
+// startHTTPOwners serves every list of db over httptest.
+func startHTTPOwners(t *testing.T, db *list.Database) []string {
+	t.Helper()
+	urls := make([]string, db.M())
+	for i := range urls {
+		srv, err := NewServer(db, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// TestHTTPRoundTrip: every message kind survives the wire against a real
+// handler stack, and the control plane (reset, stats) works.
+func TestHTTPRoundTrip(t *testing.T) {
+	db := testDB(t)
+	urls := startHTTPOwners(t, db)
+	hc, err := Dial(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	if hc.M() != db.M() || hc.N() != db.N() {
+		t.Fatalf("dims %d/%d", hc.M(), hc.N())
+	}
+
+	l := db.List(0)
+	resp, err := hc.Do(0, SortedReq{Pos: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(SortedResp).Entry; got != l.At(2) {
+		t.Errorf("sorted over HTTP = %+v, want %+v", got, l.At(2))
+	}
+	resp, err = hc.Do(0, LookupReq{Item: l.At(4).Item, WantPos: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr := resp.(LookupResp); lr.Pos != 4 || lr.Score != l.At(4).Score {
+		t.Errorf("lookup over HTTP = %+v", lr)
+	}
+	// Mark before any probe: the piggyback is +Inf and must survive JSON.
+	resp, err = hc.Do(1, MarkReq{Item: db.List(1).At(2).Item})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr := resp.(MarkResp); !math.IsInf(float64(mr.BestScore), 1) {
+		t.Errorf("mark piggyback = %+v, want +Inf", mr)
+	}
+	resp, err = hc.Do(1, ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := resp.(ProbeResp); pr.Entry != db.List(1).At(1) {
+		t.Errorf("probe over HTTP = %+v", pr)
+	}
+	resp, err = hc.Do(2, TopKReq{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := resp.(TopKResp); len(tr.Entries) != 3 || tr.Entries[0] != db.List(2).At(1) {
+		t.Errorf("topk over HTTP = %+v", tr)
+	}
+	resp, err = hc.Do(2, AboveReq{T: db.List(2).At(10).Score})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar := resp.(AboveResp); len(ar.Entries) == 0 {
+		t.Error("above over HTTP returned nothing")
+	}
+	items := []list.ItemID{l.At(1).Item, l.At(2).Item}
+	resp, err = hc.Do(0, FetchReq{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr := resp.(FetchResp); len(fr.Scores) != 2 || fr.Scores[0] != l.At(1).Score {
+		t.Errorf("fetch over HTTP = %+v", fr)
+	}
+
+	st, err := hc.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses.Total() == 0 {
+		t.Error("stats lost the access tally")
+	}
+	if err := hc.Reset(bestpos.BPlusTreeKind); err != nil {
+		t.Fatal(err)
+	}
+	st, err = hc.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses.Total() != 0 {
+		t.Error("reset did not clear the tally")
+	}
+	if hc.Elapsed() <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+
+	// Remote owner errors surface as client errors.
+	if _, err := hc.Do(0, SortedReq{Pos: 10_000}); err == nil {
+		t.Error("bad position accepted over HTTP")
+	}
+	if _, err := hc.Do(9, ProbeReq{}); err == nil {
+		t.Error("bad owner accepted")
+	}
+}
+
+// TestDialValidation: misconfigured clusters are rejected at dial time.
+func TestDialValidation(t *testing.T) {
+	db := testDB(t)
+	urls := startHTTPOwners(t, db)
+
+	if _, err := Dial(nil, nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	// Owners out of order: URL position must match list index.
+	if _, err := Dial([]string{urls[1], urls[0], urls[2]}, nil); err == nil ||
+		!strings.Contains(err.Error(), "order") {
+		t.Errorf("shuffled owners accepted: %v", err)
+	}
+	// Partial cluster: owner reports a 3-list database, cluster has 2.
+	if _, err := Dial(urls[:2], nil); err == nil {
+		t.Error("partial cluster accepted")
+	}
+	// Unreachable owner.
+	if _, err := Dial([]string{"http://127.0.0.1:1"}, nil); err == nil {
+		t.Error("unreachable owner accepted")
+	}
+	// Mismatched list lengths across owners.
+	other := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 10, M: 3, Seed: 5})
+	srv, err := NewServer(other, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := Dial([]string{urls[0], urls[1], ts.URL}, nil); err == nil {
+		t.Error("mismatched list length accepted")
+	}
+}
+
+// TestNormalizeOwnerURL: bare host:port grows a scheme, URLs pass through.
+func TestNormalizeOwnerURL(t *testing.T) {
+	cases := map[string]string{
+		"localhost:9001":         "http://localhost:9001",
+		" localhost:9001/ ":      "http://localhost:9001",
+		"http://a.example":       "http://a.example",
+		"https://b.example:8443": "https://b.example:8443",
+	}
+	for in, want := range cases {
+		if got := NormalizeOwnerURL(in); got != want {
+			t.Errorf("NormalizeOwnerURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestServerRejectsBadRequests: the handler maps malformed input to 4xx.
+func TestServerRejectsBadRequests(t *testing.T) {
+	db := testDB(t)
+	srv, err := NewServer(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, c := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodPost, "/rpc/zzz", "{}", http.StatusBadRequest},
+		{http.MethodPost, "/rpc/sorted", "not json", http.StatusBadRequest},
+		{http.MethodPost, "/rpc/sorted", `{"pos":0}`, http.StatusBadRequest},
+		{http.MethodGet, "/rpc/sorted", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/reset", `{"tracker":99}`, http.StatusBadRequest},
+		{http.MethodGet, "/reset", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/stats", "{}", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+
+	// NewServer validates the list index.
+	if _, err := NewServer(db, 7); err == nil {
+		t.Error("bad list index accepted")
+	}
+	if _, err := NewServer(nil, 0); err == nil {
+		t.Error("nil database accepted")
+	}
+}
