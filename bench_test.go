@@ -14,7 +14,12 @@ package topk
 // full-size results). Shapes are identical.
 
 import (
+	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -307,9 +312,10 @@ func BenchmarkDistributed(b *testing.B) {
 // the latency multiplies.
 func BenchmarkTransport(b *testing.B) {
 	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: benchN(20_000), M: 6, Seed: 1})
+	ctx := context.Background()
 	protocols := []struct {
 		name string
-		run  func(transport.Transport, dist.Options) (*dist.Result, error)
+		run  func(context.Context, transport.Transport, dist.Options) (*dist.Result, error)
 	}{
 		{"dist-ta", dist.TAOver},
 		{"dist-bpa", dist.BPAOver},
@@ -327,7 +333,7 @@ func BenchmarkTransport(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					res, err = p.run(tp, dist.Options{K: 20, Scoring: score.Sum{}})
+					res, err = p.run(ctx, tp, dist.Options{K: 20, Scoring: score.Sum{}})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -343,6 +349,78 @@ func BenchmarkTransport(b *testing.B) {
 				b.ReportMetric(float64(res.Net.Rounds), "rounds/op")
 				b.ReportMetric(float64(busiest), "max-owner-msgs/op")
 			})
+		}
+	}
+}
+
+// BenchmarkConcurrentSessions measures originator throughput
+// (queries/sec) against one shared HTTP owner cluster as the number of
+// concurrent originators grows, at 1ms and 10ms injected owner latency.
+// Before the session redesign this workload was impossible: the owners
+// held one query's state at a time, so a second originator corrupted the
+// first. Now each query runs in its own owner-side session and
+// throughput should scale with originators until the owners saturate —
+// the ROADMAP's concurrent-originators direction made measurable. TPUT
+// keeps each query at three round-trips, so the latency injected per
+// /rpc exchange dominates and concurrency has something to overlap.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 2_000, M: 3, Seed: 1})
+	for _, lat := range []time.Duration{time.Millisecond, 10 * time.Millisecond} {
+		urls := make([]string, db.M())
+		var closers []func()
+		for i := range urls {
+			srv, err := transport.NewServer(db, i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inner := srv.Handler()
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if strings.HasPrefix(r.URL.Path, "/rpc/") {
+					time.Sleep(lat)
+				}
+				inner.ServeHTTP(w, r)
+			}))
+			closers = append(closers, ts.Close)
+			urls[i] = ts.URL
+		}
+		hc, err := transport.Dial(urls, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, originators := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("lat=%s/originators=%d", lat, originators), func(b *testing.B) {
+				ctx := context.Background()
+				// Pre-fill and close the work queue before the workers
+				// start: if every worker bails out on an error, nothing
+				// is left blocked on a send.
+				queries := make(chan struct{}, b.N)
+				for i := 0; i < b.N; i++ {
+					queries <- struct{}{}
+				}
+				close(queries)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < originators; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for range queries {
+							if _, err := dist.TPUTOver(ctx, hc, dist.Options{K: 5, Scoring: score.Sum{}}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "queries/sec")
+				}
+			})
+		}
+		hc.Close()
+		for _, c := range closers {
+			c()
 		}
 	}
 }

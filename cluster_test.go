@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -42,11 +43,13 @@ func TestClusterMatchesInProcess(t *testing.T) {
 		t.Fatalf("cluster dims %d/%d", c.N(), c.M())
 	}
 	for _, p := range Protocols() {
+		// The deprecated wrapper and the ctx front door must agree with
+		// each other and across backends.
 		want, err := db.RunDistributed(Query{K: 7}, p)
 		if err != nil {
 			t.Fatalf("%v in-process: %v", p, err)
 		}
-		got, err := c.RunDistributed(Query{K: 7}, p)
+		got, err := c.Exec(context.Background(), Query{K: 7}, p)
 		if err != nil {
 			t.Fatalf("%v cluster: %v", p, err)
 		}

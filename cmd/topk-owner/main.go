@@ -23,6 +23,11 @@
 // The answers — and the message/payload/round accounting printed by
 // topk-query — are identical to the in-process simulation on the same
 // data; only the elapsed time is real.
+//
+// Owner-side protocol state (seen positions, scan cursors, access
+// tallies) is keyed by the query session ID carried in every message, so
+// any number of originators can query the same owners concurrently; each
+// originator's accounting is as if it were alone on the cluster.
 package main
 
 import (

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -101,7 +102,7 @@ type DistResult struct {
 }
 
 // runnerFor maps a protocol to its transport-level runner.
-func runnerFor(protocol Protocol) (func(transport.Transport, dist.Options) (*dist.Result, error), error) {
+func runnerFor(protocol Protocol) (func(context.Context, transport.Transport, dist.Options) (*dist.Result, error), error) {
 	switch protocol {
 	case DistBPA2:
 		return dist.BPA2Over, nil
@@ -121,7 +122,10 @@ func runnerFor(protocol Protocol) (func(transport.Transport, dist.Options) (*dis
 // runOver executes a protocol over a transport and adapts the result.
 // name resolves item IDs to display names (nil leaves names empty —
 // a cluster originator holds no dictionary).
-func runOver(t transport.Transport, q Query, protocol Protocol, name func(Item) string) (*DistResult, error) {
+func runOver(ctx context.Context, t transport.Transport, q Query, protocol Protocol, name func(Item) string) (*DistResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if q.K < 1 || q.K > t.N() {
 		return nil, fmt.Errorf("topk: k=%d out of range [1,%d]", q.K, t.N())
 	}
@@ -133,7 +137,7 @@ func runOver(t transport.Transport, q Query, protocol Protocol, name func(Item) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(t, dist.Options{
+	res, err := run(ctx, t, dist.Options{
 		K:       q.K,
 		Scoring: adaptScoring(scoring),
 		Tracker: bestpos.Kind(q.Tracker),
@@ -161,24 +165,36 @@ func runOver(t transport.Transport, q Query, protocol Protocol, name func(Item) 
 	return out, nil
 }
 
-// RunDistributed executes the query in the simulated distributed setting
-// of the paper: one owner node per list, a query originator, and message
-// accounting. The simulation is deterministic and in-process; Stats
-// reports what would travel over a real network. For real HTTP owners
-// see DialCluster.
-func (db *Database) RunDistributed(q Query, protocol Protocol) (*DistResult, error) {
+// ExecDistributed executes the query in the simulated distributed
+// setting of the paper: one owner node per list, a query originator, and
+// message accounting. The simulation is deterministic and in-process;
+// Stats reports what would travel over a real network. ctx is honored at
+// per-exchange granularity. For real HTTP owners see DialCluster.
+func (db *Database) ExecDistributed(ctx context.Context, q Query, protocol Protocol) (*DistResult, error) {
 	t, err := transport.NewLoopback(db.db)
 	if err != nil {
 		return nil, err
 	}
-	return runOver(t, q, protocol, db.NameOf)
+	return runOver(ctx, t, q, protocol, db.NameOf)
+}
+
+// RunDistributed executes the query in the simulated distributed setting
+// without a context.
+//
+// Deprecated: use ExecDistributed, which adds cancellation and
+// deadlines; RunDistributed is equivalent to
+// ExecDistributed(context.Background(), q, protocol).
+func (db *Database) RunDistributed(q Query, protocol Protocol) (*DistResult, error) {
+	return db.ExecDistributed(context.Background(), q, protocol)
 }
 
 // Cluster is a connection to real list owners serving the distributed
 // protocols over HTTP — one owner process per list, each started with
-// cmd/topk-owner. A Cluster runs one query at a time: the owners keep
-// per-query protocol state (BPA2's seen positions, TPUT's scan depths)
-// that RunDistributed resets at the start of every run.
+// cmd/topk-owner. A Cluster is safe for concurrent use: every Exec opens
+// its own owner-side query session (seen positions, scan cursors, access
+// tallies keyed by a session ID carried in every message), so any number
+// of originator goroutines can query the same owners at once with
+// answers and accounting identical to running them serially.
 type Cluster struct {
 	t *transport.HTTPClient
 }
@@ -186,7 +202,10 @@ type Cluster struct {
 // DialCluster connects to the owner servers; owners[i] ("host:port" or a
 // full URL) must serve list i. Every owner must agree on the list length
 // and the number of lists — Dial validates the cluster before any query
-// runs.
+// runs. Every request to an owner is bounded by a per-request timeout
+// and — when replaying it cannot change what the query observes —
+// retried once on transient failures (connection errors, 5xx), with the
+// failing owner's index surfaced in the returned error.
 func DialCluster(owners []string) (*Cluster, error) {
 	t, err := transport.Dial(owners, nil)
 	if err != nil {
@@ -201,13 +220,25 @@ func (c *Cluster) N() int { return c.t.N() }
 // M returns the number of owners (lists).
 func (c *Cluster) M() int { return c.t.M() }
 
-// RunDistributed executes the query against the cluster's owners. The
-// answers and the Stats accounting are identical to the in-process
-// Database.RunDistributed on the same data — the protocols cannot tell
-// the backends apart — but Stats.Elapsed is real network time. Item
+// Exec executes the query against the cluster's owners inside its own
+// query session. The answers and the Stats accounting are identical to
+// the in-process Database.ExecDistributed on the same data — the
+// protocols cannot tell the backends apart — but Stats.Elapsed is real
+// network time. ctx cancels or bounds the run at per-exchange
+// granularity; the owner-side session is released either way. Item
 // names are left empty: the originator holds no dictionary.
+func (c *Cluster) Exec(ctx context.Context, q Query, protocol Protocol) (*DistResult, error) {
+	return runOver(ctx, c.t, q, protocol, nil)
+}
+
+// RunDistributed executes the query against the cluster without a
+// context.
+//
+// Deprecated: use Exec, which adds cancellation and deadlines;
+// RunDistributed is equivalent to Exec(context.Background(), q,
+// protocol).
 func (c *Cluster) RunDistributed(q Query, protocol Protocol) (*DistResult, error) {
-	return runOver(c.t, q, protocol, nil)
+	return c.Exec(context.Background(), q, protocol)
 }
 
 // Close releases the cluster's connections.

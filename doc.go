@@ -32,12 +32,18 @@
 //
 // # Quick start
 //
+// Every entry point takes a context.Context: cancellation and deadlines
+// are honored at access granularity, so a served query can be abandoned
+// the moment its client disconnects.
+//
 //	db, err := topk.FromColumns([][]float64{
 //	    {0.9, 0.3, 0.6},  // list 1: local scores of items 0, 1, 2
 //	    {0.2, 0.8, 0.7},  // list 2
 //	})
 //	if err != nil { ... }
-//	res, err := db.TopK(topk.Query{K: 2})
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := db.Exec(ctx, topk.Query{K: 2})
 //	if err != nil { ... }
 //	for _, it := range res.Items {
 //	    fmt.Println(it.Item, it.Score)
@@ -47,9 +53,28 @@
 // access counts and the weighted execution cost) so the algorithms can be
 // compared on any workload.
 //
+// When k is not known upfront, ProgressiveCtx enumerates answers rank by
+// rank — the any-time iterator shape of ranked enumeration: each Next
+// returns the next certified answer, a canceled or expired ctx ends the
+// stream (Next false, Err reports why), and everything delivered before
+// the deadline remains a correct prefix of the ranking.
+//
+// # Migration from the pre-context API
+//
+// The context-free signatures remain as thin deprecated wrappers, each
+// exactly equivalent to its replacement under context.Background():
+//
+//	db.TopK(q)                    -> db.Exec(ctx, q)
+//	db.Progressive(q)             -> db.ProgressiveCtx(ctx, q)
+//	db.RunDistributed(q, p)       -> db.ExecDistributed(ctx, q, p)
+//	cluster.RunDistributed(q, p)  -> cluster.Exec(ctx, q, p)
+//
+// Answers, Stats and access accounting are bit-identical between a
+// wrapper and its ctx form; only cancellation behavior is new.
+//
 // # Distributed execution
 //
-// RunDistributed executes the query in the paper's distributed setting
+// ExecDistributed executes the query in the paper's distributed setting
 // (implemented by internal/dist): each sorted list lives at its own owner
 // node and the query originator exchanges explicit request/response
 // messages with the owners. Five protocols are available, differing in
@@ -73,7 +98,15 @@
 // DistResult.Stats reports messages, response payload, protocol rounds,
 // per-owner traffic and the transport's wall-clock.
 //
-// # Transports
+// # Sessions and transports
+//
+// Every distributed run executes inside its own query session: a unique
+// session ID, carried in every message, keys all owner-side state (seen
+// positions, scan cursors, access tallies). Owners therefore serve any
+// number of concurrent originators — N goroutines querying one Cluster
+// produce answers and accounting bit-identical to running them serially
+// — and a canceled ctx aborts a run at per-exchange granularity while
+// releasing its owner-side session.
 //
 // The protocols are pure originator logic over internal/transport's
 // message vocabulary, so one protocol runs unchanged over three
@@ -91,7 +124,8 @@
 // structure measurable: TPUT/TPUTA finish in three fan-outs at any
 // latency, TA/BPA pay a round-trip chain per sorted depth, and BPA2
 // pays fewer, probe-chained rounds (BenchmarkTransport sweeps this at
-// 1ms/10ms/50ms per exchange).
+// 1ms/10ms/50ms per exchange; BenchmarkConcurrentSessions measures
+// queries/sec as concurrent originators grow).
 //
 // The HTTP backend is a real cluster: cmd/topk-owner serves one list
 // per process, and DialCluster (or topk-query -owners) drives the same
@@ -101,7 +135,15 @@
 //	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 1 -addr localhost:9002 &
 //	topk-query -owners localhost:9001,localhost:9002 -k 10 -protocol bpa2
 //
-// returns the same top-k as the centralized run on the same data.
+// returns the same top-k as the centralized run on the same data, and
+// any number of such originators may run at once. The client bounds
+// every request with a per-request timeout and retries once on
+// transient owner failures (connection errors, 5xx), naming the failing
+// owner in the error; exchanges that advance an owner-side cursor
+// (BPA2's probe, TPUT's phase-2 scan) are never replayed — a retry
+// there could silently skip list entries, so those fail fast instead.
+// cmd/topk-serve -owners exposes a remote cluster through the /v1/dist
+// JSON endpoint, one session per API request.
 //
 // RunDHT layers the same protocols over a simulated Chord-style DHT
 // (internal/dht): each list is placed at the overlay node owning its
@@ -114,12 +156,12 @@
 // The module has no dependencies outside the standard library. CI (see
 // .github/workflows/ci.yml) runs gofmt, go vet, go build and go test
 // over the whole tree, the race detector over internal/transport,
-// internal/dist and internal/dht, and one iteration of every benchmark
+// internal/dist and internal/dht (which covers the concurrent-session
+// and cancellation suites), and one iteration of every benchmark
 // (go test -bench=. -benchtime=1x -run='^$' ./...) so the
 // figure-regeneration benchmarks cannot silently rot.
 //
-// Beyond one-shot queries: Database.Progressive enumerates answers rank
-// by rank without fixing k; Query.Parallel executes TA/BPA/BPA2 with one
+// Beyond one-shot queries: Query.Parallel executes TA/BPA/BPA2 with one
 // goroutine per list owner (identical answers and counts); Query.Sortable
 // handles sources that answer lookups but cannot be scanned (the TAz and
 // BPAz variants); NewMonitor maintains a continuous top-k over

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -72,13 +73,14 @@ func scoringName(s Scoring) string {
 	return s.Name()
 }
 
-// topKObserved is TopK with an internal observer attached; it also backs
-// Query.OnRound.
+// topKObserved is Exec with an internal observer attached; it also backs
+// Query.OnRound. Explain walkthroughs are interactive one-shots, so they
+// run uncancellable under the background context.
 func (db *Database) topKObserved(q Query, obs core.Observer) (*Result, error) {
 	saved := q.onRoundObserver
 	q.onRoundObserver = obs
 	defer func() { q.onRoundObserver = saved }()
-	return db.TopK(q)
+	return db.Exec(context.Background(), q)
 }
 
 // WithOnRound returns a copy of the query that calls fn after every round

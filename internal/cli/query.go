@@ -1,12 +1,15 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"topk"
 )
@@ -71,12 +74,16 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
 		return 1
 	}
+	// Local queries are ctx-bound too: Ctrl-C / SIGTERM cancels the run
+	// at access granularity instead of killing the process mid-scan.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *compare {
 		fmt.Fprintf(stdout, "%-6s  %12s  %12s  %12s  %12s  %14s  %10s\n",
 			"alg", "sorted", "random", "direct", "total", "cost", "time")
 		for _, alg := range topk.Algorithms() {
-			res, err := db.TopK(topk.Query{K: *k, Algorithm: alg, Scoring: sc, Approximation: *theta})
+			res, err := db.Exec(ctx, topk.Query{K: *k, Algorithm: alg, Scoring: sc, Approximation: *theta})
 			if err != nil {
 				fmt.Fprintf(stderr, "topk-query: %v: %v\n", alg, err)
 				return 1
@@ -92,7 +99,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 	if *distFlag {
 		fmt.Fprintf(stdout, "%-10s  %12s  %12s  %8s\n", "protocol", "messages", "payload", "rounds")
 		for _, p := range topk.Protocols() {
-			res, err := db.RunDistributed(topk.Query{K: *k, Scoring: sc}, p)
+			res, err := db.ExecDistributed(ctx, topk.Query{K: *k, Scoring: sc}, p)
 			if err != nil {
 				fmt.Fprintf(stdout, "%-10s  skipped: %v\n", p, err)
 				continue
@@ -117,7 +124,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	} else {
-		res, err = db.TopK(q)
+		res, err = db.Exec(ctx, q)
 		if err != nil {
 			fmt.Fprintf(stderr, "topk-query: query: %v\n", err)
 			return 1
@@ -137,6 +144,8 @@ func Query(args []string, stdout, stderr io.Writer) int {
 
 // clusterQuery runs one distributed protocol against real HTTP owner
 // nodes (cmd/topk-owner) and prints answers plus the network profile.
+// Ctrl-C / SIGTERM cancels the in-flight query (releasing its owner-side
+// session) instead of killing the process mid-exchange.
 func clusterQuery(owners, proto string, k int, sc topk.Scoring, stdout, stderr io.Writer) int {
 	p, err := topk.ParseProtocol(proto)
 	if err != nil {
@@ -149,7 +158,9 @@ func clusterQuery(owners, proto string, k int, sc topk.Scoring, stdout, stderr i
 		return 1
 	}
 	defer cluster.Close()
-	res, err := cluster.RunDistributed(topk.Query{K: k, Scoring: sc}, p)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := cluster.Exec(ctx, topk.Query{K: k, Scoring: sc}, p)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: query: %v\n", err)
 		return 1

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"topk"
 	"topk/internal/gen"
@@ -26,6 +27,7 @@ func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		alpha   = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
 		seed    = fs.Int64("seed", 1, "RNG seed for -gen")
 		addr    = fs.String("addr", "localhost:8080", "listen address")
+		owners  = fs.String("owners", "", "comma-separated owner addresses; /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -53,7 +55,14 @@ func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		return nil, "", err
 	}
 
-	srv, err := serve.New(db)
+	var cluster *topk.Cluster
+	if *owners != "" {
+		cluster, err = topk.DialCluster(strings.Split(*owners, ","))
+		if err != nil {
+			return nil, "", fmt.Errorf("dial owner cluster: %w", err)
+		}
+	}
+	srv, err := serve.NewWithCluster(db, cluster)
 	if err != nil {
 		return nil, "", err
 	}

@@ -56,6 +56,9 @@ func BPA(pr *access.Probe, opts Options) (*Result, error) {
 
 	res := &Result{Algorithm: AlgBPA}
 	for pos := 1; pos <= n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			e := pr.Sorted(i, pos)
 			trackers[i].MarkSeen(pos)

@@ -42,6 +42,9 @@ func BPA2(pr *access.Probe, opts Options) (*Result, error) {
 		res.Rounds++
 		progress := false
 		for i := 0; i < m; i++ {
+			if err := opts.Interrupted(); err != nil {
+				return nil, err
+			}
 			// bpi may have advanced during this very round through the
 			// random accesses of other lists; bpi+1 is always the
 			// smallest unseen position of list i right now.

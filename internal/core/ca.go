@@ -50,6 +50,9 @@ func CA(pr *access.Probe, opts Options) (*Result, error) {
 
 	res := &Result{Algorithm: AlgCA}
 	for pos := 1; pos <= s.n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < s.m; i++ {
 			e := pr.Sorted(i, pos)
 			s.last[i] = e.Score

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -82,6 +83,12 @@ func ExtendedAlgorithms() []Algorithm {
 
 // Options configures a top-k query execution.
 type Options struct {
+	// Ctx, when non-nil, bounds the execution: the algorithms check it
+	// at access granularity (every sorted/probe round of the threshold
+	// algorithms, every position of the scan baselines) and abort with
+	// Ctx.Err() once it is canceled or past its deadline. Nil means
+	// uncancellable, matching the pre-context API.
+	Ctx context.Context
 	// K is the number of answers requested; 1 <= K <= n.
 	K int
 	// Scoring is the monotone overall-score function f.
@@ -137,6 +144,17 @@ func (o Options) theta() float64 {
 		return 1
 	}
 	return o.Approximation
+}
+
+// Interrupted returns Ctx's error once it is canceled or past its
+// deadline; a nil Ctx never interrupts. The algorithms call it at their
+// access boundaries; exported for executors outside this package
+// (internal/parallel).
+func (o Options) Interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // Validate checks the options against a database. It is what every

@@ -36,6 +36,9 @@ func FA(pr *access.Probe, opts Options) (*Result, error) {
 	stop := n
 scan:
 	for pos := 1; pos <= n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			e := pr.Sorted(i, pos)
 			old := seenIn[e.Item]
@@ -60,6 +63,9 @@ scan:
 		mask := seenIn[d]
 		if mask == 0 {
 			continue
+		}
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
 		}
 		item := list.ItemID(d)
 		for i := 0; i < m; i++ {

@@ -21,6 +21,9 @@ func Naive(pr *access.Probe, opts Options) (*Result, error) {
 	// locals[d*m+i] is the local score of item d in list i.
 	locals := make([]float64, n*m)
 	for pos := 1; pos <= n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			e := pr.Sorted(i, pos)
 			locals[int(e.Item)*m+i] = e.Score

@@ -51,6 +51,9 @@ func NRA(pr *access.Probe, opts Options) (*Result, error) {
 
 	res := &Result{Algorithm: AlgNRA}
 	for pos := 1; pos <= s.n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < s.m; i++ {
 			e := pr.Sorted(i, pos)
 			s.last[i] = e.Score

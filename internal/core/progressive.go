@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"topk/internal/access"
@@ -29,6 +30,7 @@ import (
 // seen item is fully resolved the moment it is first seen, because BPA2's
 // random accesses resolve the direct-accessed item everywhere.
 type Progressive struct {
+	ctx      context.Context
 	pr       *access.Probe
 	f        score.Func
 	m, n     int
@@ -44,11 +46,16 @@ type Progressive struct {
 	exhausted bool // every position of every list has been seen
 	delivered int
 	rounds    int
+	err       error // ctx error that ended the enumeration, sticky
 }
 
 // ProgressiveOptions configures a progressive enumeration. K is absent by
 // design; stop calling Next instead.
 type ProgressiveOptions struct {
+	// Ctx, when non-nil, bounds the enumeration: Next checks it before
+	// every probe round and stops delivering once it is canceled or past
+	// its deadline; Err then reports why. Nil means uncancellable.
+	Ctx context.Context
 	// Scoring is the monotone overall-score function f.
 	Scoring score.Func
 	// Tracker selects the best-position structure (Section 5.2).
@@ -66,6 +73,7 @@ func NewProgressive(pr *access.Probe, opts ProgressiveOptions) (*Progressive, er
 	db := pr.DB()
 	m, n := db.M(), db.N()
 	p := &Progressive{
+		ctx:      opts.Ctx,
 		pr:       pr,
 		f:        opts.Scoring,
 		m:        m,
@@ -82,9 +90,19 @@ func NewProgressive(pr *access.Probe, opts ProgressiveOptions) (*Progressive, er
 }
 
 // Next returns the next answer in rank order. ok is false once all n
-// items have been delivered.
+// items have been delivered — or once the enumeration's context is
+// canceled or past its deadline, which Err reports.
 func (p *Progressive) Next() (rank.ScoredItem, bool) {
 	for {
+		if p.err != nil {
+			return rank.ScoredItem{}, false
+		}
+		if p.ctx != nil {
+			if err := p.ctx.Err(); err != nil {
+				p.err = err
+				return rank.ScoredItem{}, false
+			}
+		}
 		if top, ok := p.deliverable(); ok {
 			p.delivered++
 			return top, true
@@ -159,6 +177,10 @@ func (p *Progressive) round() {
 	}
 	p.lambda = p.f.Combine(p.bpScores)
 }
+
+// Err returns the context error that ended the enumeration, or nil
+// while it can still deliver. Once non-nil, Next always returns false.
+func (p *Progressive) Err() error { return p.err }
 
 // Delivered returns how many answers have been returned so far.
 func (p *Progressive) Delivered() int { return p.delivered }

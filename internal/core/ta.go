@@ -38,6 +38,9 @@ func TA(pr *access.Probe, opts Options) (*Result, error) {
 
 	res := &Result{Algorithm: AlgTA}
 	for pos := 1; pos <= n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			e := pr.Sorted(i, pos)
 			last[i] = e.Score

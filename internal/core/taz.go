@@ -113,6 +113,9 @@ func TAz(pr *access.Probe, opts Options, restr Restricted) (*Result, error) {
 
 	res := &Result{Algorithm: AlgTA}
 	for pos := 1; pos <= n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			if !restr.Sortable[i] {
 				continue
@@ -184,6 +187,9 @@ func BPAz(pr *access.Probe, opts Options, restr Restricted) (*Result, error) {
 
 	res := &Result{Algorithm: AlgBPA}
 	for pos := 1; pos <= n; pos++ {
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			if !restr.Sortable[i] {
 				continue

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+
 	"topk/internal/bestpos"
 	"topk/internal/list"
 	"topk/internal/transport"
@@ -13,7 +15,7 @@ func BPA(db *list.Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BPAOver(t, opts)
+	return BPAOver(context.Background(), t, opts)
 }
 
 // BPAOver runs the Best Position Algorithm (Section 4) over the given
@@ -31,11 +33,12 @@ func BPA(db *list.Database, opts Options) (*Result, error) {
 // λ = f(s1(bp1), ..., sm(bpm)) are read from originator memory, not from
 // the lists: a score at a best position was necessarily carried by some
 // earlier response.
-func BPAOver(t transport.Transport, opts Options) (*Result, error) {
-	r, err := newRunner(t, opts)
+func BPAOver(ctx context.Context, t transport.Transport, opts Options) (*Result, error) {
+	r, err := newRunner(ctx, t, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer r.close()
 	m, n := r.m, r.n
 
 	trackers := make([]bestpos.Tracker, m)

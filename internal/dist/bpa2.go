@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+
 	"topk/internal/list"
 	"topk/internal/transport"
 )
@@ -12,7 +14,7 @@ func BPA2(db *list.Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BPA2Over(t, opts)
+	return BPA2Over(context.Background(), t, opts)
 }
 
 // BPA2Over runs the paper's Section 5 distributed protocol over the
@@ -31,11 +33,12 @@ func BPA2(db *list.Database, opts Options) (*Result, error) {
 // depends on the marks earlier probes of the same round planted there —
 // but the (m-1) marks each probe triggers go to distinct owners and fan
 // out in one batch, which a concurrent backend overlaps.
-func BPA2Over(t transport.Transport, opts Options) (*Result, error) {
-	r, err := newRunner(t, opts)
+func BPA2Over(ctx context.Context, t transport.Transport, opts Options) (*Result, error) {
+	r, err := newRunner(ctx, t, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer r.close()
 	m := r.m
 
 	// The originator's complete state: the answer set (in r.y), the m

@@ -19,6 +19,13 @@
 // identical across backends; only Result.Elapsed (the wall-clock measure)
 // is backend-specific.
 //
+// Every run executes inside its own transport session, so any number of
+// originators can drive queries over one shared Transport concurrently
+// without their owner-side state interleaving. The *Over drivers take a
+// context.Context, checked before every exchange: a canceled or expired
+// ctx aborts the run with ctx.Err() at per-access granularity and
+// releases the owner-side session.
+//
 // The protocols:
 //
 //   - TA: every sorted and random access becomes one request/response
@@ -43,6 +50,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -157,49 +165,59 @@ func (nw *network) respond(owner int, scalars int) {
 	nw.net.Payload += int64(scalars)
 }
 
-// runner is the originator's execution state: the transport to the
-// owners, the traffic accounting, the scoring function and the answer
-// set. Every exchange goes through do/doAll so that a request and its
-// response are charged exactly once, with payload derived from the
-// messages themselves — the accounting cannot drift between backends.
+// runner is the originator's execution state: the query's private
+// transport session, the traffic accounting, the scoring function and
+// the answer set. Every exchange goes through do/doAll so that a request
+// and its response are charged exactly once, with payload derived from
+// the messages themselves — the accounting cannot drift between
+// backends. The context is checked before (and, backend permitting,
+// during) every exchange.
 type runner struct {
-	t    transport.Transport
+	ctx  context.Context
+	sess transport.Session
 	nw   *network
 	f    score.Func
 	y    *rank.Set
 	m, n int
-	// elapsed0 is the transport's clock at run start; transports
-	// accumulate across runs, results report the difference.
-	elapsed0 time.Duration
 }
 
 // newRunner validates the options against the transport's dimensions and
-// resets every owner for a fresh query session.
-func newRunner(t transport.Transport, opts Options) (*runner, error) {
+// opens a fresh owner-side session for this query. Callers must pair it
+// with a deferred close.
+func newRunner(ctx context.Context, t transport.Transport, opts Options) (*runner, error) {
 	if t == nil {
 		return nil, fmt.Errorf("dist: nil transport")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if err := opts.validate(t.N()); err != nil {
 		return nil, err
 	}
-	if err := t.Reset(opts.Tracker); err != nil {
-		return nil, fmt.Errorf("dist: reset owners: %w", err)
+	sess, err := t.Open(ctx, opts.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("dist: open session: %w", err)
 	}
 	return &runner{
-		t:        t,
-		nw:       newNetwork(t.M()),
-		f:        opts.Scoring,
-		y:        rank.NewSet(opts.K),
-		m:        t.M(),
-		n:        t.N(),
-		elapsed0: t.Elapsed(),
+		ctx:  ctx,
+		sess: sess,
+		nw:   newNetwork(t.M()),
+		f:    opts.Scoring,
+		y:    rank.NewSet(opts.K),
+		m:    t.M(),
+		n:    t.N(),
 	}, nil
 }
+
+// close releases the owner-side session, best-effort: it runs on every
+// exit path, including cancellation, so owners never accumulate state
+// from abandoned queries.
+func (r *runner) close() { _ = r.sess.Close() }
 
 // do performs one exchange and charges both directions.
 func (r *runner) do(owner int, req transport.Request) (transport.Response, error) {
 	r.nw.request(owner, req.RequestScalars())
-	resp, err := r.t.Do(owner, req)
+	resp, err := r.sess.Do(r.ctx, owner, req)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %s exchange with owner %d: %w", req.Kind(), owner, err)
 	}
@@ -213,7 +231,7 @@ func (r *runner) doAll(calls []transport.Call) ([]transport.Response, error) {
 	for _, c := range calls {
 		r.nw.request(c.Owner, c.Req.RequestScalars())
 	}
-	resps, err := r.t.DoAll(calls)
+	resps, err := r.sess.DoAll(r.ctx, calls)
 	if err != nil {
 		return nil, fmt.Errorf("dist: batched exchange: %w", err)
 	}
@@ -233,11 +251,11 @@ func as[T transport.Response](resp transport.Response) (T, error) {
 	return v, nil
 }
 
-// stats gathers the owners' control-plane bookkeeping.
+// stats gathers the owners' control-plane bookkeeping for this session.
 func (r *runner) stats() ([]transport.OwnerStats, error) {
 	out := make([]transport.OwnerStats, r.m)
 	for i := 0; i < r.m; i++ {
-		st, err := r.t.Stats(i)
+		st, err := r.sess.Stats(r.ctx, i)
 		if err != nil {
 			return nil, fmt.Errorf("dist: stats of owner %d: %w", i, err)
 		}
@@ -257,7 +275,7 @@ func (r *runner) finish(res *Result) (*Result, error) {
 		res.Accesses = res.Accesses.Add(st.Accesses)
 	}
 	res.Net = r.nw.net
-	res.Elapsed = r.t.Elapsed() - r.elapsed0
+	res.Elapsed = r.sess.Elapsed()
 	return res, nil
 }
 

@@ -1,12 +1,18 @@
 package dist
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"topk/internal/bestpos"
 	"topk/internal/gen"
 	"topk/internal/list"
 	"topk/internal/score"
@@ -14,10 +20,10 @@ import (
 )
 
 // overProtocols is the transport-driven lineup: every protocol as a
-// function of a Transport.
+// function of a context and a Transport.
 var overProtocols = []struct {
 	name string
-	run  func(transport.Transport, Options) (*Result, error)
+	run  func(context.Context, transport.Transport, Options) (*Result, error)
 }{
 	{"dist-ta", TAOver},
 	{"dist-bpa", BPAOver},
@@ -40,6 +46,14 @@ func backends(t *testing.T, db *list.Database) map[string]transport.Transport {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cc.Close() })
+	hc := httpCluster(t, db)
+	return map[string]transport.Transport{"loopback": lb, "concurrent": cc, "http": hc}
+}
+
+// httpCluster serves every list of db over httptest owners and dials
+// them.
+func httpCluster(t *testing.T, db *list.Database) *transport.HTTPClient {
+	t.Helper()
 	urls := make([]string, db.M())
 	for i := range urls {
 		srv, err := transport.NewServer(db, i)
@@ -55,7 +69,7 @@ func backends(t *testing.T, db *list.Database) map[string]transport.Transport {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { hc.Close() })
-	return map[string]transport.Transport{"loopback": lb, "concurrent": cc, "http": hc}
+	return hc
 }
 
 // TestBackendsBitIdentical is the cross-backend parity suite: every
@@ -69,19 +83,20 @@ func TestBackendsBitIdentical(t *testing.T) {
 		"uniform":    {Kind: gen.Uniform, N: 300, M: 4, Seed: 3},
 		"correlated": {Kind: gen.Correlated, N: 250, M: 5, Alpha: 0.05, Seed: 4},
 	}
+	ctx := context.Background()
 	for dbName, spec := range specs {
 		db := gen.MustGenerate(spec)
 		bks := backends(t, db)
 		for _, p := range overProtocols {
 			for _, k := range []int{1, 10} {
 				opts := Options{K: k, Scoring: score.Sum{}}
-				want, err := p.run(bks["loopback"], opts)
+				want, err := p.run(ctx, bks["loopback"], opts)
 				if err != nil {
 					t.Fatalf("%s/%s/loopback: %v", dbName, p.name, err)
 				}
 				for _, backend := range []string{"concurrent", "http"} {
 					t.Run(fmt.Sprintf("%s/%s/k=%d/%s", dbName, p.name, k, backend), func(t *testing.T) {
-						got, err := p.run(bks[backend], opts)
+						got, err := p.run(ctx, bks[backend], opts)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -110,6 +125,204 @@ func TestBackendsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestConcurrentSessionsParity is the session redesign's acceptance
+// test: N goroutines running different queries over ONE shared HTTP
+// cluster must produce answers, Net accounting and access counts
+// bit-identical to the same queries run serially — owner-side state is
+// keyed by session, so concurrency cannot leak between queries.
+func TestConcurrentSessionsParity(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 11})
+	hc := httpCluster(t, db)
+	ctx := context.Background()
+
+	// The workload: every protocol at several k values — 15 distinct
+	// queries, all over the same four owners.
+	type queryCase struct {
+		name string
+		run  func(context.Context, transport.Transport, Options) (*Result, error)
+		k    int
+	}
+	var cases []queryCase
+	for _, p := range overProtocols {
+		for _, k := range []int{1, 7, 20} {
+			cases = append(cases, queryCase{fmt.Sprintf("%s/k=%d", p.name, k), p.run, k})
+		}
+	}
+
+	// Serial baselines.
+	want := make([]*Result, len(cases))
+	for i, c := range cases {
+		res, err := c.run(ctx, hc, Options{K: c.k, Scoring: score.Sum{}})
+		if err != nil {
+			t.Fatalf("serial %s: %v", c.name, err)
+		}
+		want[i] = res
+	}
+
+	// The same queries, all in flight at once.
+	got := make([]*Result, len(cases))
+	errs := make([]error, len(cases))
+	var wg sync.WaitGroup
+	for i, c := range cases {
+		wg.Add(1)
+		go func(i int, c queryCase) {
+			defer wg.Done()
+			got[i], errs[i] = c.run(ctx, hc, Options{K: c.k, Scoring: score.Sum{}})
+		}(i, c)
+	}
+	wg.Wait()
+
+	for i, c := range cases {
+		if errs[i] != nil {
+			t.Errorf("concurrent %s: %v", c.name, errs[i])
+			continue
+		}
+		if !reflect.DeepEqual(got[i].Items, want[i].Items) {
+			t.Errorf("%s: concurrent answers differ:\n%v\nvs serial\n%v", c.name, got[i].Items, want[i].Items)
+		}
+		if !reflect.DeepEqual(got[i].Net, want[i].Net) {
+			t.Errorf("%s: concurrent Net differs: %+v vs serial %+v", c.name, got[i].Net, want[i].Net)
+		}
+		if got[i].Accesses != want[i].Accesses {
+			t.Errorf("%s: concurrent accesses differ: %v vs serial %v", c.name, got[i].Accesses, want[i].Accesses)
+		}
+	}
+}
+
+// cancelAfter wraps a Transport so that the paired cancel function fires
+// after a fixed number of data-plane exchanges — a deterministic way to
+// cancel any backend mid-query.
+type cancelAfter struct {
+	transport.Transport
+	cancel context.CancelFunc
+	left   atomic.Int32
+}
+
+func (c *cancelAfter) Open(ctx context.Context, tracker bestpos.Kind) (transport.Session, error) {
+	s, err := c.Transport.Open(ctx, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &cancelSession{Session: s, p: c}, nil
+}
+
+type cancelSession struct {
+	transport.Session
+	p *cancelAfter
+}
+
+func (s *cancelSession) tick(n int32) {
+	if s.p.left.Add(-n) <= 0 {
+		s.p.cancel()
+	}
+}
+
+func (s *cancelSession) Do(ctx context.Context, owner int, req transport.Request) (transport.Response, error) {
+	s.tick(1)
+	return s.Session.Do(ctx, owner, req)
+}
+
+func (s *cancelSession) DoAll(ctx context.Context, calls []transport.Call) ([]transport.Response, error) {
+	s.tick(int32(len(calls)))
+	return s.Session.DoAll(ctx, calls)
+}
+
+// TestCancellationAllBackends: a ctx canceled mid-query must surface
+// ctx.Err() from every protocol driver on every backend, promptly and
+// without leaking goroutines (asserted via before/after goroutine
+// counts; run under -race in CI).
+func TestCancellationAllBackends(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 3})
+	makeBackends := map[string]func(t *testing.T) transport.Transport{
+		"loopback": func(t *testing.T) transport.Transport {
+			lb, err := transport.NewLoopback(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lb
+		},
+		"concurrent": func(t *testing.T) transport.Transport {
+			cc, err := transport.NewConcurrent(db, transport.ConstantLatency(time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cc.Close() })
+			return cc
+		},
+		"http": func(t *testing.T) transport.Transport {
+			return httpCluster(t, db)
+		},
+	}
+	for backend, mk := range makeBackends {
+		for _, p := range overProtocols {
+			t.Run(backend+"/"+p.name, func(t *testing.T) {
+				tr := mk(t)
+				base := runtime.NumGoroutine()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				ca := &cancelAfter{Transport: tr, cancel: cancel}
+				ca.left.Store(5) // cancel mid-protocol, after a handful of exchanges
+				_, err := p.run(ctx, ca, Options{K: 10, Scoring: score.Sum{}})
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("want context.Canceled, got %v", err)
+				}
+				waitGoroutines(t, base)
+			})
+		}
+	}
+}
+
+// waitGoroutines waits for the goroutine count to settle back to at most
+// base, tolerating scheduler and net/http teardown lag.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d, want <= %d", runtime.NumGoroutine(), base)
+}
+
+// TestCancellationReleasesSessions: a canceled query must not leave its
+// session behind at the owners — the leak that would starve MaxSessions
+// under churn.
+func TestCancellationReleasesSessions(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 200, M: 3, Seed: 7})
+	srvs := make([]*transport.Server, db.M())
+	urls := make([]string, db.M())
+	for i := range urls {
+		srv, err := transport.NewServer(db, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		srvs[i] = srv
+		urls[i] = ts.URL
+	}
+	hc, err := transport.Dial(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ca := &cancelAfter{Transport: hc, cancel: cancel}
+	ca.left.Store(4)
+	if _, err := BPA2Over(ctx, ca, Options{K: 10, Scoring: score.Sum{}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for i, srv := range srvs {
+		if n := srv.Owner().Sessions(); n != 0 {
+			t.Errorf("owner %d still holds %d sessions after cancellation", i, n)
+		}
+	}
+}
+
 // TestConcurrentLatencyRounds checks the latency model's round
 // accounting: under a constant per-exchange round-trip, a protocol's
 // simulated wall-clock is bounded below by its non-empty rounds (TPUT's
@@ -120,6 +333,7 @@ func TestBackendsBitIdentical(t *testing.T) {
 // advantage is exactly what the uniform-threshold design buys.
 func TestConcurrentLatencyRounds(t *testing.T) {
 	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 9})
+	ctx := context.Background()
 	rtt := time.Millisecond
 	elapsed := make(map[string]time.Duration)
 	rounds := make(map[string]int)
@@ -128,14 +342,11 @@ func TestConcurrentLatencyRounds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := p.run(cc, Options{K: 8, Scoring: score.Sum{}})
+		res, err := p.run(ctx, cc, Options{K: 8, Scoring: score.Sum{}})
 		if err != nil {
 			t.Fatal(err)
 		}
 		elapsed[p.name], rounds[p.name] = res.Elapsed, res.Net.Rounds
-		if res.Elapsed != cc.Elapsed() {
-			t.Errorf("%s: Result.Elapsed %v, transport clock %v", p.name, res.Elapsed, cc.Elapsed())
-		}
 		cc.Close()
 		exchanges := res.Net.Messages / 2
 		if min := time.Duration(res.Net.Rounds-1) * rtt; res.Elapsed < min {
@@ -170,22 +381,8 @@ func TestHTTPClusterMatchesCentralized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	urls := make([]string, db.M())
-	for i := range urls {
-		srv, err := transport.NewServer(db, i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
-		urls[i] = ts.URL
-	}
-	hc, err := transport.Dial(urls, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer hc.Close()
-	got, err := BPA2Over(hc, Options{K: 10, Scoring: score.Sum{}})
+	hc := httpCluster(t, db)
+	got, err := BPA2Over(context.Background(), hc, Options{K: 10, Scoring: score.Sum{}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+
 	"topk/internal/list"
 	"topk/internal/transport"
 )
@@ -12,7 +14,7 @@ func TA(db *list.Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return TAOver(t, opts)
+	return TAOver(context.Background(), t, opts)
 }
 
 // TAOver runs the Threshold Algorithm over the given transport: the
@@ -28,11 +30,12 @@ func TA(db *list.Database, opts Options) (*Result, error) {
 // owners: the m sorted accesses at the current depth, then the m·(m-1)
 // lookups they trigger (the lookups depend on the sorted responses, so
 // the waves themselves are ordered).
-func TAOver(t transport.Transport, opts Options) (*Result, error) {
-	r, err := newRunner(t, opts)
+func TAOver(ctx context.Context, t transport.Transport, opts Options) (*Result, error) {
+	r, err := newRunner(ctx, t, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer r.close()
 	m, n := r.m, r.n
 
 	last := make([]float64, m)

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"topk/internal/list"
@@ -16,7 +17,7 @@ func TPUT(db *list.Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return TPUTOver(t, opts)
+	return TPUTOver(context.Background(), t, opts)
 }
 
 // TPUTOver runs the Three Phase Uniform Threshold algorithm of Cao &
@@ -41,8 +42,8 @@ func TPUT(db *list.Database, opts Options) (*Result, error) {
 // Both the missing-scores-are-0 lower bound and the uniform split of τ1
 // across lists assume f = Σ si over non-negative scores, so TPUT rejects
 // other scoring functions and databases with negative local scores.
-func TPUTOver(t transport.Transport, opts Options) (*Result, error) {
-	return tputRun(t, opts, uniformThresholds)
+func TPUTOver(ctx context.Context, t transport.Transport, opts Options) (*Result, error) {
+	return tputRun(ctx, t, opts, uniformThresholds)
 }
 
 // thresholdRule splits the phase-one bound tau1 into the per-list
@@ -64,11 +65,12 @@ func uniformThresholds(tau1 float64, boundary []float64) []float64 {
 
 // tputRun is the three-phase skeleton shared by TPUT and TPUTA; only the
 // phase-2 threshold split differs.
-func tputRun(t transport.Transport, opts Options, rule thresholdRule) (*Result, error) {
-	r, err := newRunner(t, opts)
+func tputRun(ctx context.Context, t transport.Transport, opts Options, rule thresholdRule) (*Result, error) {
+	r, err := newRunner(ctx, t, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer r.close()
 	if _, ok := opts.Scoring.(score.Sum); !ok {
 		return nil, fmt.Errorf("dist: TPUT requires Sum scoring, got %q", opts.Scoring.Name())
 	}

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+
 	"topk/internal/list"
 	"topk/internal/transport"
 )
@@ -12,7 +14,7 @@ func TPUTA(db *list.Database, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return TPUTAOver(t, opts)
+	return TPUTAOver(context.Background(), t, opts)
 }
 
 // TPUTAOver runs TPUT with an adaptive phase-2 threshold split — the
@@ -39,8 +41,8 @@ func TPUTA(db *list.Database, opts Options) (*Result, error) {
 // every seeded workload.
 //
 // Like TPUT, TPUTA requires Sum scoring over non-negative scores.
-func TPUTAOver(t transport.Transport, opts Options) (*Result, error) {
-	return tputRun(t, opts, adaptiveThresholds)
+func TPUTAOver(ctx context.Context, t transport.Transport, opts Options) (*Result, error) {
+	return tputRun(ctx, t, opts, adaptiveThresholds)
 }
 
 // adaptiveThresholds lowers cold lists' thresholds to their phase-1

@@ -146,6 +146,12 @@ func runScan(db *list.Database, opts core.Options, best bool) (*core.Result, err
 	}
 
 	for pos := 1; pos <= n; pos++ {
+		// Round boundaries are the engine's cancellation points: the
+		// workers park on their job channels, which the deferred closes
+		// release, so an interrupted run leaks nothing.
+		if err := opts.Interrupted(); err != nil {
+			return nil, err
+		}
 		wg.Add(m)
 		for i := range jobs {
 			jobs[i] <- pos
@@ -255,6 +261,9 @@ func runBPA2(db *list.Database, opts core.Options) (*core.Result, error) {
 		res.Rounds++
 		progress := false
 		for i := 0; i < m; i++ {
+			if err := opts.Interrupted(); err != nil {
+				return nil, err
+			}
 			p := trackers[i].Best() + 1
 			if p > n {
 				continue

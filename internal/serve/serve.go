@@ -12,38 +12,66 @@
 //	                   the restricted-access TAz/BPAz variants)
 //	/v1/dist           run a query under a distributed protocol (k,
 //	                   protocol, scoring, weights, tracker) and return
-//	                   answers plus the simulated network accounting:
-//	                   messages, payload, rounds, per-owner traffic
+//	                   answers plus the network accounting: messages,
+//	                   payload, rounds, per-owner traffic. Served from
+//	                   the in-process simulation, or — when the server
+//	                   was built with NewWithCluster — from a remote
+//	                   HTTP owner cluster, one query session per request
 //	/v1/explain        the round-by-round threshold walkthrough as text
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status. The handler is
-// safe for concurrent use: the underlying database is immutable and every
-// query runs on private state.
+// safe for concurrent use: the underlying database is immutable, every
+// query runs on private state, and cluster-backed /v1/dist requests each
+// open their own owner-side session. Query execution is bounded by the
+// request context, so a client that disconnects aborts its query instead
+// of burning the server.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"topk"
+	"topk/internal/transport"
 )
 
-// Server serves one immutable database.
+// Server serves one immutable database, optionally backed by a remote
+// owner cluster for /v1/dist.
 type Server struct {
-	db  *topk.Database
-	mux *http.ServeMux
+	db      *topk.Database
+	cluster *topk.Cluster
+	mux     *http.ServeMux
 }
 
-// New returns a server over db.
+// New returns a server over db; /v1/dist runs the in-process simulation.
 func New(db *topk.Database) (*Server, error) {
+	return NewWithCluster(db, nil)
+}
+
+// NewWithCluster returns a server over db whose /v1/dist executes
+// against the given remote owner cluster instead of the in-process
+// simulation. Each request runs in its own query session, so concurrent
+// API clients drive concurrent cluster queries. A nil cluster falls back
+// to the simulation. The cluster must hold the same shape of data as db
+// (same n and m) — /v1/info describes db, and a mismatched cluster would
+// let /v1/dist silently answer about a different dataset.
+func NewWithCluster(db *topk.Database, cluster *topk.Cluster) (*Server, error) {
 	if db == nil {
 		return nil, fmt.Errorf("serve: nil database")
 	}
-	s := &Server{db: db, mux: http.NewServeMux()}
+	if cluster != nil && (cluster.N() != db.N() || cluster.M() != db.M()) {
+		return nil, fmt.Errorf("serve: cluster serves n=%d m=%d, database has n=%d m=%d — same data required",
+			cluster.N(), cluster.M(), db.N(), db.M())
+	}
+	s := &Server{db: db, cluster: cluster, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/info", s.handleInfo)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
@@ -68,6 +96,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // errorBody is the uniform error payload.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// execStatus maps a query-execution error to its HTTP status: a dead,
+// unreachable or erroring owner behind a cluster-backed /v1/dist is an
+// upstream failure (502), a deadline or client disconnect is a timeout
+// (504), and everything else is the caller's own bad request (400).
+// Owner-side rejections (transport.RemoteError) count as upstream too:
+// the originator validated the query before any exchange, so a remote
+// refusal means cluster state drifted, not caller fault.
+func execStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	var re *transport.RemoteError
+	var ue *url.Error
+	var ne net.Error
+	if errors.As(err, &re) || errors.As(err, &ue) || errors.As(err, &ne) {
+		return http.StatusBadGateway
+	}
+	return http.StatusBadRequest
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -224,11 +272,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.db.TopK(q)
+	res, err := s.db.Exec(r.Context(), q)
 	if err != nil {
 		// Validation failures surface as 400s; the database itself is
-		// immutable and cannot fail mid-query.
-		writeError(w, http.StatusBadRequest, "%v", err)
+		// immutable and cannot fail mid-query, so the only other error
+		// is the request context firing (client disconnect), a 504.
+		writeError(w, execStatus(err), "%v", err)
 		return
 	}
 	body := topkBody{
@@ -288,9 +337,14 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.db.RunDistributed(q, protocol)
+	var res *topk.DistResult
+	if s.cluster != nil {
+		res, err = s.cluster.Exec(r.Context(), q, protocol)
+	} else {
+		res, err = s.db.ExecDistributed(r.Context(), q, protocol)
+	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, execStatus(err), "%v", err)
 		return
 	}
 	body := distBody{

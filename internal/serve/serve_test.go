@@ -1,14 +1,20 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
+	"sync"
 	"testing"
 
 	"topk"
+	"topk/internal/gen"
+	"topk/internal/transport"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -237,6 +243,177 @@ func TestDistProtocolsAndOptions(t *testing.T) {
 		getJSON(t, ts.URL+"/v1/dist?"+q, http.StatusOK, &body)
 		if len(body.Items) != 3 {
 			t.Errorf("query %q: %d items", q, len(body.Items))
+		}
+	}
+}
+
+// TestDistOverCluster: a server built with NewWithCluster answers
+// /v1/dist from the remote owner cluster — same answers and accounting
+// as the in-process simulation on the same data, concurrent requests
+// included (each runs in its own owner-side session).
+func TestDistOverCluster(t *testing.T) {
+	db, err := topk.Generate(topk.GenSpec{Kind: topk.GenUniform, N: 200, M: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The owners hold the same generated data: Generate is deterministic
+	// in the spec, and gen.Spec mirrors topk.GenSpec field for field.
+	inner := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 200, M: 3, Seed: 17})
+	urls := make([]string, db.M())
+	for i := range urls {
+		osrv, err := transport.NewServer(inner, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ots := httptest.NewServer(osrv.Handler())
+		t.Cleanup(ots.Close)
+		urls[i] = ots.URL
+	}
+	cluster, err := topk.DialCluster(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	srv, err := NewWithCluster(db, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// The simulation baseline from a plain server over the same data.
+	plain, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(plain.Handler())
+	t.Cleanup(pts.Close)
+
+	var want distResp
+	getJSON(t, pts.URL+"/v1/dist?k=5&protocol=bpa2", http.StatusOK, &want)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/dist?k=5&protocol=bpa2")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var got distResp
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Error(err)
+				return
+			}
+			if len(got.Items) != len(want.Items) {
+				t.Errorf("cluster answers: %d, want %d", len(got.Items), len(want.Items))
+				return
+			}
+			for i := range want.Items {
+				if got.Items[i].Item != want.Items[i].Item || got.Items[i].Score != want.Items[i].Score {
+					t.Errorf("cluster item %d = %+v, simulation %+v", i, got.Items[i], want.Items[i])
+				}
+			}
+			if got.Net.Messages != want.Net.Messages || got.Net.Payload != want.Net.Payload {
+				t.Errorf("cluster accounting %+v, simulation %+v", got.Net, want.Net)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestClusterMismatchRejected: NewWithCluster must refuse a cluster
+// whose dimensions disagree with the local database — /v1/info would
+// describe one dataset and /v1/dist answer about another.
+func TestClusterMismatchRejected(t *testing.T) {
+	db, err := topk.Generate(topk.GenSpec{Kind: topk.GenUniform, N: 100, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 50, M: 2, Seed: 1})
+	urls := make([]string, other.M())
+	for i := range urls {
+		osrv, err := transport.NewServer(other, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ots := httptest.NewServer(osrv.Handler())
+		t.Cleanup(ots.Close)
+		urls[i] = ots.URL
+	}
+	cluster, err := topk.DialCluster(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	if _, err := NewWithCluster(db, cluster); err == nil {
+		t.Error("mismatched cluster accepted")
+	}
+}
+
+// TestDistClusterOutage: a dead owner behind a cluster-backed /v1/dist
+// is an upstream failure and must answer 502, not blame the caller with
+// a 400.
+func TestDistClusterOutage(t *testing.T) {
+	db, err := topk.Generate(topk.GenSpec{Kind: topk.GenUniform, N: 100, M: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 100, M: 2, Seed: 9})
+	urls := make([]string, inner.M())
+	owners := make([]*httptest.Server, inner.M())
+	for i := range urls {
+		osrv, err := transport.NewServer(inner, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners[i] = httptest.NewServer(osrv.Handler())
+		urls[i] = owners[i].URL
+	}
+	cluster, err := topk.DialCluster(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	srv, err := NewWithCluster(db, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for _, o := range owners {
+		o.Close()
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, ts.URL+"/v1/dist?k=3", http.StatusBadGateway, &body)
+	if body.Error == "" {
+		t.Error("empty error body for owner outage")
+	}
+}
+
+// TestExecStatus pins the error-to-status mapping: upstream owner
+// failures (remote 5xx, unknown sessions, dead sockets) are 502,
+// context expiry is 504, validation stays 400.
+func TestExecStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("dist: k=0 out of range"), http.StatusBadRequest},
+		{fmt.Errorf("wrap: %w", context.Canceled), http.StatusGatewayTimeout},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{fmt.Errorf("dist: exchange with owner 1: %w", &transport.RemoteError{Status: 500, Msg: "boom"}), http.StatusBadGateway},
+		{fmt.Errorf("dist: exchange with owner 0: %w", &transport.RemoteError{Status: 404, Msg: "unknown session"}), http.StatusBadGateway},
+		{fmt.Errorf("owner 2: %w", &url.Error{Op: "Post", URL: "http://x", Err: fmt.Errorf("connection refused")}), http.StatusBadGateway},
+	}
+	for _, c := range cases {
+		if got := execStatus(c.err); got != c.want {
+			t.Errorf("execStatus(%v) = %d, want %d", c.err, got, c.want)
 		}
 	}
 }

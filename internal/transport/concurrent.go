@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -36,6 +37,8 @@ func LinkLatency(rtt, perScalar time.Duration) Latency {
 
 // job is one exchange in flight to an owner goroutine.
 type job struct {
+	ctx   context.Context
+	sid   string
 	req   Request
 	reply chan result
 }
@@ -51,20 +54,32 @@ type result struct {
 // Concurrent is the parallel in-process backend: one long-lived goroutine
 // per owner consumes a FIFO request channel, so a DoAll batch is in
 // flight at every addressed owner at once. Latency is virtual — the
-// injectable model prices each exchange and a batch advances the clock
-// by the maximum over owners of their serialized costs, never by the
-// sum — so sweeping 1ms..50ms links costs no real sleeping.
+// injectable model prices each exchange and a batch advances the
+// session's clock by the maximum over owners of their serialized costs,
+// never by the sum — so sweeping 1ms..50ms links costs no real sleeping.
+//
+// Sessions share the owner goroutines (one simulated server per list),
+// but carry independent protocol state and independent virtual clocks.
+// Every job carries its originating context: a canceled exchange is
+// answered with ctx.Err() instead of being served, replies go to
+// buffered channels, and batch feeders bail out on cancellation — no
+// goroutine outlives its query.
 type Concurrent struct {
 	owners []*Owner
 	in     []chan job
+	done   chan struct{} // closed by Close; owner goroutines and senders select on it
 	wg     sync.WaitGroup
 	lat    Latency
 	n      int
 
-	mu      sync.Mutex
-	closed  bool
-	elapsed time.Duration
+	mu     sync.Mutex
+	closed bool
 }
+
+// errClosed is the uniform after-Close failure. No channel except done
+// is ever closed, so a Close racing in-flight exchanges yields this
+// error instead of a send-on-closed-channel panic.
+var errClosed = fmt.Errorf("transport: concurrent backend is closed")
 
 // NewConcurrent builds one owner goroutine per list of db. A nil latency
 // model means zero-cost exchanges (wall-clock stays 0).
@@ -78,6 +93,7 @@ func NewConcurrent(db *list.Database, lat Latency) (*Concurrent, error) {
 	t := &Concurrent{
 		owners: make([]*Owner, db.M()),
 		in:     make([]chan job, db.M()),
+		done:   make(chan struct{}),
 		lat:    lat,
 		n:      db.N(),
 	}
@@ -95,11 +111,24 @@ func NewConcurrent(db *list.Database, lat Latency) (*Concurrent, error) {
 }
 
 // serve is owner i's goroutine: handle requests in arrival order, price
-// each exchange, reply.
+// each exchange, reply. A request whose context is already canceled is
+// answered with the context error without touching the owner — the
+// cancellation propagation the round-based protocols rely on to stop
+// promptly mid-batch.
 func (t *Concurrent) serve(i int) {
 	defer t.wg.Done()
-	for j := range t.in[i] {
-		resp, err := t.owners[i].Handle(j.req)
+	for {
+		var j job
+		select {
+		case <-t.done:
+			return
+		case j = <-t.in[i]:
+		}
+		if err := j.ctx.Err(); err != nil {
+			j.reply <- result{err: err}
+			continue
+		}
+		resp, err := t.owners[i].Handle(j.sid, j.req)
 		var cost time.Duration
 		if err == nil {
 			cost = t.lat(i, j.req, resp)
@@ -122,42 +151,105 @@ func (t *Concurrent) checkSend(owner int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return fmt.Errorf("transport: concurrent backend is closed")
+		return errClosed
 	}
 	return nil
 }
 
-// addElapsed advances the virtual clock.
-func (t *Concurrent) addElapsed(d time.Duration) {
+// Open starts a query session at every owner.
+func (t *Concurrent) Open(ctx context.Context, tracker bestpos.Kind) (Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.mu.Lock()
-	t.elapsed += d
+	closed := t.closed
 	t.mu.Unlock()
+	if closed {
+		return nil, errClosed
+	}
+	sid := NewSessionID()
+	if err := openAll(t.owners, sid, tracker); err != nil {
+		return nil, err
+	}
+	return &concurrentSession{t: t, sid: sid}, nil
 }
 
-// Do performs one exchange; the clock advances by its modeled cost.
-func (t *Concurrent) Do(owner int, req Request) (Response, error) {
-	if err := t.checkSend(owner); err != nil {
+// Close stops the owner goroutines and waits for them to drain. The
+// job channels are never closed — shutdown is signaled through done —
+// so exchanges racing Close fail with errClosed instead of panicking.
+func (t *Concurrent) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.done)
+	t.wg.Wait()
+	return nil
+}
+
+// concurrentSession is one query over the shared owner goroutines, with
+// its own virtual clock.
+type concurrentSession struct {
+	t   *Concurrent
+	sid string
+
+	mu      sync.Mutex
+	elapsed time.Duration
+}
+
+// ID returns the session ID.
+func (s *concurrentSession) ID() string { return s.sid }
+
+// addElapsed advances the session's virtual clock.
+func (s *concurrentSession) addElapsed(d time.Duration) {
+	s.mu.Lock()
+	s.elapsed += d
+	s.mu.Unlock()
+}
+
+// Do performs one exchange; the session clock advances by its modeled
+// cost. Cancellation aborts the wait — the reply channel is buffered,
+// so an abandoned exchange never blocks the owner goroutine.
+func (s *concurrentSession) Do(ctx context.Context, owner int, req Request) (Response, error) {
+	if err := s.t.checkSend(owner); err != nil {
 		return nil, err
 	}
 	reply := make(chan result, 1)
-	t.in[owner] <- job{req: req, reply: reply}
-	r := <-reply
-	if r.err != nil {
-		return nil, r.err
+	select {
+	case s.t.in[owner] <- job{ctx: ctx, sid: s.sid, req: req, reply: reply}:
+	case <-s.t.done:
+		return nil, errClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	t.addElapsed(r.cost)
-	return r.resp, nil
+	select {
+	case r := <-reply:
+		if r.err != nil {
+			return nil, r.err
+		}
+		s.addElapsed(r.cost)
+		return r.resp, nil
+	case <-s.t.done:
+		return nil, errClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // DoAll performs the calls with every addressed owner working in
 // parallel. Calls to the same owner keep their submission order (its
-// channel is FIFO and a single feeder sends them in order); the clock
-// advances by the maximum over owners of their summed exchange costs —
-// the batch is as slow as its slowest owner, not as the sum of all
-// owners.
-func (t *Concurrent) DoAll(calls []Call) ([]Response, error) {
+// channel is FIFO and a single feeder sends them in order); the session
+// clock advances by the maximum over owners of their summed exchange
+// costs — the batch is as slow as its slowest owner, not as the sum of
+// all owners. On cancellation the feeders stop dispatching, the
+// collector returns ctx.Err(), and every in-flight reply lands in a
+// buffered channel: no goroutine leaks, whatever the batch shape.
+func (s *concurrentSession) DoAll(ctx context.Context, calls []Call) ([]Response, error) {
 	for _, c := range calls {
-		if err := t.checkSend(c.Owner); err != nil {
+		if err := s.t.checkSend(c.Owner); err != nil {
 			return nil, err
 		}
 	}
@@ -178,24 +270,45 @@ func (t *Concurrent) DoAll(calls []Call) ([]Response, error) {
 		go func(owner int, idxs []int) {
 			defer feed.Done()
 			for _, idx := range idxs {
-				t.in[owner] <- job{req: calls[idx].Req, reply: replies[idx]}
+				select {
+				case s.t.in[owner] <- job{ctx: ctx, sid: s.sid, req: calls[idx].Req, reply: replies[idx]}:
+				case <-s.t.done:
+					return
+				case <-ctx.Done():
+					return
+				}
 			}
 		}(owner, idxs)
 	}
-	// Collect every reply before failing so no goroutine is left stuck.
+	// Collect every reply before failing so no goroutine is left stuck;
+	// on cancellation the un-fed replies would never arrive, so stop
+	// collecting and let the feeders drain via their own ctx select.
 	out := make([]Response, len(calls))
 	perOwner := make(map[int]time.Duration, len(byOwner))
 	var firstErr error
+collect:
 	for idx := range calls {
-		r := <-replies[idx]
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
+		select {
+		case r := <-replies[idx]:
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				continue
 			}
-			continue
+			out[idx] = r.resp
+			perOwner[calls[idx].Owner] += r.cost
+		case <-s.t.done:
+			if firstErr == nil {
+				firstErr = errClosed
+			}
+			break collect
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			break collect
 		}
-		out[idx] = r.resp
-		perOwner[calls[idx].Owner] += r.cost
 	}
 	feed.Wait()
 	if firstErr != nil {
@@ -207,46 +320,30 @@ func (t *Concurrent) DoAll(calls []Call) ([]Response, error) {
 			slowest = d
 		}
 	}
-	t.addElapsed(slowest)
+	s.addElapsed(slowest)
 	return out, nil
 }
 
-// Reset prepares every owner for a new query. The virtual clock keeps
-// running: callers measuring one query take Elapsed differences.
-func (t *Concurrent) Reset(kind bestpos.Kind) error {
-	for _, o := range t.owners {
-		o.Reset(kind)
+// Stats reports an owner's bookkeeping for this session.
+func (s *concurrentSession) Stats(ctx context.Context, owner int) (OwnerStats, error) {
+	if err := ctx.Err(); err != nil {
+		return OwnerStats{}, err
 	}
-	return nil
+	if owner < 0 || owner >= len(s.t.owners) {
+		return OwnerStats{}, fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(s.t.owners))
+	}
+	return s.t.owners[owner].SessionStats(s.sid)
 }
 
-// Stats reports an owner's bookkeeping.
-func (t *Concurrent) Stats(owner int) (OwnerStats, error) {
-	if owner < 0 || owner >= len(t.owners) {
-		return OwnerStats{}, fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(t.owners))
-	}
-	return t.owners[owner].Stats(), nil
+// Elapsed returns the session's virtual wall-clock.
+func (s *concurrentSession) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.elapsed
 }
 
-// Elapsed returns the virtual wall-clock accumulated so far.
-func (t *Concurrent) Elapsed() time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.elapsed
-}
-
-// Close stops the owner goroutines and waits for them to drain.
-func (t *Concurrent) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil
-	}
-	t.closed = true
-	t.mu.Unlock()
-	for _, ch := range t.in {
-		close(ch)
-	}
-	t.wg.Wait()
+// Close releases the session's owner-side state.
+func (s *concurrentSession) Close() error {
+	closeAll(s.t.owners, s.sid)
 	return nil
 }

@@ -2,9 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -15,13 +18,20 @@ import (
 )
 
 // The HTTP backend: a real owner server (one list per process) and an
-// originator client speaking a small JSON protocol:
+// originator client speaking a small JSON protocol. Every data-plane
+// message carries its query session ID in the `sid` query parameter, so
+// one owner serves any number of concurrent originators:
 //
-//	POST /rpc/{kind}  one exchange; body and response are the message
-//	                  structs of this package
-//	POST /reset       control-plane: start a new query session
-//	GET  /stats       control-plane: OwnerStats (also the dial handshake)
-//	GET  /healthz     liveness
+//	POST /session/open   control-plane: install fresh per-session state
+//	                     {sid, tracker}; idempotent per sid
+//	POST /session/close  control-plane: release a session's state {sid}
+//	POST /rpc/{kind}?sid=...  one exchange; body and response are the
+//	                     message structs of this package
+//	GET  /stats?sid=...  control-plane: the session's OwnerStats;
+//	                     without sid, the owner's list metadata
+//	                     (the dial handshake)
+//	POST /reset          deprecated no-op, kept for pre-session clients
+//	GET  /healthz        liveness
 //
 // encoding/json renders float64s in their shortest round-tripping form,
 // so scores survive the wire bit-identically and the parity suite can
@@ -45,6 +55,8 @@ func NewServer(db *list.Database, index int) (*Server, error) {
 	}
 	s := &Server{owner: o, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/rpc/", s.handleRPC)
+	s.mux.HandleFunc("/session/open", s.handleOpen)
+	s.mux.HandleFunc("/session/close", s.handleClose)
 	s.mux.HandleFunc("/reset", s.handleReset)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -53,6 +65,10 @@ func NewServer(db *list.Database, index int) (*Server, error) {
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Owner returns the owner behind the server, for white-box inspection in
+// tests (open session counts).
+func (s *Server) Owner() *Owner { return s.owner }
 
 // httpError is the uniform error payload.
 type httpError struct {
@@ -78,22 +94,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.owner.Stats())
+	sid := r.URL.Query().Get("sid")
+	if sid == "" {
+		// The dial handshake: list metadata, no session state.
+		writeJSON(w, http.StatusOK, s.owner.Info())
+		return
+	}
+	st, err := s.owner.SessionStats(sid)
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
-// resetBody is the /reset request payload.
-type resetBody struct {
-	Tracker uint8 `json:"tracker"`
+// statusFor maps an owner error to its HTTP status: unknown sessions are
+// 404 (gone, not malformed), everything else a caller-fault 400.
+func statusFor(err error) int {
+	if errors.Is(err, ErrUnknownSession) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
 }
 
-func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+// sessionBody is the /session/open and /session/close request payload.
+type sessionBody struct {
+	SID     string `json:"sid"`
+	Tracker uint8  `json:"tracker"`
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	var body resetBody
+	var body sessionBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad reset body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad session body: %v", err)
 		return
 	}
 	kind := bestpos.Kind(body.Tracker)
@@ -108,13 +145,55 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown tracker kind %d", body.Tracker)
 		return
 	}
-	s.owner.Reset(kind)
+	if body.SID == "" {
+		writeError(w, http.StatusBadRequest, "empty session ID")
+		return
+	}
+	if err := s.owner.Open(body.SID, kind); err != nil {
+		// The session limit is owner overload, not a malformed request.
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var body sessionBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad session body: %v", err)
+		return
+	}
+	s.owner.CloseSession(body.SID)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReset is the pre-session control plane: it used to wipe the
+// owner's single global query session. Owner state is keyed by session
+// ID now, so there is nothing to reset. The endpoint stays as an
+// acknowledged no-op so old control planes don't hard-fail on 404 —
+// their data-plane calls still get a clear "missing sid" 400 telling
+// them to upgrade; it never touches live sessions.
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(r.Body, 4096))
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deprecated no-op; sessions are keyed by sid"})
 }
 
 func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	sid := r.URL.Query().Get("sid")
+	if sid == "" {
+		writeError(w, http.StatusBadRequest, "missing sid parameter (open a session first)")
 		return
 	}
 	kind := Kind(strings.TrimPrefix(r.URL.Path, "/rpc/"))
@@ -123,11 +202,12 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := s.owner.Handle(req)
+	resp, err := s.owner.Handle(sid, req)
 	if err != nil {
-		// Owner errors are malformed requests (bad position, bad item),
-		// the caller's fault.
-		writeError(w, http.StatusBadRequest, "%v", err)
+		// Owner errors are malformed requests (bad position, bad item)
+		// or unknown sessions — the caller's fault either way, never
+		// worth a retry.
+		writeError(w, statusFor(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -202,16 +282,17 @@ func decodeResponse(kind Kind, body io.Reader) (Response, error) {
 
 // HTTPClient is the originator side of the HTTP backend: one base URL
 // per owner, exchanges as POSTs, batches fanned out with one goroutine
-// per addressed owner. Elapsed accumulates real time the way the
-// Concurrent backend accumulates virtual time: a batch costs its slowest
-// owner, not the sum.
+// per addressed owner. The client is shared infrastructure — sessions
+// opened on it run concurrently — and every request gets its own
+// timeout plus a single retry on transient owner failures (connection
+// errors, 5xx), with the owner index wrapped into every error.
 type HTTPClient struct {
 	urls []string
 	hc   *http.Client
 	n    int
 
-	mu      sync.Mutex
-	elapsed time.Duration
+	// reqTimeout bounds each HTTP attempt; see SetRequestTimeout.
+	reqTimeout time.Duration
 }
 
 // NormalizeOwnerURL turns a host:port (or full URL) into the base URL of
@@ -224,7 +305,7 @@ func NormalizeOwnerURL(s string) string {
 	return s
 }
 
-// DefaultTimeout bounds each exchange of the default HTTP client: an
+// DefaultTimeout bounds each exchange attempt of the HTTP client: an
 // owner that hangs mid-query must error the run, not stall the
 // originator forever. Generous, because a TPUT phase-2 response can
 // carry a whole list tail.
@@ -233,23 +314,25 @@ const DefaultTimeout = 30 * time.Second
 // Dial connects to the owner servers — urls[i] must serve list i — and
 // validates the cluster: every owner must report its expected list
 // index, the shared list length, and a database of exactly len(urls)
-// lists. A nil client gets a per-exchange DefaultTimeout; pass an
-// explicit client to change that.
+// lists. Requests are bounded per-attempt by DefaultTimeout (see
+// SetRequestTimeout); pass an explicit client to control the transport
+// itself (connection pooling, TLS).
 func Dial(urls []string, hc *http.Client) (*HTTPClient, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("transport: no owner URLs")
 	}
 	if hc == nil {
-		hc = &http.Client{Timeout: DefaultTimeout}
+		hc = &http.Client{}
 	}
-	t := &HTTPClient{urls: make([]string, len(urls)), hc: hc}
+	t := &HTTPClient{urls: make([]string, len(urls)), hc: hc, reqTimeout: DefaultTimeout}
 	for i, u := range urls {
 		t.urls[i] = NormalizeOwnerURL(u)
 	}
+	ctx := context.Background()
 	for i := range t.urls {
-		st, err := t.Stats(i)
+		st, err := t.ownerInfo(ctx, i)
 		if err != nil {
-			return nil, fmt.Errorf("transport: owner %d (%s): %w", i, t.urls[i], err)
+			return nil, err
 		}
 		if st.Index != i {
 			return nil, fmt.Errorf("transport: owner %d (%s) serves list %d; order --owners by list index",
@@ -269,6 +352,14 @@ func Dial(urls []string, hc *http.Client) (*HTTPClient, error) {
 	return t, nil
 }
 
+// SetRequestTimeout changes the per-attempt bound on every subsequent
+// exchange (default DefaultTimeout). Set it before opening sessions.
+func (t *HTTPClient) SetRequestTimeout(d time.Duration) {
+	if d > 0 {
+		t.reqTimeout = d
+	}
+}
+
 // M returns the number of owners.
 func (t *HTTPClient) M() int { return len(t.urls) }
 
@@ -282,39 +373,191 @@ func (t *HTTPClient) checkOwner(owner int) error {
 	return nil
 }
 
-// post sends a JSON POST and decodes the reply into out (when non-nil).
-func (t *HTTPClient) post(url string, body any, decode func(io.Reader) error) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("transport: encode request: %w", err)
+// transientStatus reports whether a response status is worth one retry:
+// the owner (or an intermediary) failed, rather than rejecting the
+// request.
+func transientStatus(status int) bool { return status >= 500 }
+
+// transientErr reports whether a transport-level failure is worth one
+// retry: connection resets, refused connections and per-attempt
+// timeouts — but never the caller's own cancellation, and never
+// failures that cannot succeed on a second identical attempt (a URL
+// that does not parse, a name that authoritatively does not resolve).
+func transientErr(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
 	}
-	resp, err := t.hc.Post(url, "application/json", bytes.NewReader(buf))
+	var dns *net.DNSError
+	if errors.As(err, &dns) && dns.IsNotFound {
+		return false
+	}
+	// The parent ctx is alive, so a deadline/cancel inside the attempt
+	// came from the per-attempt timeout — an owner hang, transient by
+	// definition. Everything else left at this level is a network error.
+	return true
+}
+
+// attempt performs one HTTP round-trip under the per-attempt timeout.
+// The returned status is 0 when no response arrived.
+func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byte, decode func(io.Reader) error) (int, error) {
+	actx, cancel := context.WithTimeout(ctx, t.reqTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, rd)
 	if err != nil {
-		return err
+		// Request construction never touched the network; retrying the
+		// same inputs is futile.
+		return http.StatusBadRequest, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return remoteError(resp)
+		return resp.StatusCode, remoteError(resp)
 	}
 	if decode != nil {
-		return decode(resp.Body)
+		return resp.StatusCode, decode(resp.Body)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
-// remoteError lifts a non-200 reply into an error.
+// do performs one exchange with owner, retrying once on transient
+// failures (connection errors, per-attempt timeouts, 5xx) — the first
+// step toward owner failover. The retry is attempted only when
+// replayable: a lost response leaves the caller unable to tell whether
+// the owner executed the request, so cursor-advancing exchanges (probe,
+// above) must fail instead of silently skipping list entries. Errors
+// carry the owner index.
+func (t *HTTPClient) do(ctx context.Context, owner int, method, path string, body any, replayable bool, decode func(io.Reader) error) error {
+	var buf []byte
+	if body != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("transport: owner %d (%s): encode request: %w", owner, t.urls[owner], err)
+		}
+	}
+	tries := 1
+	if replayable {
+		tries = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt < tries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		status, err := t.attempt(ctx, method, t.urls[owner]+path, buf, decode)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !transientStatus(status) && (status != 0 || !transientErr(ctx, err)) {
+			break
+		}
+	}
+	return fmt.Errorf("transport: owner %d (%s): %w", owner, t.urls[owner], lastErr)
+}
+
+// RemoteError is a non-200 reply from an owner server. It is a distinct
+// type so upstream layers (the serve API) can tell an owner-side
+// failure from the caller's own bad request and map it to 502 instead
+// of 400.
+type RemoteError struct {
+	// Status is the HTTP status the owner answered with.
+	Status int
+	// Msg is the owner's error payload, if it sent one.
+	Msg string
+}
+
+// Error renders the owner's message when present, the status otherwise.
+func (e *RemoteError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("transport: remote: %s", e.Msg)
+	}
+	return fmt.Sprintf("transport: remote status %d", e.Status)
+}
+
+// remoteError lifts a non-200 reply into a RemoteError.
 func remoteError(resp *http.Response) error {
 	var body httpError
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil && body.Error != "" {
-		return fmt.Errorf("transport: remote: %s", body.Error)
+		return &RemoteError{Status: resp.StatusCode, Msg: body.Error}
 	}
-	return fmt.Errorf("transport: remote status %s", resp.Status)
+	return &RemoteError{Status: resp.StatusCode}
+}
+
+// ownerInfo fetches an owner's list metadata (the dial handshake).
+func (t *HTTPClient) ownerInfo(ctx context.Context, owner int) (OwnerStats, error) {
+	if err := t.checkOwner(owner); err != nil {
+		return OwnerStats{}, err
+	}
+	var st OwnerStats
+	err := t.do(ctx, owner, http.MethodGet, "/stats", nil, true, func(body io.Reader) error {
+		return json.NewDecoder(body).Decode(&st)
+	})
+	return st, err
+}
+
+// Open starts a query session at every owner. On partial failure the
+// already-opened owners are closed again, best-effort.
+func (t *HTTPClient) Open(ctx context.Context, tracker bestpos.Kind) (Session, error) {
+	sid := NewSessionID()
+	body := sessionBody{SID: sid, Tracker: uint8(tracker)}
+	for i := range t.urls {
+		if err := t.do(ctx, i, http.MethodPost, "/session/open", body, true, nil); err != nil {
+			s := &httpSession{t: t, sid: sid}
+			_ = s.Close()
+			return nil, err
+		}
+	}
+	return &httpSession{t: t, sid: sid}, nil
+}
+
+// Close releases idle connections. Sessions should be closed first.
+func (t *HTTPClient) Close() error {
+	t.hc.CloseIdleConnections()
+	return nil
+}
+
+// httpSession is one query over the shared HTTP client. Elapsed
+// accumulates real time the way the Concurrent backend accumulates
+// virtual time: a batch costs its slowest owner, not the sum.
+type httpSession struct {
+	t   *HTTPClient
+	sid string
+
+	mu      sync.Mutex
+	elapsed time.Duration
+}
+
+// ID returns the session ID.
+func (s *httpSession) ID() string { return s.sid }
+
+func (s *httpSession) addElapsed(d time.Duration) {
+	s.mu.Lock()
+	s.elapsed += d
+	s.mu.Unlock()
+}
+
+// rpcPath is the data-plane URL of one request kind for this session.
+func (s *httpSession) rpcPath(kind Kind) string {
+	return "/rpc/" + string(kind) + "?sid=" + s.sid
 }
 
 // exchange performs one uninstrumented request/response round-trip.
-func (t *HTTPClient) exchange(owner int, req Request) (Response, error) {
+func (s *httpSession) exchange(ctx context.Context, owner int, req Request) (Response, error) {
 	var out Response
-	err := t.post(t.urls[owner]+"/rpc/"+string(req.Kind()), req, func(body io.Reader) error {
+	err := s.t.do(ctx, owner, http.MethodPost, s.rpcPath(req.Kind()), req, req.Replayable(), func(body io.Reader) error {
 		var derr error
 		out, derr = decodeResponse(req.Kind(), body)
 		return derr
@@ -326,31 +569,26 @@ func (t *HTTPClient) exchange(owner int, req Request) (Response, error) {
 }
 
 // Do performs one exchange and charges its real round-trip time.
-func (t *HTTPClient) Do(owner int, req Request) (Response, error) {
-	if err := t.checkOwner(owner); err != nil {
+func (s *httpSession) Do(ctx context.Context, owner int, req Request) (Response, error) {
+	if err := s.t.checkOwner(owner); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	resp, err := t.exchange(owner, req)
+	resp, err := s.exchange(ctx, owner, req)
 	if err != nil {
 		return nil, err
 	}
-	t.addElapsed(time.Since(start))
+	s.addElapsed(time.Since(start))
 	return resp, nil
-}
-
-func (t *HTTPClient) addElapsed(d time.Duration) {
-	t.mu.Lock()
-	t.elapsed += d
-	t.mu.Unlock()
 }
 
 // DoAll fans the calls out with one goroutine per addressed owner, each
 // owner's calls in submission order, and charges the slowest owner's
-// serialized time.
-func (t *HTTPClient) DoAll(calls []Call) ([]Response, error) {
+// serialized time. The per-owner goroutines stop at the first error of
+// their own owner and on ctx cancellation.
+func (s *httpSession) DoAll(ctx context.Context, calls []Call) ([]Response, error) {
 	for _, c := range calls {
-		if err := t.checkOwner(c.Owner); err != nil {
+		if err := s.t.checkOwner(c.Owner); err != nil {
 			return nil, err
 		}
 	}
@@ -371,7 +609,11 @@ func (t *HTTPClient) DoAll(calls []Call) ([]Response, error) {
 			defer wg.Done()
 			start := time.Now()
 			for _, idx := range idxs {
-				resp, err := t.exchange(owner, calls[idx].Req)
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					return
+				}
+				resp, err := s.exchange(ctx, owner, calls[idx].Req)
 				if err != nil {
 					errs[idx] = err
 					return
@@ -391,49 +633,57 @@ func (t *HTTPClient) DoAll(calls []Call) ([]Response, error) {
 			return nil, err
 		}
 	}
-	t.addElapsed(slowest)
+	s.addElapsed(slowest)
 	return out, nil
 }
 
-// Reset starts a new query session at every owner.
-func (t *HTTPClient) Reset(kind bestpos.Kind) error {
-	for i, u := range t.urls {
-		if err := t.post(u+"/reset", resetBody{Tracker: uint8(kind)}, nil); err != nil {
-			return fmt.Errorf("transport: reset owner %d: %w", i, err)
-		}
-	}
-	return nil
-}
-
-// Stats reports an owner's bookkeeping.
-func (t *HTTPClient) Stats(owner int) (OwnerStats, error) {
-	if err := t.checkOwner(owner); err != nil {
+// Stats reports an owner's bookkeeping for this session.
+func (s *httpSession) Stats(ctx context.Context, owner int) (OwnerStats, error) {
+	if err := s.t.checkOwner(owner); err != nil {
 		return OwnerStats{}, err
-	}
-	resp, err := t.hc.Get(t.urls[owner] + "/stats")
-	if err != nil {
-		return OwnerStats{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return OwnerStats{}, remoteError(resp)
 	}
 	var st OwnerStats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return OwnerStats{}, fmt.Errorf("transport: decode stats: %w", err)
+	err := s.t.do(ctx, owner, http.MethodGet, "/stats?sid="+s.sid, nil, true, func(body io.Reader) error {
+		return json.NewDecoder(body).Decode(&st)
+	})
+	return st, err
+}
+
+// Elapsed returns the real time this session has spent in exchanges.
+func (s *httpSession) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.elapsed
+}
+
+// closeTimeout caps the whole best-effort session teardown. Close runs
+// on the cancellation path — a caller abandoning a query must get
+// control back promptly even when an owner hangs — so it does not get
+// the generous data-plane budget.
+const closeTimeout = 2 * time.Second
+
+// Close releases the session's owner-side state, best-effort and in
+// parallel: every owner is attempted under a fresh short-lived
+// control-plane context (so a canceled query still cleans up after
+// itself), and a hung owner costs at most closeTimeout, not one
+// reqTimeout per owner.
+func (s *httpSession) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	errs := make([]error, len(s.t.urls))
+	var wg sync.WaitGroup
+	for i := range s.t.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.t.do(ctx, i, http.MethodPost, "/session/close", sessionBody{SID: s.sid}, true, nil)
+		}(i)
 	}
-	return st, nil
-}
-
-// Elapsed returns the real time spent in exchanges so far.
-func (t *HTTPClient) Elapsed() time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.elapsed
-}
-
-// Close releases idle connections.
-func (t *HTTPClient) Close() error {
-	t.hc.CloseIdleConnections()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,7 +12,8 @@ import (
 // Loopback is the in-process backend: every exchange is a direct method
 // call on the owner, served inline in call order. Deterministic and
 // allocation-light — the default for simulation, tests and the DHT
-// overlay pricing.
+// overlay pricing. Sessions make it safe to drive several queries over
+// one Loopback concurrently, though each session is itself sequential.
 type Loopback struct {
 	owners []*Owner
 	n      int
@@ -47,19 +49,47 @@ func (t *Loopback) checkOwner(owner int) error {
 	return nil
 }
 
-// Do serves the exchange inline.
-func (t *Loopback) Do(owner int, req Request) (Response, error) {
-	if err := t.checkOwner(owner); err != nil {
+// Open starts a query session at every owner.
+func (t *Loopback) Open(ctx context.Context, tracker bestpos.Kind) (Session, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return t.owners[owner].Handle(req)
+	sid := NewSessionID()
+	if err := openAll(t.owners, sid, tracker); err != nil {
+		return nil, err
+	}
+	return &loopbackSession{t: t, sid: sid}, nil
+}
+
+// Close is a no-op: loopback owners hold no external resources.
+func (t *Loopback) Close() error { return nil }
+
+// loopbackSession serves one query's exchanges inline.
+type loopbackSession struct {
+	t   *Loopback
+	sid string
+}
+
+// ID returns the session ID.
+func (s *loopbackSession) ID() string { return s.sid }
+
+// Do serves the exchange inline; a canceled ctx aborts before the owner
+// is touched.
+func (s *loopbackSession) Do(ctx context.Context, owner int, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.t.checkOwner(owner); err != nil {
+		return nil, err
+	}
+	return s.t.owners[owner].Handle(s.sid, req)
 }
 
 // DoAll serves the calls sequentially in order.
-func (t *Loopback) DoAll(calls []Call) ([]Response, error) {
+func (s *loopbackSession) DoAll(ctx context.Context, calls []Call) ([]Response, error) {
 	out := make([]Response, len(calls))
 	for i, c := range calls {
-		resp, err := t.Do(c.Owner, c.Req)
+		resp, err := s.Do(ctx, c.Owner, c.Req)
 		if err != nil {
 			return nil, err
 		}
@@ -68,24 +98,22 @@ func (t *Loopback) DoAll(calls []Call) ([]Response, error) {
 	return out, nil
 }
 
-// Reset prepares every owner for a new query.
-func (t *Loopback) Reset(kind bestpos.Kind) error {
-	for _, o := range t.owners {
-		o.Reset(kind)
-	}
-	return nil
-}
-
-// Stats reports an owner's bookkeeping.
-func (t *Loopback) Stats(owner int) (OwnerStats, error) {
-	if err := t.checkOwner(owner); err != nil {
+// Stats reports an owner's bookkeeping for this session.
+func (s *loopbackSession) Stats(ctx context.Context, owner int) (OwnerStats, error) {
+	if err := ctx.Err(); err != nil {
 		return OwnerStats{}, err
 	}
-	return t.owners[owner].Stats(), nil
+	if err := s.t.checkOwner(owner); err != nil {
+		return OwnerStats{}, err
+	}
+	return s.t.owners[owner].SessionStats(s.sid)
 }
 
 // Elapsed is always zero: loopback delivery is instantaneous.
-func (t *Loopback) Elapsed() time.Duration { return 0 }
+func (s *loopbackSession) Elapsed() time.Duration { return 0 }
 
-// Close is a no-op.
-func (t *Loopback) Close() error { return nil }
+// Close releases the session's owner-side state.
+func (s *loopbackSession) Close() error {
+	closeAll(s.t.owners, s.sid)
+	return nil
+}

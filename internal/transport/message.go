@@ -26,9 +26,20 @@ const (
 // number of variable-length scalar values the request carries beyond its
 // fixed-size header fields — only batched requests (fetch item lists)
 // carry any; single positions, item IDs and thresholds are header-sized.
+//
+// Replayable reports whether re-sending the request after a lost
+// response returns the same answer. A replay may re-perform (and
+// re-charge) the owner-side access — honest accounting for work the
+// owner really did twice — but it must not change what any future
+// exchange of the session observes. Probe and above are NOT replayable:
+// each execution advances an owner-side cursor (the seen-position
+// tracker, the scan depth), so replaying one would silently skip list
+// entries and corrupt the answer. The HTTP client's transient-failure
+// retry is gated on this.
 type Request interface {
 	Kind() Kind
 	RequestScalars() int
+	Replayable() bool
 }
 
 // Response is one owner-to-originator message. ResponseScalars is the
@@ -76,6 +87,9 @@ type SortedReq struct {
 func (SortedReq) Kind() Kind          { return KindSorted }
 func (SortedReq) RequestScalars() int { return 0 }
 
+// Replayable: reading a fixed position twice returns the same entry.
+func (SortedReq) Replayable() bool { return true }
+
 // SortedResp returns the entry; the position is implied by the request.
 type SortedResp struct {
 	Entry list.Entry `json:"entry"`
@@ -93,6 +107,9 @@ type LookupReq struct {
 
 func (LookupReq) Kind() Kind          { return KindLookup }
 func (LookupReq) RequestScalars() int { return 0 }
+
+// Replayable: a lookup mutates nothing.
+func (LookupReq) Replayable() bool { return true }
 
 // LookupResp returns the local score, plus the position iff requested
 // (HasPos mirrors the request's WantPos, so the charged payload is a
@@ -116,6 +133,10 @@ type ProbeReq struct{}
 
 func (ProbeReq) Kind() Kind          { return KindProbe }
 func (ProbeReq) RequestScalars() int { return 0 }
+
+// Replayable: NO — every probe advances the owner's seen-position
+// cursor, so a replay would skip the entry the lost response carried.
+func (ProbeReq) Replayable() bool { return false }
 
 // ProbeResp returns the probed entry plus the owner's piggybacked
 // best-position state.
@@ -151,6 +172,10 @@ type MarkReq struct {
 func (MarkReq) Kind() Kind          { return KindMark }
 func (MarkReq) RequestScalars() int { return 0 }
 
+// Replayable: marking the same position twice is a tracker no-op and
+// the score/piggyback answer is unchanged.
+func (MarkReq) Replayable() bool { return true }
+
 // MarkResp returns the local score plus the piggybacked best-position
 // state. The item's position stays at the owner.
 type MarkResp struct {
@@ -170,6 +195,10 @@ type TopKReq struct {
 func (TopKReq) Kind() Kind          { return KindTopK }
 func (TopKReq) RequestScalars() int { return 0 }
 
+// Replayable: the prefix read is position-fixed and the scan depth is
+// set, not advanced (depth = K both times).
+func (TopKReq) Replayable() bool { return true }
+
 // TopKResp returns the owner's top-K entries in list order.
 type TopKResp struct {
 	Entries []list.Entry `json:"entries"`
@@ -186,6 +215,10 @@ type AboveReq struct {
 
 func (AboveReq) Kind() Kind          { return KindAbove }
 func (AboveReq) RequestScalars() int { return 0 }
+
+// Replayable: NO — the scan continues from the depth cursor the first
+// execution advanced, so a replay would return a truncated tail.
+func (AboveReq) Replayable() bool { return false }
 
 // AboveResp returns the matching entries in list order.
 type AboveResp struct {
@@ -204,6 +237,9 @@ type FetchReq struct {
 
 func (FetchReq) Kind() Kind            { return KindFetch }
 func (r FetchReq) RequestScalars() int { return len(r.Items) }
+
+// Replayable: a batch of lookups mutates nothing.
+func (FetchReq) Replayable() bool { return true }
 
 // FetchResp returns the scores in request order.
 type FetchResp struct {

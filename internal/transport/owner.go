@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -12,7 +13,7 @@ import (
 
 // OwnerStats is the control-plane bookkeeping of one owner: what the
 // originator needs to assemble a Result but that is not protocol traffic
-// (see Transport.Stats). MinScore is owner metadata known without a
+// (see Session.Stats). MinScore is owner metadata known without a
 // charged access, cf. the centralized list floors.
 type OwnerStats struct {
 	// Index is the list the owner serves.
@@ -24,12 +25,34 @@ type OwnerStats struct {
 	M int `json:"m"`
 	// MinScore is the score at the last position of the list.
 	MinScore float64 `json:"minScore"`
-	// Accesses tallies the list accesses since the last Reset.
+	// Accesses tallies the session's list accesses.
 	Accesses access.Counts `json:"accesses"`
-	// Best is the owner-side tracker's current best position.
+	// Best is the session's tracker's current best position.
 	Best int `json:"best"`
-	// Depth is the deepest sorted position read since the last Reset.
+	// Depth is the deepest sorted position the session has read.
 	Depth int `json:"depth"`
+}
+
+// ErrUnknownSession reports a message carrying a session ID the owner
+// holds no state for — never opened, already closed, or evicted. The
+// HTTP server maps it to 404 so clients can tell it from a malformed
+// request (which is never worth a retry either).
+var ErrUnknownSession = errors.New("unknown session")
+
+// MaxSessions bounds the number of concurrently open sessions per
+// owner, so originators that crash without closing their sessions
+// degrade into a clear error instead of unbounded owner-side state.
+const MaxSessions = 4096
+
+// ownerSession is the owner-side state of one query session: the probe
+// charging this session's accesses, the seen-position tracker of
+// BPA/BPA2, and the scan cursor of TPUT. Handlers of one session are
+// serialized by its mutex; distinct sessions proceed in parallel.
+type ownerSession struct {
+	mu    sync.Mutex
+	pr    *access.Probe
+	tr    bestpos.Tracker
+	depth int
 }
 
 // Owner is the owner-side half of every backend: the message handlers of
@@ -39,24 +62,23 @@ type OwnerStats struct {
 //
 // An Owner accesses only its own list, through an access.Probe so the
 // paper's access metrics fall out exactly as in the centralized
-// algorithms, and keeps the owner-side protocol state: the seen-position
-// tracker of BPA2 and the scan depth of TPUT. That state is per query;
-// Reset prepares the owner for the next one. One owner serves one query
-// session at a time (handlers are serialized by a mutex, but the
-// protocol state is not keyed by query).
+// algorithms. All protocol state is keyed by the session ID carried in
+// every message: N originators may run concurrent queries against one
+// owner, and only exchanges of the same session serialize (on that
+// session's mutex — the owner-wide mutex guards nothing but the session
+// table).
 type Owner struct {
-	mu    sync.Mutex
 	index int
 	m     int
 	n     int
 	db    *list.Database // single-list database over the owned list
-	pr    *access.Probe
-	tr    bestpos.Tracker
-	depth int
+
+	mu       sync.Mutex
+	sessions map[string]*ownerSession
 }
 
-// NewOwner returns the owner of list index of db, ready for a query with
-// the default tracker kind.
+// NewOwner returns the owner of list index of db, ready to serve query
+// sessions.
 func NewOwner(db *list.Database, index int) (*Owner, error) {
 	if db == nil {
 		return nil, fmt.Errorf("transport: nil database")
@@ -68,61 +90,126 @@ func NewOwner(db *list.Database, index int) (*Owner, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &Owner{index: index, m: db.M(), n: db.N(), db: own}
-	o.reset(bestpos.BitArrayKind)
-	return o, nil
+	return &Owner{index: index, m: db.M(), n: db.N(), db: own, sessions: make(map[string]*ownerSession)}, nil
 }
 
-// Reset zeroes the access tally and scan depth and installs a fresh
-// seen-position tracker of the given kind: the owner-side start of a new
-// query. Control-plane — never charged to traffic accounting.
-func (o *Owner) Reset(kind bestpos.Kind) {
+// Open installs fresh protocol state for the session: a new probe
+// (zeroed access tally), a fresh seen-position tracker of the given
+// kind, and a zero scan cursor. Re-opening an existing session ID
+// replaces its state, so a retried open is idempotent. Control-plane —
+// never charged to traffic accounting.
+func (o *Owner) Open(sid string, kind bestpos.Kind) error {
+	if sid == "" {
+		return fmt.Errorf("transport: owner %d: empty session ID", o.index)
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.reset(kind)
+	if _, ok := o.sessions[sid]; !ok && len(o.sessions) >= MaxSessions {
+		return fmt.Errorf("transport: owner %d: session limit %d reached", o.index, MaxSessions)
+	}
+	o.sessions[sid] = &ownerSession{
+		pr: access.NewProbe(o.db),
+		tr: bestpos.New(kind, o.n),
+	}
+	return nil
 }
 
-func (o *Owner) reset(kind bestpos.Kind) {
-	o.pr = access.NewProbe(o.db)
-	o.tr = bestpos.New(kind, o.n)
-	o.depth = 0
-}
-
-// Stats reports the owner's current bookkeeping.
-func (o *Owner) Stats() OwnerStats {
+// CloseSession releases the session's state. Unknown IDs are a no-op, so
+// close is idempotent.
+func (o *Owner) CloseSession(sid string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	delete(o.sessions, sid)
+}
+
+// Sessions reports how many sessions are currently open.
+func (o *Owner) Sessions() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.sessions)
+}
+
+// openAll opens the session at every owner, rolling back the ones
+// already opened on partial failure — the shared open path of the
+// in-process backends, so their rollback invariant cannot diverge.
+func openAll(owners []*Owner, sid string, kind bestpos.Kind) error {
+	for _, o := range owners {
+		if err := o.Open(sid, kind); err != nil {
+			closeAll(owners, sid)
+			return err
+		}
+	}
+	return nil
+}
+
+// closeAll releases the session at every owner (idempotent per owner).
+func closeAll(owners []*Owner, sid string) {
+	for _, o := range owners {
+		o.CloseSession(sid)
+	}
+}
+
+// session resolves a session ID.
+func (o *Owner) session(sid string) (*ownerSession, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.sessions[sid]
+	if !ok {
+		return nil, fmt.Errorf("transport: owner %d: %w %q", o.index, ErrUnknownSession, sid)
+	}
+	return s, nil
+}
+
+// Info reports the owner's list metadata — the dial handshake. The
+// access tallies are zero: they live per session.
+func (o *Owner) Info() OwnerStats {
 	return OwnerStats{
 		Index:    o.index,
 		N:        o.n,
 		M:        o.m,
 		MinScore: o.db.List(0).At(o.n).Score,
-		Accesses: o.pr.Counts(),
-		Best:     o.tr.Best(),
-		Depth:    o.depth,
 	}
 }
 
-// Handle serves one request and returns its response. Handlers are
-// serialized per owner; concurrent exchanges with the same owner queue.
-func (o *Owner) Handle(req Request) (Response, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+// SessionStats reports one session's bookkeeping.
+func (o *Owner) SessionStats(sid string) (OwnerStats, error) {
+	s, err := o.session(sid)
+	if err != nil {
+		return OwnerStats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := o.Info()
+	st.Accesses = s.pr.Counts()
+	st.Best = s.tr.Best()
+	st.Depth = s.depth
+	return st, nil
+}
+
+// Handle serves one request inside the given session. Exchanges of the
+// same session are serialized; exchanges of distinct sessions are not.
+func (o *Owner) Handle(sid string, req Request) (Response, error) {
+	s, err := o.session(sid)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch r := req.(type) {
 	case SortedReq:
-		return o.handleSorted(r)
+		return o.handleSorted(s, r)
 	case LookupReq:
-		return o.handleLookup(r)
+		return o.handleLookup(s, r)
 	case ProbeReq:
-		return o.handleProbe(r)
+		return o.handleProbe(s, r)
 	case MarkReq:
-		return o.handleMark(r)
+		return o.handleMark(s, r)
 	case TopKReq:
-		return o.handleTopK(r)
+		return o.handleTopK(s, r)
 	case AboveReq:
-		return o.handleAbove(r)
+		return o.handleAbove(s, r)
 	case FetchReq:
-		return o.handleFetch(r)
+		return o.handleFetch(s, r)
 	default:
 		return nil, fmt.Errorf("transport: owner %d: unknown request %T", o.index, req)
 	}
@@ -146,89 +233,89 @@ func (o *Owner) checkItem(d list.ItemID) error {
 }
 
 // handleSorted serves a sorted access (TA, BPA).
-func (o *Owner) handleSorted(req SortedReq) (Response, error) {
+func (o *Owner) handleSorted(s *ownerSession, req SortedReq) (Response, error) {
 	if err := o.checkPos(req.Pos); err != nil {
 		return nil, err
 	}
-	return SortedResp{Entry: o.pr.Sorted(0, req.Pos)}, nil
+	return SortedResp{Entry: s.pr.Sorted(0, req.Pos)}, nil
 }
 
 // handleLookup serves a random access; the position is shipped only when
 // requested (BPA yes, TA no).
-func (o *Owner) handleLookup(req LookupReq) (Response, error) {
+func (o *Owner) handleLookup(s *ownerSession, req LookupReq) (Response, error) {
 	if err := o.checkItem(req.Item); err != nil {
 		return nil, err
 	}
-	s, p := o.pr.Random(0, req.Item)
+	sc, p := s.pr.Random(0, req.Item)
 	if req.WantPos {
-		return LookupResp{Score: s, Pos: p, HasPos: true}, nil
+		return LookupResp{Score: sc, Pos: p, HasPos: true}, nil
 	}
-	return LookupResp{Score: s}, nil
+	return LookupResp{Score: sc}, nil
 }
 
-// bestState reports the owner's current best-position score and whether
-// the list is fully seen (BPA2 piggyback).
-func (o *Owner) bestState() (bestScore float64, exhausted bool) {
-	bp := o.tr.Best()
+// bestState reports the session's current best-position score and
+// whether the list is fully seen (BPA2 piggyback).
+func (o *Owner) bestState(s *ownerSession) (bestScore float64, exhausted bool) {
+	bp := s.tr.Best()
 	if bp == 0 {
 		// Position 1 unseen: no information yet. +Inf is the neutral
 		// upper bound under any monotone scoring function.
 		return math.Inf(1), false
 	}
-	// The score at the best position was seen by this owner; reading it
-	// locally is not a new access (paper Section 4.1).
+	// The score at the best position was seen within this session;
+	// reading it locally is not a new access (paper Section 4.1).
 	return o.db.List(0).At(bp).Score, bp >= o.n
 }
 
 // handleProbe serves BPA2's direct access to the first unseen position.
-func (o *Owner) handleProbe(ProbeReq) (Response, error) {
-	p := o.tr.Best() + 1
+func (o *Owner) handleProbe(s *ownerSession, _ ProbeReq) (Response, error) {
+	p := s.tr.Best() + 1
 	if p > o.n {
 		// Defensive: the originator tracks exhaustion and stops probing;
 		// answer with the piggyback only.
-		best, _ := o.bestState()
+		best, _ := o.bestState(s)
 		return ProbeResp{BestScore: Upper(best), Exhausted: true, Empty: true}, nil
 	}
-	e := o.pr.Direct(0, p)
-	o.tr.MarkSeen(p)
-	best, exhausted := o.bestState()
+	e := s.pr.Direct(0, p)
+	s.tr.MarkSeen(p)
+	best, exhausted := o.bestState(s)
 	return ProbeResp{Entry: e, BestScore: Upper(best), Exhausted: exhausted}, nil
 }
 
 // handleMark serves BPA2's random access: the owner resolves the item,
-// records its position locally, and returns score plus piggyback. The
-// item's position stays at the owner.
-func (o *Owner) handleMark(req MarkReq) (Response, error) {
+// records its position in the session's tracker, and returns score plus
+// piggyback. The item's position stays at the owner.
+func (o *Owner) handleMark(s *ownerSession, req MarkReq) (Response, error) {
 	if err := o.checkItem(req.Item); err != nil {
 		return nil, err
 	}
-	s, p := o.pr.Random(0, req.Item)
-	o.tr.MarkSeen(p)
-	best, exhausted := o.bestState()
-	return MarkResp{Score: s, BestScore: Upper(best), Exhausted: exhausted}, nil
+	sc, p := s.pr.Random(0, req.Item)
+	s.tr.MarkSeen(p)
+	best, exhausted := o.bestState(s)
+	return MarkResp{Score: sc, BestScore: Upper(best), Exhausted: exhausted}, nil
 }
 
 // handleTopK serves TPUT phase 1: the owner reads its K best entries.
-func (o *Owner) handleTopK(req TopKReq) (Response, error) {
+func (o *Owner) handleTopK(s *ownerSession, req TopKReq) (Response, error) {
 	if err := o.checkPos(req.K); err != nil {
 		return nil, err
 	}
 	out := make([]list.Entry, req.K)
 	for p := 1; p <= req.K; p++ {
-		out[p-1] = o.pr.Sorted(0, p)
+		out[p-1] = s.pr.Sorted(0, p)
 	}
-	o.depth = req.K
+	s.depth = req.K
 	return TopKResp{Entries: out}, nil
 }
 
 // handleAbove serves TPUT phase 2: the owner continues its scan past the
 // already-sent prefix and returns every entry with score >= T. The read
 // that discovers the first score below T is charged — it was performed.
-func (o *Owner) handleAbove(req AboveReq) (Response, error) {
+func (o *Owner) handleAbove(s *ownerSession, req AboveReq) (Response, error) {
 	var out []list.Entry
-	for p := o.depth + 1; p <= o.n; p++ {
-		e := o.pr.Sorted(0, p)
-		o.depth = p
+	for p := s.depth + 1; p <= o.n; p++ {
+		e := s.pr.Sorted(0, p)
+		s.depth = p
 		if e.Score < req.T {
 			break
 		}
@@ -238,13 +325,13 @@ func (o *Owner) handleAbove(req AboveReq) (Response, error) {
 }
 
 // handleFetch serves TPUT phase 3: exact scores for the listed items.
-func (o *Owner) handleFetch(req FetchReq) (Response, error) {
+func (o *Owner) handleFetch(s *ownerSession, req FetchReq) (Response, error) {
 	out := make([]float64, len(req.Items))
 	for j, d := range req.Items {
 		if err := o.checkItem(d); err != nil {
 			return nil, err
 		}
-		out[j], _ = o.pr.Random(0, d)
+		out[j], _ = s.pr.Random(0, d)
 	}
 	return FetchResp{Scores: out}, nil
 }

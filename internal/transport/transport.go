@@ -8,19 +8,35 @@
 //   - the Transport interface, the originator's view of the network,
 //     with three interchangeable backends.
 //
-// The backends:
+// # Sessions
+//
+// Every query execution runs inside a Session: Transport.Open generates
+// a unique query/session ID, installs fresh owner-side protocol state
+// (seen-position tracker, access tally, scan cursor) keyed by that ID at
+// every owner, and returns the originator's handle. The ID travels with
+// every message, so one owner — and one shared Transport — serves any
+// number of concurrent originators without their state interleaving;
+// sessions only serialize against themselves. Session.Close releases the
+// owner-side state.
+//
+// Every exchange takes a context.Context: cancellation and deadlines are
+// honored between (and, on the HTTP backend, during) exchanges, so an
+// originator can abandon an in-flight query at per-access granularity.
+//
+// # Backends
 //
 //   - Loopback: deterministic in-process delivery, requests served
 //     inline in call order. The simulation backend — zero latency, zero
 //     concurrency, bit-exact reference behaviour.
 //   - Concurrent: one goroutine per owner with an injectable latency
-//     model and a virtual clock. A DoAll batch reaches the owners in
-//     parallel, so a protocol round's simulated wall-clock is the max,
-//     not the sum, of its owner round-trips — the effect that makes
-//     fewer-rounds designs (BPA2, TPUT) measurable.
+//     model and a per-session virtual clock. A DoAll batch reaches the
+//     owners in parallel, so a protocol round's simulated wall-clock is
+//     the max, not the sum, of its owner round-trips — the effect that
+//     makes fewer-rounds designs (BPA2, TPUT) measurable.
 //   - HTTP: a real owner server (one list per process, JSON codec) and
 //     an originator client, the backing of cmd/topk-owner and
-//     topk-query's --owners cluster mode.
+//     topk-query's --owners cluster mode, with per-request timeouts and
+//     a single retry on transient owner failures.
 //
 // Protocol answers, traffic accounting and access counts are identical
 // across backends by construction: the owner handlers are the same code,
@@ -30,6 +46,11 @@
 package transport
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"topk/internal/bestpos"
@@ -41,35 +62,65 @@ type Call struct {
 	Req   Request
 }
 
-// Transport is the originator's view of the owner nodes. Implementations
-// must serve calls addressed to the same owner in submission order (the
-// owner-side protocol state of BPA2 and TPUT depends on it); calls to
-// distinct owners are independent and may proceed in parallel.
-//
-// A Transport is driven by one query execution at a time.
+// Transport is the originator's view of the owner nodes. A Transport is
+// shared infrastructure: any number of query sessions may be open on it
+// concurrently, each with independent owner-side state.
 type Transport interface {
 	// M returns the number of owners (lists).
 	M() int
 	// N returns the shared list length.
 	N() int
-	// Do performs one request/response exchange with an owner.
-	Do(owner int, req Request) (Response, error)
+	// Open starts a new query session at every owner: a fresh
+	// seen-position tracker of the given kind, a zeroed access tally and
+	// scan cursor, all keyed by a new unique session ID. Control-plane:
+	// not charged to traffic accounting.
+	Open(ctx context.Context, tracker bestpos.Kind) (Session, error)
+	// Close releases backend resources. Open sessions become unusable.
+	Close() error
+}
+
+// Session is one query execution's private channel to the owners.
+// Implementations must serve calls addressed to the same owner in
+// submission order (the owner-side protocol state of BPA2 and TPUT
+// depends on it); calls to distinct owners are independent and may
+// proceed in parallel. A Session is driven by one query execution at a
+// time; distinct sessions of the same Transport are fully independent.
+type Session interface {
+	// ID returns the session's unique identifier — the key of the
+	// owner-side state, carried in every message.
+	ID() string
+	// Do performs one request/response exchange with an owner. A
+	// canceled or expired ctx aborts with ctx.Err().
+	Do(ctx context.Context, owner int, req Request) (Response, error)
 	// DoAll performs the calls — concurrently where the backend supports
 	// it — and returns the responses in call order. It fails on the
-	// first error, after all in-flight calls have drained.
-	DoAll(calls []Call) ([]Response, error)
-	// Reset prepares every owner for a new query: zeroed access tallies
-	// and scan depths, fresh seen-position trackers of the given kind.
-	// Control-plane: not charged to traffic accounting.
-	Reset(tracker bestpos.Kind) error
-	// Stats reports an owner's bookkeeping (accesses, tracker best
-	// position, scan depth, list metadata). Control-plane: not charged.
-	Stats(owner int) (OwnerStats, error)
-	// Elapsed returns the transport's cumulative wall-clock measure:
-	// zero for Loopback, virtual simulated time for Concurrent, real
-	// time spent in exchanges for HTTP. Callers measuring one run take
-	// the difference around it.
+	// first error (including ctx cancellation), after all in-flight
+	// dispatch has drained; no goroutines are leaked.
+	DoAll(ctx context.Context, calls []Call) ([]Response, error)
+	// Stats reports an owner's bookkeeping for this session (accesses,
+	// tracker best position, scan depth, list metadata). Control-plane:
+	// not charged.
+	Stats(ctx context.Context, owner int) (OwnerStats, error)
+	// Elapsed returns the session's cumulative wall-clock measure: zero
+	// for Loopback, virtual simulated time for Concurrent, real time
+	// spent in exchanges for HTTP.
 	Elapsed() time.Duration
-	// Close releases backend resources. The transport is unusable after.
+	// Close releases the session's owner-side state. Idempotent,
+	// best-effort: owners evict the state even if the originator never
+	// calls it only when the process ends.
 	Close() error
+}
+
+// sessionCounter disambiguates session IDs generated in the same
+// process (the random prefix already makes cross-process collisions
+// negligible).
+var sessionCounter atomic.Uint64
+
+// NewSessionID returns a unique query/session ID: 8 random bytes plus a
+// process-local counter, so concurrent originators — in one process or
+// many — never collide.
+func NewSessionID() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:]) + "-" + strconv.FormatUint(sessionCounter.Add(1), 16)
 }

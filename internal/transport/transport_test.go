@@ -1,12 +1,17 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +23,17 @@ import (
 func testDB(t *testing.T) *list.Database {
 	t.Helper()
 	return gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 60, M: 3, Seed: 5})
+}
+
+// open starts a session on a transport or fails the test.
+func open(t *testing.T, tr Transport) Session {
+	t.Helper()
+	s, err := tr.Open(context.Background(), bestpos.BitArrayKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
 }
 
 // TestUpperJSONRoundTrip: the BPA2 piggyback must survive the JSON codec
@@ -72,16 +88,41 @@ func TestMessageScalars(t *testing.T) {
 	}
 }
 
-// TestOwnerHandlers drives the owner-side state machine directly.
+// TestNewSessionID: IDs must be unique even when minted concurrently.
+func TestNewSessionID(t *testing.T) {
+	const n = 1000
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); ids <- NewSessionID() }()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool, n)
+	for id := range ids {
+		if id == "" || seen[id] {
+			t.Fatalf("duplicate or empty session ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestOwnerHandlers drives the owner-side state machine directly inside
+// one session.
 func TestOwnerHandlers(t *testing.T) {
 	db := testDB(t)
 	o, err := NewOwner(db, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	const sid = "q1"
+	if err := o.Open(sid, bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
 	l := db.List(1)
 
-	resp, err := o.Handle(SortedReq{Pos: 1})
+	resp, err := o.Handle(sid, SortedReq{Pos: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +131,7 @@ func TestOwnerHandlers(t *testing.T) {
 	}
 
 	item := l.At(5).Item
-	resp, err = o.Handle(LookupReq{Item: item, WantPos: true})
+	resp, err = o.Handle(sid, LookupReq{Item: item, WantPos: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +139,9 @@ func TestOwnerHandlers(t *testing.T) {
 		t.Errorf("lookup = %+v", lr)
 	}
 
-	// Probe reads the first unseen position: 2 and 3 are next (1 was
-	// read under sorted access... but sorted accesses don't mark — only
-	// probe and mark do). First probe must read position 1.
-	resp, err = o.Handle(ProbeReq{})
+	// Probe reads the first unseen position: sorted accesses don't mark —
+	// only probe and mark do — so the first probe must read position 1.
+	resp, err = o.Handle(sid, ProbeReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,14 +150,14 @@ func TestOwnerHandlers(t *testing.T) {
 	}
 
 	// Marking position 3 leaves 2 unseen: best stays 1, next probe is 2.
-	resp, err = o.Handle(MarkReq{Item: l.At(3).Item})
+	resp, err = o.Handle(sid, MarkReq{Item: l.At(3).Item})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mr := resp.(MarkResp); float64(mr.BestScore) != l.At(1).Score || mr.Score != l.At(3).Score {
 		t.Errorf("mark = %+v", mr)
 	}
-	resp, err = o.Handle(ProbeReq{})
+	resp, err = o.Handle(sid, ProbeReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +165,10 @@ func TestOwnerHandlers(t *testing.T) {
 		t.Errorf("probe after mark = %+v", pr)
 	}
 
-	st := o.Stats()
+	st, err := o.SessionStats(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Index != 1 || st.N != db.N() || st.M != db.M() {
 		t.Errorf("stats = %+v", st)
 	}
@@ -139,11 +182,17 @@ func TestOwnerHandlers(t *testing.T) {
 		t.Errorf("min score = %v", st.MinScore)
 	}
 
-	// Reset wipes the session.
-	o.Reset(bestpos.BitArrayKind)
-	st = o.Stats()
+	// Re-opening the same session ID replaces its state (retried opens
+	// are idempotent).
+	if err := o.Open(sid, bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
+	st, err = o.SessionStats(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Accesses.Total() != 0 || st.Best != 0 || st.Depth != 0 {
-		t.Errorf("stats after reset = %+v", st)
+		t.Errorf("stats after re-open = %+v", st)
 	}
 
 	// Malformed requests error instead of panicking.
@@ -153,9 +202,62 @@ func TestOwnerHandlers(t *testing.T) {
 		MarkReq{Item: -2}, TopKReq{K: 0},
 		FetchReq{Items: []list.ItemID{0, list.ItemID(db.N())}},
 	} {
-		if _, err := o.Handle(req); err == nil {
+		if _, err := o.Handle(sid, req); err == nil {
 			t.Errorf("%#v accepted", req)
 		}
+	}
+
+	// Unknown and closed sessions are rejected with ErrUnknownSession.
+	if _, err := o.Handle("nope", ProbeReq{}); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("unknown session: %v", err)
+	}
+	o.CloseSession(sid)
+	if _, err := o.Handle(sid, ProbeReq{}); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("closed session: %v", err)
+	}
+	if o.Sessions() != 0 {
+		t.Errorf("%d sessions left open", o.Sessions())
+	}
+	if err := o.Open("", bestpos.BitArrayKind); err == nil {
+		t.Error("empty session ID accepted")
+	}
+}
+
+// TestOwnerSessionIsolation: two sessions on one owner must not share
+// protocol state — the redesign's whole point.
+func TestOwnerSessionIsolation(t *testing.T) {
+	db := testDB(t)
+	o, err := NewOwner(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sid := range []string{"a", "b"} {
+		if err := o.Open(sid, bestpos.BitArrayKind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := db.List(0)
+	// Session a probes twice; session b must still see position 1 first.
+	for i := 1; i <= 2; i++ {
+		resp, err := o.Handle("a", ProbeReq{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.(ProbeResp).Entry; got != l.At(i) {
+			t.Fatalf("a probe %d = %+v", i, got)
+		}
+	}
+	resp, err := o.Handle("b", ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(ProbeResp).Entry; got != l.At(1) {
+		t.Errorf("b's first probe = %+v, want position 1: sessions share state", got)
+	}
+	sa, _ := o.SessionStats("a")
+	sb, _ := o.SessionStats("b")
+	if sa.Accesses.Direct != 2 || sb.Accesses.Direct != 1 {
+		t.Errorf("access tallies bleed across sessions: a=%v b=%v", sa.Accesses, sb.Accesses)
 	}
 }
 
@@ -167,8 +269,12 @@ func TestOwnerProbeExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	const sid = "s"
+	if err := o.Open(sid, bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
-		resp, err := o.Handle(ProbeReq{})
+		resp, err := o.Handle(sid, ProbeReq{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +286,7 @@ func TestOwnerProbeExhaustion(t *testing.T) {
 			t.Error("last probe not exhausted")
 		}
 	}
-	resp, err := o.Handle(ProbeReq{})
+	resp, err := o.Handle(sid, ProbeReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +295,8 @@ func TestOwnerProbeExhaustion(t *testing.T) {
 	}
 }
 
-// TestLoopbackBasics: dimensions, call order, owner validation.
+// TestLoopbackBasics: dimensions, call order, owner validation, session
+// lifecycle.
 func TestLoopbackBasics(t *testing.T) {
 	db := testDB(t)
 	lb, err := NewLoopback(db)
@@ -200,13 +307,15 @@ func TestLoopbackBasics(t *testing.T) {
 	if lb.M() != db.M() || lb.N() != db.N() {
 		t.Fatalf("dims %d/%d", lb.M(), lb.N())
 	}
-	if _, err := lb.Do(5, ProbeReq{}); err == nil {
+	s := open(t, lb)
+	ctx := context.Background()
+	if _, err := s.Do(ctx, 5, ProbeReq{}); err == nil {
 		t.Error("bad owner accepted")
 	}
-	if _, err := lb.Stats(-1); err == nil {
+	if _, err := s.Stats(ctx, -1); err == nil {
 		t.Error("bad stats owner accepted")
 	}
-	resps, err := lb.DoAll([]Call{
+	resps, err := s.DoAll(ctx, []Call{
 		{Owner: 0, Req: SortedReq{Pos: 1}},
 		{Owner: 0, Req: SortedReq{Pos: 2}},
 		{Owner: 2, Req: SortedReq{Pos: 1}},
@@ -217,22 +326,36 @@ func TestLoopbackBasics(t *testing.T) {
 	if got := resps[1].(SortedResp).Entry; got != db.List(0).At(2) {
 		t.Errorf("call order broken: %+v", got)
 	}
-	if lb.Elapsed() != 0 {
-		t.Errorf("loopback elapsed %v", lb.Elapsed())
+	if s.Elapsed() != 0 {
+		t.Errorf("loopback elapsed %v", s.Elapsed())
 	}
-	st, err := lb.Stats(0)
+	st, err := s.Stats(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Accesses.Sorted != 2 {
 		t.Errorf("owner 0 tally %v", st.Accesses)
 	}
+	// A canceled ctx aborts before the owner is touched.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.Do(canceled, 0, ProbeReq{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Do: %v", err)
+	}
+	// Closing the session releases the owner state; its ID stops working.
+	sid := s.ID()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.owners[0].Handle(sid, ProbeReq{}); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("closed loopback session still handled: %v", err)
+	}
 }
 
-// TestConcurrentClockMaxNotSum: the virtual clock is the concurrent
-// backend's contract — a batch costs its slowest owner's serialized
-// exchanges, a lone exchange costs one round-trip, and per-owner order
-// within a batch is submission order.
+// TestConcurrentClockMaxNotSum: the per-session virtual clock is the
+// concurrent backend's contract — a batch costs its slowest owner's
+// serialized exchanges, a lone exchange costs one round-trip, and
+// per-owner order within a batch is submission order.
 func TestConcurrentClockMaxNotSum(t *testing.T) {
 	db := testDB(t)
 	rtt := 10 * time.Millisecond
@@ -241,21 +364,23 @@ func TestConcurrentClockMaxNotSum(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cc.Close()
+	s := open(t, cc)
+	ctx := context.Background()
 
 	// One exchange per owner: one RTT, not three.
-	if _, err := cc.DoAll([]Call{
+	if _, err := s.DoAll(ctx, []Call{
 		{Owner: 0, Req: SortedReq{Pos: 1}},
 		{Owner: 1, Req: SortedReq{Pos: 1}},
 		{Owner: 2, Req: SortedReq{Pos: 1}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if got := cc.Elapsed(); got != rtt {
+	if got := s.Elapsed(); got != rtt {
 		t.Errorf("balanced batch cost %v, want %v", got, rtt)
 	}
 
 	// Skewed batch: owner 0 serves three exchanges, the others one.
-	if _, err := cc.DoAll([]Call{
+	if _, err := s.DoAll(ctx, []Call{
 		{Owner: 0, Req: SortedReq{Pos: 2}},
 		{Owner: 0, Req: SortedReq{Pos: 3}},
 		{Owner: 0, Req: SortedReq{Pos: 4}},
@@ -264,16 +389,22 @@ func TestConcurrentClockMaxNotSum(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if got := cc.Elapsed(); got != rtt+3*rtt {
+	if got := s.Elapsed(); got != rtt+3*rtt {
 		t.Errorf("skewed batch: clock %v, want %v", got, rtt+3*rtt)
 	}
 
 	// A lone exchange adds one RTT.
-	if _, err := cc.Do(1, SortedReq{Pos: 3}); err != nil {
+	if _, err := s.Do(ctx, 1, SortedReq{Pos: 3}); err != nil {
 		t.Fatal(err)
 	}
-	if got := cc.Elapsed(); got != 5*rtt {
+	if got := s.Elapsed(); got != 5*rtt {
 		t.Errorf("after Do: clock %v, want %v", got, 5*rtt)
+	}
+
+	// A second session starts its own clock at zero.
+	s2 := open(t, cc)
+	if got := s2.Elapsed(); got != 0 {
+		t.Errorf("fresh session clock %v", got)
 	}
 }
 
@@ -286,12 +417,13 @@ func TestConcurrentPerOwnerOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cc.Close()
+	s := open(t, cc)
 	// Probes to the same owner must come back in position order 1,2,3...
 	calls := make([]Call, 6)
 	for i := range calls {
 		calls[i] = Call{Owner: 1, Req: ProbeReq{}}
 	}
-	resps, err := cc.DoAll(calls)
+	resps, err := s.DoAll(context.Background(), calls)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +460,8 @@ func TestConcurrentParallelism(t *testing.T) {
 		return 0
 	}
 	cc.lat = slow
-	if _, err := cc.DoAll([]Call{
+	s := open(t, cc)
+	if _, err := s.DoAll(context.Background(), []Call{
 		{Owner: 0, Req: SortedReq{Pos: 1}},
 		{Owner: 1, Req: SortedReq{Pos: 1}},
 		{Owner: 2, Req: SortedReq{Pos: 1}},
@@ -340,23 +473,98 @@ func TestConcurrentParallelism(t *testing.T) {
 	}
 }
 
-// TestConcurrentClosed: exchanges after Close fail cleanly.
+// TestConcurrentSessionsIndependent: two sessions sharing the owner
+// goroutines must see independent protocol state.
+func TestConcurrentSessionsIndependent(t *testing.T) {
+	db := testDB(t)
+	cc, err := NewConcurrent(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	a, b := open(t, cc), open(t, cc)
+	ctx := context.Background()
+	if _, err := a.Do(ctx, 0, ProbeReq{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.Do(ctx, 0, ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(ProbeResp).Entry; got != db.List(0).At(1) {
+		t.Errorf("session b's first probe = %+v, want position 1", got)
+	}
+}
+
+// TestConcurrentCancelNoLeak: canceling mid-batch returns ctx.Err() and
+// leaves no goroutine behind — feeders bail out, in-flight replies land
+// in buffered channels, and the owner goroutines keep serving other
+// sessions.
+func TestConcurrentCancelNoLeak(t *testing.T) {
+	db := testDB(t)
+	cc, err := NewConcurrent(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	s := open(t, cc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DoAll(ctx, []Call{
+		{Owner: 0, Req: SortedReq{Pos: 1}},
+		{Owner: 1, Req: SortedReq{Pos: 1}},
+		{Owner: 2, Req: SortedReq{Pos: 1}},
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled DoAll: %v", err)
+	}
+	if _, err := s.Do(ctx, 0, SortedReq{Pos: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Do: %v", err)
+	}
+	// The backend must stay usable for live contexts.
+	if _, err := s.Do(context.Background(), 0, SortedReq{Pos: 1}); err != nil {
+		t.Errorf("Do after canceled batch: %v", err)
+	}
+	s.Close()
+	waitGoroutines(t, base)
+	cc.Close()
+}
+
+// waitGoroutines waits for the goroutine count to settle back to at most
+// base, tolerating scheduler lag.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d, want <= %d", runtime.NumGoroutine(), base)
+}
+
+// TestConcurrentClosed: sessions and exchanges after Close fail cleanly.
 func TestConcurrentClosed(t *testing.T) {
 	cc, err := NewConcurrent(testDB(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	s := open(t, cc)
 	if err := cc.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := cc.Close(); err != nil {
 		t.Errorf("double close: %v", err)
 	}
-	if _, err := cc.Do(0, ProbeReq{}); err == nil {
+	ctx := context.Background()
+	if _, err := s.Do(ctx, 0, ProbeReq{}); err == nil {
 		t.Error("Do after Close succeeded")
 	}
-	if _, err := cc.DoAll([]Call{{Owner: 0, Req: ProbeReq{}}}); err == nil {
+	if _, err := s.DoAll(ctx, []Call{{Owner: 0, Req: ProbeReq{}}}); err == nil {
 		t.Error("DoAll after Close succeeded")
+	}
+	if _, err := cc.Open(ctx, bestpos.BitArrayKind); err == nil {
+		t.Error("Open after Close succeeded")
 	}
 }
 
@@ -377,9 +585,10 @@ func TestLatencyModels(t *testing.T) {
 }
 
 // startHTTPOwners serves every list of db over httptest.
-func startHTTPOwners(t *testing.T, db *list.Database) []string {
+func startHTTPOwners(t *testing.T, db *list.Database) ([]string, []*Server) {
 	t.Helper()
 	urls := make([]string, db.M())
+	servers := make([]*Server, db.M())
 	for i := range urls {
 		srv, err := NewServer(db, i)
 		if err != nil {
@@ -388,15 +597,16 @@ func startHTTPOwners(t *testing.T, db *list.Database) []string {
 		ts := httptest.NewServer(srv.Handler())
 		t.Cleanup(ts.Close)
 		urls[i] = ts.URL
+		servers[i] = srv
 	}
-	return urls
+	return urls, servers
 }
 
 // TestHTTPRoundTrip: every message kind survives the wire against a real
-// handler stack, and the control plane (reset, stats) works.
+// handler stack, and the session control plane works.
 func TestHTTPRoundTrip(t *testing.T) {
 	db := testDB(t)
-	urls := startHTTPOwners(t, db)
+	urls, servers := startHTTPOwners(t, db)
 	hc, err := Dial(urls, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -405,16 +615,18 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if hc.M() != db.M() || hc.N() != db.N() {
 		t.Fatalf("dims %d/%d", hc.M(), hc.N())
 	}
+	s := open(t, hc)
+	ctx := context.Background()
 
 	l := db.List(0)
-	resp, err := hc.Do(0, SortedReq{Pos: 2})
+	resp, err := s.Do(ctx, 0, SortedReq{Pos: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := resp.(SortedResp).Entry; got != l.At(2) {
 		t.Errorf("sorted over HTTP = %+v, want %+v", got, l.At(2))
 	}
-	resp, err = hc.Do(0, LookupReq{Item: l.At(4).Item, WantPos: true})
+	resp, err = s.Do(ctx, 0, LookupReq{Item: l.At(4).Item, WantPos: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,28 +634,28 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Errorf("lookup over HTTP = %+v", lr)
 	}
 	// Mark before any probe: the piggyback is +Inf and must survive JSON.
-	resp, err = hc.Do(1, MarkReq{Item: db.List(1).At(2).Item})
+	resp, err = s.Do(ctx, 1, MarkReq{Item: db.List(1).At(2).Item})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mr := resp.(MarkResp); !math.IsInf(float64(mr.BestScore), 1) {
 		t.Errorf("mark piggyback = %+v, want +Inf", mr)
 	}
-	resp, err = hc.Do(1, ProbeReq{})
+	resp, err = s.Do(ctx, 1, ProbeReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pr := resp.(ProbeResp); pr.Entry != db.List(1).At(1) {
 		t.Errorf("probe over HTTP = %+v", pr)
 	}
-	resp, err = hc.Do(2, TopKReq{K: 3})
+	resp, err = s.Do(ctx, 2, TopKReq{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tr := resp.(TopKResp); len(tr.Entries) != 3 || tr.Entries[0] != db.List(2).At(1) {
 		t.Errorf("topk over HTTP = %+v", tr)
 	}
-	resp, err = hc.Do(2, AboveReq{T: db.List(2).At(10).Score})
+	resp, err = s.Do(ctx, 2, AboveReq{T: db.List(2).At(10).Score})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +663,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Error("above over HTTP returned nothing")
 	}
 	items := []list.ItemID{l.At(1).Item, l.At(2).Item}
-	resp, err = hc.Do(0, FetchReq{Items: items})
+	resp, err = s.Do(ctx, 0, FetchReq{Items: items})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,40 +671,231 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Errorf("fetch over HTTP = %+v", fr)
 	}
 
-	st, err := hc.Stats(0)
+	st, err := s.Stats(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Accesses.Total() == 0 {
 		t.Error("stats lost the access tally")
 	}
-	if err := hc.Reset(bestpos.BPlusTreeKind); err != nil {
-		t.Fatal(err)
-	}
-	st, err = hc.Stats(0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Accesses.Total() != 0 {
-		t.Error("reset did not clear the tally")
-	}
-	if hc.Elapsed() <= 0 {
+	if s.Elapsed() <= 0 {
 		t.Error("no elapsed time recorded")
 	}
 
-	// Remote owner errors surface as client errors.
-	if _, err := hc.Do(0, SortedReq{Pos: 10_000}); err == nil {
-		t.Error("bad position accepted over HTTP")
+	// Closing the session releases the owner state; its messages 404.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := hc.Do(9, ProbeReq{}); err == nil {
+	if servers[0].Owner().Sessions() != 0 {
+		t.Errorf("owner holds %d sessions after close", servers[0].Owner().Sessions())
+	}
+	if _, err := s.Do(ctx, 0, SortedReq{Pos: 1}); err == nil || !strings.Contains(err.Error(), "unknown session") {
+		t.Errorf("closed session still answered: %v", err)
+	}
+
+	// Remote owner errors surface as client errors with the owner index.
+	s2 := open(t, hc)
+	if _, err := s2.Do(ctx, 0, SortedReq{Pos: 10_000}); err == nil || !strings.Contains(err.Error(), "owner 0") {
+		t.Errorf("bad position over HTTP: %v", err)
+	}
+	if _, err := s2.Do(ctx, 9, ProbeReq{}); err == nil {
 		t.Error("bad owner accepted")
+	}
+}
+
+// TestHTTPConcurrentSessions: N sessions over the same owners, driven
+// concurrently, must behave like N private clusters.
+func TestHTTPConcurrentSessions(t *testing.T) {
+	db := testDB(t)
+	urls, _ := startHTTPOwners(t, db)
+	hc, err := Dial(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			s, err := hc.Open(ctx, bestpos.BitArrayKind)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer s.Close()
+			// Each session probes its own private cursor: every probe i
+			// must return position i+1 whatever the other sessions do.
+			for i := 0; i < 5; i++ {
+				resp, err := s.Do(ctx, 0, ProbeReq{})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got := resp.(ProbeResp).Entry; got != db.List(0).At(i+1) {
+					errs[w] = fmt.Errorf("session state interleaved: probe %d returned %+v", i, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("session %d: %v", w, err)
+		}
+	}
+}
+
+// TestHTTPRetryTransient: a single 500 from an owner must be absorbed by
+// the client's one retry; a persistent failure must surface the owner
+// index.
+func TestHTTPRetryTransient(t *testing.T) {
+	// A one-list cluster needs a one-list database to agree on M.
+	one := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 60, M: 1, Seed: 5})
+	srvOne, err := NewServer(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail atomic.Int32
+	tsOne := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() > 0 && strings.HasPrefix(r.URL.Path, "/rpc/") {
+			fail.Add(-1)
+			http.Error(w, `{"error":"synthetic owner crash"}`, http.StatusInternalServerError)
+			return
+		}
+		srvOne.Handler().ServeHTTP(w, r)
+	}))
+	defer tsOne.Close()
+	hc, err := Dial([]string{tsOne.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	s := open(t, hc)
+	ctx := context.Background()
+
+	// One failure: absorbed by the retry.
+	fail.Store(1)
+	if _, err := s.Do(ctx, 0, SortedReq{Pos: 1}); err != nil {
+		t.Errorf("single 500 not retried: %v", err)
+	}
+	// Two consecutive failures: the single retry is spent, the error
+	// surfaces and names the owner.
+	fail.Store(2)
+	if _, err := s.Do(ctx, 0, SortedReq{Pos: 2}); err == nil || !strings.Contains(err.Error(), "owner 0") {
+		t.Errorf("persistent 500: %v", err)
+	}
+	fail.Store(0)
+	// 4xx responses are the caller's fault and must NOT be retried.
+	if _, err := s.Do(ctx, 0, SortedReq{Pos: 10_000}); err == nil {
+		t.Error("bad position accepted")
+	}
+
+	// Cursor-advancing exchanges must NOT be retried: the client cannot
+	// know whether the owner executed the lost request, and a replayed
+	// probe would silently skip a list entry. One transient failure on a
+	// probe therefore surfaces instead of being absorbed.
+	fail.Store(1)
+	if _, err := s.Do(ctx, 0, ProbeReq{}); err == nil || !strings.Contains(err.Error(), "owner 0") {
+		t.Errorf("probe after transient failure: %v (must fail, not retry)", err)
+	}
+	fail.Store(0)
+	// The failed attempt never reached the owner, so the session's
+	// cursor is intact: the next probe reads position 1.
+	resp, err := s.Do(ctx, 0, ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(ProbeResp).Entry; got != one.List(0).At(1) {
+		t.Errorf("probe after failed probe = %+v, want position 1", got)
+	}
+}
+
+// TestRequestReplayability pins which message kinds the HTTP client may
+// retry: everything except the cursor-advancing probe and above.
+func TestRequestReplayability(t *testing.T) {
+	replayable := map[Kind]bool{
+		KindSorted: true, KindLookup: true, KindMark: true,
+		KindTopK: true, KindFetch: true,
+		KindProbe: false, KindAbove: false,
+	}
+	for _, req := range []Request{
+		SortedReq{}, LookupReq{}, ProbeReq{}, MarkReq{}, TopKReq{}, AboveReq{}, FetchReq{},
+	} {
+		if got := req.Replayable(); got != replayable[req.Kind()] {
+			t.Errorf("%s replayable = %v, want %v", req.Kind(), got, replayable[req.Kind()])
+		}
+	}
+}
+
+// TestHTTPCancel: a canceled context aborts an HTTP exchange promptly
+// with ctx.Err() even while the owner hangs.
+func TestHTTPCancel(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 60, M: 1, Seed: 5})
+	srv, err := NewServer(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/rpc/") {
+			<-release
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(slow)
+	defer ts.Close()
+	defer close(release)
+	hc, err := Dial([]string{ts.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	s := open(t, hc)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = s.Do(ctx, 0, SortedReq{Pos: 1})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("hung exchange: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancellation took %v", d)
+	}
+}
+
+// TestHTTPResetDeprecated: the pre-session /reset endpoint stays a 200
+// no-op — it must not disturb any live session.
+func TestHTTPResetDeprecated(t *testing.T) {
+	db := testDB(t)
+	urls, servers := startHTTPOwners(t, db)
+	if err := servers[0].Owner().Open("keep", bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(urls[0]+"/reset", "application/json", strings.NewReader(`{"tracker":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/reset status %d", resp.StatusCode)
+	}
+	if servers[0].Owner().Sessions() != 1 {
+		t.Errorf("/reset disturbed sessions: %d left", servers[0].Owner().Sessions())
 	}
 }
 
 // TestDialValidation: misconfigured clusters are rejected at dial time.
 func TestDialValidation(t *testing.T) {
 	db := testDB(t)
-	urls := startHTTPOwners(t, db)
+	urls, _ := startHTTPOwners(t, db)
 
 	if _, err := Dial(nil, nil); err == nil {
 		t.Error("empty cluster accepted")
@@ -506,7 +909,7 @@ func TestDialValidation(t *testing.T) {
 	if _, err := Dial(urls[:2], nil); err == nil {
 		t.Error("partial cluster accepted")
 	}
-	// Unreachable owner.
+	// Unreachable owner (the single retry must not mask it).
 	if _, err := Dial([]string{"http://127.0.0.1:1"}, nil); err == nil {
 		t.Error("unreachable owner accepted")
 	}
@@ -545,6 +948,9 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := srv.Owner().Open("s", bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -552,13 +958,20 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		method, path, body string
 		want               int
 	}{
-		{http.MethodPost, "/rpc/zzz", "{}", http.StatusBadRequest},
-		{http.MethodPost, "/rpc/sorted", "not json", http.StatusBadRequest},
-		{http.MethodPost, "/rpc/sorted", `{"pos":0}`, http.StatusBadRequest},
-		{http.MethodGet, "/rpc/sorted", "", http.StatusMethodNotAllowed},
-		{http.MethodPost, "/reset", `{"tracker":99}`, http.StatusBadRequest},
+		{http.MethodPost, "/rpc/zzz?sid=s", "{}", http.StatusBadRequest},
+		{http.MethodPost, "/rpc/sorted?sid=s", "not json", http.StatusBadRequest},
+		{http.MethodPost, "/rpc/sorted?sid=s", `{"pos":0}`, http.StatusBadRequest},
+		{http.MethodPost, "/rpc/sorted", `{"pos":1}`, http.StatusBadRequest},      // no sid
+		{http.MethodPost, "/rpc/sorted?sid=zz", `{"pos":1}`, http.StatusNotFound}, // unknown sid
+		{http.MethodGet, "/rpc/sorted?sid=s", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/session/open", `{"sid":"x","tracker":99}`, http.StatusBadRequest},
+		{http.MethodPost, "/session/open", `{"tracker":0}`, http.StatusBadRequest}, // empty sid
+		{http.MethodGet, "/session/open", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/session/close", "", http.StatusMethodNotAllowed},
 		{http.MethodGet, "/reset", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/reset", `{"tracker":99}`, http.StatusOK}, // deprecated no-op
 		{http.MethodPost, "/stats", "{}", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/stats?sid=zz", "", http.StatusNotFound},
 	} {
 		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
 		if err != nil {

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -36,8 +37,16 @@ type ProgressiveIterator struct {
 	inner *core.Progressive
 }
 
-// Progressive starts a progressive enumeration over the database.
-func (db *Database) Progressive(q ProgressiveQuery) (*ProgressiveIterator, error) {
+// ProgressiveCtx starts a progressive enumeration bounded by ctx — the
+// any-time query shape: answers stream out rank by rank until the caller
+// stops asking or the context is canceled or reaches its deadline, at
+// which point Next returns false and Err reports the context error. The
+// context is checked before every probe round, so a deadline binds at
+// access granularity.
+func (db *Database) ProgressiveCtx(ctx context.Context, q ProgressiveQuery) (*ProgressiveIterator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	scoring := q.Scoring
 	if scoring == nil {
 		scoring = Sum()
@@ -50,6 +59,7 @@ func (db *Database) Progressive(q ProgressiveQuery) (*ProgressiveIterator, error
 		}
 	}
 	inner, err := core.NewProgressive(access.NewProbe(db.db), core.ProgressiveOptions{
+		Ctx:     ctx,
 		Scoring: f,
 		Tracker: bestpos.Kind(q.Tracker),
 	})
@@ -59,8 +69,17 @@ func (db *Database) Progressive(q ProgressiveQuery) (*ProgressiveIterator, error
 	return &ProgressiveIterator{db: db, inner: inner}, nil
 }
 
+// Progressive starts a progressive enumeration without a context.
+//
+// Deprecated: use ProgressiveCtx, which adds cancellation and deadlines;
+// Progressive is equivalent to ProgressiveCtx(context.Background(), q).
+func (db *Database) Progressive(q ProgressiveQuery) (*ProgressiveIterator, error) {
+	return db.ProgressiveCtx(context.Background(), q)
+}
+
 // Next returns the next answer in rank order; ok is false after all n
-// items have been delivered.
+// items have been delivered, or once the enumeration's context fired —
+// Err tells the two apart.
 func (it *ProgressiveIterator) Next() (ScoredItem, bool) {
 	item, ok := it.inner.Next()
 	if !ok {
@@ -72,6 +91,10 @@ func (it *ProgressiveIterator) Next() (ScoredItem, bool) {
 		Score: item.Score,
 	}, true
 }
+
+// Err returns the context error that ended the enumeration early, or
+// nil if it is still live (or ran to natural exhaustion).
+func (it *ProgressiveIterator) Err() error { return it.inner.Err() }
 
 // Delivered returns how many answers have been returned so far.
 func (it *ProgressiveIterator) Delivered() int { return it.inner.Delivered() }

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -205,9 +206,19 @@ type Result struct {
 	Inexact bool
 }
 
-// TopK runs the query against the database and returns the top-k answers
-// with the execution profile.
-func (db *Database) TopK(q Query) (*Result, error) {
+// Exec runs the query against the database and returns the top-k
+// answers with the execution profile — the context-aware front door of
+// the centralized algorithms. Cancellation and deadlines are honored at
+// access granularity: the algorithms check ctx every sorted/probe round
+// and return ctx.Err() as soon as it fires, whether the query runs
+// sequentially, in parallel, or in a restricted-access variant.
+func (db *Database) Exec(ctx context.Context, q Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if q.K < 1 || q.K > db.N() {
 		return nil, fmt.Errorf("topk: k=%d out of range [1,%d]", q.K, db.N())
 	}
@@ -228,6 +239,7 @@ func (db *Database) TopK(q Query) (*Result, error) {
 	}
 
 	opts := core.Options{
+		Ctx:           ctx,
 		K:             q.K,
 		Scoring:       f,
 		Tracker:       bestpos.Kind(q.Tracker),
@@ -282,6 +294,15 @@ func (db *Database) TopK(q Query) (*Result, error) {
 		Duration:       elapsed,
 	}
 	return out, nil
+}
+
+// TopK runs the query without a context.
+//
+// Deprecated: use Exec, which is TopK with a context.Context front door;
+// TopK is equivalent to Exec(context.Background(), q) and is kept for
+// callers written before the context-aware API.
+func (db *Database) TopK(q Query) (*Result, error) {
+	return db.Exec(context.Background(), q)
 }
 
 // Oracle returns the exact top-k by brute force, bypassing the access

@@ -13,6 +13,7 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -226,7 +227,9 @@ func (ix *Index) TopK(q Query) ([]Match, *topk.Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := ix.db.TopK(topk.Query{K: q.K, Algorithm: q.Algorithm, Scoring: scoring})
+	// Relational queries are synchronous library calls with no caller
+	// context yet; run uncancellable on the ctx-first entry point.
+	res, err := ix.db.Exec(context.Background(), topk.Query{K: q.K, Algorithm: q.Algorithm, Scoring: scoring})
 	if err != nil {
 		return nil, nil, err
 	}

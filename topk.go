@@ -15,7 +15,9 @@ import (
 type Item = int
 
 // Database is an immutable set of m sorted lists over n items, optionally
-// with a name dictionary. Safe for concurrent queries once built.
+// with a name dictionary. Safe for concurrent queries once built: Exec,
+// ExecDistributed and ProgressiveCtx all run on private per-query state,
+// so any number of goroutines may query one Database.
 type Database struct {
 	db    *list.Database
 	names []string // names[item] when built from named scores, else nil
