@@ -76,14 +76,19 @@ func ParseProtocol(name string) (Protocol, error) {
 
 // DistStats reports the network profile of a distributed run.
 type DistStats struct {
-	// Messages counts point-to-point messages (a request/response
-	// exchange is two).
+	// Messages counts point-to-point logical messages (a request/response
+	// exchange is two). Unaffected by wire coalescing — it is the paper's
+	// cost metric.
 	Messages int64
 	// Payload counts scalar values carried in responses plus
 	// variable-length request batches.
 	Payload int64
 	// Rounds counts protocol rounds.
 	Rounds int
+	// Exchanges counts wire round-trips after per-round coalescing: a
+	// round's fan-out to one owner travels as one batched exchange, so
+	// this is what a latency-bound deployment pays.
+	Exchanges int64
 	// PerOwner[i] counts the messages exchanged with the owner of list
 	// i, in both directions.
 	PerOwner []int64
@@ -158,6 +163,7 @@ func runOver(ctx context.Context, t transport.Transport, q Query, protocol Proto
 		Messages:      res.Net.Messages,
 		Payload:       res.Net.Payload,
 		Rounds:        res.Net.Rounds,
+		Exchanges:     res.Net.Exchanges,
 		PerOwner:      res.Net.PerOwner,
 		TotalAccesses: res.Accesses.Total(),
 		Elapsed:       res.Elapsed,
@@ -202,16 +208,41 @@ type Cluster struct {
 // DialCluster connects to the owner servers; owners[i] ("host:port" or a
 // full URL) must serve list i. Every owner must agree on the list length
 // and the number of lists — Dial validates the cluster before any query
-// runs. Every request to an owner is bounded by a per-request timeout
-// and — when replaying it cannot change what the query observes —
-// retried once on transient failures (connection errors, 5xx), with the
-// failing owner's index surfaced in the returned error.
+// runs. All sessions share one pooled HTTP client with enough warm
+// connections per owner for many concurrent originators, so exchanges
+// reuse connections instead of re-handshaking. Every request to an owner
+// is bounded by a per-request timeout and — when replaying it cannot
+// change what the query observes — retried once on transient failures
+// (connection errors, 5xx), with the failing owner's index surfaced in
+// the returned error.
+//
+// The dial handshake also negotiates the wire codec: the compact binary
+// codec when every owner advertises it, JSON otherwise (see SetWire).
 func DialCluster(owners []string) (*Cluster, error) {
 	t, err := transport.Dial(owners, nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Cluster{t: t}, nil
+}
+
+// SetWire overrides the cluster's negotiated wire codec: "auto" (the
+// default — binary when every owner advertises it), "json" (the
+// debugging fallback), or "binary" (forced). Call it before Exec;
+// answers and accounting are identical either way, only bytes on the
+// wire differ.
+func (c *Cluster) SetWire(format string) error {
+	switch format {
+	case "", "auto":
+		c.t.SetWireFormat(transport.WireAuto)
+	case "json":
+		c.t.SetWireFormat(transport.WireJSON)
+	case "binary", "bin":
+		c.t.SetWireFormat(transport.WireBinary)
+	default:
+		return fmt.Errorf("topk: unknown wire format %q (want auto, json or binary)", format)
+	}
+	return nil
 }
 
 // N returns the shared list length of the cluster.

@@ -29,6 +29,7 @@ func BuildOwnerHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		seed    = fs.Int64("seed", 1, "RNG seed for -gen (every owner of a cluster must use the same)")
 		index   = fs.Int("list", 0, "index of the list this owner serves")
 		addr    = fs.String("addr", "localhost:9000", "listen address")
+		ttl     = fs.Duration("session-ttl", transport.DefaultSessionTTL, "evict sessions idle for this long (0 disables); reclaims sessions abandoned by crashed originators")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -71,6 +72,7 @@ func BuildOwnerHandler(args []string, stderr io.Writer) (http.Handler, string, e
 	if err != nil {
 		return nil, "", err
 	}
+	srv.Owner().SetSessionTTL(*ttl)
 	return srv.Handler(), *addr, nil
 }
 

@@ -32,6 +32,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		distFlag = fs.Bool("dist", false, "run the distributed protocols and print message counts")
 		owners   = fs.String("owners", "", "comma-separated owner addresses (host:port,...) for cluster mode; owner i must serve list i")
 		proto    = fs.String("protocol", "bpa2", "distributed protocol for -owners: bpa2, bpa, ta, tput, tput-a")
+		wire     = fs.String("wire", "auto", "wire codec for -owners: auto (binary when every owner supports it), json, binary")
 		explain  = fs.Bool("explain", false, "print the round-by-round threshold walkthrough")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,7 +62,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "topk-query: %v\n", err)
 			return 1
 		}
-		return clusterQuery(*owners, *proto, *k, sc, stdout, stderr)
+		return clusterQuery(*owners, *proto, *wire, *k, sc, stdout, stderr)
 	}
 
 	db, err := loadDB(*dbPath, *csvPath)
@@ -146,7 +147,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 // nodes (cmd/topk-owner) and prints answers plus the network profile.
 // Ctrl-C / SIGTERM cancels the in-flight query (releasing its owner-side
 // session) instead of killing the process mid-exchange.
-func clusterQuery(owners, proto string, k int, sc topk.Scoring, stdout, stderr io.Writer) int {
+func clusterQuery(owners, proto, wire string, k int, sc topk.Scoring, stdout, stderr io.Writer) int {
 	p, err := topk.ParseProtocol(proto)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
@@ -158,6 +159,10 @@ func clusterQuery(owners, proto string, k int, sc topk.Scoring, stdout, stderr i
 		return 1
 	}
 	defer cluster.Close()
+	if err := cluster.SetWire(wire); err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := cluster.Exec(ctx, topk.Query{K: k, Scoring: sc}, p)
@@ -171,8 +176,8 @@ func clusterQuery(owners, proto string, k int, sc topk.Scoring, stdout, stderr i
 		fmt.Fprintf(stdout, "%3d. item-%-12d score=%.6g\n", i+1, int(it.Item), it.Score)
 	}
 	s := res.Stats
-	fmt.Fprintf(stdout, "\nnetwork: messages=%d payload=%d rounds=%d accesses=%d elapsed=%s\n",
-		s.Messages, s.Payload, s.Rounds, s.TotalAccesses, s.Elapsed.Round(100))
+	fmt.Fprintf(stdout, "\nnetwork: messages=%d payload=%d rounds=%d exchanges=%d accesses=%d elapsed=%s\n",
+		s.Messages, s.Payload, s.Rounds, s.Exchanges, s.TotalAccesses, s.Elapsed.Round(100))
 	fmt.Fprintf(stdout, "per-owner messages: %v\n", s.PerOwner)
 	return 0
 }

@@ -28,6 +28,9 @@ func BPA(db *list.Database, opts Options) (*Result, error) {
 // distributed overhead: compare Net.Payload against TA's, and against
 // BPA2's, where positions never travel.
 //
+// Like TA's, the lookup wave is round-coalesced: each owner's m-1
+// position-carrying lookups ship as one batched wire exchange per round.
+//
 // The originator also caches every (position, score) pair it has been
 // sent, so the best-position scores behind the stopping threshold
 // λ = f(s1(bp1), ..., sm(bpm)) are read from originator memory, not from

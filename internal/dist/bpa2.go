@@ -32,7 +32,12 @@ func BPA2(db *list.Database, opts Options) (*Result, error) {
 // Probes are inherently sequential — which position owner i probes next
 // depends on the marks earlier probes of the same round planted there —
 // but the (m-1) marks each probe triggers go to distinct owners and fan
-// out in one batch, which a concurrent backend overlaps.
+// out in one wave, which a concurrent backend overlaps. Each owner of
+// that wave receives exactly one mark, so the wave is already one wire
+// exchange per owner; round coalescing cannot compress BPA2 further —
+// nor may the marks be deferred across probes, because probe j must
+// observe every mark planted at owner j earlier in the round for the
+// access counts to match centralized BPA2.
 func BPA2Over(ctx context.Context, t transport.Transport, opts Options) (*Result, error) {
 	r, err := newRunner(ctx, t, opts)
 	if err != nil {

@@ -53,6 +53,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"topk/internal/access"
@@ -94,9 +95,11 @@ func (o Options) validate(n int) error {
 
 // Net tallies the network traffic of a run.
 type Net struct {
-	// Messages counts point-to-point messages; a request/response
+	// Messages counts point-to-point logical messages; a request/response
 	// exchange is two. Every message travels between the originator and
-	// one owner, so Messages is always the sum of PerOwner.
+	// one owner, so Messages is always the sum of PerOwner. Coalescing
+	// several logical messages into one wire exchange (see Exchanges)
+	// never changes this tally — it is the paper's cost metric.
 	Messages int64
 	// Payload counts the scalar values (items, scores, positions)
 	// carried in responses, plus variable-length request batches (TPUT's
@@ -106,9 +109,16 @@ type Net struct {
 	// Rounds counts protocol rounds: sorted-access depths for TA/BPA,
 	// probe rounds for BPA2, and the three phases for TPUT/TPUTA.
 	Rounds int
-	// PerOwner[i] counts the messages exchanged with the owner of list
-	// i, in both directions. internal/dht prices each owner's traffic by
-	// its overlay routing distance.
+	// Exchanges counts wire request/response round-trips after per-round
+	// coalescing: a protocol round's fan-out to one owner travels as one
+	// batched exchange however many logical messages it carries, so
+	// Exchanges is what a latency-bound deployment actually pays.
+	// Identical across backends: the coalescing happens at the
+	// originator, before any backend sees the calls.
+	Exchanges int64
+	// PerOwner[i] counts the logical messages exchanged with the owner of
+	// list i, in both directions. internal/dht prices each owner's
+	// traffic by its overlay routing distance.
 	PerOwner []int64
 }
 
@@ -172,6 +182,13 @@ func (nw *network) respond(owner int, scalars int) {
 // the messages themselves — the accounting cannot drift between
 // backends. The context is checked before (and, backend permitting,
 // during) every exchange.
+//
+// doAll is also where round coalescing happens: the logical calls of one
+// fan-out are grouped per owner, and every owner addressed more than
+// once receives a single transport.BatchReq carrying its share of the
+// round — one wire exchange per owner per round, whatever the protocol's
+// chattiness. Accounting stays per logical message, so coalescing is
+// invisible to Net.Messages/Payload/PerOwner by construction.
 type runner struct {
 	ctx  context.Context
 	sess transport.Session
@@ -179,6 +196,11 @@ type runner struct {
 	f    score.Func
 	y    *rank.Set
 	m, n int
+
+	// Per-round coalescing scratch, reused across rounds so the hot path
+	// does not reallocate its grouping state per fan-out.
+	ownerIdx  [][]int          // call indices per owner this round
+	wireCalls []transport.Call // coalesced calls actually dispatched
 }
 
 // newRunner validates the options against the transport's dimensions and
@@ -199,13 +221,14 @@ func newRunner(ctx context.Context, t transport.Transport, opts Options) (*runne
 		return nil, fmt.Errorf("dist: open session: %w", err)
 	}
 	return &runner{
-		ctx:  ctx,
-		sess: sess,
-		nw:   newNetwork(t.M()),
-		f:    opts.Scoring,
-		y:    rank.NewSet(opts.K),
-		m:    t.M(),
-		n:    t.N(),
+		ctx:      ctx,
+		sess:     sess,
+		nw:       newNetwork(t.M()),
+		f:        opts.Scoring,
+		y:        rank.NewSet(opts.K),
+		m:        t.M(),
+		n:        t.N(),
+		ownerIdx: make([][]int, t.M()),
 	}, nil
 }
 
@@ -217,6 +240,7 @@ func (r *runner) close() { _ = r.sess.Close() }
 // do performs one exchange and charges both directions.
 func (r *runner) do(owner int, req transport.Request) (transport.Response, error) {
 	r.nw.request(owner, req.RequestScalars())
+	r.nw.net.Exchanges++
 	resp, err := r.sess.Do(r.ctx, owner, req)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %s exchange with owner %d: %w", req.Kind(), owner, err)
@@ -225,20 +249,90 @@ func (r *runner) do(owner int, req transport.Request) (transport.Response, error
 	return resp, nil
 }
 
-// doAll performs a batch of exchanges — in parallel where the backend
-// supports it — and charges every request and every response.
+// doAll performs one round's fan-out — in parallel where the backend
+// supports it — and charges every logical request and response. Calls
+// addressed to the same owner are coalesced into a single batched wire
+// exchange for that owner (executed atomically, in submission order), so
+// a k-message round costs one round-trip per owner instead of k; calls
+// to distinct owners overlap as before. The returned responses are the
+// logical ones, in call order — drivers never see the batch envelope.
 func (r *runner) doAll(calls []transport.Call) ([]transport.Response, error) {
 	for _, c := range calls {
 		r.nw.request(c.Owner, c.Req.RequestScalars())
 	}
-	resps, err := r.sess.DoAll(r.ctx, calls)
+	wire, grouped := r.coalesce(calls)
+	r.nw.net.Exchanges += int64(len(wire))
+	resps, err := r.sess.DoAll(r.ctx, wire)
 	if err != nil {
 		return nil, fmt.Errorf("dist: batched exchange: %w", err)
+	}
+	if grouped {
+		if resps, err = r.uncoalesce(calls, wire, resps); err != nil {
+			return nil, err
+		}
 	}
 	for i, resp := range resps {
 		r.nw.respond(calls[i].Owner, resp.ResponseScalars())
 	}
 	return resps, nil
+}
+
+// coalesce groups a round's calls per owner: owners addressed once keep
+// their bare message, owners addressed k>1 times get one BatchReq of
+// their k requests. Returns the wire calls (aliasing the runner's
+// scratch, valid until the next round) and whether any batching
+// happened.
+func (r *runner) coalesce(calls []transport.Call) ([]transport.Call, bool) {
+	for i := range r.ownerIdx {
+		r.ownerIdx[i] = r.ownerIdx[i][:0]
+	}
+	multi := false
+	for idx, c := range calls {
+		r.ownerIdx[c.Owner] = append(r.ownerIdx[c.Owner], idx)
+		multi = multi || len(r.ownerIdx[c.Owner]) > 1
+	}
+	if !multi {
+		return calls, false
+	}
+	r.wireCalls = r.wireCalls[:0]
+	for owner, idxs := range r.ownerIdx {
+		switch len(idxs) {
+		case 0:
+		case 1:
+			r.wireCalls = append(r.wireCalls, calls[idxs[0]])
+		default:
+			reqs := make([]transport.Request, len(idxs))
+			for j, idx := range idxs {
+				reqs[j] = calls[idx].Req
+			}
+			r.wireCalls = append(r.wireCalls, transport.Call{Owner: owner, Req: transport.BatchReq{Reqs: reqs}})
+		}
+	}
+	return r.wireCalls, true
+}
+
+// uncoalesce maps the wire responses back onto the logical call order,
+// unwrapping each owner's BatchResp into its per-request responses.
+func (r *runner) uncoalesce(calls, wire []transport.Call, resps []transport.Response) ([]transport.Response, error) {
+	out := make([]transport.Response, len(calls))
+	for w, c := range wire {
+		idxs := r.ownerIdx[c.Owner]
+		if len(idxs) == 1 {
+			out[idxs[0]] = resps[w]
+			continue
+		}
+		br, err := as[transport.BatchResp](resps[w])
+		if err != nil {
+			return nil, err
+		}
+		if len(br.Resps) != len(idxs) {
+			return nil, fmt.Errorf("dist: owner %d answered %d of %d batched requests", c.Owner, len(br.Resps), len(idxs))
+		}
+		for j, idx := range idxs {
+			out[idx] = br.Resps[j]
+		}
+	}
+	return out, nil
 }
 
 // as narrows a transport response to its concrete type, turning a
@@ -251,15 +345,25 @@ func as[T transport.Response](resp transport.Response) (T, error) {
 	return v, nil
 }
 
-// stats gathers the owners' control-plane bookkeeping for this session.
+// stats gathers the owners' control-plane bookkeeping for this session,
+// fanned out in parallel — uncharged, but over HTTP a serial loop would
+// still cost m real round-trips per query.
 func (r *runner) stats() ([]transport.OwnerStats, error) {
 	out := make([]transport.OwnerStats, r.m)
+	errs := make([]error, r.m)
+	var wg sync.WaitGroup
 	for i := 0; i < r.m; i++ {
-		st, err := r.sess.Stats(r.ctx, i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = r.sess.Stats(r.ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("dist: stats of owner %d: %w", i, err)
 		}
-		out[i] = st
 	}
 	return out, nil
 }

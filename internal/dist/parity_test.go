@@ -34,7 +34,8 @@ var overProtocols = []struct {
 
 // backends builds one instance of every transport backend over the same
 // database: Loopback, Concurrent under a latency model, and HTTP against
-// httptest owner servers.
+// httptest owner servers — once under the negotiated binary wire codec
+// and once forced to the JSON fallback, so parity pins both wires.
 func backends(t *testing.T, db *list.Database) map[string]transport.Transport {
 	t.Helper()
 	lb, err := transport.NewLoopback(db)
@@ -47,7 +48,11 @@ func backends(t *testing.T, db *list.Database) map[string]transport.Transport {
 	}
 	t.Cleanup(func() { cc.Close() })
 	hc := httpCluster(t, db)
-	return map[string]transport.Transport{"loopback": lb, "concurrent": cc, "http": hc}
+	hcJSON := httpCluster(t, db)
+	hcJSON.SetWireFormat(transport.WireJSON)
+	return map[string]transport.Transport{
+		"loopback": lb, "concurrent": cc, "http": hc, "http-json": hcJSON,
+	}
 }
 
 // httpCluster serves every list of db over httptest owners and dials
@@ -94,7 +99,7 @@ func TestBackendsBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s/loopback: %v", dbName, p.name, err)
 				}
-				for _, backend := range []string{"concurrent", "http"} {
+				for _, backend := range []string{"concurrent", "http", "http-json"} {
 					t.Run(fmt.Sprintf("%s/%s/k=%d/%s", dbName, p.name, k, backend), func(t *testing.T) {
 						got, err := p.run(ctx, bks[backend], opts)
 						if err != nil {
@@ -185,6 +190,44 @@ func TestConcurrentSessionsParity(t *testing.T) {
 		}
 		if got[i].Accesses != want[i].Accesses {
 			t.Errorf("%s: concurrent accesses differ: %v vs serial %v", c.name, got[i].Accesses, want[i].Accesses)
+		}
+	}
+}
+
+// TestRoundCoalescing pins the wire-exchange accounting: TA and BPA
+// coalesce each round's m-1 lookups per owner into one batched exchange
+// (so a round costs exactly 2m wire round-trips), while BPA2 and the
+// TPUT family address every owner at most once per fan-out and have
+// nothing to coalesce (Exchanges == Messages/2). Logical message counts
+// are untouched either way.
+func TestRoundCoalescing(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 3})
+	lb, err := transport.NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m := int64(db.M())
+	for _, p := range overProtocols {
+		res, err := p.run(ctx, lb, Options{K: 10, Scoring: score.Sum{}})
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		logical := res.Net.Messages / 2
+		switch p.name {
+		case "dist-ta", "dist-bpa":
+			if want := int64(res.Net.Rounds) * 2 * m; res.Net.Exchanges != want {
+				t.Errorf("%s: exchanges = %d, want %d (2m per round)", p.name, res.Net.Exchanges, want)
+			}
+			if res.Net.Exchanges >= logical {
+				t.Errorf("%s: coalescing did not reduce exchanges (%d wire vs %d logical)",
+					p.name, res.Net.Exchanges, logical)
+			}
+		default:
+			if res.Net.Exchanges != logical {
+				t.Errorf("%s: exchanges = %d, want %d (one per logical exchange)",
+					p.name, res.Net.Exchanges, logical)
+			}
 		}
 	}
 }

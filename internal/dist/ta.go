@@ -29,7 +29,10 @@ func TA(db *list.Database, opts Options) (*Result, error) {
 // Each round fans out in two waves a concurrent backend overlaps across
 // owners: the m sorted accesses at the current depth, then the m·(m-1)
 // lookups they trigger (the lookups depend on the sorted responses, so
-// the waves themselves are ordered).
+// the waves themselves are ordered). The lookup wave is round-coalesced:
+// each owner's m-1 lookups travel as one batched wire exchange, so a
+// round costs two round-trips — not m — on a latency-bound backend,
+// while Net keeps charging the logical messages.
 func TAOver(ctx context.Context, t transport.Transport, opts Options) (*Result, error) {
 	r, err := newRunner(ctx, t, opts)
 	if err != nil {

@@ -25,8 +25,9 @@ func TPUT(db *list.Database, opts Options) (*Result, error) {
 // one exchange per access, TPUT pays at most three exchanges per owner,
 // each carrying a batch (phase 3 skips owners with nothing to resolve).
 // Every phase is one fan-out a concurrent backend delivers to all owners
-// at once, so TPUT's wall-clock is three round-trips — the design point
-// the per-access protocols trade message volume against.
+// at once — one message per owner per phase, so TPUT is already maximally
+// round-coalesced — and TPUT's wall-clock is three round-trips, the
+// design point the per-access protocols trade message volume against.
 //
 //  1. The originator fetches every owner's top k entries and computes
 //     τ1, the k-th highest partial sum (missing scores taken as 0).

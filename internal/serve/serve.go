@@ -307,6 +307,7 @@ type distNetBody struct {
 	Messages      int64   `json:"messages"`
 	Payload       int64   `json:"payload"`
 	Rounds        int     `json:"rounds"`
+	Exchanges     int64   `json:"exchanges"`
 	PerOwner      []int64 `json:"perOwner"`
 	TotalAccesses int64   `json:"totalAccesses"`
 	ElapsedMicros int64   `json:"elapsedMicros"`
@@ -354,6 +355,7 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 			Messages:      res.Stats.Messages,
 			Payload:       res.Stats.Payload,
 			Rounds:        res.Stats.Rounds,
+			Exchanges:     res.Stats.Exchanges,
 			PerOwner:      res.Stats.PerOwner,
 			TotalAccesses: res.Stats.TotalAccesses,
 			ElapsedMicros: res.Stats.Elapsed.Microseconds(),

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable benchmark record the CI pipeline stores as
+// BENCH_<pr>.json, so successive PRs leave a comparable perf trajectory
+// (queries/sec, wire bytes, allocations) instead of scrollback.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Codec|ConcurrentSessions' -benchmem . | \
+//	    go run ./internal/tools/benchjson -note "PR 4" > BENCH_4.json
+//
+//	go run ./internal/tools/benchjson -note "PR 4" -baseline pr3.txt current.txt
+//
+// Every benchmark line becomes {name, iterations, metrics{unit: value}};
+// unparseable lines are ignored, so the raw `go test` stream can be
+// piped in directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Record is the file layout of BENCH_<pr>.json.
+type Record struct {
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+	// Baseline holds the previous PR's numbers when provided, so the
+	// delta travels with the file.
+	Baseline []Bench `json:"baseline,omitempty"`
+}
+
+// parse extracts benchmark lines from `go test -bench` output. A line is
+//
+//	BenchmarkName/sub-8   123   4567 ns/op   89.0 queries/sec   ...
+//
+// i.e. a name starting with "Benchmark", an iteration count, then
+// value/unit pairs.
+func parse(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) ([]Bench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	note := flag.String("note", "", "free-form label stored in the record")
+	baseline := flag.String("baseline", "", "previous PR's bench output to embed for comparison")
+	flag.Parse()
+
+	var (
+		rec Record
+		err error
+	)
+	rec.Note = *note
+	switch flag.NArg() {
+	case 0:
+		rec.Benchmarks, err = parse(os.Stdin)
+	case 1:
+		rec.Benchmarks, err = parseFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "benchjson: at most one input file (or stdin)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		if rec.Baseline, err = parseFile(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

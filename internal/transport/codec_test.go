@@ -1,0 +1,374 @@
+package transport
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"topk/internal/list"
+)
+
+// codecRequests is one of every request shape, including the edge
+// values the binary codec must preserve (empty fetch, batches).
+func codecRequests() []Request {
+	return []Request{
+		SortedReq{Pos: 1},
+		SortedReq{Pos: 1 << 20},
+		LookupReq{Item: 0},
+		LookupReq{Item: 12345, WantPos: true},
+		ProbeReq{},
+		MarkReq{Item: 7},
+		TopKReq{K: 64},
+		AboveReq{T: 0.123456789123456789},
+		AboveReq{T: 0},
+		FetchReq{Items: []list.ItemID{0, 1, 99999}},
+		FetchReq{Items: nil},
+		BatchReq{}, // empty batch
+		BatchReq{Reqs: []Request{
+			SortedReq{Pos: 3},
+			LookupReq{Item: 5, WantPos: true},
+			ProbeReq{},
+			MarkReq{Item: 9},
+			TopKReq{K: 2},
+			AboveReq{T: 0.5},
+			FetchReq{Items: []list.ItemID{4, 2}},
+		}},
+	}
+}
+
+// codecResponses is one of every response shape, including the +Inf
+// best-position piggyback the JSON codec needs Upper for and the binary
+// codec must carry natively.
+func codecResponses() []Response {
+	e := list.Entry{Item: 42, Score: 0.7071067811865476}
+	return []Response{
+		SortedResp{Entry: e},
+		LookupResp{Score: 0.25},
+		LookupResp{Score: 0.25, Pos: 17, HasPos: true},
+		ProbeResp{Entry: e, BestScore: Upper(math.Inf(1))},
+		ProbeResp{Entry: e, BestScore: 0.5, Exhausted: true},
+		ProbeResp{BestScore: Upper(math.Inf(1)), Exhausted: true, Empty: true},
+		MarkResp{Score: 0.125, BestScore: Upper(math.Inf(1))},
+		MarkResp{Score: 0.125, BestScore: 0.25, Exhausted: true},
+		TopKResp{Entries: []list.Entry{e, {Item: 1, Score: 0.5}}},
+		AboveResp{Entries: nil},
+		AboveResp{Entries: []list.Entry{e}},
+		FetchResp{Scores: []float64{1, 0.5, 0.25}},
+		FetchResp{Scores: nil},
+		BatchResp{}, // empty batch
+		BatchResp{Resps: []Response{
+			SortedResp{Entry: e},
+			LookupResp{Score: 0.1, Pos: 2, HasPos: true},
+			ProbeResp{Entry: e, BestScore: Upper(math.Inf(1))},
+			MarkResp{Score: 0.2, BestScore: 0.3},
+			TopKResp{Entries: []list.Entry{e}},
+			AboveResp{Entries: nil},
+			FetchResp{Scores: []float64{0.9}},
+		}},
+	}
+}
+
+// TestBinaryRequestRoundTrip: every request must survive the binary
+// codec bit-identically.
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	for _, req := range codecRequests() {
+		enc, err := AppendRequestBinary(nil, req)
+		if err != nil {
+			t.Fatalf("%#v: encode: %v", req, err)
+		}
+		dec, err := DecodeRequestBinary(enc)
+		if err != nil {
+			t.Fatalf("%#v: decode: %v", req, err)
+		}
+		if !reflect.DeepEqual(dec, req) {
+			t.Errorf("binary round-trip changed request:\n got %#v\nwant %#v", dec, req)
+		}
+	}
+}
+
+// TestBinaryResponseRoundTrip: every response must survive the binary
+// codec bit-identically, +Inf piggyback included.
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	for _, resp := range codecResponses() {
+		enc, err := AppendResponseBinary(nil, resp)
+		if err != nil {
+			t.Fatalf("%#v: encode: %v", resp, err)
+		}
+		dec, err := DecodeResponseBinary(enc)
+		if err != nil {
+			t.Fatalf("%#v: decode: %v", resp, err)
+		}
+		if !reflect.DeepEqual(dec, resp) {
+			t.Errorf("binary round-trip changed response:\n got %#v\nwant %#v", dec, resp)
+		}
+	}
+}
+
+// TestCodecParityJSONBinary: decoding a message from one codec must
+// yield exactly what the other codec yields — the two wires are
+// different encodings of the same message, never different messages.
+func TestCodecParityJSONBinary(t *testing.T) {
+	for _, req := range codecRequests() {
+		bin, err := AppendRequestBinary(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := DecodeRequestBinary(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := decodeRequestJSON(req.Kind(), js)
+		if err != nil {
+			t.Fatalf("%#v: json decode: %v", req, err)
+		}
+		if !reflect.DeepEqual(fromBin, fromJSON) {
+			t.Errorf("codecs disagree on request:\nbinary %#v\n  json %#v", fromBin, fromJSON)
+		}
+	}
+	for _, resp := range codecResponses() {
+		kind, err := responseKind(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := AppendResponseBinary(nil, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := DecodeResponseBinary(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := decodeResponseJSON(kind, js)
+		if err != nil {
+			t.Fatalf("%#v: json decode: %v", resp, err)
+		}
+		if !reflect.DeepEqual(fromBin, fromJSON) {
+			t.Errorf("codecs disagree on response:\nbinary %#v\n  json %#v", fromBin, fromJSON)
+		}
+	}
+}
+
+// TestBatchJSONRoundTrip: the kind-tagged JSON envelope must round-trip
+// batches too — it is the fallback wire for coalesced rounds.
+func TestBatchJSONRoundTrip(t *testing.T) {
+	req := BatchReq{Reqs: []Request{SortedReq{Pos: 2}, LookupReq{Item: 3, WantPos: true}, ProbeReq{}}}
+	js, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BatchReq
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, req) {
+		t.Errorf("JSON batch request round-trip: got %#v, want %#v", back, req)
+	}
+	resp := BatchResp{Resps: []Response{
+		SortedResp{Entry: list.Entry{Item: 1, Score: 0.5}},
+		LookupResp{Score: 0.25, Pos: 9, HasPos: true},
+		ProbeResp{Entry: list.Entry{Item: 2, Score: 0.4}, BestScore: Upper(math.Inf(1))},
+	}}
+	js, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backR BatchResp
+	if err := json.Unmarshal(js, &backR); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(backR, resp) {
+		t.Errorf("JSON batch response round-trip: got %#v, want %#v", backR, resp)
+	}
+}
+
+// TestBatchScalarsAndReplayability: a batch charges the sum of its inner
+// messages, and is replayable only when every member is.
+func TestBatchScalarsAndReplayability(t *testing.T) {
+	b := BatchReq{Reqs: []Request{
+		FetchReq{Items: []list.ItemID{1, 2, 3}}, // 3 scalars, replayable
+		SortedReq{Pos: 1},                       // 0 scalars, replayable
+	}}
+	if got := b.RequestScalars(); got != 3 {
+		t.Errorf("batch request scalars = %d, want 3", got)
+	}
+	if !b.Replayable() {
+		t.Error("all-replayable batch not replayable")
+	}
+	b.Reqs = append(b.Reqs, ProbeReq{})
+	if b.Replayable() {
+		t.Error("batch containing a probe must not be replayable")
+	}
+	r := BatchResp{Resps: []Response{
+		SortedResp{},                             // 2 scalars
+		FetchResp{Scores: []float64{1, 2, 3, 4}}, // 4 scalars
+		ProbeResp{BestScore: 1, Empty: true},     // 1 scalar
+	}}
+	if got := r.ResponseScalars(); got != 7 {
+		t.Errorf("batch response scalars = %d, want 7", got)
+	}
+}
+
+// TestBinaryRejectsMalformed: nested batches, kind mismatches, trailing
+// garbage and truncations must error, never panic.
+func TestBinaryRejectsMalformed(t *testing.T) {
+	nested := BatchReq{Reqs: []Request{BatchReq{Reqs: []Request{ProbeReq{}}}}}
+	if _, err := AppendRequestBinary(nil, nested); err == nil {
+		t.Error("nested batch encoded")
+	}
+	ok, err := AppendRequestBinary(nil, SortedReq{Pos: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequestBinary(append(ok, 0xFF)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	for cut := 0; cut < len(ok); cut++ {
+		if _, err := DecodeRequestBinary(ok[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// A frame claiming more payload than present.
+	bogus := []byte{1, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := DecodeRequestBinary(bogus); err == nil {
+		t.Error("oversized length prefix accepted")
+	}
+	// Unknown kind code.
+	if _, err := DecodeRequestBinary([]byte{99, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown code accepted")
+	}
+	// A huge batch count over a tiny payload must fail the count check,
+	// not allocate.
+	huge := []byte{8, 4, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeRequestBinary(huge); err == nil {
+		t.Error("bogus batch count accepted")
+	}
+}
+
+// TestBinarySmallerThanJSON pins the codec's reason to exist at the
+// message level: representative hot-path messages must be at least 40%
+// smaller in binary than in JSON. (The per-query version over whole
+// protocol traces lives in the root package's codec benchmark.)
+func TestBinarySmallerThanJSON(t *testing.T) {
+	entries := make([]list.Entry, 20)
+	for i := range entries {
+		entries[i] = list.Entry{Item: list.ItemID(i * 31), Score: 1 / float64(i+2)}
+	}
+	msgs := []Response{
+		SortedResp{Entry: entries[0]},
+		LookupResp{Score: 0.123456789, Pos: 4321, HasPos: true},
+		ProbeResp{Entry: entries[1], BestScore: 0.987654321},
+		MarkResp{Score: 0.5, BestScore: 0.25},
+		TopKResp{Entries: entries},
+		AboveResp{Entries: entries},
+		FetchResp{Scores: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}},
+	}
+	var jsonBytes, binBytes int
+	for _, m := range msgs {
+		js, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := AppendResponseBinary(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonBytes += len(js)
+		binBytes += len(bin)
+	}
+	if float64(binBytes) > 0.6*float64(jsonBytes) {
+		t.Errorf("binary codec %d bytes vs JSON %d: less than 40%% smaller", binBytes, jsonBytes)
+	}
+}
+
+// FuzzDecodeRequestBinary: arbitrary bytes must never panic the decoder,
+// and anything that decodes must re-encode and decode to the same
+// message.
+func FuzzDecodeRequestBinary(f *testing.F) {
+	for _, req := range codecRequests() {
+		enc, err := AppendRequestBinary(nil, req)
+		if err != nil {
+			continue
+		}
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequestBinary(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendRequestBinary(nil, req)
+		if err != nil {
+			t.Fatalf("decoded %#v does not re-encode: %v", req, err)
+		}
+		back, err := DecodeRequestBinary(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %#v does not decode: %v", req, err)
+		}
+		if !reflect.DeepEqual(back, req) {
+			t.Fatalf("unstable round-trip: %#v -> %#v", req, back)
+		}
+	})
+}
+
+// FuzzDecodeResponseBinary mirrors the request fuzzer for responses.
+func FuzzDecodeResponseBinary(f *testing.F) {
+	for _, resp := range codecResponses() {
+		enc, err := AppendResponseBinary(nil, resp)
+		if err != nil {
+			continue
+		}
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponseBinary(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendResponseBinary(nil, resp)
+		if err != nil {
+			t.Fatalf("decoded %#v does not re-encode: %v", resp, err)
+		}
+		back, err := DecodeResponseBinary(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %#v does not decode: %v", resp, err)
+		}
+		if !reflect.DeepEqual(back, resp) {
+			t.Fatalf("unstable round-trip: %#v -> %#v", resp, back)
+		}
+	})
+}
+
+// TestMaxSizeBatch: a batch at the MaxBatch bound must round-trip; one
+// past it must be rejected by the encoder.
+func TestMaxSizeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large allocation")
+	}
+	reqs := make([]Request, MaxBatch)
+	for i := range reqs {
+		reqs[i] = ProbeReq{}
+	}
+	enc, err := AppendRequestBinary(nil, BatchReq{Reqs: reqs})
+	if err != nil {
+		t.Fatalf("max-size batch rejected: %v", err)
+	}
+	dec, err := DecodeRequestBinary(enc)
+	if err != nil {
+		t.Fatalf("max-size batch decode: %v", err)
+	}
+	if got := len(dec.(BatchReq).Reqs); got != MaxBatch {
+		t.Fatalf("max-size batch decoded to %d requests", got)
+	}
+	if _, err := AppendRequestBinary(nil, BatchReq{Reqs: append(reqs, ProbeReq{})}); err == nil {
+		t.Error("over-limit batch encoded")
+	}
+}

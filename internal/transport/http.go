@@ -18,27 +18,38 @@ import (
 )
 
 // The HTTP backend: a real owner server (one list per process) and an
-// originator client speaking a small JSON protocol. Every data-plane
-// message carries its query session ID in the `sid` query parameter, so
-// one owner serves any number of concurrent originators:
+// originator client. Every data-plane message carries its query session
+// ID in the `sid` query parameter, so one owner serves any number of
+// concurrent originators:
 //
 //	POST /session/open   control-plane: install fresh per-session state
 //	                     {sid, tracker}; idempotent per sid
 //	POST /session/close  control-plane: release a session's state {sid}
 //	POST /rpc/{kind}?sid=...  one exchange; body and response are the
-//	                     message structs of this package
+//	                     message structs of this package, encoded by the
+//	                     negotiated wire codec (kind "batch" carries a
+//	                     coalesced round for this owner)
 //	GET  /stats?sid=...  control-plane: the session's OwnerStats;
 //	                     without sid, the owner's list metadata
-//	                     (the dial handshake)
+//	                     (the dial handshake, which also advertises the
+//	                     wire codecs the owner speaks)
 //	POST /reset          deprecated no-op, kept for pre-session clients
 //	GET  /healthz        liveness
 //
-// encoding/json renders float64s in their shortest round-tripping form,
-// so scores survive the wire bit-identically and the parity suite can
-// hold HTTP to the same answers and accounting as the in-process
-// backends. Non-finite list scores are not supported on this backend
-// (JSON has no infinities); the +Inf best-position piggyback, which is
-// protocol vocabulary rather than list data, is handled by Upper.
+// The /rpc data plane speaks two codecs, negotiated via Content-Type:
+// the length-prefixed little-endian binary codec (codec.go) is the
+// default whenever every owner advertises it in the dial handshake, and
+// JSON remains the fallback for old owners and the debugging surface
+// (HTTPClient.SetWireFormat). The server answers in the codec the
+// request arrived in, so one owner serves binary and JSON clients at
+// once; error payloads are always JSON. encoding/json renders float64s
+// in their shortest round-tripping form and the binary codec ships raw
+// IEEE-754 bits, so scores survive either wire bit-identically and the
+// parity suite can hold HTTP to the same answers and accounting as the
+// in-process backends. Non-finite list scores are not supported on the
+// JSON codec (JSON has no infinities); the +Inf best-position
+// piggyback, which is protocol vocabulary rather than list data, is
+// handled there by Upper — the binary codec carries it natively.
 
 // Server is one list owner behind HTTP. Wrap Handler in an http.Server
 // (or httptest.Server); cmd/topk-owner is the standalone binary.
@@ -186,6 +197,28 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deprecated no-op; sessions are keyed by sid"})
 }
 
+// maxRPCBody bounds a data-plane request body. Generous: the largest
+// legitimate request is a TPUT phase-3 fetch of every item.
+const maxRPCBody = 16 << 20
+
+// appendAll reads r to EOF into dst — the pooled-buffer replacement for
+// io.ReadAll on the hot path.
+func appendAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
 func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
@@ -197,7 +230,34 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind := Kind(strings.TrimPrefix(r.URL.Path, "/rpc/"))
-	req, err := decodeRequest(kind, r.Body)
+	buf := getBuf()
+	defer putBuf(buf)
+	// Read one byte past the limit so an oversize body is a clear 413,
+	// not a truncated-frame 400 that reads like corruption.
+	body, err := appendAll(*buf, io.LimitReader(r.Body, maxRPCBody+1))
+	*buf = body
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "transport: read request body: %v", err)
+		return
+	}
+	if len(body) > maxRPCBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "transport: request body exceeds %d bytes", maxRPCBody)
+		return
+	}
+	// The request's Content-Type selects the codec; the response mirrors
+	// it, so binary and JSON clients share one owner. Errors are always
+	// JSON — they are control-plane, and the client's error path predates
+	// the binary codec.
+	binaryWire := r.Header.Get("Content-Type") == ContentTypeBinary
+	var req Request
+	if binaryWire {
+		req, err = DecodeRequestBinary(body)
+		if err == nil && req.Kind() != kind {
+			err = fmt.Errorf("transport: frame kind %q does not match path kind %q", req.Kind(), kind)
+		}
+	} else {
+		req, err = decodeRequestJSON(kind, body)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -210,82 +270,71 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), "%v", err)
 		return
 	}
+	if binaryWire {
+		out := getBuf()
+		defer putBuf(out)
+		enc, err := AppendResponseBinary(*out, resp)
+		*out = enc
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "transport: encode response: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(enc)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// decodeRequest unmarshals the body of a /rpc/{kind} call.
-func decodeRequest(kind Kind, body io.Reader) (Request, error) {
-	dec := json.NewDecoder(body)
-	switch kind {
-	case KindSorted:
-		var req SortedReq
-		return req, decodeInto(dec, &req)
-	case KindLookup:
-		var req LookupReq
-		return req, decodeInto(dec, &req)
-	case KindProbe:
-		var req ProbeReq
-		return req, decodeInto(dec, &req)
-	case KindMark:
-		var req MarkReq
-		return req, decodeInto(dec, &req)
-	case KindTopK:
-		var req TopKReq
-		return req, decodeInto(dec, &req)
-	case KindAbove:
-		var req AboveReq
-		return req, decodeInto(dec, &req)
-	case KindFetch:
-		var req FetchReq
-		return req, decodeInto(dec, &req)
-	default:
-		return nil, fmt.Errorf("transport: unknown request kind %q", kind)
+// decodeRequestJSON unmarshals the JSON body of a /rpc/{kind} call.
+// Batches are handled here (one nesting level); the shared per-kind
+// table rejects nested ones.
+func decodeRequestJSON(kind Kind, body []byte) (Request, error) {
+	if kind == KindBatch {
+		var req BatchReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("transport: bad request body: %w", err)
+		}
+		return req, nil
 	}
+	return UnmarshalRequestJSON(kind, body)
 }
 
-func decodeInto(dec *json.Decoder, v any) error {
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("transport: bad request body: %w", err)
+// decodeResponseJSON unmarshals the JSON response of a /rpc/{kind} call.
+func decodeResponseJSON(kind Kind, body []byte) (Response, error) {
+	if kind == KindBatch {
+		var resp BatchResp
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, fmt.Errorf("transport: bad message body: %w", err)
+		}
+		return resp, nil
 	}
-	return nil
+	return UnmarshalResponseJSON(kind, body)
 }
 
-// decodeResponse unmarshals the response of a /rpc/{kind} call.
-func decodeResponse(kind Kind, body io.Reader) (Response, error) {
-	dec := json.NewDecoder(body)
-	switch kind {
-	case KindSorted:
-		var resp SortedResp
-		return resp, decodeInto(dec, &resp)
-	case KindLookup:
-		var resp LookupResp
-		return resp, decodeInto(dec, &resp)
-	case KindProbe:
-		var resp ProbeResp
-		return resp, decodeInto(dec, &resp)
-	case KindMark:
-		var resp MarkResp
-		return resp, decodeInto(dec, &resp)
-	case KindTopK:
-		var resp TopKResp
-		return resp, decodeInto(dec, &resp)
-	case KindAbove:
-		var resp AboveResp
-		return resp, decodeInto(dec, &resp)
-	case KindFetch:
-		var resp FetchResp
-		return resp, decodeInto(dec, &resp)
-	default:
-		return nil, fmt.Errorf("transport: unknown response kind %q", kind)
-	}
-}
+// WireFormat selects the /rpc data-plane codec of an HTTPClient.
+type WireFormat uint8
+
+const (
+	// WireAuto uses the binary codec when every owner advertised it in
+	// the dial handshake, JSON otherwise. The default.
+	WireAuto WireFormat = iota
+	// WireJSON forces the JSON codec — the debugging surface, and the
+	// escape hatch for owners that mis-advertise.
+	WireJSON
+	// WireBinary forces the binary codec even against owners that did
+	// not advertise it (their requests will fail with 400s).
+	WireBinary
+)
 
 // HTTPClient is the originator side of the HTTP backend: one base URL
 // per owner, exchanges as POSTs, batches fanned out with one goroutine
 // per addressed owner. The client is shared infrastructure — sessions
-// opened on it run concurrently — and every request gets its own
-// timeout plus a single retry on transient owner failures (connection
-// errors, 5xx), with the owner index wrapped into every error.
+// opened on it run concurrently over one pooled http.Client — and every
+// request gets its own timeout plus a single retry on transient owner
+// failures (connection errors, 5xx), with the owner index wrapped into
+// every error.
 type HTTPClient struct {
 	urls []string
 	hc   *http.Client
@@ -293,6 +342,26 @@ type HTTPClient struct {
 
 	// reqTimeout bounds each HTTP attempt; see SetRequestTimeout.
 	reqTimeout time.Duration
+
+	// wire selects the data-plane codec; binNegotiated records whether
+	// every owner advertised the binary codec at dial time (consulted
+	// under WireAuto).
+	wire          WireFormat
+	binNegotiated bool
+}
+
+// defaultHTTPClient builds the pooled client Dial uses when the caller
+// passes nil. net/http's zero-value Transport keeps only 2 idle
+// connections per host, so a fleet of concurrent originators hammering
+// the same few owners would re-handshake TCP on nearly every exchange;
+// the tuned pool keeps one warm connection per in-flight originator.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}}
 }
 
 // NormalizeOwnerURL turns a host:port (or full URL) into the base URL of
@@ -314,21 +383,25 @@ const DefaultTimeout = 30 * time.Second
 // Dial connects to the owner servers — urls[i] must serve list i — and
 // validates the cluster: every owner must report its expected list
 // index, the shared list length, and a database of exactly len(urls)
-// lists. Requests are bounded per-attempt by DefaultTimeout (see
-// SetRequestTimeout); pass an explicit client to control the transport
-// itself (connection pooling, TLS).
+// lists. The handshake also negotiates the wire codec: when every owner
+// advertises the binary codec, the data plane uses it (see
+// SetWireFormat). Requests are bounded per-attempt by DefaultTimeout
+// (see SetRequestTimeout); a nil client gets a connection pool tuned for
+// many concurrent originators against few owners — pass an explicit
+// client to control the transport yourself (pooling, TLS).
 func Dial(urls []string, hc *http.Client) (*HTTPClient, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("transport: no owner URLs")
 	}
 	if hc == nil {
-		hc = &http.Client{}
+		hc = defaultHTTPClient()
 	}
 	t := &HTTPClient{urls: make([]string, len(urls)), hc: hc, reqTimeout: DefaultTimeout}
 	for i, u := range urls {
 		t.urls[i] = NormalizeOwnerURL(u)
 	}
 	ctx := context.Background()
+	allBinary := true
 	for i := range t.urls {
 		st, err := t.ownerInfo(ctx, i)
 		if err != nil {
@@ -348,8 +421,34 @@ func Dial(urls []string, hc *http.Client) (*HTTPClient, error) {
 			return nil, fmt.Errorf("transport: owner %d (%s) has %d items, owner 0 has %d",
 				i, t.urls[i], st.N, t.n)
 		}
+		ownerBinary := false
+		for _, c := range st.Codecs {
+			if c == CodecBinary {
+				ownerBinary = true
+				break
+			}
+		}
+		allBinary = allBinary && ownerBinary
 	}
+	t.binNegotiated = allBinary
 	return t, nil
+}
+
+// SetWireFormat overrides the dial-time codec negotiation (default
+// WireAuto: binary when every owner advertises it). Set it before
+// opening sessions.
+func (t *HTTPClient) SetWireFormat(f WireFormat) { t.wire = f }
+
+// binaryWire reports whether /rpc exchanges travel in the binary codec.
+func (t *HTTPClient) binaryWire() bool {
+	switch t.wire {
+	case WireJSON:
+		return false
+	case WireBinary:
+		return true
+	default:
+		return t.binNegotiated
+	}
 }
 
 // SetRequestTimeout changes the per-attempt bound on every subsequent
@@ -399,7 +498,7 @@ func transientErr(ctx context.Context, err error) bool {
 
 // attempt performs one HTTP round-trip under the per-attempt timeout.
 // The returned status is 0 when no response arrived.
-func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byte, decode func(io.Reader) error) (int, error) {
+func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byte, contentType string, decode func(io.Reader) error) (int, error) {
 	actx, cancel := context.WithTimeout(ctx, t.reqTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -413,7 +512,7 @@ func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byt
 		return http.StatusBadRequest, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := t.hc.Do(req)
 	if err != nil {
@@ -429,21 +528,14 @@ func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byt
 	return resp.StatusCode, nil
 }
 
-// do performs one exchange with owner, retrying once on transient
-// failures (connection errors, per-attempt timeouts, 5xx) — the first
-// step toward owner failover. The retry is attempted only when
-// replayable: a lost response leaves the caller unable to tell whether
-// the owner executed the request, so cursor-advancing exchanges (probe,
-// above) must fail instead of silently skipping list entries. Errors
-// carry the owner index.
-func (t *HTTPClient) do(ctx context.Context, owner int, method, path string, body any, replayable bool, decode func(io.Reader) error) error {
-	var buf []byte
-	if body != nil {
-		var err error
-		if buf, err = json.Marshal(body); err != nil {
-			return fmt.Errorf("transport: owner %d (%s): encode request: %w", owner, t.urls[owner], err)
-		}
-	}
+// doBytes performs one exchange with owner, body pre-encoded, retrying
+// once on transient failures (connection errors, per-attempt timeouts,
+// 5xx) — the first step toward owner failover. The retry is attempted
+// only when replayable: a lost response leaves the caller unable to tell
+// whether the owner executed the request, so cursor-advancing exchanges
+// (probe, above, or a batch containing one) must fail instead of
+// silently skipping list entries. Errors carry the owner index.
+func (t *HTTPClient) doBytes(ctx context.Context, owner int, method, path string, body []byte, contentType string, replayable bool, decode func(io.Reader) error) error {
 	tries := 1
 	if replayable {
 		tries = 2
@@ -456,7 +548,7 @@ func (t *HTTPClient) do(ctx context.Context, owner int, method, path string, bod
 			}
 			break
 		}
-		status, err := t.attempt(ctx, method, t.urls[owner]+path, buf, decode)
+		status, err := t.attempt(ctx, method, t.urls[owner]+path, body, contentType, decode)
 		if err == nil {
 			return nil
 		}
@@ -466,6 +558,18 @@ func (t *HTTPClient) do(ctx context.Context, owner int, method, path string, bod
 		}
 	}
 	return fmt.Errorf("transport: owner %d (%s): %w", owner, t.urls[owner], lastErr)
+}
+
+// do is the JSON control-plane exchange: marshal body, doBytes.
+func (t *HTTPClient) do(ctx context.Context, owner int, method, path string, body any, replayable bool, decode func(io.Reader) error) error {
+	var buf []byte
+	if body != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("transport: owner %d (%s): encode request: %w", owner, t.urls[owner], err)
+		}
+	}
+	return t.doBytes(ctx, owner, method, path, buf, ContentTypeJSON, replayable, decode)
 }
 
 // RemoteError is a non-200 reply from an owner server. It is a distinct
@@ -508,13 +612,25 @@ func (t *HTTPClient) ownerInfo(ctx context.Context, owner int) (OwnerStats, erro
 	return st, err
 }
 
-// Open starts a query session at every owner. On partial failure the
+// Open starts a query session at every owner, fanned out in parallel —
+// opening is control-plane, but a serial loop would still cost m
+// round-trips of real latency per query. On partial failure the
 // already-opened owners are closed again, best-effort.
 func (t *HTTPClient) Open(ctx context.Context, tracker bestpos.Kind) (Session, error) {
 	sid := NewSessionID()
 	body := sessionBody{SID: sid, Tracker: uint8(tracker)}
+	errs := make([]error, len(t.urls))
+	var wg sync.WaitGroup
 	for i := range t.urls {
-		if err := t.do(ctx, i, http.MethodPost, "/session/open", body, true, nil); err != nil {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = t.do(ctx, i, http.MethodPost, "/session/open", body, true, nil)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			s := &httpSession{t: t, sid: sid}
 			_ = s.Close()
 			return nil, err
@@ -554,12 +670,43 @@ func (s *httpSession) rpcPath(kind Kind) string {
 	return "/rpc/" + string(kind) + "?sid=" + s.sid
 }
 
-// exchange performs one uninstrumented request/response round-trip.
+// exchange performs one uninstrumented request/response round-trip in
+// the negotiated wire codec. Both the request and response bodies pass
+// through pooled buffers; decoded messages own their memory, so nothing
+// aliases a pooled slice after return.
 func (s *httpSession) exchange(ctx context.Context, owner int, req Request) (Response, error) {
+	kind := req.Kind()
+	binary := s.t.binaryWire()
+	enc := getBuf()
+	defer putBuf(enc)
+	var err error
+	if binary {
+		*enc, err = AppendRequestBinary(*enc, req)
+	} else {
+		*enc, err = json.Marshal(req)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: owner %d (%s): encode request: %w", owner, s.t.urls[owner], err)
+	}
+	ct := ContentTypeJSON
+	if binary {
+		ct = ContentTypeBinary
+	}
 	var out Response
-	err := s.t.do(ctx, owner, http.MethodPost, s.rpcPath(req.Kind()), req, req.Replayable(), func(body io.Reader) error {
+	err = s.t.doBytes(ctx, owner, http.MethodPost, s.rpcPath(kind), *enc, ct, req.Replayable(), func(body io.Reader) error {
+		dec := getBuf()
+		defer putBuf(dec)
+		data, rerr := appendAll(*dec, body)
+		*dec = data
+		if rerr != nil {
+			return rerr
+		}
 		var derr error
-		out, derr = decodeResponse(req.Kind(), body)
+		if binary {
+			out, derr = DecodeResponseBinary(data)
+		} else {
+			out, derr = decodeResponseJSON(kind, data)
+		}
 		return derr
 	})
 	if err != nil {

@@ -20,6 +20,7 @@ const (
 	KindTopK   Kind = "topk"
 	KindAbove  Kind = "above"
 	KindFetch  Kind = "fetch"
+	KindBatch  Kind = "batch"
 )
 
 // Request is one originator-to-owner message. RequestScalars is the
@@ -248,3 +249,239 @@ type FetchResp struct {
 
 // ResponseScalars: one score per requested item.
 func (r FetchResp) ResponseScalars() int { return len(r.Scores) }
+
+// BatchReq coalesces several independent logical requests for one owner
+// into a single wire exchange — the round-coalescing that collapses a
+// protocol round's per-owner fan-out (TA/BPA's m-1 lookups per owner)
+// into one POST per owner on the HTTP backend, and into one priced
+// exchange under the Concurrent backend's latency model. The owner
+// executes the inner requests in order, atomically against one session
+// (the session mutex is held across the whole batch), and answers with a
+// BatchResp whose responses are in request order.
+//
+// A batch is a wire vehicle, not a protocol message: traffic accounting
+// (Net.Messages, Net.Payload, Net.PerOwner) is charged from the logical
+// inner messages by the originator, so coalescing cannot perturb the
+// paper's cost metrics. Batches must not nest.
+type BatchReq struct {
+	Reqs []Request
+}
+
+func (BatchReq) Kind() Kind { return KindBatch }
+
+// RequestScalars: the sum over the inner requests — a latency model that
+// prices payload sees exactly the scalars that travel.
+func (b BatchReq) RequestScalars() int {
+	n := 0
+	for _, r := range b.Reqs {
+		n += r.RequestScalars()
+	}
+	return n
+}
+
+// Replayable: only when every inner request is — one cursor-advancing
+// member poisons the whole exchange, because a lost response leaves the
+// originator unable to tell how far the owner got.
+func (b BatchReq) Replayable() bool {
+	for _, r := range b.Reqs {
+		if !r.Replayable() {
+			return false
+		}
+	}
+	return true
+}
+
+// BatchResp carries the inner responses in request order.
+type BatchResp struct {
+	Resps []Response
+}
+
+// ResponseScalars: the sum over the inner responses.
+func (b BatchResp) ResponseScalars() int {
+	n := 0
+	for _, r := range b.Resps {
+		n += r.ResponseScalars()
+	}
+	return n
+}
+
+// wireEnvelope is the kind-tagged JSON frame of one batched inner
+// message; the binary codec carries the same tag as its frame byte.
+type wireEnvelope struct {
+	Kind Kind            `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// batchWire is the JSON form of BatchReq and BatchResp.
+type batchWire struct {
+	Msgs []wireEnvelope `json:"msgs"`
+}
+
+// MarshalJSON encodes the inner requests as kind-tagged envelopes.
+func (b BatchReq) MarshalJSON() ([]byte, error) {
+	w := batchWire{Msgs: make([]wireEnvelope, len(b.Reqs))}
+	for i, r := range b.Reqs {
+		if r.Kind() == KindBatch {
+			return nil, fmt.Errorf("transport: batches must not nest")
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		w.Msgs[i] = wireEnvelope{Kind: r.Kind(), Body: raw}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes kind-tagged envelopes back into typed requests.
+func (b *BatchReq) UnmarshalJSON(data []byte) error {
+	var w batchWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	// An empty batch decodes to nil, like the binary codec, so the two
+	// wires round-trip to DeepEqual-identical messages.
+	b.Reqs = nil
+	for i, env := range w.Msgs {
+		req, err := UnmarshalRequestJSON(env.Kind, env.Body)
+		if err != nil {
+			return fmt.Errorf("transport: batch[%d]: %w", i, err)
+		}
+		b.Reqs = append(b.Reqs, req)
+	}
+	return nil
+}
+
+// MarshalJSON encodes the inner responses as kind-tagged envelopes. The
+// response kind mirrors the request kind, so the decoder can pick the
+// concrete type.
+func (b BatchResp) MarshalJSON() ([]byte, error) {
+	w := batchWire{Msgs: make([]wireEnvelope, len(b.Resps))}
+	for i, r := range b.Resps {
+		kind, err := responseKind(r)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		w.Msgs[i] = wireEnvelope{Kind: kind, Body: raw}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes kind-tagged envelopes back into typed responses.
+func (b *BatchResp) UnmarshalJSON(data []byte) error {
+	var w batchWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	b.Resps = nil
+	for i, env := range w.Msgs {
+		resp, err := UnmarshalResponseJSON(env.Kind, env.Body)
+		if err != nil {
+			return fmt.Errorf("transport: batch[%d]: %w", i, err)
+		}
+		b.Resps = append(b.Resps, resp)
+	}
+	return nil
+}
+
+// responseKind maps a response to the kind of the request it answers —
+// the tag batches and the binary codec frame it under.
+func responseKind(resp Response) (Kind, error) {
+	switch resp.(type) {
+	case SortedResp:
+		return KindSorted, nil
+	case LookupResp:
+		return KindLookup, nil
+	case ProbeResp:
+		return KindProbe, nil
+	case MarkResp:
+		return KindMark, nil
+	case TopKResp:
+		return KindTopK, nil
+	case AboveResp:
+		return KindAbove, nil
+	case FetchResp:
+		return KindFetch, nil
+	case BatchResp:
+		return KindBatch, nil
+	default:
+		return "", fmt.Errorf("transport: unknown response type %T", resp)
+	}
+}
+
+// UnmarshalRequestJSON decodes one request of the given kind from its
+// JSON body — the shared decode table of the HTTP server and the batch
+// envelope. Batches must not nest, so KindBatch is rejected here; the
+// top-level HTTP path decodes batches itself.
+func UnmarshalRequestJSON(kind Kind, data []byte) (Request, error) {
+	switch kind {
+	case KindSorted:
+		var r SortedReq
+		return r, unmarshalStrict(data, &r)
+	case KindLookup:
+		var r LookupReq
+		return r, unmarshalStrict(data, &r)
+	case KindProbe:
+		var r ProbeReq
+		return r, unmarshalStrict(data, &r)
+	case KindMark:
+		var r MarkReq
+		return r, unmarshalStrict(data, &r)
+	case KindTopK:
+		var r TopKReq
+		return r, unmarshalStrict(data, &r)
+	case KindAbove:
+		var r AboveReq
+		return r, unmarshalStrict(data, &r)
+	case KindFetch:
+		var r FetchReq
+		return r, unmarshalStrict(data, &r)
+	case KindBatch:
+		return nil, fmt.Errorf("transport: batches must not nest")
+	default:
+		return nil, fmt.Errorf("transport: unknown request kind %q", kind)
+	}
+}
+
+// UnmarshalResponseJSON decodes one response of the given kind from its
+// JSON body — the client-side mirror of UnmarshalRequestJSON.
+func UnmarshalResponseJSON(kind Kind, data []byte) (Response, error) {
+	switch kind {
+	case KindSorted:
+		var r SortedResp
+		return r, unmarshalStrict(data, &r)
+	case KindLookup:
+		var r LookupResp
+		return r, unmarshalStrict(data, &r)
+	case KindProbe:
+		var r ProbeResp
+		return r, unmarshalStrict(data, &r)
+	case KindMark:
+		var r MarkResp
+		return r, unmarshalStrict(data, &r)
+	case KindTopK:
+		var r TopKResp
+		return r, unmarshalStrict(data, &r)
+	case KindAbove:
+		var r AboveResp
+		return r, unmarshalStrict(data, &r)
+	case KindFetch:
+		var r FetchResp
+		return r, unmarshalStrict(data, &r)
+	case KindBatch:
+		return nil, fmt.Errorf("transport: batches must not nest")
+	default:
+		return nil, fmt.Errorf("transport: unknown response kind %q", kind)
+	}
+}
+
+func unmarshalStrict(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("transport: bad message body: %w", err)
+	}
+	return nil
+}

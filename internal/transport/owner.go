@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"topk/internal/access"
 	"topk/internal/bestpos"
@@ -31,6 +32,15 @@ type OwnerStats struct {
 	Best int `json:"best"`
 	// Depth is the deepest sorted position the session has read.
 	Depth int `json:"depth"`
+	// Codecs lists the wire codecs the owner speaks ("binary", "json"),
+	// filled by the dial handshake so clients can negotiate the binary
+	// codec without a separate capability endpoint.
+	Codecs []string `json:"codecs,omitempty"`
+	// OpenSessions and Evictions report the owner's session hygiene: how
+	// many sessions are live, and how many idle ones the TTL sweep has
+	// reclaimed over the owner's lifetime.
+	OpenSessions int   `json:"openSessions,omitempty"`
+	Evictions    int64 `json:"evictions,omitempty"`
 }
 
 // ErrUnknownSession reports a message carrying a session ID the owner
@@ -44,15 +54,26 @@ var ErrUnknownSession = errors.New("unknown session")
 // degrade into a clear error instead of unbounded owner-side state.
 const MaxSessions = 4096
 
+// DefaultSessionTTL is the idle bound after which an owner may evict a
+// session: a session untouched for this long was abandoned by an
+// originator that never closed it (crash, network partition), and
+// reclaiming it keeps churn from accumulating toward the MaxSessions
+// hard error. Far above any inter-exchange gap of a live query.
+const DefaultSessionTTL = 15 * time.Minute
+
 // ownerSession is the owner-side state of one query session: the probe
 // charging this session's accesses, the seen-position tracker of
 // BPA/BPA2, and the scan cursor of TPUT. Handlers of one session are
 // serialized by its mutex; distinct sessions proceed in parallel.
+// lastUsed is written only under the owner's table mutex (every handler
+// resolves the session through Owner.session), which is also where the
+// eviction sweep reads it.
 type ownerSession struct {
-	mu    sync.Mutex
-	pr    *access.Probe
-	tr    bestpos.Tracker
-	depth int
+	mu       sync.Mutex
+	pr       *access.Probe
+	tr       bestpos.Tracker
+	depth    int
+	lastUsed time.Time
 }
 
 // Owner is the owner-side half of every backend: the message handlers of
@@ -73,12 +94,16 @@ type Owner struct {
 	n     int
 	db    *list.Database // single-list database over the owned list
 
-	mu       sync.Mutex
-	sessions map[string]*ownerSession
+	mu        sync.Mutex
+	sessions  map[string]*ownerSession
+	ttl       time.Duration // idle bound; <= 0 disables eviction
+	nextSweep time.Time
+	evictions int64
 }
 
 // NewOwner returns the owner of list index of db, ready to serve query
-// sessions.
+// sessions. Idle sessions are evicted after DefaultSessionTTL; see
+// SetSessionTTL.
 func NewOwner(db *list.Database, index int) (*Owner, error) {
 	if db == nil {
 		return nil, fmt.Errorf("transport: nil database")
@@ -90,7 +115,51 @@ func NewOwner(db *list.Database, index int) (*Owner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Owner{index: index, m: db.M(), n: db.N(), db: own, sessions: make(map[string]*ownerSession)}, nil
+	return &Owner{
+		index:    index,
+		m:        db.M(),
+		n:        db.N(),
+		db:       own,
+		sessions: make(map[string]*ownerSession),
+		ttl:      DefaultSessionTTL,
+	}, nil
+}
+
+// SetSessionTTL changes the idle bound after which a session is evicted
+// (0 or negative disables eviction). The sweep is opportunistic — it
+// piggybacks on session opens and lookups, so an evicted-but-idle owner
+// costs no background goroutine.
+func (o *Owner) SetSessionTTL(d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ttl = d
+	o.nextSweep = time.Time{}
+}
+
+// Evictions reports how many idle sessions the TTL sweep has reclaimed.
+func (o *Owner) Evictions() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.evictions
+}
+
+// sweepLocked evicts sessions idle past the TTL. Called with o.mu held,
+// rate-limited to once per quarter-TTL so the table scan never dominates
+// the hot path. A session evicted while a handler still holds its
+// pointer finishes that exchange on the orphaned state; the next
+// exchange of the session gets ErrUnknownSession — exactly what a closed
+// session gets.
+func (o *Owner) sweepLocked(now time.Time) {
+	if o.ttl <= 0 || now.Before(o.nextSweep) {
+		return
+	}
+	o.nextSweep = now.Add(o.ttl / 4)
+	for sid, s := range o.sessions {
+		if now.Sub(s.lastUsed) > o.ttl {
+			delete(o.sessions, sid)
+			o.evictions++
+		}
+	}
 }
 
 // Open installs fresh protocol state for the session: a new probe
@@ -104,12 +173,15 @@ func (o *Owner) Open(sid string, kind bestpos.Kind) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	now := time.Now()
+	o.sweepLocked(now)
 	if _, ok := o.sessions[sid]; !ok && len(o.sessions) >= MaxSessions {
 		return fmt.Errorf("transport: owner %d: session limit %d reached", o.index, MaxSessions)
 	}
 	o.sessions[sid] = &ownerSession{
-		pr: access.NewProbe(o.db),
-		tr: bestpos.New(kind, o.n),
+		pr:       access.NewProbe(o.db),
+		tr:       bestpos.New(kind, o.n),
+		lastUsed: now,
 	}
 	return nil
 }
@@ -149,25 +221,35 @@ func closeAll(owners []*Owner, sid string) {
 	}
 }
 
-// session resolves a session ID.
+// session resolves a session ID, refreshes its idle stamp, and gives the
+// TTL sweep its chance to run.
 func (o *Owner) session(sid string) (*ownerSession, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	now := time.Now()
+	o.sweepLocked(now)
 	s, ok := o.sessions[sid]
 	if !ok {
 		return nil, fmt.Errorf("transport: owner %d: %w %q", o.index, ErrUnknownSession, sid)
 	}
+	s.lastUsed = now
 	return s, nil
 }
 
 // Info reports the owner's list metadata — the dial handshake. The
 // access tallies are zero: they live per session.
 func (o *Owner) Info() OwnerStats {
+	o.mu.Lock()
+	open, ev := len(o.sessions), o.evictions
+	o.mu.Unlock()
 	return OwnerStats{
-		Index:    o.index,
-		N:        o.n,
-		M:        o.m,
-		MinScore: o.db.List(0).At(o.n).Score,
+		Index:        o.index,
+		N:            o.n,
+		M:            o.m,
+		MinScore:     o.db.List(0).At(o.n).Score,
+		Codecs:       []string{CodecBinary, CodecJSON},
+		OpenSessions: open,
+		Evictions:    ev,
 	}
 }
 
@@ -187,7 +269,10 @@ func (o *Owner) SessionStats(sid string) (OwnerStats, error) {
 }
 
 // Handle serves one request inside the given session. Exchanges of the
-// same session are serialized; exchanges of distinct sessions are not.
+// same session are serialized; exchanges of distinct sessions are not. A
+// batch request executes atomically: its inner requests run in order
+// under one hold of the session mutex, so no other exchange of the same
+// session can interleave with a coalesced round.
 func (o *Owner) Handle(sid string, req Request) (Response, error) {
 	s, err := o.session(sid)
 	if err != nil {
@@ -195,6 +280,12 @@ func (o *Owner) Handle(sid string, req Request) (Response, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return o.dispatch(s, req)
+}
+
+// dispatch routes one request to its handler; the caller holds the
+// session mutex.
+func (o *Owner) dispatch(s *ownerSession, req Request) (Response, error) {
 	switch r := req.(type) {
 	case SortedReq:
 		return o.handleSorted(s, r)
@@ -210,9 +301,31 @@ func (o *Owner) Handle(sid string, req Request) (Response, error) {
 		return o.handleAbove(s, r)
 	case FetchReq:
 		return o.handleFetch(s, r)
+	case BatchReq:
+		return o.handleBatch(s, r)
 	default:
 		return nil, fmt.Errorf("transport: owner %d: unknown request %T", o.index, req)
 	}
+}
+
+// handleBatch executes a coalesced round's inner requests in order,
+// atomically against the session. An inner failure aborts the batch with
+// the failing index — work already done stays done (and stays charged),
+// exactly as if the messages had traveled one by one and the round had
+// aborted midway.
+func (o *Owner) handleBatch(s *ownerSession, req BatchReq) (Response, error) {
+	out := make([]Response, len(req.Reqs))
+	for i, r := range req.Reqs {
+		if _, ok := r.(BatchReq); ok {
+			return nil, fmt.Errorf("transport: owner %d: batches must not nest", o.index)
+		}
+		resp, err := o.dispatch(s, r)
+		if err != nil {
+			return nil, fmt.Errorf("batch[%d]: %w", i, err)
+		}
+		out[i] = resp
+	}
+	return BatchResp{Resps: out}, nil
 }
 
 // checkPos validates a requested position before it reaches the probe,

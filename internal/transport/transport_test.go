@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -938,6 +939,316 @@ func TestNormalizeOwnerURL(t *testing.T) {
 		if got := NormalizeOwnerURL(in); got != want {
 			t.Errorf("NormalizeOwnerURL(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestOwnerHandleBatch: a batch executes its inner requests in order,
+// atomically, with exactly the owner-side effects of the messages sent
+// one by one — and an inner failure aborts with the failing index while
+// the prefix's work stays done.
+func TestOwnerHandleBatch(t *testing.T) {
+	db := testDB(t)
+	o, err := NewOwner(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sid = "b"
+	if err := o.Open(sid, bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
+	l := db.List(0)
+	resp, err := o.Handle(sid, BatchReq{Reqs: []Request{
+		ProbeReq{}, // reads position 1
+		ProbeReq{}, // order matters: must read position 2, not 1 again
+		LookupReq{Item: l.At(5).Item, WantPos: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := resp.(BatchResp)
+	if len(br.Resps) != 3 {
+		t.Fatalf("batch answered %d of 3", len(br.Resps))
+	}
+	if got := br.Resps[0].(ProbeResp).Entry; got != l.At(1) {
+		t.Errorf("batch probe 1 = %+v", got)
+	}
+	if got := br.Resps[1].(ProbeResp).Entry; got != l.At(2) {
+		t.Errorf("batch probe 2 = %+v, want position 2", got)
+	}
+	if got := br.Resps[2].(LookupResp); got.Pos != 5 {
+		t.Errorf("batch lookup = %+v", got)
+	}
+
+	// Inner failure: the error names the index, the prefix's accesses
+	// stay charged (the work was done), and the session stays usable.
+	_, err = o.Handle(sid, BatchReq{Reqs: []Request{ProbeReq{}, SortedReq{Pos: -1}}})
+	if err == nil || !strings.Contains(err.Error(), "batch[1]") {
+		t.Errorf("failing batch: %v", err)
+	}
+	st, err := o.SessionStats(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses.Direct != 3 {
+		t.Errorf("direct accesses after batches = %d, want 3 (2 + aborted batch's prefix)", st.Accesses.Direct)
+	}
+
+	// Nested batches are rejected.
+	if _, err := o.Handle(sid, BatchReq{Reqs: []Request{BatchReq{Reqs: []Request{ProbeReq{}}}}}); err == nil {
+		t.Error("nested batch accepted")
+	}
+}
+
+// TestBatchMatchesUnbatched: the same request sequence, batched and
+// unbatched, must leave two sessions in identical states — coalescing is
+// a wire optimization, not a semantic change.
+func TestBatchMatchesUnbatched(t *testing.T) {
+	db := testDB(t)
+	o, err := NewOwner(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		SortedReq{Pos: 1},
+		LookupReq{Item: db.List(0).At(7).Item, WantPos: true},
+		ProbeReq{},
+		MarkReq{Item: db.List(0).At(3).Item},
+		TopKReq{K: 4},
+		AboveReq{T: db.List(0).At(9).Score},
+	}
+	for _, sid := range []string{"one", "batched"} {
+		if err := o.Open(sid, bestpos.BitArrayKind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var single []Response
+	for _, req := range reqs {
+		resp, err := o.Handle("one", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single = append(single, resp)
+	}
+	resp, err := o.Handle("batched", BatchReq{Reqs: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(BatchResp).Resps; !reflect.DeepEqual(got, single) {
+		t.Errorf("batched responses differ:\n%v\nvs unbatched\n%v", got, single)
+	}
+	a, _ := o.SessionStats("one")
+	b, _ := o.SessionStats("batched")
+	if a.Accesses != b.Accesses || a.Best != b.Best || a.Depth != b.Depth {
+		t.Errorf("session state diverged: unbatched %+v vs batched %+v", a, b)
+	}
+}
+
+// TestSessionTTLEviction: sessions idle past the TTL are reclaimed, the
+// eviction count is exposed, and live sessions survive the sweep.
+func TestSessionTTLEviction(t *testing.T) {
+	db := testDB(t)
+	o, err := NewOwner(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous TTL-to-touch ratio: the live session is touched every
+	// ~10ms against a 200ms idle bound, so only a 200ms scheduler stall
+	// could falsely evict it — headroom for loaded CI runners and -race.
+	o.SetSessionTTL(200 * time.Millisecond)
+	for _, sid := range []string{"idle", "live"} {
+		if err := o.Open(sid, bestpos.BitArrayKind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep "live" warm past the idle bound of "idle".
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := o.Handle("live", SortedReq{Pos: 1}); err != nil {
+			t.Fatalf("live session evicted: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := o.Handle("idle", ProbeReq{}); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("idle session survived the TTL: %v", err)
+	}
+	if n := o.Evictions(); n != 1 {
+		t.Errorf("evictions = %d, want 1", n)
+	}
+	if n := o.Sessions(); n != 1 {
+		t.Errorf("%d sessions left, want 1", n)
+	}
+	if st := o.Info(); st.Evictions != 1 || st.OpenSessions != 1 {
+		t.Errorf("Info() = evictions %d, open %d", st.Evictions, st.OpenSessions)
+	}
+	// TTL 0 disables eviction entirely.
+	o.SetSessionTTL(0)
+	time.Sleep(50 * time.Millisecond)
+	if _, err := o.Handle("live", SortedReq{Pos: 1}); err != nil {
+		t.Errorf("eviction ran with TTL disabled: %v", err)
+	}
+}
+
+// TestHTTPStatsExposesEvictions: the /stats handshake carries the
+// eviction tally and codec advertisement over the wire.
+func TestHTTPStatsExposesEvictions(t *testing.T) {
+	db := testDB(t)
+	urls, servers := startHTTPOwners(t, db)
+	servers[0].Owner().SetSessionTTL(10 * time.Millisecond)
+	if err := servers[0].Owner().Open("gone", bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Any open sweeps; the idle session must be reclaimed.
+	if err := servers[0].Owner().Open("fresh", bestpos.BitArrayKind); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(urls[0] + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st OwnerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("/stats evictions = %d, want 1", st.Evictions)
+	}
+	if st.OpenSessions != 1 {
+		t.Errorf("/stats openSessions = %d, want 1", st.OpenSessions)
+	}
+	found := false
+	for _, c := range st.Codecs {
+		found = found || c == CodecBinary
+	}
+	if !found {
+		t.Errorf("/stats codecs = %v: binary not advertised", st.Codecs)
+	}
+}
+
+// TestWireNegotiation: a dial against advertising owners lands on the
+// binary codec; SetWireFormat forces either codec; a non-advertising
+// (old) owner downgrades the whole cluster to JSON. Answers are
+// identical in all cases.
+func TestWireNegotiation(t *testing.T) {
+	db := testDB(t)
+	urls, _ := startHTTPOwners(t, db)
+
+	hc, err := Dial(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	if !hc.binaryWire() {
+		t.Error("advertising cluster did not negotiate binary")
+	}
+
+	run := func(t *testing.T, hc *HTTPClient) SortedResp {
+		t.Helper()
+		s := open(t, hc)
+		resp, err := s.Do(context.Background(), 0, SortedReq{Pos: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A coalesced round over the same wire.
+		batch, err := s.Do(context.Background(), 0, BatchReq{Reqs: []Request{
+			SortedReq{Pos: 2}, SortedReq{Pos: 3},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := batch.(BatchResp).Resps[1].(SortedResp).Entry; got != db.List(0).At(3) {
+			t.Errorf("batched sorted over wire = %+v", got)
+		}
+		return resp.(SortedResp)
+	}
+
+	want := run(t, hc) // binary
+	hc.SetWireFormat(WireJSON)
+	if hc.binaryWire() {
+		t.Error("WireJSON did not force JSON")
+	}
+	if got := run(t, hc); got != want {
+		t.Errorf("JSON wire answered %+v, binary %+v", got, want)
+	}
+	hc.SetWireFormat(WireBinary)
+	if got := run(t, hc); got != want {
+		t.Errorf("forced binary answered %+v, want %+v", got, want)
+	}
+
+	// An owner that strips the codec advertisement (an old server)
+	// downgrades negotiation to JSON, and queries still work.
+	stripped := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/stats" && r.URL.Query().Get("sid") == "" {
+			srv, err := NewServer(db, 0)
+			if err != nil {
+				http.Error(w, err.Error(), 500)
+				return
+			}
+			st := srv.Owner().Info()
+			st.Codecs = nil
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer stripped.Close()
+	hc2, err := Dial([]string{stripped.URL, urls[1], urls[2]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc2.Close()
+	if hc2.binaryWire() {
+		t.Error("cluster with a non-advertising owner negotiated binary")
+	}
+}
+
+// TestBatchWithProbeNotRetried: a batch containing a cursor-advancing
+// request must not be replayed after a transient failure — same contract
+// as the bare message.
+func TestBatchWithProbeNotRetried(t *testing.T) {
+	one := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 60, M: 1, Seed: 5})
+	srvOne, err := NewServer(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fail atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() > 0 && strings.HasPrefix(r.URL.Path, "/rpc/") {
+			fail.Add(-1)
+			http.Error(w, `{"error":"synthetic owner crash"}`, http.StatusInternalServerError)
+			return
+		}
+		srvOne.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	hc, err := Dial([]string{ts.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	s := open(t, hc)
+	ctx := context.Background()
+
+	// All-replayable batch: absorbed by the retry.
+	fail.Store(1)
+	if _, err := s.Do(ctx, 0, BatchReq{Reqs: []Request{SortedReq{Pos: 1}, SortedReq{Pos: 2}}}); err != nil {
+		t.Errorf("replayable batch not retried: %v", err)
+	}
+	// Batch with a probe: fails fast instead of replaying.
+	fail.Store(1)
+	if _, err := s.Do(ctx, 0, BatchReq{Reqs: []Request{SortedReq{Pos: 1}, ProbeReq{}}}); err == nil {
+		t.Error("probe-carrying batch was retried")
+	}
+	fail.Store(0)
+	// The failed attempt never reached the owner: the next probe still
+	// reads position 1.
+	resp, err := s.Do(ctx, 0, ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(ProbeResp).Entry; got != one.List(0).At(1) {
+		t.Errorf("probe after failed batch = %+v, want position 1", got)
 	}
 }
 
