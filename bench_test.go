@@ -384,7 +384,7 @@ func BenchmarkConcurrentSessions(b *testing.B) {
 			closers = append(closers, ts.Close)
 			urls[i] = ts.URL
 		}
-		hc, err := transport.Dial(urls, nil)
+		hc, err := transport.DialOwners(urls, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -28,6 +28,19 @@
 // tallies) is keyed by the query session ID carried in every message, so
 // any number of originators can query the same owners concurrently; each
 // originator's accounting is as if it were alone on the cluster.
+//
+// A list may be served by several replica owners — same database, same
+// -list index, distinct -replica labels — and the originator dials them
+// as one topology (replicas |-separated, lists comma-separated),
+// routing by policy and failing over mid-query when a replica dies:
+//
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 -replica a -addr localhost:9001 &
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 -replica b -addr localhost:9101 &
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 1 -replica a -addr localhost:9002 &
+//	topk-query -owners 'localhost:9001|localhost:9101,localhost:9002' -k 10 -policy round-robin
+//
+// The -replica label is advertised in /stats so operators can tell a
+// list's interchangeable owners apart.
 package main
 
 import (

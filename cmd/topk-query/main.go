@@ -12,9 +12,13 @@
 // With -owners it turns into the query originator of a real cluster:
 // each address must run cmd/topk-owner serving the corresponding list
 // (owner i serves list i), and the chosen protocol's messages travel
-// over HTTP instead of the in-process simulation:
+// over HTTP instead of the in-process simulation. A list may name
+// several |-separated replicas; -policy routes across them (primary,
+// round-robin, fastest by EWMA latency) with mid-query failover, and
+// -verbose prints the per-replica health table after the query:
 //
 //	topk-query -owners localhost:9001,localhost:9002 -k 10 -protocol bpa2
+//	topk-query -owners 'localhost:9001|localhost:9101,localhost:9002' -k 10 -policy fastest -verbose
 package main
 
 import (

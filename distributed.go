@@ -2,8 +2,10 @@ package topk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"topk/internal/bestpos"
@@ -56,14 +58,16 @@ func Protocols() []Protocol { return []Protocol{DistBPA2, DistBPA, DistTA, TPUT,
 
 // ParseProtocol resolves a protocol name ("bpa2", "dist-bpa2", "tput-a",
 // ...) case-insensitively, accepting the names String returns with or
-// without the "dist-" prefix.
+// without the "dist-" prefix — so every String() output parses back,
+// including "dist-tput".
 func ParseProtocol(name string) (Protocol, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "bpa2", "dist-bpa2":
+	cleaned := strings.TrimPrefix(strings.ToLower(strings.TrimSpace(name)), "dist-")
+	switch cleaned {
+	case "bpa2":
 		return DistBPA2, nil
-	case "bpa", "dist-bpa":
+	case "bpa":
 		return DistBPA, nil
-	case "ta", "dist-ta":
+	case "ta":
 		return DistTA, nil
 	case "tput":
 		return TPUT, nil
@@ -124,6 +128,64 @@ func runnerFor(protocol Protocol) (func(context.Context, transport.Transport, di
 	}
 }
 
+// distStatsOf adapts a dist result's accounting. PerOwner is copied:
+// the runner's slice is live internal accounting state, and handing it
+// out would let a caller's mutation corrupt anything else derived from
+// the same run (the DHT pricing reads it too).
+func distStatsOf(res *dist.Result) DistStats {
+	return DistStats{
+		Messages:      res.Net.Messages,
+		Payload:       res.Net.Payload,
+		Rounds:        res.Net.Rounds,
+		Exchanges:     res.Net.Exchanges,
+		PerOwner:      append([]int64(nil), res.Net.PerOwner...),
+		TotalAccesses: res.Accesses.Total(),
+		Elapsed:       res.Elapsed,
+	}
+}
+
+// OwnerFailedError reports a list owner replica failing mid-query on
+// traffic that cannot fail over to a sibling replica: BPA2's probes,
+// TPUT's phase-2 scans and the other sessionful exchanges live on the
+// cursors of exactly one replica, so its crash poisons that query's
+// session. The error names the list and replica; rerunning the query
+// opens a fresh session pinned to a live replica. Stateless traffic
+// (TA/BPA sorted reads and lookups, TPUT phase-3 fetches) never
+// surfaces this — it fails over and the query completes.
+type OwnerFailedError struct {
+	// List is the list whose replica failed.
+	List int
+	// Replica is the failed replica's index within the list's replica
+	// set.
+	Replica int
+	// URL is the failed replica's base URL.
+	URL string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error names list, replica and URL.
+func (e *OwnerFailedError) Error() string {
+	return fmt.Sprintf("topk: owner %d replica %d (%s) failed mid-query: %v", e.List, e.Replica, e.URL, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *OwnerFailedError) Unwrap() error { return e.Err }
+
+// liftOwnerFailure translates the transport layer's typed replica
+// failure into the public OwnerFailedError, passing every other error
+// through.
+func liftOwnerFailure(err error) error {
+	var ofe *transport.OwnerFailedError
+	if errors.As(err, &ofe) {
+		// Wrap the underlying cause, not the whole chain: the transport
+		// error's message already names list, replica and URL, and the
+		// public error repeats them.
+		return &OwnerFailedError{List: ofe.List, Replica: ofe.Replica, URL: ofe.URL, Err: ofe.Err}
+	}
+	return err
+}
+
 // runOver executes a protocol over a transport and adapts the result.
 // name resolves item IDs to display names (nil leaves names empty —
 // a cluster originator holds no dictionary).
@@ -148,7 +210,7 @@ func runOver(ctx context.Context, t transport.Transport, q Query, protocol Proto
 		Tracker: bestpos.Kind(q.Tracker),
 	})
 	if err != nil {
-		return nil, err
+		return nil, liftOwnerFailure(err)
 	}
 	out := &DistResult{Protocol: protocol}
 	out.Items = make([]ScoredItem, len(res.Items))
@@ -159,15 +221,7 @@ func runOver(ctx context.Context, t transport.Transport, q Query, protocol Proto
 		}
 		out.Items[i] = si
 	}
-	out.Stats = DistStats{
-		Messages:      res.Net.Messages,
-		Payload:       res.Net.Payload,
-		Rounds:        res.Net.Rounds,
-		Exchanges:     res.Net.Exchanges,
-		PerOwner:      res.Net.PerOwner,
-		TotalAccesses: res.Accesses.Total(),
-		Elapsed:       res.Elapsed,
-	}
+	out.Stats = distStatsOf(res)
 	return out, nil
 }
 
@@ -194,54 +248,221 @@ func (db *Database) RunDistributed(q Query, protocol Protocol) (*DistResult, err
 	return db.ExecDistributed(context.Background(), q, protocol)
 }
 
-// Cluster is a connection to real list owners serving the distributed
-// protocols over HTTP — one owner process per list, each started with
-// cmd/topk-owner. A Cluster is safe for concurrent use: every Exec opens
-// its own owner-side query session (seen positions, scan cursors, access
-// tallies keyed by a session ID carried in every message), so any number
-// of originator goroutines can query the same owners at once with
-// answers and accounting identical to running them serially.
-type Cluster struct {
-	t *transport.HTTPClient
+// RoutingPolicy selects which replica of a list serves each exchange of
+// a cluster query (see ClusterConfig.Policy).
+type RoutingPolicy uint8
+
+const (
+	// RoutePrimary always prefers the lowest-index healthy replica of
+	// each list; later replicas are pure standbys. The default.
+	RoutePrimary RoutingPolicy = iota
+	// RouteRoundRobin rotates stateless exchanges across the healthy
+	// replicas of each list.
+	RouteRoundRobin
+	// RouteFastest prefers the healthy replica with the lowest smoothed
+	// (EWMA) round-trip latency.
+	RouteFastest
+)
+
+// String returns the policy name ParseRoutingPolicy accepts.
+func (p RoutingPolicy) String() string { return transport.RoutingPolicy(p).String() }
+
+// RoutingPolicies lists the available routing policies.
+func RoutingPolicies() []RoutingPolicy {
+	return []RoutingPolicy{RoutePrimary, RouteRoundRobin, RouteFastest}
 }
 
-// DialCluster connects to the owner servers; owners[i] ("host:port" or a
-// full URL) must serve list i. Every owner must agree on the list length
-// and the number of lists — Dial validates the cluster before any query
-// runs. All sessions share one pooled HTTP client with enough warm
-// connections per owner for many concurrent originators, so exchanges
-// reuse connections instead of re-handshaking. Every request to an owner
-// is bounded by a per-request timeout and — when replaying it cannot
-// change what the query observes — retried once on transient failures
-// (connection errors, 5xx), with the failing owner's index surfaced in
-// the returned error.
+// ParseRoutingPolicy resolves a policy name ("primary", "round-robin"/
+// "rr", "fastest"), case-insensitively; "" is RoutePrimary.
+func ParseRoutingPolicy(name string) (RoutingPolicy, error) {
+	p, err := transport.ParseRoutingPolicy(name)
+	if err != nil {
+		return 0, fmt.Errorf("topk: unknown routing policy %q (want primary, round-robin or fastest)", name)
+	}
+	return RoutingPolicy(p), nil
+}
+
+// ParseTopology parses the CLI cluster syntax into a replica topology:
+// lists are comma-separated and a list's replicas are |-separated, so
 //
-// The dial handshake also negotiates the wire codec: the compact binary
-// codec when every owner advertises it, JSON otherwise (see SetWire).
-func DialCluster(owners []string) (*Cluster, error) {
-	t, err := transport.Dial(owners, nil)
+//	host:a|host:b,host:c
+//
+// is a two-list cluster whose first list is served by the two replicas
+// host:a and host:b. Each element is a host:port or a full URL;
+// whitespace around separators is ignored. The flat single-owner syntax
+// ("host:a,host:c") parses to a one-replica-per-list topology.
+func ParseTopology(s string) ([][]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("topk: empty topology")
+	}
+	lists := strings.Split(s, ",")
+	topo := make([][]string, len(lists))
+	for i, l := range lists {
+		for _, r := range strings.Split(l, "|") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				return nil, fmt.Errorf("topk: topology list %d: empty replica address in %q", i, l)
+			}
+			topo[i] = append(topo[i], r)
+		}
+	}
+	return topo, nil
+}
+
+// ClusterConfig declares a cluster connection: the replica topology and
+// the policies that drive it. The zero value of every field except
+// Topology is a sensible default, so
+//
+//	topk.DialClusterConfig(ctx, topk.ClusterConfig{Topology: topo})
+//
+// behaves like DialCluster with failover armed.
+type ClusterConfig struct {
+	// Topology maps every list to its replica set: Topology[i] holds the
+	// addresses ("host:port" or full URLs) of the owner processes
+	// serving list i. Every replica of a list must serve the same list
+	// of the same database; the dial handshake validates it. See
+	// ParseTopology for the CLI syntax.
+	Topology [][]string
+	// Policy routes each stateless exchange across a list's healthy
+	// replicas (and picks the replica each query session pins its
+	// cursor-bearing traffic to). Default RoutePrimary.
+	Policy RoutingPolicy
+	// HealthInterval is the cadence of the background health prober that
+	// demotes unreachable replicas and revives recovered ones. 0 means
+	// the default (a few seconds); negative disables background probing
+	// — the data plane still demotes replicas that fail exchanges. The
+	// prober runs only when some list actually has replicas to choose
+	// between; a flat topology spawns no background work.
+	HealthInterval time.Duration
+	// RequestTimeout bounds every HTTP attempt (default 30s).
+	RequestTimeout time.Duration
+	// Retries is the transient-failure budget of a replayable exchange:
+	// how many extra attempts it may spend, against a sibling replica
+	// when one is routable. 0 means the default (1); negative disables
+	// retries.
+	Retries int
+	// Wire selects the data-plane codec: "" or "auto" (binary when every
+	// owner advertises it), "json", "binary". See Cluster.SetWire.
+	Wire string
+}
+
+// Cluster is a connection to real list owners serving the distributed
+// protocols over HTTP — one or more owner processes per list, each
+// started with cmd/topk-owner. A Cluster is safe for concurrent use:
+// every Exec opens its own owner-side query session (seen positions,
+// scan cursors, access tallies keyed by a session ID carried in every
+// message), so any number of originator goroutines can query the same
+// owners at once with answers and accounting identical to running them
+// serially.
+//
+// When a list has several replicas, session opens fan out to all of
+// them, stateless traffic is routed by the configured policy and fails
+// over mid-query when a replica dies, and cursor-bearing traffic is
+// pinned per session — a pinned replica's death surfaces as
+// *OwnerFailedError. Answers and accounting stay bit-identical to a
+// single-owner run either way.
+type Cluster struct {
+	t *transport.HTTPClient
+	// mu serializes the SetWire guard against the first Exec: check and
+	// set must be one step, or a SetWire racing the first query could
+	// slip past ErrClusterStarted and flip the codec mid-flight.
+	mu      sync.Mutex
+	started bool
+}
+
+// markStarted records that a query has run; SetWire refuses afterwards.
+func (c *Cluster) markStarted() {
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
+}
+
+// parseWireFormat maps the ClusterConfig/SetWire wire names onto the
+// transport's codec selector.
+func parseWireFormat(format string) (transport.WireFormat, error) {
+	switch format {
+	case "", "auto":
+		return transport.WireAuto, nil
+	case "json":
+		return transport.WireJSON, nil
+	case "binary", "bin":
+		return transport.WireBinary, nil
+	default:
+		return 0, fmt.Errorf("topk: unknown wire format %q (want auto, json or binary)", format)
+	}
+}
+
+// DialClusterConfig connects to the owner processes of a declarative
+// cluster topology. The dial handshake — bounded by ctx — validates
+// every reachable replica (list index, list length, cluster width) and
+// negotiates the wire codec; replicas that are down at dial time are
+// tolerated as long as each list has at least one reachable replica,
+// and revived by the background health prober when they return. Close
+// the returned cluster to stop the prober and release connections.
+func DialClusterConfig(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	wire, err := parseWireFormat(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
+	t, err := transport.Dial(ctx, transport.DialConfig{
+		Topology:       cfg.Topology,
+		Policy:         transport.RoutingPolicy(cfg.Policy),
+		HealthInterval: cfg.HealthInterval,
+		RequestTimeout: cfg.RequestTimeout,
+		Retries:        cfg.Retries,
+		Wire:           wire,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &Cluster{t: t}, nil
 }
 
+// DialCluster connects to a flat owner set; owners[i] ("host:port" or a
+// full URL) must serve list i. It is exactly
+// DialClusterConfig(context.Background(), ClusterConfig{Topology: one
+// replica per list}): every owner must agree on the list length and the
+// number of lists, all sessions share one pooled HTTP client, every
+// request is bounded by a per-request timeout and — when replaying it
+// cannot change what the query observes — retried once on transient
+// failures (connection errors, 5xx), with the failing owner named in
+// the returned error.
+//
+// The dial handshake also negotiates the wire codec: the compact binary
+// codec when every owner advertises it, JSON otherwise (see SetWire).
+// For replicated lists, routing policies and mid-query failover, see
+// DialClusterConfig.
+func DialCluster(owners []string) (*Cluster, error) {
+	topo := make([][]string, len(owners))
+	for i, o := range owners {
+		topo[i] = []string{o}
+	}
+	return DialClusterConfig(context.Background(), ClusterConfig{Topology: topo})
+}
+
+// ErrClusterStarted reports a SetWire call after the cluster already
+// executed a query. The wire preference is client state shared by every
+// session, so flipping it under in-flight queries would be a data race
+// on the encoding path; set it before the first Exec, or declare it in
+// ClusterConfig.Wire.
+var ErrClusterStarted = errors.New("topk: SetWire after the cluster executed a query; set the wire before the first Exec (or use ClusterConfig.Wire)")
+
 // SetWire overrides the cluster's negotiated wire codec: "auto" (the
 // default — binary when every owner advertises it), "json" (the
-// debugging fallback), or "binary" (forced). Call it before Exec;
-// answers and accounting are identical either way, only bytes on the
-// wire differ.
+// debugging fallback), or "binary" (forced). Call it before the first
+// Exec — afterwards it fails with ErrClusterStarted; answers and
+// accounting are identical either way, only bytes on the wire differ.
 func (c *Cluster) SetWire(format string) error {
-	switch format {
-	case "", "auto":
-		c.t.SetWireFormat(transport.WireAuto)
-	case "json":
-		c.t.SetWireFormat(transport.WireJSON)
-	case "binary", "bin":
-		c.t.SetWireFormat(transport.WireBinary)
-	default:
-		return fmt.Errorf("topk: unknown wire format %q (want auto, json or binary)", format)
+	wf, err := parseWireFormat(format)
+	if err != nil {
+		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return ErrClusterStarted
+	}
+	c.t.SetWireFormat(wf)
 	return nil
 }
 
@@ -251,14 +472,50 @@ func (c *Cluster) N() int { return c.t.N() }
 // M returns the number of owners (lists).
 func (c *Cluster) M() int { return c.t.M() }
 
+// ReplicaHealth is one replica's connection state as the cluster client
+// sees it — what topk-query's verbose mode prints.
+type ReplicaHealth struct {
+	// List and Replica locate the replica in the topology.
+	List    int
+	Replica int
+	// URL is the replica's base URL.
+	URL string
+	// Healthy is the latest verdict of the health prober or data plane.
+	Healthy bool
+	// Latency is the smoothed (EWMA) round-trip latency; 0 if never
+	// measured.
+	Latency time.Duration
+	// Failures counts data-plane failures observed on this replica;
+	// Failovers counts exchanges it served after a sibling failed them.
+	Failures  int64
+	Failovers int64
+}
+
+// Health snapshots the per-replica connection state: health verdicts,
+// EWMA latencies and failover tallies, lists in order and replicas in
+// topology order within each list.
+func (c *Cluster) Health() []ReplicaHealth {
+	hs := c.t.Health()
+	out := make([]ReplicaHealth, len(hs))
+	for i, h := range hs {
+		// Field-identical structs: the conversion turns any future field
+		// drift between the two into a compile error instead of a silent
+		// zero value.
+		out[i] = ReplicaHealth(h)
+	}
+	return out
+}
+
 // Exec executes the query against the cluster's owners inside its own
 // query session. The answers and the Stats accounting are identical to
 // the in-process Database.ExecDistributed on the same data — the
-// protocols cannot tell the backends apart — but Stats.Elapsed is real
-// network time. ctx cancels or bounds the run at per-exchange
+// protocols cannot tell the backends apart, and with replicated lists
+// they cannot tell how the traffic was routed — but Stats.Elapsed is
+// real network time. ctx cancels or bounds the run at per-exchange
 // granularity; the owner-side session is released either way. Item
 // names are left empty: the originator holds no dictionary.
 func (c *Cluster) Exec(ctx context.Context, q Query, protocol Protocol) (*DistResult, error) {
+	c.markStarted()
 	return runOver(ctx, c.t, q, protocol, nil)
 }
 
@@ -272,5 +529,6 @@ func (c *Cluster) RunDistributed(q Query, protocol Protocol) (*DistResult, error
 	return c.Exec(context.Background(), q, protocol)
 }
 
-// Close releases the cluster's connections.
+// Close stops the cluster's background health prober and releases its
+// connections.
 func (c *Cluster) Close() error { return c.t.Close() }

@@ -184,6 +184,59 @@
 // cmd/topk-serve -owners exposes a remote cluster through the /v1/dist
 // JSON endpoint, one session per API request.
 //
+// # Replica topologies, routing policies and mid-query failover
+//
+// A single live owner per list makes every owner a single point of
+// failure. ClusterConfig declares a replica-aware topology instead —
+// per-list replica sets, a routing policy, the health-check cadence and
+// the per-request timeout/retry budget — dialed with DialClusterConfig;
+// ParseTopology accepts the CLI syntax (replicas |-separated within a
+// list, lists comma-separated), and DialCluster remains the flat
+// one-replica-per-list shape. Every replica of a list serves the same
+// list of the same database (validated at dial time); a background
+// prober polls replica health and an EWMA of round-trip latency.
+//
+// The routing policy picks the replica for each exchange:
+//
+//	policy       stateless exchanges route to          default
+//	primary      lowest-index healthy replica          yes
+//	round-robin  healthy replicas, rotating
+//	fastest      healthy replica with lowest EWMA
+//
+// Replicas do not share per-session protocol state, so what a replica
+// crash does mid-query depends on what the traffic was:
+//
+//	traffic                        state touched     on replica failure
+//	sorted, lookup, fetch          none              fails over to a sibling;
+//	  (TA, BPA, TPUT phase 1+3)                      query completes, answers
+//	                                                 and accounting unchanged
+//	mark, topk (replayable but     tracker, depth    retried on the SAME pinned
+//	  cursor-bearing)                                replica; if it stays down,
+//	                                                 *OwnerFailedError
+//	probe, above (non-replayable)  tracker, depth    *OwnerFailedError naming
+//	  (BPA2, TPUT phase 2)                           list and replica; rerun the
+//	                                                 query for a fresh session
+//
+// Query sessions open on every replica of every list, so failover never
+// loses session state; cursor-bearing ("sessionful") traffic pins each
+// session to one replica per list, chosen by the policy. Answers,
+// Messages, Payload, Rounds and access counts stay bit-identical to a
+// single-owner run whatever routed or failed over — the parity suite
+// pins this over replicated topologies, including a replica killed
+// mid-query. A runnable two-replica cluster (list 0 doubly served, same
+// data everywhere):
+//
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 -replica a -addr localhost:9001 &
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 -replica b -addr localhost:9101 &
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 1 -replica a -addr localhost:9002 &
+//	topk-query -owners 'localhost:9001|localhost:9101,localhost:9002' -k 10 -policy fastest -verbose
+//
+// Killing the localhost:9001 owner mid-run leaves TA/BPA/TPUT queries
+// completing on localhost:9101 with identical accounting; -verbose
+// prints each replica's health verdict, EWMA latency and failover
+// tallies (Cluster.Health programmatically), and each owner advertises
+// its -replica label in /stats.
+//
 // RunDHT layers the same protocols over a simulated Chord-style DHT
 // (internal/dht): each list is placed at the overlay node owning its
 // key's hash, and every protocol message is priced in routing hops under

@@ -324,3 +324,55 @@ func TestQueryErrors(t *testing.T) {
 		}
 	}
 }
+
+// startReplicatedOwners serves list 0 of a shared generated database
+// from two owner processes (labelled a and b) and list 1 from one,
+// returning the -owners topology string.
+func startReplicatedOwners(t *testing.T) string {
+	t.Helper()
+	serve := func(list int, replica string) string {
+		handler, _, err := BuildOwnerHandler([]string{
+			"-gen", "uniform", "-n", "400", "-m", "2", "-seed", "11",
+			"-list", fmt.Sprint(list), "-replica", replica,
+		}, os.Stderr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(handler)
+		t.Cleanup(srv.Close)
+		return srv.URL
+	}
+	return serve(0, "a") + "|" + serve(0, "b") + "," + serve(1, "a")
+}
+
+// TestClusterQueryReplicated: the |-separated replica syntax, routing
+// policies and the -verbose health table all work end to end, and the
+// answers match the flat single-owner cluster.
+func TestClusterQueryReplicated(t *testing.T) {
+	topo := startReplicatedOwners(t)
+	for _, policy := range []string{"primary", "round-robin", "fastest"} {
+		code, out, errOut := capture(t, queryEntry,
+			"-owners", topo, "-k", "5", "-policy", policy, "-verbose")
+		if code != 0 {
+			t.Fatalf("policy %s: exit %d: %s", policy, code, errOut)
+		}
+		for _, want := range []string{
+			"top-5 by sum using dist-bpa2 over 2 owners",
+			"replica health (policy " + policy + ")",
+			"list 0 replica 1",
+			"healthy",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("policy %s: output missing %q:\n%s", policy, want, out)
+			}
+		}
+	}
+	// Unknown policy fails loudly.
+	if code, _, _ := capture(t, queryEntry, "-owners", topo, "-k", "3", "-policy", "zzz"); code == 0 {
+		t.Error("unknown policy accepted")
+	}
+	// Malformed topology fails loudly.
+	if code, _, _ := capture(t, queryEntry, "-owners", "a||b", "-k", "3"); code == 0 {
+		t.Error("malformed topology accepted")
+	}
+}

@@ -28,6 +28,7 @@ func BuildOwnerHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		alpha   = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
 		seed    = fs.Int64("seed", 1, "RNG seed for -gen (every owner of a cluster must use the same)")
 		index   = fs.Int("list", 0, "index of the list this owner serves")
+		replica = fs.String("replica", "", "replica label within this list's replica set (informational; advertised in /stats)")
 		addr    = fs.String("addr", "localhost:9000", "listen address")
 		ttl     = fs.Duration("session-ttl", transport.DefaultSessionTTL, "evict sessions idle for this long (0 disables); reclaims sessions abandoned by crashed originators")
 	)
@@ -73,6 +74,7 @@ func BuildOwnerHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		return nil, "", err
 	}
 	srv.Owner().SetSessionTTL(*ttl)
+	srv.Owner().SetReplicaID(*replica)
 	return srv.Handler(), *addr, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"topk"
 )
@@ -30,9 +31,11 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		par      = fs.Bool("parallel", false, "one goroutine per list owner (ta, bpa, bpa2)")
 		compare  = fs.Bool("compare", false, "run every algorithm and print a comparison")
 		distFlag = fs.Bool("dist", false, "run the distributed protocols and print message counts")
-		owners   = fs.String("owners", "", "comma-separated owner addresses (host:port,...) for cluster mode; owner i must serve list i")
+		owners   = fs.String("owners", "", "cluster topology for cluster mode: lists comma-separated, replicas of a list |-separated (host:a|host:b,host:c); list i's addresses must serve list i")
 		proto    = fs.String("protocol", "bpa2", "distributed protocol for -owners: bpa2, bpa, ta, tput, tput-a")
 		wire     = fs.String("wire", "auto", "wire codec for -owners: auto (binary when every owner supports it), json, binary")
+		policy   = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
+		verbose  = fs.Bool("verbose", false, "with -owners, also print the per-replica health table (state, EWMA latency, failures, failovers)")
 		explain  = fs.Bool("explain", false, "print the round-by-round threshold walkthrough")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +65,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "topk-query: %v\n", err)
 			return 1
 		}
-		return clusterQuery(*owners, *proto, *wire, *k, sc, stdout, stderr)
+		return clusterQuery(*owners, *proto, *wire, *policy, *k, *verbose, sc, stdout, stderr)
 	}
 
 	db, err := loadDB(*dbPath, *csvPath)
@@ -145,26 +148,39 @@ func Query(args []string, stdout, stderr io.Writer) int {
 
 // clusterQuery runs one distributed protocol against real HTTP owner
 // nodes (cmd/topk-owner) and prints answers plus the network profile.
-// Ctrl-C / SIGTERM cancels the in-flight query (releasing its owner-side
-// session) instead of killing the process mid-exchange.
-func clusterQuery(owners, proto, wire string, k int, sc topk.Scoring, stdout, stderr io.Writer) int {
+// The owners string is a replica topology (lists comma-separated,
+// replicas |-separated); exchanges are routed across each list's
+// replicas by the chosen policy and fail over when a replica dies
+// mid-query. Ctrl-C / SIGTERM cancels the in-flight query (releasing
+// its owner-side session) instead of killing the process mid-exchange.
+func clusterQuery(owners, proto, wire, policy string, k int, verbose bool, sc topk.Scoring, stdout, stderr io.Writer) int {
 	p, err := topk.ParseProtocol(proto)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
 		return 1
 	}
-	cluster, err := topk.DialCluster(strings.Split(owners, ","))
+	topo, err := topk.ParseTopology(owners)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
 		return 1
 	}
-	defer cluster.Close()
-	if err := cluster.SetWire(wire); err != nil {
+	pol, err := topk.ParseRoutingPolicy(policy)
+	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
 		return 1
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	cluster, err := topk.DialClusterConfig(ctx, topk.ClusterConfig{
+		Topology: topo,
+		Policy:   pol,
+		Wire:     wire,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	defer cluster.Close()
 	res, err := cluster.Exec(ctx, topk.Query{K: k, Scoring: sc}, p)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: query: %v\n", err)
@@ -179,6 +195,17 @@ func clusterQuery(owners, proto, wire string, k int, sc topk.Scoring, stdout, st
 	fmt.Fprintf(stdout, "\nnetwork: messages=%d payload=%d rounds=%d exchanges=%d accesses=%d elapsed=%s\n",
 		s.Messages, s.Payload, s.Rounds, s.Exchanges, s.TotalAccesses, s.Elapsed.Round(100))
 	fmt.Fprintf(stdout, "per-owner messages: %v\n", s.PerOwner)
+	if verbose {
+		fmt.Fprintf(stdout, "\nreplica health (policy %s):\n", pol)
+		for _, h := range cluster.Health() {
+			state := "healthy"
+			if !h.Healthy {
+				state = "DOWN"
+			}
+			fmt.Fprintf(stdout, "  list %d replica %d %-28s %-7s ewma=%-10s failures=%d failovers=%d\n",
+				h.List, h.Replica, h.URL, state, h.Latency.Round(time.Microsecond), h.Failures, h.Failovers)
+		}
+	}
 	return 0
 }
 

@@ -1,11 +1,11 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 
 	"topk"
 	"topk/internal/gen"
@@ -27,7 +27,8 @@ func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		alpha   = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
 		seed    = fs.Int64("seed", 1, "RNG seed for -gen")
 		addr    = fs.String("addr", "localhost:8080", "listen address")
-		owners  = fs.String("owners", "", "comma-separated owner addresses; /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
+		owners  = fs.String("owners", "", "cluster topology (lists comma-separated, replicas |-separated); /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
+		policy  = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -57,7 +58,15 @@ func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, e
 
 	var cluster *topk.Cluster
 	if *owners != "" {
-		cluster, err = topk.DialCluster(strings.Split(*owners, ","))
+		topo, terr := topk.ParseTopology(*owners)
+		if terr != nil {
+			return nil, "", terr
+		}
+		pol, perr := topk.ParseRoutingPolicy(*policy)
+		if perr != nil {
+			return nil, "", perr
+		}
+		cluster, err = topk.DialClusterConfig(context.Background(), topk.ClusterConfig{Topology: topo, Policy: pol})
 		if err != nil {
 			return nil, "", fmt.Errorf("dial owner cluster: %w", err)
 		}

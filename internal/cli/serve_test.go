@@ -85,3 +85,51 @@ func TestBuildServeHandlerErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildServeHandlerClusterTopology: topk-serve's -owners accepts the
+// replica syntax and /v1/dist runs against the replicated cluster.
+func TestBuildServeHandlerClusterTopology(t *testing.T) {
+	topo := startReplicatedOwners(t)
+	var stderr strings.Builder
+	h, _, err := BuildServeHandler([]string{
+		"-gen", "uniform", "-n", "400", "-m", "2", "-seed", "11",
+		"-owners", topo, "-policy", "round-robin",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("err = %v (stderr: %s)", err, stderr.String())
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/dist?k=4&protocol=tput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Items []struct {
+			Item int `json:"item"`
+		} `json:"items"`
+		Net struct {
+			Messages int64 `json:"messages"`
+		} `json:"net"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Items) != 4 || body.Net.Messages == 0 {
+		t.Errorf("dist over replicated cluster = %+v", body)
+	}
+
+	// Malformed topology and unknown policy fail the build.
+	for _, args := range [][]string{
+		{"-gen", "uniform", "-n", "400", "-m", "2", "-seed", "11", "-owners", "a||b"},
+		{"-gen", "uniform", "-n", "400", "-m", "2", "-seed", "11", "-owners", topo, "-policy", "zzz"},
+	} {
+		if _, _, err := BuildServeHandler(args, &stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

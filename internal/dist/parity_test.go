@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,7 +71,7 @@ func httpCluster(t *testing.T, db *list.Database) *transport.HTTPClient {
 		t.Cleanup(ts.Close)
 		urls[i] = ts.URL
 	}
-	hc, err := transport.Dial(urls, nil)
+	hc, err := transport.DialOwners(urls, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +348,7 @@ func TestCancellationReleasesSessions(t *testing.T) {
 		srvs[i] = srv
 		urls[i] = ts.URL
 	}
-	hc, err := transport.Dial(urls, nil)
+	hc, err := transport.DialOwners(urls, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,5 +439,230 @@ func TestHTTPClusterMatchesCentralized(t *testing.T) {
 	}
 	if want.Elapsed != 0 {
 		t.Errorf("loopback run reported nonzero elapsed %v", want.Elapsed)
+	}
+}
+
+// killGate wraps one replica's handler so the test can crash it
+// mid-query: once armed (killAfterRPCs >= 0), the gate serves that many
+// /rpc calls and then aborts every connection — data plane and control
+// plane alike, as a crashed process would.
+type killGate struct {
+	inner     http.Handler
+	armed     bool
+	remaining atomic.Int64
+	dead      atomic.Bool
+}
+
+func newKillGate(inner http.Handler, killAfterRPCs int) *killGate {
+	g := &killGate{inner: inner, armed: killAfterRPCs >= 0}
+	g.remaining.Store(int64(killAfterRPCs))
+	return g
+}
+
+func (g *killGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if g.armed && strings.HasPrefix(r.URL.Path, "/rpc/") && g.remaining.Add(-1) < 0 {
+		g.dead.Store(true)
+		panic(http.ErrAbortHandler)
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// replicatedCluster dials a topology serving every list of db from
+// `reps` independent owner processes. gates[li][ri] controls each
+// replica's life.
+func replicatedCluster(t *testing.T, db *list.Database, reps int, policy transport.RoutingPolicy, killAfter func(li, ri int) int) (*transport.HTTPClient, [][]*killGate) {
+	t.Helper()
+	topo := make(transport.Topology, db.M())
+	gates := make([][]*killGate, db.M())
+	for li := 0; li < db.M(); li++ {
+		for ri := 0; ri < reps; ri++ {
+			srv, err := transport.NewServer(db, li)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := -1
+			if killAfter != nil {
+				after = killAfter(li, ri)
+			}
+			g := newKillGate(srv.Handler(), after)
+			ts := httptest.NewServer(g)
+			t.Cleanup(ts.Close)
+			topo[li] = append(topo[li], ts.URL)
+			gates[li] = append(gates[li], g)
+		}
+	}
+	hc, err := transport.Dial(context.Background(), transport.DialConfig{
+		Topology:       topo,
+		Policy:         policy,
+		HealthInterval: -1, // deterministic: only the data plane updates health
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hc.Close() })
+	return hc, gates
+}
+
+// TestReplicatedTopologyParity extends the parity suite to replicated
+// clusters: every protocol over a 2-replica-per-list topology, under
+// every routing policy, must produce answers, Net accounting and access
+// counts bit-identical to the loopback reference — replicas serve the
+// same list, so routing must be invisible to everything but wall-clock.
+func TestReplicatedTopologyParity(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 3})
+	lb, err := transport.NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	policies := []transport.RoutingPolicy{
+		transport.RoutePrimary, transport.RouteRoundRobin, transport.RouteFastest,
+	}
+	for _, p := range overProtocols {
+		opts := Options{K: 10, Scoring: score.Sum{}}
+		want, err := p.run(ctx, lb, opts)
+		if err != nil {
+			t.Fatalf("%s/loopback: %v", p.name, err)
+		}
+		for _, policy := range policies {
+			t.Run(fmt.Sprintf("%s/%s", p.name, policy), func(t *testing.T) {
+				hc, _ := replicatedCluster(t, db, 2, policy, nil)
+				got, err := p.run(ctx, hc, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Items, want.Items) {
+					t.Errorf("answers differ:\n%v\nvs loopback\n%v", got.Items, want.Items)
+				}
+				if !reflect.DeepEqual(got.Net, want.Net) {
+					t.Errorf("Net differs: %+v vs loopback %+v", got.Net, want.Net)
+				}
+				if got.Accesses != want.Accesses {
+					t.Errorf("accesses differ: %v vs loopback %v", got.Accesses, want.Accesses)
+				}
+			})
+		}
+	}
+}
+
+// TestKillOwnerMidQuery is the failover acceptance scenario: one of the
+// two replicas of list 0 is killed mid-query, on every protocol.
+// Protocols whose traffic is stateless (TA, BPA — sorted reads and
+// lookups, all replayable) must COMPLETE, with answers, Messages,
+// Payload, Rounds and access counts bit-identical to the healthy run.
+// Protocols that were using the killed replica's session cursors (BPA2
+// probes; TPUT/TPUTA above-scans) must fail fast with a typed
+// *transport.OwnerFailedError naming list and replica. Either way: no
+// hangs, no goroutine leaks.
+func TestKillOwnerMidQuery(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 3})
+	lb, err := transport.NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := Options{K: 10, Scoring: score.Sum{}}
+
+	cases := []struct {
+		name      string
+		run       func(context.Context, transport.Transport, Options) (*Result, error)
+		killAfter int  // /rpc calls list 0's replica 0 serves before dying
+		completes bool // true: bit-identical completion; false: OwnerFailedError
+	}{
+		// TA and BPA: every exchange is stateless — the killed replica's
+		// in-flight exchange fails over and the query finishes untouched.
+		{"dist-ta", TAOver, 3, true},
+		{"dist-bpa", BPAOver, 3, true},
+		// BPA2 pins its probe cursor to the replica that dies.
+		{"dist-bpa2", BPA2Over, 2, false},
+		// TPUT family, killed during phase 2: the above-scan's depth
+		// cursor dies with the replica.
+		{"tput-above", TPUTOver, 1, false},
+		{"tput-a-above", TPUTAOver, 1, false},
+		// TPUT killed after phase 2: only the stateless phase-3 fetch is
+		// left, which fails over — the query completes identically.
+		{"tput-fetch", TPUTOver, 2, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, err := c.run(ctx, lb, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hc, gates := replicatedCluster(t, db, 2, transport.RoutePrimary, func(li, ri int) int {
+				if li == 0 && ri == 0 {
+					return c.killAfter
+				}
+				return -1
+			})
+			base := runtime.NumGoroutine()
+			got, err := c.run(ctx, hc, opts)
+			if !gates[0][0].dead.Load() {
+				t.Fatal("the kill never fired: the test exercised a healthy cluster")
+			}
+			if c.completes {
+				if err != nil {
+					t.Fatalf("query did not survive the replica kill: %v", err)
+				}
+				if !reflect.DeepEqual(got.Items, want.Items) {
+					t.Errorf("answers differ after failover:\n%v\nvs healthy\n%v", got.Items, want.Items)
+				}
+				if !reflect.DeepEqual(got.Net, want.Net) {
+					t.Errorf("Net differs after failover: %+v vs healthy %+v", got.Net, want.Net)
+				}
+				if got.Accesses != want.Accesses {
+					t.Errorf("accesses differ after failover: %v vs healthy %v", got.Accesses, want.Accesses)
+				}
+			} else {
+				var ofe *transport.OwnerFailedError
+				if !errors.As(err, &ofe) {
+					t.Fatalf("want *transport.OwnerFailedError, got %v", err)
+				}
+				if ofe.List != 0 || ofe.Replica != 0 {
+					t.Errorf("failure names list %d replica %d, want list 0 replica 0", ofe.List, ofe.Replica)
+				}
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestKillUnpinnedReplica: killing the replica a session is NOT pinned
+// to must be invisible even to the cursor-bearing protocols — BPA2
+// completes bit-identically when the standby dies.
+func TestKillUnpinnedReplica(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 3})
+	lb, err := transport.NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := Options{K: 10, Scoring: score.Sum{}}
+	want, err := BPA2Over(ctx, lb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primary policy pins everything to replica 0; replica 1 of every
+	// list dies on its first data-plane call (it should never get one)
+	// — and to make the kill actually fire mid-query, crash it outright
+	// partway through via the gate's dead switch instead.
+	hc, gates := replicatedCluster(t, db, 2, transport.RoutePrimary, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, g := range gates {
+			g[1].dead.Store(true)
+		}
+	}()
+	got, err := BPA2Over(ctx, hc, opts)
+	<-done
+	if err != nil {
+		t.Fatalf("standby death failed the query: %v", err)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) || !reflect.DeepEqual(got.Net, want.Net) || got.Accesses != want.Accesses {
+		t.Errorf("standby death perturbed the run: %+v vs %+v", got.Net, want.Net)
 	}
 }

@@ -104,15 +104,19 @@ type errorBody struct {
 // (504), and everything else is the caller's own bad request (400).
 // Owner-side rejections (transport.RemoteError) count as upstream too:
 // the originator validated the query before any exchange, so a remote
-// refusal means cluster state drifted, not caller fault.
+// refusal means cluster state drifted, not caller fault. A replica
+// failing mid-query on non-failover-able traffic (topk.OwnerFailedError)
+// is likewise upstream: the client may simply retry the request — a
+// fresh query session pins to a live replica.
 func execStatus(err error) int {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
 	}
+	var ofe *topk.OwnerFailedError
 	var re *transport.RemoteError
 	var ue *url.Error
 	var ne net.Error
-	if errors.As(err, &re) || errors.As(err, &ue) || errors.As(err, &ne) {
+	if errors.As(err, &ofe) || errors.As(err, &re) || errors.As(err, &ue) || errors.As(err, &ne) {
 		return http.StatusBadGateway
 	}
 	return http.StatusBadRequest

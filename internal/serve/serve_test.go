@@ -410,6 +410,9 @@ func TestExecStatus(t *testing.T) {
 		{fmt.Errorf("dist: exchange with owner 1: %w", &transport.RemoteError{Status: 500, Msg: "boom"}), http.StatusBadGateway},
 		{fmt.Errorf("dist: exchange with owner 0: %w", &transport.RemoteError{Status: 404, Msg: "unknown session"}), http.StatusBadGateway},
 		{fmt.Errorf("owner 2: %w", &url.Error{Op: "Post", URL: "http://x", Err: fmt.Errorf("connection refused")}), http.StatusBadGateway},
+		// A replica dying mid-query on pinned traffic is upstream too:
+		// the client can simply retry the request.
+		{fmt.Errorf("wrap: %w", &topk.OwnerFailedError{List: 1, Replica: 0, URL: "http://x", Err: fmt.Errorf("gone")}), http.StatusBadGateway},
 	}
 	for _, c := range cases {
 		if got := execStatus(c.err); got != c.want {

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"topk/internal/bestpos"
@@ -32,9 +33,11 @@ import (
 //	GET  /stats?sid=...  control-plane: the session's OwnerStats;
 //	                     without sid, the owner's list metadata
 //	                     (the dial handshake, which also advertises the
-//	                     wire codecs the owner speaks)
+//	                     wire codecs the owner speaks and the owner's
+//	                     replica identity)
 //	POST /reset          deprecated no-op, kept for pre-session clients
-//	GET  /healthz        liveness
+//	GET  /healthz        liveness — also what the client's background
+//	                     health prober polls in replicated topologies
 //
 // The /rpc data plane speaks two codecs, negotiated via Content-Type:
 // the length-prefixed little-endian binary codec (codec.go) is the
@@ -50,6 +53,13 @@ import (
 // JSON codec (JSON has no infinities); the +Inf best-position
 // piggyback, which is protocol vocabulary rather than list data, is
 // handled there by Upper — the binary codec carries it natively.
+//
+// The client side dials a Topology rather than a flat URL list: every
+// list may be served by several replica owner processes (topology.go).
+// Stateless exchanges are routed per-call by the configured
+// RoutingPolicy and fail over between replicas mid-query; sessionful
+// exchanges pin each session to one replica per list and surface
+// OwnerFailedError when it dies.
 
 // Server is one list owner behind HTTP. Wrap Handler in an http.Server
 // (or httptest.Server); cmd/topk-owner is the standalone binary.
@@ -328,26 +338,71 @@ const (
 	WireBinary
 )
 
-// HTTPClient is the originator side of the HTTP backend: one base URL
-// per owner, exchanges as POSTs, batches fanned out with one goroutine
-// per addressed owner. The client is shared infrastructure — sessions
-// opened on it run concurrently over one pooled http.Client — and every
-// request gets its own timeout plus a single retry on transient owner
-// failures (connection errors, 5xx), with the owner index wrapped into
-// every error.
+// DialConfig is the declarative shape of a cluster connection: the
+// replica topology, the routing policy, the health-check cadence and the
+// per-request timeout/retry budget. The zero value of every field but
+// Topology is a sensible default.
+type DialConfig struct {
+	// Topology maps every list to its replica URLs; required.
+	Topology Topology
+	// Client is the underlying http.Client; nil gets a pooled transport
+	// tuned for many concurrent originators against few owners.
+	Client *http.Client
+	// Policy routes each stateless exchange (and chooses the replica a
+	// session pins its sessionful traffic to). Default RoutePrimary.
+	Policy RoutingPolicy
+	// HealthInterval is the background prober's cadence. 0 means
+	// DefaultHealthInterval; negative disables the prober (the data
+	// plane still demotes replicas that fail exchanges, but nothing
+	// restores them). The prober runs only for replicated topologies —
+	// a flat cluster has no routing choice for it to inform.
+	HealthInterval time.Duration
+	// RequestTimeout bounds each HTTP attempt. 0 means DefaultTimeout.
+	RequestTimeout time.Duration
+	// Retries is the number of extra attempts a replayable exchange may
+	// spend on transient failures — against a sibling replica when one
+	// is routable, the same replica otherwise. 0 means DefaultRetries;
+	// negative disables retries entirely.
+	Retries int
+	// Wire selects the data-plane codec. Default WireAuto.
+	Wire WireFormat
+}
+
+// DefaultRetries is the retry budget of a replayable exchange when the
+// dial config leaves it zero: one extra attempt, the pre-replica
+// behaviour.
+const DefaultRetries = 1
+
+// HTTPClient is the originator side of the HTTP backend: per-replica
+// connection state over one pooled http.Client, exchanges as POSTs,
+// batches fanned out with one goroutine per addressed list. The client
+// is shared infrastructure — sessions opened on it run concurrently —
+// and every exchange gets its own per-attempt timeout plus a transient
+// retry/failover budget, with the owning list wrapped into every error.
 type HTTPClient struct {
-	urls []string
-	hc   *http.Client
-	n    int
+	lists [][]*replica
+	hc    *http.Client
+	n     int
 
-	// reqTimeout bounds each HTTP attempt; see SetRequestTimeout.
+	policy     RoutingPolicy
 	reqTimeout time.Duration
+	retries    int
+	replicated bool
 
-	// wire selects the data-plane codec; binNegotiated records whether
-	// every owner advertised the binary codec at dial time (consulted
-	// under WireAuto).
-	wire          WireFormat
+	// rr holds the per-list round-robin cursors of RouteRoundRobin.
+	rr []atomic.Uint32
+
+	// wire holds the WireFormat (atomically, so SetWireFormat cannot
+	// race live sessions); binNegotiated records whether every reachable
+	// replica advertised the binary codec at dial time (consulted under
+	// WireAuto).
+	wire          atomic.Uint32
 	binNegotiated bool
+
+	// The background health prober's lifecycle; nil when disabled.
+	probeCancel context.CancelFunc
+	proberDone  chan struct{}
+	closeOnce   sync.Once
 }
 
 // defaultHTTPClient builds the pooled client Dial uses when the caller
@@ -380,68 +435,195 @@ func NormalizeOwnerURL(s string) string {
 // carry a whole list tail.
 const DefaultTimeout = 30 * time.Second
 
-// Dial connects to the owner servers — urls[i] must serve list i — and
-// validates the cluster: every owner must report its expected list
-// index, the shared list length, and a database of exactly len(urls)
-// lists. The handshake also negotiates the wire codec: when every owner
+// DialOwners connects to a flat owner set — urls[i] serves list i, one
+// replica per list — with default policy, timeouts and health cadence.
+// The pre-topology Dial shape, kept for the single-owner callers.
+func DialOwners(urls []string, hc *http.Client) (*HTTPClient, error) {
+	return Dial(context.Background(), DialConfig{Topology: SingleTopology(urls), Client: hc})
+}
+
+// Dial connects to the owner processes of cfg.Topology and validates the
+// cluster: every replica of list i must report list index i, the shared
+// list length, and a database of exactly len(Topology) lists. The
+// handshake also negotiates the wire codec: when every reachable replica
 // advertises the binary codec, the data plane uses it (see
-// SetWireFormat). Requests are bounded per-attempt by DefaultTimeout
-// (see SetRequestTimeout); a nil client gets a connection pool tuned for
-// many concurrent originators against few owners — pass an explicit
-// client to control the transport yourself (pooling, TLS).
-func Dial(urls []string, hc *http.Client) (*HTTPClient, error) {
-	if len(urls) == 0 {
-		return nil, fmt.Errorf("transport: no owner URLs")
+// SetWireFormat).
+//
+// Replicas that cannot be reached at dial time are tolerated — marked
+// unhealthy, to be revived by the background health prober — as long as
+// every list has at least one reachable replica; a list with none fails
+// the dial. Replicas that answer but disagree on shape always fail the
+// dial: that is misconfiguration, not an outage.
+func Dial(ctx context.Context, cfg DialConfig) (*HTTPClient, error) {
+	topo := cfg.Topology
+	if err := topo.Validate(); err != nil {
+		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hc := cfg.Client
 	if hc == nil {
 		hc = defaultHTTPClient()
 	}
-	t := &HTTPClient{urls: make([]string, len(urls)), hc: hc, reqTimeout: DefaultTimeout}
-	for i, u := range urls {
-		t.urls[i] = NormalizeOwnerURL(u)
+	t := &HTTPClient{
+		lists:      make([][]*replica, len(topo)),
+		hc:         hc,
+		policy:     cfg.Policy,
+		reqTimeout: cfg.RequestTimeout,
+		retries:    cfg.Retries,
+		replicated: topo.Replicated(),
+		rr:         make([]atomic.Uint32, len(topo)),
 	}
-	ctx := context.Background()
-	allBinary := true
-	for i := range t.urls {
-		st, err := t.ownerInfo(ctx, i)
-		if err != nil {
-			return nil, err
-		}
-		if st.Index != i {
-			return nil, fmt.Errorf("transport: owner %d (%s) serves list %d; order --owners by list index",
-				i, t.urls[i], st.Index)
-		}
-		if st.M != len(urls) {
-			return nil, fmt.Errorf("transport: owner %d (%s) belongs to a database of %d lists, cluster has %d owners",
-				i, t.urls[i], st.M, len(urls))
-		}
-		if i == 0 {
-			t.n = st.N
-		} else if st.N != t.n {
-			return nil, fmt.Errorf("transport: owner %d (%s) has %d items, owner 0 has %d",
-				i, t.urls[i], st.N, t.n)
-		}
-		ownerBinary := false
-		for _, c := range st.Codecs {
-			if c == CodecBinary {
-				ownerBinary = true
-				break
-			}
-		}
-		allBinary = allBinary && ownerBinary
+	if t.reqTimeout <= 0 {
+		t.reqTimeout = DefaultTimeout
 	}
-	t.binNegotiated = allBinary
+	switch {
+	case t.retries == 0:
+		t.retries = DefaultRetries
+	case t.retries < 0:
+		t.retries = 0
+	}
+	t.wire.Store(uint32(cfg.Wire))
+	for li, reps := range topo {
+		t.lists[li] = make([]*replica, len(reps))
+		for ri, u := range reps {
+			t.lists[li][ri] = &replica{list: li, index: ri, url: NormalizeOwnerURL(u)}
+		}
+	}
+	if err := t.handshake(ctx); err != nil {
+		return nil, err
+	}
+	interval := cfg.HealthInterval
+	if interval == 0 {
+		interval = DefaultHealthInterval
+	}
+	// The prober only pays off when routing has a choice to make: a flat
+	// one-replica-per-list cluster is always routed to its only replica
+	// whatever the verdict, and the pre-replica dial spawned no
+	// background work — keep that for flat callers.
+	if interval > 0 && t.replicated {
+		t.startProber(interval)
+	}
 	return t, nil
 }
 
+// advertisesBinary reports whether a handshake advertises the binary
+// wire codec.
+func advertisesBinary(st OwnerStats) bool {
+	for _, c := range st.Codecs {
+		if c == CodecBinary {
+			return true
+		}
+	}
+	return false
+}
+
+// checkShape validates one replica's handshake against the dialed
+// topology: it must serve the expected list of a database with the
+// cluster's width and shared list length. requireBinary additionally
+// demands the binary-codec advertisement — set when a late-validated
+// replica joins a cluster whose data plane already speaks binary.
+func (t *HTTPClient) checkShape(r *replica, st OwnerStats, requireBinary bool) error {
+	if st.Index != r.list {
+		return fmt.Errorf("transport: owner %d replica %d (%s) serves list %d; order the topology by list index",
+			r.list, r.index, r.url, st.Index)
+	}
+	if st.M != len(t.lists) {
+		return fmt.Errorf("transport: owner %d replica %d (%s) belongs to a database of %d lists, cluster has %d",
+			r.list, r.index, r.url, st.M, len(t.lists))
+	}
+	if st.N != t.n {
+		return fmt.Errorf("transport: owner %d replica %d (%s) has %d items, expected %d",
+			r.list, r.index, r.url, st.N, t.n)
+	}
+	if requireBinary && !advertisesBinary(st) {
+		return fmt.Errorf("transport: owner %d replica %d (%s) does not advertise the cluster's binary wire codec",
+			r.list, r.index, r.url)
+	}
+	return nil
+}
+
+// handshake fetches every replica's /stats metadata in parallel and
+// validates the topology against it. Replicas that answer must pass the
+// shape check or the dial fails (misconfiguration); replicas that are
+// unreachable are tolerated while their list has a live sibling, left
+// unvalidated, and shape-checked by the health prober before they ever
+// become routable.
+func (t *HTTPClient) handshake(ctx context.Context) error {
+	type verdict struct {
+		st  OwnerStats
+		dur time.Duration
+		err error
+	}
+	verdicts := make([][]verdict, len(t.lists))
+	var wg sync.WaitGroup
+	for li, reps := range t.lists {
+		verdicts[li] = make([]verdict, len(reps))
+		for ri, r := range reps {
+			wg.Add(1)
+			go func(li, ri int, r *replica) {
+				defer wg.Done()
+				start := time.Now()
+				st, err := t.replicaInfo(ctx, r)
+				verdicts[li][ri] = verdict{st: st, dur: time.Since(start), err: err}
+			}(li, ri, r)
+		}
+	}
+	wg.Wait()
+
+	// The shared list length comes from the first reachable replica;
+	// everyone else must agree with it.
+	for _, vs := range verdicts {
+		for _, v := range vs {
+			if v.err == nil {
+				t.n = v.st.N
+				break
+			}
+		}
+		if t.n != 0 {
+			break
+		}
+	}
+	allBinary := true
+	for li, reps := range t.lists {
+		reachable := 0
+		var firstErr error
+		for ri, r := range reps {
+			v := verdicts[li][ri]
+			if v.err != nil {
+				if firstErr == nil {
+					firstErr = v.err
+				}
+				continue
+			}
+			if err := t.checkShape(r, v.st, false); err != nil {
+				return err
+			}
+			allBinary = allBinary && advertisesBinary(v.st)
+			r.validated.Store(true)
+			r.healthy.Store(true)
+			r.observe(v.dur)
+			reachable++
+		}
+		if reachable == 0 {
+			return fmt.Errorf("transport: owner %d: no reachable replica: %w", li, firstErr)
+		}
+	}
+	t.binNegotiated = allBinary
+	return nil
+}
+
 // SetWireFormat overrides the dial-time codec negotiation (default
-// WireAuto: binary when every owner advertises it). Set it before
-// opening sessions.
-func (t *HTTPClient) SetWireFormat(f WireFormat) { t.wire = f }
+// WireAuto: binary when every owner advertises it). Safe to call
+// concurrently with live sessions — the store is atomic — but exchanges
+// already in flight finish on the codec they started with, so switch
+// before opening sessions for deterministic wiring.
+func (t *HTTPClient) SetWireFormat(f WireFormat) { t.wire.Store(uint32(f)) }
 
 // binaryWire reports whether /rpc exchanges travel in the binary codec.
 func (t *HTTPClient) binaryWire() bool {
-	switch t.wire {
+	switch WireFormat(t.wire.Load()) {
 	case WireJSON:
 		return false
 	case WireBinary:
@@ -459,29 +641,30 @@ func (t *HTTPClient) SetRequestTimeout(d time.Duration) {
 	}
 }
 
-// M returns the number of owners.
-func (t *HTTPClient) M() int { return len(t.urls) }
+// M returns the number of owners (lists).
+func (t *HTTPClient) M() int { return len(t.lists) }
 
 // N returns the shared list length.
 func (t *HTTPClient) N() int { return t.n }
 
 func (t *HTTPClient) checkOwner(owner int) error {
-	if owner < 0 || owner >= len(t.urls) {
-		return fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(t.urls))
+	if owner < 0 || owner >= len(t.lists) {
+		return fmt.Errorf("transport: owner %d out of range [0,%d)", owner, len(t.lists))
 	}
 	return nil
 }
 
-// transientStatus reports whether a response status is worth one retry:
-// the owner (or an intermediary) failed, rather than rejecting the
-// request.
+// transientStatus reports whether a response status is worth another
+// attempt: the owner (or an intermediary) failed, rather than rejecting
+// the request.
 func transientStatus(status int) bool { return status >= 500 }
 
-// transientErr reports whether a transport-level failure is worth one
-// retry: connection resets, refused connections and per-attempt
-// timeouts — but never the caller's own cancellation, and never
-// failures that cannot succeed on a second identical attempt (a URL
-// that does not parse, a name that authoritatively does not resolve).
+// transientErr reports whether a transport-level failure is worth
+// another attempt: connection resets, refused connections and
+// per-attempt timeouts — but never the caller's own cancellation, and
+// never failures that cannot succeed on a second identical attempt (a
+// URL that does not parse, a name that authoritatively does not
+// resolve).
 func transientErr(ctx context.Context, err error) bool {
 	if err == nil || ctx.Err() != nil {
 		return false
@@ -528,27 +711,19 @@ func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byt
 	return resp.StatusCode, nil
 }
 
-// doBytes performs one exchange with owner, body pre-encoded, retrying
-// once on transient failures (connection errors, per-attempt timeouts,
-// 5xx) — the first step toward owner failover. The retry is attempted
-// only when replayable: a lost response leaves the caller unable to tell
-// whether the owner executed the request, so cursor-advancing exchanges
-// (probe, above, or a batch containing one) must fail instead of
-// silently skipping list entries. Errors carry the owner index.
-func (t *HTTPClient) doBytes(ctx context.Context, owner int, method, path string, body []byte, contentType string, replayable bool, decode func(io.Reader) error) error {
-	tries := 1
-	if replayable {
-		tries = 2
-	}
+// doReplica performs one control-plane exchange with a specific replica,
+// body pre-encoded, retrying on the same replica up to the retry budget
+// on transient failures. Errors carry list, replica and URL.
+func (t *HTTPClient) doReplica(ctx context.Context, r *replica, method, path string, body []byte, contentType string, decode func(io.Reader) error) error {
 	var lastErr error
-	for attempt := 0; attempt < tries; attempt++ {
+	for a := 0; a <= t.retries; a++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr == nil {
 				lastErr = err
 			}
 			break
 		}
-		status, err := t.attempt(ctx, method, t.urls[owner]+path, body, contentType, decode)
+		status, err := t.attempt(ctx, method, r.url+path, body, contentType, decode)
 		if err == nil {
 			return nil
 		}
@@ -557,19 +732,19 @@ func (t *HTTPClient) doBytes(ctx context.Context, owner int, method, path string
 			break
 		}
 	}
-	return fmt.Errorf("transport: owner %d (%s): %w", owner, t.urls[owner], lastErr)
+	return fmt.Errorf("transport: owner %d replica %d (%s): %w", r.list, r.index, r.url, lastErr)
 }
 
-// do is the JSON control-plane exchange: marshal body, doBytes.
-func (t *HTTPClient) do(ctx context.Context, owner int, method, path string, body any, replayable bool, decode func(io.Reader) error) error {
+// doJSON is the JSON control-plane exchange: marshal body, doReplica.
+func (t *HTTPClient) doJSON(ctx context.Context, r *replica, method, path string, body any, decode func(io.Reader) error) error {
 	var buf []byte
 	if body != nil {
 		var err error
 		if buf, err = json.Marshal(body); err != nil {
-			return fmt.Errorf("transport: owner %d (%s): encode request: %w", owner, t.urls[owner], err)
+			return fmt.Errorf("transport: owner %d (%s): encode request: %w", r.list, r.url, err)
 		}
 	}
-	return t.doBytes(ctx, owner, method, path, buf, ContentTypeJSON, replayable, decode)
+	return t.doReplica(ctx, r, method, path, buf, ContentTypeJSON, decode)
 }
 
 // RemoteError is a non-200 reply from an owner server. It is a distinct
@@ -600,47 +775,173 @@ func remoteError(resp *http.Response) error {
 	return &RemoteError{Status: resp.StatusCode}
 }
 
-// ownerInfo fetches an owner's list metadata (the dial handshake).
-func (t *HTTPClient) ownerInfo(ctx context.Context, owner int) (OwnerStats, error) {
-	if err := t.checkOwner(owner); err != nil {
-		return OwnerStats{}, err
-	}
+// replicaInfo fetches one replica's list metadata (the dial handshake),
+// retried on transient failures like any control-plane exchange — a
+// single connection blip must not fail a flat single-replica dial.
+func (t *HTTPClient) replicaInfo(ctx context.Context, r *replica) (OwnerStats, error) {
 	var st OwnerStats
-	err := t.do(ctx, owner, http.MethodGet, "/stats", nil, true, func(body io.Reader) error {
+	err := t.doReplica(ctx, r, http.MethodGet, "/stats", nil, "", func(body io.Reader) error {
 		return json.NewDecoder(body).Decode(&st)
 	})
-	return st, err
+	if err != nil {
+		return OwnerStats{}, err
+	}
+	return st, nil
 }
 
-// Open starts a query session at every owner, fanned out in parallel —
-// opening is control-plane, but a serial loop would still cost m
-// round-trips of real latency per query. On partial failure the
-// already-opened owners are closed again, best-effort.
+// sessionListState is one session's per-list routing and accounting
+// state: which replicas hold the session, the replica its sessionful
+// traffic is pinned to, and — in replicated topologies — the
+// client-side access ledger. Guarded by its mutex; contention is nil in
+// practice because a session addresses each list from one goroutine at
+// a time.
+type sessionListState struct {
+	mu sync.Mutex
+	// open[ri] records that replica ri acknowledged /session/open — the
+	// set this session may route to.
+	open []bool
+	// pin is the replica serving this session's sessionful exchanges,
+	// chosen by policy at first use; nil until then.
+	pin *replica
+	// ledger mirrors the accesses this session's successful exchanges
+	// charged, per the owner handler semantics (see record). In a
+	// replicated topology the authoritative tally would be scattered
+	// across the replicas that happened to serve each exchange — and
+	// partially lost with a crashed one — so Stats reports the ledger
+	// instead, keeping access accounting bit-identical to a single-owner
+	// run whatever routed or failed over.
+	ledger ledger
+}
+
+// ledger is the client-side access mirror of one (session, list) pair.
+type ledger struct {
+	sorted, random, direct int64
+	depth                  int
+}
+
+// record charges one successful exchange to the ledger, mirroring the
+// owner handlers exactly: sorted/topk/above are sorted accesses, lookup/
+// mark/fetch are random, probe is direct (unless it had nothing left to
+// read). n is the list length — needed to tell whether an above-scan
+// stopped on a below-threshold read (charged) or ran off the end.
+func (l *ledger) record(req Request, resp Response, n int) {
+	switch r := req.(type) {
+	case SortedReq:
+		l.sorted++
+	case LookupReq:
+		l.random++
+	case MarkReq:
+		l.random++
+	case FetchReq:
+		l.random += int64(len(r.Items))
+	case ProbeReq:
+		if pr, ok := resp.(ProbeResp); ok && !pr.Empty {
+			l.direct++
+		}
+	case TopKReq:
+		l.sorted += int64(r.K)
+		l.depth = r.K
+	case AboveReq:
+		ar, ok := resp.(AboveResp)
+		if !ok {
+			return
+		}
+		// The owner reads entries until one falls below the threshold
+		// (that read is charged too) or the list ends.
+		charge := len(ar.Entries) + 1
+		if rest := n - l.depth; charge > rest {
+			charge = rest
+		}
+		l.sorted += int64(charge)
+		l.depth += charge
+	case BatchReq:
+		br, ok := resp.(BatchResp)
+		if !ok || len(br.Resps) != len(r.Reqs) {
+			return
+		}
+		for i := range r.Reqs {
+			l.record(r.Reqs[i], br.Resps[i], n)
+		}
+	}
+}
+
+// openTimeout caps each replica's /session/open attempt budget. The
+// open fan-out waits for every replica of every list, so a single
+// black-holed host must not stall query start for the full data-plane
+// timeout times the retry budget: acknowledging an open is a trivial
+// control-plane operation, and a replica that misses this window is
+// simply excluded from the session's routing — its list's sibling
+// carries the session (Close gets the same treatment via closeTimeout).
+const openTimeout = 5 * time.Second
+
+// Open starts a query session at every replica of every list, fanned out
+// in parallel. Fanning the open to ALL replicas — not just the ones the
+// policy would route to — is what makes mid-query failover safe: a
+// sibling replica already holds the session when traffic lands on it.
+// Replicas that fail the open are excluded from this session's routing;
+// a list whose every replica failed aborts the open (and closes the
+// partial session, best-effort).
 func (t *HTTPClient) Open(ctx context.Context, tracker bestpos.Kind) (Session, error) {
 	sid := NewSessionID()
 	body := sessionBody{SID: sid, Tracker: uint8(tracker)}
-	errs := make([]error, len(t.urls))
-	var wg sync.WaitGroup
-	for i := range t.urls {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = t.do(ctx, i, http.MethodPost, "/session/open", body, true, nil)
-		}(i)
+	s := &httpSession{t: t, sid: sid, state: make([]sessionListState, len(t.lists))}
+	errs := make([][]error, len(t.lists))
+	// The cap only makes sense when a sibling can carry the session: a
+	// flat topology keeps the full request timeout it always had — a
+	// merely slow single owner must not start failing opens.
+	bound := t.reqTimeout
+	if t.replicated && bound > openTimeout {
+		bound = openTimeout
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			s := &httpSession{t: t, sid: sid}
-			_ = s.Close()
-			return nil, err
+	var wg sync.WaitGroup
+	for li, reps := range t.lists {
+		s.state[li].open = make([]bool, len(reps))
+		errs[li] = make([]error, len(reps))
+		for ri, r := range reps {
+			wg.Add(1)
+			go func(li, ri int, r *replica) {
+				defer wg.Done()
+				octx, cancel := context.WithTimeout(ctx, bound)
+				defer cancel()
+				errs[li][ri] = t.doJSON(octx, r, http.MethodPost, "/session/open", body, nil)
+			}(li, ri, r)
 		}
 	}
-	return &httpSession{t: t, sid: sid}, nil
+	wg.Wait()
+	// Flag every acknowledged open first, so a partial-failure Close
+	// reaches everything that was opened.
+	for li := range t.lists {
+		for ri, err := range errs[li] {
+			s.state[li].open[ri] = err == nil
+		}
+	}
+	for li := range t.lists {
+		opened := 0
+		var firstErr error
+		for ri := range errs[li] {
+			if errs[li][ri] == nil {
+				opened++
+			} else if firstErr == nil {
+				firstErr = errs[li][ri]
+			}
+		}
+		if opened == 0 {
+			_ = s.Close()
+			return nil, firstErr
+		}
+	}
+	return s, nil
 }
 
-// Close releases idle connections. Sessions should be closed first.
+// Close stops the background health prober and releases idle
+// connections. Sessions should be closed first.
 func (t *HTTPClient) Close() error {
+	t.closeOnce.Do(func() {
+		if t.probeCancel != nil {
+			t.probeCancel()
+			<-t.proberDone
+		}
+	})
 	t.hc.CloseIdleConnections()
 	return nil
 }
@@ -654,6 +955,8 @@ type httpSession struct {
 
 	mu      sync.Mutex
 	elapsed time.Duration
+
+	state []sessionListState
 }
 
 // ID returns the session ID.
@@ -670,33 +973,63 @@ func (s *httpSession) rpcPath(kind Kind) string {
 	return "/rpc/" + string(kind) + "?sid=" + s.sid
 }
 
-// exchange performs one uninstrumented request/response round-trip in
-// the negotiated wire codec. Both the request and response bodies pass
-// through pooled buffers; decoded messages own their memory, so nothing
-// aliases a pooled slice after return.
-func (s *httpSession) exchange(ctx context.Context, owner int, req Request) (Response, error) {
-	kind := req.Kind()
-	binary := s.t.binaryWire()
-	enc := getBuf()
-	defer putBuf(enc)
-	var err error
-	if binary {
-		*enc, err = AppendRequestBinary(*enc, req)
-	} else {
-		*enc, err = json.Marshal(req)
+// routable reports this session's replica set for a list: the replicas
+// that acknowledged the open and have not since lost the session. Only
+// one goroutine addresses a list at a time (the Session contract), so
+// the slice needs no lock between a dropOpen and the reads that follow
+// it.
+func (s *httpSession) routable(li int) []bool {
+	return s.state[li].open
+}
+
+// dropOpen removes a replica from this session's routing — it answered
+// ErrUnknownSession, so it restarted and lost the session state.
+func (s *httpSession) dropOpen(li, ri int) {
+	ls := &s.state[li]
+	ls.mu.Lock()
+	ls.open[ri] = false
+	ls.mu.Unlock()
+}
+
+// pinned returns the replica this session's sessionful traffic for list
+// li sticks to, choosing it by policy on first use.
+func (s *httpSession) pinned(li int) *replica {
+	ls := &s.state[li]
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.pin == nil {
+		ls.pin = s.t.route(li, ls.open, nil)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("transport: owner %d (%s): encode request: %w", owner, s.t.urls[owner], err)
+	return ls.pin
+}
+
+// recordAccess charges a successful exchange to the session's access
+// ledger (replicated topologies only — flat clusters report the owner's
+// own authoritative tally).
+func (s *httpSession) recordAccess(li int, req Request, resp Response) {
+	if !s.t.replicated {
+		return
 	}
+	ls := &s.state[li]
+	ls.mu.Lock()
+	ls.ledger.record(req, resp, s.t.n)
+	ls.mu.Unlock()
+}
+
+// attemptRPC performs one data-plane round-trip with one replica in the
+// session's wire codec. Both bodies pass through pooled buffers; decoded
+// messages own their memory, so nothing aliases a pooled slice after
+// return.
+func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, body []byte, binary bool) (Response, int, error) {
 	ct := ContentTypeJSON
 	if binary {
 		ct = ContentTypeBinary
 	}
 	var out Response
-	err = s.t.doBytes(ctx, owner, http.MethodPost, s.rpcPath(kind), *enc, ct, req.Replayable(), func(body io.Reader) error {
+	status, err := s.t.attempt(ctx, http.MethodPost, r.url+s.rpcPath(kind), body, ct, func(rd io.Reader) error {
 		dec := getBuf()
 		defer putBuf(dec)
-		data, rerr := appendAll(*dec, body)
+		data, rerr := appendAll(*dec, rd)
 		*dec = data
 		if rerr != nil {
 			return rerr
@@ -709,10 +1042,140 @@ func (s *httpSession) exchange(ctx context.Context, owner int, req Request) (Res
 		}
 		return derr
 	})
-	if err != nil {
-		return nil, err
+	return out, status, err
+}
+
+// exchange performs one logical exchange with the owner of a list,
+// routing it to a replica and absorbing transient failures:
+//
+//   - stateless requests go to the policy's replica and FAIL OVER to a
+//     sibling on transient failure (every replica holds the session, and
+//     a stateless request is by construction replayable);
+//   - sessionful requests go to the session's pinned replica; replayable
+//     ones (mark, topk) may be retried there, but a failure that
+//     persists — or any failure of a non-replayable probe/above — is an
+//     OwnerFailedError: the cursors live on that replica alone.
+func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Response, error) {
+	kind := req.Kind()
+	binary := s.t.binaryWire()
+	enc := getBuf()
+	defer putBuf(enc)
+	var err error
+	if binary {
+		*enc, err = AppendRequestBinary(*enc, req)
+	} else {
+		*enc, err = json.Marshal(req)
 	}
-	return out, nil
+	if err != nil {
+		return nil, fmt.Errorf("transport: owner %d: encode request: %w", li, err)
+	}
+
+	sessionful := req.Sessionful()
+	var target *replica
+	if sessionful {
+		target = s.pinned(li)
+	} else {
+		target = s.t.route(li, s.routable(li), nil)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("transport: owner %d: no routable replica", li)
+	}
+
+	attempts := 1
+	if req.Replayable() {
+		attempts += s.t.retries
+		if !sessionful && s.t.retries > 0 {
+			// Stateless traffic may fail over: every replica holding the
+			// session deserves one try before the exchange gives up, even
+			// when that exceeds the flat same-replica retry budget.
+			open := 0
+			for _, ok := range s.routable(li) {
+				if ok {
+					open++
+				}
+			}
+			if open > attempts {
+				attempts = open
+			}
+		}
+	}
+	var tried []bool
+	failedOver := false
+	attempted := false
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		attempted = true
+		start := time.Now()
+		resp, status, err := s.attemptRPC(ctx, target, kind, *enc, binary)
+		if err == nil {
+			target.observe(time.Since(start))
+			target.healthy.Store(true)
+			if failedOver {
+				target.failovers.Add(1)
+			}
+			s.recordAccess(li, req, resp)
+			return resp, nil
+		}
+		lastErr = err
+		// A 404 is the owner's ErrUnknownSession: the replica is alive
+		// but no longer holds this session — it restarted since the
+		// open. Its copy of the session state is gone, not the session:
+		// a sibling replica still holds it.
+		var re *RemoteError
+		sessionLost := errors.As(err, &re) && re.Status == http.StatusNotFound
+		transient := transientStatus(status) || (status == 0 && transientErr(ctx, err))
+		if !sessionLost && !transient {
+			// The owner rejected the request (or the caller canceled):
+			// no replica will answer differently.
+			return nil, fmt.Errorf("transport: owner %d (%s): %w", li, target.url, err)
+		}
+		if !sessionLost {
+			target.failures.Add(1)
+			target.healthy.Store(false)
+		}
+		if sessionful {
+			if !sessionLost && a+1 < attempts {
+				continue // replayable: retry the pinned replica itself
+			}
+			// A pinned replica that failed — or restarted and lost the
+			// cursors — poisons the session for this list.
+			break
+		}
+		// Stateless: fail over to a sibling replica that holds the
+		// session; with none left, re-attempt the same replica. A
+		// restarted replica is dropped from this session's routing for
+		// good — it would keep answering 404.
+		if sessionLost {
+			s.dropOpen(li, target.index)
+		}
+		if tried == nil {
+			tried = make([]bool, len(s.t.lists[li]))
+		}
+		tried[target.index] = true
+		if next := s.t.route(li, s.routable(li), tried); next != nil {
+			failedOver = failedOver || next != target
+			target = next
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Cancellation wins whatever failures preceded it: a canceled
+		// query is not an owner failure and must not read as the
+		// "rerun me" OwnerFailedError contract.
+		return nil, fmt.Errorf("transport: owner %d (%s): %w", li, target.url, cerr)
+	}
+	if !attempted || !sessionful {
+		// A stateless exchange ran out of replicas to fail over to —
+		// rerunning the query would pin to the same dead set, so this
+		// is not the typed failure either.
+		return nil, fmt.Errorf("transport: owner %d (%s): %w", li, target.url, lastErr)
+	}
+	return nil, &OwnerFailedError{List: li, Replica: target.index, URL: target.url, Err: lastErr}
 }
 
 // Do performs one exchange and charges its real round-trip time.
@@ -729,10 +1192,10 @@ func (s *httpSession) Do(ctx context.Context, owner int, req Request) (Response,
 	return resp, nil
 }
 
-// DoAll fans the calls out with one goroutine per addressed owner, each
-// owner's calls in submission order, and charges the slowest owner's
-// serialized time. The per-owner goroutines stop at the first error of
-// their own owner and on ctx cancellation.
+// DoAll fans the calls out with one goroutine per addressed list, each
+// list's calls in submission order, and charges the slowest list's
+// serialized time. The per-list goroutines stop at the first error of
+// their own list and on ctx cancellation.
 func (s *httpSession) DoAll(ctx context.Context, calls []Call) ([]Response, error) {
 	for _, c := range calls {
 		if err := s.t.checkOwner(c.Owner); err != nil {
@@ -784,16 +1247,72 @@ func (s *httpSession) DoAll(ctx context.Context, calls []Call) ([]Response, erro
 	return out, nil
 }
 
-// Stats reports an owner's bookkeeping for this session.
+// Stats reports an owner's bookkeeping for this session. In a flat
+// topology the single replica's tally is authoritative; in a replicated
+// one the exchanges were scattered across replicas by routing (and
+// possibly lost with a crashed one), so the access tally and scan depth
+// come from the session's client-side ledger — bit-identical to a
+// single-owner run by construction — while the remaining metadata comes
+// from the pinned (else first answering) replica.
 func (s *httpSession) Stats(ctx context.Context, owner int) (OwnerStats, error) {
 	if err := s.t.checkOwner(owner); err != nil {
 		return OwnerStats{}, err
 	}
+	ls := &s.state[owner]
+	ls.mu.Lock()
+	pin := ls.pin
+	led := ls.ledger
+	ls.mu.Unlock()
+
+	// Candidate order: the pinned replica knows the session's cursors;
+	// after it, prefer whatever route returns, then everything open.
+	var cands []*replica
+	seen := make([]bool, len(s.t.lists[owner]))
+	add := func(r *replica) {
+		if r != nil && !seen[r.index] {
+			seen[r.index] = true
+			cands = append(cands, r)
+		}
+	}
+	add(pin)
+	add(s.t.route(owner, s.routable(owner), nil))
+	for _, r := range s.t.lists[owner] {
+		if s.routable(owner)[r.index] {
+			add(r)
+		}
+	}
+
 	var st OwnerStats
-	err := s.t.do(ctx, owner, http.MethodGet, "/stats?sid="+s.sid, nil, true, func(body io.Reader) error {
-		return json.NewDecoder(body).Decode(&st)
-	})
-	return st, err
+	var lastErr error
+	got := false
+	for _, r := range cands {
+		err := s.t.doJSON(ctx, r, http.MethodGet, "/stats?sid="+s.sid, nil, func(body io.Reader) error {
+			return json.NewDecoder(body).Decode(&st)
+		})
+		if err == nil {
+			got = true
+			break
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if !got {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("transport: owner %d: no routable replica", owner)
+		}
+		return OwnerStats{}, lastErr
+	}
+	if s.t.replicated {
+		st.Accesses.Sorted = led.sorted
+		st.Accesses.Random = led.random
+		st.Accesses.Direct = led.direct
+		if led.depth > st.Depth {
+			st.Depth = led.depth
+		}
+	}
+	return st, nil
 }
 
 // Elapsed returns the real time this session has spent in exchanges.
@@ -809,28 +1328,40 @@ func (s *httpSession) Elapsed() time.Duration {
 // the generous data-plane budget.
 const closeTimeout = 2 * time.Second
 
-// Close releases the session's owner-side state, best-effort and in
-// parallel: every owner is attempted under a fresh short-lived
-// control-plane context (so a canceled query still cleans up after
-// itself), and a hung owner costs at most closeTimeout, not one
-// reqTimeout per owner.
+// Close releases the session's owner-side state at every replica that
+// holds it, best-effort and in parallel: every replica is attempted
+// under a fresh short-lived control-plane context (so a canceled query
+// still cleans up after itself), and a hung owner costs at most
+// closeTimeout, not one reqTimeout per owner. The returned error is the
+// first failure — callers tearing down after a replica crash should
+// expect (and may ignore) one.
 func (s *httpSession) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
 	defer cancel()
-	errs := make([]error, len(s.t.urls))
-	var wg sync.WaitGroup
-	for i := range s.t.urls {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = s.t.do(ctx, i, http.MethodPost, "/session/close", sessionBody{SID: s.sid}, true, nil)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for li, reps := range s.t.lists {
+		for _, r := range reps {
+			if !s.state[li].open[r.index] {
+				continue
+			}
+			wg.Add(1)
+			go func(r *replica) {
+				defer wg.Done()
+				err := s.t.doJSON(ctx, r, http.MethodPost, "/session/close", sessionBody{SID: s.sid}, nil)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(r)
 		}
 	}
-	return nil
+	wg.Wait()
+	return firstErr
 }

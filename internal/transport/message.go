@@ -37,10 +37,21 @@ const (
 // tracker, the scan depth), so replaying one would silently skip list
 // entries and corrupt the answer. The HTTP client's transient-failure
 // retry is gated on this.
+//
+// Sessionful reports whether serving the request reads or writes
+// per-session owner-side protocol state beyond the access tally: the
+// seen-position tracker (probe, mark) or the scan-depth cursor (topk,
+// above). Replicas of a list serve the same data but do NOT share
+// session state, so sessionful traffic must stick to one replica per
+// list — the replica-aware HTTP client pins it, and only stateless
+// requests (sorted, lookup, fetch) may fail over between replicas
+// mid-query. Note the two axes differ: mark and topk are replayable yet
+// sessionful — safe to retry against the SAME replica, not safe to move.
 type Request interface {
 	Kind() Kind
 	RequestScalars() int
 	Replayable() bool
+	Sessionful() bool
 }
 
 // Response is one owner-to-originator message. ResponseScalars is the
@@ -91,6 +102,9 @@ func (SortedReq) RequestScalars() int { return 0 }
 // Replayable: reading a fixed position twice returns the same entry.
 func (SortedReq) Replayable() bool { return true }
 
+// Sessionful: NO — a positional read touches no session cursor.
+func (SortedReq) Sessionful() bool { return false }
+
 // SortedResp returns the entry; the position is implied by the request.
 type SortedResp struct {
 	Entry list.Entry `json:"entry"`
@@ -111,6 +125,9 @@ func (LookupReq) RequestScalars() int { return 0 }
 
 // Replayable: a lookup mutates nothing.
 func (LookupReq) Replayable() bool { return true }
+
+// Sessionful: NO — a lookup touches no session cursor.
+func (LookupReq) Sessionful() bool { return false }
 
 // LookupResp returns the local score, plus the position iff requested
 // (HasPos mirrors the request's WantPos, so the charged payload is a
@@ -138,6 +155,9 @@ func (ProbeReq) RequestScalars() int { return 0 }
 // Replayable: NO — every probe advances the owner's seen-position
 // cursor, so a replay would skip the entry the lost response carried.
 func (ProbeReq) Replayable() bool { return false }
+
+// Sessionful: YES — the probe cursor lives on one replica.
+func (ProbeReq) Sessionful() bool { return true }
 
 // ProbeResp returns the probed entry plus the owner's piggybacked
 // best-position state.
@@ -177,6 +197,10 @@ func (MarkReq) RequestScalars() int { return 0 }
 // the score/piggyback answer is unchanged.
 func (MarkReq) Replayable() bool { return true }
 
+// Sessionful: YES — the mark lands in one replica's tracker, which the
+// session's future probes depend on.
+func (MarkReq) Sessionful() bool { return true }
+
 // MarkResp returns the local score plus the piggybacked best-position
 // state. The item's position stays at the owner.
 type MarkResp struct {
@@ -200,6 +224,10 @@ func (TopKReq) RequestScalars() int { return 0 }
 // set, not advanced (depth = K both times).
 func (TopKReq) Replayable() bool { return true }
 
+// Sessionful: YES — it sets the scan depth the session's above-scan
+// continues from, on one replica.
+func (TopKReq) Sessionful() bool { return true }
+
 // TopKResp returns the owner's top-K entries in list order.
 type TopKResp struct {
 	Entries []list.Entry `json:"entries"`
@@ -221,6 +249,9 @@ func (AboveReq) RequestScalars() int { return 0 }
 // execution advanced, so a replay would return a truncated tail.
 func (AboveReq) Replayable() bool { return false }
 
+// Sessionful: YES — the depth cursor lives on one replica.
+func (AboveReq) Sessionful() bool { return true }
+
 // AboveResp returns the matching entries in list order.
 type AboveResp struct {
 	Entries []list.Entry `json:"entries"`
@@ -241,6 +272,9 @@ func (r FetchReq) RequestScalars() int { return len(r.Items) }
 
 // Replayable: a batch of lookups mutates nothing.
 func (FetchReq) Replayable() bool { return true }
+
+// Sessionful: NO — exact-score lookups touch no session cursor.
+func (FetchReq) Sessionful() bool { return false }
 
 // FetchResp returns the scores in request order.
 type FetchResp struct {
@@ -289,6 +323,17 @@ func (b BatchReq) Replayable() bool {
 		}
 	}
 	return true
+}
+
+// Sessionful: when any inner request is — a batch carrying one
+// cursor-touching member must travel to the session's pinned replica.
+func (b BatchReq) Sessionful() bool {
+	for _, r := range b.Reqs {
+		if r.Sessionful() {
+			return true
+		}
+	}
+	return false
 }
 
 // BatchResp carries the inner responses in request order.

@@ -26,6 +26,11 @@ type OwnerStats struct {
 	M int `json:"m"`
 	// MinScore is the score at the last position of the list.
 	MinScore float64 `json:"minScore"`
+	// Replica is the owner process's replica label within its list's
+	// replica set ("" when the deployment does not use replicas) —
+	// advertised in the /stats handshake so originators and operators
+	// can tell which of a list's interchangeable owners they reached.
+	Replica string `json:"replica,omitempty"`
 	// Accesses tallies the session's list accesses.
 	Accesses access.Counts `json:"accesses"`
 	// Best is the session's tracker's current best position.
@@ -89,10 +94,11 @@ type ownerSession struct {
 // session's mutex — the owner-wide mutex guards nothing but the session
 // table).
 type Owner struct {
-	index int
-	m     int
-	n     int
-	db    *list.Database // single-list database over the owned list
+	index   int
+	m       int
+	n       int
+	replica string         // replica label advertised in /stats
+	db      *list.Database // single-list database over the owned list
 
 	mu        sync.Mutex
 	sessions  map[string]*ownerSession
@@ -134,6 +140,16 @@ func (o *Owner) SetSessionTTL(d time.Duration) {
 	defer o.mu.Unlock()
 	o.ttl = d
 	o.nextSweep = time.Time{}
+}
+
+// SetReplicaID labels this owner process within its list's replica set
+// (e.g. "a", "b" — cmd/topk-owner's -replica flag). The label is
+// advertised in /stats; it is informational, identifying which of a
+// list's interchangeable owners answered.
+func (o *Owner) SetReplicaID(id string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.replica = id
 }
 
 // Evictions reports how many idle sessions the TTL sweep has reclaimed.
@@ -240,13 +256,14 @@ func (o *Owner) session(sid string) (*ownerSession, error) {
 // access tallies are zero: they live per session.
 func (o *Owner) Info() OwnerStats {
 	o.mu.Lock()
-	open, ev := len(o.sessions), o.evictions
+	open, ev, rep := len(o.sessions), o.evictions, o.replica
 	o.mu.Unlock()
 	return OwnerStats{
 		Index:        o.index,
 		N:            o.n,
 		M:            o.m,
 		MinScore:     o.db.List(0).At(o.n).Score,
+		Replica:      rep,
 		Codecs:       []string{CodecBinary, CodecJSON},
 		OpenSessions: open,
 		Evictions:    ev,

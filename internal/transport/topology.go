@@ -1,0 +1,397 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the replica-aware half of the HTTP backend: the cluster
+// topology (which URLs serve which list), the per-replica connection
+// state the client keeps (health, EWMA latency, failover tallies), the
+// routing policies that pick a replica per exchange, and the background
+// health prober. The replicas of a list serve identical data but do NOT
+// share per-session protocol state, which is what splits the traffic in
+// two:
+//
+//   - stateless exchanges (sorted, lookup, fetch — all replayable) may
+//     be served by any replica holding the session and fail over to a
+//     sibling when their replica dies mid-query;
+//   - sessionful exchanges (probe, mark, topk, above — anything that
+//     reads or advances a per-session cursor or tracker) pin the session
+//     to one replica per list; if that replica dies, the query fails
+//     fast with a typed OwnerFailedError instead of silently resuming on
+//     a replica whose cursors never advanced.
+
+// Topology maps every list to its replica set: Topology[i] holds the
+// base URLs of the owner processes serving list i. Every replica of a
+// list must own the same list of the same database; a flat single-owner
+// cluster is simply a topology of one-replica lists.
+type Topology [][]string
+
+// SingleTopology lifts a flat owner set (urls[i] serves list i) into a
+// one-replica-per-list topology — the shape DialOwners and the
+// pre-replica DialCluster API dial.
+func SingleTopology(urls []string) Topology {
+	tp := make(Topology, len(urls))
+	for i, u := range urls {
+		tp[i] = []string{u}
+	}
+	return tp
+}
+
+// Validate rejects empty topologies, lists with no replicas and blank
+// URLs — the shapes Dial cannot route.
+func (tp Topology) Validate() error {
+	if len(tp) == 0 {
+		return fmt.Errorf("transport: no owner URLs")
+	}
+	for i, reps := range tp {
+		if len(reps) == 0 {
+			return fmt.Errorf("transport: list %d has no replicas", i)
+		}
+		for j, u := range reps {
+			if strings.TrimSpace(u) == "" {
+				return fmt.Errorf("transport: list %d replica %d: empty URL", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Replicated reports whether any list has more than one replica — the
+// switch that arms session pinning, failover and the client-side access
+// ledger.
+func (tp Topology) Replicated() bool {
+	for _, reps := range tp {
+		if len(reps) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RoutingPolicy selects which replica of a list serves a stateless
+// exchange (and which replica a session pins its sessionful traffic to,
+// decided once per session per list).
+type RoutingPolicy uint8
+
+const (
+	// RoutePrimary always prefers the lowest-index healthy replica:
+	// replicas beyond the first are pure standbys. The default.
+	RoutePrimary RoutingPolicy = iota
+	// RouteRoundRobin rotates stateless exchanges across the healthy
+	// replicas of each list.
+	RouteRoundRobin
+	// RouteFastest prefers the healthy replica with the lowest EWMA
+	// round-trip latency, measured from health probes and data-plane
+	// exchanges.
+	RouteFastest
+)
+
+// String returns the policy name ParseRoutingPolicy accepts.
+func (p RoutingPolicy) String() string {
+	switch p {
+	case RoutePrimary:
+		return "primary"
+	case RouteRoundRobin:
+		return "round-robin"
+	case RouteFastest:
+		return "fastest"
+	default:
+		return fmt.Sprintf("RoutingPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseRoutingPolicy resolves a policy name, case-insensitively.
+func ParseRoutingPolicy(name string) (RoutingPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "primary":
+		return RoutePrimary, nil
+	case "round-robin", "roundrobin", "rr":
+		return RouteRoundRobin, nil
+	case "fastest":
+		return RouteFastest, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown routing policy %q (want primary, round-robin or fastest)", name)
+	}
+}
+
+// OwnerFailedError reports a replica failing mid-query on traffic that
+// cannot fail over: sessionful exchanges (probe, above, mark, topk, or a
+// batch carrying one) live on the cursors and trackers of exactly one
+// replica, so its death poisons the session for that list. The error
+// names the list and the replica so an operator knows which process to
+// look at; callers should rerun the query — a fresh session pins to a
+// live replica.
+type OwnerFailedError struct {
+	// List is the list index whose pinned replica failed.
+	List int
+	// Replica is the index of the failed replica within the list's
+	// replica set.
+	Replica int
+	// URL is the failed replica's base URL.
+	URL string
+	// Err is the underlying transport failure.
+	Err error
+}
+
+// Error names owner (list), replica and URL.
+func (e *OwnerFailedError) Error() string {
+	return fmt.Sprintf("transport: owner %d replica %d (%s) failed mid-query: %v", e.List, e.Replica, e.URL, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *OwnerFailedError) Unwrap() error { return e.Err }
+
+// replica is the client-side state of one owner process: its URL, the
+// last known health verdict, an EWMA of observed round-trip latency and
+// the failure/failover tallies. All fields are atomics — the prober,
+// concurrent sessions and Health snapshots touch them without locks.
+type replica struct {
+	list  int
+	index int
+	url   string
+
+	// validated records that the replica passed the shape handshake
+	// (right list index, list length, cluster width, codec) — at dial
+	// time or, for replicas that were down then, by the health prober
+	// before it first marks them healthy. route never selects an
+	// unvalidated replica: a misconfigured process that comes up late
+	// must not silently serve a different list.
+	validated atomic.Bool
+	healthy   atomic.Bool
+	// ewma holds the smoothed round-trip latency in nanoseconds, 0 until
+	// first measured. Updated from the dial handshake, health probes and
+	// every successful data-plane exchange (alpha 1/4).
+	ewma atomic.Int64
+	// failures counts transport-level failures observed on the data
+	// plane (connection errors, per-attempt timeouts, 5xx).
+	failures atomic.Int64
+	// failovers counts exchanges this replica served after a sibling
+	// replica failed them first.
+	failovers atomic.Int64
+}
+
+// observe folds one latency sample into the EWMA.
+func (r *replica) observe(d time.Duration) {
+	if d <= 0 {
+		d = 1
+	}
+	for {
+		old := r.ewma.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/4
+			if next <= 0 {
+				next = 1
+			}
+		}
+		if r.ewma.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ReplicaHealth is one replica's state as seen by the client — the
+// verbose-output and monitoring snapshot.
+type ReplicaHealth struct {
+	// List and Replica locate the replica in the topology.
+	List    int
+	Replica int
+	// URL is the replica's base URL.
+	URL string
+	// Healthy is the last verdict of the health prober or data plane.
+	Healthy bool
+	// Latency is the EWMA round-trip latency (0 if never measured).
+	Latency time.Duration
+	// Failures counts observed data-plane failures; Failovers counts
+	// exchanges this replica served after a sibling failed them.
+	Failures  int64
+	Failovers int64
+}
+
+// Health snapshots the per-replica connection state, lists in order,
+// replicas in topology order within each list.
+func (t *HTTPClient) Health() []ReplicaHealth {
+	var out []ReplicaHealth
+	for _, reps := range t.lists {
+		for _, r := range reps {
+			out = append(out, ReplicaHealth{
+				List:      r.list,
+				Replica:   r.index,
+				URL:       r.url,
+				Healthy:   r.healthy.Load(),
+				Latency:   time.Duration(r.ewma.Load()),
+				Failures:  r.failures.Load(),
+				Failovers: r.failovers.Load(),
+			})
+		}
+	}
+	return out
+}
+
+// DefaultHealthInterval is the background prober's cadence when the dial
+// config leaves it zero. Short enough that a replica crash is noticed
+// within a few queries, long enough that idle clusters cost nothing
+// measurable.
+const DefaultHealthInterval = 3 * time.Second
+
+// healthProbeTimeout caps one /healthz probe: a hung replica must not
+// stall the sweep past the next tick.
+const healthProbeTimeout = 2 * time.Second
+
+// startProber launches the background health loop: every interval it
+// probes /healthz of every replica in parallel, restoring replicas the
+// data plane marked dead and demoting ones that stopped answering.
+// Close stops the loop and waits for it.
+func (t *HTTPClient) startProber(interval time.Duration) {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.probeCancel = cancel
+	t.proberDone = make(chan struct{})
+	go func() {
+		defer close(t.proberDone)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				t.sweepHealth(ctx)
+			}
+		}
+	}()
+}
+
+// sweepHealth probes every replica once, in parallel.
+func (t *HTTPClient) sweepHealth(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, reps := range t.lists {
+		for _, r := range reps {
+			wg.Add(1)
+			go func(r *replica) {
+				defer wg.Done()
+				t.probeReplica(ctx, r)
+			}(r)
+		}
+	}
+	wg.Wait()
+}
+
+// probeReplica performs one health round-trip and updates the replica's
+// verdict and EWMA. A replica that was down at dial time — never
+// handshake-validated — is probed through /stats instead and must pass
+// the same shape validation Dial applies before it first counts as
+// healthy: reviving a misconfigured process unchecked would let it
+// silently serve the wrong list.
+func (t *HTTPClient) probeReplica(ctx context.Context, r *replica) {
+	if !r.validated.Load() {
+		t.validateReplica(ctx, r)
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, healthProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, r.url+"/healthz", nil)
+	if err != nil {
+		r.healthy.Store(false)
+		return
+	}
+	start := time.Now()
+	resp, err := t.hc.Do(req)
+	if err == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+	if ctx.Err() != nil {
+		return // the client is closing; no verdict from an aborted probe
+	}
+	if err == nil && resp.StatusCode == http.StatusOK {
+		r.observe(time.Since(start))
+		r.healthy.Store(true)
+		return
+	}
+	r.healthy.Store(false)
+}
+
+// validateReplica runs the dial-time shape handshake against a replica
+// that has never passed it, promoting it to validated+healthy only on
+// success. Mismatches leave it permanently unroutable (probed again
+// each sweep, in case the operator fixes the process in place).
+func (t *HTTPClient) validateReplica(ctx context.Context, r *replica) {
+	pctx, cancel := context.WithTimeout(ctx, healthProbeTimeout)
+	defer cancel()
+	start := time.Now()
+	st, err := t.replicaInfo(pctx, r)
+	if ctx.Err() != nil || err != nil {
+		return
+	}
+	// A cluster whose data plane speaks binary must not admit a replica
+	// that cannot; under forced/negotiated JSON the codec is moot.
+	if err := t.checkShape(r, st, t.binaryWire()); err != nil {
+		return
+	}
+	r.validated.Store(true)
+	r.observe(time.Since(start))
+	r.healthy.Store(true)
+}
+
+// route picks the replica of list to address next under the client's
+// policy. allowed filters to the replicas this session may use (those
+// that hold its state), tried excludes replicas that already failed the
+// exchange being routed. Healthy candidates are preferred; when none
+// are healthy the policy runs over the unhealthy remainder — a verdict
+// can be stale, and attempting a "dead" replica is how a single-replica
+// list keeps working at all. Returns nil only when allowed+tried leave
+// nothing.
+func (t *HTTPClient) route(list int, allowed []bool, tried []bool) *replica {
+	var healthy, rest []*replica
+	for _, r := range t.lists[list] {
+		if !r.validated.Load() {
+			continue // never handshake-validated: shape unknown
+		}
+		if allowed != nil && !allowed[r.index] {
+			continue
+		}
+		if tried != nil && tried[r.index] {
+			continue
+		}
+		if r.healthy.Load() {
+			healthy = append(healthy, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	cands := healthy
+	if len(cands) == 0 {
+		cands = rest
+	}
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	switch t.policy {
+	case RouteRoundRobin:
+		return cands[int(t.rr[list].Add(1)-1)%len(cands)]
+	case RouteFastest:
+		best := cands[0]
+		for _, r := range cands[1:] {
+			be, re := best.ewma.Load(), r.ewma.Load()
+			// An unmeasured replica (0) counts as fastest: explore it so
+			// it gets a measurement.
+			if re == 0 && be != 0 || re != 0 && be != 0 && re < be {
+				best = r
+			}
+		}
+		return best
+	default: // RoutePrimary
+		return cands[0]
+	}
+}

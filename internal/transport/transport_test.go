@@ -608,7 +608,7 @@ func startHTTPOwners(t *testing.T, db *list.Database) ([]string, []*Server) {
 func TestHTTPRoundTrip(t *testing.T) {
 	db := testDB(t)
 	urls, servers := startHTTPOwners(t, db)
-	hc, err := Dial(urls, nil)
+	hc, err := DialOwners(urls, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -709,7 +709,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 func TestHTTPConcurrentSessions(t *testing.T) {
 	db := testDB(t)
 	urls, _ := startHTTPOwners(t, db)
-	hc, err := Dial(urls, nil)
+	hc, err := DialOwners(urls, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -771,7 +771,7 @@ func TestHTTPRetryTransient(t *testing.T) {
 		srvOne.Handler().ServeHTTP(w, r)
 	}))
 	defer tsOne.Close()
-	hc, err := Dial([]string{tsOne.URL}, nil)
+	hc, err := DialOwners([]string{tsOne.URL}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -851,7 +851,7 @@ func TestHTTPCancel(t *testing.T) {
 	ts := httptest.NewServer(slow)
 	defer ts.Close()
 	defer close(release)
-	hc, err := Dial([]string{ts.URL}, nil)
+	hc, err := DialOwners([]string{ts.URL}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -898,20 +898,20 @@ func TestDialValidation(t *testing.T) {
 	db := testDB(t)
 	urls, _ := startHTTPOwners(t, db)
 
-	if _, err := Dial(nil, nil); err == nil {
+	if _, err := DialOwners(nil, nil); err == nil {
 		t.Error("empty cluster accepted")
 	}
 	// Owners out of order: URL position must match list index.
-	if _, err := Dial([]string{urls[1], urls[0], urls[2]}, nil); err == nil ||
+	if _, err := DialOwners([]string{urls[1], urls[0], urls[2]}, nil); err == nil ||
 		!strings.Contains(err.Error(), "order") {
 		t.Errorf("shuffled owners accepted: %v", err)
 	}
 	// Partial cluster: owner reports a 3-list database, cluster has 2.
-	if _, err := Dial(urls[:2], nil); err == nil {
+	if _, err := DialOwners(urls[:2], nil); err == nil {
 		t.Error("partial cluster accepted")
 	}
 	// Unreachable owner (the single retry must not mask it).
-	if _, err := Dial([]string{"http://127.0.0.1:1"}, nil); err == nil {
+	if _, err := DialOwners([]string{"http://127.0.0.1:1"}, nil); err == nil {
 		t.Error("unreachable owner accepted")
 	}
 	// Mismatched list lengths across owners.
@@ -922,7 +922,7 @@ func TestDialValidation(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	if _, err := Dial([]string{urls[0], urls[1], ts.URL}, nil); err == nil {
+	if _, err := DialOwners([]string{urls[0], urls[1], ts.URL}, nil); err == nil {
 		t.Error("mismatched list length accepted")
 	}
 }
@@ -1134,7 +1134,7 @@ func TestWireNegotiation(t *testing.T) {
 	db := testDB(t)
 	urls, _ := startHTTPOwners(t, db)
 
-	hc, err := Dial(urls, nil)
+	hc, err := DialOwners(urls, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1193,7 +1193,7 @@ func TestWireNegotiation(t *testing.T) {
 		http.NotFound(w, r)
 	}))
 	defer stripped.Close()
-	hc2, err := Dial([]string{stripped.URL, urls[1], urls[2]}, nil)
+	hc2, err := DialOwners([]string{stripped.URL, urls[1], urls[2]}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1222,7 +1222,7 @@ func TestBatchWithProbeNotRetried(t *testing.T) {
 		srvOne.Handler().ServeHTTP(w, r)
 	}))
 	defer ts.Close()
-	hc, err := Dial([]string{ts.URL}, nil)
+	hc, err := DialOwners([]string{ts.URL}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
