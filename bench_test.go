@@ -426,6 +426,82 @@ func BenchmarkConcurrentSessions(b *testing.B) {
 	}
 }
 
+// BenchmarkRecoveryOverhead prices the session-handoff machinery on the
+// BenchmarkConcurrentSessions workload: the same shared owner cluster,
+// every list now doubly replicated, swept with state mirroring off
+// (DisableHandoff) and on. The delta is the synchronous control-plane
+// sync after each successful sessionful exchange — the premium a
+// deployment pays for zero failed queries. BPA2 is the stressor: its
+// probe traffic is entirely sessionful, so every exchange mirrors;
+// stateless protocols pay nothing either way.
+func BenchmarkRecoveryOverhead(b *testing.B) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 2_000, M: 3, Seed: 1})
+	const lat = time.Millisecond
+	topo := make(transport.Topology, db.M())
+	var closers []func()
+	for li := range topo {
+		for r := 0; r < 2; r++ {
+			srv, err := transport.NewServer(db, li)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inner := srv.Handler()
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if strings.HasPrefix(r.URL.Path, "/rpc/") {
+					time.Sleep(lat)
+				}
+				inner.ServeHTTP(w, r)
+			}))
+			closers = append(closers, ts.Close)
+			topo[li] = append(topo[li], ts.URL)
+		}
+	}
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for _, handoff := range []bool{false, true} {
+		hc, err := transport.Dial(context.Background(), transport.DialConfig{
+			Topology:       topo,
+			DisableHandoff: !handoff,
+			HealthInterval: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, originators := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("handoff=%v/originators=%d", handoff, originators), func(b *testing.B) {
+				ctx := context.Background()
+				queries := make(chan struct{}, b.N)
+				for i := 0; i < b.N; i++ {
+					queries <- struct{}{}
+				}
+				close(queries)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < originators; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for range queries {
+							if _, err := dist.BPA2Over(ctx, hc, dist.Options{K: 5, Scoring: score.Sum{}}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "queries/sec")
+				}
+			})
+		}
+		hc.Close()
+	}
+}
+
 // recordingTransport wraps a Transport and records every wire message
 // the originator actually ships — post-coalescing, so batches appear as
 // batches, exactly what a codec would see on the HTTP path.

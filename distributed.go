@@ -78,8 +78,12 @@ func ParseProtocol(name string) (Protocol, error) {
 	}
 }
 
-// DistStats reports the network profile of a distributed run.
-type DistStats struct {
+// NetStats is the network profile of a distributed run — the paper's
+// cost metrics. It describes the protocol, not the outages the run
+// outlived: a query that survived replica deaths via handoff or
+// restart reports the same NetStats as an undisturbed run (see
+// DistStats.Recovery for the disturbance).
+type NetStats struct {
 	// Messages counts point-to-point logical messages (a request/response
 	// exchange is two). Unaffected by wire coalescing — it is the paper's
 	// cost metric.
@@ -100,6 +104,52 @@ type DistStats struct {
 	TotalAccesses int64
 	// Elapsed is the transport's wall-clock measure of the run: zero for
 	// the in-process simulation, real time for a cluster run.
+	Elapsed time.Duration
+}
+
+// RecoveryStats tallies the failures a run absorbed without failing
+// the query. All-zero on an undisturbed run. Kept apart from NetStats
+// on purpose: recovery never perturbs the primary accounting, so a
+// killed-and-recovered query reports NetStats (and answers) identical
+// to an undisturbed one, with the disturbance recorded here.
+type RecoveryStats struct {
+	// Restarts counts full protocol reruns the restart policy spent
+	// before the query completed (see ClusterConfig.Restart).
+	Restarts int
+	// Handoffs counts pinned-session promotions to a synced sibling
+	// replica performed mid-protocol after a pinned replica died.
+	Handoffs int
+	// FailedReplicas counts distinct replicas that failed during the
+	// query, including replicas that failed attempts a restart
+	// abandoned.
+	FailedReplicas int
+}
+
+// DistStats reports the accounting of a distributed run: the stable
+// network profile in Net and the failures the run absorbed in
+// Recovery. The flat fields mirror Net for callers written against the
+// pre-recovery layout; they are deprecated and will be removed.
+type DistStats struct {
+	// Net is the network profile — identical to an undisturbed run even
+	// when the query was restarted or handed off.
+	Net NetStats
+	// Recovery tallies the failures the run absorbed; all-zero when
+	// nothing failed.
+	Recovery RecoveryStats
+
+	// Deprecated: read Net.Messages.
+	Messages int64
+	// Deprecated: read Net.Payload.
+	Payload int64
+	// Deprecated: read Net.Rounds.
+	Rounds int
+	// Deprecated: read Net.Exchanges.
+	Exchanges int64
+	// Deprecated: read Net.PerOwner (same backing array).
+	PerOwner []int64
+	// Deprecated: read Net.TotalAccesses.
+	TotalAccesses int64
+	// Deprecated: read Net.Elapsed.
 	Elapsed time.Duration
 }
 
@@ -131,9 +181,10 @@ func runnerFor(protocol Protocol) (func(context.Context, transport.Transport, di
 // distStatsOf adapts a dist result's accounting. PerOwner is copied:
 // the runner's slice is live internal accounting state, and handing it
 // out would let a caller's mutation corrupt anything else derived from
-// the same run (the DHT pricing reads it too).
+// the same run (the DHT pricing reads it too). The deprecated flat
+// mirrors share that one copy with Net.PerOwner.
 func distStatsOf(res *dist.Result) DistStats {
-	return DistStats{
+	net := NetStats{
 		Messages:      res.Net.Messages,
 		Payload:       res.Net.Payload,
 		Rounds:        res.Net.Rounds,
@@ -142,16 +193,36 @@ func distStatsOf(res *dist.Result) DistStats {
 		TotalAccesses: res.Accesses.Total(),
 		Elapsed:       res.Elapsed,
 	}
+	return DistStats{
+		Net: net,
+		Recovery: RecoveryStats{
+			Restarts:       res.Recovery.Restarts,
+			Handoffs:       res.Recovery.Handoffs,
+			FailedReplicas: res.Recovery.FailedReplicas,
+		},
+		Messages:      net.Messages,
+		Payload:       net.Payload,
+		Rounds:        net.Rounds,
+		Exchanges:     net.Exchanges,
+		PerOwner:      net.PerOwner,
+		TotalAccesses: net.TotalAccesses,
+		Elapsed:       net.Elapsed,
+	}
 }
 
 // OwnerFailedError reports a list owner replica failing mid-query on
-// traffic that cannot fail over to a sibling replica: BPA2's probes,
+// traffic the transport could not recover in place: BPA2's probes,
 // TPUT's phase-2 scans and the other sessionful exchanges live on the
-// cursors of exactly one replica, so its crash poisons that query's
-// session. The error names the list and replica; rerunning the query
-// opens a fresh session pinned to a live replica. Stateless traffic
-// (TA/BPA sorted reads and lookups, TPUT phase-3 fetches) never
-// surfaces this — it fails over and the query completes.
+// cursors of exactly one pinned replica. Normally a pinned replica's
+// death is absorbed by the session handoff — the session re-pins to a
+// sibling that mirrors its state — so this error surfaces only when no
+// synced sibling exists: a flat (unreplicated) list, handoff disabled
+// (ClusterConfig.DisableHandoff), or every sibling already failed. The
+// error names the list and replica; rerunning the query opens a fresh
+// session pinned to a live replica — ClusterConfig.Restart (or
+// WithRestart) does that rerun automatically. Stateless traffic (TA/BPA
+// sorted reads and lookups, TPUT phase-3 fetches) never surfaces this —
+// it fails over and the query completes.
 type OwnerFailedError struct {
 	// List is the list whose replica failed.
 	List int
@@ -186,12 +257,163 @@ func liftOwnerFailure(err error) error {
 	return err
 }
 
-// runOver executes a protocol over a transport and adapts the result.
-// name resolves item IDs to display names (nil leaves names empty —
-// a cluster originator holds no dictionary).
-func runOver(ctx context.Context, t transport.Transport, q Query, protocol Protocol, name func(Item) string) (*DistResult, error) {
+// RestartPolicy decides when a cluster query that failed on a dying
+// replica is automatically rerun from scratch on the surviving
+// replicas (see ClusterConfig.Restart and WithRestart). Restart
+// composes with the transport's session handoff: handoff repairs a
+// run in place without losing protocol state; restart is the coarser
+// fallback that throws the partial run away and reruns the whole
+// protocol. Either way the completing run's answers and primary
+// accounting (Stats.Net) are bit-identical to an undisturbed run;
+// only Stats.Recovery records the disturbance.
+type RestartPolicy uint8
+
+const (
+	// RestartOff never reruns: the first failure surfaces to the
+	// caller unchanged. The default.
+	RestartOff RestartPolicy = iota
+	// RestartFailed reruns only queries that died with an
+	// *OwnerFailedError — the failed-protocol case where a rerun on
+	// the surviving replicas can succeed.
+	RestartFailed
+	// RestartAlways reruns on any non-cancellation error, including
+	// plain transport errors from flat (unreplicated) topologies where
+	// there is no failover machinery to classify the failure.
+	RestartAlways
+)
+
+// String returns the policy name ParseRestartPolicy accepts.
+func (p RestartPolicy) String() string {
+	switch p {
+	case RestartOff:
+		return "off"
+	case RestartFailed:
+		return "failed"
+	case RestartAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("RestartPolicy(%d)", uint8(p))
+	}
+}
+
+// RestartPolicies lists the available restart policies.
+func RestartPolicies() []RestartPolicy {
+	return []RestartPolicy{RestartOff, RestartFailed, RestartAlways}
+}
+
+// ParseRestartPolicy resolves a restart policy name ("off", "failed",
+// "always"), case-insensitively; "" is RestartOff.
+func ParseRestartPolicy(name string) (RestartPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "off":
+		return RestartOff, nil
+	case "failed", "restart-failed", "failed-protocols":
+		return RestartFailed, nil
+	case "always":
+		return RestartAlways, nil
+	default:
+		return 0, fmt.Errorf("topk: unknown restart policy %q (want off, failed or always)", name)
+	}
+}
+
+// DefaultMaxRestarts is the rerun budget used when
+// ClusterConfig.MaxRestarts (or WithMaxRestarts) is zero.
+const DefaultMaxRestarts = 2
+
+// RestartExhaustedError reports that a restart policy ran out of
+// budget: every attempt failed and the policy was not allowed another.
+// Err is the last attempt's failure — when the attempts died on a
+// replica it wraps an *OwnerFailedError naming the list and replica.
+type RestartExhaustedError struct {
+	// Attempts is the total number of runs spent (1 + restarts).
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+// Error names the spent budget and the last failure.
+func (e *RestartExhaustedError) Error() string {
+	return fmt.Sprintf("topk: restart budget exhausted after %d attempts: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's failure to errors.Is/As.
+func (e *RestartExhaustedError) Unwrap() error { return e.Err }
+
+// execSettings is the resolved per-Exec configuration: ClusterConfig
+// defaults overridden by ExecOptions.
+type execSettings struct {
+	restart     RestartPolicy
+	maxRestarts int
+	timeout     time.Duration
+}
+
+// ExecOption overrides a per-query execution setting of Cluster.Exec
+// or Database.ExecDistributed; the cluster-level defaults come from
+// ClusterConfig.
+type ExecOption func(*execSettings)
+
+// WithRestart overrides the restart policy for one query.
+func WithRestart(p RestartPolicy) ExecOption {
+	return func(s *execSettings) { s.restart = p }
+}
+
+// WithMaxRestarts overrides the rerun budget for one query: the query
+// is attempted at most 1+n times. 0 means DefaultMaxRestarts; negative
+// means no reruns.
+func WithMaxRestarts(n int) ExecOption {
+	return func(s *execSettings) { s.maxRestarts = n }
+}
+
+// WithTimeout bounds one query with a deadline, as if the caller had
+// wrapped ctx in context.WithTimeout; d <= 0 means no bound. The bound
+// covers the whole query including any restarts.
+func WithTimeout(d time.Duration) ExecOption {
+	return func(s *execSettings) { s.timeout = d }
+}
+
+// resolveExec applies opts over the cluster-level defaults and
+// normalizes the rerun budget (0 → DefaultMaxRestarts, negative → 0).
+func resolveExec(defaults execSettings, opts []ExecOption) execSettings {
+	s := defaults
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	if s.maxRestarts == 0 {
+		s.maxRestarts = DefaultMaxRestarts
+	} else if s.maxRestarts < 0 {
+		s.maxRestarts = 0
+	}
+	return s
+}
+
+// distRestartConfig maps the public policy onto the restart driver's.
+func distRestartConfig(s execSettings) dist.RestartConfig {
+	cfg := dist.RestartConfig{MaxRestarts: s.maxRestarts}
+	switch s.restart {
+	case RestartFailed:
+		cfg.Policy = dist.RestartOnFailure
+	case RestartAlways:
+		cfg.Policy = dist.RestartAlways
+	default:
+		cfg.Policy = dist.RestartOff
+	}
+	return cfg
+}
+
+// runOver executes a protocol over a transport — rerunning it per the
+// resolved restart settings — and adapts the result. name resolves
+// item IDs to display names (nil leaves names empty — a cluster
+// originator holds no dictionary).
+func runOver(ctx context.Context, t transport.Transport, q Query, protocol Protocol, name func(Item) string, settings execSettings) (*DistResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if settings.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, settings.timeout)
+		defer cancel()
 	}
 	if q.K < 1 || q.K > t.N() {
 		return nil, fmt.Errorf("topk: k=%d out of range [1,%d]", q.K, t.N())
@@ -204,12 +426,19 @@ func runOver(ctx context.Context, t transport.Transport, q Query, protocol Proto
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(ctx, t, dist.Options{
+	opts := dist.Options{
 		K:       q.K,
 		Scoring: adaptScoring(scoring),
 		Tracker: bestpos.Kind(q.Tracker),
-	})
+	}
+	res, err := dist.RunWithRestart(ctx, func() (*dist.Result, error) {
+		return run(ctx, t, opts)
+	}, distRestartConfig(settings))
 	if err != nil {
+		var ee *dist.ExhaustedError
+		if errors.As(err, &ee) {
+			return nil, &RestartExhaustedError{Attempts: ee.Attempts, Err: liftOwnerFailure(ee.Err)}
+		}
 		return nil, liftOwnerFailure(err)
 	}
 	out := &DistResult{Protocol: protocol}
@@ -229,13 +458,16 @@ func runOver(ctx context.Context, t transport.Transport, q Query, protocol Proto
 // setting of the paper: one owner node per list, a query originator, and
 // message accounting. The simulation is deterministic and in-process;
 // Stats reports what would travel over a real network. ctx is honored at
-// per-exchange granularity. For real HTTP owners see DialCluster.
-func (db *Database) ExecDistributed(ctx context.Context, q Query, protocol Protocol) (*DistResult, error) {
+// per-exchange granularity. opts override per-query execution settings
+// (the in-process transport cannot fail, so restart options are
+// accepted but moot; WithTimeout applies). For real HTTP owners see
+// DialCluster.
+func (db *Database) ExecDistributed(ctx context.Context, q Query, protocol Protocol, opts ...ExecOption) (*DistResult, error) {
 	t, err := transport.NewLoopback(db.db)
 	if err != nil {
 		return nil, err
 	}
-	return runOver(ctx, t, q, protocol, db.NameOf)
+	return runOver(ctx, t, q, protocol, db.NameOf, resolveExec(execSettings{}, opts))
 }
 
 // RunDistributed executes the query in the simulated distributed setting
@@ -298,10 +530,13 @@ func ParseTopology(s string) ([][]string, error) {
 	lists := strings.Split(s, ",")
 	topo := make([][]string, len(lists))
 	for i, l := range lists {
-		for _, r := range strings.Split(l, "|") {
-			r = strings.TrimSpace(r)
+		if strings.TrimSpace(l) == "" {
+			return nil, fmt.Errorf("topk: topology list %d is empty (lists are comma-separated; got list token %q)", i, l)
+		}
+		for j, tok := range strings.Split(l, "|") {
+			r := strings.TrimSpace(tok)
 			if r == "" {
-				return nil, fmt.Errorf("topk: topology list %d: empty replica address in %q", i, l)
+				return nil, fmt.Errorf("topk: topology list %d: empty replica address at token %d of %q (replicas are |-separated)", i, j, strings.TrimSpace(l))
 			}
 			topo[i] = append(topo[i], r)
 		}
@@ -344,6 +579,22 @@ type ClusterConfig struct {
 	// Wire selects the data-plane codec: "" or "auto" (binary when every
 	// owner advertises it), "json", "binary". See Cluster.SetWire.
 	Wire string
+	// Restart is the default restart policy of this cluster's queries:
+	// when a query dies on a failing replica, rerun it from scratch on
+	// the survivors instead of surfacing the error. Default RestartOff.
+	// Override per query with WithRestart.
+	Restart RestartPolicy
+	// MaxRestarts bounds the reruns one query may spend: at most
+	// 1+MaxRestarts attempts. 0 means DefaultMaxRestarts; negative means
+	// no reruns. Override per query with WithMaxRestarts.
+	MaxRestarts int
+	// DisableHandoff turns off the session-state handoff that lets a
+	// sessionful query survive its pinned replica's death by re-pinning
+	// to a sibling that mirrors the session state. With handoff off, a
+	// pinned replica's death surfaces as *OwnerFailedError (or triggers
+	// a whole-query restart when Restart allows one) — the pre-handoff
+	// behaviour, and a useful baseline when measuring handoff's cost.
+	DisableHandoff bool
 }
 
 // Cluster is a connection to real list owners serving the distributed
@@ -358,11 +609,18 @@ type ClusterConfig struct {
 // When a list has several replicas, session opens fan out to all of
 // them, stateless traffic is routed by the configured policy and fails
 // over mid-query when a replica dies, and cursor-bearing traffic is
-// pinned per session — a pinned replica's death surfaces as
-// *OwnerFailedError. Answers and accounting stay bit-identical to a
-// single-owner run either way.
+// pinned per session with its state deltas mirrored to a sibling — a
+// pinned replica's death hands the session off to the synced sibling
+// and the query completes. Only when no synced sibling remains does the
+// death surface as *OwnerFailedError, and ClusterConfig.Restart can
+// absorb even that by rerunning the query on the survivors. Answers and
+// primary accounting (Stats.Net) stay bit-identical to a single-owner
+// run in every case; Stats.Recovery records what failed underneath.
 type Cluster struct {
 	t *transport.HTTPClient
+	// defaults are the dial-time per-query settings (restart policy and
+	// budget from ClusterConfig) that ExecOptions override.
+	defaults execSettings
 	// mu serializes the SetWire guard against the first Exec: check and
 	// set must be one step, or a SetWire racing the first query could
 	// slip past ErrClusterStarted and flip the codec mid-flight.
@@ -411,11 +669,15 @@ func DialClusterConfig(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		RequestTimeout: cfg.RequestTimeout,
 		Retries:        cfg.Retries,
 		Wire:           wire,
+		DisableHandoff: cfg.DisableHandoff,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{t: t}, nil
+	return &Cluster{
+		t:        t,
+		defaults: execSettings{restart: cfg.Restart, maxRestarts: cfg.MaxRestarts},
+	}, nil
 }
 
 // DialCluster connects to a flat owner set; owners[i] ("host:port" or a
@@ -507,16 +769,20 @@ func (c *Cluster) Health() []ReplicaHealth {
 }
 
 // Exec executes the query against the cluster's owners inside its own
-// query session. The answers and the Stats accounting are identical to
-// the in-process Database.ExecDistributed on the same data — the
-// protocols cannot tell the backends apart, and with replicated lists
-// they cannot tell how the traffic was routed — but Stats.Elapsed is
-// real network time. ctx cancels or bounds the run at per-exchange
-// granularity; the owner-side session is released either way. Item
-// names are left empty: the originator holds no dictionary.
-func (c *Cluster) Exec(ctx context.Context, q Query, protocol Protocol) (*DistResult, error) {
+// query session. The answers and the primary Stats accounting
+// (Stats.Net) are identical to the in-process Database.ExecDistributed
+// on the same data — the protocols cannot tell the backends apart, and
+// with replicated lists they cannot tell how the traffic was routed,
+// handed off or restarted — but Stats.Net.Elapsed is real network
+// time and Stats.Recovery reports any failures the run absorbed. ctx
+// cancels or bounds the run at per-exchange granularity; the
+// owner-side session is released either way. opts override the
+// cluster's per-query defaults (WithRestart, WithMaxRestarts,
+// WithTimeout). Item names are left empty: the originator holds no
+// dictionary.
+func (c *Cluster) Exec(ctx context.Context, q Query, protocol Protocol, opts ...ExecOption) (*DistResult, error) {
 	c.markStarted()
-	return runOver(ctx, c.t, q, protocol, nil)
+	return runOver(ctx, c.t, q, protocol, nil, resolveExec(c.defaults, opts))
 }
 
 // RunDistributed executes the query against the cluster without a

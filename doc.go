@@ -203,36 +203,89 @@
 //	round-robin  healthy replicas, rotating
 //	fastest      healthy replica with lowest EWMA
 //
-// Replicas do not share per-session protocol state, so what a replica
-// crash does mid-query depends on what the traffic was:
+// Query sessions open on every replica of every list, so failover never
+// loses session identity; cursor-bearing ("sessionful") traffic pins
+// each session to one replica per list, chosen by the policy. What a
+// replica crash does mid-query depends on what the traffic was and on
+// the recovery machinery below:
 //
 //	traffic                        state touched     on replica failure
 //	sorted, lookup, fetch          none              fails over to a sibling;
 //	  (TA, BPA, TPUT phase 1+3)                      query completes, answers
 //	                                                 and accounting unchanged
-//	mark, topk (replayable but     tracker, depth    retried on the SAME pinned
-//	  cursor-bearing)                                replica; if it stays down,
-//	                                                 *OwnerFailedError
-//	probe, above (non-replayable)  tracker, depth    *OwnerFailedError naming
-//	  (BPA2, TPUT phase 2)                           list and replica; rerun the
-//	                                                 query for a fresh session
+//	mark, topk (replayable but     tracker, depth    session handoff: the pin's
+//	  cursor-bearing)                                mirrored state resumes on a
+//	                                                 sibling, the exchange is
+//	                                                 re-sent there
+//	probe, above (non-replayable)  tracker, depth    session handoff; safe even
+//	  (BPA2, TPUT phase 2)                           without replayability — the
+//	                                                 mirror is only ever behind
+//	                                                 by the failed exchange
 //
-// Query sessions open on every replica of every list, so failover never
-// loses session state; cursor-bearing ("sessionful") traffic pins each
-// session to one replica per list, chosen by the policy. Answers,
-// Messages, Payload, Rounds and access counts stay bit-identical to a
-// single-owner run whatever routed or failed over — the parity suite
-// pins this over replicated topologies, including a replica killed
-// mid-query. A runnable two-replica cluster (list 0 doubly served, same
-// data everywhere):
+// With no sibling left to hand off to (or handoff disabled), sessionful
+// failures surface as *OwnerFailedError naming the list and replica,
+// and the restart policy decides whether the query is transparently
+// rerun on the survivors.
+//
+// # Recovery: session handoff and automatic restart
+//
+// Two mechanisms together make replica death invisible to callers —
+// zero failed queries as long as each list keeps one live replica.
+//
+// Session handoff (owner side, always on unless
+// ClusterConfig.DisableHandoff): after every successful sessionful
+// exchange the client synchronously mirrors the pinned replica's state
+// delta — positions newly seen, scan depth — to one sibling replica of
+// that list, over uncharged control-plane endpoints (POST /session/sync,
+// GET /session/state). The mirror is therefore always exactly the pin's
+// state as of the last exchange that succeeded. If the pin dies, the
+// session re-pins to the mirror and resumes; because the failed exchange
+// was never applied-and-acknowledged anywhere the client kept, no cursor
+// advances twice and no list entry is skipped, even for the
+// non-replayable probe/above traffic. A fresh mirror is then promoted
+// from the remaining siblings by copying the new pin's full state.
+//
+// Query restart (originator side, opt-in): ClusterConfig.Restart — or
+// per-query WithRestart — reruns a query that still failed (for
+// example, a list whose every replica died and came back, or a flat
+// single-replica topology). RestartFailed reruns only replica-failure
+// errors (*OwnerFailedError anywhere in the chain); RestartAlways also
+// reruns plain transport errors; each rerun is a fresh session on the
+// surviving replicas, bounded by MaxRestarts (default
+// DefaultMaxRestarts). When the budget runs out the last error is
+// wrapped in *RestartExhaustedError, still naming the failing list and
+// replica. WithTimeout bounds the whole attempt chain.
+//
+// Recovery never perturbs the paper's cost accounting. DistStats is
+// split into Net — the primary metrics, bit-identical to an undisturbed
+// single-owner run whatever handoffs or restarts happened, because the
+// client-side ledger charges each logical access exactly once and
+// restarted attempts report only the final run — and Recovery, which
+// tallies Restarts, Handoffs and FailedReplicas for the run. The
+// flat DistStats fields (Messages, Payload, Rounds, Exchanges,
+// PerOwner, TotalAccesses, Elapsed) are deprecated mirrors of Net kept
+// for one release; read Net.* (and Recovery) instead. /v1/dist reports
+// the same split as "net" and "recovery" JSON blocks and accepts a
+// restart= query parameter; topk-query prints the recovery line under
+// -verbose, or whenever any recovery happened.
+//
+// Answers, Messages, Payload, Rounds and access counts stay
+// bit-identical to a single-owner run whatever routed, failed over,
+// handed off or restarted — the parity suite pins this over replicated
+// topologies with a replica killed at every possible instant of every
+// protocol, under every routing policy. A runnable two-replica cluster
+// (list 0 doubly served, same data everywhere):
 //
 //	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 -replica a -addr localhost:9001 &
 //	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 -replica b -addr localhost:9101 &
 //	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 1 -replica a -addr localhost:9002 &
-//	topk-query -owners 'localhost:9001|localhost:9101,localhost:9002' -k 10 -policy fastest -verbose
+//	topk-query -owners 'localhost:9001|localhost:9101,localhost:9002' \
+//	    -k 10 -policy fastest -restart failed -verbose
 //
-// Killing the localhost:9001 owner mid-run leaves TA/BPA/TPUT queries
-// completing on localhost:9101 with identical accounting; -verbose
+// Kill the localhost:9001 owner mid-run — with `kill` at any instant —
+// and the query completes on localhost:9101 with identical answers and
+// identical network accounting; the recovery line reports the handoff
+// (e.g. "recovery: restarts=0 handoffs=1 failed-replicas=1"), -verbose
 // prints each replica's health verdict, EWMA latency and failover
 // tallies (Cluster.Health programmatically), and each owner advertises
 // its -replica label in /stats.

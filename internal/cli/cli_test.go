@@ -358,6 +358,7 @@ func TestClusterQueryReplicated(t *testing.T) {
 		}
 		for _, want := range []string{
 			"top-5 by sum using dist-bpa2 over 2 owners",
+			"recovery: restarts=0 handoffs=0 failed-replicas=0",
 			"replica health (policy " + policy + ")",
 			"list 0 replica 1",
 			"healthy",
@@ -367,12 +368,36 @@ func TestClusterQueryReplicated(t *testing.T) {
 			}
 		}
 	}
+	// -restart parses and a healthy run stays quiet about recovery
+	// unless -verbose asked for it.
+	code, out, errOut := capture(t, queryEntry, "-owners", topo, "-k", "5", "-restart", "failed")
+	if code != 0 {
+		t.Fatalf("-restart failed: exit %d: %s", code, errOut)
+	}
+	if strings.Contains(out, "recovery:") {
+		t.Errorf("healthy non-verbose run printed recovery line:\n%s", out)
+	}
 	// Unknown policy fails loudly.
 	if code, _, _ := capture(t, queryEntry, "-owners", topo, "-k", "3", "-policy", "zzz"); code == 0 {
 		t.Error("unknown policy accepted")
 	}
-	// Malformed topology fails loudly.
-	if code, _, _ := capture(t, queryEntry, "-owners", "a||b", "-k", "3"); code == 0 {
+	// Unknown restart policy fails loudly.
+	if code, _, _ := capture(t, queryEntry, "-owners", topo, "-k", "3", "-restart", "zzz"); code == 0 {
+		t.Error("unknown restart policy accepted")
+	}
+	// Cluster-only flags without -owners fail loudly instead of being
+	// silently ignored.
+	if code, _, _ := capture(t, queryEntry, "-db", "x", "-restart", "failed"); code == 0 {
+		t.Error("-restart without -owners accepted")
+	}
+	// Malformed topology fails loudly, naming the offending list/token.
+	code, _, errOut = capture(t, queryEntry, "-owners", "a||b", "-k", "3")
+	if code == 0 {
 		t.Error("malformed topology accepted")
+	}
+	for _, want := range []string{"list 0", "token 1"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("topology error missing %q: %s", want, errOut)
+		}
 	}
 }

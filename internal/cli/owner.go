@@ -87,7 +87,7 @@ func Owner(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "topk-owner: listening on http://%s (endpoints: /rpc/{kind}?sid= /session/open /session/close /stats /healthz)\n", addr)
+	fmt.Fprintf(stdout, "topk-owner: listening on http://%s (endpoints: /rpc/{kind}?sid= /session/open /session/close /session/sync /session/state /stats /healthz)\n", addr)
 	if err := http.ListenAndServe(addr, handler); err != nil {
 		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
 		return 1

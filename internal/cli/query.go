@@ -35,6 +35,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		proto    = fs.String("protocol", "bpa2", "distributed protocol for -owners: bpa2, bpa, ta, tput, tput-a")
 		wire     = fs.String("wire", "auto", "wire codec for -owners: auto (binary when every owner supports it), json, binary")
 		policy   = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
+		restart  = fs.String("restart", "off", "restart policy for -owners: off, failed (rerun queries that died on a failing replica), always")
 		verbose  = fs.Bool("verbose", false, "with -owners, also print the per-replica health table (state, EWMA latency, failures, failovers)")
 		explain  = fs.Bool("explain", false, "print the round-by-round threshold walkthrough")
 	)
@@ -65,7 +66,21 @@ func Query(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "topk-query: %v\n", err)
 			return 1
 		}
-		return clusterQuery(*owners, *proto, *wire, *policy, *k, *verbose, sc, stdout, stderr)
+		return clusterQuery(*owners, *proto, *wire, *policy, *restart, *k, *verbose, sc, stdout, stderr)
+	}
+
+	// -restart only means something against a cluster: it is a recovery
+	// policy for replica failures, which local databases cannot have.
+	var clusterOnly string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "restart", "policy", "wire":
+			clusterOnly = f.Name
+		}
+	})
+	if clusterOnly != "" {
+		fmt.Fprintf(stderr, "topk-query: -%s applies to cluster mode; it needs -owners\n", clusterOnly)
+		return 1
 	}
 
 	db, err := loadDB(*dbPath, *csvPath)
@@ -153,7 +168,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 // replicas by the chosen policy and fail over when a replica dies
 // mid-query. Ctrl-C / SIGTERM cancels the in-flight query (releasing
 // its owner-side session) instead of killing the process mid-exchange.
-func clusterQuery(owners, proto, wire, policy string, k int, verbose bool, sc topk.Scoring, stdout, stderr io.Writer) int {
+func clusterQuery(owners, proto, wire, policy, restart string, k int, verbose bool, sc topk.Scoring, stdout, stderr io.Writer) int {
 	p, err := topk.ParseProtocol(proto)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
@@ -169,12 +184,18 @@ func clusterQuery(owners, proto, wire, policy string, k int, verbose bool, sc to
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
 		return 1
 	}
+	rp, err := topk.ParseRestartPolicy(restart)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cluster, err := topk.DialClusterConfig(ctx, topk.ClusterConfig{
 		Topology: topo,
 		Policy:   pol,
 		Wire:     wire,
+		Restart:  rp,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
@@ -193,8 +214,14 @@ func clusterQuery(owners, proto, wire, policy string, k int, verbose bool, sc to
 	}
 	s := res.Stats
 	fmt.Fprintf(stdout, "\nnetwork: messages=%d payload=%d rounds=%d exchanges=%d accesses=%d elapsed=%s\n",
-		s.Messages, s.Payload, s.Rounds, s.Exchanges, s.TotalAccesses, s.Elapsed.Round(100))
-	fmt.Fprintf(stdout, "per-owner messages: %v\n", s.PerOwner)
+		s.Net.Messages, s.Net.Payload, s.Net.Rounds, s.Net.Exchanges, s.Net.TotalAccesses, s.Net.Elapsed.Round(100))
+	fmt.Fprintf(stdout, "per-owner messages: %v\n", s.Net.PerOwner)
+	// Absorbed failures must be visible even without -verbose: the answer
+	// was correct, but the operator should learn a replica is dying.
+	if verbose || s.Recovery != (topk.RecoveryStats{}) {
+		fmt.Fprintf(stdout, "recovery: restarts=%d handoffs=%d failed-replicas=%d\n",
+			s.Recovery.Restarts, s.Recovery.Handoffs, s.Recovery.FailedReplicas)
+	}
 	if verbose {
 		fmt.Fprintf(stdout, "\nreplica health (policy %s):\n", pol)
 		for _, h := range cluster.Health() {

@@ -29,6 +29,7 @@ func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		addr    = fs.String("addr", "localhost:8080", "listen address")
 		owners  = fs.String("owners", "", "cluster topology (lists comma-separated, replicas |-separated); /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
 		policy  = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
+		restart = fs.String("restart", "off", "default restart policy for -owners queries: off, failed, always (per-request restart= overrides)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -66,7 +67,11 @@ func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, e
 		if perr != nil {
 			return nil, "", perr
 		}
-		cluster, err = topk.DialClusterConfig(context.Background(), topk.ClusterConfig{Topology: topo, Policy: pol})
+		rp, rerr := topk.ParseRestartPolicy(*restart)
+		if rerr != nil {
+			return nil, "", rerr
+		}
+		cluster, err = topk.DialClusterConfig(context.Background(), topk.ClusterConfig{Topology: topo, Policy: pol, Restart: rp})
 		if err != nil {
 			return nil, "", fmt.Errorf("dial owner cluster: %w", err)
 		}

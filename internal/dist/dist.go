@@ -144,10 +144,35 @@ type Result struct {
 	// Net is the network profile. It is identical whichever transport
 	// backend carried the run.
 	Net Net
+	// Recovery reports the failures this run absorbed. All-zero on an
+	// undisturbed run — and, by design, the ONLY Result field recovery
+	// touches: a query that survived replica deaths via handoff or
+	// restart reports Items, Accesses and Net bit-identical to an
+	// undisturbed run, with the disturbance accounted here.
+	Recovery Recovery
 	// Elapsed is the transport's wall-clock measure of the run: zero
 	// over Loopback, simulated time under Concurrent's latency model,
 	// real time over HTTP. The one backend-specific Result field.
 	Elapsed time.Duration
+}
+
+// Recovery tallies the failures a distributed run absorbed without
+// failing the query: whole-protocol reruns spent by the restart driver
+// (RunWithRestart), pinned-replica handoffs the transport performed
+// mid-protocol, and how many distinct replicas failed underneath the
+// run. Separate from the primary accounting on purpose — the paper's
+// cost metrics (Accesses, Net) describe the protocol, not the outages
+// it outlived.
+type Recovery struct {
+	// Restarts counts full protocol reruns the restart policy spent
+	// before the run completed.
+	Restarts int
+	// Handoffs counts pin-to-mirror session promotions inside the
+	// completing run.
+	Handoffs int
+	// FailedReplicas counts distinct replicas that failed mid-run,
+	// including ones failed attempts of a restarted query pinned to.
+	FailedReplicas int
 }
 
 // network tallies the traffic the runner's exchanges generate.
@@ -379,6 +404,16 @@ func (r *runner) finish(res *Result) (*Result, error) {
 		res.Accesses = res.Accesses.Add(st.Accesses)
 	}
 	res.Net = r.nw.net
+	// Harvest the transport session's recovery tallies (handoffs, failed
+	// replicas) when the backend keeps them — the HTTP session does; the
+	// in-process backends have nothing to fail and report nothing.
+	if rr, ok := r.sess.(interface {
+		Recovery() transport.SessionRecovery
+	}); ok {
+		rec := rr.Recovery()
+		res.Recovery.Handoffs = rec.Handoffs
+		res.Recovery.FailedReplicas = rec.FailedReplicas
+	}
 	res.Elapsed = r.sess.Elapsed()
 	return res, nil
 }

@@ -548,15 +548,15 @@ func TestReplicatedTopologyParity(t *testing.T) {
 	}
 }
 
-// TestKillOwnerMidQuery is the failover acceptance scenario: one of the
-// two replicas of list 0 is killed mid-query, on every protocol.
-// Protocols whose traffic is stateless (TA, BPA — sorted reads and
-// lookups, all replayable) must COMPLETE, with answers, Messages,
-// Payload, Rounds and access counts bit-identical to the healthy run.
-// Protocols that were using the killed replica's session cursors (BPA2
-// probes; TPUT/TPUTA above-scans) must fail fast with a typed
-// *transport.OwnerFailedError naming list and replica. Either way: no
-// hangs, no goroutine leaks.
+// TestKillOwnerMidQuery is the zero-failed-queries acceptance scenario:
+// one of the two replicas of list 0 is killed mid-query, on every
+// protocol — and EVERY protocol must now complete, with answers,
+// Messages, Payload, Rounds and access counts bit-identical to the
+// healthy run. Stateless traffic (TA, BPA — sorted reads and lookups)
+// fails over; cursor-bearing traffic (BPA2 probes, TPUT/TPUTA
+// above-scans) hands the session off to the mirror replica the
+// transport kept synced. Result.Recovery is the only place the kill
+// shows up. Either way: no hangs, no goroutine leaks.
 func TestKillOwnerMidQuery(t *testing.T) {
 	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 3})
 	lb, err := transport.NewLoopback(db)
@@ -569,22 +569,23 @@ func TestKillOwnerMidQuery(t *testing.T) {
 	cases := []struct {
 		name      string
 		run       func(context.Context, transport.Transport, Options) (*Result, error)
-		killAfter int  // /rpc calls list 0's replica 0 serves before dying
-		completes bool // true: bit-identical completion; false: OwnerFailedError
+		killAfter int // /rpc calls list 0's replica 0 serves before dying
+		handoffs  int // 0: stateless failover absorbs it; 1: session handoff
 	}{
 		// TA and BPA: every exchange is stateless — the killed replica's
 		// in-flight exchange fails over and the query finishes untouched.
-		{"dist-ta", TAOver, 3, true},
-		{"dist-bpa", BPAOver, 3, true},
-		// BPA2 pins its probe cursor to the replica that dies.
-		{"dist-bpa2", BPA2Over, 2, false},
+		{"dist-ta", TAOver, 3, 0},
+		{"dist-bpa", BPAOver, 3, 0},
+		// BPA2 pins its probe cursor to the replica that dies: the session
+		// hands off to the synced mirror and resumes mid-protocol.
+		{"dist-bpa2", BPA2Over, 2, 1},
 		// TPUT family, killed during phase 2: the above-scan's depth
-		// cursor dies with the replica.
-		{"tput-above", TPUTOver, 1, false},
-		{"tput-a-above", TPUTAOver, 1, false},
+		// cursor moves to the mirror, which resumes at the synced depth.
+		{"tput-above", TPUTOver, 1, 1},
+		{"tput-a-above", TPUTAOver, 1, 1},
 		// TPUT killed after phase 2: only the stateless phase-3 fetch is
-		// left, which fails over — the query completes identically.
-		{"tput-fetch", TPUTOver, 2, true},
+		// left, which fails over — no handoff needed.
+		{"tput-fetch", TPUTOver, 2, 0},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -603,30 +604,92 @@ func TestKillOwnerMidQuery(t *testing.T) {
 			if !gates[0][0].dead.Load() {
 				t.Fatal("the kill never fired: the test exercised a healthy cluster")
 			}
-			if c.completes {
-				if err != nil {
-					t.Fatalf("query did not survive the replica kill: %v", err)
-				}
-				if !reflect.DeepEqual(got.Items, want.Items) {
-					t.Errorf("answers differ after failover:\n%v\nvs healthy\n%v", got.Items, want.Items)
-				}
-				if !reflect.DeepEqual(got.Net, want.Net) {
-					t.Errorf("Net differs after failover: %+v vs healthy %+v", got.Net, want.Net)
-				}
-				if got.Accesses != want.Accesses {
-					t.Errorf("accesses differ after failover: %v vs healthy %v", got.Accesses, want.Accesses)
-				}
-			} else {
-				var ofe *transport.OwnerFailedError
-				if !errors.As(err, &ofe) {
-					t.Fatalf("want *transport.OwnerFailedError, got %v", err)
-				}
-				if ofe.List != 0 || ofe.Replica != 0 {
-					t.Errorf("failure names list %d replica %d, want list 0 replica 0", ofe.List, ofe.Replica)
-				}
+			if err != nil {
+				t.Fatalf("query did not survive the replica kill: %v", err)
+			}
+			if !reflect.DeepEqual(got.Items, want.Items) {
+				t.Errorf("answers differ after recovery:\n%v\nvs healthy\n%v", got.Items, want.Items)
+			}
+			if !reflect.DeepEqual(got.Net, want.Net) {
+				t.Errorf("Net differs after recovery: %+v vs healthy %+v", got.Net, want.Net)
+			}
+			if got.Accesses != want.Accesses {
+				t.Errorf("accesses differ after recovery: %v vs healthy %v", got.Accesses, want.Accesses)
+			}
+			if got.Recovery.Handoffs != c.handoffs {
+				t.Errorf("handoffs = %d, want %d", got.Recovery.Handoffs, c.handoffs)
+			}
+			if got.Recovery.FailedReplicas != 1 {
+				t.Errorf("failed replicas = %d, want 1", got.Recovery.FailedReplicas)
+			}
+			if want.Recovery != (Recovery{}) {
+				t.Errorf("healthy loopback run reported recovery %+v", want.Recovery)
 			}
 			waitGoroutines(t, base)
 		})
+	}
+}
+
+// TestKillScheduleZeroFailedQueries is the exhaustive kill-any-replica-
+// at-any-instant sweep: for every protocol and every routing policy,
+// list 0's primary replica is killed after each possible number of
+// served data-plane calls. As long as one replica of the list survives,
+// every query must complete with answers and primary accounting
+// bit-identical to the undisturbed loopback run — the kill may show up
+// only in Result.Recovery.
+func TestKillScheduleZeroFailedQueries(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 120, M: 3, Seed: 7})
+	lb, err := transport.NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := Options{K: 6, Scoring: score.Sum{}}
+	policies := []transport.RoutingPolicy{
+		transport.RoutePrimary, transport.RouteRoundRobin, transport.RouteFastest,
+	}
+	for _, p := range overProtocols {
+		want, err := p.run(ctx, lb, opts)
+		if err != nil {
+			t.Fatalf("%s/loopback: %v", p.name, err)
+		}
+		for _, policy := range policies {
+			t.Run(fmt.Sprintf("%s/%s", p.name, policy), func(t *testing.T) {
+				// Walk the kill instant forward until a run finishes without
+				// the gate firing — every later instant is the healthy run.
+				const maxInstant = 80
+				fired := 0
+				for ka := 0; ka < maxInstant; ka++ {
+					hc, gates := replicatedCluster(t, db, 2, policy, func(li, ri int) int {
+						if li == 0 && ri == 0 {
+							return ka
+						}
+						return -1
+					})
+					got, err := p.run(ctx, hc, opts)
+					if err != nil {
+						t.Fatalf("kill at instant %d failed the query: %v", ka, err)
+					}
+					if !reflect.DeepEqual(got.Items, want.Items) {
+						t.Fatalf("kill at instant %d changed the answers:\n%v\nvs\n%v", ka, got.Items, want.Items)
+					}
+					if !reflect.DeepEqual(got.Net, want.Net) {
+						t.Fatalf("kill at instant %d changed Net: %+v vs %+v", ka, got.Net, want.Net)
+					}
+					if got.Accesses != want.Accesses {
+						t.Fatalf("kill at instant %d changed accesses: %v vs %v", ka, got.Accesses, want.Accesses)
+					}
+					if !gates[0][0].dead.Load() {
+						if got.Recovery != (Recovery{}) {
+							t.Fatalf("undisturbed run reported recovery %+v", got.Recovery)
+						}
+						return // schedule exhausted
+					}
+					fired++
+				}
+				t.Fatalf("kill schedule did not converge within %d instants (%d kills fired)", maxInstant, fired)
+			})
+		}
 	}
 }
 

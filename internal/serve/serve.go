@@ -11,12 +11,16 @@
 //	                   tracker, parallel, sortable (per-list flags for
 //	                   the restricted-access TAz/BPAz variants)
 //	/v1/dist           run a query under a distributed protocol (k,
-//	                   protocol, scoring, weights, tracker) and return
-//	                   answers plus the network accounting: messages,
-//	                   payload, rounds, per-owner traffic. Served from
-//	                   the in-process simulation, or — when the server
-//	                   was built with NewWithCluster — from a remote
-//	                   HTTP owner cluster, one query session per request
+//	                   protocol, scoring, weights, tracker, restart —
+//	                   off/failed/always, the per-query restart policy)
+//	                   and return answers plus the network accounting
+//	                   (messages, payload, rounds, per-owner traffic)
+//	                   and a recovery block (restarts, handoffs, failed
+//	                   replicas — all zero on an undisturbed run).
+//	                   Served from the in-process simulation, or — when
+//	                   the server was built with NewWithCluster — from a
+//	                   remote HTTP owner cluster, one query session per
+//	                   request
 //	/v1/explain        the round-by-round threshold walkthrough as text
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status. The handler is
@@ -306,7 +310,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// distNetBody mirrors topk.DistStats in JSON form.
+// distNetBody mirrors topk.NetStats in JSON form.
 type distNetBody struct {
 	Messages      int64   `json:"messages"`
 	Payload       int64   `json:"payload"`
@@ -317,12 +321,21 @@ type distNetBody struct {
 	ElapsedMicros int64   `json:"elapsedMicros"`
 }
 
+// distRecoveryBody mirrors topk.RecoveryStats in JSON form — all-zero
+// (but always present) on an undisturbed run.
+type distRecoveryBody struct {
+	Restarts       int `json:"restarts"`
+	Handoffs       int `json:"handoffs"`
+	FailedReplicas int `json:"failedReplicas"`
+}
+
 // distBody is the /v1/dist response.
 type distBody struct {
-	Protocol string      `json:"protocol"`
-	K        int         `json:"k"`
-	Items    []itemBody  `json:"items"`
-	Net      distNetBody `json:"net"`
+	Protocol string           `json:"protocol"`
+	K        int              `json:"k"`
+	Items    []itemBody       `json:"items"`
+	Net      distNetBody      `json:"net"`
+	Recovery distRecoveryBody `json:"recovery"`
 }
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
@@ -342,11 +355,20 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var opts []topk.ExecOption
+	if rp := r.URL.Query().Get("restart"); rp != "" {
+		policy, err := topk.ParseRestartPolicy(rp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts = append(opts, topk.WithRestart(policy))
+	}
 	var res *topk.DistResult
 	if s.cluster != nil {
-		res, err = s.cluster.Exec(r.Context(), q, protocol)
+		res, err = s.cluster.Exec(r.Context(), q, protocol, opts...)
 	} else {
-		res, err = s.db.ExecDistributed(r.Context(), q, protocol)
+		res, err = s.db.ExecDistributed(r.Context(), q, protocol, opts...)
 	}
 	if err != nil {
 		writeError(w, execStatus(err), "%v", err)
@@ -356,13 +378,18 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 		Protocol: res.Protocol.String(),
 		K:        q.K,
 		Net: distNetBody{
-			Messages:      res.Stats.Messages,
-			Payload:       res.Stats.Payload,
-			Rounds:        res.Stats.Rounds,
-			Exchanges:     res.Stats.Exchanges,
-			PerOwner:      res.Stats.PerOwner,
-			TotalAccesses: res.Stats.TotalAccesses,
-			ElapsedMicros: res.Stats.Elapsed.Microseconds(),
+			Messages:      res.Stats.Net.Messages,
+			Payload:       res.Stats.Net.Payload,
+			Rounds:        res.Stats.Net.Rounds,
+			Exchanges:     res.Stats.Net.Exchanges,
+			PerOwner:      res.Stats.Net.PerOwner,
+			TotalAccesses: res.Stats.Net.TotalAccesses,
+			ElapsedMicros: res.Stats.Net.Elapsed.Microseconds(),
+		},
+		Recovery: distRecoveryBody{
+			Restarts:       res.Stats.Recovery.Restarts,
+			Handoffs:       res.Stats.Recovery.Handoffs,
+			FailedReplicas: res.Stats.Recovery.FailedReplicas,
 		},
 	}
 	body.Items = make([]itemBody, len(res.Items))

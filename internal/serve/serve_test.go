@@ -197,6 +197,11 @@ type distResp struct {
 		PerOwner      []int64 `json:"perOwner"`
 		TotalAccesses int64   `json:"totalAccesses"`
 	} `json:"net"`
+	Recovery struct {
+		Restarts       int `json:"restarts"`
+		Handoffs       int `json:"handoffs"`
+		FailedReplicas int `json:"failedReplicas"`
+	} `json:"recovery"`
 }
 
 func TestDistDefaults(t *testing.T) {
@@ -228,6 +233,24 @@ func TestDistDefaults(t *testing.T) {
 	}
 }
 
+// TestDistRecoveryBlock: /v1/dist always carries the recovery block —
+// all-zero on an undisturbed run — and accepts the restart parameter.
+func TestDistRecoveryBlock(t *testing.T) {
+	ts := testServer(t)
+	var body distResp
+	getJSON(t, ts.URL+"/v1/dist?k=2&restart=failed", http.StatusOK, &body)
+	if body.Recovery.Restarts != 0 || body.Recovery.Handoffs != 0 || body.Recovery.FailedReplicas != 0 {
+		t.Errorf("undisturbed run reported recovery %+v", body.Recovery)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, ts.URL+"/v1/dist?k=2&restart=zzz", http.StatusBadRequest, &errBody)
+	if !strings.Contains(errBody.Error, "restart policy") {
+		t.Errorf("bad restart error = %q", errBody.Error)
+	}
+}
+
 func TestDistProtocolsAndOptions(t *testing.T) {
 	ts := testServer(t)
 	for _, q := range []string{
@@ -238,6 +261,7 @@ func TestDistProtocolsAndOptions(t *testing.T) {
 		"k=3&protocol=tput-a",
 		"k=3&protocol=bpa&scoring=min",
 		"k=3&scoring=wsum&weights=2,1,0.5",
+		"k=3&restart=always",
 	} {
 		var body distResp
 		getJSON(t, ts.URL+"/v1/dist?"+q, http.StatusOK, &body)

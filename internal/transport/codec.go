@@ -206,6 +206,7 @@ func AppendResponseBinary(dst []byte, resp Response) ([]byte, error) {
 			b = appendF64(b, float64(r.BestScore))
 			if !r.Empty {
 				b = appendEntry(b, r.Entry)
+				b = appendU32(b, uint32(r.Pos))
 			}
 			return b, nil
 		case MarkResp:
@@ -215,7 +216,8 @@ func AppendResponseBinary(dst []byte, resp Response) ([]byte, error) {
 			}
 			b = append(b, f)
 			b = appendF64(b, r.Score)
-			return appendF64(b, float64(r.BestScore)), nil
+			b = appendF64(b, float64(r.BestScore))
+			return appendU32(b, uint32(r.Pos)), nil
 		case TopKResp:
 			b = appendU32(b, uint32(len(r.Entries)))
 			for _, e := range r.Entries {
@@ -494,6 +496,11 @@ func decodeResponseFrame(b []byte, allowBatch bool) (Response, []byte, error) {
 			if pr.Entry, err = r.entry(); err != nil {
 				return nil, nil, err
 			}
+			pos, err := r.u32()
+			if err != nil {
+				return nil, nil, err
+			}
+			pr.Pos = int(int32(pos))
 		}
 		resp = pr
 	case codeMark:
@@ -509,7 +516,11 @@ func decodeResponseFrame(b []byte, allowBatch bool) (Response, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		resp = MarkResp{Score: score, BestScore: Upper(best), Exhausted: f&flagExhausted != 0}
+		pos, err := r.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		resp = MarkResp{Score: score, BestScore: Upper(best), Exhausted: f&flagExhausted != 0, Pos: int(int32(pos))}
 	case codeTopK:
 		entries, err := decodeEntries(&r)
 		if err != nil {

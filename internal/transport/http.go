@@ -26,6 +26,12 @@ import (
 //	POST /session/open   control-plane: install fresh per-session state
 //	                     {sid, tracker}; idempotent per sid
 //	POST /session/close  control-plane: release a session's state {sid}
+//	POST /session/sync   control-plane: apply a session-state delta
+//	                     mirrored from a sibling replica {sid, positions,
+//	                     ranges, depth}; idempotent, never charged
+//	GET  /session/state?sid=...  control-plane: export a session's
+//	                     replicable state (seen-position ranges + scan
+//	                     depth) for mirror promotion
 //	POST /rpc/{kind}?sid=...  one exchange; body and response are the
 //	                     message structs of this package, encoded by the
 //	                     negotiated wire codec (kind "batch" carries a
@@ -78,6 +84,8 @@ func NewServer(db *list.Database, index int) (*Server, error) {
 	s.mux.HandleFunc("/rpc/", s.handleRPC)
 	s.mux.HandleFunc("/session/open", s.handleOpen)
 	s.mux.HandleFunc("/session/close", s.handleClose)
+	s.mux.HandleFunc("/session/sync", s.handleSync)
+	s.mux.HandleFunc("/session/state", s.handleState)
 	s.mux.HandleFunc("/reset", s.handleReset)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -190,6 +198,60 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	}
 	s.owner.CloseSession(body.SID)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// syncBody is the /session/sync request payload and the /session/state
+// response: the replicable state of one (session, list) pair. Per-
+// exchange deltas travel as single Positions; a full-state promotion
+// ships the compressed seen-position Ranges ([lo,hi] inclusive). Depth
+// is the scan cursor, merged monotonically.
+type syncBody struct {
+	SID       string   `json:"sid"`
+	Positions []int    `json:"positions,omitempty"`
+	Ranges    [][2]int `json:"ranges,omitempty"`
+	Depth     int      `json:"depth,omitempty"`
+}
+
+// handleSync applies a mirrored session-state delta (see Owner.SyncSession).
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var body syncBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sync body: %v", err)
+		return
+	}
+	if body.SID == "" {
+		writeError(w, http.StatusBadRequest, "empty session ID")
+		return
+	}
+	if err := s.owner.SyncSession(body.SID, body.Positions, body.Ranges, body.Depth); err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleState exports a session's replicable state for mirror promotion
+// (see Owner.SessionState).
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	sid := r.URL.Query().Get("sid")
+	if sid == "" {
+		writeError(w, http.StatusBadRequest, "missing sid parameter")
+		return
+	}
+	ranges, depth, err := s.owner.SessionState(sid)
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, syncBody{SID: sid, Ranges: ranges, Depth: depth})
 }
 
 // handleReset is the pre-session control plane: it used to wipe the
@@ -366,6 +428,13 @@ type DialConfig struct {
 	Retries int
 	// Wire selects the data-plane codec. Default WireAuto.
 	Wire WireFormat
+	// DisableHandoff turns off session-state mirroring: sessionful
+	// exchanges stop piggybacking their state delta to a sibling replica,
+	// and a pinned replica's death surfaces OwnerFailedError immediately
+	// instead of re-pinning the session to the synced mirror. The
+	// pre-handoff behaviour, kept for callers that prefer whole-query
+	// restarts (or measure the mirroring overhead).
+	DisableHandoff bool
 }
 
 // DefaultRetries is the retry budget of a replayable exchange when the
@@ -388,6 +457,7 @@ type HTTPClient struct {
 	reqTimeout time.Duration
 	retries    int
 	replicated bool
+	noHandoff  bool
 
 	// rr holds the per-list round-robin cursors of RouteRoundRobin.
 	rr []atomic.Uint32
@@ -473,6 +543,7 @@ func Dial(ctx context.Context, cfg DialConfig) (*HTTPClient, error) {
 		reqTimeout: cfg.RequestTimeout,
 		retries:    cfg.Retries,
 		replicated: topo.Replicated(),
+		noHandoff:  cfg.DisableHandoff,
 		rr:         make([]atomic.Uint32, len(topo)),
 	}
 	if t.reqTimeout <= 0 {
@@ -798,11 +869,29 @@ func (t *HTTPClient) replicaInfo(ctx context.Context, r *replica) (OwnerStats, e
 type sessionListState struct {
 	mu sync.Mutex
 	// open[ri] records that replica ri acknowledged /session/open — the
-	// set this session may route to.
+	// set this session may route to. A replica dropped mid-query (lost
+	// session, failed pin) leaves this set for good.
 	open []bool
+	// acked[ri] records the open acknowledgement permanently: Close
+	// releases state at every replica that ever held the session, even
+	// ones dropped from routing — a live replica dropped after a
+	// transient failure still holds (stale) session state worth freeing.
+	acked []bool
 	// pin is the replica serving this session's sessionful exchanges,
 	// chosen by policy at first use; nil until then.
 	pin *replica
+	// mirror is the sibling replica kept in sync with the pin's session
+	// state, promoted to pin when the pin dies mid-query. Invariant: a
+	// non-nil mirror's state equals the pin's state as of the last
+	// successful sessionful exchange (chosen while both were fresh, then
+	// synced after every exchange), so promoting it never replays a
+	// cursor advance. nil when the list has no sibling, handoff is
+	// disabled, or the last sync failed and no replacement could be
+	// promoted.
+	mirror *replica
+	// failed[ri] records replicas that failed an exchange (or a mirror
+	// sync) of this session — the session's recovery bookkeeping.
+	failed []bool
 	// ledger mirrors the accesses this session's successful exchanges
 	// charged, per the owner handler semantics (see record). In a
 	// replicated topology the authoritative tally would be scattered
@@ -911,8 +1000,10 @@ func (t *HTTPClient) Open(ctx context.Context, tracker bestpos.Kind) (Session, e
 	// Flag every acknowledged open first, so a partial-failure Close
 	// reaches everything that was opened.
 	for li := range t.lists {
+		s.state[li].acked = make([]bool, len(errs[li]))
 		for ri, err := range errs[li] {
 			s.state[li].open[ri] = err == nil
+			s.state[li].acked[ri] = err == nil
 		}
 	}
 	for li := range t.lists {
@@ -957,6 +1048,9 @@ type httpSession struct {
 	elapsed time.Duration
 
 	state []sessionListState
+
+	// handoffs counts pin-to-mirror promotions across all lists.
+	handoffs atomic.Int64
 }
 
 // ID returns the session ID.
@@ -992,15 +1086,221 @@ func (s *httpSession) dropOpen(li, ri int) {
 }
 
 // pinned returns the replica this session's sessionful traffic for list
-// li sticks to, choosing it by policy on first use.
+// li sticks to, choosing it by policy on first use — and, unless
+// handoff is disabled, a mirror sibling alongside it. Both start from
+// identical fresh session state, so the mirror is synced by
+// construction until the first sessionful exchange lands a delta.
 func (s *httpSession) pinned(li int) *replica {
 	ls := &s.state[li]
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	if ls.pin == nil {
 		ls.pin = s.t.route(li, ls.open, nil)
+		if ls.pin != nil && !s.t.noHandoff {
+			tried := make([]bool, len(s.t.lists[li]))
+			tried[ls.pin.index] = true
+			ls.mirror = s.t.route(li, ls.open, tried)
+		}
 	}
 	return ls.pin
+}
+
+// noteFailed records a replica failing an exchange (or mirror sync) of
+// this session, for the session's recovery bookkeeping.
+func (s *httpSession) noteFailed(li, ri int) {
+	ls := &s.state[li]
+	ls.mu.Lock()
+	if ls.failed == nil {
+		ls.failed = make([]bool, len(s.t.lists[li]))
+	}
+	ls.failed[ri] = true
+	ls.mu.Unlock()
+}
+
+// SessionRecovery reports the failures one session absorbed: how many
+// pin-to-mirror handoffs it performed and how many distinct replicas
+// failed an exchange mid-query. The dist runner harvests it into
+// Result.Recovery; primary accounting is untouched by either event.
+type SessionRecovery struct {
+	Handoffs       int
+	FailedReplicas int
+}
+
+// Recovery snapshots the session's recovery tallies.
+func (s *httpSession) Recovery() SessionRecovery {
+	rec := SessionRecovery{Handoffs: int(s.handoffs.Load())}
+	for li := range s.state {
+		ls := &s.state[li]
+		ls.mu.Lock()
+		for _, f := range ls.failed {
+			if f {
+				rec.FailedReplicas++
+			}
+		}
+		ls.mu.Unlock()
+	}
+	return rec
+}
+
+// controlBound caps a recovery control-plane call (sync, state export)
+// the way openTimeout caps the open fan-out: these calls exist to keep
+// a sibling promotable, so a black-holed sibling must cost a bounded
+// slice of the query, not a full data-plane timeout per exchange.
+func (s *httpSession) controlBound() time.Duration {
+	if s.t.reqTimeout < openTimeout {
+		return s.t.reqTimeout
+	}
+	return openTimeout
+}
+
+// appendSyncPositions collects the seen-position deltas a sessionful
+// response piggybacks (ProbeResp.Pos, MarkResp.Pos, recursively through
+// batches). TopK/Above deltas are depth-only and come from the ledger.
+func appendSyncPositions(dst []int, resp Response) []int {
+	switch r := resp.(type) {
+	case ProbeResp:
+		if r.Pos > 0 {
+			dst = append(dst, r.Pos)
+		}
+	case MarkResp:
+		if r.Pos > 0 {
+			dst = append(dst, r.Pos)
+		}
+	case BatchResp:
+		for _, inner := range r.Resps {
+			dst = appendSyncPositions(dst, inner)
+		}
+	}
+	return dst
+}
+
+// syncMirror forwards the session-state delta of one successful
+// sessionful exchange to the list's mirror replica, synchronously —
+// the mirror invariant (state equals the pin's as of the last
+// successful exchange) is what makes a later handoff replay-safe, so
+// the delta cannot be deferred. Marks are idempotent and the depth
+// merge monotonic, so a delta the mirror already holds converges. A
+// mirror that fails the sync is dropped (it may be stale now) and a
+// replacement is promoted from the pin's full state, best-effort.
+func (s *httpSession) syncMirror(ctx context.Context, li int, resp Response) {
+	if !s.t.replicated || s.t.noHandoff {
+		return
+	}
+	ls := &s.state[li]
+	ls.mu.Lock()
+	m := ls.mirror
+	depth := ls.ledger.depth
+	ls.mu.Unlock()
+	if m == nil {
+		return
+	}
+	body := syncBody{SID: s.sid, Positions: appendSyncPositions(nil, resp), Depth: depth}
+	sctx, cancel := context.WithTimeout(ctx, s.controlBound())
+	err := s.t.doJSON(sctx, m, http.MethodPost, "/session/sync", body, nil)
+	cancel()
+	if err == nil {
+		return
+	}
+	// The mirror missed a delta: it is no longer promotable. A 404 means
+	// it restarted and lost the session outright — drop it from routing
+	// too. Demote its health so the promotion below does not immediately
+	// re-pick the replica that just failed; the prober revives it. Then
+	// try to promote a replacement from the pin's full state.
+	s.noteFailed(li, m.index)
+	m.failures.Add(1)
+	m.healthy.Store(false)
+	var re *RemoteError
+	if errors.As(err, &re) && re.Status == http.StatusNotFound {
+		s.dropOpen(li, m.index)
+	}
+	ls.mu.Lock()
+	if ls.mirror == m {
+		ls.mirror = nil
+	}
+	ls.mu.Unlock()
+	s.promoteMirror(ctx, li)
+}
+
+// promoteMirror installs a fresh synced mirror for list li: it picks a
+// routable sibling of the pin, copies the pin's full session state onto
+// it (seen-position ranges + depth), and installs it only when the copy
+// succeeded — preserving the invariant that a non-nil mirror is always
+// promotable. Best-effort: with no sibling left, or a failed copy, the
+// session continues unmirrored and the pin's death surfaces the typed
+// owner failure.
+func (s *httpSession) promoteMirror(ctx context.Context, li int) {
+	if s.t.noHandoff {
+		return
+	}
+	ls := &s.state[li]
+	ls.mu.Lock()
+	pin := ls.pin
+	hasMirror := ls.mirror != nil
+	open := append([]bool(nil), ls.open...)
+	ls.mu.Unlock()
+	if pin == nil || hasMirror {
+		return
+	}
+	tried := make([]bool, len(s.t.lists[li]))
+	tried[pin.index] = true
+	cand := s.t.route(li, open, tried)
+	if cand == nil || cand == pin {
+		return
+	}
+	bctx, cancel := context.WithTimeout(ctx, s.controlBound())
+	defer cancel()
+	var st syncBody
+	err := s.t.doJSON(bctx, pin, http.MethodGet, "/session/state?sid="+s.sid, nil, func(body io.Reader) error {
+		return json.NewDecoder(body).Decode(&st)
+	})
+	if err != nil {
+		return
+	}
+	if err := s.t.doJSON(bctx, cand, http.MethodPost, "/session/sync",
+		syncBody{SID: s.sid, Ranges: st.Ranges, Depth: st.Depth}, nil); err != nil {
+		s.noteFailed(li, cand.index)
+		cand.failures.Add(1)
+		cand.healthy.Store(false)
+		return
+	}
+	ls.mu.Lock()
+	if ls.mirror == nil && ls.pin == pin && ls.open[cand.index] {
+		ls.mirror = cand
+	}
+	ls.mu.Unlock()
+}
+
+// handoff re-pins the session for list li to its synced mirror after
+// the pinned replica failed, returning the new pin — or nil when no
+// synced mirror exists, in which case the caller surfaces the typed
+// OwnerFailedError. The failed replica is dropped from this session's
+// routing for good (its session state is stale or gone; were it to
+// serve a later exchange, cursors could advance twice). Because every
+// handoff permanently drops a replica, handoffs per list are bounded by
+// the replica set. A fresh mirror is then promoted from the new pin's
+// state, best-effort, so the session survives further deaths.
+func (s *httpSession) handoff(ctx context.Context, li int, failed *replica) *replica {
+	if s.t.noHandoff {
+		return nil
+	}
+	ls := &s.state[li]
+	ls.mu.Lock()
+	ls.open[failed.index] = false
+	next := ls.mirror
+	ls.mirror = nil
+	if next != nil && !ls.open[next.index] {
+		next = nil
+	}
+	if next != nil {
+		ls.pin = next
+	}
+	ls.mu.Unlock()
+	if next == nil {
+		return nil
+	}
+	s.handoffs.Add(1)
+	s.promoteMirror(ctx, li)
+	return next
 }
 
 // recordAccess charges a successful exchange to the session's access
@@ -1052,9 +1352,16 @@ func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, bod
 //     sibling on transient failure (every replica holds the session, and
 //     a stateless request is by construction replayable);
 //   - sessionful requests go to the session's pinned replica; replayable
-//     ones (mark, topk) may be retried there, but a failure that
-//     persists — or any failure of a non-replayable probe/above — is an
-//     OwnerFailedError: the cursors live on that replica alone.
+//     ones (mark, topk) may be retried there, and every successful one
+//     syncs its state delta to the list's mirror sibling. A pin failure
+//     that persists — or any failure of a non-replayable probe/above —
+//     HANDS OFF: the session re-pins to the synced mirror and resumes,
+//     re-sending even the non-replayable request, which is safe because
+//     the mirror's state excludes the failed exchange either way (the
+//     pin never applied it, or applied it but is dropped for good so
+//     its advanced cursor is never observed again). Only when no synced
+//     mirror exists (flat list, handoff disabled, or every sibling
+//     gone) does the failure surface as OwnerFailedError.
 func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Response, error) {
 	kind := req.Kind()
 	binary := s.t.binaryWire()
@@ -1081,24 +1388,31 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 		return nil, fmt.Errorf("transport: owner %d: no routable replica", li)
 	}
 
-	attempts := 1
-	if req.Replayable() {
-		attempts += s.t.retries
-		if !sessionful && s.t.retries > 0 {
-			// Stateless traffic may fail over: every replica holding the
-			// session deserves one try before the exchange gives up, even
-			// when that exceeds the flat same-replica retry budget.
-			open := 0
-			for _, ok := range s.routable(li) {
-				if ok {
-					open++
+	// attemptsFor is the per-target attempt budget; a handoff re-arms it
+	// for the fresh pin (handoffs themselves are bounded by the replica
+	// set, not this budget — each one drops a replica for good).
+	attemptsFor := func() int {
+		attempts := 1
+		if req.Replayable() {
+			attempts += s.t.retries
+			if !sessionful && s.t.retries > 0 {
+				// Stateless traffic may fail over: every replica holding the
+				// session deserves one try before the exchange gives up, even
+				// when that exceeds the flat same-replica retry budget.
+				open := 0
+				for _, ok := range s.routable(li) {
+					if ok {
+						open++
+					}
+				}
+				if open > attempts {
+					attempts = open
 				}
 			}
-			if open > attempts {
-				attempts = open
-			}
 		}
+		return attempts
 	}
+	attempts := attemptsFor()
 	var tried []bool
 	failedOver := false
 	attempted := false
@@ -1120,6 +1434,9 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 				target.failovers.Add(1)
 			}
 			s.recordAccess(li, req, resp)
+			if sessionful {
+				s.syncMirror(ctx, li, resp)
+			}
 			return resp, nil
 		}
 		lastErr = err
@@ -1139,12 +1456,22 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 			target.failures.Add(1)
 			target.healthy.Store(false)
 		}
+		s.noteFailed(li, target.index)
 		if sessionful {
 			if !sessionLost && a+1 < attempts {
 				continue // replayable: retry the pinned replica itself
 			}
-			// A pinned replica that failed — or restarted and lost the
-			// cursors — poisons the session for this list.
+			// The pinned replica failed for good — or restarted and lost
+			// the cursors. Hand the session off to the synced mirror and
+			// resume there; without one, the failure poisons the session
+			// for this list.
+			if next := s.handoff(ctx, li, target); next != nil {
+				target = next
+				failedOver = true
+				attempts = attemptsFor()
+				a = -1 // fresh attempt budget on the new pin
+				continue
+			}
 			break
 		}
 		// Stateless: fail over to a sibling replica that holds the
@@ -1345,7 +1672,7 @@ func (s *httpSession) Close() error {
 	)
 	for li, reps := range s.t.lists {
 		for _, r := range reps {
-			if !s.state[li].open[r.index] {
+			if !s.state[li].acked[r.index] {
 				continue
 			}
 			wg.Add(1)

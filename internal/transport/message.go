@@ -173,6 +173,12 @@ type ProbeResp struct {
 	// response carries the piggyback only (defensive: the originator
 	// tracks exhaustion and normally never probes an exhausted owner).
 	Empty bool `json:"empty,omitempty"`
+	// Pos is the position this probe marked seen (0 when Empty) — the
+	// session-state delta the replicated client mirrors to a sibling
+	// replica so the session survives the pinned replica's death.
+	// Recovery vocabulary, not protocol payload: it is excluded from
+	// ResponseScalars, so accounting stays identical across backends.
+	Pos int `json:"pos,omitempty"`
 }
 
 // ResponseScalars: item, score and best-position score — or only the
@@ -207,6 +213,12 @@ type MarkResp struct {
 	Score     float64 `json:"score"`
 	BestScore Upper   `json:"bestScore"`
 	Exhausted bool    `json:"exhausted,omitempty"`
+	// Pos is the position this mark recorded — the session-state delta
+	// the replicated client mirrors to a sibling replica (see
+	// ProbeResp.Pos). Excluded from ResponseScalars: the position itself
+	// stays at the owner in the paper's protocol, and the mirror delta
+	// must not perturb the payload accounting.
+	Pos int `json:"pos,omitempty"`
 }
 
 // ResponseScalars: score and best-position score.

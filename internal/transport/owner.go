@@ -285,6 +285,75 @@ func (o *Owner) SessionStats(sid string) (OwnerStats, error) {
 	return st, nil
 }
 
+// SyncSession applies a session-state delta mirrored from a sibling
+// replica: it marks the given positions (single positions and inclusive
+// [lo,hi] ranges) seen in the session's tracker and raises the scan
+// depth. Marking is idempotent and the depth merge is monotonic, so
+// replaying a sync — or receiving one the pinned replica already
+// applied — converges instead of corrupting state. Control-plane:
+// nothing here touches the access probe, so mirrored state never
+// perturbs the accounting the originator's ledger holds authoritative.
+func (o *Owner) SyncSession(sid string, positions []int, ranges [][2]int, depth int) error {
+	s, err := o.session(sid)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range positions {
+		if p >= 1 && p <= o.n {
+			s.tr.MarkSeen(p)
+		}
+	}
+	for _, rg := range ranges {
+		lo, hi := rg[0], rg[1]
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > o.n {
+			hi = o.n
+		}
+		for p := lo; p <= hi; p++ {
+			s.tr.MarkSeen(p)
+		}
+	}
+	if depth > s.depth {
+		s.depth = depth
+	}
+	return nil
+}
+
+// SessionState exports a session's replicable protocol state — the seen
+// positions compressed into inclusive [lo,hi] ranges, plus the scan
+// depth — so a freshly promoted mirror replica can be brought up to the
+// pinned replica's state in one SyncSession. The access tally is
+// deliberately absent: it is not replicable state (the originator's
+// ledger is authoritative in replicated topologies).
+func (o *Owner) SessionState(sid string) (ranges [][2]int, depth int, err error) {
+	s, err := o.session(sid)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := 0
+	for p := 1; p <= o.n; p++ {
+		switch {
+		case s.tr.Seen(p):
+			if start == 0 {
+				start = p
+			}
+		case start != 0:
+			ranges = append(ranges, [2]int{start, p - 1})
+			start = 0
+		}
+	}
+	if start != 0 {
+		ranges = append(ranges, [2]int{start, o.n})
+	}
+	return ranges, s.depth, nil
+}
+
 // Handle serves one request inside the given session. Exchanges of the
 // same session are serialized; exchanges of distinct sessions are not. A
 // batch request executes atomically: its inner requests run in order
@@ -409,7 +478,7 @@ func (o *Owner) handleProbe(s *ownerSession, _ ProbeReq) (Response, error) {
 	e := s.pr.Direct(0, p)
 	s.tr.MarkSeen(p)
 	best, exhausted := o.bestState(s)
-	return ProbeResp{Entry: e, BestScore: Upper(best), Exhausted: exhausted}, nil
+	return ProbeResp{Entry: e, BestScore: Upper(best), Exhausted: exhausted, Pos: p}, nil
 }
 
 // handleMark serves BPA2's random access: the owner resolves the item,
@@ -422,7 +491,7 @@ func (o *Owner) handleMark(s *ownerSession, req MarkReq) (Response, error) {
 	sc, p := s.pr.Random(0, req.Item)
 	s.tr.MarkSeen(p)
 	best, exhausted := o.bestState(s)
-	return MarkResp{Score: sc, BestScore: Upper(best), Exhausted: exhausted}, nil
+	return MarkResp{Score: sc, BestScore: Upper(best), Exhausted: exhausted, Pos: p}, nil
 }
 
 // handleTopK serves TPUT phase 1: the owner reads its K best entries.

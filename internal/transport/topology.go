@@ -122,13 +122,16 @@ func ParseRoutingPolicy(name string) (RoutingPolicy, error) {
 	}
 }
 
-// OwnerFailedError reports a replica failing mid-query on traffic that
-// cannot fail over: sessionful exchanges (probe, above, mark, topk, or a
-// batch carrying one) live on the cursors and trackers of exactly one
-// replica, so its death poisons the session for that list. The error
-// names the list and the replica so an operator knows which process to
-// look at; callers should rerun the query — a fresh session pins to a
-// live replica.
+// OwnerFailedError reports a replica failing mid-query on traffic the
+// session could not move: sessionful exchanges (probe, above, mark,
+// topk, or a batch carrying one) live on the cursors and trackers of
+// the pinned replica, and when it dies the session hands off to its
+// synced mirror sibling. This error surfaces only when no synced mirror
+// exists — a flat single-replica list, handoff disabled, or every
+// sibling already failed. It names the list and the replica so an
+// operator knows which process to look at; callers should rerun the
+// query (or let the dist restart driver do it) — a fresh session pins
+// to a live replica.
 type OwnerFailedError struct {
 	// List is the list index whose pinned replica failed.
 	List int

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -266,10 +267,12 @@ func TestStatelessFailover(t *testing.T) {
 	}
 }
 
-// TestSessionfulPinAndOwnerFailedError: cursor-bearing traffic sticks to
-// one replica; when that replica dies the session fails fast with the
-// typed error naming list and replica — it must NOT resume on the
-// sibling whose cursors never advanced.
+// TestSessionfulPinAndOwnerFailedError: with handoff disabled,
+// cursor-bearing traffic sticks to one replica; when that replica dies
+// the session fails fast with the typed error naming list and replica —
+// it must NOT resume on the sibling whose cursors never advanced. (With
+// handoff on — the default — the sibling mirrors the session state and
+// the death is absorbed; see TestSessionfulHandoff.)
 func TestSessionfulPinAndOwnerFailedError(t *testing.T) {
 	one := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 80, M: 1, Seed: 9})
 	srvA, err := NewServer(one, 0)
@@ -288,6 +291,7 @@ func TestSessionfulPinAndOwnerFailedError(t *testing.T) {
 	hc, err := Dial(context.Background(), DialConfig{
 		Topology:       Topology{{tsA.URL, tsB.URL}},
 		HealthInterval: -1,
+		DisableHandoff: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -879,20 +883,273 @@ func TestRestartedReplicaFailsOver(t *testing.T) {
 		t.Errorf("ledger after restart failover: %+v, %v", st.Accesses, err)
 	}
 
-	// Sessionful traffic pinned to a replica that restarts fails typed.
+	// Sessionful traffic pinned to a replica that restarts (session
+	// gone, 404 on every exchange) hands off to the mirroring sibling
+	// and resumes exactly where the dead pin left it.
 	s2, err := hc.Open(ctx, bestpos.BitArrayKind)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
 	if _, err := s2.Do(ctx, 0, ProbeReq{}); err != nil {
-		t.Fatal(err) // pins to replica 0 (primary)
+		t.Fatal(err) // pins to replica 0 (primary), mirrors to replica 1
 	}
 	fresh2 := mkHandler()
 	gateA.h.Store(&fresh2)
-	_, err = s2.Do(ctx, 0, ProbeReq{})
+	resp, err = s2.Do(ctx, 0, ProbeReq{})
+	if err != nil {
+		t.Fatalf("probe on restarted pinned replica did not hand off: %v", err)
+	}
+	if got := resp.(ProbeResp).Entry; got != one.List(0).At(2) {
+		t.Errorf("handoff probe = %+v, want position 2", got)
+	}
+	rec := s2.(*httpSession).Recovery()
+	if rec.Handoffs != 1 {
+		t.Errorf("handoffs = %d, want 1", rec.Handoffs)
+	}
+}
+
+// TestSessionfulHandoff: with handoff on (the default), killing the
+// replica a session's cursor-bearing traffic is pinned to re-pins the
+// session to the sibling that mirrors its state — the query resumes
+// exactly where the dead pin left it, no cursor advances twice, and the
+// ledger accounting is identical to an undisturbed run.
+func TestSessionfulHandoff(t *testing.T) {
+	one := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 80, M: 1, Seed: 9})
+	srvA, err := NewServer(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := NewServer(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateA := &flakyGate{inner: srvA.Handler()}
+	tsA := httptest.NewServer(gateA)
+	defer tsA.Close()
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	hc, err := Dial(context.Background(), DialConfig{
+		Topology:       Topology{{tsA.URL, tsB.URL}},
+		HealthInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	s, err := hc.Open(context.Background(), bestpos.BitArrayKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	// Two probes pin to A; each synchronously mirrors its position to B.
+	for i := 1; i <= 2; i++ {
+		resp, err := s.Do(ctx, 0, ProbeReq{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.(ProbeResp).Entry; got != one.List(0).At(i) {
+			t.Fatalf("probe %d = %+v", i, got)
+		}
+	}
+	// The mirror holds the state delta without being charged for it.
+	stB, err := srvB.Owner().SessionStats(s.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.Best != 2 {
+		t.Errorf("mirror best = %d, want 2 (positions 1,2 mirrored)", stB.Best)
+	}
+	if stB.Accesses.Total() != 0 {
+		t.Errorf("mirroring charged the sibling: %+v", stB.Accesses)
+	}
+
+	// Kill the pin: the next probe hands off to B and resumes at 3.
+	gateA.dead.Store(true)
+	for i := 3; i <= 4; i++ {
+		resp, err := s.Do(ctx, 0, ProbeReq{})
+		if err != nil {
+			t.Fatalf("probe %d after pin death did not hand off: %v", i, err)
+		}
+		if got := resp.(ProbeResp).Entry; got != one.List(0).At(i) {
+			t.Errorf("probe %d after handoff = %+v", i, got)
+		}
+	}
+	// A replayable sessionful exchange works on the new pin too.
+	if _, err := s.Do(ctx, 0, MarkReq{Item: one.List(0).At(9).Item}); err != nil {
+		t.Fatalf("mark after handoff: %v", err)
+	}
+	// The ledger reports what an undisturbed run would: 4 probes + 1 mark.
+	st, err := s.Stats(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses.Direct != 4 || st.Accesses.Random != 1 {
+		t.Errorf("accesses after handoff = %+v, want direct=4 random=1", st.Accesses)
+	}
+	rec := s.(*httpSession).Recovery()
+	if rec.Handoffs != 1 || rec.FailedReplicas != 1 {
+		t.Errorf("recovery = %+v, want 1 handoff, 1 failed replica", rec)
+	}
+
+	// Kill the promoted pin too: nothing left to hand off to — the typed
+	// error names the replica that exhausted the session.
+	gateB := &flakyGate{inner: srvB.Handler()}
+	_ = gateB // tsB has no gate; close the server instead.
+	tsB.Close()
+	_, err = s.Do(ctx, 0, ProbeReq{})
 	var ofe *OwnerFailedError
-	if !errors.As(err, &ofe) || ofe.List != 0 || ofe.Replica != 0 {
-		t.Fatalf("probe on restarted pinned replica: %v, want *OwnerFailedError for list 0 replica 0", err)
+	if !errors.As(err, &ofe) {
+		t.Fatalf("death of the last replica surfaced as %v, want *OwnerFailedError", err)
+	}
+	if ofe.List != 0 || ofe.Replica != 1 {
+		t.Errorf("OwnerFailedError = list %d replica %d, want list 0 replica 1", ofe.List, ofe.Replica)
+	}
+}
+
+// TestHandoffDepthSync: the mirrored state includes the scan depth, so
+// a TPUT-style topk-then-above sequence split across a handoff answers
+// and accounts exactly like an undisturbed run against one owner.
+func TestHandoffDepthSync(t *testing.T) {
+	one := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 80, M: 1, Seed: 9})
+	mkServer := func() *Server {
+		srv, err := NewServer(one, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	gateA := &flakyGate{inner: mkServer().Handler()}
+	tsA := httptest.NewServer(gateA)
+	defer tsA.Close()
+	tsB := httptest.NewServer(mkServer().Handler())
+	defer tsB.Close()
+	// Control: the same sequence against a single always-alive owner.
+	tsC := httptest.NewServer(mkServer().Handler())
+	defer tsC.Close()
+	ctx := context.Background()
+
+	hc, err := Dial(ctx, DialConfig{Topology: Topology{{tsA.URL, tsB.URL}}, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	cc, err := Dial(ctx, DialConfig{Topology: Topology{{tsC.URL}}, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	s, err := hc.Open(ctx, bestpos.BitArrayKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctl, err := cc.Open(ctx, bestpos.BitArrayKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	k1, err := s.Do(ctx, 0, TopKReq{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck1, err := ctl.Do(ctx, 0, TopKReq{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(k1, ck1) {
+		t.Fatalf("topk diverged before the kill: %+v vs %+v", k1, ck1)
+	}
+	// Kill the pin between phases: the above must resume at depth 3 on
+	// the mirror, not rescan from the top.
+	gateA.dead.Store(true)
+	theta := one.List(0).At(10).Score
+	a1, err := s.Do(ctx, 0, AboveReq{T: theta})
+	if err != nil {
+		t.Fatalf("above after pin death did not hand off: %v", err)
+	}
+	ca1, err := ctl.Do(ctx, 0, AboveReq{T: theta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, ca1) {
+		t.Errorf("above after handoff diverged: %+v vs %+v", a1, ca1)
+	}
+	st, err := s.Stats(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst, err := ctl.Stats(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses != cst.Accesses || st.Depth != cst.Depth {
+		t.Errorf("accounting diverged across handoff: %+v/%d vs %+v/%d",
+			st.Accesses, st.Depth, cst.Accesses, cst.Depth)
+	}
+}
+
+// TestMirrorPromotionAfterMirrorDeath: when the MIRROR dies, the pin
+// promotes a fresh sibling by copying the full session state to it — so
+// a later pin death still hands off losslessly.
+func TestMirrorPromotionAfterMirrorDeath(t *testing.T) {
+	one := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 80, M: 1, Seed: 9})
+	mkGate := func() *flakyGate {
+		srv, err := NewServer(one, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &flakyGate{inner: srv.Handler()}
+	}
+	gates := []*flakyGate{mkGate(), mkGate(), mkGate()}
+	var topo Topology
+	var urls []string
+	for _, g := range gates {
+		ts := httptest.NewServer(g)
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	topo = Topology{urls}
+	hc, err := Dial(context.Background(), DialConfig{Topology: topo, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	ctx := context.Background()
+	s, err := hc.Open(ctx, bestpos.BitArrayKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Pin to replica 0, mirror on replica 1.
+	for i := 1; i <= 2; i++ {
+		if _, err := s.Do(ctx, 0, ProbeReq{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the mirror. The next exchange succeeds on the pin, notices the
+	// failed sync, and promotes replica 2 with a full state copy.
+	gates[1].dead.Store(true)
+	if _, err := s.Do(ctx, 0, ProbeReq{}); err != nil {
+		t.Fatalf("probe with dead mirror: %v", err)
+	}
+	// Now kill the pin: the handoff lands on the promoted replica 2 and
+	// resumes at position 4 — proof the full-state copy carried 1..3.
+	gates[0].dead.Store(true)
+	resp, err := s.Do(ctx, 0, ProbeReq{})
+	if err != nil {
+		t.Fatalf("probe after pin death did not hand off to the promoted mirror: %v", err)
+	}
+	if got := resp.(ProbeResp).Entry; got != one.List(0).At(4) {
+		t.Errorf("probe after promotion+handoff = %+v, want position 4", got)
+	}
+	rec := s.(*httpSession).Recovery()
+	if rec.Handoffs != 1 || rec.FailedReplicas != 2 {
+		t.Errorf("recovery = %+v, want 1 handoff, 2 failed replicas", rec)
 	}
 }
