@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -125,6 +126,67 @@ type RecoveryStats struct {
 	FailedReplicas int
 }
 
+// TraceSpan is one wire exchange of a traced distributed run (see
+// WithTrace): where it went, what it carried, and what it cost. Spans
+// describe the execution, not the protocol: replica choice, byte counts
+// and durations vary by backend and schedule, while the span count
+// equals NetStats.Exchanges and the Msgs total equals half of
+// NetStats.Messages (spans count request/response pairs once).
+type TraceSpan struct {
+	// Seq is the exchange's position in session order, from 0.
+	Seq int `json:"seq"`
+	// Round is the protocol round the exchange belongs to (1-based;
+	// 0 for pre-round traffic).
+	Round int `json:"round"`
+	// Owner is the list whose owner served the exchange.
+	Owner int `json:"owner"`
+	// Replica is the serving replica's index within the list's replica
+	// set; -1 for the in-process backends.
+	Replica int `json:"replica"`
+	// URL is the serving replica's base URL ("loopback" or "concurrent"
+	// for the in-process backends).
+	URL string `json:"url"`
+	// Kind is the wire message kind ("sorted", "lookup", "probe", ...;
+	// "batch" for a round-coalesced envelope).
+	Kind string `json:"kind"`
+	// Msgs counts the logical request messages carried: 1, or the batch
+	// size for a coalesced exchange.
+	Msgs int `json:"msgs"`
+	// ReqBytes and RespBytes are the encoded wire sizes; zero for the
+	// in-process backends, which never serialize.
+	ReqBytes  int `json:"req_bytes"`
+	RespBytes int `json:"resp_bytes"`
+	// Duration is the exchange's round-trip time: real time over HTTP,
+	// the latency model's virtual cost under the concurrent simulation.
+	Duration time.Duration `json:"duration"`
+	// Attempts counts wire attempts spent (1 plus retries).
+	Attempts int `json:"attempts"`
+	// FailedOver reports that a different replica than first targeted
+	// answered; Handoff that the session re-pinned to a mirror during
+	// the exchange.
+	FailedOver bool `json:"failed_over,omitempty"`
+	Handoff    bool `json:"handoff,omitempty"`
+	// Err is the terminal failure, if the exchange had one.
+	Err string `json:"err,omitempty"`
+}
+
+// traceSpansOf converts the transport's spans to the public type.
+func traceSpansOf(spans []transport.Span) []TraceSpan {
+	if spans == nil {
+		return nil
+	}
+	out := make([]TraceSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = TraceSpan{
+			Seq: sp.Seq, Round: sp.Round, Owner: sp.Owner, Replica: sp.Replica,
+			URL: sp.URL, Kind: string(sp.Kind), Msgs: sp.Msgs,
+			ReqBytes: sp.ReqBytes, RespBytes: sp.RespBytes, Duration: sp.Duration,
+			Attempts: sp.Attempts, FailedOver: sp.FailedOver, Handoff: sp.Handoff, Err: sp.Err,
+		}
+	}
+	return out
+}
+
 // DistStats reports the accounting of a distributed run: the stable
 // network profile in Net and the failures the run absorbed in
 // Recovery. The flat fields mirror Net for callers written against the
@@ -136,6 +198,10 @@ type DistStats struct {
 	// Recovery tallies the failures the run absorbed; all-zero when
 	// nothing failed.
 	Recovery RecoveryStats
+	// Trace holds one span per wire exchange when the query ran with
+	// WithTrace; nil otherwise. On a restarted query it covers the
+	// completing attempt — the one Net accounts for.
+	Trace []TraceSpan
 
 	// Deprecated: read Net.Messages.
 	Messages int64
@@ -200,6 +266,7 @@ func distStatsOf(res *dist.Result) DistStats {
 			Handoffs:       res.Recovery.Handoffs,
 			FailedReplicas: res.Recovery.FailedReplicas,
 		},
+		Trace:         traceSpansOf(res.Trace),
 		Messages:      net.Messages,
 		Payload:       net.Payload,
 		Rounds:        net.Rounds,
@@ -345,6 +412,7 @@ type execSettings struct {
 	restart     RestartPolicy
 	maxRestarts int
 	timeout     time.Duration
+	trace       bool
 }
 
 // ExecOption overrides a per-query execution setting of Cluster.Exec
@@ -369,6 +437,16 @@ func WithMaxRestarts(n int) ExecOption {
 // covers the whole query including any restarts.
 func WithTimeout(d time.Duration) ExecOption {
 	return func(s *execSettings) { s.timeout = d }
+}
+
+// WithTrace records one TraceSpan per wire exchange into
+// DistStats.Trace: round, owner, replica, kind, logical messages,
+// bytes, duration and any failover or handoff the exchange absorbed.
+// Tracing never perturbs the query's answers or primary accounting
+// (Stats.Net) — it observes the exchanges the protocol was going to
+// make anyway — but it allocates per exchange, so it is off by default.
+func WithTrace() ExecOption {
+	return func(s *execSettings) { s.trace = true }
 }
 
 // resolveExec applies opts over the cluster-level defaults and
@@ -430,6 +508,7 @@ func runOver(ctx context.Context, t transport.Transport, q Query, protocol Proto
 		K:       q.K,
 		Scoring: adaptScoring(scoring),
 		Tracker: bestpos.Kind(q.Tracker),
+		Trace:   settings.trace,
 	}
 	res, err := dist.RunWithRestart(ctx, func() (*dist.Result, error) {
 		return run(ctx, t, opts)
@@ -595,6 +674,10 @@ type ClusterConfig struct {
 	// a whole-query restart when Restart allows one) — the pre-handoff
 	// behaviour, and a useful baseline when measuring handoff's cost.
 	DisableHandoff bool
+	// Logger receives the cluster client's structured recovery log:
+	// replica health transitions, mirror promotions and session
+	// handoffs, at slog.LevelInfo and below. nil discards them.
+	Logger *slog.Logger
 }
 
 // Cluster is a connection to real list owners serving the distributed
@@ -670,6 +753,7 @@ func DialClusterConfig(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		Retries:        cfg.Retries,
 		Wire:           wire,
 		DisableHandoff: cfg.DisableHandoff,
+		Logger:         cfg.Logger,
 	})
 	if err != nil {
 		return nil, err

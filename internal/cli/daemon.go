@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// newDaemonLogger builds the daemons' structured logger from the
+// -log-level flag: a text handler writing to w at the given level, or
+// a discard logger for "off". The daemons log recovery-relevant events
+// — session open/close/evict, replica health transitions, mirror
+// promotions and handoffs — with session/list/replica attributes.
+func newDaemonLogger(level string, w io.Writer) (*slog.Logger, error) {
+	var l slog.Level
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "off", "none":
+		return slog.New(slog.DiscardHandler), nil
+	case "debug":
+		l = slog.LevelDebug
+	case "", "info":
+		l = slog.LevelInfo
+	case "warn", "warning":
+		l = slog.LevelWarn
+	case "error":
+		l = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: l})), nil
+}
+
+// pprofMux is the opt-in debug mux served on the -pprof address:
+// net/http/pprof's handlers on a dedicated mux, so profiling never
+// rides on the data-plane listener and stays off unless asked for.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startPprof serves the debug mux on addr in the background when the
+// -pprof flag was set; empty means off. A failed debug listener is
+// logged, not fatal — the data plane is unaffected either way.
+func startPprof(addr string, log *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	log.Info("pprof debug listener", "addr", addr)
+	go func() {
+		if err := http.ListenAndServe(addr, pprofMux()); err != nil {
+			log.Error("pprof listener failed", "addr", addr, "err", err)
+		}
+	}()
+}

@@ -1,0 +1,169 @@
+package cli
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"topk"
+)
+
+// TestRenderRecovery covers both branches of the one recovery-line
+// renderer: the verbose path always prints it, the default path prints
+// it only when a failure was absorbed.
+func TestRenderRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	if renderRecovery(&buf, topk.RecoveryStats{}, false) {
+		t.Error("quiet run printed a recovery line")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("quiet run wrote %q", buf.String())
+	}
+
+	buf.Reset()
+	if !renderRecovery(&buf, topk.RecoveryStats{}, true) {
+		t.Error("verbose run skipped the recovery line")
+	}
+	if got := buf.String(); got != "recovery: restarts=0 handoffs=0 failed-replicas=0\n" {
+		t.Errorf("verbose zero line = %q", got)
+	}
+
+	buf.Reset()
+	if !renderRecovery(&buf, topk.RecoveryStats{Restarts: 1, Handoffs: 2, FailedReplicas: 3}, false) {
+		t.Error("absorbed failure was silent without -verbose")
+	}
+	if got := buf.String(); got != "recovery: restarts=1 handoffs=2 failed-replicas=3\n" {
+		t.Errorf("nonzero line = %q", got)
+	}
+}
+
+// TestRenderTrace: the span table carries one row per exchange with
+// the recovery annotations in the notes column.
+func TestRenderTrace(t *testing.T) {
+	var buf bytes.Buffer
+	renderTrace(&buf, []topk.TraceSpan{
+		{Seq: 0, Round: 1, Owner: 0, Replica: 0, URL: "http://a", Kind: "sorted",
+			Msgs: 1, ReqBytes: 40, RespBytes: 40, Duration: 1500 * time.Microsecond, Attempts: 1},
+		{Seq: 1, Round: 2, Owner: 1, Replica: 1, URL: "http://b", Kind: "batch",
+			Msgs: 3, ReqBytes: 90, RespBytes: 120, Duration: 2 * time.Millisecond,
+			Attempts: 2, FailedOver: true, Handoff: true},
+	})
+	out := buf.String()
+	for _, want := range []string{
+		"trace (2 exchanges):",
+		"round", "owner", "replica", "kind", "msgs", "req-B", "resp-B",
+		"sorted", "batch",
+		"attempts=2 failover handoff",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceFlagClusterOnly: -trace without -owners is rejected like
+// the other cluster-only flags.
+func TestTraceFlagClusterOnly(t *testing.T) {
+	code, _, errOut := capture(t, queryEntry, "-trace")
+	if code == 0 {
+		t.Fatal("-trace without -owners accepted")
+	}
+	if !strings.Contains(errOut, "-trace applies to cluster mode") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+// TestClusterQueryTrace is the acceptance scenario: -trace against a
+// real owner cluster prints the per-exchange span table for every
+// protocol.
+func TestClusterQueryTrace(t *testing.T) {
+	owners := startOwnerCluster(t, 2)
+	for _, proto := range []string{"ta", "bpa", "bpa2", "tput", "tput-a"} {
+		code, out, errOut := capture(t, queryEntry,
+			"-owners", owners, "-k", "3", "-protocol", proto, "-trace")
+		if code != 0 {
+			t.Errorf("-protocol %s -trace: exit %d: %s", proto, code, errOut)
+			continue
+		}
+		if !strings.Contains(out, "trace (") || !strings.Contains(out, "exchanges):") {
+			t.Errorf("-protocol %s: output missing the span table:\n%s", proto, out)
+			continue
+		}
+		// Every protocol's trace names at least one concrete span row
+		// with the serving replica (index 0: flat topology).
+		if !strings.Contains(out, "kind") || !strings.Contains(out, "round") {
+			t.Errorf("-protocol %s: span table missing headers:\n%s", proto, out)
+		}
+	}
+}
+
+// TestDaemonLoggerLevels: the -log-level values parse, "off" discards,
+// and unknown levels are rejected by both daemons' flag paths.
+func TestDaemonLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	for _, lvl := range []string{"debug", "info", "warn", "warning", "error", "off", "none", ""} {
+		if _, err := newDaemonLogger(lvl, &buf); err != nil {
+			t.Errorf("level %q rejected: %v", lvl, err)
+		}
+	}
+	if _, err := newDaemonLogger("zzz", &buf); err == nil {
+		t.Error("unknown log level accepted")
+	}
+	log, _ := newDaemonLogger("off", &buf)
+	log.Error("must be discarded")
+	if buf.Len() != 0 {
+		t.Errorf("off level still wrote %q", buf.String())
+	}
+	log, _ = newDaemonLogger("warn", &buf)
+	log.Info("hidden")
+	if buf.Len() != 0 {
+		t.Errorf("warn level leaked info: %q", buf.String())
+	}
+	log.Warn("session evicted", "sid", "s1")
+	if out := buf.String(); !strings.Contains(out, "session evicted") || !strings.Contains(out, "sid=s1") {
+		t.Errorf("warn output = %q", out)
+	}
+
+	if _, err := buildOwner([]string{"-gen", "uniform", "-n", "50", "-m", "2", "-log-level", "zzz"}, io.Discard); err == nil {
+		t.Error("owner accepted unknown log level")
+	}
+	if _, err := buildServe([]string{"-gen", "uniform", "-n", "50", "-m", "2", "-log-level", "zzz"}, &buf); err == nil {
+		t.Error("serve accepted unknown log level")
+	}
+}
+
+// TestPprofMux: the opt-in debug mux serves the pprof index and the
+// daemons thread the -pprof flag through.
+func TestPprofMux(t *testing.T) {
+	ts := httptest.NewServer(pprofMux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d body %q", resp.StatusCode, body)
+	}
+
+	var errBuf bytes.Buffer
+	d, err := buildOwner([]string{"-gen", "uniform", "-n", "50", "-m", "2", "-pprof", "localhost:6161", "-log-level", "off"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.pprofAddr != "localhost:6161" {
+		t.Errorf("owner pprof addr = %q", d.pprofAddr)
+	}
+	sd, err := buildServe([]string{"-gen", "uniform", "-n", "50", "-m", "2", "-pprof", "localhost:6161", "-log-level", "off"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.pprofAddr != "localhost:6161" {
+		t.Errorf("serve pprof addr = %q", sd.pprofAddr)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 
@@ -13,46 +14,68 @@ import (
 	"topk/internal/transport"
 )
 
+// ownerDaemon is a built topk-owner ready to listen.
+type ownerDaemon struct {
+	handler   http.Handler
+	addr      string
+	pprofAddr string
+	log       *slog.Logger
+}
+
 // BuildOwnerHandler parses topk-owner's flags and returns the owner's
 // HTTP handler plus the listen address. Split from Owner so tests can
 // exercise flag handling and the handler without binding a socket.
 func BuildOwnerHandler(args []string, stderr io.Writer) (http.Handler, string, error) {
+	d, err := buildOwner(args, stderr)
+	if err != nil {
+		return nil, "", err
+	}
+	return d.handler, d.addr, nil
+}
+
+// buildOwner is BuildOwnerHandler plus the daemon trimmings: the
+// structured logger (wired into the owner's session lifecycle events)
+// and the opt-in pprof listener address.
+func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 	fs := flag.NewFlagSet("topk-owner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dbPath  = fs.String("db", "", "binary database file (from topk-gen)")
-		csvPath = fs.String("csv", "", "CSV database file (column form)")
-		genKind = fs.String("gen", "", "own a list of a generated database instead: uniform, gaussian, correlated")
-		n       = fs.Int("n", 10_000, "items per list for -gen")
-		m       = fs.Int("m", 2, "lists for -gen")
-		alpha   = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
-		seed    = fs.Int64("seed", 1, "RNG seed for -gen (every owner of a cluster must use the same)")
-		index   = fs.Int("list", 0, "index of the list this owner serves")
-		replica = fs.String("replica", "", "replica label within this list's replica set (informational; advertised in /stats)")
-		addr    = fs.String("addr", "localhost:9000", "listen address")
-		ttl     = fs.Duration("session-ttl", transport.DefaultSessionTTL, "evict sessions idle for this long (0 disables); reclaims sessions abandoned by crashed originators")
+		dbPath   = fs.String("db", "", "binary database file (from topk-gen)")
+		csvPath  = fs.String("csv", "", "CSV database file (column form)")
+		genKind  = fs.String("gen", "", "own a list of a generated database instead: uniform, gaussian, correlated")
+		n        = fs.Int("n", 10_000, "items per list for -gen")
+		m        = fs.Int("m", 2, "lists for -gen")
+		alpha    = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
+		seed     = fs.Int64("seed", 1, "RNG seed for -gen (every owner of a cluster must use the same)")
+		index    = fs.Int("list", 0, "index of the list this owner serves")
+		replica  = fs.String("replica", "", "replica label within this list's replica set (informational; advertised in /stats)")
+		addr     = fs.String("addr", "localhost:9000", "listen address")
+		ttl      = fs.Duration("session-ttl", transport.DefaultSessionTTL, "evict sessions idle for this long (0 disables); reclaims sessions abandoned by crashed originators")
+		logLevel = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, off")
+		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
+	}
+	logger, err := newDaemonLogger(*logLevel, stderr)
+	if err != nil {
+		return nil, err
 	}
 
-	var (
-		db  *list.Database
-		err error
-	)
+	var db *list.Database
 	switch {
 	case *genKind != "":
 		if *dbPath != "" || *csvPath != "" {
-			return nil, "", fmt.Errorf("use only one of -gen, -db and -csv")
+			return nil, fmt.Errorf("use only one of -gen, -db and -csv")
 		}
 		var kind gen.Kind
 		kind, err = parseGenKind(*genKind)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		db, err = gen.Generate(gen.Spec{Kind: kind, N: *n, M: *m, Alpha: *alpha, Seed: *seed})
 	case *dbPath != "" && *csvPath != "":
-		return nil, "", fmt.Errorf("use only one of -db and -csv")
+		return nil, fmt.Errorf("use only one of -db and -csv")
 	case *dbPath != "":
 		db, err = store.LoadFile(*dbPath)
 	case *csvPath != "":
@@ -63,32 +86,34 @@ func BuildOwnerHandler(args []string, stderr io.Writer) (http.Handler, string, e
 			f.Close()
 		}
 	default:
-		return nil, "", fmt.Errorf("missing -db, -csv or -gen input")
+		return nil, fmt.Errorf("missing -db, -csv or -gen input")
 	}
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 
 	srv, err := transport.NewServer(db, *index)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	srv.Owner().SetSessionTTL(*ttl)
 	srv.Owner().SetReplicaID(*replica)
-	return srv.Handler(), *addr, nil
+	srv.Owner().SetLogger(logger)
+	return &ownerDaemon{handler: srv.Handler(), addr: *addr, pprofAddr: *pprofA, log: logger}, nil
 }
 
 // Owner is the topk-owner entry point: it loads (or generates) a
 // database, takes ownership of one of its lists, and serves the
 // distributed protocols' owner side over HTTP until terminated.
 func Owner(args []string, stdout, stderr io.Writer) int {
-	handler, addr, err := BuildOwnerHandler(args, stderr)
+	d, err := buildOwner(args, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "topk-owner: listening on http://%s (endpoints: /rpc/{kind}?sid= /session/open /session/close /session/sync /session/state /stats /healthz)\n", addr)
-	if err := http.ListenAndServe(addr, handler); err != nil {
+	startPprof(d.pprofAddr, d.log)
+	fmt.Fprintf(stdout, "topk-owner: listening on http://%s (endpoints: /rpc/{kind}?sid= /session/open /session/close /session/sync /session/state /stats /healthz /metrics)\n", d.addr)
+	if err := http.ListenAndServe(d.addr, d.handler); err != nil {
 		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
 		return 1
 	}

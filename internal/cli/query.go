@@ -37,6 +37,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		policy   = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
 		restart  = fs.String("restart", "off", "restart policy for -owners: off, failed (rerun queries that died on a failing replica), always")
 		verbose  = fs.Bool("verbose", false, "with -owners, also print the per-replica health table (state, EWMA latency, failures, failovers)")
+		trace    = fs.Bool("trace", false, "with -owners, trace the query and print the per-exchange span table (round, owner, replica, kind, bytes, time)")
 		explain  = fs.Bool("explain", false, "print the round-by-round threshold walkthrough")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,15 +67,16 @@ func Query(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "topk-query: %v\n", err)
 			return 1
 		}
-		return clusterQuery(*owners, *proto, *wire, *policy, *restart, *k, *verbose, sc, stdout, stderr)
+		return clusterQuery(*owners, *proto, *wire, *policy, *restart, *k, *verbose, *trace, sc, stdout, stderr)
 	}
 
 	// -restart only means something against a cluster: it is a recovery
 	// policy for replica failures, which local databases cannot have.
+	// -trace is cluster-only too: the local walkthrough is -explain.
 	var clusterOnly string
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "restart", "policy", "wire":
+		case "restart", "policy", "wire", "trace":
 			clusterOnly = f.Name
 		}
 	})
@@ -168,7 +170,7 @@ func Query(args []string, stdout, stderr io.Writer) int {
 // replicas by the chosen policy and fail over when a replica dies
 // mid-query. Ctrl-C / SIGTERM cancels the in-flight query (releasing
 // its owner-side session) instead of killing the process mid-exchange.
-func clusterQuery(owners, proto, wire, policy, restart string, k int, verbose bool, sc topk.Scoring, stdout, stderr io.Writer) int {
+func clusterQuery(owners, proto, wire, policy, restart string, k int, verbose, trace bool, sc topk.Scoring, stdout, stderr io.Writer) int {
 	p, err := topk.ParseProtocol(proto)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: %v\n", err)
@@ -202,7 +204,11 @@ func clusterQuery(owners, proto, wire, policy, restart string, k int, verbose bo
 		return 1
 	}
 	defer cluster.Close()
-	res, err := cluster.Exec(ctx, topk.Query{K: k, Scoring: sc}, p)
+	var opts []topk.ExecOption
+	if trace {
+		opts = append(opts, topk.WithTrace())
+	}
+	res, err := cluster.Exec(ctx, topk.Query{K: k, Scoring: sc}, p, opts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-query: query: %v\n", err)
 		return 1
@@ -216,11 +222,9 @@ func clusterQuery(owners, proto, wire, policy, restart string, k int, verbose bo
 	fmt.Fprintf(stdout, "\nnetwork: messages=%d payload=%d rounds=%d exchanges=%d accesses=%d elapsed=%s\n",
 		s.Net.Messages, s.Net.Payload, s.Net.Rounds, s.Net.Exchanges, s.Net.TotalAccesses, s.Net.Elapsed.Round(100))
 	fmt.Fprintf(stdout, "per-owner messages: %v\n", s.Net.PerOwner)
-	// Absorbed failures must be visible even without -verbose: the answer
-	// was correct, but the operator should learn a replica is dying.
-	if verbose || s.Recovery != (topk.RecoveryStats{}) {
-		fmt.Fprintf(stdout, "recovery: restarts=%d handoffs=%d failed-replicas=%d\n",
-			s.Recovery.Restarts, s.Recovery.Handoffs, s.Recovery.FailedReplicas)
+	renderRecovery(stdout, s.Recovery, verbose)
+	if trace {
+		renderTrace(stdout, res.Stats.Trace)
 	}
 	if verbose {
 		fmt.Fprintf(stdout, "\nreplica health (policy %s):\n", pol)
@@ -234,6 +238,47 @@ func clusterQuery(owners, proto, wire, policy, restart string, k int, verbose bo
 		}
 	}
 	return 0
+}
+
+// renderRecovery is the one renderer of the recovery line, shared by
+// the verbose path (always print it) and the default path (print it
+// only when a failure was absorbed: the answer was correct, but the
+// operator should learn a replica is dying). It reports whether the
+// line was printed.
+func renderRecovery(w io.Writer, rec topk.RecoveryStats, verbose bool) bool {
+	if !verbose && rec == (topk.RecoveryStats{}) {
+		return false
+	}
+	fmt.Fprintf(w, "recovery: restarts=%d handoffs=%d failed-replicas=%d\n",
+		rec.Restarts, rec.Handoffs, rec.FailedReplicas)
+	return true
+}
+
+// renderTrace prints the traced run's per-exchange span table in
+// session order — the explain-style view of where the query's bytes
+// and time went, one row per wire exchange.
+func renderTrace(w io.Writer, spans []topk.TraceSpan) {
+	fmt.Fprintf(w, "\ntrace (%d exchanges):\n", len(spans))
+	fmt.Fprintf(w, "%4s  %5s  %5s  %7s  %-7s  %4s  %8s  %8s  %10s  %s\n",
+		"seq", "round", "owner", "replica", "kind", "msgs", "req-B", "resp-B", "time", "notes")
+	for _, sp := range spans {
+		var notes []string
+		if sp.Attempts > 1 {
+			notes = append(notes, fmt.Sprintf("attempts=%d", sp.Attempts))
+		}
+		if sp.FailedOver {
+			notes = append(notes, "failover")
+		}
+		if sp.Handoff {
+			notes = append(notes, "handoff")
+		}
+		if sp.Err != "" {
+			notes = append(notes, "err="+sp.Err)
+		}
+		fmt.Fprintf(w, "%4d  %5d  %5d  %7d  %-7s  %4d  %8d  %8d  %10s  %s\n",
+			sp.Seq, sp.Round, sp.Owner, sp.Replica, sp.Kind, sp.Msgs,
+			sp.ReqBytes, sp.RespBytes, sp.Duration.Round(time.Microsecond), strings.Join(notes, " "))
+	}
 }
 
 func loadDB(dbPath, csvPath string) (*topk.Database, error) {

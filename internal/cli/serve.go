@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 
 	"topk"
@@ -12,87 +13,112 @@ import (
 	"topk/internal/serve"
 )
 
+// serveDaemon is a built topk-serve ready to listen.
+type serveDaemon struct {
+	handler   http.Handler
+	addr      string
+	pprofAddr string
+	log       *slog.Logger
+}
+
 // BuildServeHandler parses topk-serve's flags and returns the HTTP
 // handler plus the listen address. Split from Serve so tests can exercise
 // flag handling and the handler without binding a socket.
 func BuildServeHandler(args []string, stderr io.Writer) (http.Handler, string, error) {
+	d, err := buildServe(args, stderr)
+	if err != nil {
+		return nil, "", err
+	}
+	return d.handler, d.addr, nil
+}
+
+// buildServe is BuildServeHandler plus the daemon trimmings: the
+// structured logger (handed to the cluster client for recovery events)
+// and the opt-in pprof listener address.
+func buildServe(args []string, stderr io.Writer) (*serveDaemon, error) {
 	fs := flag.NewFlagSet("topk-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dbPath  = fs.String("db", "", "binary database file (from topk-gen)")
-		csvPath = fs.String("csv", "", "CSV database file (column form)")
-		genKind = fs.String("gen", "", "serve a generated database instead: uniform, gaussian, correlated")
-		n       = fs.Int("n", 10_000, "items per list for -gen")
-		m       = fs.Int("m", 8, "lists for -gen")
-		alpha   = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
-		seed    = fs.Int64("seed", 1, "RNG seed for -gen")
-		addr    = fs.String("addr", "localhost:8080", "listen address")
-		owners  = fs.String("owners", "", "cluster topology (lists comma-separated, replicas |-separated); /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
-		policy  = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
-		restart = fs.String("restart", "off", "default restart policy for -owners queries: off, failed, always (per-request restart= overrides)")
+		dbPath   = fs.String("db", "", "binary database file (from topk-gen)")
+		csvPath  = fs.String("csv", "", "CSV database file (column form)")
+		genKind  = fs.String("gen", "", "serve a generated database instead: uniform, gaussian, correlated")
+		n        = fs.Int("n", 10_000, "items per list for -gen")
+		m        = fs.Int("m", 8, "lists for -gen")
+		alpha    = fs.Float64("alpha", 0.01, "correlation strength for -gen correlated")
+		seed     = fs.Int64("seed", 1, "RNG seed for -gen")
+		addr     = fs.String("addr", "localhost:8080", "listen address")
+		owners   = fs.String("owners", "", "cluster topology (lists comma-separated, replicas |-separated); /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
+		policy   = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
+		restart  = fs.String("restart", "off", "default restart policy for -owners queries: off, failed, always (per-request restart= overrides)")
+		logLevel = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, off")
+		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
+	}
+	logger, err := newDaemonLogger(*logLevel, stderr)
+	if err != nil {
+		return nil, err
 	}
 
-	var (
-		db  *topk.Database
-		err error
-	)
+	var db *topk.Database
 	switch {
 	case *genKind != "":
 		if *dbPath != "" || *csvPath != "" {
-			return nil, "", fmt.Errorf("use only one of -gen, -db and -csv")
+			return nil, fmt.Errorf("use only one of -gen, -db and -csv")
 		}
 		var kind gen.Kind
 		kind, err = parseGenKind(*genKind)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		db, err = topk.Generate(topk.GenSpec{Kind: topk.GenKind(kind), N: *n, M: *m, Alpha: *alpha, Seed: *seed})
 	default:
 		db, err = loadDB(*dbPath, *csvPath)
 	}
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 
 	var cluster *topk.Cluster
 	if *owners != "" {
 		topo, terr := topk.ParseTopology(*owners)
 		if terr != nil {
-			return nil, "", terr
+			return nil, terr
 		}
 		pol, perr := topk.ParseRoutingPolicy(*policy)
 		if perr != nil {
-			return nil, "", perr
+			return nil, perr
 		}
 		rp, rerr := topk.ParseRestartPolicy(*restart)
 		if rerr != nil {
-			return nil, "", rerr
+			return nil, rerr
 		}
-		cluster, err = topk.DialClusterConfig(context.Background(), topk.ClusterConfig{Topology: topo, Policy: pol, Restart: rp})
+		cluster, err = topk.DialClusterConfig(context.Background(), topk.ClusterConfig{
+			Topology: topo, Policy: pol, Restart: rp, Logger: logger,
+		})
 		if err != nil {
-			return nil, "", fmt.Errorf("dial owner cluster: %w", err)
+			return nil, fmt.Errorf("dial owner cluster: %w", err)
 		}
 	}
 	srv, err := serve.NewWithCluster(db, cluster)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	return srv.Handler(), *addr, nil
+	return &serveDaemon{handler: srv.Handler(), addr: *addr, pprofAddr: *pprofA, log: logger}, nil
 }
 
 // Serve is the topk-serve entry point: it loads (or generates) a database
 // and serves the JSON API until the process is terminated.
 func Serve(args []string, stdout, stderr io.Writer) int {
-	handler, addr, err := BuildServeHandler(args, stderr)
+	d, err := buildServe(args, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "topk-serve: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/dist /v1/explain)\n", addr)
-	if err := http.ListenAndServe(addr, handler); err != nil {
+	startPprof(d.pprofAddr, d.log)
+	fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/dist /v1/explain /v1/health /metrics)\n", d.addr)
+	if err := http.ListenAndServe(d.addr, d.handler); err != nil {
 		fmt.Fprintf(stderr, "topk-serve: %v\n", err)
 		return 1
 	}

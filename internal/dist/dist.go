@@ -79,6 +79,12 @@ type Options struct {
 	// originator) and BPA2 (at the list owners). The zero value is the
 	// bit array, matching the paper's evaluation.
 	Tracker bestpos.Kind
+	// Trace records one transport.Span per wire exchange into
+	// Result.Trace: round, owner, replica, kind, logical messages,
+	// bytes, duration and the recovery annotations. Off by default —
+	// tracing allocates per exchange, and the paper's accounting (Net,
+	// Accesses) is identical either way.
+	Trace bool
 }
 
 // validate mirrors core.Options.Validate for the distributed setting;
@@ -154,6 +160,12 @@ type Result struct {
 	// over Loopback, simulated time under Concurrent's latency model,
 	// real time over HTTP. The one backend-specific Result field.
 	Elapsed time.Duration
+	// Trace holds one span per wire exchange when the run was traced
+	// (Options.Trace); nil otherwise. Like Elapsed it is descriptive,
+	// not normative: replica choice, byte counts and durations are
+	// backend- and schedule-dependent, while span count and logical
+	// message totals reconcile with Net.Exchanges and Net.Messages.
+	Trace []transport.Span
 }
 
 // Recovery tallies the failures a distributed run absorbed without
@@ -226,6 +238,12 @@ type runner struct {
 	// does not reallocate its grouping state per fan-out.
 	ownerIdx  [][]int          // call indices per owner this round
 	wireCalls []transport.Call // coalesced calls actually dispatched
+
+	// rec collects per-exchange trace spans when Options.Trace armed a
+	// SpanRecording-capable session; nil otherwise. The runner stamps
+	// the protocol round before every dispatch — the drivers increment
+	// Rounds, the transport fills in everything else.
+	rec *transport.SpanRecorder
 }
 
 // newRunner validates the options against the transport's dimensions and
@@ -245,6 +263,13 @@ func newRunner(ctx context.Context, t transport.Transport, opts Options) (*runne
 	if err != nil {
 		return nil, fmt.Errorf("dist: open session: %w", err)
 	}
+	var rec *transport.SpanRecorder
+	if opts.Trace {
+		if sr, ok := sess.(transport.SpanRecording); ok {
+			rec = transport.NewSpanRecorder()
+			sr.SetSpanRecorder(rec)
+		}
+	}
 	return &runner{
 		ctx:      ctx,
 		sess:     sess,
@@ -254,6 +279,7 @@ func newRunner(ctx context.Context, t transport.Transport, opts Options) (*runne
 		m:        t.M(),
 		n:        t.N(),
 		ownerIdx: make([][]int, t.M()),
+		rec:      rec,
 	}, nil
 }
 
@@ -264,6 +290,9 @@ func (r *runner) close() { _ = r.sess.Close() }
 
 // do performs one exchange and charges both directions.
 func (r *runner) do(owner int, req transport.Request) (transport.Response, error) {
+	if r.rec != nil {
+		r.rec.SetRound(r.nw.net.Rounds)
+	}
 	r.nw.request(owner, req.RequestScalars())
 	r.nw.net.Exchanges++
 	resp, err := r.sess.Do(r.ctx, owner, req)
@@ -282,6 +311,9 @@ func (r *runner) do(owner int, req transport.Request) (transport.Response, error
 // to distinct owners overlap as before. The returned responses are the
 // logical ones, in call order — drivers never see the batch envelope.
 func (r *runner) doAll(calls []transport.Call) ([]transport.Response, error) {
+	if r.rec != nil {
+		r.rec.SetRound(r.nw.net.Rounds)
+	}
 	for _, c := range calls {
 		r.nw.request(c.Owner, c.Req.RequestScalars())
 	}
@@ -415,6 +447,9 @@ func (r *runner) finish(res *Result) (*Result, error) {
 		res.Recovery.FailedReplicas = rec.FailedReplicas
 	}
 	res.Elapsed = r.sess.Elapsed()
+	if r.rec != nil {
+		res.Trace = r.rec.Spans()
+	}
 	return res, nil
 }
 

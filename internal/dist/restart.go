@@ -5,8 +5,14 @@ import (
 	"errors"
 	"fmt"
 
+	"topk/internal/obs"
 	"topk/internal/transport"
 )
+
+// mDistRestarts counts query reruns spent by the restart driver — the
+// coarse recovery path, next to the transport's finer-grained handoff
+// and failover counters.
+var mDistRestarts = obs.GetCounter("topk_dist_restarts_total", "Query reruns spent by the restart driver.", nil)
 
 // RestartPolicy decides when the restart driver may rerun a failed
 // query from scratch on the surviving replicas. It composes with the
@@ -99,6 +105,7 @@ func RunWithRestart(ctx context.Context, run func() (*Result, error), cfg Restar
 			failed++
 		}
 		restarts++
+		mDistRestarts.Inc()
 	}
 }
 

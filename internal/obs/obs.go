@@ -1,0 +1,540 @@
+// Package obs is the tree's zero-dependency observability layer: a
+// process-wide metrics registry of atomic counters, gauges and
+// fixed-bucket histograms with Prometheus text exposition (format
+// 0.0.4) and a JSON snapshot, plus a strict exposition validator used
+// by both the test suite and the promcheck CI tool.
+//
+// The paper's whole argument is cost accounting, so the registry is
+// built to never perturb it: every metric operation is a handful of
+// atomic instructions with no allocation, metric handles are created
+// once at wiring time (never on the hot path), and the entire layer
+// can be switched off with SetEnabled(false) — the overhead benchmark
+// (BenchmarkObservabilityOverhead) pins the on/off delta. Updates
+// deliberately do not take the registry lock; the lock only guards
+// family/handle creation and exposition.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one metric's label set. Registries canonicalise the set
+// (sorted by key) so {"a":"1","b":"2"} names the same series however
+// it is written.
+type Labels map[string]string
+
+// Registry holds metric families keyed by name. The zero value is not
+// usable; call NewRegistry, or use the package-level Default registry
+// through GetCounter / GetGauge / GetHistogram.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{families: make(map[string]*family)}
+	r.enabled.Store(true)
+	return r
+}
+
+// Default is the process-wide registry that the transport, dist and
+// serve layers register into.
+var Default = NewRegistry()
+
+// SetEnabled turns metric updates on or off. Handles stay valid while
+// disabled; their updates become no-ops (a single atomic load). The
+// switch exists so the observability overhead can be measured, and so
+// embedders who want the paper's accounting alone can shed even the
+// atomic adds.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether metric updates are currently recorded.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: its HELP/TYPE header and every labelled
+// series under it.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histograms only; fixed for the whole family
+
+	mu     sync.Mutex
+	order  []string // insertion-ordered canonical label strings
+	series map[string]any
+}
+
+func (r *Registry) family(name, help string, kind metricKind, buckets []float64) *family {
+	if err := checkMetricName(name); err != nil {
+		panic("obs: " + err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// series returns the handle for one label set, creating it on first
+// use. make builds the concrete metric.
+func (f *family) seriesFor(labels Labels, make func() any) any {
+	key := canonicalLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := make()
+	f.series[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// Counter is a monotonically increasing integer. All methods are safe
+// for concurrent use and never allocate.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (which must be non-negative; negative deltas are
+// silently dropped to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n < 0 || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter returns (creating if needed) the counter name{labels}.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	f := r.family(name, help, kindCounter, nil)
+	return f.seriesFor(labels, func() any { return &Counter{on: &r.enabled} }).(*Counter)
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	on   *atomic.Bool
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if !g.on.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta float64) {
+	if !g.on.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge returns (creating if needed) the gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	f := r.family(name, help, kindGauge, nil)
+	return f.seriesFor(labels, func() any { return &Gauge{on: &r.enabled} }).(*Gauge)
+}
+
+// Histogram is a fixed-bucket cumulative histogram (the Prometheus
+// shape: counts per upper bound, plus sum and count). Bucket bounds
+// are fixed at registration; Observe is a binary search plus two
+// atomic adds.
+type Histogram struct {
+	on      *atomic.Bool
+	upper   []float64      // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64 // len(upper)+1; last is the +Inf bucket
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !h.on.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Histogram returns (creating if needed) the histogram name{labels}
+// with the given upper bucket bounds (ascending; +Inf is implicit).
+// Every series of one family shares the family's bounds: the bounds
+// passed on subsequent calls are ignored.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("obs: histogram " + name + " bucket bounds must ascend")
+	}
+	f := r.family(name, help, kindHistogram, buckets)
+	return f.seriesFor(labels, func() any {
+		return &Histogram{on: &r.enabled, upper: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	}).(*Histogram)
+}
+
+// LatencyBuckets are the default upper bounds, in seconds, for
+// request/exchange latency histograms: 100µs to 10s, roughly
+// geometric.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are the default upper bounds, in bytes, for payload size
+// histograms: 64B to 4MiB in powers of four.
+var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+
+// GetCounter, GetGauge and GetHistogram are shorthands on the Default
+// registry.
+func GetCounter(name, help string, labels Labels) *Counter {
+	return Default.Counter(name, help, labels)
+}
+
+func GetGauge(name, help string, labels Labels) *Gauge {
+	return Default.Gauge(name, help, labels)
+}
+
+func GetHistogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	return Default.Histogram(name, help, labels, buckets)
+}
+
+// ---------------------------------------------------------------------------
+// Exposition.
+
+// WritePrometheus writes every family in the Prometheus text format
+// (version 0.0.4): families sorted by name, a # HELP and # TYPE header
+// each, series in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.String())
+	b.WriteByte('\n')
+	for _, key := range f.order {
+		switch m := f.series[key].(type) {
+		case *Counter:
+			writeSample(b, f.name, key, "", formatInt(m.Value()))
+		case *Gauge:
+			writeSample(b, f.name, key, "", formatFloat(m.Value()))
+		case *Histogram:
+			cum := int64(0)
+			for i, bound := range m.upper {
+				cum += m.counts[i].Load()
+				writeSample(b, f.name+"_bucket", key, `le="`+formatFloat(bound)+`"`, formatInt(cum))
+			}
+			cum += m.counts[len(m.upper)].Load()
+			writeSample(b, f.name+"_bucket", key, `le="+Inf"`, formatInt(cum))
+			writeSample(b, f.name+"_sum", key, "", formatFloat(m.Sum()))
+			writeSample(b, f.name+"_count", key, "", formatInt(m.Count()))
+		}
+	}
+}
+
+// writeSample emits one line: name{labels,extra} value. extra (the
+// histogram le pair) goes last, matching convention.
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus
+// text by default, the JSON snapshot when the request asks for JSON
+// (?format=json or an Accept: application/json header).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// JSON snapshot.
+
+// Sample is one series in a Snapshot.
+type Sample struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"` // counter, gauge
+	// Histogram fields.
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`  // upper bounds, +Inf implicit
+	Buckets []int64   `json:"buckets,omitempty"` // non-cumulative, len(Bounds)+1
+}
+
+// Snapshot returns every series as a flat, name-sorted sample list —
+// the JSON face of the registry.
+func (r *Registry) Snapshot() []Sample {
+	var out []Sample
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		for _, key := range f.order {
+			s := Sample{Name: f.name, Type: f.kind.String(), Labels: parseCanonical(key)}
+			switch m := f.series[key].(type) {
+			case *Counter:
+				s.Value = float64(m.Value())
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				s.Count = m.Count()
+				s.Sum = m.Sum()
+				s.Bounds = f.buckets
+				s.Buckets = make([]int64, len(m.counts))
+				for i := range m.counts {
+					s.Buckets[i] = m.counts[i].Load()
+				}
+			}
+			out = append(out, s)
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Label plumbing.
+
+// canonicalLabels renders a label set as the exact exposition text
+// (k1="v1",k2="v2", keys sorted), which doubles as the series map key.
+func canonicalLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if err := checkLabelName(k); err != nil {
+			panic("obs: " + err.Error())
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// parseCanonical inverts canonicalLabels for the JSON snapshot.
+func parseCanonical(key string) map[string]string {
+	if key == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	rest := key
+	for rest != "" {
+		eq := strings.Index(rest, `="`)
+		name := rest[:eq]
+		rest = rest[eq+2:]
+		var val strings.Builder
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		out[name] = val.String()
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return out
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func checkMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty label name")
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+	}
+	return nil
+}

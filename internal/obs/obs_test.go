@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("test_ops_total", "ops", Labels{"kind": "read"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // dropped: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("test_temp", "temperature", nil)
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("test_latency_seconds", "latency", nil, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5.605 {
+		t.Fatalf("histogram sum = %v, want 5.605", h.Sum())
+	}
+}
+
+func TestSameSeriesSharedHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "", Labels{"a": "1", "b": "2"})
+	b := r.Counter("test_total", "", Labels{"b": "2", "a": "1"}) // same set, other order
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles not shared")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_x", "", nil)
+}
+
+func TestSetEnabledDropsUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "", nil)
+	g := r.Gauge("test_g", "", nil)
+	h := r.Histogram("test_h", "", nil, []float64{1})
+	r.SetEnabled(false)
+	c.Inc()
+	g.Set(9)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded updates: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled registry dropped update")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "requests served", Labels{"kind": "sorted"}).Add(7)
+	r.Counter("demo_requests_total", "requests served", Labels{"kind": `we"ird\x`}).Inc()
+	r.Gauge("demo_sessions_open", "open sessions", nil).Set(3)
+	h := r.Histogram("demo_latency_seconds", "latency", Labels{"kind": "probe"}, []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	for _, want := range []string{
+		"# HELP demo_requests_total requests served\n# TYPE demo_requests_total counter\n",
+		`demo_requests_total{kind="sorted"} 7`,
+		`demo_requests_total{kind="we\"ird\\x"} 1`,
+		"# TYPE demo_sessions_open gauge",
+		"demo_sessions_open 3",
+		`demo_latency_seconds_bucket{kind="probe",le="0.01"} 1`,
+		`demo_latency_seconds_bucket{kind="probe",le="0.1"} 2`,
+		`demo_latency_seconds_bucket{kind="probe",le="+Inf"} 3`,
+		`demo_latency_seconds_sum{kind="probe"} 2.055`,
+		`demo_latency_seconds_count{kind="probe"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition([]byte(text)); err != nil {
+		t.Fatalf("own exposition failed validation: %v\n%s", err, text)
+	}
+}
+
+func TestHandlerServesTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_total", "d", nil).Add(2)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var samples []Sample
+	if err := json.NewDecoder(resp2.Body).Decode(&samples); err != nil {
+		t.Fatalf("JSON snapshot did not decode: %v", err)
+	}
+	if len(samples) != 1 || samples[0].Name != "demo_total" || samples[0].Value != 2 {
+		t.Fatalf("snapshot = %+v", samples)
+	}
+}
+
+func TestSnapshotHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("demo_bytes", "", Labels{"dir": "rx"}, []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d samples", len(snaps))
+	}
+	s := snaps[0]
+	if s.Type != "histogram" || s.Count != 3 || s.Sum != 555 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Buckets) != 3 || s.Buckets[0] != 1 || s.Buckets[1] != 1 || s.Buckets[2] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	if s.Labels["dir"] != "rx" {
+		t.Fatalf("labels = %v", s.Labels)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":           "foo 1\n",
+		"bad type":          "# TYPE foo widget\nfoo 1\n",
+		"dup family":        "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"bad value":         "# TYPE foo counter\nfoo abc\n",
+		"bad label":         "# TYPE foo counter\nfoo{x=1} 1\n",
+		"unterminated":      "# TYPE foo counter\nfoo{x=\"1} 1\n",
+		"bucket without le": "# TYPE foo histogram\nfoo_bucket{x=\"1\"} 1\n",
+		"empty":             "",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition([]byte(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+	ok := "# HELP foo help text\n# TYPE foo histogram\n" +
+		"foo_bucket{le=\"0.1\"} 1\nfoo_bucket{le=\"+Inf\"} 2\nfoo_sum 3.5\nfoo_count 2\n" +
+		"# TYPE bar counter\nbar{k=\"v\",k2=\"a\\\"b\"} 12 1700000000\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("validator rejected well-formed exposition: %v", err)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "", nil)
+	h := r.Histogram("test_h", "", nil, LatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

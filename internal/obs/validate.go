@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidateExposition checks that data parses as Prometheus text
+// exposition format 0.0.4 and returns the first malformed line as an
+// error. Beyond per-line syntax it enforces the structural rules a
+// scraper relies on: a sample's metric must have been declared by a
+// preceding # TYPE (allowing the _bucket/_sum/_count suffixes for
+// histogram and summary families), no family may be declared twice,
+// and histogram families must carry an le label on their buckets.
+//
+// Both the exposition-format test and the promcheck CI tool (which
+// scrapes a real topk-owner) funnel through this one implementation,
+// so what the tests accept and what CI accepts cannot drift apart.
+func ValidateExposition(data []byte) error {
+	types := make(map[string]string) // family -> declared type
+	samples := 0
+	for n, line := range strings.Split(string(data), "\n") {
+		lineno := n + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := validateSample(line, types); err != nil {
+			return fmt.Errorf("line %d: %w", lineno, err)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+func validateComment(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment: legal, ignored
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("HELP without metric name: %q", line)
+		}
+		if err := checkMetricName(fields[2]); err != nil {
+			return err
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE needs a metric name and a type: %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if err := checkMetricName(name); err != nil {
+			return err
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("family %s declared twice", name)
+		}
+		types[name] = typ
+	}
+	return nil
+}
+
+func validateSample(line string, types map[string]string) error {
+	rest := line
+	// Metric name.
+	end := 0
+	for end < len(rest) && isNameChar(rest[end], end) {
+		end++
+	}
+	if end == 0 {
+		return fmt.Errorf("sample does not start with a metric name: %q", line)
+	}
+	name := rest[:end]
+	rest = rest[end:]
+
+	// Optional label block.
+	var labels map[string]string
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		labels, rest, err = parseLabelBlock(rest)
+		if err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+	}
+
+	// Mandatory value, optional timestamp.
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected value [timestamp] after metric, got %q", rest)
+	}
+	if !validFloat(fields[0]) {
+		return fmt.Errorf("invalid sample value %q", fields[0])
+	}
+	if len(fields) == 2 && !validInt(fields[1]) {
+		return fmt.Errorf("invalid timestamp %q", fields[1])
+	}
+
+	// The family must be declared, directly or via a histogram/summary
+	// suffix of a declared family.
+	family, suffix := name, ""
+	if _, ok := types[name]; !ok {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, s); base != name {
+				if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+					family, suffix = base, s
+					break
+				}
+			}
+		}
+	}
+	typ, ok := types[family]
+	if !ok {
+		return fmt.Errorf("sample %s has no preceding # TYPE declaration", name)
+	}
+	if typ == "histogram" && suffix == "_bucket" {
+		if _, ok := labels["le"]; !ok {
+			return fmt.Errorf("histogram bucket %s missing le label", name)
+		}
+	}
+	return nil
+}
+
+func parseLabelBlock(rest string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest = rest[1:] // consume '{'
+	for {
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		// Label name.
+		end := 0
+		for end < len(rest) && isLabelChar(rest[end], end) {
+			end++
+		}
+		if end == 0 {
+			return nil, "", fmt.Errorf("expected label name at %q", rest)
+		}
+		name := rest[:end]
+		rest = rest[end:]
+		if !strings.HasPrefix(rest, `="`) {
+			return nil, "", fmt.Errorf(`expected ="value" after label %s`, name)
+		}
+		rest = rest[2:]
+		// Quoted, escaped value.
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return nil, "", fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, "", fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch rest[i+1] {
+				case '\\', '"', 'n':
+					val.WriteByte(rest[i+1])
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %s", rest[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+		rest = rest[i:]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if !strings.HasPrefix(rest, "}") {
+			return nil, "", fmt.Errorf("expected , or } after label %s", name)
+		}
+	}
+}
+
+func isNameChar(c byte, i int) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(i > 0 && c >= '0' && c <= '9')
+}
+
+func isLabelChar(c byte, i int) bool {
+	return c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(i > 0 && c >= '0' && c <= '9')
+}
+
+func validFloat(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "Inf", "NaN":
+		return true
+	}
+	seenDigit, seenDot, seenExp := false, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			seenDigit = true
+		case (c == '+' || c == '-') && (i == 0 || (s[i-1] == 'e' || s[i-1] == 'E')):
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && seenDigit && !seenExp:
+			seenExp = true
+		default:
+			return false
+		}
+	}
+	return seenDigit
+}
+
+func validInt(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c == '-' || c == '+') && i == 0 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -12,7 +12,8 @@
 //	                   the restricted-access TAz/BPAz variants)
 //	/v1/dist           run a query under a distributed protocol (k,
 //	                   protocol, scoring, weights, tracker, restart —
-//	                   off/failed/always, the per-query restart policy)
+//	                   off/failed/always, the per-query restart policy;
+//	                   trace=1 adds a per-exchange span trace)
 //	                   and return answers plus the network accounting
 //	                   (messages, payload, rounds, per-owner traffic)
 //	                   and a recovery block (restarts, handoffs, failed
@@ -22,6 +23,10 @@
 //	                   remote HTTP owner cluster, one query session per
 //	                   request
 //	/v1/explain        the round-by-round threshold walkthrough as text
+//	/v1/health         the cluster client's per-replica health snapshot
+//	                   (404 without a cluster)
+//	/metrics           process-wide metrics, Prometheus text exposition
+//	                   (JSON with ?format=json)
 //
 // Errors are JSON {"error": "..."} with a 4xx/5xx status. The handler is
 // safe for concurrent use: the underlying database is immutable, every
@@ -44,6 +49,7 @@ import (
 	"time"
 
 	"topk"
+	"topk/internal/obs"
 	"topk/internal/transport"
 )
 
@@ -82,6 +88,8 @@ func NewWithCluster(db *topk.Database, cluster *topk.Cluster) (*Server, error) {
 	s.mux.HandleFunc("/v1/topk", s.handleTopK)
 	s.mux.HandleFunc("/v1/dist", s.handleDist)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/health", s.handleClusterHealth)
+	s.mux.Handle("/metrics", obs.Default.Handler())
 	return s, nil
 }
 
@@ -329,6 +337,25 @@ type distRecoveryBody struct {
 	FailedReplicas int `json:"failedReplicas"`
 }
 
+// distSpanBody mirrors topk.TraceSpan in JSON form, durations in
+// microseconds like the rest of the API.
+type distSpanBody struct {
+	Seq            int    `json:"seq"`
+	Round          int    `json:"round"`
+	Owner          int    `json:"owner"`
+	Replica        int    `json:"replica"`
+	URL            string `json:"url"`
+	Kind           string `json:"kind"`
+	Msgs           int    `json:"msgs"`
+	ReqBytes       int    `json:"reqBytes"`
+	RespBytes      int    `json:"respBytes"`
+	DurationMicros int64  `json:"durationMicros"`
+	Attempts       int    `json:"attempts"`
+	FailedOver     bool   `json:"failedOver,omitempty"`
+	Handoff        bool   `json:"handoff,omitempty"`
+	Err            string `json:"err,omitempty"`
+}
+
 // distBody is the /v1/dist response.
 type distBody struct {
 	Protocol string           `json:"protocol"`
@@ -336,6 +363,7 @@ type distBody struct {
 	Items    []itemBody       `json:"items"`
 	Net      distNetBody      `json:"net"`
 	Recovery distRecoveryBody `json:"recovery"`
+	Trace    []distSpanBody   `json:"trace,omitempty"`
 }
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
@@ -363,6 +391,16 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts = append(opts, topk.WithRestart(policy))
+	}
+	if tr := r.URL.Query().Get("trace"); tr != "" {
+		traced, err := strconv.ParseBool(tr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad trace %q: %v", tr, err)
+			return
+		}
+		if traced {
+			opts = append(opts, topk.WithTrace())
+		}
 	}
 	var res *topk.DistResult
 	if s.cluster != nil {
@@ -396,7 +434,53 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	for i, it := range res.Items {
 		body.Items[i] = itemBody{Item: int(it.Item), Name: it.Name, Score: it.Score}
 	}
+	if res.Stats.Trace != nil {
+		body.Trace = make([]distSpanBody, len(res.Stats.Trace))
+		for i, sp := range res.Stats.Trace {
+			body.Trace[i] = distSpanBody{
+				Seq: sp.Seq, Round: sp.Round, Owner: sp.Owner, Replica: sp.Replica,
+				URL: sp.URL, Kind: sp.Kind, Msgs: sp.Msgs,
+				ReqBytes: sp.ReqBytes, RespBytes: sp.RespBytes,
+				DurationMicros: sp.Duration.Microseconds(), Attempts: sp.Attempts,
+				FailedOver: sp.FailedOver, Handoff: sp.Handoff, Err: sp.Err,
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// healthBody is one replica's entry in the /v1/health response.
+type healthBody struct {
+	List          int    `json:"list"`
+	Replica       int    `json:"replica"`
+	URL           string `json:"url"`
+	Healthy       bool   `json:"healthy"`
+	LatencyMicros int64  `json:"latencyMicros"`
+	Failures      int64  `json:"failures"`
+	Failovers     int64  `json:"failovers"`
+}
+
+// handleClusterHealth reports the cluster client's per-replica view:
+// health verdicts, EWMA latencies and failover tallies. Without a
+// cluster there is nothing to report — 404, distinct from the liveness
+// probe /healthz which always answers.
+func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, "no cluster behind this server (in-process simulation)")
+		return
+	}
+	hs := s.cluster.Health()
+	out := make([]healthBody, len(hs))
+	for i, h := range hs {
+		out[i] = healthBody{
+			List: h.List, Replica: h.Replica, URL: h.URL, Healthy: h.Healthy,
+			LatencyMicros: h.Latency.Microseconds(), Failures: h.Failures, Failovers: h.Failovers,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]healthBody{"replicas": out})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

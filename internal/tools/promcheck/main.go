@@ -1,0 +1,90 @@
+// Command promcheck scrapes a /metrics endpoint (or reads an exposition
+// from stdin) and fails loudly if the payload is not well-formed
+// Prometheus text exposition — the CI guard that keeps the hand-rolled
+// exposition writer honest against real scrapers.
+//
+// Usage:
+//
+//	go run ./internal/tools/promcheck http://localhost:8080/metrics
+//	curl -s localhost:8080/metrics | go run ./internal/tools/promcheck
+//
+// Exit status 0 means the exposition parsed and every sample line
+// belongs to a declared family; anything else prints the first problem
+// found and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"topk/internal/obs"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 10*time.Second, "HTTP scrape timeout")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: promcheck [-timeout d] [URL]\nReads stdin when no URL is given.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		data []byte
+		src  string
+		err  error
+	)
+	if flag.NArg() == 1 {
+		src = flag.Arg(0)
+		data, err = scrape(src, *timeout)
+	} else {
+		src = "stdin"
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	if len(data) == 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: empty exposition\n", src)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: malformed exposition: %v\n", src, err)
+		os.Exit(1)
+	}
+	families := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+		}
+	}
+	fmt.Printf("promcheck: %s: ok (%d bytes, %d metric families)\n", src, len(data), families)
+}
+
+// scrape fetches url and returns the body of a 200 response.
+func scrape(url string, timeout time.Duration) ([]byte, error) {
+	c := &http.Client{Timeout: timeout}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}

@@ -198,10 +198,27 @@ type concurrentSession struct {
 
 	mu      sync.Mutex
 	elapsed time.Duration
+
+	// rec collects per-exchange trace spans when armed (SpanRecording).
+	// Span durations are the latency model's virtual costs — the same
+	// clock Elapsed runs on.
+	rec *SpanRecorder
 }
 
 // ID returns the session ID.
 func (s *concurrentSession) ID() string { return s.sid }
+
+// SetSpanRecorder arms (or, with nil, disarms) per-exchange tracing.
+func (s *concurrentSession) SetSpanRecorder(r *SpanRecorder) { s.rec = r }
+
+// record traces one served exchange under the virtual clock.
+func (s *concurrentSession) record(owner int, req Request, cost time.Duration, err error) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Record(Span{Owner: owner, Replica: -1, URL: "concurrent", Kind: req.Kind(),
+		Msgs: logicalMessages(req), Duration: cost, Attempts: 1, Err: errString(err)})
+}
 
 // addElapsed advances the session's virtual clock.
 func (s *concurrentSession) addElapsed(d time.Duration) {
@@ -228,9 +245,11 @@ func (s *concurrentSession) Do(ctx context.Context, owner int, req Request) (Res
 	select {
 	case r := <-reply:
 		if r.err != nil {
+			s.record(owner, req, 0, r.err)
 			return nil, r.err
 		}
 		s.addElapsed(r.cost)
+		s.record(owner, req, r.cost, nil)
 		return r.resp, nil
 	case <-s.t.done:
 		return nil, errClosed
@@ -291,12 +310,14 @@ collect:
 		select {
 		case r := <-replies[idx]:
 			if r.err != nil {
+				s.record(calls[idx].Owner, calls[idx].Req, 0, r.err)
 				if firstErr == nil {
 					firstErr = r.err
 				}
 				continue
 			}
 			out[idx] = r.resp
+			s.record(calls[idx].Owner, calls[idx].Req, r.cost, nil)
 			perOwner[calls[idx].Owner] += r.cost
 		case <-s.t.done:
 			if firstErr == nil {

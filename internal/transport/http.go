@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"topk/internal/bestpos"
 	"topk/internal/list"
+	"topk/internal/obs"
 )
 
 // The HTTP backend: a real owner server (one list per process) and an
@@ -89,6 +91,9 @@ func NewServer(db *list.Database, index int) (*Server, error) {
 	s.mux.HandleFunc("/reset", s.handleReset)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	// The process-wide metrics registry: Prometheus text exposition by
+	// default, the JSON snapshot under ?format=json.
+	s.mux.Handle("/metrics", obs.Default.Handler())
 	return s, nil
 }
 
@@ -291,6 +296,19 @@ func appendAll(dst []byte, r io.Reader) ([]byte, error) {
 	}
 }
 
+// countingWriter counts response-body bytes for the wire-bytes
+// metrics; the data plane writes bodies in one Write either way.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
@@ -302,6 +320,9 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind := Kind(strings.TrimPrefix(r.URL.Path, "/rpc/"))
+	cw := &countingWriter{ResponseWriter: w}
+	w = cw
+	start := time.Now()
 	buf := getBuf()
 	defer putBuf(buf)
 	// Read one byte past the limit so an oversize body is a clear 413,
@@ -334,6 +355,22 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Per-kind serving metrics: charged after the response is written,
+	// on the kind the wire actually carried. Never visible to the
+	// paper's accounting — the probe's tally is computed inside the
+	// handler exactly as before.
+	served := false
+	defer func() {
+		mOwnerWireBytes.add(binaryWire, int64(len(body)), cw.n)
+		if !served {
+			if c := mOwnerExchangeErrs[kind]; c != nil {
+				c.Inc()
+			}
+			return
+		}
+		mOwnerExchanges[kind].Inc()
+		mOwnerExchangeSec[kind].Observe(time.Since(start).Seconds())
+	}()
 	resp, err := s.owner.Handle(sid, req)
 	if err != nil {
 		// Owner errors are malformed requests (bad position, bad item)
@@ -351,11 +388,13 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "transport: encode response: %v", err)
 			return
 		}
+		served = true
 		w.Header().Set("Content-Type", ContentTypeBinary)
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(enc)
 		return
 	}
+	served = true
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -435,6 +474,10 @@ type DialConfig struct {
 	// pre-handoff behaviour, kept for callers that prefer whole-query
 	// restarts (or measure the mirroring overhead).
 	DisableHandoff bool
+	// Logger receives the client's structured recovery narration:
+	// replica health transitions, session handoffs, mirror promotions.
+	// nil discards it.
+	Logger *slog.Logger
 }
 
 // DefaultRetries is the retry budget of a replayable exchange when the
@@ -473,6 +516,10 @@ type HTTPClient struct {
 	probeCancel context.CancelFunc
 	proberDone  chan struct{}
 	closeOnce   sync.Once
+
+	// log narrates recovery events (health transitions, handoffs,
+	// promotions). Never nil; set once at dial.
+	log *slog.Logger
 }
 
 // defaultHTTPClient builds the pooled client Dial uses when the caller
@@ -536,6 +583,10 @@ func Dial(ctx context.Context, cfg DialConfig) (*HTTPClient, error) {
 	if hc == nil {
 		hc = defaultHTTPClient()
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	t := &HTTPClient{
 		lists:      make([][]*replica, len(topo)),
 		hc:         hc,
@@ -545,6 +596,7 @@ func Dial(ctx context.Context, cfg DialConfig) (*HTTPClient, error) {
 		replicated: topo.Replicated(),
 		noHandoff:  cfg.DisableHandoff,
 		rr:         make([]atomic.Uint32, len(topo)),
+		log:        logger,
 	}
 	if t.reqTimeout <= 0 {
 		t.reqTimeout = DefaultTimeout
@@ -559,7 +611,9 @@ func Dial(ctx context.Context, cfg DialConfig) (*HTTPClient, error) {
 	for li, reps := range topo {
 		t.lists[li] = make([]*replica, len(reps))
 		for ri, u := range reps {
-			t.lists[li][ri] = &replica{list: li, index: ri, url: NormalizeOwnerURL(u)}
+			r := &replica{list: li, index: ri, url: NormalizeOwnerURL(u)}
+			r.mHealthy, r.mEwma = replicaGauges(li, ri)
+			t.lists[li][ri] = r
 		}
 	}
 	if err := t.handshake(ctx); err != nil {
@@ -673,7 +727,7 @@ func (t *HTTPClient) handshake(ctx context.Context) error {
 			}
 			allBinary = allBinary && advertisesBinary(v.st)
 			r.validated.Store(true)
-			r.healthy.Store(true)
+			t.noteHealth(r, true)
 			r.observe(v.dur)
 			reachable++
 		}
@@ -1021,6 +1075,9 @@ func (t *HTTPClient) Open(ctx context.Context, tracker bestpos.Kind) (Session, e
 			return nil, firstErr
 		}
 	}
+	mClientSessOpened.Inc()
+	mClientSessionsOpen.Add(1)
+	s.counted = true
 	return s, nil
 }
 
@@ -1051,10 +1108,23 @@ type httpSession struct {
 
 	// handoffs counts pin-to-mirror promotions across all lists.
 	handoffs atomic.Int64
+
+	// rec collects per-exchange trace spans when the query is traced;
+	// nil otherwise. Armed via SetSpanRecorder before the first
+	// exchange (the SpanRecording contract), read without locks.
+	rec *SpanRecorder
+
+	// counted marks the session charged to the open-sessions gauge;
+	// closed makes the matching decrement fire exactly once.
+	counted bool
+	closed  atomic.Bool
 }
 
 // ID returns the session ID.
 func (s *httpSession) ID() string { return s.sid }
+
+// SetSpanRecorder arms (or, with nil, disarms) per-exchange tracing.
+func (s *httpSession) SetSpanRecorder(r *SpanRecorder) { s.rec = r }
 
 func (s *httpSession) addElapsed(d time.Duration) {
 	s.mu.Lock()
@@ -1207,8 +1277,9 @@ func (s *httpSession) syncMirror(ctx context.Context, li int, resp Response) {
 	// re-pick the replica that just failed; the prober revives it. Then
 	// try to promote a replacement from the pin's full state.
 	s.noteFailed(li, m.index)
-	m.failures.Add(1)
-	m.healthy.Store(false)
+	m.noteFailure()
+	s.t.noteHealth(m, false)
+	s.t.log.Warn("mirror lost sync", "sid", s.sid, "list", li, "replica", m.index, "url", m.url, "err", err)
 	var re *RemoteError
 	if errors.As(err, &re) && re.Status == http.StatusNotFound {
 		s.dropOpen(li, m.index)
@@ -1259,15 +1330,21 @@ func (s *httpSession) promoteMirror(ctx context.Context, li int) {
 	if err := s.t.doJSON(bctx, cand, http.MethodPost, "/session/sync",
 		syncBody{SID: s.sid, Ranges: st.Ranges, Depth: st.Depth}, nil); err != nil {
 		s.noteFailed(li, cand.index)
-		cand.failures.Add(1)
-		cand.healthy.Store(false)
+		cand.noteFailure()
+		s.t.noteHealth(cand, false)
 		return
 	}
 	ls.mu.Lock()
+	installed := false
 	if ls.mirror == nil && ls.pin == pin && ls.open[cand.index] {
 		ls.mirror = cand
+		installed = true
 	}
 	ls.mu.Unlock()
+	if installed {
+		mClientPromotions.Inc()
+		s.t.log.Info("mirror promoted", "sid", s.sid, "list", li, "replica", cand.index, "url", cand.url)
+	}
 }
 
 // handoff re-pins the session for list li to its synced mirror after
@@ -1299,6 +1376,9 @@ func (s *httpSession) handoff(ctx context.Context, li int, failed *replica) *rep
 		return nil
 	}
 	s.handoffs.Add(1)
+	mClientHandoffs.Inc()
+	s.t.log.Info("session handoff", "sid", s.sid, "list", li,
+		"from", failed.url, "to", next.url)
 	s.promoteMirror(ctx, li)
 	return next
 }
@@ -1317,15 +1397,18 @@ func (s *httpSession) recordAccess(li int, req Request, resp Response) {
 }
 
 // attemptRPC performs one data-plane round-trip with one replica in the
-// session's wire codec. Both bodies pass through pooled buffers; decoded
-// messages own their memory, so nothing aliases a pooled slice after
-// return.
-func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, body []byte, binary bool) (Response, int, error) {
+// session's wire codec, reporting the encoded response size alongside
+// the decoded message (tracing and the wire-bytes metrics want the
+// on-the-wire count, which only this frame sees). Both bodies pass
+// through pooled buffers; decoded messages own their memory, so nothing
+// aliases a pooled slice after return.
+func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, body []byte, binary bool) (Response, int, int, error) {
 	ct := ContentTypeJSON
 	if binary {
 		ct = ContentTypeBinary
 	}
 	var out Response
+	respBytes := 0
 	status, err := s.t.attempt(ctx, http.MethodPost, r.url+s.rpcPath(kind), body, ct, func(rd io.Reader) error {
 		dec := getBuf()
 		defer putBuf(dec)
@@ -1334,6 +1417,7 @@ func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, bod
 		if rerr != nil {
 			return rerr
 		}
+		respBytes = len(data)
 		var derr error
 		if binary {
 			out, derr = DecodeResponseBinary(data)
@@ -1342,7 +1426,7 @@ func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, bod
 		}
 		return derr
 	})
-	return out, status, err
+	return out, respBytes, status, err
 }
 
 // exchange performs one logical exchange with the owner of a list,
@@ -1362,12 +1446,11 @@ func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, bod
 //     its advanced cursor is never observed again). Only when no synced
 //     mirror exists (flat list, handoff disabled, or every sibling
 //     gone) does the failure surface as OwnerFailedError.
-func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Response, error) {
+func (s *httpSession) exchange(ctx context.Context, li int, req Request) (_ Response, err error) {
 	kind := req.Kind()
 	binary := s.t.binaryWire()
 	enc := getBuf()
 	defer putBuf(enc)
-	var err error
 	if binary {
 		*enc, err = AppendRequestBinary(*enc, req)
 	} else {
@@ -1387,6 +1470,33 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 	if target == nil {
 		return nil, fmt.Errorf("transport: owner %d: no routable replica", li)
 	}
+
+	// Exchange-level observability: one metrics charge and — when the
+	// query is traced — one Span per logical exchange, fed by the
+	// attempt loop below. Neither touches Net or the access ledger;
+	// the paper's accounting is computed exactly as before.
+	var (
+		reqLen     = len(*enc)
+		respBytes  = 0
+		attempted  = 0
+		didHandoff = false
+	)
+	failedOver := false
+	exStart := time.Now()
+	defer func() {
+		observeExchangeMetrics(kind, binary, time.Since(exStart), reqLen, respBytes, attempted, failedOver, err)
+		if s.rec == nil {
+			return
+		}
+		sp := Span{Owner: li, Replica: -1, Kind: kind, Msgs: logicalMessages(req),
+			ReqBytes: reqLen, RespBytes: respBytes, Duration: time.Since(exStart),
+			Attempts: attempted, FailedOver: failedOver, Handoff: didHandoff,
+			Err: errString(err)}
+		if target != nil {
+			sp.Replica, sp.URL = target.index, target.url
+		}
+		s.rec.Record(sp)
+	}()
 
 	// attemptsFor is the per-target attempt budget; a handoff re-arms it
 	// for the fresh pin (handoffs themselves are bounded by the replica
@@ -1414,8 +1524,6 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 	}
 	attempts := attemptsFor()
 	var tried []bool
-	failedOver := false
-	attempted := false
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
@@ -1424,12 +1532,13 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 			}
 			break
 		}
-		attempted = true
+		attempted++
 		start := time.Now()
-		resp, status, err := s.attemptRPC(ctx, target, kind, *enc, binary)
+		resp, rb, status, err := s.attemptRPC(ctx, target, kind, *enc, binary)
 		if err == nil {
+			respBytes = rb
 			target.observe(time.Since(start))
-			target.healthy.Store(true)
+			s.t.noteHealth(target, true)
 			if failedOver {
 				target.failovers.Add(1)
 			}
@@ -1453,8 +1562,8 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 			return nil, fmt.Errorf("transport: owner %d (%s): %w", li, target.url, err)
 		}
 		if !sessionLost {
-			target.failures.Add(1)
-			target.healthy.Store(false)
+			target.noteFailure()
+			s.t.noteHealth(target, false)
 		}
 		s.noteFailed(li, target.index)
 		if sessionful {
@@ -1468,6 +1577,7 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 			if next := s.handoff(ctx, li, target); next != nil {
 				target = next
 				failedOver = true
+				didHandoff = true
 				attempts = attemptsFor()
 				a = -1 // fresh attempt budget on the new pin
 				continue
@@ -1496,7 +1606,7 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (Respon
 		// "rerun me" OwnerFailedError contract.
 		return nil, fmt.Errorf("transport: owner %d (%s): %w", li, target.url, cerr)
 	}
-	if !attempted || !sessionful {
+	if attempted == 0 || !sessionful {
 		// A stateless exchange ran out of replicas to fail over to —
 		// rerunning the query would pin to the same dead set, so this
 		// is not the typed failure either.
@@ -1663,6 +1773,9 @@ const closeTimeout = 2 * time.Second
 // first failure — callers tearing down after a replica crash should
 // expect (and may ignore) one.
 func (s *httpSession) Close() error {
+	if s.closed.CompareAndSwap(false, true) && s.counted {
+		mClientSessionsOpen.Add(-1)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
 	defer cancel()
 	var (

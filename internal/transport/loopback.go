@@ -68,10 +68,16 @@ func (t *Loopback) Close() error { return nil }
 type loopbackSession struct {
 	t   *Loopback
 	sid string
+
+	// rec collects per-exchange trace spans when armed (SpanRecording).
+	rec *SpanRecorder
 }
 
 // ID returns the session ID.
 func (s *loopbackSession) ID() string { return s.sid }
+
+// SetSpanRecorder arms (or, with nil, disarms) per-exchange tracing.
+func (s *loopbackSession) SetSpanRecorder(r *SpanRecorder) { s.rec = r }
 
 // Do serves the exchange inline; a canceled ctx aborts before the owner
 // is touched.
@@ -82,7 +88,15 @@ func (s *loopbackSession) Do(ctx context.Context, owner int, req Request) (Respo
 	if err := s.t.checkOwner(owner); err != nil {
 		return nil, err
 	}
-	return s.t.owners[owner].Handle(s.sid, req)
+	if s.rec == nil {
+		return s.t.owners[owner].Handle(s.sid, req)
+	}
+	start := time.Now()
+	resp, err := s.t.owners[owner].Handle(s.sid, req)
+	// In-process: no replica, no serialization — replica -1, zero bytes.
+	s.rec.Record(Span{Owner: owner, Replica: -1, URL: "loopback", Kind: req.Kind(),
+		Msgs: logicalMessages(req), Duration: time.Since(start), Attempts: 1, Err: errString(err)})
+	return resp, err
 }
 
 // DoAll serves the calls sequentially in order.

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -105,6 +106,11 @@ type Owner struct {
 	ttl       time.Duration // idle bound; <= 0 disables eviction
 	nextSweep time.Time
 	evictions int64
+
+	// log narrates session lifecycle (open/close/evict) for operators.
+	// Never nil — a discard logger until SetLogger installs a real one —
+	// and write-once before serving, so handlers read it without locks.
+	log *slog.Logger
 }
 
 // NewOwner returns the owner of list index of db, ready to serve query
@@ -128,7 +134,20 @@ func NewOwner(db *list.Database, index int) (*Owner, error) {
 		db:       own,
 		sessions: make(map[string]*ownerSession),
 		ttl:      DefaultSessionTTL,
+		log:      slog.New(slog.DiscardHandler),
 	}, nil
+}
+
+// SetLogger installs a structured logger for the owner's session
+// lifecycle events (open, close, evict). nil restores the discard
+// logger. Install before serving traffic, like SetSessionTTL.
+func (o *Owner) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.log = l.With("list", o.index)
 }
 
 // SetSessionTTL changes the idle bound after which a session is evicted
@@ -171,9 +190,12 @@ func (o *Owner) sweepLocked(now time.Time) {
 	}
 	o.nextSweep = now.Add(o.ttl / 4)
 	for sid, s := range o.sessions {
-		if now.Sub(s.lastUsed) > o.ttl {
+		if idle := now.Sub(s.lastUsed); idle > o.ttl {
 			delete(o.sessions, sid)
 			o.evictions++
+			mOwnerSessEvicted.Inc()
+			mOwnerSessionsOpen.Add(-1)
+			o.log.Info("session evicted", "sid", sid, "idle", idle)
 		}
 	}
 }
@@ -191,7 +213,8 @@ func (o *Owner) Open(sid string, kind bestpos.Kind) error {
 	defer o.mu.Unlock()
 	now := time.Now()
 	o.sweepLocked(now)
-	if _, ok := o.sessions[sid]; !ok && len(o.sessions) >= MaxSessions {
+	_, existed := o.sessions[sid]
+	if !existed && len(o.sessions) >= MaxSessions {
 		return fmt.Errorf("transport: owner %d: session limit %d reached", o.index, MaxSessions)
 	}
 	o.sessions[sid] = &ownerSession{
@@ -199,6 +222,11 @@ func (o *Owner) Open(sid string, kind bestpos.Kind) error {
 		tr:       bestpos.New(kind, o.n),
 		lastUsed: now,
 	}
+	if !existed {
+		mOwnerSessOpened.Inc()
+		mOwnerSessionsOpen.Add(1)
+	}
+	o.log.Debug("session opened", "sid", sid, "reopen", existed)
 	return nil
 }
 
@@ -207,7 +235,13 @@ func (o *Owner) Open(sid string, kind bestpos.Kind) error {
 func (o *Owner) CloseSession(sid string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if _, ok := o.sessions[sid]; !ok {
+		return
+	}
 	delete(o.sessions, sid)
+	mOwnerSessClosed.Inc()
+	mOwnerSessionsOpen.Add(-1)
+	o.log.Debug("session closed", "sid", sid)
 }
 
 // Sessions reports how many sessions are currently open.
@@ -320,6 +354,7 @@ func (o *Owner) SyncSession(sid string, positions []int, ranges [][2]int, depth 
 	if depth > s.depth {
 		s.depth = depth
 	}
+	mOwnerSessionSyncs.Inc()
 	return nil
 }
 

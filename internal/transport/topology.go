@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"topk/internal/obs"
 )
 
 // This file is the replica-aware half of the HTTP backend: the cluster
@@ -179,6 +181,19 @@ type replica struct {
 	// failovers counts exchanges this replica served after a sibling
 	// replica failed them first.
 	failovers atomic.Int64
+
+	// mHealthy and mEwma are this replica's cached obs gauge handles
+	// (topk_client_replica_healthy, topk_client_probe_ewma_seconds),
+	// installed at dial so the hot path never touches the registry.
+	// nil on replicas built outside Dial (tests).
+	mHealthy *obs.Gauge
+	mEwma    *obs.Gauge
+}
+
+// noteFailure tallies one transport-level failure against the replica.
+func (r *replica) noteFailure() {
+	r.failures.Add(1)
+	mClientReplicaFails.Inc()
 }
 
 // observe folds one latency sample into the EWMA.
@@ -196,9 +211,35 @@ func (r *replica) observe(d time.Duration) {
 			}
 		}
 		if r.ewma.CompareAndSwap(old, next) {
+			if r.mEwma != nil {
+				r.mEwma.Set(time.Duration(next).Seconds())
+			}
 			return
 		}
 	}
+}
+
+// noteHealth records a replica health verdict; only an actual change
+// of verdict moves the transition counter, the per-replica gauge and
+// the structured log — the hot path's redundant "still healthy"
+// confirmations cost one atomic swap.
+func (t *HTTPClient) noteHealth(r *replica, healthy bool) {
+	if r.healthy.Swap(healthy) == healthy {
+		return
+	}
+	if healthy {
+		if r.mHealthy != nil {
+			r.mHealthy.Set(1)
+		}
+		mClientHealthUp.Inc()
+		t.log.Info("replica healthy", "list", r.list, "replica", r.index, "url", r.url)
+		return
+	}
+	if r.mHealthy != nil {
+		r.mHealthy.Set(0)
+	}
+	mClientHealthDown.Inc()
+	t.log.Warn("replica unhealthy", "list", r.list, "replica", r.index, "url", r.url)
 }
 
 // ReplicaHealth is one replica's state as seen by the client — the
@@ -302,7 +343,7 @@ func (t *HTTPClient) probeReplica(ctx context.Context, r *replica) {
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, r.url+"/healthz", nil)
 	if err != nil {
-		r.healthy.Store(false)
+		t.noteHealth(r, false)
 		return
 	}
 	start := time.Now()
@@ -316,10 +357,10 @@ func (t *HTTPClient) probeReplica(ctx context.Context, r *replica) {
 	}
 	if err == nil && resp.StatusCode == http.StatusOK {
 		r.observe(time.Since(start))
-		r.healthy.Store(true)
+		t.noteHealth(r, true)
 		return
 	}
-	r.healthy.Store(false)
+	t.noteHealth(r, false)
 }
 
 // validateReplica runs the dial-time shape handshake against a replica
@@ -341,7 +382,7 @@ func (t *HTTPClient) validateReplica(ctx context.Context, r *replica) {
 	}
 	r.validated.Store(true)
 	r.observe(time.Since(start))
-	r.healthy.Store(true)
+	t.noteHealth(r, true)
 }
 
 // route picks the replica of list to address next under the client's

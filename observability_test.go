@@ -1,0 +1,123 @@
+package topk
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"topk/internal/obs"
+)
+
+// TestExecDistributedTrace: WithTrace records one span per wire
+// exchange over the in-process simulation, and runs without the option
+// carry no trace. The traced run's answers and accounting stay
+// bit-identical to the untraced run's.
+func TestExecDistributedTrace(t *testing.T) {
+	db, err := Generate(GenSpec{Kind: GenUniform, N: 200, M: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, p := range Protocols() {
+		t.Run(p.String(), func(t *testing.T) {
+			plain, err := db.ExecDistributed(ctx, Query{K: 8}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Stats.Trace != nil {
+				t.Fatalf("untraced run carries %d spans", len(plain.Stats.Trace))
+			}
+			traced, err := db.ExecDistributed(ctx, Query{K: 8}, p, WithTrace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(traced.Items, plain.Items) {
+				t.Error("tracing changed the answers")
+			}
+			if !reflect.DeepEqual(traced.Stats.Net, plain.Stats.Net) {
+				t.Errorf("tracing perturbed Net: %+v vs %+v", traced.Stats.Net, plain.Stats.Net)
+			}
+			if int64(len(traced.Stats.Trace)) != traced.Stats.Net.Exchanges {
+				t.Errorf("trace has %d spans, want Net.Exchanges = %d",
+					len(traced.Stats.Trace), traced.Stats.Net.Exchanges)
+			}
+			var msgs int64
+			for _, sp := range traced.Stats.Trace {
+				if sp.Owner < 0 || sp.Owner >= db.M() || sp.Kind == "" {
+					t.Errorf("malformed span %+v", sp)
+				}
+				msgs += int64(sp.Msgs)
+			}
+			if msgs*2 != traced.Stats.Net.Messages {
+				t.Errorf("spans carry %d logical requests, want Net.Messages/2 = %d",
+					msgs, traced.Stats.Net.Messages/2)
+			}
+		})
+	}
+}
+
+// TestRestartAccountingParityObserved is TestRestartAccountingParity
+// with the observability layer fully on — metrics enabled and the
+// query traced: a mid-query hiccup plus a whole-query restart must
+// still leave answers and primary accounting bit-identical to the
+// undisturbed simulation, and the trace covers exactly the completing
+// attempt.
+func TestRestartAccountingParityObserved(t *testing.T) {
+	prev := obs.Default.Enabled()
+	obs.Default.SetEnabled(true)
+	t.Cleanup(func() { obs.Default.SetEnabled(prev) })
+
+	db, err := Generate(GenSpec{Kind: GenUniform, N: 200, M: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Query{K: 8}
+	for _, p := range Protocols() {
+		t.Run(p.String(), func(t *testing.T) {
+			want, err := db.ExecDistributed(ctx, q, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := dialFlatWithGates(t, db,
+				ClusterConfig{Retries: -1, Restart: RestartAlways},
+				func(li int, h http.Handler) http.Handler {
+					if li == 0 {
+						return &hiccupGate{inner: h, n: 2}
+					}
+					return h
+				})
+			got, err := c.Exec(ctx, q, p, WithTrace())
+			if err != nil {
+				t.Fatalf("restarted query failed: %v", err)
+			}
+			if got.Stats.Recovery.Restarts != 1 {
+				t.Fatalf("restarts = %d, want 1 — the hiccup never fired and the test proved nothing", got.Stats.Recovery.Restarts)
+			}
+			for i := range want.Items {
+				if got.Items[i].Item != want.Items[i].Item || got.Items[i].Score != want.Items[i].Score {
+					t.Errorf("answer %d: %+v vs undisturbed %+v", i, got.Items[i], want.Items[i])
+				}
+			}
+			gn, wn := got.Stats.Net, want.Stats.Net
+			gn.Elapsed, wn.Elapsed = 0, 0 // real time vs simulated zero
+			if !reflect.DeepEqual(gn, wn) {
+				t.Errorf("primary accounting diverged with observability on:\n%+v\nvs undisturbed\n%+v", gn, wn)
+			}
+			// The trace describes the completing attempt — the one Net
+			// accounts for — not the abandoned one.
+			if int64(len(got.Stats.Trace)) != gn.Exchanges {
+				t.Errorf("trace has %d spans, want Net.Exchanges = %d", len(got.Stats.Trace), gn.Exchanges)
+			}
+			for _, sp := range got.Stats.Trace {
+				if sp.Err != "" {
+					t.Errorf("completing attempt's trace carries a failed span: %+v", sp)
+				}
+				if sp.URL == "" || sp.Replica < 0 {
+					t.Errorf("cluster span missing replica/url: %+v", sp)
+				}
+			}
+		})
+	}
+}
