@@ -361,6 +361,43 @@
 // net/http/pprof mux on a separate listener for CPU and heap profiles
 // under load.
 //
+// # Storage
+//
+// Four interchangeable ways to put a database in front of the
+// algorithms; owners accept each behind exactly one flag, and every
+// input yields bit-identical answers and access counts:
+//
+//	-gen     generate in process      RAM-resident   deterministic per (spec, seed); no file at all
+//	-csv     CSV column form          RAM-resident   interop with external tools (topk-gen -csv writes it)
+//	-db      binary format            RAM-resident   compact, CRC-checked; loaded in one pass with bounded scratch
+//	-stripe  striped columnar store   disk-resident  served from the file through a bounded cache; warm restarts
+//
+// The stripe format (internal/store/stripe) cuts each sorted list into
+// fixed-capacity columnar stripes — entries by position, with per-stripe
+// min/max score fences — plus id→position pages for random access, all
+// indexed by a footer. Opening reads only the footer: data blocks are
+// fetched on demand with pread into an LRU cache whose byte budget is
+// -stripe-cache (default 64 MiB). The budget is a hard ceiling on the
+// accounted decoded bytes resident — insertion evicts first, and a block
+// larger than the whole budget is served uncached — so an owner's memory
+// stays bounded no matter how large its lists are. Score fences let a
+// threshold seek touch one stripe instead of scanning; none of this
+// changes what an algorithm is charged, which is how the parity suites
+// can hold disk-backed runs bit-identical to RAM ones.
+//
+// A warm-restarting owner, end to end:
+//
+//	topk-gen -kind uniform -n 1000000 -m 4 -stripe -o lists.stripe
+//	topk-owner -stripe lists.stripe -stripe-cache 33554432 -list 0 -addr localhost:9001
+//	# ... kill it; restarting reopens the footer only — no reload,
+//	# first queries repopulate the cache on demand:
+//	topk-owner -stripe lists.stripe -stripe-cache 33554432 -list 0 -addr localhost:9001
+//
+// Cache traffic joins the metrics catalogue below:
+//
+//	topk_stripe_cache_hits_total / _misses_total / _evictions_total
+//	topk_stripe_cache_resident_bytes   (gauge; summed over open stripe DBs, never above the summed budgets)
+//
 // # Development
 //
 // The module has no dependencies outside the standard library. CI (see

@@ -10,6 +10,11 @@ import (
 // may touch a database. Every read is charged to a Counts tally, so the
 // paper's cost metrics fall directly out of running an algorithm.
 //
+// The probe reads lists through the list.Reader seam, so the database may
+// be memory-resident, disk-backed (internal/store/stripe), or a mix — the
+// charge per access is identical whatever medium serves the entry, which
+// is what keeps accounting bit-identical between RAM and disk deployments.
+//
 // A Probe is single-goroutine state (one query execution); create one per
 // run.
 type Probe struct {

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -265,18 +266,105 @@ func TestOwnerHandlerAndClusterQuery(t *testing.T) {
 }
 
 func TestOwnerErrors(t *testing.T) {
-	cases := [][]string{
-		{},                              // no input
-		{"-db", "a", "-csv", "b"},       // both inputs
-		{"-gen", "zzz"},                 // unknown kind
-		{"-gen", "uniform", "-db", "x"}, // gen plus file
-		{"-gen", "uniform", "-n", "50", "-m", "2", "-list", "5"}, // list out of range
-		{"-db", "definitely-absent.topk"},                        // missing file
+	// The input flags -db, -csv, -gen and -stripe are mutually
+	// exclusive; the conflict error must name all four so the operator
+	// does not have to rediscover the set by trial.
+	const exclusive = "use exactly one of -db, -csv, -gen and -stripe"
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error; empty means any error
+	}{
+		{name: "no input", args: []string{}, wantErr: "-db, -csv, -gen or -stripe"},
+		{name: "db plus csv", args: []string{"-db", "a", "-csv", "b"}, wantErr: exclusive},
+		{name: "gen plus db", args: []string{"-gen", "uniform", "-db", "x"}, wantErr: exclusive},
+		{name: "stripe plus db", args: []string{"-stripe", "a", "-db", "b"}, wantErr: exclusive},
+		{name: "stripe plus csv", args: []string{"-stripe", "a", "-csv", "b"}, wantErr: exclusive},
+		{name: "stripe plus gen", args: []string{"-stripe", "a", "-gen", "uniform"}, wantErr: exclusive},
+		{name: "all four", args: []string{"-db", "a", "-csv", "b", "-gen", "uniform", "-stripe", "c"}, wantErr: exclusive},
+		{name: "stripe-cache without stripe", args: []string{"-gen", "uniform", "-stripe-cache", "1024"}, wantErr: "-stripe-cache"},
+		{name: "negative stripe-cache", args: []string{"-stripe", "a", "-stripe-cache", "-1"}, wantErr: "non-negative"},
+		{name: "unknown gen kind", args: []string{"-gen", "zzz"}},
+		{name: "list out of range", args: []string{"-gen", "uniform", "-n", "50", "-m", "2", "-list", "5"}},
+		{name: "missing db file", args: []string{"-db", "definitely-absent.topk"}},
+		{name: "missing stripe file", args: []string{"-stripe", "definitely-absent.stripe"}},
 	}
-	for _, args := range cases {
-		if _, _, err := BuildOwnerHandler(args, os.Stderr); err == nil {
-			t.Errorf("args %v accepted", args)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := BuildOwnerHandler(tc.args, os.Stderr)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenStripeExclusive(t *testing.T) {
+	code, _, errOut := capture(t, genEntry,
+		"-n", "10", "-m", "2", "-o", filepath.Join(t.TempDir(), "x"), "-csv", "-stripe")
+	if code == 0 {
+		t.Fatal("-csv with -stripe accepted")
+	}
+	if !strings.Contains(errOut, "-csv") || !strings.Contains(errOut, "-stripe") {
+		t.Fatalf("stderr %q does not name both flags", errOut)
+	}
+}
+
+// TestOwnerStripeWarmRestart is the end-to-end warm-restart scenario:
+// topk-gen -stripe emits the file, a cluster of topk-owner -stripe
+// processes serves a distributed query over it, the owners are killed,
+// and restarted owners reopen the same file — no reload — and pass the
+// dial handshake and a fresh query with the same answers.
+func TestOwnerStripeWarmRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.stripe")
+	if code, _, errOut := capture(t, genEntry,
+		"-n", "300", "-m", "2", "-seed", "7", "-stripe", "-o", path); code != 0 {
+		t.Fatalf("gen -stripe: %s", errOut)
+	}
+
+	serve := func() (string, func()) {
+		urls := make([]string, 2)
+		var servers []*httptest.Server
+		for i := range urls {
+			handler, _, err := BuildOwnerHandler([]string{
+				"-stripe", path, "-stripe-cache", "1048576", "-list", fmt.Sprint(i),
+			}, os.Stderr)
+			if err != nil {
+				t.Fatalf("owner %d over stripe: %v", i, err)
+			}
+			srv := httptest.NewServer(handler)
+			servers = append(servers, srv)
+			urls[i] = srv.URL
 		}
+		stop := func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		}
+		return strings.Join(urls, ","), stop
+	}
+
+	owners, stop := serve()
+	code, firstOut, errOut := capture(t, queryEntry, "-owners", owners, "-k", "4")
+	if code != 0 {
+		t.Fatalf("query over stripe owners: %s", errOut)
+	}
+	stop() // kill the owners
+
+	owners, stop = serve() // restart: reopens the same file
+	defer stop()
+	code, secondOut, errOut := capture(t, queryEntry, "-owners", owners, "-k", "4")
+	if code != 0 {
+		t.Fatalf("query after restart: %s", errOut)
+	}
+	// Everything but the wall-clock elapsed field must be identical —
+	// answers, network message counts, per-owner traffic.
+	strip := regexp.MustCompile(`elapsed=\S+`)
+	if a, b := strip.ReplaceAllString(firstOut, ""), strip.ReplaceAllString(secondOut, ""); a != b {
+		t.Fatalf("answers changed across restart:\nbefore: %s\nafter:  %s", firstOut, secondOut)
 	}
 }
 

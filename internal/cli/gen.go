@@ -39,6 +39,7 @@ func Gen(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "RNG seed")
 		out      = fs.String("o", "", "output path (required)")
 		asCSV    = fs.Bool("csv", false, "write CSV column form instead of binary")
+		asStripe = fs.Bool("stripe", false, "write the disk-backed stripe format instead of binary (for topk-owner -stripe)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,6 +47,10 @@ func Gen(args []string, stdout, stderr io.Writer) int {
 
 	if *out == "" {
 		fmt.Fprintln(stderr, "topk-gen: missing -o output path")
+		return 1
+	}
+	if *asCSV && *asStripe {
+		fmt.Fprintln(stderr, "topk-gen: use only one of -csv and -stripe")
 		return 1
 	}
 	kind, err := parseGenKind(*kindFlag)
@@ -62,7 +67,12 @@ func Gen(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *asCSV {
+	if *asStripe {
+		if err := db.SaveStripeFile(*out); err != nil {
+			fmt.Fprintf(stderr, "topk-gen: save stripe: %v\n", err)
+			return 1
+		}
+	} else if *asCSV {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(stderr, "topk-gen: create: %v\n", err)

@@ -11,6 +11,7 @@ import (
 	"topk/internal/gen"
 	"topk/internal/list"
 	"topk/internal/store"
+	"topk/internal/store/stripe"
 	"topk/internal/transport"
 )
 
@@ -42,6 +43,8 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 	var (
 		dbPath   = fs.String("db", "", "binary database file (from topk-gen)")
 		csvPath  = fs.String("csv", "", "CSV database file (column form)")
+		stripeP  = fs.String("stripe", "", "stripe database file (from topk-gen -stripe); served from disk through a bounded cache, reopened warm on restart")
+		stripeC  = fs.Int64("stripe-cache", 0, "stripe-cache budget in bytes for -stripe (0 means the 64 MiB default)")
 		genKind  = fs.String("gen", "", "own a list of a generated database instead: uniform, gaussian, correlated")
 		n        = fs.Int("n", 10_000, "items per list for -gen")
 		m        = fs.Int("m", 2, "lists for -gen")
@@ -62,20 +65,31 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 		return nil, err
 	}
 
+	inputs := 0
+	for _, v := range []string{*dbPath, *csvPath, *genKind, *stripeP} {
+		if v != "" {
+			inputs++
+		}
+	}
+	if inputs > 1 {
+		return nil, fmt.Errorf("use exactly one of -db, -csv, -gen and -stripe")
+	}
+	if *stripeC != 0 && *stripeP == "" {
+		return nil, fmt.Errorf("-stripe-cache only applies with -stripe")
+	}
+	if *stripeC < 0 {
+		return nil, fmt.Errorf("-stripe-cache %d must be non-negative", *stripeC)
+	}
+
 	var db *list.Database
 	switch {
 	case *genKind != "":
-		if *dbPath != "" || *csvPath != "" {
-			return nil, fmt.Errorf("use only one of -gen, -db and -csv")
-		}
 		var kind gen.Kind
 		kind, err = parseGenKind(*genKind)
 		if err != nil {
 			return nil, err
 		}
 		db, err = gen.Generate(gen.Spec{Kind: kind, N: *n, M: *m, Alpha: *alpha, Seed: *seed})
-	case *dbPath != "" && *csvPath != "":
-		return nil, fmt.Errorf("use only one of -db and -csv")
 	case *dbPath != "":
 		db, err = store.LoadFile(*dbPath)
 	case *csvPath != "":
@@ -85,8 +99,17 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 			db, err = store.ReadColumnsCSV(f)
 			f.Close()
 		}
+	case *stripeP != "":
+		// The stripe DB (and its descriptor) lives for the daemon's
+		// lifetime: only the footer is resident now; data blocks are
+		// paged in per query, which is what makes restarts warm.
+		var sdb *stripe.DB
+		sdb, err = stripe.Open(*stripeP, stripe.Options{CacheBytes: *stripeC})
+		if err == nil {
+			db, err = sdb.Database()
+		}
 	default:
-		return nil, fmt.Errorf("missing -db, -csv or -gen input")
+		return nil, fmt.Errorf("missing input: use one of -db, -csv, -gen or -stripe")
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"topk/internal/gen"
+	"topk/internal/score"
+	"topk/internal/store/stripe"
+	"topk/internal/transport"
+)
+
+// TestStripeBackedParity holds disk-backed owners bit-identical to
+// RAM-backed ones: every protocol over Loopback and HTTP, with every
+// owner serving from a stripe file through a deliberately tight cache,
+// must reproduce the in-memory run's answers, Net accounting and access
+// counts exactly. This is the acceptance gate for the claim that storage
+// is invisible to the paper's middleware model.
+func TestStripeBackedParity(t *testing.T) {
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 300, M: 4, Seed: 3})
+	raw, err := stripe.WriteBytes(db, stripe.WriteOptions{StripeCap: 32, PosPageCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := stripe.OpenReader(bytes.NewReader(raw), int64(len(raw)), stripe.Options{
+		// A few stripes' worth: evictions happen mid-protocol.
+		CacheBytes: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdb.Close() })
+	disk, err := sdb.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ramLoopback, err := transport.NewLoopback(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskLoopback, err := transport.NewLoopback(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskHTTP := httpCluster(t, disk)
+
+	ctx := context.Background()
+	for _, p := range overProtocols {
+		for _, k := range []int{1, 10} {
+			opts := Options{K: k, Scoring: score.Sum{}}
+			want, err := p.run(ctx, ramLoopback, opts)
+			if err != nil {
+				t.Fatalf("%s/ram: %v", p.name, err)
+			}
+			for name, tr := range map[string]transport.Transport{
+				"loopback": diskLoopback, "http": diskHTTP,
+			} {
+				t.Run(fmt.Sprintf("%s/k=%d/%s", p.name, k, name), func(t *testing.T) {
+					got, err := p.run(ctx, tr, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Items, want.Items) {
+						t.Errorf("answers differ:\n disk %v\n ram  %v", got.Items, want.Items)
+					}
+					if !reflect.DeepEqual(got.Net, want.Net) {
+						t.Errorf("Net differs: disk %+v, ram %+v", got.Net, want.Net)
+					}
+					if got.Accesses != want.Accesses {
+						t.Errorf("accesses differ: disk %v, ram %v", got.Accesses, want.Accesses)
+					}
+					if got.StopPosition != want.StopPosition {
+						t.Errorf("stop position: disk %d, ram %d", got.StopPosition, want.StopPosition)
+					}
+				})
+			}
+		}
+	}
+
+	if st := sdb.CacheStats(); st.Evictions == 0 || st.MaxResident > st.Budget {
+		t.Fatalf("cache was not exercised under pressure, or broke its ceiling: %+v", st)
+	}
+}

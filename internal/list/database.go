@@ -4,13 +4,34 @@ import "fmt"
 
 // Database is a set of m sorted lists over the same n data items
 // (paper Section 2: "The set of m sorted lists is called a database").
+//
+// Each list is any Reader: the memory-resident *List, or a disk-backed
+// implementation such as internal/store/stripe's. Algorithms, probes and
+// owners see only the Reader surface, so accounting is bit-identical
+// whatever medium serves the entries.
 type Database struct {
-	lists []*List
+	lists []Reader
 }
 
-// NewDatabase assembles m >= 1 lists into a database. All lists must have
-// the same length (they share the item universe by construction of List).
+// NewDatabase assembles m >= 1 memory-resident lists into a database.
+// All lists must have the same length (they share the item universe by
+// construction of List). See NewReaderDatabase for the storage-agnostic
+// form.
 func NewDatabase(lists ...*List) (*Database, error) {
+	rs := make([]Reader, len(lists))
+	for i, l := range lists {
+		if l == nil {
+			return nil, fmt.Errorf("list: list %d is nil", i)
+		}
+		rs[i] = l
+	}
+	return NewReaderDatabase(rs...)
+}
+
+// NewReaderDatabase assembles m >= 1 list readers — memory-resident or
+// disk-backed, freely mixed — into a database. All readers must have the
+// same length.
+func NewReaderDatabase(lists ...Reader) (*Database, error) {
 	if len(lists) == 0 {
 		return nil, fmt.Errorf("list: database needs at least one list")
 	}
@@ -23,7 +44,7 @@ func NewDatabase(lists ...*List) (*Database, error) {
 			return nil, fmt.Errorf("list: list %d has %d items, want %d", i, l.Len(), n)
 		}
 	}
-	cp := make([]*List, len(lists))
+	cp := make([]Reader, len(lists))
 	copy(cp, lists)
 	return &Database{lists: cp}, nil
 }
@@ -54,13 +75,13 @@ func (db *Database) M() int { return len(db.lists) }
 func (db *Database) N() int { return db.lists[0].Len() }
 
 // List returns the i-th list (0-based).
-func (db *Database) List(i int) *List { return db.lists[i] }
+func (db *Database) List(i int) Reader { return db.lists[i] }
 
-// Lists returns the underlying lists in order. The returned slice is a
-// copy; the lists themselves are shared (they are immutable after
+// Lists returns the underlying list readers in order. The returned slice
+// is a copy; the readers themselves are shared (they are immutable after
 // construction).
-func (db *Database) Lists() []*List {
-	cp := make([]*List, len(db.lists))
+func (db *Database) Lists() []Reader {
+	cp := make([]Reader, len(db.lists))
 	copy(cp, db.lists)
 	return cp
 }
@@ -81,6 +102,9 @@ func (db *Database) LocalScores(d ItemID, dst []float64) []float64 {
 }
 
 // Validate re-checks every list and the shared-universe invariant.
+// Readers that expose their own Validate (like *List) are re-validated
+// in depth; other readers are checked for the shared length only —
+// disk-backed stores run their structural checks at open time.
 func (db *Database) Validate() error {
 	if len(db.lists) == 0 {
 		return fmt.Errorf("list: database has no lists")
@@ -90,8 +114,10 @@ func (db *Database) Validate() error {
 		if l.Len() != n {
 			return fmt.Errorf("list: list %d has %d items, want %d", i, l.Len(), n)
 		}
-		if err := l.Validate(); err != nil {
-			return fmt.Errorf("list: list %d: %w", i, err)
+		if v, ok := l.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return fmt.Errorf("list: list %d: %w", i, err)
+			}
 		}
 	}
 	return nil

@@ -27,6 +27,26 @@ type Entry struct {
 	Score float64
 }
 
+// Reader is the read surface a sorted list must offer the algorithms:
+// sequential access by 1-based position, and random access by item. It is
+// the storage seam of the tree — *List is the memory-resident
+// implementation, and internal/store/stripe serves the same four methods
+// from disk-backed columnar stripes — so every algorithm, probe and owner
+// runs unchanged whatever medium holds the list. Implementations must be
+// safe for concurrent readers and must panic on out-of-range positions
+// and items, exactly like *List: algorithms control their accesses, so a
+// bad position is a programming error, not an input error.
+type Reader interface {
+	// Len returns n, the number of entries.
+	Len() int
+	// At returns the entry at 1-based position p.
+	At(p int) Entry
+	// PositionOf returns the 1-based position of item d.
+	PositionOf(d ItemID) int
+	// ScoreOf returns the local score of item d.
+	ScoreOf(d ItemID) float64
+}
+
 // List is a single sorted list: n entries in non-increasing score order,
 // plus a positional index so that random access (lookup of a given item's
 // score and position) is O(1).
@@ -35,6 +55,21 @@ type Entry struct {
 type List struct {
 	entries []Entry
 	pos     []int32 // pos[item] = 1-based position of item in entries
+}
+
+// Adopt builds a list taking ownership of entries — no defensive copy.
+// The caller must not touch the slice afterwards. This exists for bulk
+// loaders (internal/store) where the copy New makes would transiently
+// double the memory of a large list mid-load.
+func Adopt(entries []Entry) (*List, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("list: empty list")
+	}
+	l := &List{entries: entries}
+	if err := l.buildIndex(); err != nil {
+		return nil, err
+	}
+	return l, nil
 }
 
 // New builds a list from entries that must already satisfy the model
@@ -109,6 +144,8 @@ func (l *List) buildIndex() error {
 	}
 	return nil
 }
+
+var _ Reader = (*List)(nil)
 
 // Len returns n, the number of entries.
 func (l *List) Len() int { return len(l.entries) }

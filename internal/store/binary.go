@@ -116,20 +116,32 @@ func Read(r io.Reader) (*list.Database, error) {
 		return nil, fmt.Errorf("store: implausible dimensions m=%d n=%d", m, n)
 	}
 
+	// Each list streams section-by-section through a fixed scratch window
+	// straight into its final storage, which the list then adopts without
+	// copying: peak memory is the database itself plus ~48 KiB, with no
+	// list-sized transient.
 	lists := make([]*list.List, m)
-	rec := make([]byte, 12)
-	entries := make([]list.Entry, n)
+	const recsPerChunk = 4096
+	scratch := make([]byte, 12*recsPerChunk)
 	for i := range lists {
-		for p := range entries {
-			if err := readPayload(rec); err != nil {
-				return nil, fmt.Errorf("store: read entry: %w", err)
+		entries := make([]list.Entry, n)
+		for p := 0; p < len(entries); {
+			c := len(entries) - p
+			if c > recsPerChunk {
+				c = recsPerChunk
 			}
-			entries[p] = list.Entry{
-				Item:  list.ItemID(int32(binary.LittleEndian.Uint32(rec[0:4]))),
-				Score: math.Float64frombits(binary.LittleEndian.Uint64(rec[4:12])),
+			if err := readPayload(scratch[:12*c]); err != nil {
+				return nil, fmt.Errorf("store: read entries: %w", err)
 			}
+			for j := 0; j < c; j++ {
+				entries[p+j] = list.Entry{
+					Item:  list.ItemID(int32(binary.LittleEndian.Uint32(scratch[12*j:]))),
+					Score: math.Float64frombits(binary.LittleEndian.Uint64(scratch[12*j+4:])),
+				}
+			}
+			p += c
 		}
-		l, err := list.New(entries)
+		l, err := list.Adopt(entries)
 		if err != nil {
 			return nil, fmt.Errorf("store: list %d invalid: %w", i, err)
 		}

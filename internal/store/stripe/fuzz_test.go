@@ -1,0 +1,120 @@
+package stripe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"topk/internal/gen"
+	"topk/internal/list"
+)
+
+// fuzzSeed renders a small valid stripe file for corpus construction.
+func fuzzSeed(f *testing.F) []byte {
+	f.Helper()
+	db := gen.MustGenerate(gen.Spec{Kind: gen.Uniform, N: 30, M: 2, Seed: 1})
+	raw, err := WriteBytes(db, WriteOptions{StripeCap: 8, PosPageCap: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// resealFooter re-encodes a mutated footer into raw and rebuilds the
+// trailer CRC, so footer-level corruptions reach the structural
+// validators instead of dying at the checksum.
+func resealFooter(raw []byte, mutate func(ft *footer)) []byte {
+	tr := raw[len(raw)-trailerLen:]
+	footOff := binary.LittleEndian.Uint64(tr[0:8])
+	ft, err := decodeFooter(raw[footOff : len(raw)-trailerLen])
+	if err != nil {
+		panic(err)
+	}
+	mutate(ft)
+	fb := ft.encode()
+	out := append(append([]byte{}, raw[:footOff]...), fb...)
+	var ntr [trailerLen]byte
+	binary.LittleEndian.PutUint64(ntr[0:8], footOff)
+	binary.LittleEndian.PutUint32(ntr[8:12], uint32(len(fb)))
+	binary.LittleEndian.PutUint32(ntr[12:16], crc32.ChecksumIEEE(fb))
+	copy(ntr[16:24], endMagic[:])
+	return append(out, ntr[:]...)
+}
+
+// FuzzReadStripe throws arbitrary bytes at the stripe opener. Open must
+// never panic; when it accepts a file, Verify must either certify it or
+// reject it, and a certified file must serve panic-free reads with
+// answers consistent with itself.
+func FuzzReadStripe(f *testing.F) {
+	valid := fuzzSeed(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:16])
+	f.Add(valid[:len(valid)/2])          // mid-data truncation
+	f.Add(valid[:len(valid)-1])          // clipped trailer
+	f.Add(valid[:len(valid)-trailerLen]) // truncated footer: trailer gone entirely
+
+	// Trailer intact but the footer bytes clipped out from under it.
+	clipped := append([]byte{}, valid[:len(valid)-trailerLen-8]...)
+	clipped = append(clipped, valid[len(valid)-trailerLen:]...)
+	f.Add(clipped)
+
+	// Overlapping score fences: raise a later stripe's max above the
+	// previous stripe's min.
+	f.Add(resealFooter(valid, func(ft *footer) {
+		ft.lists[0].stripes[1].maxScore = ft.lists[0].stripes[0].minScore + 1
+	}))
+	// Fences inverted within one stripe.
+	f.Add(resealFooter(valid, func(ft *footer) {
+		st := &ft.lists[0].stripes[0]
+		st.minScore, st.maxScore = st.maxScore, st.minScore+2
+	}))
+	// Out-of-order positions: stripes whose position ranges do not tile
+	// the list contiguously.
+	f.Add(resealFooter(valid, func(ft *footer) {
+		ft.lists[0].stripes[0].firstPos = 9
+		ft.lists[0].stripes[1].firstPos = 1
+	}))
+	// A block extent pointing past the data region.
+	f.Add(resealFooter(valid, func(ft *footer) {
+		ft.lists[1].pages[0].off = 1 << 40
+	}))
+	// Corrupted data block under a pristine footer (CRC catches it on
+	// load; Verify reports it).
+	blockFlip := append([]byte{}, valid...)
+	blockFlip[12] ^= 0xff
+	f.Add(blockFlip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := OpenReader(bytes.NewReader(data), int64(len(data)), Options{CacheBytes: 1 << 20})
+		if err != nil {
+			return
+		}
+		defer db.Close()
+		if db.Verify() != nil {
+			return
+		}
+		// Verified file: every read must be panic-free and self-consistent.
+		for i := 0; i < db.M(); i++ {
+			l := db.List(i)
+			prev := l.At(1).Score
+			for p := 2; p <= min(db.N(), 64); p++ {
+				s := l.At(p).Score
+				if s > prev {
+					t.Fatalf("list %d: verified file serves unsorted scores at %d", i, p)
+				}
+				prev = s
+			}
+			for d := 0; d < min(db.N(), 64); d++ {
+				id := list.ItemID(d)
+				if got := l.At(l.PositionOf(id)).Item; got != id {
+					t.Fatalf("list %d: PositionOf(%d) leads to item %d", i, d, got)
+				}
+			}
+			if p := l.SeekScore(prev); p < 1 || p > db.N()+1 {
+				t.Fatalf("list %d: SeekScore out of range: %d", i, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package stripe
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"topk/internal/list"
+)
+
+// WriteOptions configures the stripe layout. Zero values mean the
+// package defaults.
+type WriteOptions struct {
+	// StripeCap is the number of entries per columnar stripe.
+	StripeCap int
+	// PosPageCap is the number of items per id→position page.
+	PosPageCap int
+}
+
+func (o WriteOptions) withDefaults() (WriteOptions, error) {
+	if o.StripeCap == 0 {
+		o.StripeCap = DefaultStripeCap
+	}
+	if o.PosPageCap == 0 {
+		o.PosPageCap = DefaultPosPageCap
+	}
+	if o.StripeCap < 1 || o.StripeCap > maxDimension {
+		return o, fmt.Errorf("stripe: stripe capacity %d out of range [1,%d]", o.StripeCap, maxDimension)
+	}
+	if o.PosPageCap < 1 || o.PosPageCap > maxDimension {
+		return o, fmt.Errorf("stripe: position-page capacity %d out of range [1,%d]", o.PosPageCap, maxDimension)
+	}
+	return o, nil
+}
+
+// Write serializes db in the stripe format. The source may itself be any
+// reader-backed database (including a stripe-backed one), so a file can
+// be re-striped with different capacities by opening and rewriting it.
+func Write(w io.Writer, db *list.Database, opts WriteOptions) error {
+	if db == nil {
+		return fmt.Errorf("stripe: nil database")
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	m, n := db.M(), db.N()
+
+	if _, err := w.Write(magic[:]); err != nil {
+		return fmt.Errorf("stripe: write magic: %w", err)
+	}
+	off := int64(len(magic))
+
+	ft := footer{m: m, n: n, stripeCap: opts.StripeCap, posPageCap: opts.PosPageCap,
+		lists: make([]listIndex, m)}
+	// block is reused for every data block: the largest is an entry
+	// stripe of StripeCap entries.
+	block := make([]byte, 0, entryStripeLen(opts.StripeCap))
+	writeBlock := func() (int64, int, error) {
+		sum := crc32.ChecksumIEEE(block)
+		block = binary.LittleEndian.AppendUint32(block, sum)
+		if _, err := w.Write(block); err != nil {
+			return 0, 0, err
+		}
+		at, length := off, len(block)
+		off += int64(length)
+		return at, length, nil
+	}
+
+	for i := 0; i < m; i++ {
+		l := db.List(i)
+		idx := &ft.lists[i]
+
+		prev := math.Inf(1)
+		for s := 0; s < numBlocks(n, opts.StripeCap); s++ {
+			count := blockCounts(n, opts.StripeCap, s)
+			firstPos := s*opts.StripeCap + 1
+			block = binary.LittleEndian.AppendUint32(block[:0], uint32(count))
+			var maxScore, minScore float64
+			// Columnar: the item column, then the score column.
+			for p := firstPos; p < firstPos+count; p++ {
+				e := l.At(p)
+				if e.Item < 0 || int(e.Item) >= n {
+					return fmt.Errorf("stripe: list %d position %d: item %d out of range [0,%d)", i, p, e.Item, n)
+				}
+				block = binary.LittleEndian.AppendUint32(block, uint32(e.Item))
+			}
+			for p := firstPos; p < firstPos+count; p++ {
+				sc := l.At(p).Score
+				if math.IsNaN(sc) {
+					return fmt.Errorf("stripe: list %d position %d: NaN score", i, p)
+				}
+				if sc > prev {
+					return fmt.Errorf("stripe: list %d position %d: score %v > %v at the previous position", i, p, sc, prev)
+				}
+				prev = sc
+				if p == firstPos {
+					maxScore = sc
+				}
+				minScore = sc
+				block = binary.LittleEndian.AppendUint64(block, math.Float64bits(sc))
+			}
+			at, length, err := writeBlock()
+			if err != nil {
+				return fmt.Errorf("stripe: write list %d stripe %d: %w", i, s, err)
+			}
+			idx.stripes = append(idx.stripes, stripeInfo{
+				off: at, length: length, firstPos: firstPos, count: count,
+				maxScore: maxScore, minScore: minScore,
+			})
+		}
+
+		for pg := 0; pg < numBlocks(n, opts.PosPageCap); pg++ {
+			count := blockCounts(n, opts.PosPageCap, pg)
+			firstItem := pg * opts.PosPageCap
+			block = binary.LittleEndian.AppendUint32(block[:0], uint32(count))
+			for d := firstItem; d < firstItem+count; d++ {
+				p := l.PositionOf(list.ItemID(d))
+				if p < 1 || p > n {
+					return fmt.Errorf("stripe: list %d item %d: position %d out of range [1,%d]", i, d, p, n)
+				}
+				block = binary.LittleEndian.AppendUint32(block, uint32(p))
+			}
+			at, length, err := writeBlock()
+			if err != nil {
+				return fmt.Errorf("stripe: write list %d position page %d: %w", i, pg, err)
+			}
+			idx.pages = append(idx.pages, pageInfo{off: at, length: length, firstItem: firstItem, count: count})
+		}
+	}
+
+	fb := ft.encode()
+	if _, err := w.Write(fb); err != nil {
+		return fmt.Errorf("stripe: write footer: %w", err)
+	}
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:8], uint64(off))
+	binary.LittleEndian.PutUint32(tr[8:12], uint32(len(fb)))
+	binary.LittleEndian.PutUint32(tr[12:16], crc32.ChecksumIEEE(fb))
+	copy(tr[16:24], endMagic[:])
+	if _, err := w.Write(tr[:]); err != nil {
+		return fmt.Errorf("stripe: write trailer: %w", err)
+	}
+	return nil
+}
+
+// encode renders the footer in its on-disk form.
+func (ft *footer) encode() []byte {
+	size := 4 + 4 + 8 + 4 + 4
+	for _, li := range ft.lists {
+		size += 4 + len(li.stripes)*40 + 4 + len(li.pages)*20
+	}
+	b := make([]byte, 0, size)
+	b = binary.LittleEndian.AppendUint32(b, 1) // version
+	b = binary.LittleEndian.AppendUint32(b, uint32(ft.m))
+	b = binary.LittleEndian.AppendUint64(b, uint64(ft.n))
+	b = binary.LittleEndian.AppendUint32(b, uint32(ft.stripeCap))
+	b = binary.LittleEndian.AppendUint32(b, uint32(ft.posPageCap))
+	for _, li := range ft.lists {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(li.stripes)))
+		for _, st := range li.stripes {
+			b = binary.LittleEndian.AppendUint64(b, uint64(st.off))
+			b = binary.LittleEndian.AppendUint32(b, uint32(st.length))
+			b = binary.LittleEndian.AppendUint64(b, uint64(st.firstPos))
+			b = binary.LittleEndian.AppendUint32(b, uint32(st.count))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(st.maxScore))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(st.minScore))
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(li.pages)))
+		for _, pg := range li.pages {
+			b = binary.LittleEndian.AppendUint64(b, uint64(pg.off))
+			b = binary.LittleEndian.AppendUint32(b, uint32(pg.length))
+			b = binary.LittleEndian.AppendUint32(b, uint32(pg.firstItem))
+			b = binary.LittleEndian.AppendUint32(b, uint32(pg.count))
+		}
+	}
+	return b
+}
+
+// Create writes db to path atomically (temp file + rename), like the
+// binary store's SaveFile.
+func Create(path string, db *list.Database, opts WriteOptions) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".topkstripe-*")
+	if err != nil {
+		return fmt.Errorf("stripe: create temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err := Write(bw, db, opts); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stripe: flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("stripe: close temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("stripe: rename: %w", err)
+	}
+	return nil
+}
+
+// WriteBytes renders db as an in-memory stripe file — the OpenReader
+// counterpart, used by tests and tools.
+func WriteBytes(db *list.Database, opts WriteOptions) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, db, opts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -123,7 +123,7 @@ func NewOwner(db *list.Database, index int) (*Owner, error) {
 	if index < 0 || index >= db.M() {
 		return nil, fmt.Errorf("transport: list index %d out of range [0,%d)", index, db.M())
 	}
-	own, err := list.NewDatabase(db.List(index))
+	own, err := list.NewReaderDatabase(db.List(index))
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"topk/internal/gen"
 	"topk/internal/list"
 	"topk/internal/store"
+	"topk/internal/store/stripe"
 )
 
 // Item identifies a data item: the dense range [0, n). Databases built
@@ -166,6 +167,14 @@ func (db *Database) Save(w io.Writer) error { return store.Write(w, db.db) }
 
 // SaveFile writes the database to a file atomically.
 func (db *Database) SaveFile(path string) error { return store.SaveFile(path, db.db) }
+
+// SaveStripeFile writes the database atomically in the disk-backed
+// stripe format (internal/store/stripe): columnar stripes with a footer
+// index that topk-owner serves straight from disk through a bounded
+// cache, instead of loading the lists into memory.
+func (db *Database) SaveStripeFile(path string) error {
+	return stripe.Create(path, db.db, stripe.WriteOptions{})
+}
 
 // Load reads a database written by Save.
 func Load(r io.Reader) (*Database, error) {
