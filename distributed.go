@@ -124,6 +124,11 @@ type RecoveryStats struct {
 	// query, including replicas that failed attempts a restart
 	// abandoned.
 	FailedReplicas int
+	// Backpressure counts exchanges an overloaded owner shed with a
+	// typed retry-after answer that the client absorbed by waiting and
+	// re-sending. Admission-control friction, not failure: a shed
+	// exchange never perturbs answers or NetStats.
+	Backpressure int
 }
 
 // TraceSpan is one wire exchange of a traced distributed run (see
@@ -265,6 +270,7 @@ func distStatsOf(res *dist.Result) DistStats {
 			Restarts:       res.Recovery.Restarts,
 			Handoffs:       res.Recovery.Handoffs,
 			FailedReplicas: res.Recovery.FailedReplicas,
+			Backpressure:   res.Recovery.Backpressure,
 		},
 		Trace:         traceSpansOf(res.Trace),
 		Messages:      net.Messages,
@@ -655,6 +661,22 @@ type ClusterConfig struct {
 	// when one is routable. 0 means the default (1); negative disables
 	// retries.
 	Retries int
+	// BackoffBase and BackoffCap shape the full-jitter exponential
+	// backoff slept before each retry: the a-th re-attempt sleeps a
+	// uniform draw from (0, min(BackoffCap, BackoffBase<<(a-1))], so a
+	// retry storm decorrelates instead of stampeding a recovering
+	// owner. Zero means the defaults (2ms base, 250ms cap); a negative
+	// BackoffBase restores immediate retries.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerThreshold is each replica's circuit-breaker trip point:
+	// after this many consecutive failures (data plane or health probe)
+	// the breaker opens and routing avoids the replica until a half-open
+	// probe exchange succeeds; each failed probe doubles the cooldown,
+	// capped. 0 means the default (5); negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the first open interval (default 1s).
+	BreakerCooldown time.Duration
 	// Wire selects the data-plane codec: "" or "auto" (binary when every
 	// owner advertises it), "json", "binary". See Cluster.SetWire.
 	Wire string
@@ -746,14 +768,18 @@ func DialClusterConfig(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		return nil, err
 	}
 	t, err := transport.Dial(ctx, transport.DialConfig{
-		Topology:       cfg.Topology,
-		Policy:         transport.RoutingPolicy(cfg.Policy),
-		HealthInterval: cfg.HealthInterval,
-		RequestTimeout: cfg.RequestTimeout,
-		Retries:        cfg.Retries,
-		Wire:           wire,
-		DisableHandoff: cfg.DisableHandoff,
-		Logger:         cfg.Logger,
+		Topology:         cfg.Topology,
+		Policy:           transport.RoutingPolicy(cfg.Policy),
+		HealthInterval:   cfg.HealthInterval,
+		RequestTimeout:   cfg.RequestTimeout,
+		Retries:          cfg.Retries,
+		BackoffBase:      cfg.BackoffBase,
+		BackoffCap:       cfg.BackoffCap,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		Wire:             wire,
+		DisableHandoff:   cfg.DisableHandoff,
+		Logger:           cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -835,6 +861,11 @@ type ReplicaHealth struct {
 	// Failovers counts exchanges it served after a sibling failed them.
 	Failures  int64
 	Failovers int64
+	// Breaker is the replica's circuit-breaker phase: "closed" (traffic
+	// flows), "open" (cooling down after consecutive failures; routing
+	// avoids the replica) or "half-open" (the next exchange is the
+	// readmission probe).
+	Breaker string
 }
 
 // Health snapshots the per-replica connection state: health verdicts,

@@ -290,6 +290,68 @@
 // tallies (Cluster.Health programmatically), and each owner advertises
 // its -replica label in /stats.
 //
+// # Hardening: faults, deadlines, breakers and admission control
+//
+// Failover and handoff assume failures announce themselves — a closed
+// connection, a 5xx. A real network also delays, stalls, partitions,
+// tears frames mid-byte and flips bits, and a real owner is sometimes
+// merely overloaded rather than dead. The client earns its answers
+// through all of it; per fault, the defense and what the caller sees:
+//
+//	fault on the wire         defense                              caller sees
+//	connection drop, 5xx      full-jitter exponential backoff      nothing; answers and
+//	                          (ClusterConfig.BackoffBase/Cap),     accounting unchanged
+//	                          then failover / handoff
+//	torn or bit-flipped       end-to-end frame checksum: every     nothing; the corrupt frame
+//	frame                     /rpc response carries the CRC-32     is a typed transient error,
+//	                          of its body (X-Topk-Frame-Crc),      re-fetched like a drop —
+//	                          verified before decoding             never a silently wrong score
+//	owner hang or stall       per-attempt timeout, plus the        nothing, or the caller's own
+//	                          deadline budget shipped on the       context error at its deadline
+//	                          wire (X-Topk-Budget-Ms): owners
+//	                          abandon work nobody waits for
+//	flapping replica          per-replica circuit breaker: K       nothing; routing fences the
+//	                          consecutive failures open it         replica, a half-open probe
+//	                          (ClusterConfig.BreakerThreshold/     exchange readmits it after
+//	                          BreakerCooldown), cooldown doubles   the cooldown
+//	                          while probes keep failing
+//	overloaded owner          admission control (topk-owner        nothing; the shed is waited
+//	                          -max-inflight): exchanges beyond     out as backpressure — no
+//	                          the bound are shed with 429 +        health or breaker penalty,
+//	                          X-Topk-Retry-After-Ms BEFORE any     tallied in
+//	                          work, so a re-send is always safe    Recovery.Backpressure
+//
+// Third-party clients of the owner wire get the same contract: a 429
+// carries X-Topk-Retry-After-Ms (milliseconds to wait; the owner has
+// contractually run none of the request, so re-sending is safe for
+// every message kind, cursor-bearing or not); requests may carry
+// X-Topk-Budget-Ms (relative milliseconds the client will keep
+// waiting); data-plane responses carry X-Topk-Frame-Crc (IEEE CRC-32
+// of the body, lower-case hex) to verify before decoding.
+//
+// The fault injector itself ships in the tree (internal/chaos): a
+// seeded, deterministic schedule of delays, drops, stalls, truncated
+// frames, flipped bits, spurious 5xx and replica partitions, insertable
+// on either side of the wire. Owners arm it with -chaos:
+//
+//	topk-owner -gen uniform -n 10000 -m 2 -seed 7 -list 0 \
+//	    -chaos 'seed=42,all=0.02' -addr localhost:9001
+//
+// and the chaos acceptance suite (TestChaosParity, plus the opt-in
+// TOPK_CHAOS_SOAK=1 endurance run CI executes under the race detector)
+// drives every protocol under every routing policy through it: each
+// query must either complete bit-identically to the undisturbed
+// loopback reference or fail with a typed error before its deadline —
+// never a hang, never a leaked goroutine, never a silently wrong
+// answer.
+//
+// Both daemons shut down gracefully on SIGTERM: the listener closes at
+// once, in-flight requests get -drain-timeout (default 10s) to finish,
+// then sessions and cluster connections are released; a second signal
+// kills. topk-owner -stripe also takes -verify, which checks every
+// stripe checksum end to end and exits instead of serving — the
+// pre-flight for a file restored from backup.
+//
 // RunDHT layers the same protocols over a simulated Chord-style DHT
 // (internal/dht): each list is placed at the overlay node owning its
 // key's hash, and every protocol message is priced in routing hops under
@@ -307,7 +369,7 @@
 // Endpoints:
 //
 //	GET /metrics              topk-owner, topk-serve   Prometheus text exposition (?format=json for a JSON snapshot)
-//	GET /v1/health            topk-serve (cluster mode) Cluster.Health per replica: health verdict, EWMA latency, failure/failover tallies
+//	GET /v1/health            topk-serve (cluster mode) Cluster.Health per replica: health verdict, breaker state, EWMA latency, failure/failover tallies
 //	GET /v1/dist?trace=1      topk-serve               per-exchange span trace in the "trace" JSON block
 //	/debug/pprof/*            topk-owner, topk-serve   opt-in via -pprof addr (separate listener, e.g. -pprof localhost:6060)
 //
@@ -329,6 +391,8 @@
 //	topk_client_replica_failures_total / _health_transitions_total{to}
 //	topk_client_replica_healthy{list,replica} / _probe_ewma_seconds{list,replica}
 //	topk_client_sessions_open / _opened_total
+//	topk_owner_inflight_exchanges / _shed_total / _deadline_abandoned_total
+//	topk_client_breaker_open{list,replica} / _breaker_transitions_total{to} / _backpressure_waits_total
 //	topk_dist_restarts_total
 //
 // go run ./internal/tools/promcheck URL validates a live scrape (CI does
@@ -403,8 +467,10 @@
 // The module has no dependencies outside the standard library. CI (see
 // .github/workflows/ci.yml) runs gofmt, go vet, go build and go test
 // over the whole tree, the race detector over internal/transport,
-// internal/dist and internal/dht (which covers the concurrent-session
-// and cancellation suites), and one iteration of every benchmark
+// internal/dist, internal/dht and internal/store (which covers the
+// concurrent-session and cancellation suites), the named chaos
+// hardening steps (the seeded fault-injection acceptance suite plus a
+// 30-second soak, both under -race), and one iteration of every benchmark
 // (go test -bench=. -benchtime=1x -run='^$' ./...) so the
 // figure-regeneration benchmarks cannot silently rot.
 //

@@ -1,0 +1,339 @@
+// Package chaos is a deterministic, seed-driven fault-injection layer
+// for the transport: it wraps the HTTP client's RoundTripper (and, on
+// the other side, an owner server's handler) and injects per-exchange
+// faults — added latency, dropped connections, stalls past the
+// deadline, truncated and bit-flipped frames, spurious 5xx, and full
+// replica partitions — drawn from a seeded schedule.
+//
+// Determinism is the point: the injector draws every decision from one
+// seeded PRNG under a mutex, in request order, so a failing run is
+// reproducible by its seed (for a serial request sequence the schedule
+// is bit-identical; concurrent requests draw in arrival order). The
+// chaos acceptance suite in internal/dist runs the full protocol ×
+// routing-policy matrix through this layer and holds the transport to
+// its contract: every query completes bit-identically or fails with a
+// typed error before its deadline — never a hang, never a leak.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault is one injected failure mode.
+type Fault uint8
+
+const (
+	// FaultNone passes the exchange through untouched.
+	FaultNone Fault = iota
+	// FaultDelay sleeps a jittered DelayDur before the exchange.
+	FaultDelay
+	// FaultDrop fails the exchange with a connection error before any
+	// bytes move.
+	FaultDrop
+	// FaultStall blocks the exchange until its context dies — the
+	// black-holed socket that only a deadline can un-wedge.
+	FaultStall
+	// FaultTruncate cuts the response body short: a torn frame.
+	FaultTruncate
+	// FaultCorrupt flips bits in the response body: wire corruption the
+	// codec must reject, never crash on.
+	FaultCorrupt
+	// Fault5xx answers with a synthesized 502 in place of the exchange.
+	Fault5xx
+	// FaultPartition drops this exchange and everything else to the
+	// same host for PartitionDur — a full replica partition.
+	FaultPartition
+)
+
+// String names the fault for counters and logs.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDelay:
+		return "delay"
+	case FaultDrop:
+		return "drop"
+	case FaultStall:
+		return "stall"
+	case FaultTruncate:
+		return "truncate"
+	case FaultCorrupt:
+		return "corrupt"
+	case Fault5xx:
+		return "err5xx"
+	case FaultPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("Fault(%d)", uint8(f))
+	}
+}
+
+// Config declares a chaos schedule: a seed and per-fault injection
+// probabilities (each in [0,1], evaluated in the order delay, drop,
+// stall, truncate, corrupt, err5xx, partition — at most one fault
+// fires per exchange).
+type Config struct {
+	// Seed drives the schedule; the same seed over the same request
+	// sequence reproduces the same faults.
+	Seed int64
+
+	// Per-fault probabilities.
+	Delay, Drop, Stall, Truncate, Corrupt, Err5xx, Partition float64
+
+	// DelayDur is the mean injected latency of FaultDelay (actual delay
+	// is uniform in [DelayDur/2, 3*DelayDur/2)). Default 5ms.
+	DelayDur time.Duration
+	// PartitionDur is how long a FaultPartition keeps the host dark.
+	// Default 250ms.
+	PartitionDur time.Duration
+	// StallCap bounds a FaultStall for requests whose context carries
+	// no deadline, so misuse cannot hang forever. Default 10s.
+	StallCap time.Duration
+
+	// DataPlaneOnly restricts injection to /rpc/ exchanges, leaving the
+	// control plane (opens, syncs, stats, health probes) clean.
+	DataPlaneOnly bool
+}
+
+// withDefaults fills the zero durations.
+func (c Config) withDefaults() Config {
+	if c.DelayDur <= 0 {
+		c.DelayDur = 5 * time.Millisecond
+	}
+	if c.PartitionDur <= 0 {
+		c.PartitionDur = 250 * time.Millisecond
+	}
+	if c.StallCap <= 0 {
+		c.StallCap = 10 * time.Second
+	}
+	return c
+}
+
+// Injector draws per-exchange fault decisions from a seeded schedule
+// and tracks partition windows and per-fault tallies. Safe for
+// concurrent use; decisions are drawn in request order under one
+// mutex.
+type Injector struct {
+	cfg Config
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	partitions map[string]time.Time
+	counts     map[Fault]int64
+	draws      int64
+}
+
+// New builds an injector for the given schedule.
+func New(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		partitions: make(map[string]time.Time),
+		counts:     make(map[Fault]int64),
+	}
+}
+
+// decision is one drawn fault plus its parameters.
+type decision struct {
+	fault Fault
+	// dur is the injected latency of FaultDelay.
+	dur time.Duration
+	// aux seeds deterministic corruption offsets for FaultCorrupt /
+	// FaultTruncate.
+	aux int64
+}
+
+// decide draws the fault for one exchange against host. An exchange to
+// a host inside a partition window is dropped without consuming a
+// draw, so partition behaviour does not perturb the schedule of the
+// surviving hosts.
+func (in *Injector) decide(host, path string) decision {
+	if in.cfg.DataPlaneOnly && !strings.HasPrefix(path, "/rpc/") {
+		return decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := time.Now()
+	if until, ok := in.partitions[host]; ok {
+		if now.Before(until) {
+			in.counts[FaultPartition]++
+			return decision{fault: FaultDrop}
+		}
+		delete(in.partitions, host)
+	}
+	in.draws++
+	p := in.rng.Float64()
+	aux := in.rng.Int63()
+	d := decision{aux: aux}
+	switch {
+	case p < in.cfg.Delay:
+		d.fault = FaultDelay
+		d.dur = in.cfg.DelayDur/2 + time.Duration(float64(in.cfg.DelayDur)*in.rng.Float64())
+	case p < in.cfg.Delay+in.cfg.Drop:
+		d.fault = FaultDrop
+	case p < in.cfg.Delay+in.cfg.Drop+in.cfg.Stall:
+		d.fault = FaultStall
+	case p < in.cfg.Delay+in.cfg.Drop+in.cfg.Stall+in.cfg.Truncate:
+		d.fault = FaultTruncate
+	case p < in.cfg.Delay+in.cfg.Drop+in.cfg.Stall+in.cfg.Truncate+in.cfg.Corrupt:
+		d.fault = FaultCorrupt
+	case p < in.cfg.Delay+in.cfg.Drop+in.cfg.Stall+in.cfg.Truncate+in.cfg.Corrupt+in.cfg.Err5xx:
+		d.fault = Fault5xx
+	case p < in.cfg.Delay+in.cfg.Drop+in.cfg.Stall+in.cfg.Truncate+in.cfg.Corrupt+in.cfg.Err5xx+in.cfg.Partition:
+		d.fault = FaultPartition
+		in.partitions[host] = now.Add(in.cfg.PartitionDur)
+	}
+	if d.fault != FaultNone {
+		in.counts[d.fault]++
+	}
+	return d
+}
+
+// Counts snapshots how many times each fault has fired — the honest
+// turbulence report a chaos run prints next to its recovery counters.
+func (in *Injector) Counts() map[Fault]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Fault]int64, len(in.counts))
+	for f, n := range in.counts {
+		out[f] = n
+	}
+	return out
+}
+
+// Draws reports how many schedule decisions have been consumed.
+func (in *Injector) Draws() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.draws
+}
+
+// Summary renders the fault tallies compactly ("drop=3 err5xx=1"), in
+// stable order; empty when nothing fired.
+func (in *Injector) Summary() string {
+	counts := in.Counts()
+	keys := make([]Fault, 0, len(counts))
+	for f := range counts {
+		keys = append(keys, f)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, f := range keys {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", f, counts[f])
+	}
+	return b.String()
+}
+
+// corrupt flips three aux-determined bits of buf in place (no-op on an
+// empty buffer). Deterministic given the schedule.
+func corrupt(buf []byte, aux int64) {
+	if len(buf) == 0 {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		bit := uint64(aux) >> (uint(i) * 21)
+		pos := int(bit % uint64(len(buf)*8))
+		buf[pos/8] ^= 1 << (pos % 8)
+	}
+}
+
+// truncateAt returns the length to cut a body of n bytes down to:
+// roughly half, always at least one byte shorter (0 stays 0).
+func truncateAt(n int, aux int64) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(uint64(aux) % uint64(n/2+1))
+}
+
+// ParseSpec parses a chaos schedule from its CLI shape: comma-separated
+// key=value pairs. Probabilities: delay, drop, stall, truncate,
+// corrupt, err5xx, partition (each in [0,1]), plus all=P as shorthand
+// for setting every one of them. Other keys: seed=N,
+// delay-dur=DURATION, partition-dur=DURATION, stall-cap=DURATION,
+// data-plane-only=BOOL. Example:
+//
+//	seed=42,all=0.02,delay=0.1,partition-dur=300ms,data-plane-only=true
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("chaos: bad spec entry %q (want key=value)", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "delay-dur":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad delay-dur %q: %v", v, err)
+			}
+			cfg.DelayDur = d
+		case "partition-dur":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad partition-dur %q: %v", v, err)
+			}
+			cfg.PartitionDur = d
+		case "stall-cap":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad stall-cap %q: %v", v, err)
+			}
+			cfg.StallCap = d
+		case "data-plane-only":
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad data-plane-only %q: %v", v, err)
+			}
+			cfg.DataPlaneOnly = b
+		case "all", "delay", "drop", "stall", "truncate", "corrupt", "err5xx", "partition":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Config{}, fmt.Errorf("chaos: bad probability %s=%q (want [0,1])", k, v)
+			}
+			switch k {
+			case "all":
+				cfg.Delay, cfg.Drop, cfg.Stall, cfg.Truncate, cfg.Corrupt, cfg.Err5xx, cfg.Partition = p, p, p, p, p, p, p
+			case "delay":
+				cfg.Delay = p
+			case "drop":
+				cfg.Drop = p
+			case "stall":
+				cfg.Stall = p
+			case "truncate":
+				cfg.Truncate = p
+			case "corrupt":
+				cfg.Corrupt = p
+			case "err5xx":
+				cfg.Err5xx = p
+			case "partition":
+				cfg.Partition = p
+			}
+		default:
+			return Config{}, fmt.Errorf("chaos: unknown spec key %q", k)
+		}
+	}
+	return cfg, nil
+}

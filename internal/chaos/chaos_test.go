@@ -1,0 +1,330 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism pins the core chaos contract: two injectors
+// with the same seed and config draw the identical fault sequence for
+// the identical request sequence.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Delay: 0.1, Drop: 0.1, Stall: 0.05, Truncate: 0.05, Corrupt: 0.05, Err5xx: 0.1, Partition: 0.02}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		da := a.decide("host-a:1", "/rpc/x")
+		db := b.decide("host-a:1", "/rpc/x")
+		if da.fault != db.fault || da.aux != db.aux || da.dur != db.dur {
+			t.Fatalf("draw %d diverged: %v/%v vs %v/%v", i, da.fault, da.aux, db.fault, db.aux)
+		}
+	}
+	if a.Draws() != b.Draws() {
+		t.Fatalf("draw counts diverged: %d vs %d", a.Draws(), b.Draws())
+	}
+	for f, n := range a.Counts() {
+		if b.Counts()[f] != n {
+			t.Fatalf("count %v diverged: %d vs %d", f, n, b.Counts()[f])
+		}
+	}
+}
+
+// TestSeedChangesSchedule makes sure the seed actually matters.
+func TestSeedChangesSchedule(t *testing.T) {
+	cfg := Config{Delay: 0.1, Drop: 0.1, Stall: 0.1, Truncate: 0.1, Corrupt: 0.1, Err5xx: 0.1, Partition: 0.1}
+	a := New(Config{Seed: 1, Delay: cfg.Delay, Drop: cfg.Drop, Stall: cfg.Stall, Truncate: cfg.Truncate, Corrupt: cfg.Corrupt, Err5xx: cfg.Err5xx, Partition: cfg.Partition})
+	b := New(Config{Seed: 2, Delay: cfg.Delay, Drop: cfg.Drop, Stall: cfg.Stall, Truncate: cfg.Truncate, Corrupt: cfg.Corrupt, Err5xx: cfg.Err5xx, Partition: cfg.Partition})
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.decide("h", "/rpc/x").fault != b.decide("h", "/rpc/x").fault {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical 200-fault schedules")
+	}
+}
+
+// TestPartitionWindow verifies a partition darkens its host for the
+// window without consuming schedule draws, and that other hosts keep
+// drawing normally.
+func TestPartitionWindow(t *testing.T) {
+	in := New(Config{Seed: 7, Partition: 1.0, PartitionDur: 50 * time.Millisecond})
+	if d := in.decide("h1", "/rpc/x"); d.fault != FaultPartition {
+		t.Fatalf("first draw: got %v, want partition", d.fault)
+	}
+	draws := in.Draws()
+	// Inside the window every exchange to h1 drops without a draw.
+	for i := 0; i < 5; i++ {
+		if d := in.decide("h1", "/rpc/x"); d.fault != FaultDrop {
+			t.Fatalf("in-window draw: got %v, want drop", d.fault)
+		}
+	}
+	if in.Draws() != draws {
+		t.Fatalf("partitioned exchanges consumed %d draws", in.Draws()-draws)
+	}
+	// After the window the host draws again (probability 1 → partition).
+	time.Sleep(60 * time.Millisecond)
+	if d := in.decide("h1", "/rpc/x"); d.fault != FaultPartition {
+		t.Fatalf("post-window draw: got %v, want fresh partition", d.fault)
+	}
+}
+
+// TestDataPlaneOnly pins that control-plane paths are passed through
+// without consuming draws when DataPlaneOnly is set.
+func TestDataPlaneOnly(t *testing.T) {
+	in := New(Config{Seed: 3, Drop: 1.0, DataPlaneOnly: true})
+	if d := in.decide("h", "/open"); d.fault != FaultNone {
+		t.Fatalf("control-plane exchange drew %v", d.fault)
+	}
+	if in.Draws() != 0 {
+		t.Fatalf("control-plane exchange consumed a draw")
+	}
+	if d := in.decide("h", "/rpc/abc"); d.fault != FaultDrop {
+		t.Fatalf("data-plane exchange: got %v, want drop", d.fault)
+	}
+}
+
+// TestCorruptMutates checks bit-flips always change a non-empty buffer
+// and truncation always shortens one.
+func TestCorruptMutates(t *testing.T) {
+	orig := bytes.Repeat([]byte{0xAB}, 64)
+	for aux := int64(1); aux < 100; aux++ {
+		buf := append([]byte(nil), orig...)
+		corrupt(buf, aux)
+		if bytes.Equal(buf, orig) {
+			t.Fatalf("aux=%d: corrupt left buffer unchanged", aux)
+		}
+		if n := truncateAt(len(orig), aux); n >= len(orig) {
+			t.Fatalf("aux=%d: truncateAt(%d) = %d, not shorter", aux, len(orig), n)
+		}
+	}
+	corrupt(nil, 5) // must not panic
+	if truncateAt(0, 5) != 0 || truncateAt(1, 5) != 0 {
+		t.Fatal("truncateAt on tiny bodies should hit 0")
+	}
+}
+
+// TestParseSpec covers the CLI surface: good specs round-trip into
+// configs, bad ones fail loudly.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42,all=0.02,delay=0.1,partition-dur=300ms,stall-cap=2s,data-plane-only=true")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if cfg.Seed != 42 || cfg.Delay != 0.1 || cfg.Drop != 0.02 || cfg.Partition != 0.02 {
+		t.Fatalf("spec parsed wrong: %+v", cfg)
+	}
+	if cfg.PartitionDur != 300*time.Millisecond || cfg.StallCap != 2*time.Second || !cfg.DataPlaneOnly {
+		t.Fatalf("durations parsed wrong: %+v", cfg)
+	}
+	for _, bad := range []string{"p=0.5", "drop=1.5", "drop=x", "seed=abc", "delay-dur=fast", "justakey"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+}
+
+// roundTrip pushes one request through a chaos RoundTripper against a
+// live backend and returns what the client saw.
+func roundTrip(t *testing.T, rt *RoundTripper, url string, timeout time.Duration) (*http.Response, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, strings.NewReader("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+// TestRoundTripperFaults drives each client-side fault against a real
+// httptest backend.
+func TestRoundTripperFaults(t *testing.T) {
+	payload := []byte("hello, this is a perfectly healthy response body")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	t.Run("drop", func(t *testing.T) {
+		rt := &RoundTripper{In: New(Config{Seed: 1, Drop: 1.0})}
+		if _, err := roundTrip(t, rt, srv.URL, time.Second); err == nil {
+			t.Fatal("dropped exchange returned no error")
+		}
+	})
+	t.Run("stall-honors-deadline", func(t *testing.T) {
+		rt := &RoundTripper{In: New(Config{Seed: 1, Stall: 1.0})}
+		start := time.Now()
+		_, err := roundTrip(t, rt, srv.URL, 50*time.Millisecond)
+		if err == nil {
+			t.Fatal("stalled exchange returned no error")
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("stall outlived its deadline: %v", elapsed)
+		}
+	})
+	t.Run("err5xx", func(t *testing.T) {
+		rt := &RoundTripper{In: New(Config{Seed: 1, Err5xx: 1.0})}
+		resp, err := roundTrip(t, rt, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("got %d, want 502", resp.StatusCode)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		rt := &RoundTripper{In: New(Config{Seed: 1, Truncate: 1.0})}
+		resp, err := roundTrip(t, rt, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, _ := io.ReadAll(resp.Body)
+		if len(got) >= len(payload) {
+			t.Fatalf("truncated body has %d bytes, want < %d", len(got), len(payload))
+		}
+		if int64(len(got)) != resp.ContentLength {
+			t.Fatalf("Content-Length %d != body %d", resp.ContentLength, len(got))
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		rt := &RoundTripper{In: New(Config{Seed: 1, Corrupt: 1.0})}
+		resp, err := roundTrip(t, rt, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, _ := io.ReadAll(resp.Body)
+		if bytes.Equal(got, payload) {
+			t.Fatal("corrupted body arrived intact")
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("corruption changed length: %d vs %d", len(got), len(payload))
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		rt := &RoundTripper{In: New(Config{Seed: 1})}
+		resp, err := roundTrip(t, rt, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, _ := io.ReadAll(resp.Body)
+		if !bytes.Equal(got, payload) {
+			t.Fatal("zero-probability schedule mutated the exchange")
+		}
+	})
+}
+
+// TestHandlerFaults drives the server-side middleware through a live
+// httptest server, fault by fault.
+func TestHandlerFaults(t *testing.T) {
+	payload := []byte("owner response frame, long enough to tear")
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	})
+	get := func(t *testing.T, url string, timeout time.Duration) (*http.Response, error) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return http.DefaultClient.Do(req)
+	}
+
+	t.Run("drop-aborts-connection", func(t *testing.T) {
+		srv := httptest.NewServer(Handler(inner, New(Config{Seed: 1, Drop: 1.0})))
+		defer srv.Close()
+		if _, err := get(t, srv.URL, time.Second); err == nil {
+			t.Fatal("aborted exchange returned no error")
+		}
+	})
+	t.Run("err5xx", func(t *testing.T) {
+		srv := httptest.NewServer(Handler(inner, New(Config{Seed: 1, Err5xx: 1.0})))
+		defer srv.Close()
+		resp, err := get(t, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("got %d, want 502", resp.StatusCode)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		srv := httptest.NewServer(Handler(inner, New(Config{Seed: 1, Truncate: 1.0})))
+		defer srv.Close()
+		resp, err := get(t, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, _ := io.ReadAll(resp.Body)
+		if len(got) >= len(payload) {
+			t.Fatalf("truncated frame has %d bytes, want < %d", len(got), len(payload))
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		srv := httptest.NewServer(Handler(inner, New(Config{Seed: 1, Corrupt: 1.0})))
+		defer srv.Close()
+		resp, err := get(t, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, _ := io.ReadAll(resp.Body)
+		if bytes.Equal(got, payload) {
+			t.Fatal("corrupted frame arrived intact")
+		}
+	})
+	t.Run("stall-honors-client-deadline", func(t *testing.T) {
+		srv := httptest.NewServer(Handler(inner, New(Config{Seed: 1, Stall: 1.0, StallCap: 5 * time.Second})))
+		defer srv.Close()
+		start := time.Now()
+		if _, err := get(t, srv.URL, 50*time.Millisecond); err == nil {
+			t.Fatal("stalled exchange returned no error")
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("stall outlived the client deadline: %v", elapsed)
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		srv := httptest.NewServer(Handler(inner, New(Config{Seed: 1})))
+		defer srv.Close()
+		resp, err := get(t, srv.URL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, _ := io.ReadAll(resp.Body)
+		if !bytes.Equal(got, payload) {
+			t.Fatal("zero-probability schedule mutated the exchange")
+		}
+	})
+}
+
+// TestSummary pins the stable rendering of the tally line.
+func TestSummary(t *testing.T) {
+	in := New(Config{Seed: 1, Drop: 1.0})
+	if s := in.Summary(); s != "" {
+		t.Fatalf("fresh injector summary = %q", s)
+	}
+	in.decide("h", "/rpc/x")
+	in.decide("h", "/rpc/x")
+	if s := in.Summary(); s != "drop=2" {
+		t.Fatalf("summary = %q, want drop=2", s)
+	}
+}

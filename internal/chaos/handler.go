@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"net/http"
+	"time"
+)
+
+// Handler injects the schedule's faults on the server side of the wire:
+// it wraps an owner's HTTP handler so exchanges are delayed, aborted,
+// stalled, answered 502, or have their response frames torn and
+// bit-flipped before they leave the process. Faults are drawn from the
+// same kind of seeded schedule as the client RoundTripper; partition
+// windows key on the request's Host, darkening the whole replica.
+func Handler(inner http.Handler, in *Injector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide(r.Host, r.URL.Path)
+		switch d.fault {
+		case FaultNone:
+			inner.ServeHTTP(w, r)
+		case FaultDelay:
+			t := time.NewTimer(d.dur)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				panic(http.ErrAbortHandler)
+			}
+			inner.ServeHTTP(w, r)
+		case FaultDrop, FaultPartition:
+			// Abort the connection mid-exchange; the client sees EOF,
+			// not a status.
+			panic(http.ErrAbortHandler)
+		case FaultStall:
+			cap := time.NewTimer(in.cfg.StallCap)
+			defer cap.Stop()
+			select {
+			case <-r.Context().Done():
+			case <-cap.C:
+			}
+			panic(http.ErrAbortHandler)
+		case Fault5xx:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadGateway)
+			w.Write([]byte(`{"error":"chaos: injected upstream failure"}`))
+		case FaultTruncate, FaultCorrupt:
+			rec := &recorder{header: make(http.Header), status: http.StatusOK}
+			inner.ServeHTTP(rec, r)
+			buf := rec.buf
+			if d.fault == FaultTruncate {
+				buf = buf[:truncateAt(len(buf), d.aux)]
+			} else {
+				corrupt(buf, d.aux)
+			}
+			h := w.Header()
+			for k, vs := range rec.header {
+				h[k] = vs
+			}
+			h.Del("Content-Length")
+			w.WriteHeader(rec.status)
+			w.Write(buf)
+		default:
+			inner.ServeHTTP(w, r)
+		}
+	})
+}
+
+// recorder buffers a response so its frame can be mangled before it is
+// written to the real connection.
+type recorder struct {
+	header http.Header
+	status int
+	buf    []byte
+	wrote  bool
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) {
+	if !r.wrote {
+		r.status = status
+		r.wrote = true
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	r.buf = append(r.buf, p...)
+	return len(p), nil
+}

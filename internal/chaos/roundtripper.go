@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RoundTripper injects the schedule's faults on the client side of the
+// wire: it wraps the http.Transport the topk HTTP client dials with, so
+// every exchange earns its way through drops, stalls, torn frames and
+// flipped bits before the protocol sees a byte.
+type RoundTripper struct {
+	// Base performs the real exchange; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// In draws the fault schedule.
+	In *Injector
+}
+
+// errDropped is the injected connection failure. It surfaces through
+// http.Client as a *url.Error, exactly like a real refused connection.
+var errDropped = fmt.Errorf("chaos: connection dropped (injected)")
+
+// RoundTrip applies the drawn fault to one exchange.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	d := rt.In.decide(req.URL.Host, req.URL.Path)
+	switch d.fault {
+	case FaultNone:
+		return base.RoundTrip(req)
+	case FaultDelay:
+		t := time.NewTimer(d.dur)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			drainBody(req)
+			return nil, req.Context().Err()
+		}
+		return base.RoundTrip(req)
+	case FaultDrop, FaultPartition:
+		drainBody(req)
+		return nil, errDropped
+	case FaultStall:
+		// The black hole: nothing moves until the caller's deadline
+		// (or the safety cap) kills the exchange.
+		cap := time.NewTimer(rt.In.cfg.StallCap)
+		defer cap.Stop()
+		select {
+		case <-req.Context().Done():
+			drainBody(req)
+			return nil, req.Context().Err()
+		case <-cap.C:
+			drainBody(req)
+			return nil, errDropped
+		}
+	case Fault5xx:
+		drainBody(req)
+		body := []byte(`{"error":"chaos: injected upstream failure"}`)
+		return &http.Response{
+			Status:        "502 Bad Gateway",
+			StatusCode:    http.StatusBadGateway,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case FaultTruncate, FaultCorrupt:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return mangleResponse(resp, d)
+	default:
+		return base.RoundTrip(req)
+	}
+}
+
+// drainBody closes a short-circuited request's body, honoring the
+// RoundTripper contract that the body is always consumed.
+func drainBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// mangleResponse rewrites a real response's body as a torn or
+// bit-flipped frame, keeping Content-Length consistent so the damage
+// reaches the codec instead of dying in the HTTP layer.
+func mangleResponse(resp *http.Response, d decision) (*http.Response, error) {
+	buf, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if d.fault == FaultTruncate {
+		buf = buf[:truncateAt(len(buf), d.aux)]
+	} else {
+		corrupt(buf, d.aux)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(buf))
+	resp.ContentLength = int64(len(buf))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(buf)))
+	return resp, nil
+}

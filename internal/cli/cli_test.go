@@ -446,7 +446,7 @@ func TestClusterQueryReplicated(t *testing.T) {
 		}
 		for _, want := range []string{
 			"top-5 by sum using dist-bpa2 over 2 owners",
-			"recovery: restarts=0 handoffs=0 failed-replicas=0",
+			"recovery: restarts=0 handoffs=0 failed-replicas=0 backpressure=0",
 			"replica health (policy " + policy + ")",
 			"list 0 replica 1",
 			"healthy",

@@ -28,15 +28,15 @@ func TestRenderRecovery(t *testing.T) {
 	if !renderRecovery(&buf, topk.RecoveryStats{}, true) {
 		t.Error("verbose run skipped the recovery line")
 	}
-	if got := buf.String(); got != "recovery: restarts=0 handoffs=0 failed-replicas=0\n" {
+	if got := buf.String(); got != "recovery: restarts=0 handoffs=0 failed-replicas=0 backpressure=0\n" {
 		t.Errorf("verbose zero line = %q", got)
 	}
 
 	buf.Reset()
-	if !renderRecovery(&buf, topk.RecoveryStats{Restarts: 1, Handoffs: 2, FailedReplicas: 3}, false) {
+	if !renderRecovery(&buf, topk.RecoveryStats{Restarts: 1, Handoffs: 2, FailedReplicas: 3, Backpressure: 4}, false) {
 		t.Error("absorbed failure was silent without -verbose")
 	}
-	if got := buf.String(); got != "recovery: restarts=1 handoffs=2 failed-replicas=3\n" {
+	if got := buf.String(); got != "recovery: restarts=1 handoffs=2 failed-replicas=3 backpressure=4\n" {
 		t.Errorf("nonzero line = %q", got)
 	}
 }

@@ -1,13 +1,16 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"os"
+	"time"
 
+	"topk/internal/chaos"
 	"topk/internal/gen"
 	"topk/internal/list"
 	"topk/internal/store"
@@ -21,6 +24,14 @@ type ownerDaemon struct {
 	addr      string
 	pprofAddr string
 	log       *slog.Logger
+	// owner is the served owner; its sessions are torn down on a
+	// graceful drain.
+	owner *transport.Owner
+	// drain bounds how long in-flight requests may run after SIGTERM.
+	drain time.Duration
+	// verified marks a -verify run: the integrity check already passed
+	// and the daemon should report success instead of serving.
+	verified bool
 }
 
 // BuildOwnerHandler parses topk-owner's flags and returns the owner's
@@ -54,6 +65,11 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 		replica  = fs.String("replica", "", "replica label within this list's replica set (informational; advertised in /stats)")
 		addr     = fs.String("addr", "localhost:9000", "listen address")
 		ttl      = fs.Duration("session-ttl", transport.DefaultSessionTTL, "evict sessions idle for this long (0 disables); reclaims sessions abandoned by crashed originators")
+		maxInfl  = fs.Int("max-inflight", 0, "admission control: bound on concurrently served exchanges; excess is shed with a typed retry-after answer (0 means the default, negative disables)")
+		maxSess  = fs.Int("max-sessions", 0, "bound on concurrently open query sessions; opens beyond it are shed with retry-after (0 means the default, negative disables)")
+		verify   = fs.Bool("verify", false, "with -stripe: verify every block checksum against the file, report, and exit without serving")
+		drain    = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: on SIGTERM stop admitting, let in-flight requests finish for this long, then close")
+		chaosS   = fs.String("chaos", "", "inject server-side faults from a seeded schedule, e.g. seed=42,all=0.02,delay=0.1 (keys: seed, delay, drop, stall, truncate, corrupt, err5xx, partition, all, delay-dur, partition-dur, stall-cap, data-plane-only); testing only")
 		logLevel = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, off")
 		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
 	)
@@ -80,6 +96,9 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 	if *stripeC < 0 {
 		return nil, fmt.Errorf("-stripe-cache %d must be non-negative", *stripeC)
 	}
+	if *verify && *stripeP == "" {
+		return nil, fmt.Errorf("-verify only applies with -stripe")
+	}
 
 	var db *list.Database
 	switch {
@@ -105,6 +124,16 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 		// paged in per query, which is what makes restarts warm.
 		var sdb *stripe.DB
 		sdb, err = stripe.Open(*stripeP, stripe.Options{CacheBytes: *stripeC})
+		if err == nil && *verify {
+			// Integrity check mode: walk every block against its stored
+			// checksum and exit without serving.
+			verr := sdb.Verify()
+			sdb.Close()
+			if verr != nil {
+				return nil, fmt.Errorf("stripe verify %s: %w", *stripeP, verr)
+			}
+			return &ownerDaemon{log: logger, verified: true}, nil
+		}
 		if err == nil {
 			db, err = sdb.Database()
 		}
@@ -122,7 +151,23 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 	srv.Owner().SetSessionTTL(*ttl)
 	srv.Owner().SetReplicaID(*replica)
 	srv.Owner().SetLogger(logger)
-	return &ownerDaemon{handler: srv.Handler(), addr: *addr, pprofAddr: *pprofA, log: logger}, nil
+	if *maxInfl != 0 {
+		srv.Owner().SetMaxInflight(*maxInfl)
+	}
+	if *maxSess != 0 {
+		srv.Owner().SetMaxSessions(*maxSess)
+	}
+	handler := http.Handler(srv.Handler())
+	if *chaosS != "" {
+		ccfg, cerr := chaos.ParseSpec(*chaosS)
+		if cerr != nil {
+			return nil, cerr
+		}
+		logger.Warn("chaos fault injection armed", "spec", *chaosS)
+		handler = chaos.Handler(handler, chaos.New(ccfg))
+	}
+	return &ownerDaemon{handler: handler, addr: *addr, pprofAddr: *pprofA, log: logger,
+		owner: srv.Owner(), drain: *drain}, nil
 }
 
 // Owner is the topk-owner entry point: it loads (or generates) a
@@ -134,9 +179,18 @@ func Owner(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
 		return 1
 	}
+	if d.verified {
+		fmt.Fprintln(stdout, "topk-owner: stripe verify: ok")
+		return 0
+	}
 	startPprof(d.pprofAddr, d.log)
-	fmt.Fprintf(stdout, "topk-owner: listening on http://%s (endpoints: /rpc/{kind}?sid= /session/open /session/close /session/sync /session/state /stats /healthz /metrics)\n", d.addr)
-	if err := http.ListenAndServe(d.addr, d.handler); err != nil {
+	onStarted := func(addr string) {
+		fmt.Fprintf(stdout, "topk-owner: listening on http://%s (endpoints: /rpc/{kind}?sid= /session/open /session/close /session/sync /session/state /stats /healthz /metrics)\n", addr)
+	}
+	// SIGTERM drains gracefully: stop admitting, let in-flight requests
+	// finish within the drain budget, then discard leftover sessions.
+	onDrained := func() { d.owner.CloseAllSessions() }
+	if err := serveUntilShutdown(context.Background(), d.addr, d.handler, d.drain, d.log, onStarted, onDrained); err != nil {
 		fmt.Fprintf(stderr, "topk-owner: %v\n", err)
 		return 1
 	}

@@ -233,8 +233,8 @@ func clusterQuery(owners, proto, wire, policy, restart string, k int, verbose, t
 			if !h.Healthy {
 				state = "DOWN"
 			}
-			fmt.Fprintf(stdout, "  list %d replica %d %-28s %-7s ewma=%-10s failures=%d failovers=%d\n",
-				h.List, h.Replica, h.URL, state, h.Latency.Round(time.Microsecond), h.Failures, h.Failovers)
+			fmt.Fprintf(stdout, "  list %d replica %d %-28s %-7s breaker=%-9s ewma=%-10s failures=%d failovers=%d\n",
+				h.List, h.Replica, h.URL, state, h.Breaker, h.Latency.Round(time.Microsecond), h.Failures, h.Failovers)
 		}
 	}
 	return 0
@@ -249,8 +249,8 @@ func renderRecovery(w io.Writer, rec topk.RecoveryStats, verbose bool) bool {
 	if !verbose && rec == (topk.RecoveryStats{}) {
 		return false
 	}
-	fmt.Fprintf(w, "recovery: restarts=%d handoffs=%d failed-replicas=%d\n",
-		rec.Restarts, rec.Handoffs, rec.FailedReplicas)
+	fmt.Fprintf(w, "recovery: restarts=%d handoffs=%d failed-replicas=%d backpressure=%d\n",
+		rec.Restarts, rec.Handoffs, rec.FailedReplicas, rec.Backpressure)
 	return true
 }
 

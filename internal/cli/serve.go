@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"time"
 
 	"topk"
 	"topk/internal/gen"
@@ -19,6 +20,11 @@ type serveDaemon struct {
 	addr      string
 	pprofAddr string
 	log       *slog.Logger
+	// cluster is the dialed owner cluster when -owners is set; closed
+	// after a graceful drain. nil for the in-process simulation.
+	cluster *topk.Cluster
+	// drain bounds how long in-flight requests may run after SIGTERM.
+	drain time.Duration
 }
 
 // BuildServeHandler parses topk-serve's flags and returns the HTTP
@@ -50,6 +56,7 @@ func buildServe(args []string, stderr io.Writer) (*serveDaemon, error) {
 		owners   = fs.String("owners", "", "cluster topology (lists comma-separated, replicas |-separated); /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
 		policy   = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
 		restart  = fs.String("restart", "off", "default restart policy for -owners queries: off, failed, always (per-request restart= overrides)")
+		drain    = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: on SIGTERM stop admitting, let in-flight requests finish for this long, then close")
 		logLevel = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, off")
 		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
 	)
@@ -105,7 +112,8 @@ func buildServe(args []string, stderr io.Writer) (*serveDaemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &serveDaemon{handler: srv.Handler(), addr: *addr, pprofAddr: *pprofA, log: logger}, nil
+	return &serveDaemon{handler: srv.Handler(), addr: *addr, pprofAddr: *pprofA, log: logger,
+		cluster: cluster, drain: *drain}, nil
 }
 
 // Serve is the topk-serve entry point: it loads (or generates) a database
@@ -117,8 +125,18 @@ func Serve(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	startPprof(d.pprofAddr, d.log)
-	fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/dist /v1/explain /v1/health /metrics)\n", d.addr)
-	if err := http.ListenAndServe(d.addr, d.handler); err != nil {
+	onStarted := func(addr string) {
+		fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/dist /v1/explain /v1/health /metrics)\n", addr)
+	}
+	// SIGTERM drains gracefully: in-flight API requests finish within
+	// the drain budget, then the owner-cluster connection (prober,
+	// pooled sockets) is released.
+	onDrained := func() {
+		if d.cluster != nil {
+			d.cluster.Close()
+		}
+	}
+	if err := serveUntilShutdown(context.Background(), d.addr, d.handler, d.drain, d.log, onStarted, onDrained); err != nil {
 		fmt.Fprintf(stderr, "topk-serve: %v\n", err)
 		return 1
 	}

@@ -1,0 +1,194 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeUntilShutdownMidRequest pins the graceful-shutdown contract:
+// a SIGTERM arriving while a request is in flight lets that request
+// finish (within the drain budget) and runs the drained hook, instead
+// of cutting the connection. The daemons' SIGTERM path IS this helper.
+func TestServeUntilShutdownMidRequest(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "done")
+	})
+
+	addrCh := make(chan string, 1)
+	drained := make(chan struct{})
+	served := make(chan error, 1)
+	log := slog.New(slog.DiscardHandler)
+	go func() {
+		served <- serveUntilShutdown(context.Background(), "127.0.0.1:0", handler,
+			5*time.Second, log,
+			func(addr string) { addrCh <- addr },
+			func() { close(drained) })
+	}()
+	addr := <-addrCh
+
+	result := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/")
+		if err != nil {
+			result <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		result <- fmt.Sprintf("%d %s", resp.StatusCode, body)
+	}()
+
+	// SIGTERM lands while the request is blocked inside the handler.
+	<-entered
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// Give the drain a moment to begin, then let the handler finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case got := <-result:
+		if got != "200 done" {
+			t.Fatalf("in-flight request got %q, want \"200 done\"", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveUntilShutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntilShutdown never returned")
+	}
+	select {
+	case <-drained:
+	default:
+		t.Fatal("onDrained never ran")
+	}
+	// The listener is gone: new work is refused, not accepted.
+	if _, err := http.Get("http://" + addr + "/"); err == nil {
+		t.Fatal("post-shutdown request was accepted")
+	}
+}
+
+// TestServeUntilShutdownCtxCancel covers the non-signal path tests and
+// embedders use: canceling the parent context drains the same way.
+func TestServeUntilShutdownCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- serveUntilShutdown(ctx, "127.0.0.1:0", http.NotFoundHandler(),
+			time.Second, slog.New(slog.DiscardHandler),
+			func(addr string) { addrCh <- addr }, nil)
+	}()
+	addr := <-addrCh
+	if resp, err := http.Get("http://" + addr + "/"); err != nil {
+		t.Fatalf("probe request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveUntilShutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntilShutdown never returned after cancel")
+	}
+}
+
+// genStripe writes a small stripe database file via the topk-gen CLI.
+func genStripe(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.stripe")
+	if code, _, errOut := capture(t, genEntry,
+		"-n", "300", "-m", "2", "-seed", "7", "-stripe", "-o", path); code != 0 {
+		t.Fatalf("gen -stripe: %s", errOut)
+	}
+	return path
+}
+
+// TestOwnerVerifyStripe runs the end-to-end integrity check: a clean
+// stripe file verifies ok and the daemon exits without serving; the
+// same file with one flipped data byte is refused with a checksum
+// error.
+func TestOwnerVerifyStripe(t *testing.T) {
+	path := genStripe(t)
+
+	var out, errBuf bytes.Buffer
+	if code := Owner([]string{"-stripe", path, "-verify"}, &out, &errBuf); code != 0 {
+		t.Fatalf("verify of clean file: exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "stripe verify: ok") {
+		t.Fatalf("stdout = %q, want the ok report", out.String())
+	}
+
+	// Flip one byte inside the first entry stripe (the header is
+	// smaller than 12 bytes, the footer lives at the end).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[12] ^= 0xff
+	bad := filepath.Join(t.TempDir(), "bad.stripe")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := Owner([]string{"-stripe", bad, "-verify"}, &out, &errBuf); code == 0 {
+		t.Fatal("verify accepted a corrupted stripe file")
+	}
+	if !strings.Contains(errBuf.String(), "verify") {
+		t.Fatalf("stderr = %q, want a verify error", errBuf.String())
+	}
+}
+
+// TestOwnerVerifyNeedsStripe pins the flag contract.
+func TestOwnerVerifyNeedsStripe(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := Owner([]string{"-gen", "uniform", "-verify"}, &out, &errBuf); code == 0 {
+		t.Fatal("-verify without -stripe accepted")
+	}
+	if !strings.Contains(errBuf.String(), "-verify") {
+		t.Fatalf("stderr = %q", errBuf.String())
+	}
+}
+
+// TestOwnerChaosFlag checks the -chaos spec is parsed at build time: a
+// bad spec is refused before the daemon would listen, a good one
+// builds.
+func TestOwnerChaosFlag(t *testing.T) {
+	var errBuf bytes.Buffer
+	if _, err := buildOwner([]string{"-gen", "uniform", "-n", "50",
+		"-chaos", "seed=1,drop=7"}, &errBuf); err == nil {
+		t.Fatal("bad chaos spec accepted")
+	}
+	d, err := buildOwner([]string{"-gen", "uniform", "-n", "50",
+		"-chaos", "seed=1,all=0.01", "-max-inflight", "4", "-max-sessions", "8"}, &errBuf)
+	if err != nil {
+		t.Fatalf("good chaos spec refused: %v", err)
+	}
+	if d.handler == nil {
+		t.Fatal("no handler built")
+	}
+}

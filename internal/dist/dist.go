@@ -185,6 +185,10 @@ type Recovery struct {
 	// FailedReplicas counts distinct replicas that failed mid-run,
 	// including ones failed attempts of a restarted query pinned to.
 	FailedReplicas int
+	// Backpressure counts exchanges the owners shed with a typed
+	// retry-after answer that the client absorbed by waiting and
+	// re-sending — admission-control friction, not failure.
+	Backpressure int
 }
 
 // network tallies the traffic the runner's exchanges generate.
@@ -445,6 +449,7 @@ func (r *runner) finish(res *Result) (*Result, error) {
 		rec := rr.Recovery()
 		res.Recovery.Handoffs = rec.Handoffs
 		res.Recovery.FailedReplicas = rec.FailedReplicas
+		res.Recovery.Backpressure = rec.Backpressure
 	}
 	res.Elapsed = r.sess.Elapsed()
 	if r.rec != nil {

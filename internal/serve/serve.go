@@ -455,6 +455,7 @@ type healthBody struct {
 	Replica       int    `json:"replica"`
 	URL           string `json:"url"`
 	Healthy       bool   `json:"healthy"`
+	Breaker       string `json:"breaker"`
 	LatencyMicros int64  `json:"latencyMicros"`
 	Failures      int64  `json:"failures"`
 	Failovers     int64  `json:"failovers"`
@@ -477,6 +478,7 @@ func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
 	for i, h := range hs {
 		out[i] = healthBody{
 			List: h.List, Replica: h.Replica, URL: h.URL, Healthy: h.Healthy,
+			Breaker:       h.Breaker,
 			LatencyMicros: h.Latency.Microseconds(), Failures: h.Failures, Failovers: h.Failovers,
 		}
 	}

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-replica circuit breaker. Health probing answers "is the process
+// alive?"; the breaker answers the sharper question "is the data plane
+// succeeding against it?" — a replica can pass /healthz while failing
+// every exchange (wedged disk, half-configured restart, a partition
+// that only bites established connections). After K consecutive
+// data-plane or probe failures the breaker opens and routing stops
+// offering the replica traffic; after a cooldown one probe exchange is
+// let through (half-open), and only its success readmits the replica.
+// Each failed half-open probe doubles the cooldown up to a cap, so a
+// persistently broken replica costs one exchange per cooldown instead
+// of a retry storm.
+
+// DefaultBreakerThreshold is K: consecutive failures before the
+// breaker opens. High enough that a lone blip never trips it (the
+// retry/failover budget absorbs those), low enough that a dead replica
+// stops attracting traffic within one query.
+const DefaultBreakerThreshold = 5
+
+// DefaultBreakerCooldown is the first open interval; each failed
+// half-open probe doubles it up to breakerMaxCooldown.
+const DefaultBreakerCooldown = 1 * time.Second
+
+// breakerMaxCooldown caps the doubling so a recovered replica is
+// readmitted within a bounded wait however long it was down.
+const breakerMaxCooldown = 30 * time.Second
+
+// Breaker states, reported by state() and surfaced in ReplicaHealth.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is the lock-free breaker state of one replica. All fields
+// are atomics: the data plane, the prober and Health snapshots touch
+// it concurrently. threshold and base are written once at dial.
+type breaker struct {
+	threshold int64 // consecutive failures to open; <= 0 disables
+	base      int64 // first cooldown, nanoseconds
+
+	consec   atomic.Int64 // consecutive failures since last success
+	open     atomic.Bool
+	reopenAt atomic.Int64 // unix nanos when a half-open probe may pass
+	cooldown atomic.Int64 // current cooldown, nanoseconds
+}
+
+// arm configures the breaker; threshold <= 0 leaves it disabled.
+func (b *breaker) arm(threshold int, cooldown time.Duration) {
+	if threshold <= 0 {
+		return
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	b.threshold = int64(threshold)
+	b.base = int64(cooldown)
+	b.cooldown.Store(int64(cooldown))
+}
+
+// blocked reports whether routing should keep traffic off this replica
+// right now: the breaker is open and the cooldown has not elapsed.
+// Once the cooldown expires the breaker stays open but stops blocking —
+// the next routed exchange is the half-open probe.
+func (b *breaker) blocked(now time.Time) bool {
+	return b.threshold > 0 && b.open.Load() && now.UnixNano() < b.reopenAt.Load()
+}
+
+// state names the breaker's current phase for Health snapshots.
+func (b *breaker) state(now time.Time) string {
+	if b.threshold <= 0 || !b.open.Load() {
+		return breakerClosed
+	}
+	if now.UnixNano() < b.reopenAt.Load() {
+		return breakerOpen
+	}
+	return breakerHalfOpen
+}
+
+// success records a successful exchange (or probe), closing the
+// breaker and resetting the cooldown ladder. Returns true on an actual
+// open->closed transition — the caller logs and counts only those.
+func (b *breaker) success() bool {
+	b.consec.Store(0)
+	if b.threshold <= 0 || !b.open.Swap(false) {
+		return false
+	}
+	b.cooldown.Store(b.base)
+	return true
+}
+
+// failure records one more consecutive failure at time now. It opens
+// the breaker when the threshold is crossed, and re-opens it with a
+// doubled (capped) cooldown when a half-open probe fails. Returns true
+// when this call opened (or re-opened) the breaker.
+func (b *breaker) failure(now time.Time) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	n := b.consec.Add(1)
+	switch {
+	case !b.open.Load():
+		if n < b.threshold {
+			return false
+		}
+		// Trip: first open at the base cooldown (success() reset it).
+	case now.UnixNano() >= b.reopenAt.Load():
+		// A half-open probe failed: back off harder.
+		cd := b.cooldown.Load() * 2
+		if cd > int64(breakerMaxCooldown) {
+			cd = int64(breakerMaxCooldown)
+		}
+		b.cooldown.Store(cd)
+	default:
+		// Already open and still cooling (e.g. a single-replica list that
+		// had nowhere else to route): no new transition, no extension —
+		// the scheduled probe time stands.
+		return false
+	}
+	b.open.Store(true)
+	b.reopenAt.Store(now.Add(time.Duration(b.cooldown.Load())).UnixNano())
+	return true
+}

@@ -128,7 +128,7 @@ func (t *Concurrent) serve(i int) {
 			j.reply <- result{err: err}
 			continue
 		}
-		resp, err := t.owners[i].Handle(j.sid, j.req)
+		resp, err := t.owners[i].HandleContext(j.ctx, j.sid, j.req)
 		var cost time.Duration
 		if err == nil {
 			cost = t.lat(i, j.req, resp)

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -104,6 +106,37 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // tests (open session counts).
 func (s *Server) Owner() *Owner { return s.owner }
 
+// HeaderBudgetMs carries an exchange's deadline budget on the wire:
+// the milliseconds of the originator's query deadline this exchange
+// may spend, measured from when the request was sent. Relative rather
+// than an absolute deadline so it survives clock skew between
+// originator and owner; the server turns it into a context deadline so
+// handlers abandon work for callers that have already given up.
+const HeaderBudgetMs = "X-Topk-Budget-Ms"
+
+// HeaderRetryAfterMs is the owner's backpressure hint on a 429 shed
+// response: how many milliseconds the client should wait before
+// re-sending. Part of the public retry contract — a shed exchange did
+// no work, so re-sending after the pause is always safe, whatever the
+// request kind.
+const HeaderRetryAfterMs = "X-Topk-Retry-After-Ms"
+
+// HeaderFrameCRC carries the IEEE CRC-32 of a data-plane response body
+// (lower-case hex). HTTP alone does not protect the frame end to end —
+// a proxy, a torn connection or flipped bits can hand the client a
+// body that still decodes into plausible protocol state. The client
+// verifies the checksum before decoding, so wire corruption surfaces
+// as a typed, retryable transport error instead of silently wrong
+// answers.
+const HeaderFrameCRC = "X-Topk-Frame-Crc"
+
+// errCorruptFrame classifies a response whose body failed its checksum
+// (or could not be read or decoded at all): the exchange reached the
+// owner but its answer was damaged in flight. Transient — replayable
+// requests re-send, non-replayable sessionful ones hand off to the
+// mirror whose state excludes the damaged exchange.
+var errCorruptFrame = errors.New("transport: corrupt response frame")
+
 // httpError is the uniform error payload.
 type httpError struct {
 	Error string `json:"error"`
@@ -117,6 +150,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeShed answers a request refused by admission control: 429 plus
+// the retry-after hint clients treat as backpressure.
+func writeShed(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set(HeaderRetryAfterMs, strconv.FormatInt(DefaultRetryAfter.Milliseconds(), 10))
+	writeError(w, http.StatusTooManyRequests, format, args...)
+}
+
+// writeFrame writes a data-plane response with its end-to-end frame
+// checksum (HeaderFrameCRC).
+func writeFrame(w http.ResponseWriter, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set(HeaderFrameCRC, strconv.FormatUint(uint64(crc32.ChecksumIEEE(body)), 16))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -142,11 +191,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// statusFor maps an owner error to its HTTP status: unknown sessions are
-// 404 (gone, not malformed), everything else a caller-fault 400.
+// statusFor maps an owner error to its HTTP status: unknown sessions
+// are 404 (gone, not malformed), an expired deadline budget or vanished
+// caller is 504 (the owner abandoned the work, nobody's fault), an
+// overloaded owner is 429 (backpressure, safe to re-send), everything
+// else a caller-fault 400.
 func statusFor(err error) int {
-	if errors.Is(err, ErrUnknownSession) {
+	switch {
+	case errors.Is(err, ErrUnknownSession):
 		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	}
 	return http.StatusBadRequest
 }
@@ -184,8 +241,9 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.owner.Open(body.SID, kind); err != nil {
-		// The session limit is owner overload, not a malformed request.
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		// The session limit is owner overload, not a malformed request:
+		// shed with the retry-after backpressure hint.
+		writeShed(w, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -320,6 +378,24 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind := Kind(strings.TrimPrefix(r.URL.Path, "/rpc/"))
+	// Admission control, before the body is read or any work done: a
+	// shed exchange ran nothing, which is what makes the 429 safe to
+	// re-send even for non-replayable kinds.
+	if !s.owner.TryAcquire() {
+		writeShed(w, "transport: %v: %s exchange shed", ErrOverloaded, kind)
+		return
+	}
+	defer s.owner.Release()
+	// The exchange's deadline budget: the request context already dies
+	// with the caller's connection; the wire budget additionally bounds
+	// it to the slice of the originator's query deadline this exchange
+	// was given, so a scan is abandoned once nobody can use its result.
+	ctx := r.Context()
+	if v, err := strconv.ParseInt(r.Header.Get(HeaderBudgetMs), 10, 64); err == nil && v > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
+		defer cancel()
+	}
 	cw := &countingWriter{ResponseWriter: w}
 	w = cw
 	start := time.Now()
@@ -371,31 +447,32 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		mOwnerExchanges[kind].Inc()
 		mOwnerExchangeSec[kind].Observe(time.Since(start).Seconds())
 	}()
-	resp, err := s.owner.Handle(sid, req)
+	resp, err := s.owner.HandleContext(ctx, sid, req)
 	if err != nil {
-		// Owner errors are malformed requests (bad position, bad item)
-		// or unknown sessions — the caller's fault either way, never
-		// worth a retry.
+		// Owner errors are malformed requests (bad position, bad item),
+		// unknown sessions, or an abandoned deadline budget — statusFor
+		// tells the client which (only the last is worth a retry, and
+		// only with time left).
 		writeError(w, statusFor(err), "%v", err)
 		return
 	}
+	out := getBuf()
+	defer putBuf(out)
+	var enc []byte
+	ct := ContentTypeJSON
 	if binaryWire {
-		out := getBuf()
-		defer putBuf(out)
-		enc, err := AppendResponseBinary(*out, resp)
-		*out = enc
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "transport: encode response: %v", err)
-			return
-		}
-		served = true
-		w.Header().Set("Content-Type", ContentTypeBinary)
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(enc)
+		enc, err = AppendResponseBinary(*out, resp)
+		ct = ContentTypeBinary
+	} else {
+		enc, err = json.Marshal(resp)
+	}
+	*out = enc
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "transport: encode response: %v", err)
 		return
 	}
 	served = true
-	writeJSON(w, http.StatusOK, resp)
+	writeFrame(w, ct, enc)
 }
 
 // decodeRequestJSON unmarshals the JSON body of a /rpc/{kind} call.
@@ -465,6 +542,22 @@ type DialConfig struct {
 	// is routable, the same replica otherwise. 0 means DefaultRetries;
 	// negative disables retries entirely.
 	Retries int
+	// BackoffBase and BackoffCap shape the full-jitter exponential
+	// backoff slept before each retry: attempt a sleeps a uniform draw
+	// from (0, min(BackoffCap, BackoffBase<<(a-1))]. Zero means the
+	// defaults (DefaultBackoffBase, DefaultBackoffCap); a negative
+	// BackoffBase restores the immediate-retry behaviour.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerThreshold is the per-replica circuit breaker's K: after K
+	// consecutive failures (data plane or health probe) the breaker
+	// opens and routing avoids the replica until a half-open probe
+	// exchange succeeds after a doubling, capped cooldown. 0 means
+	// DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the first open interval. 0 means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// Wire selects the data-plane codec. Default WireAuto.
 	Wire WireFormat
 	// DisableHandoff turns off session-state mirroring: sessionful
@@ -501,6 +594,12 @@ type HTTPClient struct {
 	retries    int
 	replicated bool
 	noHandoff  bool
+
+	// bk paces retries (full-jitter exponential backoff); healthEvery
+	// is the prober's base cadence, doubled per consecutive probe
+	// failure by probeFailed.
+	bk          backoff
+	healthEvery time.Duration
 
 	// rr holds the per-list round-robin cursors of RouteRoundRobin.
 	rr []atomic.Uint32
@@ -607,12 +706,18 @@ func Dial(ctx context.Context, cfg DialConfig) (*HTTPClient, error) {
 	case t.retries < 0:
 		t.retries = 0
 	}
+	t.bk = defaultBackoff(cfg.BackoffBase, cfg.BackoffCap)
 	t.wire.Store(uint32(cfg.Wire))
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
 	for li, reps := range topo {
 		t.lists[li] = make([]*replica, len(reps))
 		for ri, u := range reps {
 			r := &replica{list: li, index: ri, url: NormalizeOwnerURL(u)}
-			r.mHealthy, r.mEwma = replicaGauges(li, ri)
+			r.mHealthy, r.mEwma, r.mBreaker = replicaGauges(li, ri)
+			r.brk.arm(threshold, cfg.BreakerCooldown)
 			t.lists[li][ri] = r
 		}
 	}
@@ -822,6 +927,14 @@ func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byt
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
 	}
+	// Ship the attempt's deadline budget — the smaller of the caller's
+	// remaining query deadline and the per-attempt timeout — as relative
+	// milliseconds, so the owner abandons work once nobody is waiting.
+	if dl, ok := actx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(HeaderBudgetMs, strconv.FormatInt(ms, 10))
+		}
+	}
 	resp, err := t.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -830,17 +943,38 @@ func (t *HTTPClient) attempt(ctx context.Context, method, url string, body []byt
 	if resp.StatusCode != http.StatusOK {
 		return resp.StatusCode, remoteError(resp)
 	}
-	if decode != nil {
-		return resp.StatusCode, decode(resp.Body)
+	if decode == nil {
+		return resp.StatusCode, nil
 	}
-	return resp.StatusCode, nil
+	// A data-plane response carries its frame checksum; verify before
+	// decoding so wire corruption surfaces as a typed, retryable error
+	// instead of silently mangled payloads or an opaque decode failure.
+	if crc := resp.Header.Get(HeaderFrameCRC); crc != "" {
+		buf := getBuf()
+		defer putBuf(buf)
+		data, rerr := appendAll(*buf, resp.Body)
+		*buf = data
+		if rerr != nil {
+			return resp.StatusCode, fmt.Errorf("%w: read body: %v", errCorruptFrame, rerr)
+		}
+		want, perr := strconv.ParseUint(crc, 16, 32)
+		if perr != nil || crc32.ChecksumIEEE(data) != uint32(want) {
+			return resp.StatusCode, fmt.Errorf("%w: frame checksum mismatch (%d bytes)", errCorruptFrame, len(data))
+		}
+		return resp.StatusCode, decode(bytes.NewReader(data))
+	}
+	return resp.StatusCode, decode(resp.Body)
 }
 
 // doReplica performs one control-plane exchange with a specific replica,
 // body pre-encoded, retrying on the same replica up to the retry budget
-// on transient failures. Errors carry list, replica and URL.
+// on transient failures with jittered backoff between attempts. An
+// owner shed (429) is honored as backpressure: the pause is waited out
+// without burning the retry budget, bounded by maxBackpressureWaits
+// and the caller's deadline. Errors carry list, replica and URL.
 func (t *HTTPClient) doReplica(ctx context.Context, r *replica, method, path string, body []byte, contentType string, decode func(io.Reader) error) error {
 	var lastErr error
+	waits := 0
 	for a := 0; a <= t.retries; a++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr == nil {
@@ -853,8 +987,23 @@ func (t *HTTPClient) doReplica(ctx context.Context, r *replica, method, path str
 			return nil
 		}
 		lastErr = err
-		if !transientStatus(status) && (status != 0 || !transientErr(ctx, err)) {
+		if pause, shed := shedPause(err, t.bk, waits+1); shed && waits < maxBackpressureWaits {
+			waits++
+			mClientBackpressure.Inc()
+			if sleepCtx(ctx, pause) != nil {
+				break
+			}
+			a--
+			continue
+		}
+		if !transientStatus(status) && (status != 0 || !transientErr(ctx, err)) &&
+			!errors.Is(err, errCorruptFrame) {
 			break
+		}
+		if a < t.retries {
+			if sleepCtx(ctx, t.bk.delay(a+1)) != nil {
+				break
+			}
 		}
 	}
 	return fmt.Errorf("transport: owner %d replica %d (%s): %w", r.list, r.index, r.url, lastErr)
@@ -881,6 +1030,10 @@ type RemoteError struct {
 	Status int
 	// Msg is the owner's error payload, if it sent one.
 	Msg string
+	// RetryAfter is the owner's backpressure hint on a 429 shed
+	// response (X-Topk-Retry-After-Ms): how long to wait before
+	// re-sending. Zero when the owner sent none.
+	RetryAfter time.Duration
 }
 
 // Error renders the owner's message when present, the status otherwise.
@@ -893,11 +1046,33 @@ func (e *RemoteError) Error() string {
 
 // remoteError lifts a non-200 reply into a RemoteError.
 func remoteError(resp *http.Response) error {
+	re := &RemoteError{Status: resp.StatusCode}
+	if v, err := strconv.ParseInt(resp.Header.Get(HeaderRetryAfterMs), 10, 64); err == nil && v > 0 {
+		re.RetryAfter = time.Duration(v) * time.Millisecond
+	}
 	var body httpError
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil && body.Error != "" {
-		return &RemoteError{Status: resp.StatusCode, Msg: body.Error}
+		re.Msg = body.Error
 	}
-	return &RemoteError{Status: resp.StatusCode}
+	return re
+}
+
+// maxBackpressureWaits bounds how many owner sheds one exchange (or
+// control-plane call) will wait out before the 429 is surfaced as an
+// ordinary failure — a fuse against an owner stuck answering 429
+// forever, on top of the caller's own deadline.
+const maxBackpressureWaits = 16
+
+// shedPause reports whether err is an owner shed (429 backpressure)
+// and, when it is, how long to pause before re-sending: the owner's
+// retry-after hint plus a jittered backoff share so a fleet of shed
+// clients doesn't return in lockstep.
+func shedPause(err error, bk backoff, waits int) (time.Duration, bool) {
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusTooManyRequests {
+		return 0, false
+	}
+	return re.RetryAfter + bk.delay(waits), true
 }
 
 // replicaInfo fetches one replica's list metadata (the dial handshake),
@@ -1106,8 +1281,10 @@ type httpSession struct {
 
 	state []sessionListState
 
-	// handoffs counts pin-to-mirror promotions across all lists.
-	handoffs atomic.Int64
+	// handoffs counts pin-to-mirror promotions across all lists;
+	// backpressure counts owner sheds (429) this session waited out.
+	handoffs     atomic.Int64
+	backpressure atomic.Int64
 
 	// rec collects per-exchange trace spans when the query is traced;
 	// nil otherwise. Armed via SetSpanRecorder before the first
@@ -1188,17 +1365,19 @@ func (s *httpSession) noteFailed(li, ri int) {
 }
 
 // SessionRecovery reports the failures one session absorbed: how many
-// pin-to-mirror handoffs it performed and how many distinct replicas
-// failed an exchange mid-query. The dist runner harvests it into
-// Result.Recovery; primary accounting is untouched by either event.
+// pin-to-mirror handoffs it performed, how many distinct replicas
+// failed an exchange mid-query, and how many owner sheds it waited out
+// as backpressure. The dist runner harvests it into Result.Recovery;
+// primary accounting is untouched by any of them.
 type SessionRecovery struct {
 	Handoffs       int
 	FailedReplicas int
+	Backpressure   int
 }
 
 // Recovery snapshots the session's recovery tallies.
 func (s *httpSession) Recovery() SessionRecovery {
-	rec := SessionRecovery{Handoffs: int(s.handoffs.Load())}
+	rec := SessionRecovery{Handoffs: int(s.handoffs.Load()), Backpressure: int(s.backpressure.Load())}
 	for li := range s.state {
 		ls := &s.state[li]
 		ls.mu.Lock()
@@ -1279,6 +1458,7 @@ func (s *httpSession) syncMirror(ctx context.Context, li int, resp Response) {
 	s.noteFailed(li, m.index)
 	m.noteFailure()
 	s.t.noteHealth(m, false)
+	s.t.tripFailure(m)
 	s.t.log.Warn("mirror lost sync", "sid", s.sid, "list", li, "replica", m.index, "url", m.url, "err", err)
 	var re *RemoteError
 	if errors.As(err, &re) && re.Status == http.StatusNotFound {
@@ -1332,6 +1512,7 @@ func (s *httpSession) promoteMirror(ctx context.Context, li int) {
 		s.noteFailed(li, cand.index)
 		cand.noteFailure()
 		s.t.noteHealth(cand, false)
+		s.t.tripFailure(cand)
 		return
 	}
 	ls.mu.Lock()
@@ -1415,7 +1596,7 @@ func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, bod
 		data, rerr := appendAll(*dec, rd)
 		*dec = data
 		if rerr != nil {
-			return rerr
+			return fmt.Errorf("%w: read body: %v", errCorruptFrame, rerr)
 		}
 		respBytes = len(data)
 		var derr error
@@ -1424,7 +1605,12 @@ func (s *httpSession) attemptRPC(ctx context.Context, r *replica, kind Kind, bod
 		} else {
 			out, derr = decodeResponseJSON(kind, data)
 		}
-		return derr
+		if derr != nil {
+			// The owner answered 200, so a frame that fails to decode
+			// was damaged in transit: classify as corrupt, not permanent.
+			return fmt.Errorf("%w: decode: %v", errCorruptFrame, derr)
+		}
+		return nil
 	})
 	return out, respBytes, status, err
 }
@@ -1525,12 +1711,23 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (_ Resp
 	attempts := attemptsFor()
 	var tried []bool
 	var lastErr error
+	waits := 0
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr == nil {
 				lastErr = err
 			}
 			break
+		}
+		if attempted > 0 {
+			// Jittered exponential backoff before every re-attempt (and
+			// before resuming on a failed-over sibling): an immediate
+			// identical re-send re-offers the load that just failed at
+			// the instant it failed, which under overload or a flapping
+			// network synchronizes the retriers into a storm.
+			if sleepCtx(ctx, s.t.bk.delay(attempted)) != nil {
+				break
+			}
 		}
 		attempted++
 		start := time.Now()
@@ -1539,6 +1736,7 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (_ Resp
 			respBytes = rb
 			target.observe(time.Since(start))
 			s.t.noteHealth(target, true)
+			s.t.tripSuccess(target)
 			if failedOver {
 				target.failovers.Add(1)
 			}
@@ -1549,13 +1747,31 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (_ Resp
 			return resp, nil
 		}
 		lastErr = err
+		// A 429 is the owner shedding load before doing any work:
+		// backpressure, not failure. Wait out the owner's retry-after
+		// hint (plus jitter) and re-send without burning the attempt
+		// budget or the replica's health/breaker standing — a shed
+		// exchange is safe to re-send whatever its kind, because the
+		// owner is contractually bound to have run none of it.
+		if pause, shed := shedPause(err, s.t.bk, waits+1); shed && waits < maxBackpressureWaits {
+			waits++
+			attempted--
+			mClientBackpressure.Inc()
+			s.backpressure.Add(1)
+			if sleepCtx(ctx, pause) != nil {
+				break
+			}
+			a--
+			continue
+		}
 		// A 404 is the owner's ErrUnknownSession: the replica is alive
 		// but no longer holds this session — it restarted since the
 		// open. Its copy of the session state is gone, not the session:
 		// a sibling replica still holds it.
 		var re *RemoteError
 		sessionLost := errors.As(err, &re) && re.Status == http.StatusNotFound
-		transient := transientStatus(status) || (status == 0 && transientErr(ctx, err))
+		transient := transientStatus(status) || (status == 0 && transientErr(ctx, err)) ||
+			errors.Is(err, errCorruptFrame)
 		if !sessionLost && !transient {
 			// The owner rejected the request (or the caller canceled):
 			// no replica will answer differently.
@@ -1564,6 +1780,7 @@ func (s *httpSession) exchange(ctx context.Context, li int, req Request) (_ Resp
 		if !sessionLost {
 			target.noteFailure()
 			s.t.noteHealth(target, false)
+			s.t.tripFailure(target)
 		}
 		s.noteFailed(li, target.index)
 		if sessionful {

@@ -89,10 +89,10 @@ func (s *loopbackSession) Do(ctx context.Context, owner int, req Request) (Respo
 		return nil, err
 	}
 	if s.rec == nil {
-		return s.t.owners[owner].Handle(s.sid, req)
+		return s.t.owners[owner].HandleContext(ctx, s.sid, req)
 	}
 	start := time.Now()
-	resp, err := s.t.owners[owner].Handle(s.sid, req)
+	resp, err := s.t.owners[owner].HandleContext(ctx, s.sid, req)
 	// In-process: no replica, no serialization — replica -1, zero bytes.
 	s.rec.Record(Span{Owner: owner, Replica: -1, URL: "loopback", Kind: req.Kind(),
 		Msgs: logicalMessages(req), Duration: time.Since(start), Attempts: 1, Err: errString(err)})

@@ -25,6 +25,9 @@ import (
 //	topk_owner_sessions_closed_total            counter
 //	topk_owner_sessions_evicted_total           counter    TTL sweep reclaims
 //	topk_owner_session_syncs_total              counter    mirrored state deltas applied
+//	topk_owner_inflight_exchanges               gauge      data-plane exchanges being served now
+//	topk_owner_shed_total                       counter    exchanges shed by admission control (429)
+//	topk_owner_deadline_abandoned_total         counter    exchanges abandoned on an expired deadline budget
 //
 //	topk_client_exchanges_total{kind}           counter    exchanges completed by originators
 //	topk_client_exchange_seconds{kind}          histogram  full exchange latency (incl. retries)
@@ -39,6 +42,9 @@ import (
 //	topk_client_health_transitions_total{to}    counter    healthy<->unhealthy flips
 //	topk_client_replica_healthy{list,replica}   gauge      last health verdict (0|1)
 //	topk_client_probe_ewma_seconds{list,replica} gauge     EWMA round-trip latency
+//	topk_client_breaker_open{list,replica}      gauge      circuit breaker open (0|1)
+//	topk_client_breaker_transitions_total{to}   counter    breaker open<->closed flips
+//	topk_client_backpressure_waits_total        counter    retry-after waits honored after an owner shed
 //	topk_client_sessions_open                   gauge
 //	topk_client_sessions_opened_total           counter
 var rpcKinds = []Kind{KindSorted, KindLookup, KindProbe, KindMark, KindTopK, KindAbove, KindFetch, KindBatch}
@@ -99,6 +105,9 @@ var (
 	mOwnerSessClosed   = obs.GetCounter("topk_owner_sessions_closed_total", "Sessions closed by their originator.", nil)
 	mOwnerSessEvicted  = obs.GetCounter("topk_owner_sessions_evicted_total", "Idle sessions reclaimed by the TTL sweep.", nil)
 	mOwnerSessionSyncs = obs.GetCounter("topk_owner_session_syncs_total", "Mirrored session-state deltas applied via /session/sync.", nil)
+	mOwnerInflight     = obs.GetGauge("topk_owner_inflight_exchanges", "Data-plane exchanges being served right now.", nil)
+	mOwnerShed         = obs.GetCounter("topk_owner_shed_total", "Data-plane exchanges shed by admission control before any work was done.", nil)
+	mOwnerDeadline     = obs.GetCounter("topk_owner_deadline_abandoned_total", "Exchanges abandoned because their deadline budget expired mid-handling.", nil)
 )
 
 // Originator (client) side.
@@ -117,16 +126,21 @@ var (
 	mClientHealthDown   = obs.GetCounter("topk_client_health_transitions_total", "Replica health verdict flips, by direction.", obs.Labels{"to": "unhealthy"})
 	mClientSessionsOpen = obs.GetGauge("topk_client_sessions_open", "Query sessions currently open on this originator.", nil)
 	mClientSessOpened   = obs.GetCounter("topk_client_sessions_opened_total", "Query sessions opened over this originator's lifetime.", nil)
+
+	mClientBreakerOpened = obs.GetCounter("topk_client_breaker_transitions_total", "Circuit breaker transitions, by direction.", obs.Labels{"to": "open"})
+	mClientBreakerClosed = obs.GetCounter("topk_client_breaker_transitions_total", "Circuit breaker transitions, by direction.", obs.Labels{"to": "closed"})
+	mClientBackpressure  = obs.GetCounter("topk_client_backpressure_waits_total", "Retry-after waits honored after an owner shed an exchange (429).", nil)
 )
 
-// replicaGauges returns the per-replica health and EWMA gauge handles,
-// labelled by position in the topology. Dial installs them on each
-// replica so observe() updates a cached handle instead of hitting the
-// registry.
-func replicaGauges(list, index int) (healthy, ewma *obs.Gauge) {
+// replicaGauges returns the per-replica health, EWMA and breaker gauge
+// handles, labelled by position in the topology. Dial installs them on
+// each replica so observe() updates a cached handle instead of hitting
+// the registry.
+func replicaGauges(list, index int) (healthy, ewma, brk *obs.Gauge) {
 	labels := obs.Labels{"list": itoa(list), "replica": itoa(index)}
 	return obs.GetGauge("topk_client_replica_healthy", "Last health verdict per replica (1 healthy, 0 unhealthy).", labels),
-		obs.GetGauge("topk_client_probe_ewma_seconds", "EWMA round-trip latency per replica, from probes and data-plane exchanges.", labels)
+		obs.GetGauge("topk_client_probe_ewma_seconds", "EWMA round-trip latency per replica, from probes and data-plane exchanges.", labels),
+		obs.GetGauge("topk_client_breaker_open", "Circuit breaker state per replica (1 open or half-open, 0 closed).", labels)
 }
 
 // itoa is strconv.Itoa without the import weight in this file's hot

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"topk/internal/access"
@@ -55,10 +57,30 @@ type OwnerStats struct {
 // request (which is never worth a retry either).
 var ErrUnknownSession = errors.New("unknown session")
 
-// MaxSessions bounds the number of concurrently open sessions per
-// owner, so originators that crash without closing their sessions
-// degrade into a clear error instead of unbounded owner-side state.
+// MaxSessions is the default bound on concurrently open sessions per
+// owner (see SetMaxSessions), so originators that crash without
+// closing their sessions degrade into a clear error instead of
+// unbounded owner-side state.
 const MaxSessions = 4096
+
+// DefaultMaxInflight is the default admission-control bound on
+// concurrently served data-plane exchanges (see SetMaxInflight). An
+// exchange beyond the bound is shed with ErrOverloaded before any work
+// is done — the client treats the typed retry-after as backpressure.
+const DefaultMaxInflight = 1024
+
+// DefaultRetryAfter is the pause an overloaded owner suggests to shed
+// clients. Short: shedding exists to smear a burst out over tens of
+// milliseconds, not to park clients.
+const DefaultRetryAfter = 25 * time.Millisecond
+
+// ErrOverloaded reports an exchange shed by owner-side admission
+// control: the owner was at its in-flight (or session) bound and
+// refused the work before doing any of it. Because nothing ran, a shed
+// exchange is safe to re-send whatever its kind — the HTTP server maps
+// this to 429 plus a Retry-After hint and the client waits it out
+// instead of counting a failure.
+var ErrOverloaded = errors.New("owner overloaded")
 
 // DefaultSessionTTL is the idle bound after which an owner may evict a
 // session: a session untouched for this long was abandoned by an
@@ -106,6 +128,14 @@ type Owner struct {
 	ttl       time.Duration // idle bound; <= 0 disables eviction
 	nextSweep time.Time
 	evictions int64
+	maxSess   int // open-session bound; <= 0 means unbounded
+
+	// Admission control: inflight tracks data-plane exchanges being
+	// served right now, maxInflight bounds them (<= 0 disables). Atomics
+	// so TryAcquire/Release stay off the session-table mutex.
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
+	shed        atomic.Int64
 
 	// log narrates session lifecycle (open/close/evict) for operators.
 	// Never nil — a discard logger until SetLogger installs a real one —
@@ -127,15 +157,18 @@ func NewOwner(db *list.Database, index int) (*Owner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Owner{
+	o := &Owner{
 		index:    index,
 		m:        db.M(),
 		n:        db.N(),
 		db:       own,
 		sessions: make(map[string]*ownerSession),
 		ttl:      DefaultSessionTTL,
+		maxSess:  MaxSessions,
 		log:      slog.New(slog.DiscardHandler),
-	}, nil
+	}
+	o.maxInflight.Store(DefaultMaxInflight)
+	return o, nil
 }
 
 // SetLogger installs a structured logger for the owner's session
@@ -160,6 +193,48 @@ func (o *Owner) SetSessionTTL(d time.Duration) {
 	o.ttl = d
 	o.nextSweep = time.Time{}
 }
+
+// SetMaxSessions changes the open-session bound (default MaxSessions;
+// 0 or negative removes it). Opens beyond the bound fail with an
+// ErrOverloaded-wrapped error the HTTP server answers 429.
+func (o *Owner) SetMaxSessions(n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.maxSess = n
+}
+
+// SetMaxInflight changes the admission-control bound on concurrently
+// served data-plane exchanges (default DefaultMaxInflight; 0 or
+// negative removes it). Safe to call while serving.
+func (o *Owner) SetMaxInflight(n int) {
+	o.maxInflight.Store(int64(n))
+}
+
+// TryAcquire reserves one in-flight exchange slot, refusing when the
+// owner is at its admission bound. Callers that get true must Release.
+// The reservation happens before any request work — body, decode,
+// handler — which is what makes a shed exchange unconditionally safe
+// to re-send.
+func (o *Owner) TryAcquire() bool {
+	n := o.inflight.Add(1)
+	if max := o.maxInflight.Load(); max > 0 && n > max {
+		o.inflight.Add(-1)
+		o.shed.Add(1)
+		mOwnerShed.Inc()
+		return false
+	}
+	mOwnerInflight.Set(float64(n))
+	return true
+}
+
+// Release returns an in-flight exchange slot taken by TryAcquire.
+func (o *Owner) Release() {
+	mOwnerInflight.Set(float64(o.inflight.Add(-1)))
+}
+
+// Shed reports how many exchanges admission control has refused over
+// the owner's lifetime.
+func (o *Owner) Shed() int64 { return o.shed.Load() }
 
 // SetReplicaID labels this owner process within its list's replica set
 // (e.g. "a", "b" — cmd/topk-owner's -replica flag). The label is
@@ -214,8 +289,8 @@ func (o *Owner) Open(sid string, kind bestpos.Kind) error {
 	now := time.Now()
 	o.sweepLocked(now)
 	_, existed := o.sessions[sid]
-	if !existed && len(o.sessions) >= MaxSessions {
-		return fmt.Errorf("transport: owner %d: session limit %d reached", o.index, MaxSessions)
+	if !existed && o.maxSess > 0 && len(o.sessions) >= o.maxSess {
+		return fmt.Errorf("transport: owner %d: session limit %d reached: %w", o.index, o.maxSess, ErrOverloaded)
 	}
 	o.sessions[sid] = &ownerSession{
 		pr:       access.NewProbe(o.db),
@@ -242,6 +317,25 @@ func (o *Owner) CloseSession(sid string) {
 	mOwnerSessClosed.Inc()
 	mOwnerSessionsOpen.Add(-1)
 	o.log.Debug("session closed", "sid", sid)
+}
+
+// CloseAllSessions releases every open session, returning how many it
+// closed — the graceful-shutdown path: after the HTTP server has
+// drained, the daemon discards whatever sessions crashed or abandoned
+// originators left behind rather than waiting out the TTL.
+func (o *Owner) CloseAllSessions() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := len(o.sessions)
+	for sid := range o.sessions {
+		delete(o.sessions, sid)
+		mOwnerSessClosed.Inc()
+		mOwnerSessionsOpen.Add(-1)
+	}
+	if n > 0 {
+		o.log.Info("sessions closed at shutdown", "count", n)
+	}
+	return n
 }
 
 // Sessions reports how many sessions are currently open.
@@ -395,18 +489,33 @@ func (o *Owner) SessionState(sid string) (ranges [][2]int, depth int, err error)
 // under one hold of the session mutex, so no other exchange of the same
 // session can interleave with a coalesced round.
 func (o *Owner) Handle(sid string, req Request) (Response, error) {
+	return o.HandleContext(context.Background(), sid, req)
+}
+
+// HandleContext is Handle under a caller deadline: the context carries
+// the exchange's slice of the originator's remaining query deadline
+// (on the HTTP server, parsed off the wire; in-process backends pass
+// their query context directly). Handlers whose work scales with the
+// list — above, topk, fetch, batch — poll it and abandon the exchange
+// with the context's error once the caller is dead, so an owner never
+// burns a scan on a query nobody is waiting for. Work already done
+// stays done and stays charged, like a batch aborting midway.
+func (o *Owner) HandleContext(ctx context.Context, sid string, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := o.session(sid)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return o.dispatch(s, req)
+	return o.dispatch(ctx, s, req)
 }
 
 // dispatch routes one request to its handler; the caller holds the
 // session mutex.
-func (o *Owner) dispatch(s *ownerSession, req Request) (Response, error) {
+func (o *Owner) dispatch(ctx context.Context, s *ownerSession, req Request) (Response, error) {
 	switch r := req.(type) {
 	case SortedReq:
 		return o.handleSorted(s, r)
@@ -417,16 +526,31 @@ func (o *Owner) dispatch(s *ownerSession, req Request) (Response, error) {
 	case MarkReq:
 		return o.handleMark(s, r)
 	case TopKReq:
-		return o.handleTopK(s, r)
+		return o.handleTopK(ctx, s, r)
 	case AboveReq:
-		return o.handleAbove(s, r)
+		return o.handleAbove(ctx, s, r)
 	case FetchReq:
-		return o.handleFetch(s, r)
+		return o.handleFetch(ctx, s, r)
 	case BatchReq:
-		return o.handleBatch(s, r)
+		return o.handleBatch(ctx, s, r)
 	default:
 		return nil, fmt.Errorf("transport: owner %d: unknown request %T", o.index, req)
 	}
+}
+
+// pollCtx reports the context's error every strideth iteration (i
+// counting from anything): the scan handlers' deadline check, cheap
+// enough to sit inside per-entry loops.
+func pollCtx(ctx context.Context, i int) error {
+	const stride = 256
+	if i%stride != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		mOwnerDeadline.Inc()
+		return err
+	}
+	return nil
 }
 
 // handleBatch executes a coalesced round's inner requests in order,
@@ -434,13 +558,17 @@ func (o *Owner) dispatch(s *ownerSession, req Request) (Response, error) {
 // the failing index — work already done stays done (and stays charged),
 // exactly as if the messages had traveled one by one and the round had
 // aborted midway.
-func (o *Owner) handleBatch(s *ownerSession, req BatchReq) (Response, error) {
+func (o *Owner) handleBatch(ctx context.Context, s *ownerSession, req BatchReq) (Response, error) {
 	out := make([]Response, len(req.Reqs))
 	for i, r := range req.Reqs {
 		if _, ok := r.(BatchReq); ok {
 			return nil, fmt.Errorf("transport: owner %d: batches must not nest", o.index)
 		}
-		resp, err := o.dispatch(s, r)
+		if err := ctx.Err(); err != nil {
+			mOwnerDeadline.Inc()
+			return nil, fmt.Errorf("batch[%d]: %w", i, err)
+		}
+		resp, err := o.dispatch(ctx, s, r)
 		if err != nil {
 			return nil, fmt.Errorf("batch[%d]: %w", i, err)
 		}
@@ -530,12 +658,15 @@ func (o *Owner) handleMark(s *ownerSession, req MarkReq) (Response, error) {
 }
 
 // handleTopK serves TPUT phase 1: the owner reads its K best entries.
-func (o *Owner) handleTopK(s *ownerSession, req TopKReq) (Response, error) {
+func (o *Owner) handleTopK(ctx context.Context, s *ownerSession, req TopKReq) (Response, error) {
 	if err := o.checkPos(req.K); err != nil {
 		return nil, err
 	}
 	out := make([]list.Entry, req.K)
 	for p := 1; p <= req.K; p++ {
+		if err := pollCtx(ctx, p); err != nil {
+			return nil, err
+		}
 		out[p-1] = s.pr.Sorted(0, p)
 	}
 	s.depth = req.K
@@ -545,9 +676,14 @@ func (o *Owner) handleTopK(s *ownerSession, req TopKReq) (Response, error) {
 // handleAbove serves TPUT phase 2: the owner continues its scan past the
 // already-sent prefix and returns every entry with score >= T. The read
 // that discovers the first score below T is charged — it was performed.
-func (o *Owner) handleAbove(s *ownerSession, req AboveReq) (Response, error) {
+// The deadline poll sits inside the loop because this is the one
+// handler whose work can span a whole list tail.
+func (o *Owner) handleAbove(ctx context.Context, s *ownerSession, req AboveReq) (Response, error) {
 	var out []list.Entry
 	for p := s.depth + 1; p <= o.n; p++ {
+		if err := pollCtx(ctx, p); err != nil {
+			return nil, err
+		}
 		e := s.pr.Sorted(0, p)
 		s.depth = p
 		if e.Score < req.T {
@@ -559,9 +695,12 @@ func (o *Owner) handleAbove(s *ownerSession, req AboveReq) (Response, error) {
 }
 
 // handleFetch serves TPUT phase 3: exact scores for the listed items.
-func (o *Owner) handleFetch(s *ownerSession, req FetchReq) (Response, error) {
+func (o *Owner) handleFetch(ctx context.Context, s *ownerSession, req FetchReq) (Response, error) {
 	out := make([]float64, len(req.Items))
 	for j, d := range req.Items {
+		if err := pollCtx(ctx, j); err != nil {
+			return nil, err
+		}
 		if err := o.checkItem(d); err != nil {
 			return nil, err
 		}

@@ -182,12 +182,25 @@ type replica struct {
 	// replica failed them first.
 	failovers atomic.Int64
 
-	// mHealthy and mEwma are this replica's cached obs gauge handles
-	// (topk_client_replica_healthy, topk_client_probe_ewma_seconds),
-	// installed at dial so the hot path never touches the registry.
-	// nil on replicas built outside Dial (tests).
+	// brk is the replica's circuit breaker: consecutive data-plane or
+	// probe failures open it and routing stops offering the replica
+	// traffic until a half-open probe succeeds (breaker.go).
+	brk breaker
+
+	// probeFails counts consecutive failed health probes and nextProbe
+	// (unix nanos) is when the prober may try again: a persistently-down
+	// replica is probed at an exponentially decaying, capped cadence
+	// instead of being hammered every interval.
+	probeFails atomic.Int64
+	nextProbe  atomic.Int64
+
+	// mHealthy, mEwma and mBreaker are this replica's cached obs gauge
+	// handles (topk_client_replica_healthy, topk_client_probe_ewma_seconds,
+	// topk_client_breaker_open), installed at dial so the hot path never
+	// touches the registry. nil on replicas built outside Dial (tests).
 	mHealthy *obs.Gauge
 	mEwma    *obs.Gauge
+	mBreaker *obs.Gauge
 }
 
 // noteFailure tallies one transport-level failure against the replica.
@@ -217,6 +230,35 @@ func (r *replica) observe(d time.Duration) {
 			return
 		}
 	}
+}
+
+// tripFailure feeds one failure into the replica's circuit breaker,
+// logging and counting the open transition when this failure trips it.
+// Fed by the data plane and the health prober alike — K consecutive
+// failures from either stop traffic to the replica.
+func (t *HTTPClient) tripFailure(r *replica) {
+	if !r.brk.failure(time.Now()) {
+		return
+	}
+	if r.mBreaker != nil {
+		r.mBreaker.Set(1)
+	}
+	mClientBreakerOpened.Inc()
+	t.log.Warn("circuit breaker opened", "list", r.list, "replica", r.index, "url", r.url,
+		"cooldown", time.Duration(r.brk.cooldown.Load()))
+}
+
+// tripSuccess feeds one success into the breaker, closing it (and
+// readmitting the replica to routing) when it was open.
+func (t *HTTPClient) tripSuccess(r *replica) {
+	if !r.brk.success() {
+		return
+	}
+	if r.mBreaker != nil {
+		r.mBreaker.Set(0)
+	}
+	mClientBreakerClosed.Inc()
+	t.log.Info("circuit breaker closed", "list", r.list, "replica", r.index, "url", r.url)
 }
 
 // noteHealth records a replica health verdict; only an actual change
@@ -258,12 +300,17 @@ type ReplicaHealth struct {
 	// exchanges this replica served after a sibling failed them.
 	Failures  int64
 	Failovers int64
+	// Breaker is the circuit breaker's phase: "closed" (traffic flows),
+	// "open" (cooling down, routing avoids the replica) or "half-open"
+	// (the next exchange is the readmission probe).
+	Breaker string
 }
 
 // Health snapshots the per-replica connection state, lists in order,
 // replicas in topology order within each list.
 func (t *HTTPClient) Health() []ReplicaHealth {
 	var out []ReplicaHealth
+	now := time.Now()
 	for _, reps := range t.lists {
 		for _, r := range reps {
 			out = append(out, ReplicaHealth{
@@ -274,6 +321,7 @@ func (t *HTTPClient) Health() []ReplicaHealth {
 				Latency:   time.Duration(r.ewma.Load()),
 				Failures:  r.failures.Load(),
 				Failovers: r.failovers.Load(),
+				Breaker:   r.brk.state(now),
 			})
 		}
 	}
@@ -290,11 +338,20 @@ const DefaultHealthInterval = 3 * time.Second
 // stall the sweep past the next tick.
 const healthProbeTimeout = 2 * time.Second
 
+// probeBackoffCap bounds the probe backoff of a persistently-down
+// replica: however long it has been failing, the prober looks again at
+// least this often, so a revived process is readmitted within a
+// bounded wait.
+const probeBackoffCap = 30 * time.Second
+
 // startProber launches the background health loop: every interval it
-// probes /healthz of every replica in parallel, restoring replicas the
-// data plane marked dead and demoting ones that stopped answering.
-// Close stops the loop and waits for it.
+// probes /healthz of every due replica in parallel, restoring replicas
+// the data plane marked dead and demoting ones that stopped answering.
+// Replicas that keep failing their probes are re-checked at an
+// exponentially decaying, capped cadence instead of every tick. Close
+// stops the loop and waits for it.
 func (t *HTTPClient) startProber(interval time.Duration) {
+	t.healthEvery = interval
 	ctx, cancel := context.WithCancel(context.Background())
 	t.probeCancel = cancel
 	t.proberDone = make(chan struct{})
@@ -313,11 +370,17 @@ func (t *HTTPClient) startProber(interval time.Duration) {
 	}()
 }
 
-// sweepHealth probes every replica once, in parallel.
+// sweepHealth probes every due replica once, in parallel. A replica in
+// probe backoff (nextProbe in the future) is skipped — a down host
+// must not be hammered at the full cadence forever.
 func (t *HTTPClient) sweepHealth(ctx context.Context) {
+	now := time.Now().UnixNano()
 	var wg sync.WaitGroup
 	for _, reps := range t.lists {
 		for _, r := range reps {
+			if now < r.nextProbe.Load() {
+				continue
+			}
 			wg.Add(1)
 			go func(r *replica) {
 				defer wg.Done()
@@ -328,14 +391,46 @@ func (t *HTTPClient) sweepHealth(ctx context.Context) {
 	wg.Wait()
 }
 
+// probeFailed schedules a failing replica's next probe with
+// exponential backoff: the gap doubles with each consecutive failure,
+// capped at probeBackoffCap. It also feeds the failure to the circuit
+// breaker, so a replica that dies between queries is already fenced
+// when the next query starts.
+func (t *HTTPClient) probeFailed(r *replica) {
+	fails := r.probeFails.Add(1)
+	gap := t.healthEvery
+	if gap <= 0 {
+		gap = DefaultHealthInterval
+	}
+	if fails > 16 {
+		fails = 16
+	}
+	for i := int64(0); i < fails && gap < probeBackoffCap; i++ {
+		gap *= 2
+	}
+	if gap > probeBackoffCap {
+		gap = probeBackoffCap
+	}
+	r.nextProbe.Store(time.Now().Add(gap).UnixNano())
+	t.tripFailure(r)
+}
+
+// probeRecovered clears a replica's probe backoff after a successful
+// probe.
+func (r *replica) probeRecovered() {
+	r.probeFails.Store(0)
+	r.nextProbe.Store(0)
+}
+
 // probeReplica performs one health round-trip and updates the replica's
 // verdict and EWMA. A replica that was down at dial time — never
-// handshake-validated — is probed through /stats instead and must pass
-// the same shape validation Dial applies before it first counts as
-// healthy: reviving a misconfigured process unchecked would let it
-// silently serve the wrong list.
+// handshake-validated — or that has been failing probes (its process
+// may have been replaced while it was down) is probed through /stats
+// instead and must pass the same shape validation Dial applies before
+// it counts as healthy again: reviving a misconfigured process
+// unchecked would let it silently serve the wrong list.
 func (t *HTTPClient) probeReplica(ctx context.Context, r *replica) {
-	if !r.validated.Load() {
+	if !r.validated.Load() || r.probeFails.Load() > 0 {
 		t.validateReplica(ctx, r)
 		return
 	}
@@ -356,31 +451,46 @@ func (t *HTTPClient) probeReplica(ctx context.Context, r *replica) {
 		return // the client is closing; no verdict from an aborted probe
 	}
 	if err == nil && resp.StatusCode == http.StatusOK {
+		r.probeRecovered()
 		r.observe(time.Since(start))
 		t.noteHealth(r, true)
 		return
 	}
+	t.probeFailed(r)
 	t.noteHealth(r, false)
 }
 
 // validateReplica runs the dial-time shape handshake against a replica
-// that has never passed it, promoting it to validated+healthy only on
-// success. Mismatches leave it permanently unroutable (probed again
-// each sweep, in case the operator fixes the process in place).
+// that has never passed it (or is being readmitted after failed
+// probes), promoting it to validated+healthy only on success. A
+// replica that answers with the wrong shape is unroutable until it
+// validates again — and one that had been validated is demoted, since
+// the process behind the URL evidently changed. Probe successes here
+// deliberately do not close the circuit breaker: readmission to the
+// data plane goes through the breaker's half-open probe exchange.
 func (t *HTTPClient) validateReplica(ctx context.Context, r *replica) {
 	pctx, cancel := context.WithTimeout(ctx, healthProbeTimeout)
 	defer cancel()
 	start := time.Now()
 	st, err := t.replicaInfo(pctx, r)
-	if ctx.Err() != nil || err != nil {
+	if ctx.Err() != nil {
+		return
+	}
+	if err != nil {
+		t.probeFailed(r)
+		t.noteHealth(r, false)
 		return
 	}
 	// A cluster whose data plane speaks binary must not admit a replica
 	// that cannot; under forced/negotiated JSON the codec is moot.
 	if err := t.checkShape(r, st, t.binaryWire()); err != nil {
+		r.validated.Store(false)
+		t.probeFailed(r)
+		t.noteHealth(r, false)
 		return
 	}
 	r.validated.Store(true)
+	r.probeRecovered()
 	r.observe(time.Since(start))
 	t.noteHealth(r, true)
 }
@@ -388,13 +498,16 @@ func (t *HTTPClient) validateReplica(ctx context.Context, r *replica) {
 // route picks the replica of list to address next under the client's
 // policy. allowed filters to the replicas this session may use (those
 // that hold its state), tried excludes replicas that already failed the
-// exchange being routed. Healthy candidates are preferred; when none
-// are healthy the policy runs over the unhealthy remainder — a verdict
-// can be stale, and attempting a "dead" replica is how a single-replica
-// list keeps working at all. Returns nil only when allowed+tried leave
-// nothing.
+// exchange being routed. Healthy candidates with a closed (or
+// half-open) breaker are preferred; when none exist the policy runs
+// over the unhealthy remainder — a verdict can be stale, and attempting
+// a "dead" replica is how a single-replica list keeps working at all —
+// and only when even those are gone over the breaker-blocked ones, so
+// an open breaker diverts traffic rather than failing a list that has
+// no alternative. Returns nil only when allowed+tried leave nothing.
 func (t *HTTPClient) route(list int, allowed []bool, tried []bool) *replica {
-	var healthy, rest []*replica
+	var healthy, rest, fenced []*replica
+	now := time.Now()
 	for _, r := range t.lists[list] {
 		if !r.validated.Load() {
 			continue // never handshake-validated: shape unknown
@@ -405,15 +518,21 @@ func (t *HTTPClient) route(list int, allowed []bool, tried []bool) *replica {
 		if tried != nil && tried[r.index] {
 			continue
 		}
-		if r.healthy.Load() {
+		switch {
+		case r.brk.blocked(now):
+			fenced = append(fenced, r)
+		case r.healthy.Load():
 			healthy = append(healthy, r)
-		} else {
+		default:
 			rest = append(rest, r)
 		}
 	}
 	cands := healthy
 	if len(cands) == 0 {
 		cands = rest
+	}
+	if len(cands) == 0 {
+		cands = fenced
 	}
 	switch len(cands) {
 	case 0:
