@@ -11,6 +11,7 @@ import (
 
 	"topk/internal/bestpos"
 	"topk/internal/dist"
+	"topk/internal/list"
 	"topk/internal/transport"
 )
 
@@ -913,3 +914,70 @@ func (c *Cluster) RunDistributed(q Query, protocol Protocol) (*DistResult, error
 // Close stops the cluster's background health prober and releases its
 // connections.
 func (c *Cluster) Close() error { return c.t.Close() }
+
+// ScoreUpdate is one (item, delta) score change of a live update feed:
+// item's local score at the addressed owner moves by Delta. Items are
+// the dense 0-based IDs the cluster's queries report.
+type ScoreUpdate struct {
+	Item  int32
+	Delta float64
+}
+
+// UpdateAck is the cluster-wide acknowledgement of one update batch.
+type UpdateAck struct {
+	// Applied reports the batch was applied fresh by at least one
+	// replica; false means every replica had already seen the (feed, seq)
+	// pair — a retried or reordered batch, acknowledged without effect.
+	Applied bool
+	// Version is the highest per-list update version across the list's
+	// replicas after the batch.
+	Version uint64
+	// Crossings names the standing queries whose owner-side filters
+	// flagged this batch as a potential top-k change (union across
+	// replicas, sorted) — the live coordinator re-evaluates exactly
+	// these.
+	Crossings []string
+}
+
+// SendUpdate applies one batch of score updates to the list of owner
+// index owner, fanned out to every replica so the replicas stay
+// interchangeable. Batches of one feed carry strictly increasing
+// sequence numbers; a batch at or below a replica's last applied
+// sequence is acknowledged without being re-applied, which makes
+// re-sending after a partial failure (or a transport retry) safe.
+// Owners serving read-only lists reject updates — start them with
+// updates enabled (topk-owner -mutable).
+func (c *Cluster) SendUpdate(ctx context.Context, owner int, feed string, seq uint64, updates []ScoreUpdate) (UpdateAck, error) {
+	c.markStarted()
+	ups := make([]transport.ScoreUpdate, len(updates))
+	for i, u := range updates {
+		ups[i] = transport.ScoreUpdate{Item: list.ItemID(u.Item), Delta: u.Delta}
+	}
+	resp, err := c.t.UpdateAll(ctx, owner, feed, seq, ups)
+	if err != nil {
+		return UpdateAck{}, err
+	}
+	return UpdateAck{Applied: resp.Applied, Version: resp.Version, Crossings: resp.Crossings}, nil
+}
+
+// SetLiveFilter installs a standing query's notification filter at
+// every replica of owner index owner: updates that touch a watched item
+// — or accumulate at least slack of positive drift on any other item —
+// are flagged as crossings in their UpdateAck; everything else is
+// provably unable to change the query's top-k and stays silent. The
+// live coordinator (internal/live) derives slack and watch from the
+// standing query's current ranking; most callers never call this
+// directly.
+func (c *Cluster) SetLiveFilter(ctx context.Context, owner int, query string, slack float64, watch []int32) error {
+	ids := make([]list.ItemID, len(watch))
+	for i, d := range watch {
+		ids[i] = list.ItemID(d)
+	}
+	return c.t.SetFilter(ctx, owner, query, slack, ids)
+}
+
+// ClearLiveFilter removes a standing query's filter at every replica of
+// owner index owner (idempotent).
+func (c *Cluster) ClearLiveFilter(ctx context.Context, owner int, query string) error {
+	return c.t.ClearFilter(ctx, owner, query)
+}

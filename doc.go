@@ -462,6 +462,75 @@
 //	topk_stripe_cache_hits_total / _misses_total / _evictions_total
 //	topk_stripe_cache_resident_bytes   (gauge; summed over open stripe DBs, never above the summed budgets)
 //
+// # Live: continuous top-k over streaming updates
+//
+// The live plane turns the one-shot distributed query into a standing
+// one: owners accept score updates, a coordinator keeps each registered
+// query's top-k current, and subscribers are pushed a delta whenever
+// the ranking (membership, order, or any member's score) changes.
+//
+// Updates travel as a fifth wire kind next to topk/above/fetch/sorted.
+// An owner started with -mutable (RAM-backed inputs only; -stripe
+// owners are read-only) applies batches of per-item score deltas to
+// its sorted list. Each batch carries a feed name and a caller-owned,
+// strictly increasing sequence number; an owner acks seq <= its last
+// applied one without re-applying, so retrying an Apply after a lost
+// response is idempotent end to end — the rule that keeps at-least-once
+// delivery from double-counting a delta. The ack reports the owner's
+// new list version (also on /v1/info and /metrics) and which standing
+// queries crossed their notification filter.
+//
+// The coordinator (internal/live, served by topk-serve -live) avoids
+// re-running the query on every update with Mäcker-style owner-side
+// filters. After each evaluation it runs with k+1 internally, takes the
+// aggregate gap g between ranks k and k+1, and arms every owner with
+// the current top-k watch set and a slack of g/m (sum-like scorings;
+// other scorings get slack 0, which is still sound, just never
+// suppressive). An owner accumulates per-query, per-item drift and
+// reports a crossing only when a watched member moved or an outsider's
+// upward drift reached the slack — every update that cannot have
+// changed the ranking is absorbed at the owner for the cost of the
+// update message itself. Crossings trigger a distributed re-evaluation
+// and filter re-arm; the Accounting counters (surfaced on
+// /v1/live/stats) keep suppressed vs naive re-evaluation counts so the
+// saving is measurable, and BenchmarkLive pins it (suppressed ingest is
+// ~20x cheaper than the crossing path, 0 vs ~50 control messages per
+// update). Chaos-tested: under seeded drops, 5xx, torn frames and
+// flipped bits, retried Applys plus a final Refresh converge to the
+// oracle ranking bit-identically, or fail with a typed error — never
+// silently wrong.
+//
+// Subscribers attach over Server-Sent Events. A live cluster, end to
+// end:
+//
+//	topk-gen -kind uniform -n 100000 -m 2 -seed 7 -o lists.topk
+//	topk-owner -db lists.topk -list 0 -mutable -addr localhost:9001
+//	topk-owner -db lists.topk -list 1 -mutable -addr localhost:9002
+//	topk-serve -db lists.topk -owners localhost:9001,localhost:9002 -live -addr localhost:8080
+//	topk-query -follow -serve http://localhost:8080 -query hot -k 10   # renders deltas as they arrive
+//	curl -N 'localhost:8080/v1/live?k=10&query=hot'                    # same stream, raw SSE
+//	curl -X POST localhost:8080/v1/update -d '{"feed":"trades","seq":1,
+//	    "updates":[{"owner":0,"updates":[{"item":42,"delta":0.5}]},
+//	               {"owner":1,"updates":[{"item":42,"delta":0.5}]}]}'
+//
+// GET /v1/live subscribes (parameters of /v1/dist plus query=name;
+// subscribing to an unregistered name registers it), streaming a hello
+// event, one snapshot delta, then a delta per ranking revision — items,
+// entered/left/moved changes, and a monotonic revision counter. POST
+// /v1/update ingests a feed batch and reports which queries
+// re-evaluated vs suppressed; GET /v1/live/stats exposes the standing
+// queries and the Accounting counters. In process, the same plane is
+// Cluster.SendUpdate plus live.New / Coordinator.Register /
+// Standing.Subscribe. Slow subscribers are dropped (channel closed)
+// rather than allowed to stall the push path.
+//
+// The live families join the metrics catalogue:
+//
+//	topk_live_updates_applied_total / _update_batches_total
+//	topk_live_reevaluations_total / _notifications_total / _suppressed_total
+//	topk_live_subscribers (gauge) / _subscribers_dropped_total
+//	topk_live_push_seconds (histogram)
+//
 // # Development
 //
 // The module has no dependencies outside the standard library. CI (see
@@ -470,7 +539,8 @@
 // internal/dist, internal/dht and internal/store (which covers the
 // concurrent-session and cancellation suites), the named chaos
 // hardening steps (the seeded fault-injection acceptance suite plus a
-// 30-second soak, both under -race), and one iteration of every benchmark
+// 30-second soak, both under -race), the named live-plane suite under
+// -race, and one iteration of every benchmark
 // (go test -bench=. -benchtime=1x -run='^$' ./...) so the
 // figure-regeneration benchmarks cannot silently rot.
 //

@@ -1,0 +1,147 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"topk"
+	"topk/internal/live"
+)
+
+// followQuery is topk-query's -follow mode: it subscribes to a standing
+// continuous top-k query on a topk-serve -live instance over SSE and
+// renders the ranking as it changes. The stream starts with a full
+// snapshot, so following is immediately useful; if the server drops the
+// subscription (query unregistered, or this consumer fell behind),
+// re-running -follow resumes from the then-current snapshot.
+func followQuery(base, name, proto, scoring, weights string, k int, stdout, stderr io.Writer) int {
+	// Validate locally before dialing, so typos fail fast with the same
+	// messages the other modes give.
+	if _, err := topk.ParseProtocol(proto); err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	if _, err := buildScoring(scoring, weights); err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		fmt.Fprintf(stderr, "topk-query: bad -serve URL %q (want e.g. http://localhost:8080)\n", base)
+		return 1
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/v1/live"
+	params := u.Query()
+	params.Set("k", strconv.Itoa(k))
+	params.Set("protocol", proto)
+	params.Set("scoring", scoring)
+	if weights != "" {
+		params.Set("weights", weights)
+	}
+	if name != "" {
+		params.Set("query", name)
+	}
+	u.RawQuery = params.Encode()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "topk-query: %v\n", err)
+		return 1
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0
+		}
+		fmt.Fprintf(stderr, "topk-query: follow %s: %v\n", base, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			fmt.Fprintf(stderr, "topk-query: follow: %s (%s)\n", eb.Error, resp.Status)
+		} else {
+			fmt.Fprintf(stderr, "topk-query: follow: %s\n", resp.Status)
+		}
+		return 1
+	}
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "hello":
+				var h struct {
+					Query string `json:"query"`
+				}
+				if json.Unmarshal([]byte(data), &h) == nil {
+					fmt.Fprintf(stdout, "following standing query %q on %s (Ctrl-C stops)\n", h.Query, base)
+				}
+			case "delta":
+				var d live.Delta
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					fmt.Fprintf(stderr, "topk-query: follow: bad delta: %v\n", err)
+					return 1
+				}
+				renderDelta(stdout, d)
+			case "bye":
+				fmt.Fprintln(stdout, "stream closed by server (query unregistered, or this consumer fell behind); re-run -follow to resume from a snapshot")
+				return 0
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return 0
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(stderr, "topk-query: follow: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// renderDelta prints one live ranking revision: the full current
+// ranking, then what changed since the previous revision in the monitor
+// vocabulary (entered / left / moved).
+func renderDelta(w io.Writer, d live.Delta) {
+	if d.Snapshot {
+		fmt.Fprintf(w, "\n== %s revision %d (snapshot) ==\n", d.Query, d.Revision)
+	} else {
+		fmt.Fprintf(w, "\n== %s revision %d (%d changes) ==\n", d.Query, d.Revision, len(d.Changes))
+	}
+	for i, it := range d.Items {
+		fmt.Fprintf(w, "%3d. item-%-12d score=%.6g\n", i+1, int(it.Item), it.Score)
+	}
+	for _, c := range d.Changes {
+		switch c.Kind {
+		case topk.ChangeEntered:
+			fmt.Fprintf(w, "  entered item-%s at rank %d\n", c.Key, c.Rank)
+		case topk.ChangeLeft:
+			fmt.Fprintf(w, "  left    item-%s (was rank %d)\n", c.Key, c.PrevRank)
+		case topk.ChangeMoved:
+			fmt.Fprintf(w, "  moved   item-%s rank %d -> %d\n", c.Key, c.PrevRank, c.Rank)
+		}
+	}
+}

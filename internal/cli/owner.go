@@ -67,6 +67,7 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 		ttl      = fs.Duration("session-ttl", transport.DefaultSessionTTL, "evict sessions idle for this long (0 disables); reclaims sessions abandoned by crashed originators")
 		maxInfl  = fs.Int("max-inflight", 0, "admission control: bound on concurrently served exchanges; excess is shed with a typed retry-after answer (0 means the default, negative disables)")
 		maxSess  = fs.Int("max-sessions", 0, "bound on concurrently open query sessions; opens beyond it are shed with retry-after (0 means the default, negative disables)")
+		mutable  = fs.Bool("mutable", false, "serve the list as updatable: accept the live plane's feed-sequenced update batches and notification filters")
 		verify   = fs.Bool("verify", false, "with -stripe: verify every block checksum against the file, report, and exit without serving")
 		drain    = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: on SIGTERM stop admitting, let in-flight requests finish for this long, then close")
 		chaosS   = fs.String("chaos", "", "inject server-side faults from a seeded schedule, e.g. seed=42,all=0.02,delay=0.1 (keys: seed, delay, drop, stall, truncate, corrupt, err5xx, partition, all, delay-dur, partition-dur, stall-cap, data-plane-only); testing only")
@@ -98,6 +99,9 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 	}
 	if *verify && *stripeP == "" {
 		return nil, fmt.Errorf("-verify only applies with -stripe")
+	}
+	if *mutable && *stripeP != "" {
+		return nil, fmt.Errorf("-mutable does not apply with -stripe: stripe-backed owners are read-only")
 	}
 
 	var db *list.Database
@@ -156,6 +160,11 @@ func buildOwner(args []string, stderr io.Writer) (*ownerDaemon, error) {
 	}
 	if *maxSess != 0 {
 		srv.Owner().SetMaxSessions(*maxSess)
+	}
+	if *mutable {
+		if err := srv.Owner().EnableUpdates(); err != nil {
+			return nil, err
+		}
 	}
 	handler := http.Handler(srv.Handler())
 	if *chaosS != "" {

@@ -39,9 +39,43 @@ func Query(args []string, stdout, stderr io.Writer) int {
 		verbose  = fs.Bool("verbose", false, "with -owners, also print the per-replica health table (state, EWMA latency, failures, failovers)")
 		trace    = fs.Bool("trace", false, "with -owners, trace the query and print the per-exchange span table (round, owner, replica, kind, bytes, time)")
 		explain  = fs.Bool("explain", false, "print the round-by-round threshold walkthrough")
+		follow   = fs.Bool("follow", false, "follow a standing live query on a topk-serve -live instance and render the ranking as it changes; needs -serve")
+		serveURL = fs.String("serve", "", "base URL of the topk-serve -live instance for -follow, e.g. http://localhost:8080")
+		liveName = fs.String("query", "", "standing-query name for -follow (empty derives one from k/protocol/scoring)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *follow || *serveURL != "" || *liveName != "" {
+		// Live-follow mode subscribes to a server-side standing query;
+		// flags of the other modes must fail loudly, not be silently
+		// dropped — and the follow flags themselves only work together.
+		if !*follow {
+			set := "-serve"
+			if *liveName != "" {
+				set = "-query"
+			}
+			fmt.Fprintf(stderr, "topk-query: %s follows a live server; it needs -follow\n", set)
+			return 1
+		}
+		if *serveURL == "" {
+			fmt.Fprintln(stderr, "topk-query: -follow needs -serve, the URL of a topk-serve -live instance")
+			return 1
+		}
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "db", "csv", "owners", "alg", "approx", "parallel", "compare",
+				"dist", "explain", "trace", "verbose", "wire", "policy", "restart":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "topk-query: -%s does not apply with -follow; the standing query runs on the -serve server\n", conflict)
+			return 1
+		}
+		return followQuery(*serveURL, *liveName, *proto, *scoring, *weights, *k, stdout, stderr)
 	}
 
 	if *owners != "" {

@@ -11,6 +11,7 @@ import (
 
 	"topk"
 	"topk/internal/gen"
+	"topk/internal/live"
 	"topk/internal/serve"
 )
 
@@ -56,6 +57,7 @@ func buildServe(args []string, stderr io.Writer) (*serveDaemon, error) {
 		owners   = fs.String("owners", "", "cluster topology (lists comma-separated, replicas |-separated); /v1/dist then queries this remote cluster (one session per request) instead of the in-process simulation")
 		policy   = fs.String("policy", "primary", "replica routing policy for -owners: primary, round-robin, fastest")
 		restart  = fs.String("restart", "off", "default restart policy for -owners queries: off, failed, always (per-request restart= overrides)")
+		liveOn   = fs.Bool("live", false, "enable the live plane (/v1/live SSE subscriptions, /v1/update feed ingestion); requires -owners with mutable owners")
 		drain    = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget: on SIGTERM stop admitting, let in-flight requests finish for this long, then close")
 		logLevel = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error, off")
 		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty disables")
@@ -108,9 +110,21 @@ func buildServe(args []string, stderr io.Writer) (*serveDaemon, error) {
 			return nil, fmt.Errorf("dial owner cluster: %w", err)
 		}
 	}
+	if *liveOn && cluster == nil {
+		return nil, fmt.Errorf("-live requires -owners: standing queries run against a cluster of mutable owners")
+	}
 	srv, err := serve.NewWithCluster(db, cluster)
 	if err != nil {
 		return nil, err
+	}
+	if *liveOn {
+		co, lerr := live.New(cluster)
+		if lerr != nil {
+			return nil, lerr
+		}
+		if lerr := srv.EnableLive(co); lerr != nil {
+			return nil, lerr
+		}
 	}
 	return &serveDaemon{handler: srv.Handler(), addr: *addr, pprofAddr: *pprofA, log: logger,
 		cluster: cluster, drain: *drain}, nil
@@ -126,7 +140,7 @@ func Serve(args []string, stdout, stderr io.Writer) int {
 	}
 	startPprof(d.pprofAddr, d.log)
 	onStarted := func(addr string) {
-		fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/dist /v1/explain /v1/health /metrics)\n", addr)
+		fmt.Fprintf(stdout, "topk-serve: listening on http://%s (endpoints: /healthz /v1/info /v1/topk /v1/dist /v1/explain /v1/health /v1/live /v1/update /metrics)\n", addr)
 	}
 	// SIGTERM drains gracefully: in-flight API requests finish within
 	// the drain budget, then the owner-cluster connection (prober,

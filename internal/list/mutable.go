@@ -1,0 +1,124 @@
+package list
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Update is one (item, delta) score change against a mutable list.
+type Update struct {
+	Item  ItemID
+	Delta float64
+}
+
+// Mutable is a sorted-list Reader over an updatable score column — the
+// owner-side seam of the live/continuous top-k path. Readers see an
+// immutable *List snapshot through an atomic pointer, so every query in
+// flight observes one consistent sorted list; Apply rebuilds the list
+// from the updated base scores and swaps the snapshot in O(n log n).
+//
+// Concurrency model: any number of concurrent readers, writers
+// serialized by an internal mutex. A query that overlaps an Apply reads
+// either the old or the new snapshot per access — individual accesses
+// are never torn, but a long query may observe entries from both
+// versions across accesses. The live subsystem's correctness contract
+// is convergence: once updates quiesce, a fresh evaluation reflects
+// exactly the updates applied.
+type Mutable struct {
+	cur     atomic.Pointer[List]
+	version atomic.Uint64
+
+	mu     sync.Mutex // serializes Apply
+	scores []float64  // base score of item i; guarded by mu
+}
+
+var _ Reader = (*Mutable)(nil)
+
+// NewMutable builds a mutable list where item i starts with local score
+// scores[i]. The slice is copied.
+func NewMutable(scores []float64) (*Mutable, error) {
+	l, err := FromScores(scores)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mutable{scores: append([]float64(nil), scores...)}
+	m.cur.Store(l)
+	return m, nil
+}
+
+// MutableFromReader builds a mutable list seeded with the current
+// contents of any Reader — the adapter that turns a loaded immutable
+// database list into an updatable one.
+func MutableFromReader(r Reader) (*Mutable, error) {
+	if r == nil {
+		return nil, fmt.Errorf("list: nil reader")
+	}
+	n := r.Len()
+	scores := make([]float64, n)
+	for p := 1; p <= n; p++ {
+		e := r.At(p)
+		scores[e.Item] = e.Score
+	}
+	return NewMutable(scores)
+}
+
+// Apply atomically applies a batch of (item, delta) updates: base scores
+// are adjusted, the sorted list is rebuilt, and the snapshot readers see
+// is swapped in one step — a batch is all-or-nothing, never partially
+// visible. Returns the new version. An invalid update (item out of
+// range, non-finite delta or resulting score) rejects the whole batch
+// and leaves the list untouched.
+func (m *Mutable) Apply(updates []Update) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.scores)
+	for _, u := range updates {
+		if u.Item < 0 || int(u.Item) >= n {
+			return m.version.Load(), fmt.Errorf("list: update item %d out of range [0,%d)", u.Item, n)
+		}
+		if math.IsNaN(u.Delta) || math.IsInf(u.Delta, 0) {
+			return m.version.Load(), fmt.Errorf("list: update delta %v for item %d is not finite", u.Delta, u.Item)
+		}
+		if s := m.scores[u.Item] + u.Delta; math.IsInf(s, 0) {
+			return m.version.Load(), fmt.Errorf("list: update overflows score of item %d", u.Item)
+		}
+	}
+	if len(updates) == 0 {
+		return m.version.Load(), nil
+	}
+	next := append([]float64(nil), m.scores...)
+	for _, u := range updates {
+		next[u.Item] += u.Delta
+	}
+	l, err := FromScores(next)
+	if err != nil {
+		return m.version.Load(), err
+	}
+	m.scores = next
+	m.cur.Store(l)
+	return m.version.Add(1), nil
+}
+
+// Version returns the number of applied batches; it starts at 0 and is
+// bumped once per successful non-empty Apply. Owners expose it in /stats
+// and piggyback it on update acks.
+func (m *Mutable) Version() uint64 { return m.version.Load() }
+
+// Snapshot returns the current immutable sorted list. The returned
+// *List never changes; later Applies swap in fresh ones.
+func (m *Mutable) Snapshot() *List { return m.cur.Load() }
+
+// Len returns n, the number of entries.
+func (m *Mutable) Len() int { return m.cur.Load().Len() }
+
+// At returns the entry at 1-based position p of the current snapshot.
+func (m *Mutable) At(p int) Entry { return m.cur.Load().At(p) }
+
+// PositionOf returns the 1-based position of item d in the current
+// snapshot.
+func (m *Mutable) PositionOf(d ItemID) int { return m.cur.Load().PositionOf(d) }
+
+// ScoreOf returns the local score of item d in the current snapshot.
+func (m *Mutable) ScoreOf(d ItemID) float64 { return m.cur.Load().ScoreOf(d) }

@@ -1,0 +1,104 @@
+package live
+
+import (
+	"context"
+	"testing"
+
+	"topk"
+)
+
+// BenchmarkLive measures the live plane end to end over real HTTP
+// owners: update-ingestion throughput on the suppressed path (the
+// owner-side filters hold, no re-evaluation) and on the crossing path
+// (a watched member moved, full distributed re-evaluation plus filter
+// re-arm), and the subscriber push latency from Apply to the delta
+// landing on the subscription channel. The suppressed-vs-crossing gap
+// is the saving the notification filters buy over naively re-running
+// the standing query on every update; ctlmsg/op reports the wire
+// control messages (re-evaluation + filter traffic) each update cost.
+func BenchmarkLive(b *testing.B) {
+	ctx := context.Background()
+	setup := func(b *testing.B) (*Coordinator, *Standing) {
+		b.Helper()
+		cluster := liveCluster(b, rankedCols(500, 2, 0.01), 1, false, nil)
+		co, err := New(cluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := co.Register(ctx, "bench", topk.Query{K: 10}, topk.DistBPA2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return co, s
+	}
+
+	// ingest applies b.N single-item batches with alternating-sign
+	// deltas (drift stays bounded, so the suppressed case never
+	// accidentally crosses) and reports control messages per update.
+	ingest := func(b *testing.B, co *Coordinator, item int) {
+		b.Helper()
+		before := co.Accounting()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			delta := 1e-6
+			if i%2 == 1 {
+				delta = -1e-6
+			}
+			batches := map[int][]topk.ScoreUpdate{
+				0: {{Item: int32(item), Delta: delta}},
+				1: {{Item: int32(item), Delta: delta}},
+			}
+			if _, err := co.Apply(ctx, "bench-feed", uint64(i+1), batches); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		after := co.Accounting()
+		ctl := (after.ReevalMessages + after.FilterMessages) -
+			(before.ReevalMessages + before.FilterMessages)
+		b.ReportMetric(float64(ctl)/float64(b.N), "ctlmsg/op")
+		b.ReportMetric(float64(after.Reevaluations-before.Reevaluations)/float64(b.N), "reevals/op")
+	}
+
+	b.Run("ingest/suppressed", func(b *testing.B) {
+		co, _ := setup(b)
+		// Item 400 sits far below the top-10 frontier; its bounded
+		// drift never reaches the slack, so every update is absorbed
+		// by the owner-side filter.
+		ingest(b, co, 400)
+		if acct := co.Accounting(); acct.Reevaluations > 1 {
+			b.Fatalf("suppressed path re-evaluated %d times", acct.Reevaluations)
+		}
+	})
+	b.Run("ingest/crossing", func(b *testing.B) {
+		co, _ := setup(b)
+		// Item 0 is the rank-1 member and always watched: every update
+		// notifies and forces a full distributed re-evaluation — the
+		// naive per-update cost the filters avoid.
+		ingest(b, co, 0)
+	})
+	b.Run("push", func(b *testing.B) {
+		co, s := setup(b)
+		sub := s.Subscribe(16)
+		defer sub.Close()
+		<-sub.C // drain the snapshot
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			delta := 1e-6
+			if i%2 == 1 {
+				delta = -1e-6
+			}
+			batches := map[int][]topk.ScoreUpdate{
+				0: {{Item: 0, Delta: delta}},
+				1: {{Item: 0, Delta: delta}},
+			}
+			if _, err := co.Apply(ctx, "bench-feed", uint64(i+1), batches); err != nil {
+				b.Fatal(err)
+			}
+			d := <-sub.C
+			if d.Revision == 0 {
+				b.Fatal("empty delta")
+			}
+		}
+	})
+}

@@ -1,0 +1,549 @@
+// Package live is the distributed continuous top-k subsystem: standing
+// queries over a cluster of mutable list owners, re-evaluated only when
+// an owner-side filter says the ranking may actually have changed, with
+// the resulting deltas pushed to subscribers.
+//
+// The moving parts, bottom up:
+//
+//   - Owners serve updatable lists (list.Mutable behind the transport's
+//     update wire kind). An update batch carries a per-feed monotone
+//     sequence number, so retries and replica fan-out re-sends are
+//     idempotent.
+//   - The Coordinator registers standing queries (k, scoring, protocol)
+//     against a topk.Cluster. After every evaluation it installs a
+//     notification filter at each owner: the query's current members
+//     are watched (any touch notifies), and every other item may drift
+//     by up to the owner's slack — an equal share of the gap between
+//     the k-th and (k+1)-th aggregate score — before the owner flags a
+//     crossing. While every owner's positive drift stays under its
+//     share, no outside item can have gained the full gap, so the
+//     ranking provably stands and the coordinator re-evaluates nothing
+//     (Fagin-style instance optimality of the underlying algorithms,
+//     owner-side monitoring thresholds in the spirit of Mäcker et al.).
+//   - Crossings ride back piggybacked on update acks; the coordinator
+//     re-evaluates exactly the flagged queries with the paper's
+//     algorithms, diffs the ranking, pushes entered/left/moved deltas
+//     to subscribers, and reinstalls the filters.
+//
+// Accounting keeps the planes apart: update traffic, filter installs
+// and re-evaluation Net/accesses are tallied separately (Accounting),
+// so the savings against naively re-running every standing query per
+// update batch are measurable rather than asserted.
+package live
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"topk"
+	"topk/internal/score"
+)
+
+// Delta is one push to a standing query's subscribers: the full current
+// ranking plus how it changed since the previous revision, shaped like
+// the monitor API's snapshots (topk.MonitorChange, entered/left/moved).
+// Keys are the decimal item IDs — the cluster originator holds no name
+// dictionary.
+type Delta struct {
+	// Query is the standing query's name.
+	Query string `json:"query"`
+	// Revision numbers the pushed rankings of this query from 1; a
+	// subscriber that reconnects compares revisions to tell a replayed
+	// snapshot from progress.
+	Revision uint64 `json:"revision"`
+	// Snapshot marks a full-state delta: the first push of a ranking a
+	// subscriber has not been following (initial registration, or the
+	// resume push a fresh subscription starts with). Changes are empty.
+	Snapshot bool `json:"snapshot,omitempty"`
+	// Items is the current ranking, best first.
+	Items []topk.ScoredItem `json:"items"`
+	// Changes lists the differences against the previous revision.
+	Changes []topk.MonitorChange `json:"changes,omitempty"`
+}
+
+// Accounting tallies the live plane's traffic, kept strictly apart from
+// query accounting (each re-evaluation's own NetStats lives in its
+// Exec result; these are the sums). The suppression savings claim is
+// Reevaluations vs NaiveReevals.
+type Accounting struct {
+	// UpdateBatches counts applied (non-duplicate) update batches;
+	// UpdatesApplied the individual score updates they carried.
+	UpdateBatches  int64 `json:"updateBatches"`
+	UpdatesApplied int64 `json:"updatesApplied"`
+	// Notifications counts owner crossing flags acted on; Suppressed the
+	// (query, batch) pairs the filters kept silent.
+	Notifications int64 `json:"notifications"`
+	Suppressed    int64 `json:"suppressed"`
+	// Reevaluations counts standing-query re-runs actually spent;
+	// NaiveReevals what re-running every standing query on every applied
+	// batch would have spent.
+	Reevaluations int64 `json:"reevaluations"`
+	NaiveReevals  int64 `json:"naiveReevals"`
+	// ReevalMessages/Payload/Accesses aggregate the re-evaluations'
+	// network cost in the paper's metrics.
+	ReevalMessages int64 `json:"reevalMessages"`
+	ReevalPayload  int64 `json:"reevalPayload"`
+	ReevalAccesses int64 `json:"reevalAccesses"`
+	// FilterMessages counts filter (re)install and clear fan-outs, one
+	// per owner addressed — the notification plane's own overhead.
+	FilterMessages int64 `json:"filterMessages"`
+}
+
+// Coordinator runs standing queries against one cluster. All mutating
+// entry points (Register, Apply, Unregister) serialize on an internal
+// mutex: the live plane is a single logical feed consumer, and
+// serializing it is what makes revision numbers and filter state
+// coherent. Subscribers attach and detach concurrently.
+type Coordinator struct {
+	cluster *topk.Cluster
+
+	mu      sync.Mutex
+	queries map[string]*Standing
+	acct    Accounting
+}
+
+// New returns a coordinator over the cluster. The cluster's owners must
+// serve mutable lists (topk-owner -mutable) for updates to apply;
+// filters and updates against read-only owners fail with the owner's
+// typed read-only error.
+func New(cluster *topk.Cluster) (*Coordinator, error) {
+	if cluster == nil {
+		return nil, fmt.Errorf("live: nil cluster")
+	}
+	return &Coordinator{cluster: cluster, queries: make(map[string]*Standing)}, nil
+}
+
+// Standing is one registered standing query: its configuration, current
+// ranking, and subscribers. Obtain one from Coordinator.Register.
+type Standing struct {
+	co       *Coordinator
+	name     string
+	query    topk.Query
+	protocol topk.Protocol
+	// sumLike marks scoring functions whose aggregate movement is
+	// bounded by the sum of local drifts (Sum — the paper's default).
+	// Only then is a non-zero slack sound; other monotone scorings run
+	// with zero slack: any positive non-member drift notifies, watched
+	// members always do. Correct for every monotone scoring, just
+	// without suppression for the exotic ones.
+	sumLike bool
+
+	mu       sync.Mutex
+	revision uint64
+	items    []topk.ScoredItem
+	subs     map[int]chan Delta
+	nextSub  int
+}
+
+// Register installs a standing query: it evaluates the ranking once
+// with the chosen protocol, installs the notification filters at every
+// owner, and returns the handle subscribers attach to. The query's K
+// must be at least 1; scoring defaults to Sum. Names are unique per
+// coordinator — they key the owner-side filters.
+func (co *Coordinator) Register(ctx context.Context, name string, q topk.Query, protocol topk.Protocol) (*Standing, error) {
+	if name == "" {
+		return nil, fmt.Errorf("live: empty standing-query name")
+	}
+	if q.K < 1 {
+		return nil, fmt.Errorf("live: standing query %q: k=%d", name, q.K)
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if _, ok := co.queries[name]; ok {
+		return nil, fmt.Errorf("live: standing query %q already registered", name)
+	}
+	_, isSum := q.Scoring.(score.Sum)
+	s := &Standing{
+		co:       co,
+		name:     name,
+		query:    q,
+		protocol: protocol,
+		sumLike:  isSum || q.Scoring == nil,
+		subs:     make(map[int]chan Delta),
+	}
+	if err := co.reevaluate(ctx, s, time.Now()); err != nil {
+		return nil, err
+	}
+	co.queries[name] = s
+	return s, nil
+}
+
+// Query returns a registered standing query by name.
+func (co *Coordinator) Query(name string) (*Standing, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	s, ok := co.queries[name]
+	return s, ok
+}
+
+// Names lists the registered standing queries, sorted.
+func (co *Coordinator) Names() []string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]string, 0, len(co.queries))
+	for name := range co.queries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Accounting snapshots the live plane's tallies.
+func (co *Coordinator) Accounting() Accounting {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.acct
+}
+
+// Unregister removes a standing query: its subscribers' channels are
+// closed and its filters cleared at every owner (best-effort — the
+// first clear failure is returned, but the query is gone either way;
+// orphaned owner-side filters only cost spurious crossings until the
+// owner restarts).
+func (co *Coordinator) Unregister(ctx context.Context, name string) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	s, ok := co.queries[name]
+	if !ok {
+		return nil
+	}
+	delete(co.queries, name)
+	s.mu.Lock()
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+		mSubscribers.Add(-1)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for owner := 0; owner < co.cluster.M(); owner++ {
+		co.acct.FilterMessages++
+		if err := co.cluster.ClearLiveFilter(ctx, owner, name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close unregisters every standing query.
+func (co *Coordinator) Close(ctx context.Context) error {
+	var firstErr error
+	for _, name := range co.Names() {
+		if err := co.Unregister(ctx, name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ApplyResult reports what one update batch did.
+type ApplyResult struct {
+	// Applied reports at least one owner applied its share fresh; false
+	// means the whole batch was a duplicate (re-sent seq) and changed
+	// nothing.
+	Applied bool `json:"applied"`
+	// Acks holds each addressed owner's merged replica acknowledgement.
+	Acks map[int]topk.UpdateAck `json:"acks,omitempty"`
+	// Reevaluated and Suppressed partition the registered standing
+	// queries: flagged by some owner's filter and re-run, or provably
+	// unaffected and skipped. Sorted.
+	Reevaluated []string `json:"reevaluated,omitempty"`
+	Suppressed  []string `json:"suppressed,omitempty"`
+}
+
+// Apply sends one update batch — per-owner slices of (item, delta) —
+// into the cluster under the feed's sequence number, then re-evaluates
+// exactly the standing queries whose owner-side filters flagged a
+// possible crossing, pushing ranking deltas to their subscribers.
+//
+// Sequence numbers are the caller's idempotency handle: batches of one
+// feed must carry strictly increasing numbers, and re-sending a batch
+// with its original number after a partial failure is safe — owners
+// that already applied it acknowledge without re-applying. On error the
+// batch may be applied at some owners and not others; re-Apply the same
+// (feed, seq, updates) until it succeeds to converge. Updates to
+// read-only owners fail with the owner's typed error.
+func (co *Coordinator) Apply(ctx context.Context, feed string, seq uint64, batches map[int][]topk.ScoreUpdate) (*ApplyResult, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	start := time.Now()
+	owners := make([]int, 0, len(batches))
+	for owner := range batches {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
+	res := &ApplyResult{Acks: make(map[int]topk.UpdateAck, len(owners))}
+	crossed := make(map[string]bool)
+	for _, owner := range owners {
+		ups := batches[owner]
+		if len(ups) == 0 {
+			continue
+		}
+		ack, err := co.cluster.SendUpdate(ctx, owner, feed, seq, ups)
+		if err != nil {
+			return nil, fmt.Errorf("live: apply feed %q seq %d at owner %d: %w", feed, seq, owner, err)
+		}
+		res.Acks[owner] = ack
+		if ack.Applied {
+			res.Applied = true
+			co.acct.UpdatesApplied += int64(len(ups))
+			mUpdatesApplied.Add(int64(len(ups)))
+		}
+		for _, q := range ack.Crossings {
+			crossed[q] = true
+		}
+	}
+	if !res.Applied {
+		return res, nil
+	}
+	co.acct.UpdateBatches++
+	mUpdateBatches.Inc()
+	co.acct.NaiveReevals += int64(len(co.queries))
+	names := make([]string, 0, len(co.queries))
+	for name := range co.queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := co.queries[name]
+		if !crossed[name] {
+			res.Suppressed = append(res.Suppressed, name)
+			co.acct.Suppressed++
+			mSuppressed.Inc()
+			continue
+		}
+		co.acct.Notifications++
+		mNotifications.Inc()
+		if err := co.reevaluate(ctx, s, start); err != nil {
+			return res, err
+		}
+		res.Reevaluated = append(res.Reevaluated, name)
+	}
+	return res, nil
+}
+
+// Refresh force-re-evaluates one standing query, filters and drift
+// state included, pushing a delta if the ranking moved. The filters
+// make re-evaluation unnecessary while updates flow and acks arrive;
+// Refresh is the reconciliation path for what they cannot see — an
+// update whose acknowledgement (crossings included) was lost after the
+// owners applied it. An owner's retained drift re-fires such a missed
+// crossing on the item's next touch anyway; Refresh closes the window
+// on demand instead of waiting for that touch.
+func (co *Coordinator) Refresh(ctx context.Context, name string) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	s, ok := co.queries[name]
+	if !ok {
+		return fmt.Errorf("live: no standing query %q", name)
+	}
+	return co.reevaluate(ctx, s, time.Now())
+}
+
+// reevaluate runs the standing query (with k+1 internally, for the
+// member gap), reinstalls the owner filters from the fresh ranking, and
+// pushes a delta to subscribers when the ranking changed. Called with
+// co.mu held; start stamps the update-to-push latency. Errors are
+// typed and leave the previous ranking in place — the subscriber
+// contract is "correct or failed", never silently stale-as-fresh.
+func (co *Coordinator) reevaluate(ctx context.Context, s *Standing, start time.Time) error {
+	k := s.query.K
+	kq := s.query
+	kq.K = k + 1
+	if n := co.cluster.N(); kq.K > n {
+		kq.K = n
+	}
+	res, err := co.cluster.Exec(ctx, kq, s.protocol)
+	if err != nil {
+		return fmt.Errorf("live: %s: re-evaluate: %w", s.name, err)
+	}
+	co.acct.Reevaluations++
+	co.acct.ReevalMessages += res.Stats.Net.Messages
+	co.acct.ReevalPayload += res.Stats.Net.Payload
+	co.acct.ReevalAccesses += res.Stats.Net.TotalAccesses
+	mReevals.Inc()
+
+	items := res.Items
+	gap := 0.0
+	if len(items) > k {
+		gap = items[k-1].Score - items[k].Score
+		items = items[:k:k]
+	}
+	if !s.sumLike || gap < 0 {
+		gap = 0
+	}
+	slack := 0.0
+	if m := co.cluster.M(); m > 0 {
+		slack = gap / float64(m)
+	}
+	watch := make([]int32, len(items))
+	for i, it := range items {
+		watch[i] = int32(it.Item)
+	}
+	for owner := 0; owner < co.cluster.M(); owner++ {
+		co.acct.FilterMessages++
+		if err := co.cluster.SetLiveFilter(ctx, owner, s.name, slack, watch); err != nil {
+			return fmt.Errorf("live: %s: install filter at owner %d: %w", s.name, owner, err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changes := diffItems(s.items, items)
+	first := s.revision == 0
+	if !first && len(changes) == 0 && equalItems(s.items, items) {
+		// Crossing flagged, ranking stood, scores included: the filter
+		// was conservative (it must be), nothing to push.
+		return nil
+	}
+	s.revision++
+	s.items = items
+	d := Delta{
+		Query:    s.name,
+		Revision: s.revision,
+		Snapshot: first,
+		Items:    append([]topk.ScoredItem(nil), items...),
+		Changes:  changes,
+	}
+	if first {
+		d.Changes = nil
+	}
+	s.pushLocked(d, start)
+	return nil
+}
+
+// pushLocked delivers a delta to every subscriber, called with s.mu
+// held. A subscriber whose buffer is full is dropped and its channel
+// closed — a consumer too slow for the feed reconnects and resumes from
+// the snapshot its fresh subscription starts with, instead of forcing
+// the whole live plane to its pace.
+func (s *Standing) pushLocked(d Delta, start time.Time) {
+	for id, ch := range s.subs {
+		select {
+		case ch <- d:
+		default:
+			delete(s.subs, id)
+			close(ch)
+			mSubscribers.Add(-1)
+			mSubDropped.Inc()
+		}
+	}
+	mPushSec.Observe(time.Since(start).Seconds())
+}
+
+// Name returns the standing query's name.
+func (s *Standing) Name() string { return s.name }
+
+// K returns the standing query's k.
+func (s *Standing) K() int { return s.query.K }
+
+// Ranking returns the current ranking (a copy) and its revision.
+func (s *Standing) Ranking() ([]topk.ScoredItem, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]topk.ScoredItem(nil), s.items...), s.revision
+}
+
+// Subscription is one subscriber's attachment to a standing query: read
+// deltas from C until it closes (Close called, query unregistered, or
+// the subscriber fell too far behind), then resubscribe if needed — the
+// fresh subscription starts with a full snapshot delta.
+type Subscription struct {
+	C  <-chan Delta
+	s  *Standing
+	id int
+}
+
+// Subscribe attaches a subscriber with the given delta buffer (minimum
+// 16 when smaller). The channel immediately carries a snapshot delta of
+// the current ranking, so a subscriber is never blind between attaching
+// and the first change.
+func (s *Standing) Subscribe(buf int) *Subscription {
+	if buf < 16 {
+		buf = 16
+	}
+	ch := make(chan Delta, buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- Delta{
+		Query:    s.name,
+		Revision: s.revision,
+		Snapshot: true,
+		Items:    append([]topk.ScoredItem(nil), s.items...),
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	mSubscribers.Add(1)
+	return &Subscription{C: ch, s: s, id: id}
+}
+
+// Close detaches the subscriber and closes its channel. Idempotent, and
+// safe to call after the push side already dropped the subscription.
+func (sub *Subscription) Close() {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	ch, ok := sub.s.subs[sub.id]
+	if !ok {
+		return
+	}
+	delete(sub.s.subs, sub.id)
+	close(ch)
+	mSubscribers.Add(-1)
+}
+
+// Subscribers reports how many subscribers are attached.
+func (s *Standing) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// equalItems reports whether two rankings agree exactly — items, order
+// and scores. A member's score can move without any rank changing;
+// subscribers still get a delta (with empty Changes) so their view of
+// the scores never goes stale.
+func equalItems(a, b []topk.ScoredItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Item != b[i].Item || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// diffItems compares two rankings, keyed by item ID, in the monitor
+// API's change vocabulary: entered and moved by new rank, then left by
+// previous rank.
+func diffItems(prev, next []topk.ScoredItem) []topk.MonitorChange {
+	prevRank := make(map[int]int, len(prev))
+	for i, it := range prev {
+		prevRank[it.Item] = i + 1
+	}
+	var changes []topk.MonitorChange
+	seen := make(map[int]bool, len(next))
+	for i, it := range next {
+		seen[it.Item] = true
+		rank := i + 1
+		pr, ok := prevRank[it.Item]
+		switch {
+		case !ok:
+			changes = append(changes, topk.MonitorChange{Key: strconv.Itoa(it.Item), Kind: topk.ChangeEntered, Rank: rank})
+		case pr != rank:
+			changes = append(changes, topk.MonitorChange{Key: strconv.Itoa(it.Item), Kind: topk.ChangeMoved, Rank: rank, PrevRank: pr})
+		}
+	}
+	for i, it := range prev {
+		if !seen[it.Item] {
+			changes = append(changes, topk.MonitorChange{Key: strconv.Itoa(it.Item), Kind: topk.ChangeLeft, PrevRank: i + 1})
+		}
+	}
+	return changes
+}

@@ -1,0 +1,447 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"topk"
+	"topk/internal/chaos"
+	"topk/internal/list"
+	"topk/internal/transport"
+)
+
+// liveCluster serves each of cols' lists from `replicas` HTTP owner
+// servers (mutable unless readOnly), optionally wrapped with a chaos
+// injector, and dials the whole topology.
+func liveCluster(t testing.TB, cols [][]float64, replicas int, readOnly bool, wrap func(http.Handler) http.Handler) *topk.Cluster {
+	t.Helper()
+	db, err := list.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := make([][]string, db.M())
+	for i := range topo {
+		for r := 0; r < replicas; r++ {
+			srv, err := transport.NewServer(db, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !readOnly {
+				if err := srv.Owner().EnableUpdates(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			h := http.Handler(srv.Handler())
+			if wrap != nil {
+				h = wrap(h)
+			}
+			ts := httptest.NewServer(h)
+			t.Cleanup(ts.Close)
+			topo[i] = append(topo[i], ts.URL)
+		}
+	}
+	cluster, err := topk.DialClusterConfig(context.Background(), topk.ClusterConfig{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	return cluster
+}
+
+// rankedCols builds m columns with a deliberately wide, known gap
+// structure: item d scores (n-d)*colGap in every column, so the
+// aggregate ranking is 0, 1, 2, ... with a constant aggregate gap of
+// m*colGap between consecutive ranks.
+func rankedCols(n, m int, colGap float64) [][]float64 {
+	cols := make([][]float64, m)
+	for i := range cols {
+		col := make([]float64, n)
+		for d := range col {
+			col[d] = float64(n-d) * colGap
+		}
+		cols[i] = col
+	}
+	return cols
+}
+
+// applyOracle mirrors an update batch onto the oracle's columns.
+func applyOracle(cols [][]float64, batches map[int][]topk.ScoreUpdate) {
+	for owner, ups := range batches {
+		for _, u := range ups {
+			cols[owner][u.Item] += u.Delta
+		}
+	}
+}
+
+// oracleTopK recomputes the ranking from scratch over the oracle's
+// columns with the same protocol the coordinator uses.
+func oracleTopK(t *testing.T, cols [][]float64, k int, protocol topk.Protocol) []topk.ScoredItem {
+	t.Helper()
+	db, err := topk.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecDistributed(context.Background(), topk.Query{K: k}, protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Items
+}
+
+// sameRanking compares (item, score) pairs, ignoring names (the cluster
+// originator holds no dictionary).
+func sameRanking(got, want []topk.ScoredItem) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].Item != want[i].Item || got[i].Score != want[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegisterSnapshotMatchesOracle(t *testing.T) {
+	cols := rankedCols(40, 2, 0.01)
+	cluster := liveCluster(t, cols, 1, false, nil)
+	co, err := New(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := co.Register(ctx, "q", topk.Query{K: 5}, topk.DistBPA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close(context.Background()) })
+
+	want := oracleTopK(t, cols, 5, topk.DistBPA2)
+	items, rev := st.Ranking()
+	if rev != 1 {
+		t.Errorf("initial revision %d, want 1", rev)
+	}
+	if !sameRanking(items, want) {
+		t.Errorf("initial ranking:\n got %v\nwant %v", items, want)
+	}
+
+	sub := st.Subscribe(16)
+	defer sub.Close()
+	select {
+	case d := <-sub.C:
+		if !d.Snapshot || d.Revision != 1 || !sameRanking(d.Items, want) {
+			t.Errorf("subscribe snapshot wrong: %+v", d)
+		}
+	default:
+		t.Fatal("subscription did not start with a snapshot delta")
+	}
+
+	if _, err := co.Register(ctx, "q", topk.Query{K: 5}, topk.DistBPA2); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestApplySuppressionAndCrossings(t *testing.T) {
+	// Aggregate gap between consecutive ranks is 2*0.01 = 0.02; with two
+	// owners each owner's slack is 0.01.
+	cols := rankedCols(40, 2, 0.01)
+	cluster := liveCluster(t, cols, 1, false, nil)
+	co, err := New(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st, err := co.Register(ctx, "q", topk.Query{K: 5}, topk.DistBPA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close(context.Background()) })
+	sub := st.Subscribe(16)
+	defer sub.Close()
+	<-sub.C // snapshot
+
+	// Phase 1: a run of tiny updates to a deep non-member. Per-batch
+	// drift 0.001 per owner, total 0.008 < 0.01 slack: every batch must
+	// be suppressed, no re-evaluation, no push.
+	seq := uint64(0)
+	for i := 0; i < 8; i++ {
+		seq++
+		batch := map[int][]topk.ScoreUpdate{
+			0: {{Item: 30, Delta: 0.001}},
+			1: {{Item: 30, Delta: 0.001}},
+		}
+		res, err := co.Apply(ctx, "feed", seq, batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", seq, err)
+		}
+		applyOracle(cols, batch)
+		if !res.Applied {
+			t.Fatalf("batch %d not applied", seq)
+		}
+		if len(res.Reevaluated) != 0 || len(res.Suppressed) != 1 {
+			t.Fatalf("batch %d: reevaluated %v suppressed %v, want all suppressed", seq, res.Reevaluated, res.Suppressed)
+		}
+	}
+	select {
+	case d := <-sub.C:
+		t.Fatalf("suppressed batches pushed a delta: %+v", d)
+	default:
+	}
+	acct := co.Accounting()
+	if acct.Reevaluations != 1 || acct.Suppressed != 8 {
+		t.Errorf("accounting after suppressed run: %+v", acct)
+	}
+
+	// Phase 2: promote item 20 past the members — must cross, re-run,
+	// and push a delta whose ranking matches the oracle.
+	seq++
+	batch := map[int][]topk.ScoreUpdate{
+		0: {{Item: 20, Delta: 0.5}},
+		1: {{Item: 20, Delta: 0.5}},
+	}
+	res, err := co.Apply(ctx, "feed", seq, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOracle(cols, batch)
+	if len(res.Reevaluated) != 1 {
+		t.Fatalf("crossing batch not re-evaluated: %+v", res)
+	}
+	want := oracleTopK(t, cols, 5, topk.DistBPA2)
+	items, _ := st.Ranking()
+	if !sameRanking(items, want) {
+		t.Errorf("post-crossing ranking:\n got %v\nwant %v", items, want)
+	}
+	select {
+	case d := <-sub.C:
+		if d.Snapshot || len(d.Changes) == 0 || !sameRanking(d.Items, want) {
+			t.Errorf("crossing delta wrong: %+v", d)
+		}
+		entered := false
+		for _, c := range d.Changes {
+			if c.Kind == topk.ChangeEntered && c.Key == "20" {
+				entered = true
+			}
+		}
+		if !entered {
+			t.Errorf("delta misses the entry of item 20: %+v", d.Changes)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("crossing pushed no delta")
+	}
+
+	// Phase 3: touching a watched member must always notify, however
+	// small the delta.
+	seq++
+	memberBatch := map[int][]topk.ScoreUpdate{0: {{Item: 0, Delta: 0.0001}}}
+	res, err = co.Apply(ctx, "feed", seq, memberBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOracle(cols, memberBatch)
+	if len(res.Reevaluated) != 1 {
+		t.Fatalf("member touch suppressed: %+v", res)
+	}
+
+	// The savings claim, asserted: strictly fewer re-evaluations (and
+	// re-evaluation wire messages) than re-running the standing query on
+	// every applied batch.
+	acct = co.Accounting()
+	if acct.Reevaluations >= acct.NaiveReevals {
+		t.Errorf("no savings: %d re-evaluations vs %d naive", acct.Reevaluations, acct.NaiveReevals)
+	}
+	perReeval := float64(acct.ReevalMessages) / float64(acct.Reevaluations)
+	naiveMsgs := perReeval * float64(acct.NaiveReevals)
+	liveMsgs := float64(acct.ReevalMessages + acct.FilterMessages)
+	if liveMsgs >= naiveMsgs {
+		t.Errorf("no wire savings: live %v messages (reeval+filter) vs naive %v", liveMsgs, naiveMsgs)
+	}
+	t.Logf("suppression savings: %d/%d re-evaluations, %.0f/%.0f control messages (%.1f%%)",
+		acct.Reevaluations, acct.NaiveReevals, liveMsgs, naiveMsgs, 100*liveMsgs/naiveMsgs)
+}
+
+func TestApplyIdempotentBySequence(t *testing.T) {
+	cols := rankedCols(20, 2, 0.01)
+	cluster := liveCluster(t, cols, 2, false, nil)
+	co, err := New(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := co.Register(ctx, "q", topk.Query{K: 3}, topk.DistBPA2); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close(context.Background()) })
+
+	batch := map[int][]topk.ScoreUpdate{0: {{Item: 10, Delta: 1}}, 1: {{Item: 10, Delta: 1}}}
+	first, err := co.Apply(ctx, "feed", 1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Applied {
+		t.Fatal("fresh batch not applied")
+	}
+	again, err := co.Apply(ctx, "feed", 1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Applied {
+		t.Error("duplicate (feed, seq) re-applied")
+	}
+	if len(again.Reevaluated)+len(again.Suppressed) != 0 {
+		t.Errorf("duplicate batch reached the standing queries: %+v", again)
+	}
+	for owner, ack := range again.Acks {
+		if ack.Version != first.Acks[owner].Version {
+			t.Errorf("owner %d version moved on duplicate: %d -> %d", owner, first.Acks[owner].Version, ack.Version)
+		}
+	}
+	// A stale sequence number must stay refused too.
+	stale, err := co.Apply(ctx, "feed", 0, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Applied {
+		t.Error("stale sequence number applied")
+	}
+}
+
+func TestUpdateReadOnlyOwnerFailsTyped(t *testing.T) {
+	cols := rankedCols(20, 2, 0.01)
+	cluster := liveCluster(t, cols, 1, true, nil)
+	co, err := New(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := co.Apply(ctx, "feed", 1, map[int][]topk.ScoreUpdate{0: {{Item: 1, Delta: 1}}}); err == nil {
+		t.Fatal("update against a read-only owner succeeded")
+	} else if !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("untyped read-only failure: %v", err)
+	}
+	// Filters against read-only owners are refused the same way, so a
+	// Register against a read-only cluster fails loudly instead of
+	// installing nothing.
+	if _, err := co.Register(ctx, "q", topk.Query{K: 3}, topk.DistBPA2); err == nil {
+		t.Fatal("standing query registered against read-only owners")
+	}
+}
+
+// TestLiveChaosConvergence drives the whole update -> notify ->
+// re-evaluate path through seeded fault injection over 2-replica
+// owners: every Apply either succeeds or fails with a typed error and
+// is retried with the same sequence number, and the final ranking must
+// be bit-identical to a from-scratch recomputation over a clean replay
+// of the same update log — correct or failed, never silently wrong.
+func TestLiveChaosConvergence(t *testing.T) {
+	inj := chaos.New(chaos.Config{
+		Seed: 42, Drop: 0.04, Err5xx: 0.04, Truncate: 0.03, Corrupt: 0.03,
+		Delay: 0.05, DelayDur: time.Millisecond,
+	})
+	cols := rankedCols(50, 2, 0.01)
+	cluster := liveCluster(t, cols, 2, false, func(h http.Handler) http.Handler {
+		return chaos.Handler(h, inj)
+	})
+	co, err := New(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	register := func() error {
+		_, err := co.Register(ctx, "q", topk.Query{K: 5}, topk.DistBPA2)
+		return err
+	}
+	if err := retryChaos(t, "register", register); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close(context.Background()) })
+
+	rng := rand.New(rand.NewSource(7))
+	for seq := uint64(1); seq <= 30; seq++ {
+		batch := map[int][]topk.ScoreUpdate{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			owner := rng.Intn(2)
+			item := int32(rng.Intn(50))
+			delta := rng.Float64()*0.2 - 0.05
+			batch[owner] = append(batch[owner], topk.ScoreUpdate{Item: item, Delta: delta})
+		}
+		apply := func() error {
+			_, err := co.Apply(ctx, "feed", seq, batch)
+			return err
+		}
+		if err := retryChaos(t, fmt.Sprintf("apply seq %d", seq), apply); err != nil {
+			t.Fatal(err)
+		}
+		// The oracle replays the same log, in the same order, once.
+		applyOracle(cols, batch)
+	}
+
+	// A batch whose acks (crossings included) were lost can leave the
+	// published ranking one notification behind; Refresh is the
+	// reconciliation step that closes exactly that window.
+	if err := retryChaos(t, "refresh", func() error { return co.Refresh(ctx, "q") }); err != nil {
+		t.Fatal(err)
+	}
+
+	st, ok := co.Query("q")
+	if !ok {
+		t.Fatal("standing query lost")
+	}
+	got, _ := st.Ranking()
+	want := oracleTopK(t, cols, 5, topk.DistBPA2)
+	if !sameRanking(got, want) {
+		t.Errorf("chaos run did not converge:\n got %v\nwant %v", got, want)
+	}
+}
+
+// retryChaos retries an operation that may fail under fault injection;
+// every failure must be a real error (typed, non-nil), and the
+// operation must eventually succeed.
+func retryChaos(t *testing.T, what string, op func() error) error {
+	t.Helper()
+	var err error
+	for attempt := 0; attempt < 60; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("%s: no success in 60 attempts, last error: %w", what, err)
+}
+
+// TestSlowSubscriberDropped pins the back-pressure rule: a subscriber
+// that stops draining is detached and its channel closed rather than
+// stalling the push path, and closing an already-dropped subscription
+// stays safe.
+func TestSlowSubscriberDropped(t *testing.T) {
+	s := &Standing{name: "q", subs: make(map[int]chan Delta)}
+	s.items = []topk.ScoredItem{{Item: 1, Score: 1}}
+	sub := s.Subscribe(16)
+	s.mu.Lock()
+	for i := 0; i < 20; i++ { // buffer is 16 (+1 snapshot already queued)
+		s.pushLocked(Delta{Query: "q", Revision: uint64(i + 2)}, time.Now())
+	}
+	s.mu.Unlock()
+	if got := s.Subscribers(); got != 0 {
+		t.Fatalf("slow subscriber still attached: %d", got)
+	}
+	// Drain to the close; the channel must be closed, not leaked.
+	closed := false
+	for i := 0; i < 64; i++ {
+		if _, ok := <-sub.C; !ok {
+			closed = true
+			break
+		}
+	}
+	if !closed {
+		t.Fatal("dropped subscriber's channel not closed")
+	}
+	sub.Close() // double-close safety
+}

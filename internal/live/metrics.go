@@ -1,0 +1,26 @@
+package live
+
+import "topk/internal/obs"
+
+// Metric handles of the live plane, created once at package init (the
+// registry pattern of internal/transport). The catalogue — also in the
+// root doc.go:
+//
+//	topk_live_updates_applied_total   counter    individual score updates applied
+//	topk_live_update_batches_total    counter    applied (non-duplicate) update batches
+//	topk_live_notifications_total     counter    owner crossing flags acted on
+//	topk_live_reevaluations_total     counter    standing-query re-evaluations run
+//	topk_live_suppressed_total        counter    (query, batch) pairs the filters kept silent
+//	topk_live_subscribers             gauge      attached subscribers
+//	topk_live_subscribers_dropped_total counter  subscribers dropped for falling behind
+//	topk_live_push_seconds            histogram  update-arrival-to-push latency
+var (
+	mUpdatesApplied = obs.GetCounter("topk_live_updates_applied_total", "Individual score updates applied through the live coordinator.", nil)
+	mUpdateBatches  = obs.GetCounter("topk_live_update_batches_total", "Applied (non-duplicate) update batches.", nil)
+	mNotifications  = obs.GetCounter("topk_live_notifications_total", "Owner filter crossings the coordinator acted on.", nil)
+	mReevals        = obs.GetCounter("topk_live_reevaluations_total", "Standing-query re-evaluations actually run.", nil)
+	mSuppressed     = obs.GetCounter("topk_live_suppressed_total", "Standing-query re-evaluations the owner filters suppressed.", nil)
+	mSubscribers    = obs.GetGauge("topk_live_subscribers", "Subscribers currently attached to standing queries.", nil)
+	mSubDropped     = obs.GetCounter("topk_live_subscribers_dropped_total", "Subscribers dropped for falling behind the delta feed.", nil)
+	mPushSec        = obs.GetHistogram("topk_live_push_seconds", "Latency from update arrival to subscriber push in seconds.", nil, obs.LatencyBuckets)
+)

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"topk"
+	"topk/internal/live"
+)
+
+// EnableLive attaches a live coordinator, turning on the live plane:
+// GET /v1/live (SSE subscriber push), POST /v1/update (feed ingestion)
+// and GET /v1/live/stats (the coordinator's accounting). Requires a
+// cluster-backed server — the standing queries run against the owners,
+// not the in-process simulation. Call before the server starts serving;
+// the field is not swapped under traffic.
+func (s *Server) EnableLive(co *live.Coordinator) error {
+	if co == nil {
+		return fmt.Errorf("serve: nil live coordinator")
+	}
+	if s.cluster == nil {
+		return fmt.Errorf("serve: live plane requires a cluster (-live without -owners)")
+	}
+	s.live = co
+	return nil
+}
+
+// requireLive replies 404 unless the live plane is enabled.
+func (s *Server) requireLive(w http.ResponseWriter) bool {
+	if s.live == nil {
+		writeError(w, http.StatusNotFound, "live plane not enabled (serve with -owners and -live)")
+		return false
+	}
+	return true
+}
+
+// handleLive is the SSE subscriber endpoint. It takes the same query
+// parameters as /v1/dist (k, protocol, scoring, weights, ...) plus an
+// optional query= name; the first subscriber of a given standing query
+// registers it with the coordinator, later ones attach to it, so the
+// query stays standing — and its owner-side filters stay installed —
+// across subscriber connects and disconnects. Each delta is one SSE
+// event: `event: delta` with the JSON body on the data line. The stream
+// starts with a full snapshot delta, so a reconnecting client resumes
+// from the current ranking; it ends when the client disconnects, the
+// query is unregistered, or the subscriber falls behind the feed (the
+// client reconnects and resumes from a snapshot).
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) || !s.requireLive(w) {
+		return
+	}
+	q, err := s.parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	protocol := topk.DistBPA2
+	if p := r.URL.Query().Get("protocol"); p != "" {
+		protocol, err = topk.ParseProtocol(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	name := r.URL.Query().Get("query")
+	if name == "" {
+		name = liveName(q, protocol, r.URL.Query().Get("weights"))
+	}
+	st, err := s.liveQuery(r.Context(), name, q, protocol)
+	if err != nil {
+		writeError(w, execStatus(err), "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	sub := st.Subscribe(64)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc, _ := json.Marshal(map[string]string{"query": name})
+	fmt.Fprintf(w, "event: hello\ndata: %s\n\n", enc)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case d, ok := <-sub.C:
+			if !ok {
+				// Unregistered or dropped for falling behind; tell the
+				// client the stream ended on purpose, then close.
+				fmt.Fprintf(w, "event: bye\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			body, err := json.Marshal(d)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: delta\ndata: %s\n\n", body); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// liveQuery attaches to the named standing query, registering it on
+// first use. Concurrent first subscribers race politely: the loser of
+// the registration duel retries the lookup.
+func (s *Server) liveQuery(ctx context.Context, name string, q topk.Query, protocol topk.Protocol) (*live.Standing, error) {
+	if st, ok := s.live.Query(name); ok {
+		return st, nil
+	}
+	st, err := s.live.Register(ctx, name, q, protocol)
+	if err != nil {
+		if st, ok := s.live.Query(name); ok {
+			return st, nil
+		}
+		return nil, err
+	}
+	return st, nil
+}
+
+// liveName derives a stable standing-query name from the parameters
+// when the client did not pick one, so identical subscriptions share
+// one standing query (and one set of owner filters).
+func liveName(q topk.Query, protocol topk.Protocol, weights string) string {
+	scoring := "sum"
+	if q.Scoring != nil {
+		scoring = q.Scoring.Name()
+	}
+	name := fmt.Sprintf("k%d-%s-%s", q.K, strings.ToLower(protocol.String()), scoring)
+	if weights != "" {
+		name += "-w" + weights
+	}
+	return name
+}
+
+// updateItemBody is one (item, delta) pair of an update batch.
+type updateItemBody struct {
+	Item  int32   `json:"item"`
+	Delta float64 `json:"delta"`
+}
+
+// ownerUpdatesBody addresses one owner's share of an update batch.
+type ownerUpdatesBody struct {
+	Owner   int              `json:"owner"`
+	Updates []updateItemBody `json:"updates"`
+}
+
+// updateBody is the POST /v1/update request: one feed batch under the
+// feed's monotone sequence number. Re-POSTing the same (feed, seq)
+// after a failure is safe — owners that already applied it acknowledge
+// without re-applying.
+type updateBody struct {
+	Feed    string             `json:"feed"`
+	Seq     uint64             `json:"seq"`
+	Updates []ownerUpdatesBody `json:"updates"`
+}
+
+// updateRespBody is the POST /v1/update response: what applied, which
+// standing queries re-evaluated and which the filters kept silent.
+type updateRespBody struct {
+	Applied     bool                   `json:"applied"`
+	Acks        map[int]topk.UpdateAck `json:"acks,omitempty"`
+	Reevaluated []string               `json:"reevaluated,omitempty"`
+	Suppressed  []string               `json:"suppressed,omitempty"`
+}
+
+// handleUpdate ingests one update batch through the live coordinator.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w) {
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var body updateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad update body: %v", err)
+		return
+	}
+	if body.Feed == "" {
+		writeError(w, http.StatusBadRequest, "update without a feed name")
+		return
+	}
+	if len(body.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "update batch without updates")
+		return
+	}
+	batches := make(map[int][]topk.ScoreUpdate, len(body.Updates))
+	for _, ou := range body.Updates {
+		for _, u := range ou.Updates {
+			batches[ou.Owner] = append(batches[ou.Owner], topk.ScoreUpdate{Item: u.Item, Delta: u.Delta})
+		}
+	}
+	res, err := s.live.Apply(r.Context(), body.Feed, body.Seq, batches)
+	if err != nil {
+		writeError(w, execStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateRespBody{
+		Applied:     res.Applied,
+		Acks:        res.Acks,
+		Reevaluated: res.Reevaluated,
+		Suppressed:  res.Suppressed,
+	})
+}
+
+// handleLiveStats exposes the coordinator's accounting: the suppression
+// savings (reevaluations vs naiveReevals) and the live plane's own
+// traffic, kept apart from query accounting.
+func (s *Server) handleLiveStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) || !s.requireLive(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Queries    []string        `json:"queries"`
+		Accounting live.Accounting `json:"accounting"`
+	}{Queries: s.live.Names(), Accounting: s.live.Accounting()})
+}

@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"topk"
+	"topk/internal/list"
+	"topk/internal/live"
+	"topk/internal/transport"
+)
+
+// liveTestCols builds m columns where item d scores (n-d)*colGap in
+// every column: the aggregate ranking is 0, 1, 2, ... with a constant
+// aggregate gap of m*colGap between consecutive ranks, so the tests
+// can place updates precisely under or over the filter slack.
+func liveTestCols(n, m int, colGap float64) [][]float64 {
+	cols := make([][]float64, m)
+	for i := range cols {
+		col := make([]float64, n)
+		for d := range col {
+			col[d] = float64(n-d) * colGap
+		}
+		cols[i] = col
+	}
+	return cols
+}
+
+// liveServer stands up the full stack: mutable HTTP owners over each of
+// cols' lists, a dialed cluster, a live coordinator, and a topk-serve
+// handler with the live plane enabled.
+func liveServer(t *testing.T, cols [][]float64) (*httptest.Server, *live.Coordinator) {
+	t.Helper()
+	idb, err := list.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := make([][]string, idb.M())
+	for i := range topo {
+		osrv, err := transport.NewServer(idb, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := osrv.Owner().EnableUpdates(); err != nil {
+			t.Fatal(err)
+		}
+		ots := httptest.NewServer(osrv.Handler())
+		t.Cleanup(ots.Close)
+		topo[i] = []string{ots.URL}
+	}
+	cluster, err := topk.DialClusterConfig(context.Background(), topk.ClusterConfig{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	db, err := topk.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithCluster(db, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := live.New(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableLive(co); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, co
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  []byte
+}
+
+// sseSubscribe opens an SSE stream and pumps its events into a channel;
+// the returned cancel closes the client side of the connection. The
+// channel closes when the stream ends (either side).
+func sseSubscribe(t *testing.T, url string) (<-chan sseEvent, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body := new(strings.Builder)
+		bufio.NewReader(resp.Body).WriteTo(body)
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("SSE subscribe: status %d: %s", resp.StatusCode, body)
+	}
+	ch := make(chan sseEvent, 64)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		event := ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				ch <- sseEvent{event: event, data: []byte(strings.TrimPrefix(line, "data: "))}
+			}
+		}
+	}()
+	return ch, cancel
+}
+
+// nextDelta reads SSE events until a delta arrives (skipping hello).
+func nextDelta(t *testing.T, ch <-chan sseEvent, timeout time.Duration) live.Delta {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("SSE stream closed while waiting for a delta")
+			}
+			if ev.event != "delta" {
+				continue
+			}
+			var d live.Delta
+			if err := json.Unmarshal(ev.data, &d); err != nil {
+				t.Fatalf("bad delta %s: %v", ev.data, err)
+			}
+			return d
+		case <-deadline:
+			t.Fatal("no delta within the deadline")
+		}
+	}
+}
+
+// postUpdate POSTs one update batch through /v1/update.
+func postUpdate(t *testing.T, base, feed string, seq uint64, batches map[int][]topk.ScoreUpdate) updateRespBody {
+	t.Helper()
+	var body updateBody
+	body.Feed, body.Seq = feed, seq
+	for owner, ups := range batches {
+		ob := ownerUpdatesBody{Owner: owner}
+		for _, u := range ups {
+			ob.Updates = append(ob.Updates, updateItemBody{Item: u.Item, Delta: u.Delta})
+		}
+		body.Updates = append(body.Updates, ob)
+	}
+	js, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/update", "application/json", bytes.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		t.Fatalf("POST /v1/update seq %d: status %d: %s", seq, resp.StatusCode, eb.Error)
+	}
+	var out updateRespBody
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// oracleRanking recomputes the expected ranking from a clean replay of
+// the update log over the original columns.
+func oracleRanking(t *testing.T, cols [][]float64, k int) []topk.ScoredItem {
+	t.Helper()
+	db, err := topk.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecDistributed(context.Background(), topk.Query{K: k}, topk.DistBPA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Items
+}
+
+func sameItems(got, want []topk.ScoredItem) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].Item != want[i].Item || got[i].Score != want[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLiveEndToEnd is the live demo, pinned: owner processes behind a
+// topk-serve with the live plane on, a standing BPA2 k=10 query
+// subscribed over SSE, and a scripted update feed POSTed through the
+// API. Every SSE delta must match an oracle recomputation over a clean
+// replay of the update log at that point, filter suppression must keep
+// strictly fewer re-evaluations (and wire messages) than re-running the
+// query per batch, and the subscriber teardown must leak nothing.
+func TestLiveEndToEnd(t *testing.T) {
+	// Aggregate gap 0.02 between consecutive ranks; slack 0.01 per owner.
+	cols := liveTestCols(60, 2, 0.01)
+	ts, _ := liveServer(t, cols)
+	// Leak baseline after the stack is up: the assertion is about the
+	// subscriber path, not the servers t.Cleanup tears down later.
+	base := runtime.NumGoroutine()
+
+	ch, cancel := sseSubscribe(t, ts.URL+"/v1/live?k=10&protocol=bpa2&query=demo")
+	defer cancel()
+
+	snap := nextDelta(t, ch, 5*time.Second)
+	if !snap.Snapshot || snap.Revision != 1 {
+		t.Fatalf("stream did not start with the initial snapshot: %+v", snap)
+	}
+	if want := oracleRanking(t, cols, 10); !sameItems(snap.Items, want) {
+		t.Fatalf("initial snapshot:\n got %v\nwant %v", snap.Items, want)
+	}
+
+	// The scripted feed. Per-owner slack is 0.01: 0.001 drifts stay
+	// silent, the bigger ones cross.
+	tiny := func(item int32) map[int][]topk.ScoreUpdate {
+		return map[int][]topk.ScoreUpdate{
+			0: {{Item: item, Delta: 0.001}},
+			1: {{Item: item, Delta: 0.001}},
+		}
+	}
+	script := []struct {
+		batch      map[int][]topk.ScoreUpdate
+		wantReeval bool
+	}{
+		{tiny(40), false}, {tiny(40), false}, {tiny(40), false}, {tiny(40), false},
+		{tiny(41), false}, {tiny(41), false}, {tiny(42), false}, {tiny(42), false},
+		// Promote item 40 far past the members: crossing, new entry.
+		{map[int][]topk.ScoreUpdate{0: {{Item: 40, Delta: 0.5}}, 1: {{Item: 40, Delta: 0.5}}}, true},
+		// Touch the rank-1 member: watched items always notify.
+		{map[int][]topk.ScoreUpdate{0: {{Item: 0, Delta: 0.3}}}, true},
+		{tiny(45), false}, {tiny(45), false}, {tiny(46), false}, {tiny(46), false},
+		// Demote item 40 (a member since batch 9) far below the
+		// contenders: watched items always notify, and it must Leave.
+		{map[int][]topk.ScoreUpdate{0: {{Item: 40, Delta: -0.6}}, 1: {{Item: 40, Delta: -0.6}}}, true},
+	}
+	lastPushed := snap.Items
+	for i, step := range script {
+		seq := uint64(i + 1)
+		res := postUpdate(t, ts.URL, "demo-feed", seq, step.batch)
+		if !res.Applied {
+			t.Fatalf("batch %d not applied", seq)
+		}
+		for owner, ups := range step.batch {
+			for _, u := range ups {
+				cols[owner][u.Item] += u.Delta
+			}
+		}
+		gotReeval := len(res.Reevaluated) > 0
+		if gotReeval != step.wantReeval {
+			t.Fatalf("batch %d: reevaluated=%v suppressed=%v, want reeval %v",
+				seq, res.Reevaluated, res.Suppressed, step.wantReeval)
+		}
+		if !step.wantReeval {
+			continue
+		}
+		want := oracleRanking(t, cols, 10)
+		if sameItems(want, lastPushed) {
+			continue // re-evaluated, ranking stood: nothing pushed
+		}
+		d := nextDelta(t, ch, 5*time.Second)
+		if !sameItems(d.Items, want) {
+			t.Fatalf("batch %d: SSE delta diverges from the oracle replay:\n got %v\nwant %v",
+				seq, d.Items, want)
+		}
+		if d.Snapshot {
+			t.Fatalf("batch %d: change delta flagged as snapshot", seq)
+		}
+		// The changes must transform the previous pushed ranking into
+		// this one: every membership difference accounted for.
+		prevSet := map[int]bool{}
+		for _, it := range lastPushed {
+			prevSet[it.Item] = true
+		}
+		for _, it := range d.Items {
+			if !prevSet[it.Item] {
+				found := false
+				for _, c := range d.Changes {
+					if c.Kind == topk.ChangeEntered && c.Key == fmt.Sprint(it.Item) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("batch %d: item %d entered without an entered change: %+v", seq, it.Item, d.Changes)
+				}
+			}
+		}
+		lastPushed = d.Items
+	}
+
+	// No stray pushes beyond the scripted crossings.
+	select {
+	case ev, ok := <-ch:
+		if ok && ev.event == "delta" {
+			t.Fatalf("unexpected extra delta: %s", ev.data)
+		}
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// The savings, asserted and logged: strictly fewer re-evaluations
+	// and control-plane messages than naive re-run-per-batch.
+	var stats struct {
+		Queries    []string        `json:"queries"`
+		Accounting live.Accounting `json:"accounting"`
+	}
+	getJSON(t, ts.URL+"/v1/live/stats", http.StatusOK, &stats)
+	a := stats.Accounting
+	if len(stats.Queries) != 1 || stats.Queries[0] != "demo" {
+		t.Errorf("standing queries: %v", stats.Queries)
+	}
+	if a.Reevaluations >= a.NaiveReevals {
+		t.Errorf("no suppression savings: %d re-evaluations vs %d naive", a.Reevaluations, a.NaiveReevals)
+	}
+	perReeval := float64(a.ReevalMessages) / float64(a.Reevaluations)
+	naiveMsgs := perReeval * float64(a.NaiveReevals)
+	liveMsgs := float64(a.ReevalMessages + a.FilterMessages)
+	if liveMsgs >= naiveMsgs {
+		t.Errorf("no wire savings: %v live control messages vs %v naive", liveMsgs, naiveMsgs)
+	}
+	t.Logf("suppression: %d/%d re-evaluations; %.0f/%.0f control messages (%.1f%%)",
+		a.Reevaluations, a.NaiveReevals, liveMsgs, naiveMsgs, 100*liveMsgs/naiveMsgs)
+
+	// Teardown must leak nothing: close the subscriber and wait for the
+	// handler goroutines to drain.
+	cancel()
+	waitGoroutines(t, base)
+}
+
+// TestLiveSSEDisconnectReconnect pins the resume contract: dropping a
+// subscriber releases its server-side goroutines and registration, the
+// standing query keeps running meanwhile, and a fresh subscriber starts
+// from the then-current snapshot rather than a replay.
+func TestLiveSSEDisconnectReconnect(t *testing.T) {
+	cols := liveTestCols(40, 2, 0.01)
+	ts, co := liveServer(t, cols)
+	base := runtime.NumGoroutine()
+
+	ch, cancel := sseSubscribe(t, ts.URL+"/v1/live?k=5&protocol=bpa2&query=q")
+	first := nextDelta(t, ch, 5*time.Second)
+	if !first.Snapshot || first.Revision != 1 {
+		t.Fatalf("first connect: %+v", first)
+	}
+	cancel()
+	st, ok := co.Query("q")
+	if !ok {
+		t.Fatal("standing query missing")
+	}
+	waitFor(t, "subscriber detach", func() bool { return st.Subscribers() == 0 })
+
+	// The query stands while nobody listens: a crossing batch advances
+	// the ranking.
+	batch := map[int][]topk.ScoreUpdate{0: {{Item: 30, Delta: 0.5}}, 1: {{Item: 30, Delta: 0.5}}}
+	res := postUpdate(t, ts.URL, "f", 1, batch)
+	if len(res.Reevaluated) != 1 {
+		t.Fatalf("crossing batch with no subscribers not re-evaluated: %+v", res)
+	}
+	for owner, ups := range batch {
+		for _, u := range ups {
+			cols[owner][u.Item] += u.Delta
+		}
+	}
+
+	// Reconnect: the stream must open with the CURRENT ranking at the
+	// advanced revision — resume from snapshot, not a replay from 1.
+	ch2, cancel2 := sseSubscribe(t, ts.URL+"/v1/live?k=5&protocol=bpa2&query=q")
+	second := nextDelta(t, ch2, 5*time.Second)
+	if !second.Snapshot {
+		t.Fatalf("reconnect did not start with a snapshot: %+v", second)
+	}
+	if second.Revision <= first.Revision {
+		t.Errorf("reconnect revision %d did not advance past %d", second.Revision, first.Revision)
+	}
+	if want := oracleRanking(t, cols, 5); !sameItems(second.Items, want) {
+		t.Errorf("reconnect snapshot stale:\n got %v\nwant %v", second.Items, want)
+	}
+	cancel2()
+	waitGoroutines(t, base)
+}
+
+// TestLiveEndpointsWithoutLivePlane: the endpoints must answer 404 with
+// a pointed message when the live plane is off, not panic or hang.
+func TestLiveEndpointsWithoutLivePlane(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/v1/live?k=3", "/v1/live/stats"} {
+		var eb errorBody
+		getJSON(t, ts.URL+path, http.StatusNotFound, &eb)
+		if !strings.Contains(eb.Error, "live plane not enabled") {
+			t.Errorf("GET %s: error %q", path, eb.Error)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/update", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /v1/update without live plane: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// waitFor polls a condition with a deadline.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// waitGoroutines waits for the goroutine count to fall back to the
+// baseline — the zero-leak assertion of the live plane. Idle keep-alive
+// client connections hold goroutine pairs by design; they are flushed
+// each poll so only real leaks remain.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		http.DefaultClient.CloseIdleConnections()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now, %d at baseline", runtime.NumGoroutine(), base)
+}

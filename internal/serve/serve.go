@@ -25,6 +25,16 @@
 //	/v1/explain        the round-by-round threshold walkthrough as text
 //	/v1/health         the cluster client's per-replica health snapshot
 //	                   (404 without a cluster)
+//	/v1/live           subscribe to a standing continuous top-k query
+//	                   (same parameters as /v1/dist plus query= to name
+//	                   it); an SSE stream of ranking deltas, starting
+//	                   with a full snapshot. Requires EnableLive
+//	/v1/live/stats     the live coordinator's accounting: standing
+//	                   queries, re-evaluations vs the naive per-batch
+//	                   count, suppressions, live-plane traffic
+//	/v1/update         POST one update batch {feed, seq, updates} into
+//	                   the live plane; re-POSTing the same (feed, seq)
+//	                   after a failure is safe
 //	/metrics           process-wide metrics, Prometheus text exposition
 //	                   (JSON with ?format=json)
 //
@@ -49,15 +59,18 @@ import (
 	"time"
 
 	"topk"
+	"topk/internal/live"
 	"topk/internal/obs"
 	"topk/internal/transport"
 )
 
 // Server serves one immutable database, optionally backed by a remote
-// owner cluster for /v1/dist.
+// owner cluster for /v1/dist, optionally with a live coordinator for
+// the continuous top-k plane (EnableLive).
 type Server struct {
 	db      *topk.Database
 	cluster *topk.Cluster
+	live    *live.Coordinator
 	mux     *http.ServeMux
 }
 
@@ -89,6 +102,9 @@ func NewWithCluster(db *topk.Database, cluster *topk.Cluster) (*Server, error) {
 	s.mux.HandleFunc("/v1/dist", s.handleDist)
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/health", s.handleClusterHealth)
+	s.mux.HandleFunc("/v1/live", s.handleLive)
+	s.mux.HandleFunc("/v1/live/stats", s.handleLiveStats)
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
 	s.mux.Handle("/metrics", obs.Default.Handler())
 	return s, nil
 }

@@ -53,6 +53,14 @@ type Monitor struct {
 	sources []sourceState
 	queries int
 	prev    []Entry // previous snapshot ranking, for change detection
+
+	// version counts mutations (Observe, Advance); evalVersion remembers
+	// the version the last TopK evaluated at. When they match, TopK skips
+	// the O(m·n log n) list rebuild and answers from the cached ranking.
+	version      uint64
+	evalVersion  uint64
+	evaluated    bool
+	lastUniverse int
 }
 
 // sourceState is one source's window: the live aggregate per key plus the
@@ -108,6 +116,7 @@ func (mo *Monitor) Observe(source int, key string, delta float64) error {
 		return fmt.Errorf("stream: delta %v for key %q is not finite", delta, key)
 	}
 	s := &mo.sources[source]
+	mo.version++
 	addScore(s.agg, key, delta)
 	if s.ring != nil {
 		addScore(s.ring[s.head], key, delta)
@@ -131,6 +140,7 @@ func addScore(m map[string]float64, key string, delta float64) {
 // Without one (WindowBuckets == 0) Advance only marks bucket boundaries
 // and never expires anything.
 func (mo *Monitor) Advance() {
+	mo.version++
 	for i := range mo.sources {
 		s := &mo.sources[i]
 		if s.ring == nil {
@@ -207,8 +217,23 @@ type Snapshot struct {
 // TopK materializes the sorted lists from the current window aggregates,
 // runs the configured algorithm, and reports the ranking with changes
 // since the previous call. An empty universe yields an empty snapshot.
+//
+// When no Observe or Advance happened since the previous TopK, the call
+// takes a fast path: the aggregates are untouched, so the ranking is the
+// previous one by construction and the O(m·n log n) rebuild-and-run is
+// skipped. The snapshot is identical to what a full re-evaluation would
+// report — same Items, same Universe, empty Changes — except that Counts
+// is zero: no list was materialized, so no access was spent, which is the
+// point.
 func (mo *Monitor) TopK() (*Snapshot, error) {
 	mo.queries++
+	if mo.evaluated && mo.version == mo.evalVersion {
+		snap := &Snapshot{Query: mo.queries, Universe: mo.lastUniverse}
+		if mo.prev != nil {
+			snap.Items = append([]Entry(nil), mo.prev...)
+		}
+		return snap, nil
+	}
 	snap := &Snapshot{Query: mo.queries}
 
 	keys := mo.liveKeys()
@@ -216,6 +241,7 @@ func (mo *Monitor) TopK() (*Snapshot, error) {
 	if len(keys) == 0 {
 		snap.Changes = mo.diff(nil)
 		mo.prev = nil
+		mo.evaluated, mo.evalVersion, mo.lastUniverse = true, mo.version, 0
 		return snap, nil
 	}
 
@@ -251,6 +277,7 @@ func (mo *Monitor) TopK() (*Snapshot, error) {
 	snap.Counts = res.Counts
 	snap.Changes = mo.diff(snap.Items)
 	mo.prev = snap.Items
+	mo.evaluated, mo.evalVersion, mo.lastUniverse = true, mo.version, snap.Universe
 	return snap, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -360,4 +361,123 @@ func ExampleMonitor() {
 	// Output:
 	// /search 55
 	// /home 52
+}
+
+// TestTopKFastPathPinsSnapshot: a TopK call with no Observe/Advance in
+// between must answer from the cached ranking — identical Items and
+// Universe, empty Changes, zero Counts (no list was rebuilt) — and a
+// mutation, even one that does not change any aggregate, must drop back
+// to the full evaluation with the same ranking.
+func TestTopKFastPathPinsSnapshot(t *testing.T) {
+	mo := mustMonitor(t, Config{Sources: 3, K: 5})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		observe(t, mo, rng.Intn(3), fmt.Sprintf("key-%03d", rng.Intn(40)), rng.Float64())
+	}
+	full, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Counts.Total() == 0 {
+		t.Fatal("full evaluation reported zero accesses")
+	}
+
+	fast, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast.Items, full.Items) {
+		t.Errorf("fast path changed the ranking:\n got %v\nwant %v", fast.Items, full.Items)
+	}
+	if fast.Universe != full.Universe {
+		t.Errorf("fast path universe %d, want %d", fast.Universe, full.Universe)
+	}
+	if len(fast.Changes) != 0 {
+		t.Errorf("fast path reported changes: %v", fast.Changes)
+	}
+	if got := fast.Counts.Total(); got != 0 {
+		t.Errorf("fast path spent %d accesses, want 0", got)
+	}
+	if fast.Query != full.Query+1 {
+		t.Errorf("fast path query %d, want %d", fast.Query, full.Query+1)
+	}
+
+	// The fast path must hand out a copy, not the cached ranking.
+	if len(fast.Items) > 0 {
+		fast.Items[0] = Entry{Key: "clobbered", Score: -1}
+	}
+	again, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Items, full.Items) {
+		t.Error("mutating a fast-path snapshot leaked into the cache")
+	}
+
+	// Advance on an unbounded window expires nothing, but it is a
+	// mutation: the next TopK must re-evaluate — and agree with the
+	// cached ranking, pinning fast path against full path.
+	mo.Advance()
+	reeval, err := mo.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reeval.Counts.Total() == 0 {
+		t.Error("TopK after Advance took the fast path")
+	}
+	if !reflect.DeepEqual(reeval.Items, full.Items) {
+		t.Errorf("re-evaluation disagrees with cached ranking:\n got %v\nwant %v", reeval.Items, full.Items)
+	}
+	if len(reeval.Changes) != 0 {
+		t.Errorf("unchanged aggregates reported changes: %v", reeval.Changes)
+	}
+}
+
+// benchMonitor builds a monitor with a populated universe.
+func benchMonitor(b *testing.B, sources, keys int) *Monitor {
+	b.Helper()
+	mo, err := New(Config{Sources: sources, K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%05d", i)
+		for s := 0; s < sources; s++ {
+			if err := mo.Observe(s, key, rng.Float64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return mo
+}
+
+// BenchmarkTopKNoOp measures the repeat-call fast path: no mutation
+// between calls, so TopK answers from the cached ranking.
+func BenchmarkTopKNoOp(b *testing.B) {
+	mo := benchMonitor(b, 5, 2000)
+	if _, err := mo.TopK(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mo.TopK(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopKRebuild measures the full path the fast path skips: one
+// touched aggregate forces the list rebuild and algorithm run.
+func BenchmarkTopKRebuild(b *testing.B) {
+	mo := benchMonitor(b, 5, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mo.Observe(0, "key-00000", 0.001); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mo.TopK(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

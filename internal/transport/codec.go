@@ -54,6 +54,7 @@ const (
 	codeAbove
 	codeFetch
 	codeBatch
+	codeUpdate
 )
 
 // kindCode maps a Kind to its frame byte.
@@ -75,6 +76,8 @@ func kindCode(k Kind) (byte, error) {
 		return codeFetch, nil
 	case KindBatch:
 		return codeBatch, nil
+	case KindUpdate:
+		return codeUpdate, nil
 	default:
 		return 0, fmt.Errorf("transport: unknown kind %q", k)
 	}
@@ -85,10 +88,21 @@ const (
 	flagHasPos    byte = 1 << 0 // LookupResp carries a position
 	flagExhausted byte = 1 << 0 // ProbeResp/MarkResp: list fully seen
 	flagEmpty     byte = 1 << 1 // ProbeResp: piggyback only, no entry
+	flagApplied   byte = 1 << 0 // UpdateResp: the batch was applied (not a duplicate)
 )
 
 func appendU32(b []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// appendStr writes a u32-length-prefixed UTF-8 string.
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
 }
 
 func appendF64(b []byte, v float64) []byte {
@@ -145,6 +159,15 @@ func AppendRequestBinary(dst []byte, req Request) ([]byte, error) {
 			b = appendU32(b, uint32(len(r.Items)))
 			for _, d := range r.Items {
 				b = appendU32(b, uint32(d))
+			}
+			return b, nil
+		case UpdateReq:
+			b = appendStr(b, r.Feed)
+			b = appendU64(b, r.Seq)
+			b = appendU32(b, uint32(len(r.Updates)))
+			for _, u := range r.Updates {
+				b = appendU32(b, uint32(u.Item))
+				b = appendF64(b, u.Delta)
 			}
 			return b, nil
 		case BatchReq:
@@ -236,6 +259,18 @@ func AppendResponseBinary(dst []byte, resp Response) ([]byte, error) {
 				b = appendF64(b, s)
 			}
 			return b, nil
+		case UpdateResp:
+			var f byte
+			if r.Applied {
+				f = flagApplied
+			}
+			b = append(b, f)
+			b = appendU64(b, r.Version)
+			b = appendU32(b, uint32(len(r.Crossings)))
+			for _, q := range r.Crossings {
+				b = appendStr(b, q)
+			}
+			return b, nil
 		case BatchResp:
 			if len(r.Resps) > MaxBatch {
 				return nil, fmt.Errorf("transport: batch of %d exceeds limit %d", len(r.Resps), MaxBatch)
@@ -278,6 +313,28 @@ func (r *reader) u32() (uint32, error) {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// str reads a u32-length-prefixed string; the length is bounds-checked
+// against the remaining payload by take.
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 func (r *reader) f64() (float64, error) {
@@ -407,6 +464,33 @@ func decodeRequestFrame(b []byte, allowBatch bool) (Request, []byte, error) {
 			items = append(items, list.ItemID(int32(v)))
 		}
 		req = FetchReq{Items: items}
+	case codeUpdate:
+		feed, err := r.str()
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, err := r.u64()
+		if err != nil {
+			return nil, nil, err
+		}
+		n, err := r.count(12)
+		if err != nil {
+			return nil, nil, err
+		}
+		// n == 0 decodes to a nil slice, matching the JSON codec.
+		var ups []ScoreUpdate
+		for i := 0; i < n; i++ {
+			item, err := r.u32()
+			if err != nil {
+				return nil, nil, err
+			}
+			delta, err := r.f64()
+			if err != nil {
+				return nil, nil, err
+			}
+			ups = append(ups, ScoreUpdate{Item: list.ItemID(int32(item)), Delta: delta})
+		}
+		req = UpdateReq{Feed: feed, Seq: seq, Updates: ups}
 	case codeBatch:
 		if !allowBatch {
 			return nil, nil, fmt.Errorf("transport: batches must not nest")
@@ -547,6 +631,28 @@ func decodeResponseFrame(b []byte, allowBatch bool) (Response, []byte, error) {
 			scores = append(scores, s)
 		}
 		resp = FetchResp{Scores: scores}
+	case codeUpdate:
+		f, err := r.byte()
+		if err != nil {
+			return nil, nil, err
+		}
+		version, err := r.u64()
+		if err != nil {
+			return nil, nil, err
+		}
+		n, err := r.count(4)
+		if err != nil {
+			return nil, nil, err
+		}
+		var crossings []string
+		for i := 0; i < n; i++ {
+			q, err := r.str()
+			if err != nil {
+				return nil, nil, err
+			}
+			crossings = append(crossings, q)
+		}
+		resp = UpdateResp{Applied: f&flagApplied != 0, Version: version, Crossings: crossings}
 	case codeBatch:
 		if !allowBatch {
 			return nil, nil, fmt.Errorf("transport: batches must not nest")

@@ -24,6 +24,8 @@ func codecRequests() []Request {
 		AboveReq{T: 0},
 		FetchReq{Items: []list.ItemID{0, 1, 99999}},
 		FetchReq{Items: nil},
+		UpdateReq{Feed: "trades", Seq: 1 << 40, Updates: []ScoreUpdate{{Item: 7, Delta: -0.125}, {Item: 0, Delta: 2.5}}},
+		UpdateReq{Feed: "f", Seq: 1, Updates: nil},
 		BatchReq{}, // empty batch
 		BatchReq{Reqs: []Request{
 			SortedReq{Pos: 3},
@@ -56,6 +58,8 @@ func codecResponses() []Response {
 		AboveResp{Entries: []list.Entry{e}},
 		FetchResp{Scores: []float64{1, 0.5, 0.25}},
 		FetchResp{Scores: nil},
+		UpdateResp{Applied: true, Version: 9, Crossings: []string{"hot", "warm"}},
+		UpdateResp{Applied: false, Version: 1 << 33, Crossings: nil},
 		BatchResp{}, // empty batch
 		BatchResp{Resps: []Response{
 			SortedResp{Entry: e},

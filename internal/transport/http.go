@@ -11,6 +11,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +46,10 @@ import (
 //	                     (the dial handshake, which also advertises the
 //	                     wire codecs the owner speaks and the owner's
 //	                     replica identity)
+//	POST /filter/set     live control-plane: install one standing
+//	                     query's notification filter {query, slack,
+//	                     watch} (see Owner.SetFilter)
+//	POST /filter/clear   live control-plane: remove a filter {query}
 //	POST /reset          deprecated no-op, kept for pre-session clients
 //	GET  /healthz        liveness — also what the client's background
 //	                     health prober polls in replicated topologies
@@ -90,6 +95,8 @@ func NewServer(db *list.Database, index int) (*Server, error) {
 	s.mux.HandleFunc("/session/close", s.handleClose)
 	s.mux.HandleFunc("/session/sync", s.handleSync)
 	s.mux.HandleFunc("/session/state", s.handleState)
+	s.mux.HandleFunc("/filter/set", s.handleFilterSet)
+	s.mux.HandleFunc("/filter/clear", s.handleFilterClear)
 	s.mux.HandleFunc("/reset", s.handleReset)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -315,6 +322,49 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, syncBody{SID: sid, Ranges: ranges, Depth: depth})
+}
+
+// filterBody is the /filter/set and /filter/clear request payload: one
+// standing query's notification filter (see Owner.SetFilter). Clear
+// reads only Query.
+type filterBody struct {
+	Query string        `json:"query"`
+	Slack float64       `json:"slack,omitempty"`
+	Watch []list.ItemID `json:"watch,omitempty"`
+}
+
+// handleFilterSet installs a standing-query notification filter —
+// live-plane control traffic, never charged to query accounting.
+func (s *Server) handleFilterSet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var body filterBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad filter body: %v", err)
+		return
+	}
+	if err := s.owner.SetFilter(body.Query, body.Slack, body.Watch); err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleFilterClear removes a standing-query filter (idempotent).
+func (s *Server) handleFilterClear(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var body filterBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad filter body: %v", err)
+		return
+	}
+	s.owner.ClearFilter(body.Query)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleReset is the pre-session control plane: it used to wipe the
@@ -1254,6 +1304,143 @@ func (t *HTTPClient) Open(ctx context.Context, tracker bestpos.Kind) (Session, e
 	mClientSessionsOpen.Add(1)
 	s.counted = true
 	return s, nil
+}
+
+// liveSID is the sentinel session parameter update exchanges travel
+// under: the /rpc data plane requires a sid, but updates are feed-plane
+// and the owner ignores it.
+const liveSID = "live"
+
+// updateReplica sends one update batch to one replica over the data
+// plane — negotiated codec, frame CRC, shed backpressure and transient
+// retries; updates are replayable by their per-feed sequence number, so
+// re-sending is always safe.
+func (t *HTTPClient) updateReplica(ctx context.Context, r *replica, req UpdateReq) (UpdateResp, error) {
+	binary := t.binaryWire()
+	var (
+		body []byte
+		err  error
+		ct   = ContentTypeJSON
+	)
+	if binary {
+		body, err = AppendRequestBinary(nil, req)
+		ct = ContentTypeBinary
+	} else {
+		body, err = json.Marshal(req)
+	}
+	if err != nil {
+		return UpdateResp{}, fmt.Errorf("transport: owner %d: encode update: %w", r.list, err)
+	}
+	var out UpdateResp
+	derr := t.doReplica(ctx, r, http.MethodPost, "/rpc/"+string(KindUpdate)+"?sid="+liveSID, body, ct, func(rd io.Reader) error {
+		data, rerr := io.ReadAll(rd)
+		if rerr != nil {
+			return fmt.Errorf("%w: read body: %v", errCorruptFrame, rerr)
+		}
+		var resp Response
+		var derr error
+		if binary {
+			resp, derr = DecodeResponseBinary(data)
+		} else {
+			resp, derr = UnmarshalResponseJSON(KindUpdate, data)
+		}
+		if derr != nil {
+			return fmt.Errorf("%w: decode: %v", errCorruptFrame, derr)
+		}
+		ur, ok := resp.(UpdateResp)
+		if !ok {
+			return fmt.Errorf("%w: unexpected response %T", errCorruptFrame, resp)
+		}
+		out = ur
+		return nil
+	})
+	return out, derr
+}
+
+// UpdateAll applies one feed-plane update batch at every replica of a
+// list, fanned out in parallel — replicas of one list must see the same
+// update stream or they stop being interchangeable. Every replica must
+// acknowledge; on partial failure the error surfaces and the caller
+// re-sends the same (feed, seq) batch, which the per-feed sequence
+// check makes safe: replicas that already applied it acknowledge
+// without re-applying. The merged ack reports whether any replica
+// applied the batch fresh, the highest resulting list version, and the
+// union of standing-query crossings, sorted.
+func (t *HTTPClient) UpdateAll(ctx context.Context, owner int, feed string, seq uint64, updates []ScoreUpdate) (UpdateResp, error) {
+	if err := t.checkOwner(owner); err != nil {
+		return UpdateResp{}, err
+	}
+	req := UpdateReq{Feed: feed, Seq: seq, Updates: updates}
+	reps := t.lists[owner]
+	resps := make([]UpdateResp, len(reps))
+	errs := make([]error, len(reps))
+	var wg sync.WaitGroup
+	for ri, r := range reps {
+		wg.Add(1)
+		go func(ri int, r *replica) {
+			defer wg.Done()
+			resps[ri], errs[ri] = t.updateReplica(ctx, r, req)
+		}(ri, r)
+	}
+	wg.Wait()
+	var out UpdateResp
+	seen := make(map[string]bool)
+	for ri := range reps {
+		if errs[ri] != nil {
+			return UpdateResp{}, errs[ri]
+		}
+		if resps[ri].Applied {
+			out.Applied = true
+		}
+		if resps[ri].Version > out.Version {
+			out.Version = resps[ri].Version
+		}
+		for _, q := range resps[ri].Crossings {
+			if !seen[q] {
+				seen[q] = true
+				out.Crossings = append(out.Crossings, q)
+			}
+		}
+	}
+	sort.Strings(out.Crossings)
+	return out, nil
+}
+
+// SetFilter installs a standing-query notification filter at every
+// replica of a list — control-plane fan-out, all replicas must ack, so
+// a suppressed notification is a cluster-wide verdict rather than one
+// replica's opinion.
+func (t *HTTPClient) SetFilter(ctx context.Context, owner int, query string, slack float64, watch []list.ItemID) error {
+	return t.filterAll(ctx, owner, "/filter/set", filterBody{Query: query, Slack: slack, Watch: watch})
+}
+
+// ClearFilter removes a standing-query filter at every replica of a
+// list (idempotent at each).
+func (t *HTTPClient) ClearFilter(ctx context.Context, owner int, query string) error {
+	return t.filterAll(ctx, owner, "/filter/clear", filterBody{Query: query})
+}
+
+func (t *HTTPClient) filterAll(ctx context.Context, owner int, path string, body filterBody) error {
+	if err := t.checkOwner(owner); err != nil {
+		return err
+	}
+	reps := t.lists[owner]
+	errs := make([]error, len(reps))
+	var wg sync.WaitGroup
+	for ri, r := range reps {
+		wg.Add(1)
+		go func(ri int, r *replica) {
+			defer wg.Done()
+			errs[ri] = t.doJSON(ctx, r, http.MethodPost, path, body, nil)
+		}(ri, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close stops the background health prober and releases idle

@@ -21,6 +21,7 @@ const (
 	KindAbove  Kind = "above"
 	KindFetch  Kind = "fetch"
 	KindBatch  Kind = "batch"
+	KindUpdate Kind = "update"
 )
 
 // Request is one originator-to-owner message. RequestScalars is the
@@ -296,6 +297,58 @@ type FetchResp struct {
 // ResponseScalars: one score per requested item.
 func (r FetchResp) ResponseScalars() int { return len(r.Scores) }
 
+// ScoreUpdate is one (item, delta) local-score change carried by an
+// update message.
+type ScoreUpdate struct {
+	Item  list.ItemID `json:"item"`
+	Delta float64     `json:"delta"`
+}
+
+// UpdateReq applies a batch of score updates to the owner's list — the
+// live subsystem's ingestion message. Feed names the update stream and
+// Seq is the feed's monotone sequence number: an owner remembers the
+// highest Seq it applied per feed and acknowledges (without reapplying)
+// anything at or below it, so retries and backpressure re-sends are
+// idempotent by construction. The update batch is variable-length and is
+// charged as request payload.
+type UpdateReq struct {
+	Feed    string        `json:"feed"`
+	Seq     uint64        `json:"seq"`
+	Updates []ScoreUpdate `json:"updates"`
+}
+
+func (UpdateReq) Kind() Kind { return KindUpdate }
+
+// RequestScalars: item and delta per update.
+func (r UpdateReq) RequestScalars() int { return 2 * len(r.Updates) }
+
+// Replayable: the per-feed sequence number makes a re-send a no-op ack,
+// never a double application.
+func (UpdateReq) Replayable() bool { return true }
+
+// Sessionful: NO — updates target the owner's list (feed-plane state
+// shared by every query), not any query session's cursor. They fan out
+// to every replica of a list rather than pinning to one.
+func (UpdateReq) Sessionful() bool { return false }
+
+// UpdateResp acknowledges an update batch. Version is the owner's
+// per-list version after the batch (piggybacked so coordinators can
+// detect staleness without a second exchange); Applied is false when the
+// batch was a duplicate the sequence number suppressed. Crossings names
+// the standing queries whose installed filter thresholds the batch
+// crossed — the Mäcker-style notification signal: an empty Crossings
+// means the owner certifies the batch cannot have changed those queries'
+// global top-k.
+type UpdateResp struct {
+	Applied   bool     `json:"applied,omitempty"`
+	Version   uint64   `json:"version"`
+	Crossings []string `json:"crossings,omitempty"`
+}
+
+// ResponseScalars: the version scalar plus one crossing flag per
+// notified query.
+func (r UpdateResp) ResponseScalars() int { return 1 + len(r.Crossings) }
+
 // BatchReq coalesces several independent logical requests for one owner
 // into a single wire exchange — the round-coalescing that collapses a
 // protocol round's per-owner fan-out (TA/BPA's m-1 lookups per owner)
@@ -463,6 +516,8 @@ func responseKind(resp Response) (Kind, error) {
 		return KindAbove, nil
 	case FetchResp:
 		return KindFetch, nil
+	case UpdateResp:
+		return KindUpdate, nil
 	case BatchResp:
 		return KindBatch, nil
 	default:
@@ -497,6 +552,9 @@ func UnmarshalRequestJSON(kind Kind, data []byte) (Request, error) {
 	case KindFetch:
 		var r FetchReq
 		return r, unmarshalStrict(data, &r)
+	case KindUpdate:
+		var r UpdateReq
+		return r, unmarshalStrict(data, &r)
 	case KindBatch:
 		return nil, fmt.Errorf("transport: batches must not nest")
 	default:
@@ -528,6 +586,9 @@ func UnmarshalResponseJSON(kind Kind, data []byte) (Response, error) {
 		return r, unmarshalStrict(data, &r)
 	case KindFetch:
 		var r FetchResp
+		return r, unmarshalStrict(data, &r)
+	case KindUpdate:
+		var r UpdateResp
 		return r, unmarshalStrict(data, &r)
 	case KindBatch:
 		return nil, fmt.Errorf("transport: batches must not nest")

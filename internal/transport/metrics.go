@@ -47,7 +47,7 @@ import (
 //	topk_client_backpressure_waits_total        counter    retry-after waits honored after an owner shed
 //	topk_client_sessions_open                   gauge
 //	topk_client_sessions_opened_total           counter
-var rpcKinds = []Kind{KindSorted, KindLookup, KindProbe, KindMark, KindTopK, KindAbove, KindFetch, KindBatch}
+var rpcKinds = []Kind{KindSorted, KindLookup, KindProbe, KindMark, KindTopK, KindAbove, KindFetch, KindBatch, KindUpdate}
 
 func counterPerKind(name, help string) map[Kind]*obs.Counter {
 	out := make(map[Kind]*obs.Counter, len(rpcKinds))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,13 @@ type OwnerStats struct {
 	// reclaimed over the owner's lifetime.
 	OpenSessions int   `json:"openSessions,omitempty"`
 	Evictions    int64 `json:"evictions,omitempty"`
+	// Mutable reports that the owner serves an updatable list — the live
+	// update plane is on; Version counts the update batches applied to it
+	// so far. Both zero/absent on read-only owners. Version is also
+	// piggybacked on every update ack, which is how the live coordinator
+	// tells replicas of one list apart from each other's lag.
+	Mutable bool   `json:"mutable,omitempty"`
+	Version uint64 `json:"version,omitempty"`
 }
 
 // ErrUnknownSession reports a message carrying a session ID the owner
@@ -81,6 +89,13 @@ const DefaultRetryAfter = 25 * time.Millisecond
 // this to 429 plus a Retry-After hint and the client waits it out
 // instead of counting a failure.
 var ErrOverloaded = errors.New("owner overloaded")
+
+// ErrReadOnly reports an update sent to an owner whose list is not
+// mutable: it was loaded read-only (the default), or is stripe-backed —
+// disk stripes stay read-only until the stripe write path exists
+// (ROADMAP 3b). The HTTP server maps it to 400: re-sending the update
+// cannot succeed.
+var ErrReadOnly = errors.New("owner list is read-only")
 
 // DefaultSessionTTL is the idle bound after which an owner may evict a
 // session: a session untouched for this long was abandoned by an
@@ -137,6 +152,17 @@ type Owner struct {
 	maxInflight atomic.Int64
 	shed        atomic.Int64
 
+	// Live update plane (nil on read-only owners): mut is the updatable
+	// list behind db, feeds the last applied sequence number per feed
+	// (the idempotency ledger), filters the standing-query notification
+	// filters. All guarded by liveMu — updates serialize against each
+	// other and against filter installs, never against query sessions,
+	// which read immutable list snapshots.
+	mut     *list.Mutable
+	liveMu  sync.Mutex
+	feeds   map[string]uint64
+	filters map[string]*ownerFilter
+
 	// log narrates session lifecycle (open/close/evict) for operators.
 	// Never nil — a discard logger until SetLogger installs a real one —
 	// and write-once before serving, so handlers read it without locks.
@@ -168,7 +194,129 @@ func NewOwner(db *list.Database, index int) (*Owner, error) {
 		log:      slog.New(slog.DiscardHandler),
 	}
 	o.maxInflight.Store(DefaultMaxInflight)
+	if mut, ok := db.List(index).(*list.Mutable); ok {
+		o.enableUpdates(mut)
+	}
 	return o, nil
+}
+
+// EnableUpdates swaps the owner's list for a mutable copy seeded with
+// its current contents, turning the update plane on — the path
+// cmd/topk-owner's -mutable flag takes for lists loaded from immutable
+// storage. Owners built directly over a *list.Mutable are
+// update-enabled from the start (NewOwner detects it). Call before
+// serving traffic; in-flight sessions would otherwise keep reading the
+// old list.
+func (o *Owner) EnableUpdates() error {
+	if o.mut != nil {
+		return nil
+	}
+	mut, err := list.MutableFromReader(o.db.List(0))
+	if err != nil {
+		return fmt.Errorf("transport: owner %d: %w", o.index, err)
+	}
+	db, err := list.NewReaderDatabase(mut)
+	if err != nil {
+		return err
+	}
+	o.db = db
+	o.enableUpdates(mut)
+	return nil
+}
+
+func (o *Owner) enableUpdates(mut *list.Mutable) {
+	o.mut = mut
+	o.feeds = make(map[string]uint64)
+	o.filters = make(map[string]*ownerFilter)
+}
+
+// ownerFilter is one standing query's notification filter at this
+// owner, installed by the live coordinator (Mäcker-style monitoring:
+// the owner stays silent while its local drift provably cannot change
+// the global top-k). watch holds the query's current top-k members —
+// any update touching one is a crossing. slack is this owner's share of
+// the coordinator's gap between the k-th and (k+1)-th aggregate score;
+// drift accumulates each non-member's local score movement since the
+// filter was installed, and a crossing fires once an item's positive
+// drift reaches the slack: a non-member can displace a member only by
+// gaining at least the full gap summed across all owners, so as long as
+// every owner's drift stays under its share, the ranking provably
+// stands.
+type ownerFilter struct {
+	slack float64
+	watch map[list.ItemID]struct{}
+	drift map[list.ItemID]float64
+}
+
+// crossed folds a batch's deltas into the filter's drift and reports
+// whether the batch may change the query's top-k: it touched a watched
+// member, or some non-member's cumulative positive drift since the
+// filter was installed reached this owner's slack. Zero slack (a tied
+// k-th/(k+1)-th boundary) degenerates to "any positive non-member
+// drift crosses" — still sound, just suppressing nothing. Drift is kept
+// after a crossing, so a lost notification re-fires on the next touch
+// instead of going silently stale.
+func (f *ownerFilter) crossed(ups []list.Update) bool {
+	hit := false
+	for _, u := range ups {
+		if _, ok := f.watch[u.Item]; ok {
+			hit = true
+			continue
+		}
+		d := f.drift[u.Item] + u.Delta
+		f.drift[u.Item] = d
+		if d > 0 && d >= f.slack {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// SetFilter installs (or replaces) the notification filter of one
+// standing query, resetting its drift accounting — the coordinator
+// reinstalls filters after every re-evaluation, so drift always
+// measures movement since the last known-good ranking. Control-plane;
+// fails when the update plane is off.
+func (o *Owner) SetFilter(query string, slack float64, watch []list.ItemID) error {
+	if o.mut == nil {
+		return fmt.Errorf("transport: owner %d: %w", o.index, ErrReadOnly)
+	}
+	if query == "" {
+		return fmt.Errorf("transport: owner %d: empty filter query name", o.index)
+	}
+	if math.IsNaN(slack) || slack < 0 {
+		return fmt.Errorf("transport: owner %d: filter slack %v must be >= 0", o.index, slack)
+	}
+	f := &ownerFilter{
+		slack: slack,
+		watch: make(map[list.ItemID]struct{}, len(watch)),
+		drift: make(map[list.ItemID]float64),
+	}
+	for _, d := range watch {
+		f.watch[d] = struct{}{}
+	}
+	o.liveMu.Lock()
+	o.filters[query] = f
+	o.liveMu.Unlock()
+	return nil
+}
+
+// ClearFilter removes one standing query's filter. Unknown names are a
+// no-op so teardown is idempotent.
+func (o *Owner) ClearFilter(query string) {
+	if o.mut == nil {
+		return
+	}
+	o.liveMu.Lock()
+	delete(o.filters, query)
+	o.liveMu.Unlock()
+}
+
+// Filters reports how many standing-query filters are installed.
+func (o *Owner) Filters() int {
+	o.liveMu.Lock()
+	defer o.liveMu.Unlock()
+	return len(o.filters)
 }
 
 // SetLogger installs a structured logger for the owner's session
@@ -386,7 +534,7 @@ func (o *Owner) Info() OwnerStats {
 	o.mu.Lock()
 	open, ev, rep := len(o.sessions), o.evictions, o.replica
 	o.mu.Unlock()
-	return OwnerStats{
+	st := OwnerStats{
 		Index:        o.index,
 		N:            o.n,
 		M:            o.m,
@@ -396,6 +544,11 @@ func (o *Owner) Info() OwnerStats {
 		OpenSessions: open,
 		Evictions:    ev,
 	}
+	if o.mut != nil {
+		st.Mutable = true
+		st.Version = o.mut.Version()
+	}
+	return st
 }
 
 // SessionStats reports one session's bookkeeping.
@@ -504,6 +657,12 @@ func (o *Owner) HandleContext(ctx context.Context, sid string, req Request) (Res
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if r, ok := req.(UpdateReq); ok {
+		// Updates are feed-plane, not query-plane: they carry no session
+		// (any sid is ignored), fan out to every replica of the list, and
+		// must not resolve — or create — per-session protocol state.
+		return o.handleUpdate(r)
+	}
 	s, err := o.session(sid)
 	if err != nil {
 		return nil, err
@@ -533,6 +692,12 @@ func (o *Owner) dispatch(ctx context.Context, s *ownerSession, req Request) (Res
 		return o.handleFetch(ctx, s, r)
 	case BatchReq:
 		return o.handleBatch(ctx, s, r)
+	case UpdateReq:
+		// Reachable only through a batch (HandleContext intercepts bare
+		// updates): the feed plane must not ride inside a query session's
+		// atomic round, where a replayed batch would defeat the per-feed
+		// sequence check.
+		return nil, fmt.Errorf("transport: owner %d: updates travel outside query sessions", o.index)
 	default:
 		return nil, fmt.Errorf("transport: owner %d: unknown request %T", o.index, req)
 	}
@@ -673,12 +838,55 @@ func (o *Owner) handleTopK(ctx context.Context, s *ownerSession, req TopKReq) (R
 	return TopKResp{Entries: out}, nil
 }
 
+// scoreSeeker is the optional fast path of the above scan: stripe-backed
+// lists resolve the first position whose score falls strictly below a
+// threshold by fence-pointer binary search, without loading a single
+// block (see internal/store/stripe and ROADMAP 3c).
+type scoreSeeker interface {
+	SeekScore(t float64) int
+}
+
 // handleAbove serves TPUT phase 2: the owner continues its scan past the
 // already-sent prefix and returns every entry with score >= T. The read
 // that discovers the first score below T is charged — it was performed.
 // The deadline poll sits inside the loop because this is the one
 // handler whose work can span a whole list tail.
+//
+// On seek-capable lists the cutoff — the position of that charged
+// terminating read — is known up front from the fence index, which
+// bounds the scan without touching a block past it and sizes the reply
+// exactly. Every read the plain loop would perform still happens, in
+// the same order, through the same probe, so the accounting is
+// identical by construction (the stripe parity suite pins this).
 func (o *Owner) handleAbove(ctx context.Context, s *ownerSession, req AboveReq) (Response, error) {
+	if sk, ok := o.db.List(0).(scoreSeeker); ok {
+		cut := sk.SeekScore(req.T) // first position with score < T; n+1 when none
+		start := s.depth + 1
+		end := cut
+		if end > o.n {
+			end = o.n
+		}
+		if end < start && start <= o.n {
+			// The whole tail is below T: the plain loop still performs
+			// (and charges) the one read that discovers it.
+			end = start
+		}
+		var out []list.Entry
+		if last := min(cut-1, o.n); last >= start {
+			out = make([]list.Entry, 0, last-start+1)
+		}
+		for p := start; p <= end; p++ {
+			if err := pollCtx(ctx, p); err != nil {
+				return nil, err
+			}
+			e := s.pr.Sorted(0, p)
+			s.depth = p
+			if p < cut {
+				out = append(out, e)
+			}
+		}
+		return AboveResp{Entries: out}, nil
+	}
 	var out []list.Entry
 	for p := s.depth + 1; p <= o.n; p++ {
 		if err := pollCtx(ctx, p); err != nil {
@@ -692,6 +900,45 @@ func (o *Owner) handleAbove(ctx context.Context, s *ownerSession, req AboveReq) 
 		out = append(out, e)
 	}
 	return AboveResp{Entries: out}, nil
+}
+
+// handleUpdate applies one feed-plane update batch. After the per-feed
+// sequence check — a batch at or below the feed's last applied sequence
+// is acknowledged without being re-applied, the idempotency that makes
+// client retries and backpressure re-sends safe — the deltas are
+// applied atomically to the mutable list, and every standing-query
+// filter decides whether the batch is a potential top-k crossing worth
+// notifying the coordinator about. Crossing names are sorted so wire
+// frames are deterministic.
+func (o *Owner) handleUpdate(req UpdateReq) (Response, error) {
+	if o.mut == nil {
+		return nil, fmt.Errorf("transport: owner %d: %w", o.index, ErrReadOnly)
+	}
+	if req.Feed == "" {
+		return nil, fmt.Errorf("transport: owner %d: update without a feed name", o.index)
+	}
+	ups := make([]list.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		ups[i] = list.Update{Item: u.Item, Delta: u.Delta}
+	}
+	o.liveMu.Lock()
+	defer o.liveMu.Unlock()
+	if last, ok := o.feeds[req.Feed]; ok && req.Seq <= last {
+		return UpdateResp{Applied: false, Version: o.mut.Version()}, nil
+	}
+	version, err := o.mut.Apply(ups)
+	if err != nil {
+		return nil, fmt.Errorf("transport: owner %d: %w", o.index, err)
+	}
+	o.feeds[req.Feed] = req.Seq
+	var crossings []string
+	for name, f := range o.filters {
+		if f.crossed(ups) {
+			crossings = append(crossings, name)
+		}
+	}
+	sort.Strings(crossings)
+	return UpdateResp{Applied: true, Version: version, Crossings: crossings}, nil
 }
 
 // handleFetch serves TPUT phase 3: exact scores for the listed items.
